@@ -1,0 +1,117 @@
+// Ablation: VIRE design choices beyond the weighting —
+//   * threshold strategy: fixed 1.5 dB vs common adaptive vs per-reader
+//     greedy (the literal reading of the paper's three-step procedure);
+//   * boundary-compensation ring: on vs off (the paper's acknowledged
+//     weakness at boundary/outside tags, Sec. 6);
+//   * reader count: 4 corner readers vs 8 (corners + edge midpoints) — the
+//     paper's "effects with more readers" future-work question.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "support/csv.h"
+
+namespace {
+int trials_from_env(int fallback) {
+  if (const char* s = std::getenv("VIRE_TRIALS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+struct Cell {
+  double interior = 0.0;
+  double boundary = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace vire;
+
+  const int trials = trials_from_env(20);
+  std::printf("=== Ablation: elimination strategy, boundary ring, reader count ===\n");
+  std::printf("Env3 office, trials per row: %d\n\n", trials);
+
+  const auto specs = eval::paper_tracking_tags();
+  std::vector<geom::Vec2> positions;
+  std::vector<bool> is_boundary;
+  for (const auto& s : specs) {
+    positions.push_back(s.position);
+    is_boundary.push_back(s.boundary);
+  }
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv3Office);
+
+  struct Variant {
+    std::string name;
+    core::ThresholdMode mode;
+    int extension_cells;
+    int readers;
+  };
+  const std::vector<Variant> variants = {
+      {"adaptive + ring + 4 readers (default)", core::ThresholdMode::kAdaptive, 5, 4},
+      {"fixed 1.5 dB + ring", core::ThresholdMode::kFixed, 5, 4},
+      {"per-reader greedy + ring", core::ThresholdMode::kAdaptivePerReader, 5, 4},
+      {"adaptive, no boundary ring (strict paper)", core::ThresholdMode::kAdaptive, 0, 4},
+      {"adaptive + ring + 8 readers", core::ThresholdMode::kAdaptive, 5, 8},
+  };
+
+  support::CsvWriter csv("bench_out/ablation_design.csv");
+  csv.header({"variant", "interior_error_m", "boundary_error_m"});
+
+  std::vector<Cell> cells;
+  eval::TextTable table({"variant", "interior err (m)", "boundary err (m)"});
+  for (const auto& variant : variants) {
+    support::RunningStats interior, boundary;
+    for (int trial = 0; trial < trials; ++trial) {
+      eval::ObservationOptions options;
+      options.seed = 99000 + static_cast<std::uint64_t>(trial) * 0x9e3779b9ULL;
+      options.deployment.readers = variant.readers;
+      const auto obs = eval::observe_testbed(environment, positions, options);
+      core::VireConfig config = core::recommended_vire_config();
+      config.elimination.mode = variant.mode;
+      config.virtual_grid.boundary_extension_cells = variant.extension_cells;
+      const auto errors = eval::vire_errors(obs, config, options.deployment);
+      for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (std::isnan(errors[i])) continue;
+        (is_boundary[i] ? boundary : interior).add(errors[i]);
+      }
+    }
+    cells.push_back({interior.mean(), boundary.mean()});
+    table.add_row({variant.name, eval::fixed(interior.mean()),
+                   eval::fixed(boundary.mean())});
+    csv.row({variant.name, support::format_number(interior.mean()),
+             support::format_number(boundary.mean())});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::vector<eval::ShapeCheck> checks;
+  checks.push_back({"boundary ring improves boundary tags",
+                    cells[0].boundary < cells[3].boundary,
+                    eval::fixed(cells[3].boundary) + " -> " +
+                        eval::fixed(cells[0].boundary) + " m"});
+  checks.push_back({"adaptive threshold at least matches fixed 1.5 dB overall",
+                    cells[0].interior + cells[0].boundary <=
+                        1.1 * (cells[1].interior + cells[1].boundary),
+                    ""});
+  checks.push_back({"common adaptive beats the per-reader greedy variant",
+                    cells[0].interior < cells[2].interior, ""});
+  // Finding for the paper's "more readers" future-work question: the four
+  // extra edge-midpoint readers sharpen the interior (more intersecting
+  // constraints) but their very steep near-field makes the common-threshold
+  // bands unreliable for boundary tags — see EXPERIMENTS.md.
+  checks.push_back({"8 readers improve interior accuracy (paper future-work probe)",
+                    cells[4].interior < cells[0].interior,
+                    eval::fixed(cells[0].interior) + " -> " +
+                        eval::fixed(cells[4].interior) + " m"});
+  std::printf("%s", eval::render_checks(checks).c_str());
+  std::printf("\nCSV written to bench_out/ablation_design.csv\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation: interpolation algorithm (paper Sec. 6 future work).
+// "Linear interpolation is fast and easy. But it is not very precise in
+// complex situations. ... It may be interesting to study how much accuracy
+// can be further achieved by using some novel nonlinear interpolation
+// algorithms." — this bench answers that question on the simulated testbed:
+// linear (the paper), Catmull-Rom spline (local nonlinear), and full
+// Lagrange polynomial (global; the paper predicts end-point misbehaviour).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "support/csv.h"
+
+namespace {
+int trials_from_env(int fallback) {
+  if (const char* s = std::getenv("VIRE_TRIALS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+}  // namespace
+
+int main() {
+  using namespace vire;
+
+  const int trials = trials_from_env(20);
+  std::printf("=== Ablation: interpolation algorithm (paper Sec. 6) ===\n");
+  std::printf("trials per cell: %d\n\n", trials);
+
+  const std::vector<core::InterpolationMethod> methods = {
+      core::InterpolationMethod::kLinear, core::InterpolationMethod::kCatmullRom,
+      core::InterpolationMethod::kPolynomial};
+
+  const auto specs = eval::paper_tracking_tags();
+  std::vector<geom::Vec2> positions;
+  std::vector<bool> boundary;
+  for (const auto& s : specs) {
+    positions.push_back(s.position);
+    boundary.push_back(s.boundary);
+  }
+
+  support::CsvWriter csv("bench_out/ablation_interp.csv");
+  csv.header({"method", "environment", "interior_error_m", "boundary_error_m"});
+
+  // errors[method][env] -> (interior, boundary)
+  std::vector<std::vector<std::pair<double, double>>> all;
+  eval::TextTable table({"method", "Env1 int/bnd (m)", "Env2 int/bnd (m)",
+                         "Env3 int/bnd (m)"});
+  for (const auto method : methods) {
+    std::vector<std::string> row = {std::string(core::to_string(method))};
+    std::vector<std::pair<double, double>> per_env;
+    for (auto which : env::all_paper_environments()) {
+      const env::Environment environment = env::make_paper_environment(which);
+      support::RunningStats interior, bnd;
+      for (int trial = 0; trial < trials; ++trial) {
+        eval::ObservationOptions options;
+        options.seed = 77000 + static_cast<std::uint64_t>(trial) * 0x9e3779b9ULL;
+        const auto obs = eval::observe_testbed(environment, positions, options);
+        core::VireConfig config = core::recommended_vire_config();
+        config.virtual_grid.method = method;
+        const auto errors = eval::vire_errors(obs, config, options.deployment);
+        for (std::size_t i = 0; i < errors.size(); ++i) {
+          if (std::isnan(errors[i])) continue;
+          (boundary[i] ? bnd : interior).add(errors[i]);
+        }
+      }
+      row.push_back(eval::fixed(interior.mean()) + " / " + eval::fixed(bnd.mean()));
+      per_env.push_back({interior.mean(), bnd.mean()});
+      csv.row({std::string(core::to_string(method)), std::string(env::name(which)),
+               support::format_number(interior.mean()),
+               support::format_number(bnd.mean())});
+    }
+    all.push_back(std::move(per_env));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::vector<eval::ShapeCheck> checks;
+  // Linear is competitive: within 25% of the best method everywhere
+  // (justifying the paper's choice of the cheap algorithm).
+  bool linear_competitive = true;
+  for (std::size_t e = 0; e < 3; ++e) {
+    const double best = std::min({all[0][e].first, all[1][e].first, all[2][e].first});
+    if (all[0][e].first > 1.25 * best) linear_competitive = false;
+  }
+  checks.push_back({"linear interpolation stays within 25% of the best method",
+                    linear_competitive, ""});
+  // Polynomial interpolation misbehaves at boundaries relative to its own
+  // interior (the paper's end-point warning) in at least one environment.
+  bool poly_edge_penalty = false;
+  for (std::size_t e = 0; e < 3; ++e) {
+    const double poly_ratio = all[2][e].second / std::max(1e-9, all[2][e].first);
+    const double lin_ratio = all[0][e].second / std::max(1e-9, all[0][e].first);
+    if (poly_ratio > lin_ratio) poly_edge_penalty = true;
+  }
+  checks.push_back({"polynomial shows a boundary penalty vs linear somewhere",
+                    poly_edge_penalty, ""});
+  std::printf("%s", eval::render_checks(checks).c_str());
+  std::printf("\nCSV written to bench_out/ablation_interp.csv\n");
+  return 0;
+}

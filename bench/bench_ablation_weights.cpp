@@ -1,0 +1,95 @@
+// Ablation: VIRE's weighting factors (paper Sec. 4.3). Compares the
+// combined w1*w2 weighting against w1-only, w2-only, uniform (plain
+// centroid of survivors), and a sharpened w1 exponent, per environment.
+// The paper introduces both factors "to improve the accuracy of VIRE" —
+// this bench quantifies how much each contributes in each locale.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "support/csv.h"
+
+namespace {
+int trials_from_env(int fallback) {
+  if (const char* s = std::getenv("VIRE_TRIALS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+}  // namespace
+
+int main() {
+  using namespace vire;
+
+  const int trials = trials_from_env(20);
+  std::printf("=== Ablation: VIRE weighting factors (w1, w2) ===\n");
+  std::printf("trials per cell: %d\n\n", trials);
+
+  struct Variant {
+    std::string name;
+    core::WeightingMode mode;
+    double w1_exponent;
+  };
+  const std::vector<Variant> variants = {
+      {"w1*w2 (paper)", core::WeightingMode::kCombined, 1.0},
+      {"w1 only", core::WeightingMode::kW1Only, 1.0},
+      {"w2 only", core::WeightingMode::kW2Only, 1.0},
+      {"uniform centroid", core::WeightingMode::kUniform, 1.0},
+      {"w1^2 * w2", core::WeightingMode::kCombined, 2.0},
+  };
+
+  const auto specs = eval::paper_tracking_tags();
+  std::vector<geom::Vec2> positions;
+  for (const auto& s : specs) positions.push_back(s.position);
+
+  support::CsvWriter csv("bench_out/ablation_weights.csv");
+  csv.header({"variant", "environment", "mean_error_m"});
+
+  eval::TextTable table({"variant", "Env1 (m)", "Env2 (m)", "Env3 (m)"});
+  std::vector<double> combined_errors, uniform_errors;
+  for (const auto& variant : variants) {
+    std::vector<std::string> row = {variant.name};
+    for (auto which : env::all_paper_environments()) {
+      const env::Environment environment = env::make_paper_environment(which);
+      support::RunningStats errors;
+      for (int trial = 0; trial < trials; ++trial) {
+        eval::ObservationOptions options;
+        options.seed = 555000 + static_cast<std::uint64_t>(trial) * 0x9e3779b9ULL;
+        const auto obs = eval::observe_testbed(environment, positions, options);
+        core::VireConfig config = core::recommended_vire_config();
+        config.weighting = variant.mode;
+        config.w1_exponent = variant.w1_exponent;
+        for (double e : eval::vire_errors(obs, config, options.deployment)) {
+          if (!std::isnan(e)) errors.add(e);
+        }
+      }
+      row.push_back(eval::fixed(errors.mean()));
+      csv.row({variant.name, std::string(env::name(which)),
+               support::format_number(errors.mean())});
+      if (variant.mode == core::WeightingMode::kCombined && variant.w1_exponent == 1.0) {
+        combined_errors.push_back(errors.mean());
+      }
+      if (variant.mode == core::WeightingMode::kUniform) {
+        uniform_errors.push_back(errors.mean());
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::vector<eval::ShapeCheck> checks;
+  bool weighted_helps = true;
+  for (std::size_t e = 0; e < combined_errors.size(); ++e) {
+    if (combined_errors[e] > uniform_errors[e] * 1.05) weighted_helps = false;
+  }
+  checks.push_back({"combined w1*w2 never loses to the plain centroid",
+                    weighted_helps, ""});
+  std::printf("%s", eval::render_checks(checks).c_str());
+  std::printf("\nCSV written to bench_out/ablation_weights.csv\n");
+  return 0;
+}

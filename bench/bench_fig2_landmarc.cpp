@@ -1,0 +1,137 @@
+// Reproduces Fig. 2(b): LANDMARC estimation error for the 9 tracking tags
+// in the three environments (the paper's LANDMARC-revisited experiment).
+//
+// Paper shape targets:
+//   * Env3 (closed office) errors are clearly the largest;
+//   * Tag 1 (well covered by four nearby reference tags) has near-minimal
+//     error in Env1 and Env2;
+//   * boundary tags (6-9) err more than interior tags (1-5) on average;
+//   * Tag 9 (outside the reference perimeter) has the worst accuracy.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "support/ascii_chart.h"
+#include "support/csv.h"
+
+namespace {
+int trials_from_env(int fallback) {
+  if (const char* s = std::getenv("VIRE_TRIALS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+}  // namespace
+
+int main() {
+  using namespace vire;
+
+  const int trials = trials_from_env(40);
+  std::printf("=== Fig. 2(b): LANDMARC estimation error, 9 tags x 3 environments ===\n");
+  std::printf("trials per environment: %d\n\n", trials);
+
+  const auto specs = eval::paper_tracking_tags();
+  std::vector<geom::Vec2> positions;
+  for (const auto& s : specs) positions.push_back(s.position);
+
+  support::CsvWriter csv("bench_out/fig2_landmarc.csv");
+  csv.header({"environment", "tag", "boundary", "landmarc_error_m", "ci95_m"});
+
+  // errors[env][tag]
+  std::vector<std::vector<support::RunningStats>> errors;
+  for (auto which : env::all_paper_environments()) {
+    const env::Environment environment = env::make_paper_environment(which);
+    std::vector<support::RunningStats> per_tag(specs.size());
+    for (int trial = 0; trial < trials; ++trial) {
+      eval::ObservationOptions options;
+      options.seed = 20030314 + static_cast<std::uint64_t>(trial) * 0x9e3779b9ULL;
+      const auto obs = eval::observe_testbed(environment, positions, options);
+      const auto errs = eval::landmarc_errors(obs, landmarc::LandmarcConfig{});
+      for (std::size_t i = 0; i < errs.size(); ++i) {
+        if (!std::isnan(errs[i])) per_tag[i].add(errs[i]);
+      }
+    }
+    errors.push_back(std::move(per_tag));
+  }
+
+  eval::TextTable table({"tag", "type", "Env1 (m)", "Env2 (m)", "Env3 (m)"});
+  std::vector<std::string> categories;
+  std::vector<support::Series> series = {{"Env1", '1', {}}, {"Env2", '2', {}},
+                                         {"Env3", '3', {}}};
+  const auto envs = env::all_paper_environments();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    table.add_row({specs[i].name, specs[i].boundary ? "boundary" : "interior",
+                   eval::fixed(errors[0][i].mean()), eval::fixed(errors[1][i].mean()),
+                   eval::fixed(errors[2][i].mean())});
+    categories.push_back(specs[i].name);
+    for (std::size_t e = 0; e < 3; ++e) {
+      series[e].y.push_back(errors[e][i].mean());
+      csv.row({std::string(env::name(envs[e])), specs[i].name,
+               specs[i].boundary ? "1" : "0",
+               support::format_number(errors[e][i].mean()),
+               support::format_number(errors[e][i].ci95_halfwidth())});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  support::ChartOptions chart;
+  chart.title = "Fig. 2(b) — LANDMARC estimation error per tracking tag";
+  chart.x_label = "estimation error (m)";
+  std::printf("%s\n", support::render_bar_chart(categories, series, chart).c_str());
+
+  // Shape checks.
+  auto env_mean = [&](std::size_t e) {
+    double sum = 0;
+    for (const auto& s : errors[e]) sum += s.mean();
+    return sum / static_cast<double>(errors[e].size());
+  };
+  auto subset_mean = [&](std::size_t e, bool boundary) {
+    double sum = 0;
+    int n = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].boundary != boundary) continue;
+      sum += errors[e][i].mean();
+      ++n;
+    }
+    return sum / n;
+  };
+
+  std::vector<eval::ShapeCheck> checks;
+  checks.push_back({"Env3 has the largest mean LANDMARC error",
+                    env_mean(2) > env_mean(0) && env_mean(2) > env_mean(1),
+                    "Env1 " + eval::fixed(env_mean(0)) + ", Env2 " +
+                        eval::fixed(env_mean(1)) + ", Env3 " +
+                        eval::fixed(env_mean(2)) + " m"});
+  bool tag1_small = true;
+  for (std::size_t e = 0; e < 2; ++e) {
+    double interior_mean = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) interior_mean += errors[e][i].mean();
+    interior_mean /= 5.0;
+    if (errors[e][0].mean() > 1.25 * interior_mean) tag1_small = false;
+  }
+  checks.push_back({"Tag1 (well covered) is not worse than the interior average "
+                    "in Env1/Env2",
+                    tag1_small, ""});
+  bool boundary_worse = true;
+  for (std::size_t e = 0; e < 3; ++e) {
+    if (subset_mean(e, true) <= subset_mean(e, false)) boundary_worse = false;
+  }
+  checks.push_back({"boundary tags err more than interior tags in every environment",
+                    boundary_worse, ""});
+  bool tag9_worst = true;
+  for (std::size_t e = 0; e < 3; ++e) {
+    for (std::size_t i = 0; i + 1 < specs.size(); ++i) {
+      if (errors[e][8].mean() < errors[e][i].mean()) tag9_worst = false;
+    }
+  }
+  checks.push_back({"Tag9 (outside the perimeter) has the worst accuracy", tag9_worst,
+                    ""});
+  std::printf("%s", eval::render_checks(checks).c_str());
+  std::printf("\nCSV written to bench_out/fig2_landmarc.csv\n");
+  return 0;
+}

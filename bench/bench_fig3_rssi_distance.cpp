@@ -1,0 +1,125 @@
+// Reproduces Fig. 3: the relationship between distance and RSSI.
+// For each distance 1..20 m the tag's RSSI is measured 20 times; the plot
+// shows the measured mean together with the min/max envelope and the
+// theoretical (free-space, inverse-square) curve.
+//
+// Paper shape targets:
+//   * the measured curve decreases overall but "the change of RSSI values
+//     is not as smooth as expected" — zig-zag around the theoretical curve;
+//   * a visible min/max spread at each distance;
+//   * values spanning roughly -60 to -100 dBm over 0-20 m.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "env/environment.h"
+#include "eval/report.h"
+#include "rf/channel.h"
+#include "rf/pathloss.h"
+#include "support/ascii_chart.h"
+#include "support/csv.h"
+#include "support/stats.h"
+
+int main() {
+  using namespace vire;
+
+  std::printf("=== Fig. 3: RSSI vs distance (measured vs theoretical) ===\n\n");
+
+  // One reader in the Env2 hall; the tag walks away from it along a line.
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv2Spacious);
+  rf::RfChannel channel(environment.extent(), environment.surfaces(),
+                        environment.channel_config, /*seed=*/33);
+  const geom::Vec2 reader_pos{-4.5, 0.5};
+  const int reader = channel.add_reader(reader_pos);
+
+  const auto theoretical =
+      rf::make_free_space_model(environment.channel_config.rssi_at_1m_dbm);
+
+  support::Rng rng(2007);
+  constexpr int kSamplesPerPoint = 20;  // as in the paper
+
+  std::vector<double> xs, mean_series, min_series, max_series, theory_series;
+  support::CsvWriter csv("bench_out/fig3_rssi_distance.csv");
+  csv.header({"distance_m", "measured_mean_dbm", "measured_min_dbm",
+              "measured_max_dbm", "theoretical_dbm"});
+
+  for (double d = 1.0; d <= 20.0; d += 0.5) {
+    const geom::Vec2 tag_pos{reader_pos.x + d, reader_pos.y};
+    support::RunningStats stats;
+    for (int s = 0; s < kSamplesPerPoint; ++s) {
+      stats.add(channel.sample_rssi_dbm(reader, tag_pos, rng));
+    }
+    xs.push_back(d);
+    mean_series.push_back(stats.mean());
+    min_series.push_back(stats.min());
+    max_series.push_back(stats.max());
+    theory_series.push_back(theoretical->mean_rssi_dbm(d));
+    csv.row_numeric({d, stats.mean(), stats.min(), stats.max(),
+                     theoretical->mean_rssi_dbm(d)});
+  }
+
+  support::ChartOptions chart;
+  chart.title = "Fig. 3 — RSSI vs distance";
+  chart.x_label = "distance (m)";
+  chart.y_label = "RSSI (dBm)";
+  chart.height = 24;
+  std::printf("%s\n",
+              support::render_line_chart(
+                  xs,
+                  {{"measured mean", '*', mean_series},
+                   {"measured min", '.', min_series},
+                   {"measured max", '\'', max_series},
+                   {"theoretical", '-', theory_series}},
+                  chart)
+                  .c_str());
+
+  // Shape checks.
+  std::vector<eval::ShapeCheck> checks;
+  const auto fit = support::fit_line(xs, mean_series);
+  checks.push_back({"measured RSSI decreases with distance (negative trend)",
+                    fit.slope < -0.5,
+                    "slope " + eval::fixed(fit.slope, 2) + " dB/m"});
+
+  // Zig-zag: count local non-monotonic steps of the measured mean.
+  int reversals = 0;
+  for (std::size_t i = 2; i < mean_series.size(); ++i) {
+    const double d1 = mean_series[i - 1] - mean_series[i - 2];
+    const double d2 = mean_series[i] - mean_series[i - 1];
+    if (d1 * d2 < 0.0) ++reversals;
+  }
+  checks.push_back({"measured curve zig-zags (not smooth like the theory)",
+                    reversals >= 5, std::to_string(reversals) + " reversals"});
+
+  double max_spread = 0.0, mean_spread = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double spread = max_series[i] - min_series[i];
+    max_spread = std::max(max_spread, spread);
+    mean_spread += spread;
+  }
+  mean_spread /= static_cast<double>(xs.size());
+  checks.push_back({"visible min/max envelope at each distance",
+                    mean_spread > 1.0 && max_spread < 30.0,
+                    "mean spread " + eval::fixed(mean_spread, 1) + " dB"});
+
+  checks.push_back({"values span roughly -60..-100 dBm",
+                    mean_series.front() > -75.0 && mean_series.back() < -80.0 &&
+                        mean_series.back() > -110.0,
+                    "near " + eval::fixed(mean_series.front(), 1) + ", far " +
+                        eval::fixed(mean_series.back(), 1) + " dBm"});
+
+  // The measured mean deviates from the theoretical curve (multipath), but
+  // tracks it within a sane band.
+  double max_dev = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    max_dev = std::max(max_dev, std::abs(mean_series[i] - theory_series[i]));
+  }
+  checks.push_back({"measured deviates from theoretical (multipath ripple)",
+                    max_dev > 2.0 && max_dev < 25.0,
+                    "max deviation " + eval::fixed(max_dev, 1) + " dB"});
+
+  std::printf("%s", eval::render_checks(checks).c_str());
+  std::printf("\nCSV written to bench_out/fig3_rssi_distance.csv\n");
+  return 0;
+}

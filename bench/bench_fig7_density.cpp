@@ -1,0 +1,116 @@
+// Reproduces Fig. 7: localization accuracy vs the number of virtual
+// reference tags (Env3, non-boundary tags).
+//
+// Paper shape targets:
+//   * error improves sharply as N^2 grows toward ~600;
+//   * only marginal improvement between ~600 and ~900;
+//   * a plateau beyond ~900 (no further improvement);
+//   * the paper consequently fixes N^2 = 900 (we use n = 10 -> 961).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "support/ascii_chart.h"
+#include "support/csv.h"
+
+namespace {
+int trials_from_env(int fallback) {
+  if (const char* s = std::getenv("VIRE_TRIALS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+}  // namespace
+
+int main() {
+  using namespace vire;
+
+  const int trials = trials_from_env(30);
+  std::printf("=== Fig. 7: number of virtual reference tags vs accuracy (Env3) ===\n");
+  std::printf("trials per point: %d\n\n", trials);
+
+  const auto specs = eval::paper_tracking_tags();
+  std::vector<geom::Vec2> positions;
+  std::vector<bool> boundary;
+  for (const auto& s : specs) {
+    positions.push_back(s.position);
+    boundary.push_back(s.boundary);
+  }
+
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv3Office);
+
+  // Subdivision n gives (3n+1)^2 virtual tags on the 4x4 testbed.
+  const std::vector<int> subdivisions = {1, 2, 3, 4, 5, 6, 8, 10, 12, 13};
+
+  std::vector<double> n2_series, error_series;
+  support::CsvWriter csv("bench_out/fig7_density.csv");
+  csv.header({"subdivision", "virtual_tags_n2", "nonboundary_error_m", "ci95_m"});
+
+  for (int n : subdivisions) {
+    support::RunningStats stats;
+    for (int trial = 0; trial < trials; ++trial) {
+      eval::ObservationOptions options;
+      options.seed = 777 + static_cast<std::uint64_t>(trial) * 0x9e3779b9ULL;
+      const auto obs = eval::observe_testbed(environment, positions, options);
+
+      core::VireConfig config = core::recommended_vire_config();
+      config.virtual_grid.subdivision = n;
+      // Keep the boundary ring at ~0.5 m regardless of n.
+      config.virtual_grid.boundary_extension_cells = (n + 1) / 2;
+      const auto errs = eval::vire_errors(obs, config, options.deployment);
+      for (std::size_t i = 0; i < errs.size(); ++i) {
+        if (!boundary[i] && !std::isnan(errs[i])) stats.add(errs[i]);
+      }
+    }
+    const double n2 = static_cast<double>((3 * n + 1) * (3 * n + 1));
+    n2_series.push_back(n2);
+    error_series.push_back(stats.mean());
+    csv.row_numeric({static_cast<double>(n), n2, stats.mean(),
+                     stats.ci95_halfwidth()});
+    std::printf("  n=%-3d N^2=%-5.0f non-boundary error %.3f m (±%.3f)\n", n, n2,
+                stats.mean(), stats.ci95_halfwidth());
+  }
+
+  support::ChartOptions chart;
+  chart.title = "Fig. 7 — number of virtual reference tags vs estimation error";
+  chart.x_label = "N^2 (total virtual reference tags)";
+  chart.y_label = "estimation error (m)";
+  chart.y_from_zero = true;
+  std::printf("\n%s\n", support::render_line_chart(
+                            n2_series, {{"VIRE", '*', error_series}}, chart)
+                            .c_str());
+
+  // Shape checks. Helper: error at the point nearest a given N^2.
+  auto error_at = [&](double n2) {
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < n2_series.size(); ++i) {
+      if (std::abs(n2_series[i] - n2) < std::abs(n2_series[best] - n2)) best = i;
+    }
+    return error_series[best];
+  };
+
+  std::vector<eval::ShapeCheck> checks;
+  checks.push_back({"error improves sharply from N^2=16 to N^2~600",
+                    error_at(16) > 1.15 * error_at(625),
+                    eval::fixed(error_at(16)) + " -> " + eval::fixed(error_at(625)) +
+                        " m"});
+  checks.push_back(
+      {"improvement between ~600 and ~900 is small",
+       std::abs(error_at(625) - error_at(961)) < 0.25 * error_at(625),
+       eval::fixed(error_at(625)) + " vs " + eval::fixed(error_at(961)) + " m"});
+  checks.push_back(
+      {"plateau beyond ~900 (no further improvement)",
+       error_at(1600) > error_at(961) - 0.15 * error_at(961),
+       eval::fixed(error_at(961)) + " vs " + eval::fixed(error_at(1600)) + " m"});
+  checks.push_back({"plateau error within 3x of the paper's ~0.5 m",
+                    error_at(961) < 1.5, eval::fixed(error_at(961)) + " m"});
+  std::printf("%s", eval::render_checks(checks).c_str());
+  std::printf("\nCSV written to bench_out/fig7_density.csv\n");
+  return 0;
+}

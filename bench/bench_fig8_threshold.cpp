@@ -1,0 +1,119 @@
+// Reproduces Fig. 8: the impact of the elimination threshold (Env3,
+// N^2 ~ 900, fixed-threshold mode, non-boundary tags).
+//
+// Paper shape targets:
+//   * U-shaped curve: error rises for very small thresholds (the real
+//     position is "swept away") and for large thresholds (noisy virtual
+//     tags are selected);
+//   * the minimum sits near 1-1.5 dB.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "support/ascii_chart.h"
+#include "support/csv.h"
+
+namespace {
+int trials_from_env(int fallback) {
+  if (const char* s = std::getenv("VIRE_TRIALS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+}  // namespace
+
+int main() {
+  using namespace vire;
+
+  const int trials = trials_from_env(30);
+  std::printf("=== Fig. 8: threshold vs accuracy (Env3, fixed threshold) ===\n");
+  std::printf("trials per point: %d\n\n", trials);
+
+  const auto specs = eval::paper_tracking_tags();
+  std::vector<geom::Vec2> positions;
+  std::vector<bool> boundary;
+  for (const auto& s : specs) {
+    positions.push_back(s.position);
+    boundary.push_back(s.boundary);
+  }
+
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv3Office);
+
+  // Dense sampling over the paper's 0-4 dB range, coarser out to 12 dB to
+  // expose the right branch of the U (our simulated Env3 has ~1.5 dB of
+  // interpolation mismatch, which shifts the whole curve right relative to
+  // the paper's testbed).
+  std::vector<double> thresholds;
+  for (double t = 0.25; t <= 4.01; t += 0.25) thresholds.push_back(t);
+  for (double t = 4.5; t <= 12.01; t += 0.5) thresholds.push_back(t);
+
+  std::vector<double> error_series;
+  support::CsvWriter csv("bench_out/fig8_threshold.csv");
+  csv.header({"threshold_db", "nonboundary_error_m", "ci95_m"});
+
+  for (double threshold : thresholds) {
+    support::RunningStats stats;
+    for (int trial = 0; trial < trials; ++trial) {
+      eval::ObservationOptions options;
+      options.seed = 424242 + static_cast<std::uint64_t>(trial) * 0x9e3779b9ULL;
+      const auto obs = eval::observe_testbed(environment, positions, options);
+
+      core::VireConfig config = core::recommended_vire_config();
+      config.elimination.mode = core::ThresholdMode::kFixed;
+      config.elimination.fixed_threshold_db = threshold;
+      const auto errs = eval::vire_errors(obs, config, options.deployment);
+      for (std::size_t i = 0; i < errs.size(); ++i) {
+        if (!boundary[i] && !std::isnan(errs[i])) stats.add(errs[i]);
+      }
+    }
+    error_series.push_back(stats.mean());
+    csv.row_numeric({threshold, stats.mean(), stats.ci95_halfwidth()});
+    std::printf("  threshold %.2f dB -> non-boundary error %.3f m (±%.3f)\n",
+                threshold, stats.mean(), stats.ci95_halfwidth());
+  }
+
+  support::ChartOptions chart;
+  chart.title = "Fig. 8 — threshold vs estimation error";
+  chart.x_label = "threshold (dB)";
+  chart.y_label = "estimation error (m)";
+  chart.y_from_zero = true;
+  std::printf("\n%s\n", support::render_line_chart(
+                            thresholds, {{"VIRE", '*', error_series}}, chart)
+                            .c_str());
+
+  // Shape checks.
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < error_series.size(); ++i) {
+    if (error_series[i] < error_series[best]) best = i;
+  }
+  const double best_threshold = thresholds[best];
+
+  // The U-shape is the paper's claim; the minimum's absolute location is a
+  // property of the channel's roughness scale. In the authors' testbed it
+  // fell at 1-1.5 dB; our simulated Env3 has ~1.5 dB of interpolation
+  // mismatch which shifts the optimum to ~2-4 dB (see EXPERIMENTS.md).
+  std::vector<eval::ShapeCheck> checks;
+  checks.push_back({"minimum is interior (true U-shape, not monotonic)",
+                    best > 0 && best + 1 < thresholds.size(),
+                    "minimum at " + eval::fixed(best_threshold, 2) + " dB"});
+  checks.push_back({"very small thresholds increase error (position swept)",
+                    error_series.front() > 1.2 * error_series[best],
+                    eval::fixed(error_series.front()) + " m at " +
+                        eval::fixed(thresholds.front(), 2) + " dB"});
+  checks.push_back({"large thresholds increase error (noisy tags selected)",
+                    error_series.back() > 1.15 * error_series[best],
+                    eval::fixed(error_series.back()) + " m at " +
+                        eval::fixed(thresholds.back(), 2) + " dB"});
+  checks.push_back({"optimum within a few dB of the paper's 1-1.5 dB",
+                    best_threshold >= 0.75 && best_threshold <= 5.0,
+                    "minimum at " + eval::fixed(best_threshold, 2) + " dB"});
+  std::printf("%s", eval::render_checks(checks).c_str());
+  std::printf("\nCSV written to bench_out/fig8_threshold.csv\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Performance: virtual-grid construction (the paper's O(N^2) interpolation
+// stage, Sec. 4.2) across subdivision factors and interpolation methods.
+// google-benchmark computes the empirical complexity exponent; the paper's
+// claim is linear in the number of virtual tags N^2.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/virtual_grid.h"
+#include "geom/grid.h"
+
+namespace {
+
+using namespace vire;
+
+geom::RegularGrid paper_grid() { return {{0, 0}, 1.0, 4, 4}; }
+
+std::vector<sim::RssiVector> synth_references(const geom::RegularGrid& grid) {
+  std::vector<sim::RssiVector> refs;
+  for (std::size_t i = 0; i < grid.node_count(); ++i) {
+    const geom::Vec2 p = grid.position(i);
+    refs.push_back({-50.0 - 4.0 * p.x, -50.0 - 4.0 * p.y,
+                    -50.0 - 3.0 * (p.x + p.y), -50.0 - 3.0 * (3.0 - p.x + p.y)});
+  }
+  return refs;
+}
+
+void BM_VirtualGridBuild(benchmark::State& state) {
+  const auto grid = paper_grid();
+  const auto refs = synth_references(grid);
+  core::VirtualGridConfig config;
+  config.subdivision = static_cast<int>(state.range(0));
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    core::VirtualGrid vg(grid, refs, config);
+    nodes = vg.node_count();
+    benchmark::DoNotOptimize(vg.reader_values(0).data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(nodes));
+  state.counters["virtual_tags_N2"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_VirtualGridBuild)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_VirtualGridBuildMethod(benchmark::State& state) {
+  const auto grid = paper_grid();
+  const auto refs = synth_references(grid);
+  core::VirtualGridConfig config;
+  config.subdivision = 10;  // the paper's N^2 ~ 900 operating point
+  config.method = static_cast<core::InterpolationMethod>(state.range(0));
+  for (auto _ : state) {
+    core::VirtualGrid vg(grid, refs, config);
+    benchmark::DoNotOptimize(vg.reader_values(0).data());
+  }
+  state.SetLabel(std::string(core::to_string(config.method)));
+}
+BENCHMARK(BM_VirtualGridBuildMethod)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_InterpolateSinglePoint(benchmark::State& state) {
+  const auto method = static_cast<core::InterpolationMethod>(state.range(0));
+  std::vector<double> values;
+  for (int i = 0; i < 16; ++i) values.push_back(-60.0 - i * 0.7);
+  double gx = 0.1;
+  for (auto _ : state) {
+    gx = gx >= 2.9 ? 0.1 : gx + 0.013;
+    benchmark::DoNotOptimize(core::interpolate_at(values, 4, 4, gx, gx, method));
+  }
+  state.SetLabel(std::string(core::to_string(method)));
+}
+BENCHMARK(BM_InterpolateSinglePoint)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_VirtualGridWithBoundaryExtension(benchmark::State& state) {
+  const auto grid = paper_grid();
+  const auto refs = synth_references(grid);
+  core::VirtualGridConfig config;
+  config.subdivision = 10;
+  config.boundary_extension_cells = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::VirtualGrid vg(grid, refs, config);
+    benchmark::DoNotOptimize(vg.node_count());
+  }
+}
+BENCHMARK(BM_VirtualGridWithBoundaryExtension)->Arg(0)->Arg(5)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

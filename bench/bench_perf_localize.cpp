@@ -1,0 +1,147 @@
+// Performance: end-to-end localization latency — proximity maps +
+// elimination + weighting (the paper's Sec. 4.3 pipeline) — for VIRE in
+// each threshold mode, against the LANDMARC baseline, across grid
+// densities. This quantifies the cost of VIRE's accuracy gain.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/refinement.h"
+#include "core/vire_localizer.h"
+#include "env/deployment.h"
+#include "landmarc/landmarc.h"
+
+namespace {
+
+using namespace vire;
+
+sim::RssiVector field_at(geom::Vec2 p) {
+  static const geom::Vec2 readers[4] = {
+      {-0.7, -0.7}, {3.7, -0.7}, {3.7, 3.7}, {-0.7, 3.7}};
+  sim::RssiVector v;
+  for (const auto& r : readers) {
+    v.push_back(-40.0 - 20.0 * std::log10(std::max(0.1, p.distance_to(r))));
+  }
+  return v;
+}
+
+std::vector<sim::RssiVector> references() {
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  std::vector<sim::RssiVector> refs;
+  for (const auto& p : deployment.reference_positions()) refs.push_back(field_at(p));
+  return refs;
+}
+
+void BM_VireLocate(benchmark::State& state) {
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  core::VireConfig config = core::recommended_vire_config();
+  config.virtual_grid.subdivision = static_cast<int>(state.range(0));
+  config.elimination.mode = state.range(1) == 0 ? core::ThresholdMode::kFixed
+                                                : core::ThresholdMode::kAdaptive;
+  core::VireLocalizer localizer(deployment.reference_grid(), config);
+  localizer.set_reference_rssi(references());
+
+  const auto tracking = field_at({1.4, 1.8});
+  for (auto _ : state) {
+    auto result = localizer.locate(tracking);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["virtual_tags"] =
+      static_cast<double>(localizer.virtual_tag_count());
+  state.SetLabel(state.range(1) == 0 ? "fixed" : "adaptive");
+}
+BENCHMARK(BM_VireLocate)
+    ->Args({5, 0})
+    ->Args({10, 0})
+    ->Args({20, 0})
+    ->Args({5, 1})
+    ->Args({10, 1})
+    ->Args({20, 1});
+
+void BM_VireGridRefresh(benchmark::State& state) {
+  // Cost of reacting to changed reference readings (the paper's map update).
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  core::VireLocalizer localizer(deployment.reference_grid(),
+                                core::recommended_vire_config());
+  const auto refs = references();
+  for (auto _ : state) {
+    localizer.set_reference_rssi(refs);
+    benchmark::DoNotOptimize(localizer.virtual_tag_count());
+  }
+}
+BENCHMARK(BM_VireGridRefresh);
+
+void BM_CoarseToFineLocate(benchmark::State& state) {
+  // The Sec. 6 per-cell-granularity extension vs a uniform fine lattice at
+  // the same resolution, on a large 8x8 reference grid where the win shows.
+  const geom::RegularGrid big_grid({0, 0}, 1.0, 8, 8);
+  std::vector<sim::RssiVector> refs;
+  for (std::size_t i = 0; i < big_grid.node_count(); ++i) {
+    refs.push_back(field_at(big_grid.position(i)));
+  }
+  const auto tracking = field_at({2.5, 3.5});
+  if (state.range(0) == 0) {
+    core::CoarseToFineLocalizer localizer(big_grid);
+    localizer.set_reference_rssi(refs);
+    for (auto _ : state) {
+      auto result = localizer.locate(tracking);
+      benchmark::DoNotOptimize(result);
+    }
+    state.SetLabel("coarse-to-fine n=3->16");
+  } else {
+    core::VireConfig config = core::recommended_vire_config();
+    config.virtual_grid.subdivision = 16;
+    config.virtual_grid.boundary_extension_cells = 8;
+    core::VireLocalizer localizer(big_grid, config);
+    localizer.set_reference_rssi(refs);
+    for (auto _ : state) {
+      auto result = localizer.locate(tracking);
+      benchmark::DoNotOptimize(result);
+    }
+    state.SetLabel("uniform n=16");
+  }
+}
+BENCHMARK(BM_CoarseToFineLocate)->Arg(0)->Arg(1);
+
+void BM_LandmarcLocate(benchmark::State& state) {
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  landmarc::LandmarcLocalizer localizer;
+  std::vector<landmarc::Reference> refs;
+  const auto rssi = references();
+  for (std::size_t j = 0; j < rssi.size(); ++j) {
+    refs.push_back({deployment.reference_positions()[j], rssi[j]});
+  }
+  localizer.set_references(std::move(refs));
+  const auto tracking = field_at({1.4, 1.8});
+  for (auto _ : state) {
+    auto result = localizer.locate(tracking);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LandmarcLocate);
+
+void BM_LandmarcLocateLargeGrid(benchmark::State& state) {
+  // kNN over a big reference population (scaling comparison with VIRE).
+  const int side = static_cast<int>(state.range(0));
+  landmarc::LandmarcLocalizer localizer;
+  std::vector<landmarc::Reference> refs;
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      const geom::Vec2 p{static_cast<double>(x), static_cast<double>(y)};
+      refs.push_back({p, field_at(p)});
+    }
+  }
+  localizer.set_references(std::move(refs));
+  const auto tracking = field_at({1.4, 1.8});
+  for (auto _ : state) {
+    auto result = localizer.locate(tracking);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["references"] = static_cast<double>(side) * side;
+}
+BENCHMARK(BM_LandmarcLocateLargeGrid)->Arg(4)->Arg(8)->Arg(16)->Arg(31);
+
+}  // namespace
+
+BENCHMARK_MAIN();

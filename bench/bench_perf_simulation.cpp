@@ -1,0 +1,82 @@
+// Performance: the discrete-event simulation substrate — beacon throughput,
+// channel evaluation cost (ray tracing orders, aperture sampling), and the
+// Monte-Carlo trial driver's thread scaling.
+
+#include <benchmark/benchmark.h>
+
+#include "env/deployment.h"
+#include "env/environment.h"
+#include "rf/channel.h"
+#include "sim/simulator.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+using namespace vire;
+
+void BM_ChannelMeanRssi(benchmark::State& state) {
+  env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv3Office);
+  environment.channel_config.multipath.max_reflection_order =
+      static_cast<int>(state.range(0));
+  rf::RfChannel channel(environment.extent(), environment.surfaces(),
+                        environment.channel_config, 1);
+  channel.add_reader({-0.7, -0.7});
+  double x = 0.0;
+  for (auto _ : state) {
+    x = x >= 3.0 ? 0.0 : x + 0.013;
+    benchmark::DoNotOptimize(channel.mean_rssi_dbm(0, {x, 1.5}));
+  }
+  state.SetLabel("reflection order " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ChannelMeanRssi)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimulatorBeaconThroughput(benchmark::State& state) {
+  const int tags = static_cast<int>(state.range(0));
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv2Spacious);
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::RfidSimulator simulator(environment, deployment, {});
+    support::Rng rng(7);
+    for (int i = 0; i < tags; ++i) {
+      simulator.add_tag({rng.uniform(0.0, 3.0), rng.uniform(0.0, 3.0)});
+    }
+    state.ResumeTiming();
+    simulator.run_for(60.0);  // ~30 beacons x 4 readers per tag
+    benchmark::DoNotOptimize(simulator.now());
+  }
+  state.SetItemsProcessed(state.iterations() * tags * 30);
+  state.counters["tags"] = tags;
+}
+BENCHMARK(BM_SimulatorBeaconThroughput)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ParallelTrialScaling(benchmark::State& state) {
+  // Thread scaling of embarrassingly-parallel Monte-Carlo work (the shape
+  // every evaluation driver in eval/runner.cpp has).
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  support::ThreadPool pool(threads);
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv1SemiOpen);
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  for (auto _ : state) {
+    support::parallel_for(
+        0, 16,
+        [&](std::size_t trial) {
+          sim::SimulatorConfig config;
+          config.seed = 1000 + trial;
+          sim::RfidSimulator simulator(environment, deployment, config);
+          simulator.add_reference_tags();
+          simulator.run_for(20.0);
+          benchmark::DoNotOptimize(simulator.rssi_vector(0));
+        },
+        &pool);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ParallelTrialScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

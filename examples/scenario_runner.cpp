@@ -1,0 +1,115 @@
+// Scenario runner: executes a declarative .scn scenario file end to end —
+// build the room, deploy the grid and readers, simulate the survey, then
+// localize every declared tag with both VIRE and LANDMARC and report
+// errors against the scenario's ground truth.
+//
+//   ./build/examples/scenario_runner examples/scenarios/office_assets.scn
+
+#include <cstdio>
+#include <string>
+
+#include "core/vire_localizer.h"
+#include "env/deployment.h"
+#include "landmarc/landmarc.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+#include "support/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace vire;
+
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <scenario.scn>\n", argv[0]);
+    return 2;
+  }
+
+  sim::Scenario scenario = [&] {
+    try {
+      return sim::load_scenario_file(argv[1]);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "failed to load scenario: %s\n", error.what());
+      std::exit(2);
+    }
+  }();
+
+  const env::Deployment deployment(scenario.deployment);
+  std::printf("scenario   : %s\n", argv[1]);
+  std::printf("environment: %s\n", scenario.environment.name().c_str());
+  std::printf("deployment : %d reference tags (%dx%d @ %.2f m), %d readers (%s)\n",
+              deployment.reference_count(), scenario.deployment.cols,
+              scenario.deployment.rows, scenario.deployment.spacing_m,
+              deployment.reader_count(),
+              std::string(env::to_string(scenario.deployment.placement)).c_str());
+  std::printf("survey     : %.0f s, seed %llu, %zu tag(s), %zu walker(s)\n\n",
+              scenario.duration_s,
+              static_cast<unsigned long long>(scenario.seed), scenario.tags.size(),
+              scenario.walkers.size());
+
+  sim::SimulatorConfig sim_config;
+  sim_config.seed = scenario.seed;
+  sim_config.middleware = scenario.middleware;
+  sim::RfidSimulator simulator(scenario.environment, deployment, sim_config);
+  const auto reference_ids = simulator.add_reference_tags();
+
+  std::vector<sim::TagId> tag_ids;
+  for (const auto& tag : scenario.tags) {
+    if (tag.mobile()) {
+      tag_ids.push_back(simulator.add_mobile_tag(
+          sim::make_waypoint_trajectory(tag.waypoints, tag.speed_mps,
+                                        tag.start_time_s),
+          sim::TagConfig{}));
+    } else {
+      tag_ids.push_back(simulator.add_tag(tag.position));
+    }
+  }
+  for (const auto& walker : scenario.walkers) simulator.add_walker(walker);
+
+  simulator.run_for(scenario.duration_s);
+
+  std::vector<sim::RssiVector> reference_rssi;
+  for (const sim::TagId id : reference_ids) {
+    reference_rssi.push_back(simulator.rssi_vector(id));
+  }
+
+  core::VireConfig vire_config = core::recommended_vire_config();
+  // Scale the virtual pitch with the deployment's reference pitch.
+  if (scenario.deployment.spacing_m > 1.25) {
+    vire_config.virtual_grid.subdivision = 8;
+    vire_config.virtual_grid.boundary_extension_cells = 4;
+  }
+  core::VireLocalizer vire(deployment.reference_grid(), vire_config);
+  vire.set_reference_rssi(reference_rssi);
+
+  landmarc::LandmarcLocalizer lm;
+  {
+    std::vector<landmarc::Reference> refs;
+    for (std::size_t j = 0; j < deployment.reference_positions().size(); ++j) {
+      refs.push_back({deployment.reference_positions()[j], reference_rssi[j]});
+    }
+    lm.set_references(std::move(refs));
+  }
+
+  std::printf("  tag             truth (end of survey)  VIRE                err"
+              "      LANDMARC err\n");
+  support::RunningStats vire_errors, lm_errors;
+  for (std::size_t i = 0; i < scenario.tags.size(); ++i) {
+    const auto& tag = scenario.tags[i];
+    // For mobile tags score against the position at the window centroid.
+    const double score_time =
+        simulator.now() - 0.5 * sim_config.middleware.window_s;
+    const geom::Vec2 truth = tag.position_at(score_time);
+    const auto rssi = simulator.rssi_vector(tag_ids[i]);
+    const auto v = vire.locate(rssi);
+    const auto l = lm.locate(rssi);
+    const double ve = v ? geom::distance(v->position, truth) : -1.0;
+    const double le = l ? geom::distance(l->position, truth) : -1.0;
+    if (v) vire_errors.add(ve);
+    if (l) lm_errors.add(le);
+    std::printf("  %-15s %-22s %-18s %6.2f m   %6.2f m\n", tag.name.c_str(),
+                truth.to_string().c_str(),
+                v ? v->position.to_string().c_str() : "(none)", ve, le);
+  }
+  std::printf("\n  mean error: VIRE %.2f m, LANDMARC %.2f m\n", vire_errors.mean(),
+              lm_errors.mean());
+  return vire_errors.count() == scenario.tags.size() ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+#include "core/bayesian.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vire::core {
+
+BayesianGridLocalizer::BayesianGridLocalizer(const geom::RegularGrid& real_grid,
+                                             BayesianConfig config)
+    : real_grid_(real_grid), config_(config) {
+  if (config.sigma_db <= 0.0) {
+    throw std::invalid_argument("BayesianGridLocalizer: sigma must be > 0");
+  }
+}
+
+void BayesianGridLocalizer::set_reference_rssi(
+    const std::vector<sim::RssiVector>& reference_rssi) {
+  grid_.emplace(real_grid_, reference_rssi, config_.virtual_grid);
+}
+
+std::vector<double> BayesianGridLocalizer::posterior(
+    const sim::RssiVector& tracking) const {
+  if (!grid_) return {};
+  const std::size_t n = grid_->node_count();
+  std::vector<double> log_like(n, 0.0);
+  std::vector<bool> valid(n, false);
+
+  const double inv_two_sigma2 = 1.0 / (2.0 * config_.sigma_db * config_.sigma_db);
+  double max_log = -1e300;
+  for (std::size_t node = 0; node < n; ++node) {
+    double ll = 0.0;
+    int used = 0;
+    for (int k = 0; k < grid_->reader_count(); ++k) {
+      const double s_node = grid_->rssi(k, node);
+      const double s_track = tracking[static_cast<std::size_t>(k)];
+      if (std::isnan(s_node) || std::isnan(s_track)) continue;
+      const double d = s_node - s_track;
+      ll -= d * d * inv_two_sigma2;
+      ++used;
+    }
+    if (used == 0) continue;
+    valid[node] = true;
+    log_like[node] = ll;
+    max_log = std::max(max_log, ll);
+  }
+
+  std::vector<double> post(n, 0.0);
+  double sum = 0.0;
+  for (std::size_t node = 0; node < n; ++node) {
+    if (!valid[node]) continue;
+    // Shift by the max before exponentiating for numerical stability.
+    post[node] = std::exp(log_like[node] - max_log);
+    sum += post[node];
+  }
+  if (sum <= 0.0) return {};
+  for (auto& p : post) p /= sum;
+  return post;
+}
+
+std::optional<BayesianResult> BayesianGridLocalizer::locate(
+    const sim::RssiVector& tracking) const {
+  if (!grid_) return std::nullopt;
+  if (static_cast<int>(tracking.size()) != grid_->reader_count()) {
+    throw std::invalid_argument("BayesianGridLocalizer: tracking size mismatch");
+  }
+  const std::vector<double> post = posterior(tracking);
+  if (post.empty()) return std::nullopt;
+
+  BayesianResult result;
+  geom::Vec2 mean{0, 0};
+  std::size_t map_node = 0;
+  double entropy = 0.0;
+  for (std::size_t node = 0; node < post.size(); ++node) {
+    const double p = post[node];
+    if (p <= 0.0) continue;
+    mean += grid_->position(node) * p;
+    entropy -= p * std::log(p);
+    if (p > post[map_node]) map_node = node;
+  }
+  result.mean_position = mean;
+  result.map_position = grid_->position(map_node);
+  result.map_probability = post[map_node];
+  result.entropy = entropy;
+  return result;
+}
+
+}  // namespace vire::core

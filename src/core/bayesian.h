@@ -1,0 +1,68 @@
+#pragma once
+// Bayesian grid localization — the probabilistic analogue of VIRE.
+//
+// VIRE makes two hard decisions: a region is in or out of each reader's
+// proximity map (threshold), and surviving regions are averaged with
+// heuristic weights. The Bayesian reading of the same data keeps everything
+// soft: with a Gaussian measurement model of std sigma, the posterior over
+// virtual-grid positions given the tracking vector s is
+//
+//   P(node | s)  ∝  prod_k exp( -(S_k(node) - s_k)^2 / (2 sigma^2) )
+//
+// (uniform prior over the grid). The estimate is the posterior mean; the
+// MAP node and posterior entropy are exposed as diagnostics. Comparing this
+// to VIRE quantifies how much of VIRE's accuracy its hard elimination
+// leaves on the table — and what it buys in robustness when sigma is
+// misspecified (see bench_baseline_comparison).
+
+#include <optional>
+#include <vector>
+
+#include "core/virtual_grid.h"
+#include "geom/grid.h"
+#include "geom/vec2.h"
+#include "sim/types.h"
+
+namespace vire::core {
+
+struct BayesianConfig {
+  VirtualGridConfig virtual_grid;
+  /// Assumed per-reader measurement noise (dB). The effective model error
+  /// also includes interpolation mismatch, so deployments set this to the
+  /// combined scale (1.5-3 dB on the paper testbed).
+  double sigma_db = 2.0;
+};
+
+struct BayesianResult {
+  geom::Vec2 mean_position;  ///< posterior mean (the estimator)
+  geom::Vec2 map_position;   ///< highest-posterior node
+  double map_probability = 0.0;
+  /// Posterior entropy in nats; high entropy = diffuse posterior.
+  double entropy = 0.0;
+};
+
+class BayesianGridLocalizer {
+ public:
+  explicit BayesianGridLocalizer(const geom::RegularGrid& real_grid,
+                                 BayesianConfig config = {});
+
+  void set_reference_rssi(const std::vector<sim::RssiVector>& reference_rssi);
+  [[nodiscard]] bool ready() const noexcept { return grid_.has_value(); }
+
+  [[nodiscard]] std::optional<BayesianResult> locate(
+      const sim::RssiVector& tracking) const;
+
+  /// Full posterior over grid nodes (row-major; sums to 1 over valid
+  /// nodes). Exposed for tests and diagnostics heatmaps.
+  [[nodiscard]] std::vector<double> posterior(const sim::RssiVector& tracking) const;
+
+  [[nodiscard]] const BayesianConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const VirtualGrid& virtual_grid() const { return *grid_; }
+
+ private:
+  geom::RegularGrid real_grid_;
+  BayesianConfig config_;
+  std::optional<VirtualGrid> grid_;
+};
+
+}  // namespace vire::core

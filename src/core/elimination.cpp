@@ -1,0 +1,192 @@
+#include "core/elimination.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vire::core {
+
+EliminationEngine::EliminationEngine(EliminationConfig config) : config_(config) {
+  if (config.fixed_threshold_db < 0.0 || config.initial_threshold_db <= 0.0 ||
+      config.step_db <= 0.0 || config.min_threshold_db < 0.0 ||
+      config.min_area_cell_fraction < 0.0) {
+    throw std::invalid_argument("EliminationEngine: invalid parameters");
+  }
+}
+
+std::size_t EliminationEngine::min_survivors(const VirtualGrid& grid) const noexcept {
+  const int n = grid.config().subdivision;
+  const auto per_cell = static_cast<double>(n) * static_cast<double>(n);
+  const auto wanted =
+      static_cast<std::size_t>(per_cell * config_.min_area_cell_fraction);
+  return std::max<std::size_t>(1, wanted);
+}
+
+EliminationResult EliminationEngine::run(const VirtualGrid& grid,
+                                         const sim::RssiVector& tracking) const {
+  if (static_cast<int>(tracking.size()) != grid.reader_count()) {
+    throw std::invalid_argument("EliminationEngine: tracking vector size mismatch");
+  }
+  switch (config_.mode) {
+    case ThresholdMode::kFixed: return run_fixed(grid, tracking);
+    case ThresholdMode::kAdaptive: return run_adaptive(grid, tracking);
+    case ThresholdMode::kAdaptivePerReader:
+      return run_adaptive_per_reader(grid, tracking);
+  }
+  return run_fixed(grid, tracking);
+}
+
+namespace {
+
+/// Readers with a valid tracking RSSI (NaN readers cannot vote).
+std::vector<int> valid_readers(const sim::RssiVector& tracking) {
+  std::vector<int> out;
+  for (std::size_t k = 0; k < tracking.size(); ++k) {
+    if (!std::isnan(tracking[k])) out.push_back(static_cast<int>(k));
+  }
+  return out;
+}
+
+std::vector<ProximityMap> build_maps(const VirtualGrid& grid,
+                                     const sim::RssiVector& tracking,
+                                     const std::vector<int>& readers,
+                                     double threshold) {
+  std::vector<ProximityMap> maps;
+  maps.reserve(readers.size());
+  for (int k : readers) {
+    maps.emplace_back(grid, k, tracking[static_cast<std::size_t>(k)], threshold);
+  }
+  return maps;
+}
+
+/// Union of all maps — the degenerate-measurement fallback so the localizer
+/// can still produce an answer when the readers fully disagree.
+std::vector<bool> union_of_maps(const std::vector<ProximityMap>& maps,
+                                std::size_t node_count) {
+  std::vector<bool> out(node_count, false);
+  for (const auto& map : maps) {
+    const auto& mask = map.mask();
+    for (std::size_t i = 0; i < mask.size(); ++i) out[i] = out[i] || mask[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+EliminationResult EliminationEngine::run_fixed(const VirtualGrid& grid,
+                                               const sim::RssiVector& tracking) const {
+  EliminationResult result;
+  result.thresholds_db.assign(tracking.size(), config_.fixed_threshold_db);
+  const auto readers = valid_readers(tracking);
+  result.maps = build_maps(grid, tracking, readers, config_.fixed_threshold_db);
+  result.survivors = result.maps.empty() ? std::vector<bool>(grid.node_count(), false)
+                                         : intersect_maps(result.maps);
+  if (!result.maps.empty() && count_marked(result.survivors) == 0) {
+    // A too-small fixed threshold "sweeps away" the real position (paper
+    // Sec. 5.3); a deployed system must still answer, so fall back to the
+    // union of the per-reader maps. The resulting scatter is what drives
+    // the left-hand rise of the Fig. 8 U-curve.
+    result.survivors = union_of_maps(result.maps, grid.node_count());
+  }
+  return result;
+}
+
+EliminationResult EliminationEngine::run_adaptive(
+    const VirtualGrid& grid, const sim::RssiVector& tracking) const {
+  const std::vector<int> readers = valid_readers(tracking);
+  EliminationResult result;
+  result.thresholds_db.assign(tracking.size(), config_.initial_threshold_db);
+  if (readers.empty()) {
+    result.survivors.assign(grid.node_count(), false);
+    return result;
+  }
+  const std::size_t min_area = min_survivors(grid);
+
+  // Walk the common threshold downward; keep the smallest one whose
+  // intersection still covers the minimum area.
+  double best_threshold = config_.initial_threshold_db;
+  std::vector<ProximityMap> best_maps =
+      build_maps(grid, tracking, readers, best_threshold);
+  std::vector<bool> best_intersection = intersect_maps(best_maps);
+
+  for (double threshold = config_.initial_threshold_db - config_.step_db;
+       threshold >= config_.min_threshold_db - 1e-12;
+       threshold -= config_.step_db) {
+    auto maps = build_maps(grid, tracking, readers, threshold);
+    auto intersection = intersect_maps(maps);
+    if (count_marked(intersection) < min_area) break;
+    best_threshold = threshold;
+    best_maps = std::move(maps);
+    best_intersection = std::move(intersection);
+  }
+
+  for (int k : readers) {
+    result.thresholds_db[static_cast<std::size_t>(k)] = best_threshold;
+  }
+  result.maps = std::move(best_maps);
+  result.survivors = std::move(best_intersection);
+  if (count_marked(result.survivors) == 0) {
+    result.survivors = union_of_maps(result.maps, grid.node_count());
+  }
+  return result;
+}
+
+EliminationResult EliminationEngine::run_adaptive_per_reader(
+    const VirtualGrid& grid, const sim::RssiVector& tracking) const {
+  const std::vector<int> readers = valid_readers(tracking);
+  EliminationResult result;
+  result.thresholds_db.assign(tracking.size(), config_.initial_threshold_db);
+  if (readers.empty()) {
+    result.survivors.assign(grid.node_count(), false);
+    return result;
+  }
+  const std::size_t min_area = min_survivors(grid);
+
+  std::vector<ProximityMap> maps =
+      build_maps(grid, tracking, readers, config_.initial_threshold_db);
+  std::vector<double> thresholds(readers.size(), config_.initial_threshold_db);
+  std::vector<bool> frozen(readers.size(), false);
+  auto intersection = intersect_maps(maps);
+
+  // Greedy: shrink the largest-area unfrozen reader while the intersection
+  // keeps the minimum area, then freeze it and move to the next.
+  while (true) {
+    int best = -1;
+    std::size_t best_marked = 0;
+    for (std::size_t i = 0; i < maps.size(); ++i) {
+      if (frozen[i]) continue;
+      if (best < 0 || maps[i].marked_count() > best_marked) {
+        best = static_cast<int>(i);
+        best_marked = maps[i].marked_count();
+      }
+    }
+    if (best < 0) break;
+    const auto i = static_cast<std::size_t>(best);
+
+    while (thresholds[i] - config_.step_db >= config_.min_threshold_db - 1e-12) {
+      const double candidate = thresholds[i] - config_.step_db;
+      ProximityMap trial(grid, readers[i],
+                         tracking[static_cast<std::size_t>(readers[i])], candidate);
+      std::vector<ProximityMap> trial_maps = maps;
+      trial_maps[i] = trial;
+      auto trial_intersection = intersect_maps(trial_maps);
+      if (count_marked(trial_intersection) < min_area) break;
+      thresholds[i] = candidate;
+      maps[i] = std::move(trial);
+      intersection = std::move(trial_intersection);
+    }
+    frozen[i] = true;
+  }
+
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    result.thresholds_db[static_cast<std::size_t>(readers[i])] = thresholds[i];
+  }
+  result.maps = std::move(maps);
+  result.survivors = std::move(intersection);
+  if (count_marked(result.survivors) == 0) {
+    result.survivors = union_of_maps(result.maps, grid.node_count());
+  }
+  return result;
+}
+
+}  // namespace vire::core

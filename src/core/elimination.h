@@ -1,0 +1,82 @@
+#pragma once
+// Elimination of unlikely positions (paper Sec. 4.3).
+//
+// Fixed mode: every reader uses the same threshold; the per-reader proximity
+// maps are intersected. Used by the Fig. 8 threshold sweep.
+//
+// Adaptive mode (the paper's threshold-reduction algorithm; the paper notes
+// "at the last, the same threshold will be selected"): starting from a
+// generous initial threshold, the common threshold is reduced step by step
+// and stops just before the surviving intersection would drop below a
+// minimum area (by default half a physical cell's worth of virtual regions
+// — shrinking further makes the estimate latch onto single noisy regions).
+//
+// AdaptivePerReader mode: the literal greedy reading of the paper's
+// three-step procedure — repeatedly pick the reader with the largest marked
+// area and shrink its own threshold while the intersection keeps the
+// minimum area. Kept for the ablation bench.
+
+#include <vector>
+
+#include "core/proximity_map.h"
+#include "core/virtual_grid.h"
+#include "sim/types.h"
+
+namespace vire::core {
+
+enum class ThresholdMode { kFixed, kAdaptive, kAdaptivePerReader };
+
+struct EliminationConfig {
+  ThresholdMode mode = ThresholdMode::kAdaptive;
+  /// Threshold for kFixed mode (dB). Paper Fig. 8: best near 1-1.5 dB.
+  double fixed_threshold_db = 1.5;
+  /// Starting threshold for the adaptive modes (generous => large area).
+  double initial_threshold_db = 4.0;
+  /// Reduction step (dB).
+  double step_db = 0.25;
+  /// Lower bound on any threshold.
+  double min_threshold_db = 0.5;
+  /// Adaptive modes keep at least this fraction of one physical cell's
+  /// virtual regions alive (0.5 => n^2/2 regions for subdivision n).
+  double min_area_cell_fraction = 0.5;
+};
+
+struct EliminationResult {
+  /// Intersection of the per-reader maps: the "most probable regions".
+  std::vector<bool> survivors;
+  /// Final per-reader thresholds (all equal except per-reader mode).
+  std::vector<double> thresholds_db;
+  /// Final per-reader proximity maps (diagnostics, Fig. 5-style rendering).
+  std::vector<ProximityMap> maps;
+  [[nodiscard]] std::size_t survivor_count() const noexcept {
+    return count_marked(survivors);
+  }
+};
+
+class EliminationEngine {
+ public:
+  explicit EliminationEngine(EliminationConfig config = {});
+
+  /// Runs elimination for one tracking RSSI vector against the virtual grid.
+  /// Readers whose tracking RSSI is NaN are skipped (their map marks
+  /// nothing and does not participate in the intersection).
+  [[nodiscard]] EliminationResult run(const VirtualGrid& grid,
+                                      const sim::RssiVector& tracking) const;
+
+  [[nodiscard]] const EliminationConfig& config() const noexcept { return config_; }
+
+  /// Minimum surviving-region count for a grid (from min_area_cell_fraction).
+  [[nodiscard]] std::size_t min_survivors(const VirtualGrid& grid) const noexcept;
+
+ private:
+  [[nodiscard]] EliminationResult run_fixed(const VirtualGrid& grid,
+                                            const sim::RssiVector& tracking) const;
+  [[nodiscard]] EliminationResult run_adaptive(const VirtualGrid& grid,
+                                               const sim::RssiVector& tracking) const;
+  [[nodiscard]] EliminationResult run_adaptive_per_reader(
+      const VirtualGrid& grid, const sim::RssiVector& tracking) const;
+
+  EliminationConfig config_;
+};
+
+}  // namespace vire::core

@@ -1,0 +1,46 @@
+#pragma once
+// RSSI interpolation over the real reference-tag grid.
+//
+// VIRE's virtual reference tags get their RSSI "by the linear interpolation
+// algorithm" (paper Sec. 4.2): along horizontal grid lines, then vertical —
+// which composes to bilinear interpolation inside each physical cell. The
+// paper's Sec. 6 asks how much nonlinear interpolation would help and warns
+// that polynomial interpolation is expensive and misbehaves at the end
+// points; we provide both a Catmull-Rom spline (local, well behaved) and a
+// full Lagrange polynomial (global, exhibits exactly the Runge end-point
+// artefacts the paper anticipates) so that question can be answered by the
+// ablation bench.
+
+#include <span>
+#include <string_view>
+
+namespace vire::core {
+
+enum class InterpolationMethod {
+  kLinear,      ///< the paper's algorithm (bilinear per physical cell)
+  kCatmullRom,  ///< separable cubic Catmull-Rom spline (local nonlinear)
+  kPolynomial,  ///< separable full-degree Lagrange polynomial (global)
+};
+
+[[nodiscard]] std::string_view to_string(InterpolationMethod m) noexcept;
+
+/// Interpolates a scalar field sampled on a `cols x rows` lattice (row-major
+/// `values`, node (c,r) at values[r*cols+c]) at fractional grid coordinates
+/// (gx, gy), gx in [0, cols-1], gy in [0, rows-1] (clamped).
+///
+/// NaN handling: if any lattice node needed by the stencil is NaN the result
+/// falls back to bilinear over the cell corners; if a corner is NaN too, the
+/// result is NaN (the caller marks that virtual region unusable).
+[[nodiscard]] double interpolate_at(std::span<const double> values, int cols, int rows,
+                                    double gx, double gy, InterpolationMethod method);
+
+/// 1D Catmull-Rom on four consecutive samples p0..p3, parameter t in [0,1]
+/// between p1 and p2. Exposed for tests.
+[[nodiscard]] double catmull_rom(double p0, double p1, double p2, double p3,
+                                 double t) noexcept;
+
+/// 1D Lagrange interpolation of samples y[0..n-1] at positions 0..n-1,
+/// evaluated at x. Exposed for tests (Runge-phenomenon demonstrations).
+[[nodiscard]] double lagrange(std::span<const double> y, double x);
+
+}  // namespace vire::core

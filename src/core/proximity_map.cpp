@@ -1,0 +1,49 @@
+#include "core/proximity_map.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vire::core {
+
+ProximityMap::ProximityMap(const VirtualGrid& grid, int reader,
+                           double tracking_rssi_dbm, double threshold_db)
+    : reader_(reader),
+      threshold_db_(threshold_db),
+      tracking_rssi_(tracking_rssi_dbm),
+      mask_(grid.node_count(), false) {
+  if (threshold_db < 0.0) {
+    throw std::invalid_argument("ProximityMap: threshold must be >= 0");
+  }
+  const auto& values = grid.reader_values(reader);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    if (std::isnan(v) || std::isnan(tracking_rssi_dbm)) continue;
+    if (std::abs(v - tracking_rssi_dbm) <= threshold_db) {
+      mask_[i] = true;
+      ++marked_count_;
+    }
+  }
+}
+
+std::vector<bool> intersect_maps(const std::vector<ProximityMap>& maps) {
+  if (maps.empty()) return {};
+  std::vector<bool> out = maps.front().mask();
+  for (std::size_t m = 1; m < maps.size(); ++m) {
+    const auto& mask = maps[m].mask();
+    if (mask.size() != out.size()) {
+      throw std::invalid_argument("intersect_maps: mask size mismatch");
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = out[i] && mask[i];
+    }
+  }
+  return out;
+}
+
+std::size_t count_marked(const std::vector<bool>& mask) noexcept {
+  std::size_t count = 0;
+  for (bool b : mask) count += b ? 1 : 0;
+  return count;
+}
+
+}  // namespace vire::core

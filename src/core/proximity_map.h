@@ -1,0 +1,49 @@
+#pragma once
+// Per-reader proximity maps (paper Sec. 4.3).
+//
+// A proximity map divides the sensing area into regions centred on virtual
+// reference tags. For a tracking tag with RSSI s_k at reader k, the map
+// marks region i iff |S_k(T_i) - s_k| <= threshold. The K per-reader maps
+// are then intersected ("elimination") to keep only positions plausible to
+// every reader.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/virtual_grid.h"
+
+namespace vire::core {
+
+/// A binary mask over the virtual grid nodes for one reader.
+class ProximityMap {
+ public:
+  /// Builds the map for reader `k`: marks nodes whose interpolated RSSI is
+  /// within `threshold_db` of `tracking_rssi_dbm`. Invalid (NaN) nodes are
+  /// never marked.
+  ProximityMap(const VirtualGrid& grid, int reader, double tracking_rssi_dbm,
+               double threshold_db);
+
+  [[nodiscard]] int reader() const noexcept { return reader_; }
+  [[nodiscard]] double threshold_db() const noexcept { return threshold_db_; }
+  [[nodiscard]] double tracking_rssi_dbm() const noexcept { return tracking_rssi_; }
+
+  [[nodiscard]] const std::vector<bool>& mask() const noexcept { return mask_; }
+  [[nodiscard]] bool marked(std::size_t node) const { return mask_[node]; }
+  [[nodiscard]] std::size_t marked_count() const noexcept { return marked_count_; }
+  [[nodiscard]] std::size_t size() const noexcept { return mask_.size(); }
+
+ private:
+  int reader_;
+  double threshold_db_;
+  double tracking_rssi_;
+  std::vector<bool> mask_;
+  std::size_t marked_count_ = 0;
+};
+
+/// Intersection of per-reader masks; the "most probable regions".
+[[nodiscard]] std::vector<bool> intersect_maps(const std::vector<ProximityMap>& maps);
+
+/// Number of true cells in a mask.
+[[nodiscard]] std::size_t count_marked(const std::vector<bool>& mask) noexcept;
+
+}  // namespace vire::core

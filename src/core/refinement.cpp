@@ -1,0 +1,83 @@
+#include "core/refinement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vire::core {
+
+CoarseToFineLocalizer::CoarseToFineLocalizer(const geom::RegularGrid& real_grid,
+                                             RefinementConfig config)
+    : real_grid_(real_grid), config_(config), elimination_(config.elimination) {}
+
+void CoarseToFineLocalizer::set_reference_rssi(
+    const std::vector<sim::RssiVector>& reference_rssi) {
+  reference_rssi_ = reference_rssi;
+  VirtualGridConfig coarse_config;
+  coarse_config.subdivision = config_.coarse_subdivision;
+  coarse_config.method = config_.method;
+  // A single coarse ring keeps outside tags representable cheaply.
+  coarse_config.boundary_extension_cells =
+      std::max(1, config_.coarse_subdivision / 2);
+  coarse_grid_.emplace(real_grid_, reference_rssi_, coarse_config);
+}
+
+std::optional<RefinedResult> CoarseToFineLocalizer::locate(
+    const sim::RssiVector& tracking) const {
+  if (!coarse_grid_) return std::nullopt;
+
+  // Pass 1: coarse elimination over the whole area.
+  const EliminationResult coarse = elimination_.run(*coarse_grid_, tracking);
+  if (coarse.survivor_count() == 0) return std::nullopt;
+
+  // Bounding box of the surviving coarse regions, expanded by the margin.
+  geom::Vec2 lo{1e300, 1e300}, hi{-1e300, -1e300};
+  for (std::size_t node = 0; node < coarse.survivors.size(); ++node) {
+    if (!coarse.survivors[node]) continue;
+    const geom::Vec2 p = coarse_grid_->position(node);
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  lo -= {config_.margin_m, config_.margin_m};
+  hi += {config_.margin_m, config_.margin_m};
+
+  // Select the covering window of REAL grid cells (node coordinates).
+  const auto cell_lo = real_grid_.cell_of(lo);
+  const auto cell_hi = real_grid_.cell_of(hi);
+  RefinedResult result;
+  result.window_lo = cell_lo;
+  result.window_hi = {cell_hi.col + 1, cell_hi.row + 1};
+
+  // Build the sub-real-grid and its reference subset.
+  const int sub_cols = result.window_hi.col - result.window_lo.col + 1;
+  const int sub_rows = result.window_hi.row - result.window_lo.row + 1;
+  const geom::RegularGrid sub_grid(real_grid_.position(result.window_lo),
+                                   real_grid_.step(), sub_cols, sub_rows);
+  std::vector<sim::RssiVector> sub_rssi;
+  sub_rssi.reserve(static_cast<std::size_t>(sub_cols) * static_cast<std::size_t>(sub_rows));
+  for (int r = 0; r < sub_rows; ++r) {
+    for (int c = 0; c < sub_cols; ++c) {
+      const geom::GridIndex idx{result.window_lo.col + c, result.window_lo.row + r};
+      sub_rssi.push_back(reference_rssi_[real_grid_.to_linear(idx)]);
+    }
+  }
+
+  // Pass 2: fine VIRE over the window only.
+  VirtualGridConfig fine_config;
+  fine_config.subdivision = config_.fine_subdivision;
+  fine_config.method = config_.method;
+  fine_config.boundary_extension_cells = config_.boundary_extension_cells;
+  const VirtualGrid fine_grid(sub_grid, sub_rssi, fine_config);
+  const EliminationResult fine = elimination_.run(fine_grid, tracking);
+  const WeightedEstimate estimate =
+      compute_estimate(fine_grid, fine.survivors, tracking, config_.weighting);
+  if (estimate.nodes.empty()) return std::nullopt;
+
+  result.position = estimate.position;
+  result.coarse_nodes = coarse_grid_->node_count();
+  result.fine_nodes = fine_grid.node_count();
+  return result;
+}
+
+}  // namespace vire::core

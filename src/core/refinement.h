@@ -1,0 +1,70 @@
+#pragma once
+// Coarse-to-fine localization (paper Sec. 6 future work: "we can construct
+// a virtual grid for each real grid cell with different granularity to
+// potentially achieve a better accuracy").
+//
+// Instead of one uniform fine lattice over the whole sensing area, a cheap
+// coarse pass (small subdivision) first eliminates most of the area; a fine
+// lattice is then built ONLY over the real-grid cells covering the coarse
+// survivors. This is the practical reading of per-cell granularity: full
+// resolution exactly where the tag can plausibly be, coarse everywhere
+// else. Accuracy matches the uniform fine grid at a fraction of the
+// interpolation and map work (see bench_ablation_design / perf benches).
+
+#include <optional>
+
+#include "core/vire_localizer.h"
+
+namespace vire::core {
+
+struct RefinementConfig {
+  /// Coarse pass: small subdivision, generous elimination.
+  int coarse_subdivision = 3;
+  /// Fine pass subdivision, applied only to the surviving neighbourhood.
+  int fine_subdivision = 16;
+  /// Margin (m) added around the coarse survivors' bounding box before
+  /// selecting the real cells to refine.
+  double margin_m = 0.35;
+  InterpolationMethod method = InterpolationMethod::kLinear;
+  EliminationConfig elimination;  ///< used by both passes
+  WeightingMode weighting = WeightingMode::kCombined;
+  /// Boundary extension (in fine virtual cells) applied when the refined
+  /// window touches the real-grid border, mirroring VirtualGridConfig.
+  int boundary_extension_cells = 8;
+};
+
+struct RefinedResult {
+  geom::Vec2 position;
+  /// Diagnostics: how many virtual nodes each pass evaluated.
+  std::size_t coarse_nodes = 0;
+  std::size_t fine_nodes = 0;
+  /// The refined window in real-grid node coordinates (inclusive).
+  geom::GridIndex window_lo;
+  geom::GridIndex window_hi;
+};
+
+/// Two-pass VIRE. Stateless per query apart from the cached coarse grid.
+class CoarseToFineLocalizer {
+ public:
+  CoarseToFineLocalizer(const geom::RegularGrid& real_grid,
+                        RefinementConfig config = {});
+
+  /// Stores the reference readings and builds the coarse virtual grid.
+  void set_reference_rssi(const std::vector<sim::RssiVector>& reference_rssi);
+
+  [[nodiscard]] bool ready() const noexcept { return coarse_grid_.has_value(); }
+
+  /// Coarse eliminate -> select refinement window -> fine localize.
+  [[nodiscard]] std::optional<RefinedResult> locate(const sim::RssiVector& tracking) const;
+
+  [[nodiscard]] const RefinementConfig& config() const noexcept { return config_; }
+
+ private:
+  geom::RegularGrid real_grid_;
+  RefinementConfig config_;
+  EliminationEngine elimination_;
+  std::vector<sim::RssiVector> reference_rssi_;
+  std::optional<VirtualGrid> coarse_grid_;
+};
+
+}  // namespace vire::core

@@ -1,0 +1,99 @@
+#include "core/tracking_filter.h"
+
+#include <stdexcept>
+
+namespace vire::core {
+
+TrackingFilter::TrackingFilter(TrackingFilterConfig config) : config_(config) {
+  if (config.alpha <= 0.0 || config.alpha > 1.0) {
+    throw std::invalid_argument("TrackingFilter: alpha must be in (0, 1]");
+  }
+  if (config.beta <= 0.0 || config.beta >= 2.0 - config.alpha) {
+    throw std::invalid_argument("TrackingFilter: beta must be in (0, 2 - alpha)");
+  }
+}
+
+void TrackingFilter::reset() {
+  initialized_ = false;
+  position_ = {};
+  velocity_ = {};
+  last_time_ = 0.0;
+  last_measurement_ = {};
+  last_measurement_time_ = 0.0;
+  consecutive_outliers_ = 0;
+}
+
+void TrackingFilter::clamp_velocity() noexcept {
+  if (config_.max_speed_mps <= 0.0) return;
+  const double speed = velocity_.norm();
+  if (speed > config_.max_speed_mps) {
+    velocity_ *= config_.max_speed_mps / speed;
+  }
+}
+
+std::optional<geom::Vec2> TrackingFilter::predict(sim::SimTime t) const {
+  if (!initialized_) return std::nullopt;
+  const double dt = t - last_time_;
+  return position_ + velocity_ * std::max(0.0, dt);
+}
+
+geom::Vec2 TrackingFilter::update(sim::SimTime t, geom::Vec2 measured) {
+  if (!initialized_) {
+    initialized_ = true;
+    position_ = measured;
+    velocity_ = {};
+    last_time_ = t;
+    last_measurement_ = measured;
+    last_measurement_time_ = t;
+    return position_;
+  }
+  const double dt = t - last_time_;
+  if (dt < 0.0) {
+    throw std::invalid_argument("TrackingFilter: time went backwards");
+  }
+  if (dt == 0.0) {
+    // Same-instant refinement: average into the current state.
+    position_ = (position_ + measured) * 0.5;
+    return position_;
+  }
+
+  const geom::Vec2 predicted = position_ + velocity_ * dt;
+  const geom::Vec2 residual = measured - predicted;
+
+  double alpha = config_.alpha;
+  double beta = config_.beta;
+  if (config_.outlier_gate_m > 0.0 && residual.norm() > config_.outlier_gate_m) {
+    ++consecutive_outliers_;
+    if (config_.outlier_relock_count > 0 &&
+        consecutive_outliers_ >= config_.outlier_relock_count) {
+      // The track has diverged (or the target manoeuvred): re-lock on the
+      // measurement, seeding velocity from the measurement-to-measurement
+      // displacement (speed-capped) so a genuinely fast target does not
+      // immediately re-trip the gate.
+      const double dt_meas = t - last_measurement_time_;
+      velocity_ = dt_meas > 0.0 ? (measured - last_measurement_) / dt_meas
+                                : geom::Vec2{};
+      clamp_velocity();
+      position_ = measured;
+      last_time_ = t;
+      last_measurement_ = measured;
+      last_measurement_time_ = t;
+      consecutive_outliers_ = 0;
+      return position_;
+    }
+    alpha *= config_.outlier_gain_scale;
+    beta *= config_.outlier_gain_scale;
+  } else {
+    consecutive_outliers_ = 0;
+  }
+
+  position_ = predicted + residual * alpha;
+  velocity_ += residual * (beta / dt);
+  clamp_velocity();
+  last_time_ = t;
+  last_measurement_ = measured;
+  last_measurement_time_ = t;
+  return position_;
+}
+
+}  // namespace vire::core

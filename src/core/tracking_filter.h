@@ -1,0 +1,74 @@
+#pragma once
+// Trajectory smoothing for mobile tags (paper Sec. 6 future work: "more
+// complex dynamic factors such as mobility").
+//
+// Raw per-snapshot VIRE estimates of a moving tag are independent and
+// noisy; an alpha-beta filter (steady-state constant-velocity Kalman
+// filter) fuses them into a smoothed track with a velocity estimate. The
+// gains are parameterised by a single tracking index so deployments tune
+// one knob (responsiveness vs smoothness).
+
+#include <optional>
+
+#include "geom/vec2.h"
+#include "sim/types.h"
+
+namespace vire::core {
+
+struct TrackingFilterConfig {
+  /// Position gain in (0, 1]: 1 trusts measurements fully (no smoothing).
+  double alpha = 0.5;
+  /// Velocity gain in (0, 2); must satisfy 0 < beta < 2 - alpha for
+  /// stability of the constant-velocity filter.
+  double beta = 0.2;
+  /// Estimates farther than this from the prediction are treated as
+  /// outliers: blended with reduced gain instead of trusted (m). <= 0
+  /// disables gating.
+  double outlier_gate_m = 1.5;
+  /// Gain multiplier applied to gated outliers.
+  double outlier_gain_scale = 0.25;
+  /// After this many consecutive gated updates the track is considered
+  /// lost and re-locks onto the current measurement (a string of
+  /// "outliers" is really a manoeuvre or a diverged track). 0 disables.
+  int outlier_relock_count = 3;
+  /// Hard cap on the velocity estimate's magnitude (m/s); indoor assets do
+  /// not exceed a few m/s, and the cap prevents noise-driven runaway
+  /// extrapolation. <= 0 disables.
+  double max_speed_mps = 3.0;
+};
+
+/// Alpha-beta tracker over 2D position measurements at irregular intervals.
+class TrackingFilter {
+ public:
+  explicit TrackingFilter(TrackingFilterConfig config = {});
+
+  /// Feeds one position estimate taken at absolute time `t` (seconds).
+  /// Returns the smoothed position. The first update initialises the track.
+  geom::Vec2 update(sim::SimTime t, geom::Vec2 measured);
+
+  /// Predicted position at time `t` (>= the last update time); nullopt
+  /// before the first update.
+  [[nodiscard]] std::optional<geom::Vec2> predict(sim::SimTime t) const;
+
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+  [[nodiscard]] geom::Vec2 position() const noexcept { return position_; }
+  [[nodiscard]] geom::Vec2 velocity() const noexcept { return velocity_; }
+  [[nodiscard]] sim::SimTime last_update() const noexcept { return last_time_; }
+  [[nodiscard]] const TrackingFilterConfig& config() const noexcept { return config_; }
+
+  void reset();
+
+ private:
+  void clamp_velocity() noexcept;
+
+  TrackingFilterConfig config_;
+  bool initialized_ = false;
+  geom::Vec2 position_;
+  geom::Vec2 velocity_;
+  sim::SimTime last_time_ = 0.0;
+  geom::Vec2 last_measurement_;
+  sim::SimTime last_measurement_time_ = 0.0;
+  int consecutive_outliers_ = 0;
+};
+
+}  // namespace vire::core

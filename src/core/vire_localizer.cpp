@@ -1,0 +1,35 @@
+#include "core/vire_localizer.h"
+
+namespace vire::core {
+
+VireConfig recommended_vire_config() {
+  VireConfig config;
+  config.virtual_grid.subdivision = 10;
+  config.virtual_grid.method = InterpolationMethod::kLinear;
+  config.virtual_grid.boundary_extension_cells = 5;
+  config.elimination.mode = ThresholdMode::kAdaptive;
+  config.elimination.min_area_cell_fraction = 0.6;
+  config.weighting = WeightingMode::kCombined;
+  return config;
+}
+
+VireLocalizer::VireLocalizer(const geom::RegularGrid& real_grid, VireConfig config)
+    : real_grid_(real_grid), config_(config), elimination_(config.elimination) {}
+
+void VireLocalizer::set_reference_rssi(
+    const std::vector<sim::RssiVector>& reference_rssi) {
+  virtual_grid_.emplace(real_grid_, reference_rssi, config_.virtual_grid);
+}
+
+std::optional<VireResult> VireLocalizer::locate(const sim::RssiVector& tracking) const {
+  if (!virtual_grid_) return std::nullopt;
+  VireResult result;
+  result.elimination = elimination_.run(*virtual_grid_, tracking);
+  result.estimate = compute_estimate(*virtual_grid_, result.elimination.survivors,
+                                     tracking, config_.weighting, config_.w1_exponent);
+  if (result.estimate.nodes.empty()) return std::nullopt;
+  result.position = result.estimate.position;
+  return result;
+}
+
+}  // namespace vire::core

@@ -1,0 +1,114 @@
+#include "core/virtual_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vire::core {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Bilinear with *unclamped* fractional offsets relative to the nearest
+/// valid cell — linear extrapolation for the boundary-extension ring.
+double extrapolate_bilinear(const std::vector<double>& values, int cols, int rows,
+                            double gx, double gy) {
+  const int c0 = std::clamp(static_cast<int>(std::floor(gx)), 0, cols - 2);
+  const int r0 = std::clamp(static_cast<int>(std::floor(gy)), 0, rows - 2);
+  const double fx = gx - c0;  // may lie outside [0,1]
+  const double fy = gy - r0;
+  auto node = [&](int c, int r) {
+    return values[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+                  static_cast<std::size_t>(c)];
+  };
+  const double v00 = node(c0, r0);
+  const double v10 = node(c0 + 1, r0);
+  const double v01 = node(c0, r0 + 1);
+  const double v11 = node(c0 + 1, r0 + 1);
+  if (std::isnan(v00) || std::isnan(v10) || std::isnan(v01) || std::isnan(v11)) {
+    return kNan;
+  }
+  const double bottom = v00 + (v10 - v00) * fx;
+  const double top = v01 + (v11 - v01) * fx;
+  return bottom + (top - bottom) * fy;
+}
+
+geom::RegularGrid make_virtual_lattice(const geom::RegularGrid& real_grid,
+                                       const VirtualGridConfig& config) {
+  if (config.subdivision < 1) {
+    throw std::invalid_argument("VirtualGrid: subdivision must be >= 1");
+  }
+  if (config.boundary_extension_cells < 0) {
+    throw std::invalid_argument("VirtualGrid: boundary extension must be >= 0");
+  }
+  const int n = config.subdivision;
+  const int e = config.boundary_extension_cells;
+  const double step = real_grid.step() / n;
+  const geom::Vec2 origin{real_grid.origin().x - e * step,
+                          real_grid.origin().y - e * step};
+  const int cols = (real_grid.cols() - 1) * n + 1 + 2 * e;
+  const int rows = (real_grid.rows() - 1) * n + 1 + 2 * e;
+  return {origin, step, cols, rows};
+}
+
+}  // namespace
+
+VirtualGrid::VirtualGrid(const geom::RegularGrid& real_grid,
+                         const std::vector<sim::RssiVector>& reference_rssi,
+                         VirtualGridConfig config)
+    : config_(config), virtual_grid_(make_virtual_lattice(real_grid, config)) {
+  if (reference_rssi.size() != real_grid.node_count()) {
+    throw std::invalid_argument(
+        "VirtualGrid: reference RSSI count must match the real grid");
+  }
+  if (reference_rssi.empty()) {
+    throw std::invalid_argument("VirtualGrid: empty reference set");
+  }
+  reader_count_ = static_cast<int>(reference_rssi.front().size());
+  for (const auto& v : reference_rssi) {
+    if (static_cast<int>(v.size()) != reader_count_) {
+      throw std::invalid_argument("VirtualGrid: inconsistent reader counts");
+    }
+  }
+
+  const int real_cols = real_grid.cols();
+  const int real_rows = real_grid.rows();
+  const int n = config_.subdivision;
+  const int e = config_.boundary_extension_cells;
+
+  values_.assign(static_cast<std::size_t>(reader_count_),
+                 std::vector<double>(virtual_grid_.node_count(), kNan));
+
+  // Per-reader scalar field over the real lattice.
+  std::vector<double> real_values(real_grid.node_count());
+  for (int k = 0; k < reader_count_; ++k) {
+    for (std::size_t j = 0; j < reference_rssi.size(); ++j) {
+      real_values[j] = reference_rssi[j][static_cast<std::size_t>(k)];
+    }
+    auto& out = values_[static_cast<std::size_t>(k)];
+    for (int vr = 0; vr < virtual_grid_.rows(); ++vr) {
+      for (int vc = 0; vc < virtual_grid_.cols(); ++vc) {
+        const double gx = static_cast<double>(vc - e) / n;
+        const double gy = static_cast<double>(vr - e) / n;
+        const std::size_t node = virtual_grid_.to_linear({vc, vr});
+        const bool inside = gx >= 0.0 && gx <= real_cols - 1 && gy >= 0.0 &&
+                            gy <= real_rows - 1;
+        out[node] = inside ? interpolate_at(real_values, real_cols, real_rows, gx,
+                                            gy, config_.method)
+                           : extrapolate_bilinear(real_values, real_cols, real_rows,
+                                                  gx, gy);
+      }
+    }
+  }
+}
+
+bool VirtualGrid::node_valid(std::size_t node) const {
+  for (int k = 0; k < reader_count_; ++k) {
+    if (std::isnan(values_[static_cast<std::size_t>(k)][node])) return false;
+  }
+  return true;
+}
+
+}  // namespace vire::core

@@ -1,0 +1,126 @@
+#include "core/weights.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vire::core {
+
+std::string_view to_string(WeightingMode m) noexcept {
+  switch (m) {
+    case WeightingMode::kCombined: return "w1*w2";
+    case WeightingMode::kW1Only: return "w1-only";
+    case WeightingMode::kW2Only: return "w2-only";
+    case WeightingMode::kUniform: return "uniform";
+  }
+  return "unknown";
+}
+
+std::vector<int> label_components(const std::vector<bool>& mask, int cols, int rows,
+                                  std::vector<std::size_t>& component_sizes) {
+  if (mask.size() != static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows)) {
+    throw std::invalid_argument("label_components: mask/lattice size mismatch");
+  }
+  component_sizes.clear();
+  std::vector<int> labels(mask.size(), -1);
+  std::vector<std::size_t> stack;
+
+  for (std::size_t seed = 0; seed < mask.size(); ++seed) {
+    if (!mask[seed] || labels[seed] >= 0) continue;
+    const int label = static_cast<int>(component_sizes.size());
+    std::size_t size = 0;
+    stack.push_back(seed);
+    labels[seed] = label;
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      ++size;
+      const int c = static_cast<int>(cur % static_cast<std::size_t>(cols));
+      const int r = static_cast<int>(cur / static_cast<std::size_t>(cols));
+      const int nc[4] = {c - 1, c + 1, c, c};
+      const int nr[4] = {r, r, r - 1, r + 1};
+      for (int d = 0; d < 4; ++d) {
+        if (nc[d] < 0 || nc[d] >= cols || nr[d] < 0 || nr[d] >= rows) continue;
+        const std::size_t idx = static_cast<std::size_t>(nr[d]) *
+                                    static_cast<std::size_t>(cols) +
+                                static_cast<std::size_t>(nc[d]);
+        if (mask[idx] && labels[idx] < 0) {
+          labels[idx] = label;
+          stack.push_back(idx);
+        }
+      }
+    }
+    component_sizes.push_back(size);
+  }
+  return labels;
+}
+
+WeightedEstimate compute_estimate(const VirtualGrid& grid,
+                                  const std::vector<bool>& survivors,
+                                  const sim::RssiVector& tracking,
+                                  WeightingMode mode, double w1_exponent) {
+  WeightedEstimate est;
+  if (survivors.size() != grid.node_count()) {
+    throw std::invalid_argument("compute_estimate: survivor mask size mismatch");
+  }
+
+  std::vector<std::size_t> component_sizes;
+  const std::vector<int> labels = label_components(
+      survivors, grid.grid().cols(), grid.grid().rows(), component_sizes);
+
+  constexpr double kEps = 1e-6;
+  const int reader_count = grid.reader_count();
+
+  for (std::size_t node = 0; node < survivors.size(); ++node) {
+    if (!survivors[node]) continue;
+
+    // w1: inverse normalised RSSI discrepancy across readers.
+    double discrepancy = 0.0;
+    int used = 0;
+    for (int k = 0; k < reader_count; ++k) {
+      const double s_node = grid.rssi(k, node);
+      const double s_track = tracking[static_cast<std::size_t>(k)];
+      if (std::isnan(s_node) || std::isnan(s_track)) continue;
+      const double denom = std::max(std::abs(s_node), kEps);
+      discrepancy += std::abs(s_node - s_track) / denom;
+      ++used;
+    }
+    if (used == 0) continue;  // node incomparable with this tracking vector
+    discrepancy /= used;
+    const double w1 = std::pow(1.0 / (discrepancy + kEps), w1_exponent);
+
+    // w2: density weight n_ci^2 (normalisation constants cancel below).
+    const auto size = static_cast<double>(component_sizes[
+        static_cast<std::size_t>(labels[node])]);
+    const double w2 = size * size;
+
+    est.nodes.push_back(node);
+    est.w1.push_back(w1);
+    est.w2.push_back(w2);
+  }
+
+  if (est.nodes.empty()) return est;
+
+  est.weights.resize(est.nodes.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < est.nodes.size(); ++i) {
+    double w = 1.0;
+    switch (mode) {
+      case WeightingMode::kCombined: w = est.w1[i] * est.w2[i]; break;
+      case WeightingMode::kW1Only: w = est.w1[i]; break;
+      case WeightingMode::kW2Only: w = est.w2[i]; break;
+      case WeightingMode::kUniform: w = 1.0; break;
+    }
+    est.weights[i] = w;
+    sum += w;
+  }
+  geom::Vec2 position{0.0, 0.0};
+  for (std::size_t i = 0; i < est.nodes.size(); ++i) {
+    est.weights[i] /= sum;
+    position += grid.position(est.nodes[i]) * est.weights[i];
+  }
+  est.position = position;
+  return est;
+}
+
+}  // namespace vire::core

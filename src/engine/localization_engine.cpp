@@ -1,0 +1,92 @@
+#include "engine/localization_engine.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vire::engine {
+
+LocalizationEngine::LocalizationEngine(const env::Deployment& deployment,
+                                       EngineConfig config)
+    : deployment_(deployment),
+      config_(config),
+      localizer_(deployment.reference_grid(), config.vire) {}
+
+void LocalizationEngine::set_reference_ids(std::vector<sim::TagId> ids) {
+  if (static_cast<int>(ids.size()) != deployment_.reference_count()) {
+    throw std::invalid_argument(
+        "LocalizationEngine: reference id count must match the deployment");
+  }
+  reference_ids_ = std::move(ids);
+  last_refresh_.reset();  // force a rebuild on the next update
+}
+
+void LocalizationEngine::track(sim::TagId id, std::string name) {
+  tracked_[id] = name.empty() ? "tag-" + std::to_string(id) : std::move(name);
+}
+
+void LocalizationEngine::untrack(sim::TagId id) {
+  tracked_.erase(id);
+  trackers_.erase(id);
+}
+
+const core::TrackingFilter* LocalizationEngine::tracker(sim::TagId id) const {
+  const auto it = trackers_.find(id);
+  return it == trackers_.end() ? nullptr : &it->second;
+}
+
+void LocalizationEngine::refresh_references(const sim::Middleware& middleware,
+                                            sim::SimTime now) {
+  const bool due = !last_refresh_.has_value() ||
+                   now - *last_refresh_ >= config_.min_refresh_interval_s;
+  if (!due) return;
+  std::vector<sim::RssiVector> reference_rssi;
+  reference_rssi.reserve(reference_ids_.size());
+  for (const sim::TagId id : reference_ids_) {
+    reference_rssi.push_back(middleware.rssi_vector(id));
+  }
+  localizer_.set_reference_rssi(reference_rssi);
+  last_refresh_ = now;
+  ++grid_rebuilds_;
+}
+
+std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
+                                            sim::SimTime now) {
+  if (reference_ids_.empty()) {
+    throw std::logic_error("LocalizationEngine: set_reference_ids() first");
+  }
+  refresh_references(middleware, now);
+
+  std::vector<Fix> fixes;
+  fixes.reserve(tracked_.size());
+  for (const auto& [id, name] : tracked_) {
+    Fix fix;
+    fix.tag = id;
+    fix.name = name;
+    fix.time = now;
+
+    const sim::RssiVector rssi = middleware.rssi_vector(id);
+    int valid_readers = 0;
+    for (double v : rssi) {
+      if (!std::isnan(v)) ++valid_readers;
+    }
+    if (valid_readers >= config_.min_valid_readers) {
+      if (const auto result = localizer_.locate(rssi)) {
+        fix.valid = true;
+        fix.position = result->position;
+        fix.survivor_count = result->survivor_count();
+        if (config_.enable_tracking) {
+          auto [it, inserted] =
+              trackers_.try_emplace(id, core::TrackingFilter(config_.tracking));
+          (void)inserted;
+          fix.smoothed_position = it->second.update(now, result->position);
+        } else {
+          fix.smoothed_position = result->position;
+        }
+      }
+    }
+    fixes.push_back(std::move(fix));
+  }
+  return fixes;
+}
+
+}  // namespace vire::engine

@@ -1,0 +1,107 @@
+#include "env/deployment.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vire::env {
+
+Deployment::Deployment(const DeploymentConfig& config)
+    : config_(config),
+      grid_(config.origin, config.spacing_m, config.cols, config.rows) {
+  if (config.cols < 2 || config.rows < 2) {
+    throw std::invalid_argument("Deployment: grid must be at least 2x2");
+  }
+  if (config.readers != 4 && config.readers != 8) {
+    throw std::invalid_argument("Deployment: readers must be 4 or 8");
+  }
+
+  reference_positions_.reserve(grid_.node_count());
+  for (std::size_t i = 0; i < grid_.node_count(); ++i) {
+    reference_positions_.push_back(grid_.position(i));
+  }
+
+  const geom::Vec2 lo = grid_.min_corner();
+  const geom::Vec2 hi = grid_.max_corner();
+  const double diag = config.reader_offset_m / std::sqrt(2.0);
+  const double off = config.reader_offset_m;
+  const double mid_x = (lo.x + hi.x) * 0.5;
+  const double mid_y = (lo.y + hi.y) * 0.5;
+
+  // Corner readers, reader_offset_m from the nearest corner tag along the
+  // outward diagonal (the paper's layout).
+  const std::vector<geom::Vec2> corners = {
+      {lo.x - diag, lo.y - diag},
+      {hi.x + diag, lo.y - diag},
+      {hi.x + diag, hi.y + diag},
+      {lo.x - diag, hi.y + diag},
+  };
+  // Edge-midpoint readers, reader_offset_m straight out from each edge.
+  const std::vector<geom::Vec2> midpoints = {
+      {mid_x, lo.y - off},
+      {hi.x + off, mid_y},
+      {mid_x, hi.y + off},
+      {lo.x - off, mid_y},
+  };
+
+  ReaderPlacement placement = config.placement;
+  if (config.readers == 8) placement = ReaderPlacement::kCornersAndMidpoints;
+  switch (placement) {
+    case ReaderPlacement::kCorners:
+      reader_positions_ = corners;
+      break;
+    case ReaderPlacement::kEdgeMidpoints:
+      reader_positions_ = midpoints;
+      break;
+    case ReaderPlacement::kCornersAndMidpoints:
+      reader_positions_ = corners;
+      reader_positions_.insert(reader_positions_.end(), midpoints.begin(),
+                               midpoints.end());
+      break;
+    case ReaderPlacement::kOneSided: {
+      // Four readers spread along the south edge — nearly collinear
+      // anchors, included as the cautionary layout.
+      const double width = hi.x - lo.x;
+      for (int i = 0; i < 4; ++i) {
+        reader_positions_.push_back(
+            {lo.x + width * static_cast<double>(i) / 3.0, lo.y - off});
+      }
+      break;
+    }
+  }
+}
+
+std::string_view to_string(ReaderPlacement p) noexcept {
+  switch (p) {
+    case ReaderPlacement::kCorners: return "corners";
+    case ReaderPlacement::kEdgeMidpoints: return "edge midpoints";
+    case ReaderPlacement::kCornersAndMidpoints: return "corners + midpoints";
+    case ReaderPlacement::kOneSided: return "one-sided";
+  }
+  return "unknown";
+}
+
+Deployment Deployment::paper_testbed() { return Deployment(DeploymentConfig{}); }
+
+geom::Aabb Deployment::sensing_area() const noexcept {
+  return {grid_.min_corner(), grid_.max_corner()};
+}
+
+geom::Aabb Deployment::full_extent() const noexcept {
+  geom::Aabb box = sensing_area();
+  for (const auto& r : reader_positions_) {
+    box.lo.x = std::min(box.lo.x, r.x);
+    box.lo.y = std::min(box.lo.y, r.y);
+    box.hi.x = std::max(box.hi.x, r.x);
+    box.hi.y = std::max(box.hi.y, r.y);
+  }
+  return box;
+}
+
+bool Deployment::is_interior(geom::Vec2 p, double margin) const noexcept {
+  const geom::Vec2 lo = grid_.min_corner();
+  const geom::Vec2 hi = grid_.max_corner();
+  return p.x >= lo.x + margin && p.x <= hi.x - margin && p.y >= lo.y + margin &&
+         p.y <= hi.y - margin;
+}
+
+}  // namespace vire::env

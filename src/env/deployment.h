@@ -1,0 +1,86 @@
+#pragma once
+// Physical deployment of the RFID infrastructure: the regular grid of real
+// reference tags and the reader placements. The paper's testbed (Sec. 5):
+// 16 reference tags in a 4x4 grid with 1 m pitch, 4 readers in the corners
+// of the sensing area, each 1 m from its nearest edge tag.
+
+#include <string_view>
+#include <vector>
+
+#include "geom/grid.h"
+#include "geom/polygon.h"
+#include "geom/vec2.h"
+
+namespace vire::env {
+
+/// Where the readers sit relative to the reference grid — the paper's
+/// future-work question about "the placement of these readers to the
+/// performance of VIRE" (studied by bench_study_placement).
+enum class ReaderPlacement {
+  kCorners,             ///< 4 corner readers (the paper's testbed)
+  kEdgeMidpoints,       ///< 4 readers at the edge midpoints
+  kCornersAndMidpoints, ///< 8 readers (corners + midpoints)
+  kOneSided,            ///< 4 readers along one edge (a bad layout, on
+                        ///< purpose: collinear anchors)
+};
+
+[[nodiscard]] std::string_view to_string(ReaderPlacement p) noexcept;
+
+struct DeploymentConfig {
+  geom::Vec2 origin{0.0, 0.0};  ///< position of reference tag (0,0)
+  double spacing_m = 1.0;       ///< pitch between adjacent reference tags
+  int cols = 4;                 ///< reference tags per row
+  int rows = 4;                 ///< reference tags per column
+  /// Readers sit this far beyond the nearest edge tag.
+  double reader_offset_m = 1.0;
+  /// Number of readers: 4 or 8. Kept for convenience: 4 selects
+  /// `placement`, 8 forces kCornersAndMidpoints.
+  int readers = 4;
+  /// Placement of the (4) readers; ignored when readers == 8.
+  ReaderPlacement placement = ReaderPlacement::kCorners;
+};
+
+/// Immutable deployment: tag grid + reader positions.
+class Deployment {
+ public:
+  explicit Deployment(const DeploymentConfig& config);
+
+  /// The paper's 4x4 / 1 m / 4-reader testbed anchored at the origin.
+  [[nodiscard]] static Deployment paper_testbed();
+
+  [[nodiscard]] const DeploymentConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const geom::RegularGrid& reference_grid() const noexcept {
+    return grid_;
+  }
+
+  /// Reference-tag positions, row-major from the grid origin.
+  [[nodiscard]] const std::vector<geom::Vec2>& reference_positions() const noexcept {
+    return reference_positions_;
+  }
+  [[nodiscard]] const std::vector<geom::Vec2>& reader_positions() const noexcept {
+    return reader_positions_;
+  }
+  [[nodiscard]] int reference_count() const noexcept {
+    return static_cast<int>(reference_positions_.size());
+  }
+  [[nodiscard]] int reader_count() const noexcept {
+    return static_cast<int>(reader_positions_.size());
+  }
+
+  /// The sensing area: bounding box of the reference grid.
+  [[nodiscard]] geom::Aabb sensing_area() const noexcept;
+  /// Sensing area plus readers (for channel field sizing).
+  [[nodiscard]] geom::Aabb full_extent() const noexcept;
+
+  /// True if p lies strictly inside the reference-tag perimeter by at least
+  /// `margin` metres — the paper's "non-boundary" classification.
+  [[nodiscard]] bool is_interior(geom::Vec2 p, double margin = 0.25) const noexcept;
+
+ private:
+  DeploymentConfig config_;
+  geom::RegularGrid grid_;
+  std::vector<geom::Vec2> reference_positions_;
+  std::vector<geom::Vec2> reader_positions_;
+};
+
+}  // namespace vire::env

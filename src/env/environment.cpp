@@ -1,0 +1,124 @@
+#include "env/environment.h"
+
+#include <stdexcept>
+
+namespace vire::env {
+
+Environment::Environment(std::string name, geom::Aabb extent)
+    : name_(std::move(name)), extent_(extent) {}
+
+void Environment::add_room_outline(const geom::Aabb& room, Material material,
+                                   const std::string& label_prefix) {
+  static constexpr const char* kSides[4] = {"south", "east", "north", "west"};
+  const auto edges = room.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    add_wall({edges[i], material, label_prefix + "-" + kSides[i]});
+  }
+}
+
+std::vector<rf::Surface> Environment::surfaces() const {
+  std::vector<rf::Surface> out;
+  out.reserve(walls_.size() + obstacles_.size() * 4);
+  for (const auto& wall : walls_) {
+    const auto props = properties(wall.material);
+    out.push_back({wall.segment, props.reflection_coeff, props.transmission_loss_db});
+  }
+  for (const auto& obstacle : obstacles_) {
+    const auto props = properties(obstacle.material);
+    for (const auto& edge : obstacle.footprint.edges()) {
+      out.push_back({edge, props.reflection_coeff, props.transmission_loss_db});
+    }
+  }
+  return out;
+}
+
+std::string_view name(PaperEnvironment e) noexcept {
+  switch (e) {
+    case PaperEnvironment::kEnv1SemiOpen: return "Env1-Semi-opened area";
+    case PaperEnvironment::kEnv2Spacious: return "Env2-Spacious area";
+    case PaperEnvironment::kEnv3Office: return "Env3-Closed area";
+  }
+  return "unknown";
+}
+
+std::vector<PaperEnvironment> all_paper_environments() {
+  return {PaperEnvironment::kEnv1SemiOpen, PaperEnvironment::kEnv2Spacious,
+          PaperEnvironment::kEnv3Office};
+}
+
+namespace {
+
+// The sensing area (4x4 reference-tag grid, 1 m pitch) occupies [0,3]^2.
+// Readers sit about 1 m outside the corner tags, so environments must extend
+// at least to [-2,5]^2.
+
+Environment make_env1_semi_open() {
+  // A semi-open atrium-like space: no enclosing concrete walls near the
+  // sensing area; one distant partition and sparse wooden furniture.
+  Environment env("Env1-Semi-opened area", {{-8.0, -8.0}, {11.0, 11.0}});
+  env.add_wall({{{-7.0, -8.0}, {-7.0, 11.0}}, Material::kDrywall, "far-partition"});
+  env.add_wall({{{-8.0, 10.0}, {11.0, 10.0}}, Material::kGlass, "glass-facade"});
+  env.add_obstacle({{{8.0, -2.0}, {9.2, 0.0}}, Material::kWood, "bench"});
+  env.channel_config.path_loss_exponent = 2.2;
+  env.channel_config.rssi_at_1m_dbm = -58.0;
+  env.channel_config.shadowing.sigma_db = 3.0;
+  env.channel_config.shadowing.correlation_m = 2.2;
+  env.channel_config.noise_sigma_db = 1.2;
+  env.channel_config.multipath.max_reflection_order = 2;
+  return env;
+}
+
+Environment make_env2_spacious() {
+  // A spacious closed hall (~14 m x 12 m): concrete walls far from the
+  // sensing area, few metallic objects.
+  // Deliberately not centred on the sensing area: a room whose geometric
+  // centre coincides with a measurement point makes all four first-order
+  // wall reflections superpose coherently right there — an artificial hot
+  // spot no real deployment exhibits.
+  Environment env("Env2-Spacious area", {{-5.2, -3.9}, {9.2, 8.3}});
+  env.add_room_outline({{-5.2, -3.9}, {9.2, 8.3}}, Material::kConcrete);
+  env.add_obstacle({{{7.0, 6.0}, {8.2, 7.2}}, Material::kWood, "table"});
+  env.add_obstacle({{{-5.2, -4.2}, {-4.2, -3.4}}, Material::kWood, "lectern"});
+  env.channel_config.path_loss_exponent = 2.4;
+  env.channel_config.rssi_at_1m_dbm = -58.0;
+  env.channel_config.shadowing.sigma_db = 3.1;
+  env.channel_config.shadowing.correlation_m = 2.0;
+  env.channel_config.noise_sigma_db = 1.4;
+  env.channel_config.multipath.max_reflection_order = 2;
+  // A large hall's walls are broken up by doors, pillars and trim: less of
+  // the reflection stays specular than off the small office's flat walls.
+  env.channel_config.multipath.specular_fraction = 0.55;
+  return env;
+}
+
+Environment make_env3_office() {
+  // A small office (~7 m x 6 m): concrete walls close to the sensing area
+  // and metal furniture — the severe-multipath locale where LANDMARC
+  // degrades the most (paper Sec. 3.3).
+  Environment env("Env3-Closed area", {{-2.0, -1.8}, {5.0, 4.4}});
+  env.add_room_outline({{-2.0, -1.8}, {5.0, 4.4}}, Material::kConcrete);
+  env.add_obstacle({{{4.0, 0.2}, {4.8, 2.2}}, Material::kMetal, "filing-cabinet"});
+  env.add_obstacle({{{-1.8, 2.8}, {-0.4, 4.2}}, Material::kMetal, "metal-shelf"});
+  env.add_obstacle({{{0.4, -1.6}, {2.4, -0.9}}, Material::kWood, "desk-row"});
+  env.add_obstacle({{{-1.7, -1.6}, {-0.9, -0.6}}, Material::kWood, "desk"});
+  env.channel_config.path_loss_exponent = 2.8;
+  env.channel_config.rssi_at_1m_dbm = -58.0;
+  env.channel_config.shadowing.sigma_db = 5.5;
+  env.channel_config.shadowing.correlation_m = 1.3;
+  env.channel_config.noise_sigma_db = 2.2;
+  env.channel_config.multipath.max_reflection_order = 2;
+  return env;
+}
+
+}  // namespace
+
+Environment make_paper_environment(PaperEnvironment which) {
+  switch (which) {
+    case PaperEnvironment::kEnv1SemiOpen: return make_env1_semi_open();
+    case PaperEnvironment::kEnv2Spacious: return make_env2_spacious();
+    case PaperEnvironment::kEnv3Office: return make_env3_office();
+  }
+  throw std::invalid_argument("make_paper_environment: unknown locale");
+}
+
+}  // namespace vire::env

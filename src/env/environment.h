@@ -1,0 +1,83 @@
+#pragma once
+// Indoor environment description: named walls and obstacles with materials,
+// plus the channel parameters that characterise the locale. The three
+// presets replicate the paper's Fig. 1 test locales:
+//   Env1 — semi-open area: no surrounding concrete walls, mild clutter;
+//   Env2 — spacious closed area: large room, walls far from the sensing
+//          area, few metallic objects;
+//   Env3 — typical small office: close walls, many desks/cabinets (metal),
+//          severe multipath.
+
+#include <string>
+#include <vector>
+
+#include "env/material.h"
+#include "geom/polygon.h"
+#include "geom/segment.h"
+#include "rf/channel.h"
+#include "rf/multipath.h"
+
+namespace vire::env {
+
+/// A planar RF-relevant surface in the room.
+struct Wall {
+  geom::Segment segment;
+  Material material = Material::kDrywall;
+  std::string label;
+};
+
+/// A rectangular obstacle (desk, cabinet, pillar); contributes its four
+/// faces as surfaces.
+struct Obstacle {
+  geom::Aabb footprint;
+  Material material = Material::kWood;
+  std::string label;
+};
+
+/// Complete locale description.
+class Environment {
+ public:
+  Environment(std::string name, geom::Aabb extent);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const geom::Aabb& extent() const noexcept { return extent_; }
+
+  void add_wall(Wall wall) { walls_.push_back(std::move(wall)); }
+  void add_obstacle(Obstacle obstacle) { obstacles_.push_back(std::move(obstacle)); }
+
+  /// Adds the four walls of a rectangular room outline.
+  void add_room_outline(const geom::Aabb& room, Material material,
+                        const std::string& label_prefix = "wall");
+
+  [[nodiscard]] const std::vector<Wall>& walls() const noexcept { return walls_; }
+  [[nodiscard]] const std::vector<Obstacle>& obstacles() const noexcept {
+    return obstacles_;
+  }
+
+  /// Flattens walls + obstacle faces into ray-tracer surfaces.
+  [[nodiscard]] std::vector<rf::Surface> surfaces() const;
+
+  /// Channel parameters for this locale (exponent, shadowing, noise...).
+  rf::ChannelConfig channel_config;
+
+ private:
+  std::string name_;
+  geom::Aabb extent_;
+  std::vector<Wall> walls_;
+  std::vector<Obstacle> obstacles_;
+};
+
+/// Identifier for the paper's three experimental locales.
+enum class PaperEnvironment { kEnv1SemiOpen, kEnv2Spacious, kEnv3Office };
+
+[[nodiscard]] std::string_view name(PaperEnvironment e) noexcept;
+
+/// Builds one of the paper's locales. The sensing area (reference grid) is
+/// assumed to occupy [0,3]x[0,3] metres; rooms are positioned around it the
+/// way Fig. 1 sketches them.
+[[nodiscard]] Environment make_paper_environment(PaperEnvironment which);
+
+/// All three, in paper order.
+[[nodiscard]] std::vector<PaperEnvironment> all_paper_environments();
+
+}  // namespace vire::env

@@ -1,0 +1,47 @@
+#pragma once
+// Building materials and their RF properties at ~433 MHz.
+// Reflection coefficients / through-loss values are representative of the
+// UHF measurement literature; they drive the relative multipath severity of
+// the three paper environments, which is what matters for reproduction.
+
+#include <string_view>
+
+namespace vire::env {
+
+enum class Material {
+  kDrywall,
+  kConcrete,
+  kBrick,
+  kGlass,
+  kWood,
+  kMetal,
+  kHumanBody,
+};
+
+struct MaterialProperties {
+  /// Field reflection coefficient magnitude at grazing-to-normal incidence,
+  /// averaged (we do not model incidence angle).
+  double reflection_coeff;
+  /// Power loss (dB) when a ray passes through the material.
+  double transmission_loss_db;
+  std::string_view name;
+};
+
+[[nodiscard]] constexpr MaterialProperties properties(Material m) noexcept {
+  switch (m) {
+    case Material::kDrywall:   return {0.28, 3.0, "drywall"};
+    case Material::kConcrete:  return {0.55, 10.0, "concrete"};
+    case Material::kBrick:     return {0.45, 8.0, "brick"};
+    case Material::kGlass:     return {0.35, 2.0, "glass"};
+    case Material::kWood:      return {0.25, 3.5, "wood"};
+    case Material::kMetal:     return {0.92, 30.0, "metal"};
+    case Material::kHumanBody: return {0.35, 8.0, "human body"};
+  }
+  return {0.3, 5.0, "unknown"};
+}
+
+[[nodiscard]] constexpr std::string_view name(Material m) noexcept {
+  return properties(m).name;
+}
+
+}  // namespace vire::env

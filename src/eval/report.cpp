@@ -1,0 +1,98 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "env/environment.h"
+
+namespace vire::eval {
+
+std::string fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_numeric(const std::string& label,
+                                const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fixed(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "  ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  out << "  ";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c], '-') << "  ";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string render_checks(const std::vector<ShapeCheck>& checks) {
+  std::ostringstream out;
+  int passed = 0;
+  for (const auto& check : checks) {
+    out << "  [" << (check.pass ? "PASS" : "FAIL") << "] " << check.name;
+    if (!check.detail.empty()) out << " — " << check.detail;
+    out << '\n';
+    if (check.pass) ++passed;
+  }
+  out << "  shape checks: " << passed << '/' << checks.size() << " passed\n";
+  return out.str();
+}
+
+std::string render_comparison(const ComparisonSummary& summary) {
+  std::ostringstream out;
+  out << "  environment: " << env::name(summary.environment)
+      << "   trials: " << summary.trials << "\n\n";
+  TextTable table({"tag", "type", "LANDMARC err (m)", "VIRE err (m)",
+                   "improvement", "LM ci95", "VIRE ci95"});
+  for (const auto& tag : summary.tags) {
+    table.add_row({tag.name, tag.boundary ? "boundary" : "interior",
+                   fixed(tag.landmarc_error.mean()), fixed(tag.vire_error.mean()),
+                   fixed(tag.improvement_percent(), 1) + "%",
+                   "±" + fixed(tag.landmarc_error.ci95_halfwidth()),
+                   "±" + fixed(tag.vire_error.ci95_halfwidth())});
+  }
+  out << table.render() << '\n';
+  out << "  all tags        : LANDMARC " << fixed(summary.mean_error(false))
+      << " m,  VIRE " << fixed(summary.mean_error(true)) << " m\n";
+  out << "  non-boundary avg: LANDMARC " << fixed(summary.mean_error(false, true))
+      << " m,  VIRE " << fixed(summary.mean_error(true, true)) << " m\n";
+  out << "  non-boundary worst (VIRE): " << fixed(summary.worst_error(true, true))
+      << " m\n";
+  out << "  improvement range: " << fixed(summary.min_improvement_percent(), 1)
+      << "% .. " << fixed(summary.max_improvement_percent(), 1) << "%\n";
+  return out.str();
+}
+
+}  // namespace vire::eval

@@ -1,0 +1,45 @@
+#pragma once
+// Report rendering for the figure-reproduction benches: fixed-width tables,
+// PASS/CHECK shape verdicts, and helpers that turn ComparisonSummary into
+// the exact rows the paper plots.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+
+namespace vire::eval {
+
+/// Simple fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 3);
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One shape criterion checked against the paper's qualitative claims.
+struct ShapeCheck {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+/// Renders "[PASS] name — detail" lines plus a summary count.
+[[nodiscard]] std::string render_checks(const std::vector<ShapeCheck>& checks);
+
+/// Renders the per-tag VIRE-vs-LANDMARC table for one environment
+/// (the rows behind Fig. 6(a-c), with improvement percentages).
+[[nodiscard]] std::string render_comparison(const ComparisonSummary& summary);
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string fixed(double v, int precision = 3);
+
+}  // namespace vire::eval

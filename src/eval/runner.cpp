@@ -1,0 +1,181 @@
+#include "eval/runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "landmarc/power_level.h"
+#include "support/thread_pool.h"
+
+namespace vire::eval {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}
+
+double PerTagComparison::improvement_percent() const noexcept {
+  return support::improvement_percent(landmarc_error.mean(), vire_error.mean());
+}
+
+double ComparisonSummary::mean_error(bool vire, bool non_boundary_only) const {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& tag : tags) {
+    if (non_boundary_only && tag.boundary) continue;
+    sum += vire ? tag.vire_error.mean() : tag.landmarc_error.mean();
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+double ComparisonSummary::worst_error(bool vire, bool non_boundary_only) const {
+  double worst = 0.0;
+  for (const auto& tag : tags) {
+    if (non_boundary_only && tag.boundary) continue;
+    worst = std::max(worst, vire ? tag.vire_error.mean() : tag.landmarc_error.mean());
+  }
+  return worst;
+}
+
+double ComparisonSummary::min_improvement_percent() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& tag : tags) best = std::min(best, tag.improvement_percent());
+  return std::isfinite(best) ? best : 0.0;
+}
+
+double ComparisonSummary::max_improvement_percent() const {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& tag : tags) best = std::max(best, tag.improvement_percent());
+  return std::isfinite(best) ? best : 0.0;
+}
+
+std::vector<double> landmarc_errors(const TestbedObservation& obs,
+                                    const landmarc::LandmarcConfig& config,
+                                    bool power_levels) {
+  landmarc::LandmarcLocalizer localizer(config);
+  landmarc::PowerLevelQuantizer quantizer;
+
+  std::vector<landmarc::Reference> references;
+  references.reserve(obs.reference_positions.size());
+  for (std::size_t j = 0; j < obs.reference_positions.size(); ++j) {
+    sim::RssiVector rssi = obs.reference_rssi[j];
+    if (power_levels) rssi = quantizer.quantize_vector(rssi);
+    references.push_back({obs.reference_positions[j], std::move(rssi)});
+  }
+  localizer.set_references(std::move(references));
+
+  std::vector<double> errors;
+  errors.reserve(obs.tracking_positions.size());
+  for (std::size_t t = 0; t < obs.tracking_positions.size(); ++t) {
+    sim::RssiVector rssi = obs.tracking_rssi[t];
+    if (power_levels) rssi = quantizer.quantize_vector(rssi);
+    const auto result = localizer.locate(rssi);
+    errors.push_back(result ? geom::distance(result->position, obs.tracking_positions[t])
+                            : kNan);
+  }
+  return errors;
+}
+
+std::vector<double> vire_errors(const TestbedObservation& obs,
+                                const core::VireConfig& config,
+                                const env::DeploymentConfig& deployment_config) {
+  const env::Deployment deployment(deployment_config);
+  core::VireLocalizer localizer(deployment.reference_grid(), config);
+  localizer.set_reference_rssi(obs.reference_rssi);
+
+  std::vector<double> errors;
+  errors.reserve(obs.tracking_positions.size());
+  for (std::size_t t = 0; t < obs.tracking_positions.size(); ++t) {
+    const auto result = localizer.locate(obs.tracking_rssi[t]);
+    errors.push_back(result ? geom::distance(result->position, obs.tracking_positions[t])
+                            : kNan);
+  }
+  return errors;
+}
+
+ComparisonSummary run_paper_comparison(env::PaperEnvironment which,
+                                       const ComparisonOptions& options) {
+  const auto specs = paper_tracking_tags();
+  std::vector<geom::Vec2> tracking_positions;
+  tracking_positions.reserve(specs.size());
+  for (const auto& s : specs) tracking_positions.push_back(s.position);
+
+  ComparisonSummary summary;
+  summary.environment = which;
+  summary.trials = options.trials;
+  summary.tags.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    summary.tags[i].name = specs[i].name;
+    summary.tags[i].true_position = specs[i].position;
+    summary.tags[i].boundary = specs[i].boundary;
+  }
+
+  // The environment geometry is deterministic; per-trial seeds refresh the
+  // shadowing realisation, tag biases and all measurement noise.
+  const env::Environment environment = env::make_paper_environment(which);
+
+  std::mutex merge_mutex;
+  auto run_trial = [&](std::size_t trial) {
+    ObservationOptions obs_options = options.observation;
+    obs_options.seed = options.base_seed + trial * 0x9e3779b9ULL;
+    const TestbedObservation obs =
+        observe_testbed(environment, tracking_positions, obs_options);
+
+    const std::vector<double> lm =
+        landmarc_errors(obs, options.landmarc, options.landmarc_power_levels);
+    const std::vector<double> vr =
+        vire_errors(obs, options.vire, obs_options.deployment);
+
+    std::lock_guard lock(merge_mutex);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (std::isnan(lm[i])) {
+        ++summary.tags[i].landmarc_failures;
+      } else {
+        summary.tags[i].landmarc_error.add(lm[i]);
+      }
+      if (std::isnan(vr[i])) {
+        ++summary.tags[i].vire_failures;
+      } else {
+        summary.tags[i].vire_error.add(vr[i]);
+      }
+    }
+  };
+
+  if (options.parallel) {
+    support::parallel_for(0, static_cast<std::size_t>(options.trials), run_trial);
+  } else {
+    for (std::size_t t = 0; t < static_cast<std::size_t>(options.trials); ++t) {
+      run_trial(t);
+    }
+  }
+  return summary;
+}
+
+std::vector<support::RunningStats> run_sweep(
+    const std::vector<double>& xs,
+    const std::function<double(double x, std::uint64_t seed)>& metric,
+    const SweepOptions& options) {
+  std::vector<support::RunningStats> results(xs.size());
+  std::mutex merge_mutex;
+
+  const std::size_t total = xs.size() * static_cast<std::size_t>(options.trials);
+  auto run_one = [&](std::size_t flat) {
+    const std::size_t xi = flat / static_cast<std::size_t>(options.trials);
+    const std::size_t trial = flat % static_cast<std::size_t>(options.trials);
+    const std::uint64_t seed = options.base_seed + trial * 0x9e3779b9ULL + xi * 0x85ebca6bULL;
+    const double value = metric(xs[xi], seed);
+    if (std::isnan(value)) return;
+    std::lock_guard lock(merge_mutex);
+    results[xi].add(value);
+  };
+
+  if (options.parallel) {
+    support::parallel_for(0, total, run_one);
+  } else {
+    for (std::size_t i = 0; i < total; ++i) run_one(i);
+  }
+  return results;
+}
+
+}  // namespace vire::eval

@@ -1,0 +1,85 @@
+#pragma once
+// Monte-Carlo experiment drivers. Each "trial" is an independent channel
+// realisation + survey of the paper testbed; per-tag errors are averaged
+// over trials. Trials run in parallel on the shared thread pool (they are
+// fully independent given per-trial RNG streams).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/vire_localizer.h"
+#include "env/environment.h"
+#include "eval/testbed.h"
+#include "landmarc/landmarc.h"
+#include "support/stats.h"
+
+namespace vire::eval {
+
+struct ComparisonOptions {
+  int trials = 30;
+  std::uint64_t base_seed = 42;
+  ObservationOptions observation;
+  core::VireConfig vire = core::recommended_vire_config();
+  landmarc::LandmarcConfig landmarc;
+  bool parallel = true;
+  /// Quantise RSSI to legacy 8-level power readings before localization
+  /// (applies to LANDMARC only; models the original-equipment pitfall).
+  bool landmarc_power_levels = false;
+};
+
+/// Accumulated per-tag outcome across trials.
+struct PerTagComparison {
+  std::string name;
+  geom::Vec2 true_position;
+  bool boundary = false;
+  support::RunningStats landmarc_error;
+  support::RunningStats vire_error;
+  int landmarc_failures = 0;  ///< trials where LANDMARC returned nothing
+  int vire_failures = 0;
+  [[nodiscard]] double improvement_percent() const noexcept;
+};
+
+struct ComparisonSummary {
+  env::PaperEnvironment environment;
+  std::vector<PerTagComparison> tags;
+  int trials = 0;
+
+  /// Mean error over all tags / the paper's "non-boundary" subset.
+  [[nodiscard]] double mean_error(bool vire, bool non_boundary_only = false) const;
+  /// Worst per-tag mean error on the non-boundary subset.
+  [[nodiscard]] double worst_error(bool vire, bool non_boundary_only = false) const;
+  /// Min/max per-tag improvement of VIRE over LANDMARC (percent).
+  [[nodiscard]] double min_improvement_percent() const;
+  [[nodiscard]] double max_improvement_percent() const;
+};
+
+/// Runs the Fig. 2/Fig. 6 comparison on one locale.
+[[nodiscard]] ComparisonSummary run_paper_comparison(env::PaperEnvironment which,
+                                                     const ComparisonOptions& options);
+
+/// Locates every tracking tag of an observation with LANDMARC.
+/// Output error vector aligned with tracking tags; NaN on failure.
+[[nodiscard]] std::vector<double> landmarc_errors(const TestbedObservation& obs,
+                                                  const landmarc::LandmarcConfig& config,
+                                                  bool power_levels = false);
+
+/// Locates every tracking tag of an observation with VIRE.
+[[nodiscard]] std::vector<double> vire_errors(const TestbedObservation& obs,
+                                              const core::VireConfig& config,
+                                              const env::DeploymentConfig& deployment);
+
+/// Generic Monte-Carlo scalar sweep: for each x value runs `trials`
+/// independent evaluations of `metric(x, seed)` and returns the mean series.
+struct SweepOptions {
+  int trials = 20;
+  std::uint64_t base_seed = 7;
+  bool parallel = true;
+};
+[[nodiscard]] std::vector<support::RunningStats> run_sweep(
+    const std::vector<double>& xs,
+    const std::function<double(double x, std::uint64_t seed)>& metric,
+    const SweepOptions& options);
+
+}  // namespace vire::eval

@@ -1,0 +1,151 @@
+#include "eval/trace.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/csv.h"
+
+namespace vire::eval {
+
+namespace {
+
+constexpr const char* kHeader = "# vire-trace v1";
+
+std::string rssi_field(double v) {
+  return std::isnan(v) ? "nan" : support::format_number(v);
+}
+
+double parse_rssi(const std::string& field) {
+  if (field == "nan" || field.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return std::stod(field);
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::stringstream stream(line);
+  std::string field;
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+TestbedObservation Trace::to_observation() const {
+  TestbedObservation obs;
+  obs.reader_count = static_cast<int>(reader_positions.size());
+  obs.reference_positions = reference_positions;
+  obs.reference_rssi = reference_rssi;
+  obs.tracking_positions = tracking_positions;
+  obs.tracking_rssi = tracking_rssi;
+  return obs;
+}
+
+Trace Trace::from_observation(const TestbedObservation& obs,
+                              const std::vector<geom::Vec2>& readers,
+                              const std::vector<std::string>& names) {
+  Trace trace;
+  trace.reader_positions = readers;
+  trace.reference_positions = obs.reference_positions;
+  trace.reference_rssi = obs.reference_rssi;
+  trace.tracking_positions = obs.tracking_positions;
+  trace.tracking_rssi = obs.tracking_rssi;
+  for (std::size_t i = 0; i < obs.tracking_positions.size(); ++i) {
+    trace.tracking_names.push_back(i < names.size() ? names[i]
+                                                    : "tag-" + std::to_string(i + 1));
+  }
+  return trace;
+}
+
+void write_trace(const Trace& trace, const std::filesystem::path& path) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_trace: cannot open " + path.string());
+  out << kHeader << '\n';
+  for (std::size_t k = 0; k < trace.reader_positions.size(); ++k) {
+    out << "reader," << k << ',' << support::format_number(trace.reader_positions[k].x)
+        << ',' << support::format_number(trace.reader_positions[k].y) << '\n';
+  }
+  auto write_rssi = [&](const sim::RssiVector& rssi) {
+    for (double v : rssi) out << ',' << rssi_field(v);
+  };
+  for (std::size_t j = 0; j < trace.reference_positions.size(); ++j) {
+    out << "reference," << j << ','
+        << support::format_number(trace.reference_positions[j].x) << ','
+        << support::format_number(trace.reference_positions[j].y);
+    write_rssi(trace.reference_rssi[j]);
+    out << '\n';
+  }
+  for (std::size_t t = 0; t < trace.tracking_rssi.size(); ++t) {
+    const geom::Vec2 truth = t < trace.tracking_positions.size()
+                                 ? trace.tracking_positions[t]
+                                 : geom::Vec2{std::nan(""), std::nan("")};
+    out << "tracking," << support::csv_escape(trace.tracking_names[t]) << ','
+        << rssi_field(truth.x) << ',' << rssi_field(truth.y);
+    write_rssi(trace.tracking_rssi[t]);
+    out << '\n';
+  }
+}
+
+Trace read_trace(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace: cannot open " + path.string());
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("read_trace: missing '# vire-trace v1' header in " +
+                             path.string());
+  }
+  Trace trace;
+  std::size_t expected_readers = 0;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = split_csv_line(line);
+    const std::string where = " at line " + std::to_string(line_number);
+    try {
+      if (fields[0] == "reader") {
+        if (fields.size() != 4) throw std::runtime_error("reader needs 3 fields");
+        trace.reader_positions.push_back({std::stod(fields[2]), std::stod(fields[3])});
+        expected_readers = trace.reader_positions.size();
+      } else if (fields[0] == "reference") {
+        if (fields.size() != 4 + expected_readers) {
+          throw std::runtime_error("reference has wrong RSSI count");
+        }
+        trace.reference_positions.push_back(
+            {std::stod(fields[2]), std::stod(fields[3])});
+        sim::RssiVector rssi;
+        for (std::size_t k = 0; k < expected_readers; ++k) {
+          rssi.push_back(parse_rssi(fields[4 + k]));
+        }
+        trace.reference_rssi.push_back(std::move(rssi));
+      } else if (fields[0] == "tracking") {
+        if (fields.size() != 4 + expected_readers) {
+          throw std::runtime_error("tracking has wrong RSSI count");
+        }
+        trace.tracking_names.push_back(fields[1]);
+        trace.tracking_positions.push_back(
+            {parse_rssi(fields[2]), parse_rssi(fields[3])});
+        sim::RssiVector rssi;
+        for (std::size_t k = 0; k < expected_readers; ++k) {
+          rssi.push_back(parse_rssi(fields[4 + k]));
+        }
+        trace.tracking_rssi.push_back(std::move(rssi));
+      } else {
+        throw std::runtime_error("unknown record kind '" + fields[0] + "'");
+      }
+    } catch (const std::exception& error) {
+      throw std::runtime_error("read_trace: " + std::string(error.what()) + where);
+    }
+  }
+  if (trace.reader_positions.empty() || trace.reference_positions.empty()) {
+    throw std::runtime_error("read_trace: trace has no readers or references");
+  }
+  return trace;
+}
+
+}  // namespace vire::eval

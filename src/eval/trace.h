@@ -1,0 +1,49 @@
+#pragma once
+// RSSI trace recording and replay.
+//
+// The localizers consume nothing but (tag, reader, RSSI) observations, so a
+// deployment can be debugged offline: record a survey to a trace file, then
+// replay it through LANDMARC/VIRE/Bayesian with different configurations —
+// no simulator (and no physical testbed) required. The format is plain CSV
+// so real reader middleware can export compatible traces.
+//
+// File layout (one file per survey):
+//   # vire-trace v1
+//   reader,<k>,<x>,<y>                      one line per reader
+//   reference,<index>,<x>,<y>[,rssi...]     position + per-reader RSSI
+//   tracking,<name>,<x>,<y>[,rssi...]       ground truth optional (nan)
+//
+// RSSI fields use "nan" for undetected links.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "eval/testbed.h"
+
+namespace vire::eval {
+
+/// A recorded survey: everything a localizer may see, plus (optionally)
+/// ground truth for scoring. Mirrors TestbedObservation with names.
+struct Trace {
+  std::vector<geom::Vec2> reader_positions;
+  std::vector<geom::Vec2> reference_positions;
+  std::vector<sim::RssiVector> reference_rssi;
+  std::vector<std::string> tracking_names;
+  std::vector<geom::Vec2> tracking_positions;  ///< NaN coords = unknown truth
+  std::vector<sim::RssiVector> tracking_rssi;
+
+  [[nodiscard]] TestbedObservation to_observation() const;
+  [[nodiscard]] static Trace from_observation(const TestbedObservation& obs,
+                                              const std::vector<geom::Vec2>& readers,
+                                              const std::vector<std::string>& names = {});
+};
+
+/// Writes a trace; throws std::runtime_error on I/O failure.
+void write_trace(const Trace& trace, const std::filesystem::path& path);
+
+/// Reads a trace; throws std::runtime_error on I/O or format errors
+/// (unknown record kind, inconsistent reader counts, missing header).
+[[nodiscard]] Trace read_trace(const std::filesystem::path& path);
+
+}  // namespace vire::eval

@@ -1,0 +1,70 @@
+#include "geom/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vire::geom {
+
+RegularGrid::RegularGrid(Vec2 origin, double step, int cols, int rows)
+    : origin_(origin), step_(step), cols_(cols), rows_(rows) {
+  if (step <= 0.0) throw std::invalid_argument("RegularGrid: step must be > 0");
+  if (cols < 1 || rows < 1) {
+    throw std::invalid_argument("RegularGrid: needs at least 1x1 nodes");
+  }
+}
+
+GridIndex RegularGrid::nearest(Vec2 p) const noexcept {
+  const int col = static_cast<int>(std::lround((p.x - origin_.x) / step_));
+  const int row = static_cast<int>(std::lround((p.y - origin_.y) / step_));
+  return {std::clamp(col, 0, cols_ - 1), std::clamp(row, 0, rows_ - 1)};
+}
+
+GridIndex RegularGrid::cell_of(Vec2 p) const {
+  if (cols_ < 2 || rows_ < 2) {
+    throw std::logic_error("RegularGrid::cell_of: grid has no cells");
+  }
+  const int col = static_cast<int>(std::floor((p.x - origin_.x) / step_));
+  const int row = static_cast<int>(std::floor((p.y - origin_.y) / step_));
+  return {std::clamp(col, 0, cols_ - 2), std::clamp(row, 0, rows_ - 2)};
+}
+
+RegularGrid::CellLocal RegularGrid::locate(Vec2 p) const {
+  const GridIndex cell = cell_of(p);
+  const Vec2 base = position(cell);
+  CellLocal out;
+  out.cell = cell;
+  out.fx = std::clamp((p.x - base.x) / step_, 0.0, 1.0);
+  out.fy = std::clamp((p.y - base.y) / step_, 0.0, 1.0);
+  return out;
+}
+
+std::vector<GridIndex> RegularGrid::neighbors4(GridIndex idx) const {
+  std::vector<GridIndex> out;
+  out.reserve(4);
+  const GridIndex candidates[4] = {{idx.col - 1, idx.row},
+                                   {idx.col + 1, idx.row},
+                                   {idx.col, idx.row - 1},
+                                   {idx.col, idx.row + 1}};
+  for (const auto& c : candidates) {
+    if (contains(c)) out.push_back(c);
+  }
+  return out;
+}
+
+GridField::GridField(RegularGrid grid, double initial)
+    : grid_(grid), values_(grid.node_count(), initial) {}
+
+double GridField::sample(Vec2 p) const {
+  if (grid_.cols() < 2 || grid_.rows() < 2) return values_.empty() ? 0.0 : values_[0];
+  const auto loc = grid_.locate(p);
+  const GridIndex c = loc.cell;
+  const double v00 = at({c.col, c.row});
+  const double v10 = at({c.col + 1, c.row});
+  const double v01 = at({c.col, c.row + 1});
+  const double v11 = at({c.col + 1, c.row + 1});
+  const double bottom = v00 + (v10 - v00) * loc.fx;
+  const double top = v01 + (v11 - v01) * loc.fx;
+  return bottom + (top - bottom) * loc.fy;
+}
+
+}  // namespace vire::geom

@@ -1,0 +1,114 @@
+#pragma once
+// Regular 2D grid index math. Used for (a) the real reference-tag grid,
+// (b) the virtual reference grid / proximity maps, and (c) the correlated
+// shadowing field lattice. Cells are addressed (col, row) with the origin
+// at the lower-left; linear indices are row-major.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace vire::geom {
+
+/// Integer grid coordinate.
+struct GridIndex {
+  int col = 0;  ///< x direction
+  int row = 0;  ///< y direction
+  friend constexpr bool operator==(GridIndex, GridIndex) noexcept = default;
+};
+
+/// A regular lattice of `cols x rows` nodes with spacing `step` (metres),
+/// anchored at `origin` (node (0,0) sits exactly at origin).
+class RegularGrid {
+ public:
+  RegularGrid(Vec2 origin, double step, int cols, int rows);
+
+  [[nodiscard]] Vec2 origin() const noexcept { return origin_; }
+  [[nodiscard]] double step() const noexcept { return step_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  }
+
+  /// Physical position of node (col, row). No bounds check (hot path).
+  [[nodiscard]] Vec2 position(GridIndex idx) const noexcept {
+    return {origin_.x + idx.col * step_, origin_.y + idx.row * step_};
+  }
+  [[nodiscard]] Vec2 position(std::size_t linear) const noexcept {
+    return position(from_linear(linear));
+  }
+
+  /// Row-major linear index.
+  [[nodiscard]] std::size_t to_linear(GridIndex idx) const noexcept {
+    return static_cast<std::size_t>(idx.row) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(idx.col);
+  }
+  [[nodiscard]] GridIndex from_linear(std::size_t linear) const noexcept {
+    return {static_cast<int>(linear % static_cast<std::size_t>(cols_)),
+            static_cast<int>(linear / static_cast<std::size_t>(cols_))};
+  }
+
+  [[nodiscard]] bool contains(GridIndex idx) const noexcept {
+    return idx.col >= 0 && idx.col < cols_ && idx.row >= 0 && idx.row < rows_;
+  }
+
+  /// Nearest node to a physical position (clamped to the grid).
+  [[nodiscard]] GridIndex nearest(Vec2 p) const noexcept;
+
+  /// The cell (lower-left node index) containing p, clamped so that the cell
+  /// is valid (i.e. col in [0, cols-2], row in [0, rows-2]).
+  [[nodiscard]] GridIndex cell_of(Vec2 p) const;
+
+  /// Fractional coordinates of p inside its (clamped) cell, each in [0,1].
+  struct CellLocal {
+    GridIndex cell;
+    double fx = 0.0;
+    double fy = 0.0;
+  };
+  [[nodiscard]] CellLocal locate(Vec2 p) const;
+
+  /// Physical bounding box spanned by the nodes.
+  [[nodiscard]] Vec2 min_corner() const noexcept { return origin_; }
+  [[nodiscard]] Vec2 max_corner() const noexcept {
+    return {origin_.x + (cols_ - 1) * step_, origin_.y + (rows_ - 1) * step_};
+  }
+  [[nodiscard]] bool covers(Vec2 p) const noexcept {
+    const Vec2 lo = min_corner(), hi = max_corner();
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// 4-connected neighbours of a node that lie inside the grid.
+  [[nodiscard]] std::vector<GridIndex> neighbors4(GridIndex idx) const;
+
+ private:
+  Vec2 origin_;
+  double step_;
+  int cols_;
+  int rows_;
+};
+
+/// Dense scalar field over a RegularGrid with bilinear sampling, used by the
+/// correlated shadowing model and by diagnostic heatmaps.
+class GridField {
+ public:
+  explicit GridField(RegularGrid grid, double initial = 0.0);
+
+  [[nodiscard]] const RegularGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] double& at(GridIndex idx) { return values_[grid_.to_linear(idx)]; }
+  [[nodiscard]] double at(GridIndex idx) const { return values_[grid_.to_linear(idx)]; }
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+  [[nodiscard]] std::vector<double>& values() noexcept { return values_; }
+
+  /// Bilinear interpolation at a physical position; positions outside the
+  /// grid are clamped to the boundary.
+  [[nodiscard]] double sample(Vec2 p) const;
+
+ private:
+  RegularGrid grid_;
+  std::vector<double> values_;
+};
+
+}  // namespace vire::geom

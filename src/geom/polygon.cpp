@@ -1,0 +1,73 @@
+#include "geom/polygon.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vire::geom {
+
+std::vector<Segment> Aabb::edges() const {
+  return {Segment{{lo.x, lo.y}, {hi.x, lo.y}}, Segment{{hi.x, lo.y}, {hi.x, hi.y}},
+          Segment{{hi.x, hi.y}, {lo.x, hi.y}}, Segment{{lo.x, hi.y}, {lo.x, lo.y}}};
+}
+
+Polygon::Polygon(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {
+  if (vertices_.size() < 3) {
+    throw std::invalid_argument("Polygon: needs at least 3 vertices");
+  }
+}
+
+Polygon Polygon::rectangle(Vec2 lo, Vec2 hi) {
+  return Polygon({{lo.x, lo.y}, {hi.x, lo.y}, {hi.x, hi.y}, {lo.x, hi.y}});
+}
+
+std::vector<Segment> Polygon::edges() const {
+  std::vector<Segment> out;
+  out.reserve(vertices_.size());
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    out.push_back({vertices_[i], vertices_[(i + 1) % vertices_.size()]});
+  }
+  return out;
+}
+
+Aabb Polygon::bounding_box() const {
+  Aabb box{{std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()},
+           {-std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()}};
+  for (const auto& v : vertices_) {
+    box.lo.x = std::min(box.lo.x, v.x);
+    box.lo.y = std::min(box.lo.y, v.y);
+    box.hi.x = std::max(box.hi.x, v.x);
+    box.hi.y = std::max(box.hi.y, v.y);
+  }
+  return box;
+}
+
+double Polygon::area() const noexcept {
+  double twice = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2 a = vertices_[i];
+    const Vec2 b = vertices_[(i + 1) % vertices_.size()];
+    twice += a.cross(b);
+  }
+  return std::abs(twice) * 0.5;
+}
+
+bool Polygon::contains(Vec2 p) const noexcept {
+  constexpr double kBoundaryTol = 1e-9;
+  bool inside = false;
+  for (std::size_t i = 0, j = vertices_.size() - 1; i < vertices_.size(); j = i++) {
+    const Vec2 a = vertices_[j];
+    const Vec2 b = vertices_[i];
+    if (Segment{a, b}.distance_to(p) <= kBoundaryTol) return true;
+    const bool crosses = (b.y > p.y) != (a.y > p.y);
+    if (crosses) {
+      const double x_at = b.x + (p.y - b.y) / (a.y - b.y) * (a.x - b.x);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+}  // namespace vire::geom

@@ -1,0 +1,54 @@
+#pragma once
+// Simple polygons (room outlines, obstacle footprints) with containment and
+// edge extraction for the RF ray tracer.
+
+#include <vector>
+
+#include "geom/segment.h"
+#include "geom/vec2.h"
+
+namespace vire::geom {
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec2 lo;
+  Vec2 hi;
+
+  [[nodiscard]] bool contains(Vec2 p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  [[nodiscard]] Vec2 center() const noexcept { return (lo + hi) * 0.5; }
+  [[nodiscard]] double width() const noexcept { return hi.x - lo.x; }
+  [[nodiscard]] double height() const noexcept { return hi.y - lo.y; }
+  /// Grows the box symmetrically by `margin` on all sides.
+  [[nodiscard]] Aabb expanded(double margin) const noexcept {
+    return {{lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin}};
+  }
+  /// Four edges as segments, counter-clockwise starting at the bottom edge.
+  [[nodiscard]] std::vector<Segment> edges() const;
+};
+
+/// Simple (non-self-intersecting) polygon, vertices in order (CW or CCW).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Vec2> vertices);
+
+  /// Axis-aligned rectangle helper.
+  static Polygon rectangle(Vec2 lo, Vec2 hi);
+
+  [[nodiscard]] const std::vector<Vec2>& vertices() const noexcept { return vertices_; }
+  [[nodiscard]] std::size_t size() const noexcept { return vertices_.size(); }
+  [[nodiscard]] std::vector<Segment> edges() const;
+  [[nodiscard]] Aabb bounding_box() const;
+  [[nodiscard]] double area() const noexcept;  ///< signed-area magnitude
+
+  /// Even-odd (crossing-number) point containment; boundary points count
+  /// as inside within a small tolerance.
+  [[nodiscard]] bool contains(Vec2 p) const noexcept;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+}  // namespace vire::geom

@@ -1,0 +1,37 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+
+namespace vire::geom {
+
+Vec2 Segment::closest_point(Vec2 p) const noexcept {
+  const Vec2 d = b - a;
+  const double len2 = d.norm2();
+  if (len2 <= 0.0) return a;
+  const double t = std::clamp((p - a).dot(d) / len2, 0.0, 1.0);
+  return a + d * t;
+}
+
+std::optional<SegmentHit> intersect(const Segment& s1, const Segment& s2,
+                                    double eps) noexcept {
+  const Vec2 r = s1.b - s1.a;
+  const Vec2 s = s2.b - s2.a;
+  const double denom = r.cross(s);
+  if (std::abs(denom) < 1e-15) return std::nullopt;  // parallel or degenerate
+  const Vec2 qp = s2.a - s1.a;
+  const double t = qp.cross(s) / denom;
+  const double u = qp.cross(r) / denom;
+  if (t < -eps || t > 1.0 + eps || u < -eps || u > 1.0 + eps) return std::nullopt;
+  return SegmentHit{s1.at(std::clamp(t, 0.0, 1.0)), t, u};
+}
+
+Vec2 mirror_across(const Segment& wall, Vec2 p) noexcept {
+  const Vec2 d = wall.b - wall.a;
+  const double len2 = d.norm2();
+  if (len2 <= 0.0) return p;
+  const double t = (p - wall.a).dot(d) / len2;  // unclamped: infinite line
+  const Vec2 foot = wall.a + d * t;
+  return foot * 2.0 - p;
+}
+
+}  // namespace vire::geom

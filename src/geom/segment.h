@@ -1,0 +1,48 @@
+#pragma once
+// Line segments and intersection predicates used by the RF ray tracer
+// (wall reflections and through-wall attenuation both need robust
+// segment/segment tests).
+
+#include <optional>
+
+#include "geom/vec2.h"
+
+namespace vire::geom {
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const noexcept { return a.distance_to(b); }
+  [[nodiscard]] Vec2 direction() const noexcept { return (b - a).normalized(); }
+  [[nodiscard]] Vec2 midpoint() const noexcept { return (a + b) * 0.5; }
+  /// Point at parameter t in [0,1].
+  [[nodiscard]] Vec2 at(double t) const noexcept { return lerp(a, b, t); }
+  /// Unit normal (CCW perpendicular of the direction).
+  [[nodiscard]] Vec2 normal() const noexcept { return direction().perp(); }
+
+  /// Closest point on the segment to p.
+  [[nodiscard]] Vec2 closest_point(Vec2 p) const noexcept;
+  [[nodiscard]] double distance_to(Vec2 p) const noexcept {
+    return closest_point(p).distance_to(p);
+  }
+};
+
+/// Result of a segment/segment intersection.
+struct SegmentHit {
+  Vec2 point;   ///< intersection point
+  double t;     ///< parameter along the first segment, in [0,1]
+  double u;     ///< parameter along the second segment, in [0,1]
+};
+
+/// Proper intersection of two segments (parallel/collinear overlap returns
+/// nullopt — adequate for RF ray tracing where grazing rays carry no power).
+/// `eps` widens/narrows the inclusive parameter range.
+[[nodiscard]] std::optional<SegmentHit> intersect(const Segment& s1, const Segment& s2,
+                                                  double eps = 1e-12) noexcept;
+
+/// Mirrors point p across the infinite line through the segment.
+/// Used by the image method to construct reflected transmitter images.
+[[nodiscard]] Vec2 mirror_across(const Segment& wall, Vec2 p) noexcept;
+
+}  // namespace vire::geom

@@ -1,0 +1,60 @@
+#pragma once
+// 2D vector/point primitives. The whole system operates in a planar metric
+// space (metres), matching the paper's 2D regular reference-tag grid.
+
+#include <cmath>
+#include <compare>
+#include <cstdio>
+#include <string>
+
+namespace vire::geom {
+
+/// 2D point / vector in metres.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const noexcept { return {-x, -y}; }
+  constexpr Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double s) noexcept { x *= s; y *= s; return *this; }
+
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  /// 2D cross product (z-component of the 3D cross product).
+  [[nodiscard]] constexpr double cross(Vec2 o) const noexcept { return x * o.y - y * o.x; }
+  [[nodiscard]] constexpr double norm2() const noexcept { return x * x + y * y; }
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+  [[nodiscard]] double distance_to(Vec2 o) const noexcept { return (*this - o).norm(); }
+  /// Unit vector; returns {0,0} for the zero vector.
+  [[nodiscard]] Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Counter-clockwise perpendicular.
+  [[nodiscard]] constexpr Vec2 perp() const noexcept { return {-y, x}; }
+  [[nodiscard]] std::string to_string() const {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "(%.3f, %.3f)", x, y);
+    return buf;
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+/// Linear interpolation: a + t*(b-a).
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept { return a + (b - a) * t; }
+
+/// Euclidean distance — the paper's estimation-error metric
+/// e = sqrt((x-x0)^2 + (y-y0)^2).
+inline double distance(Vec2 a, Vec2 b) noexcept { return a.distance_to(b); }
+
+}  // namespace vire::geom

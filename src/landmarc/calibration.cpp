@@ -1,0 +1,64 @@
+#include "landmarc/calibration.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vire::landmarc {
+
+CalibrationTable CalibrationTable::from_colocated_surveys(
+    const std::vector<sim::RssiVector>& per_tag_surveys,
+    const std::vector<sim::TagId>& tag_ids) {
+  if (per_tag_surveys.size() != tag_ids.size()) {
+    throw std::invalid_argument("CalibrationTable: surveys/ids size mismatch");
+  }
+  CalibrationTable table;
+  if (per_tag_surveys.empty()) return table;
+
+  const std::size_t k = per_tag_surveys.front().size();
+
+  // Per-reader cohort mean over tags that were detected by that reader.
+  std::vector<double> reader_mean(k, 0.0);
+  std::vector<int> reader_count(k, 0);
+  for (const auto& survey : per_tag_surveys) {
+    if (survey.size() != k) {
+      throw std::invalid_argument("CalibrationTable: inconsistent reader counts");
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      if (!std::isnan(survey[r])) {
+        reader_mean[r] += survey[r];
+        ++reader_count[r];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < k; ++r) {
+    if (reader_count[r] > 0) reader_mean[r] /= reader_count[r];
+  }
+
+  for (std::size_t i = 0; i < per_tag_surveys.size(); ++i) {
+    double deviation = 0.0;
+    int valid = 0;
+    for (std::size_t r = 0; r < k; ++r) {
+      if (std::isnan(per_tag_surveys[i][r]) || reader_count[r] == 0) continue;
+      deviation += per_tag_surveys[i][r] - reader_mean[r];
+      ++valid;
+    }
+    table.set_bias(tag_ids[i], valid > 0 ? deviation / valid : 0.0);
+  }
+  return table;
+}
+
+double CalibrationTable::bias_db(sim::TagId tag) const {
+  const auto it = biases_.find(tag);
+  return it == biases_.end() ? 0.0 : it->second;
+}
+
+sim::RssiVector CalibrationTable::apply(sim::TagId tag,
+                                        const sim::RssiVector& rssi) const {
+  const double bias = bias_db(tag);
+  sim::RssiVector out;
+  out.reserve(rssi.size());
+  for (double v : rssi) out.push_back(std::isnan(v) ? v : v - bias);
+  return out;
+}
+
+}  // namespace vire::landmarc

@@ -1,0 +1,41 @@
+#pragma once
+// Per-tag behaviour calibration.
+//
+// With the original hardware, "an expensive and time-consuming individual
+// tag calibration has to be performed to reduce localization error" (paper
+// Sec. 3.1). This module implements that procedure for the simulated legacy
+// tags: tags are measured one at a time at the same calibration spot, the
+// per-tag deviation from the cohort mean becomes a correction table, and the
+// table is applied to live RSSI vectors before localization.
+
+#include <map>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace vire::landmarc {
+
+class CalibrationTable {
+ public:
+  /// Builds the table from co-located surveys: element [i] is the RSSI
+  /// vector measured with ONLY tag i present at the calibration spot.
+  /// The bias of tag i is the mean (over valid readers) of its deviation
+  /// from the per-reader cohort mean.
+  static CalibrationTable from_colocated_surveys(
+      const std::vector<sim::RssiVector>& per_tag_surveys,
+      const std::vector<sim::TagId>& tag_ids);
+
+  /// Bias (dB) recorded for a tag; 0 if unknown.
+  [[nodiscard]] double bias_db(sim::TagId tag) const;
+
+  /// Subtracts the tag's bias from every valid entry.
+  [[nodiscard]] sim::RssiVector apply(sim::TagId tag, const sim::RssiVector& rssi) const;
+
+  void set_bias(sim::TagId tag, double bias_db) { biases_[tag] = bias_db; }
+  [[nodiscard]] std::size_t size() const noexcept { return biases_.size(); }
+
+ private:
+  std::map<sim::TagId, double> biases_;
+};
+
+}  // namespace vire::landmarc

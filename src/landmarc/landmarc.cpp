@@ -1,0 +1,95 @@
+#include "landmarc/landmarc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace vire::landmarc {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}
+
+void LandmarcLocalizer::set_references(std::vector<Reference> references) {
+  if (!references.empty()) {
+    const std::size_t k = references.front().rssi.size();
+    for (const auto& r : references) {
+      if (r.rssi.size() != k) {
+        throw std::invalid_argument(
+            "LandmarcLocalizer: all reference RSSI vectors must have the same "
+            "reader count");
+      }
+    }
+  }
+  references_ = std::move(references);
+}
+
+double LandmarcLocalizer::signal_distance(const sim::RssiVector& a,
+                                          const sim::RssiVector& b) const {
+  const std::size_t n = std::min(a.size(), b.size());
+  double sum = 0.0;
+  int common = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (std::isnan(a[k]) || std::isnan(b[k])) continue;
+    const double d = a[k] - b[k];
+    sum += d * d;
+    ++common;
+  }
+  if (common < config_.min_common_readers) return kNan;
+  // Scale to the nominal reader count so partial-coverage comparisons do not
+  // look artificially close.
+  const double scale = static_cast<double>(n) / static_cast<double>(common);
+  return std::sqrt(sum * scale);
+}
+
+std::optional<LandmarcResult> LandmarcLocalizer::locate(
+    const sim::RssiVector& tracking) const {
+  if (references_.empty()) return std::nullopt;
+
+  struct Scored {
+    double distance;
+    std::size_t index;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(references_.size());
+  for (std::size_t j = 0; j < references_.size(); ++j) {
+    const double e = signal_distance(tracking, references_[j].rssi);
+    if (!std::isnan(e)) scored.push_back({e, j});
+  }
+  if (scored.empty()) return std::nullopt;
+
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.k_nearest), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                    scored.end(),
+                    [](const Scored& a, const Scored& b) {
+                      if (a.distance != b.distance) return a.distance < b.distance;
+                      return a.index < b.index;  // deterministic ties
+                    });
+
+  LandmarcResult result;
+  result.neighbors.reserve(k);
+  result.weights.reserve(k);
+  result.distances.reserve(k);
+
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double e = scored[i].distance;
+    const double w = 1.0 / (e * e + config_.epsilon);
+    result.neighbors.push_back(scored[i].index);
+    result.distances.push_back(e);
+    result.weights.push_back(w);
+    weight_sum += w;
+  }
+  geom::Vec2 estimate{0.0, 0.0};
+  for (std::size_t i = 0; i < k; ++i) {
+    result.weights[i] /= weight_sum;
+    estimate += references_[result.neighbors[i]].position * result.weights[i];
+  }
+  result.position = estimate;
+  return result;
+}
+
+}  // namespace vire::landmarc

@@ -1,0 +1,74 @@
+#pragma once
+// LANDMARC (Ni, Liu, Lau, Patil — PerCom 2003): the baseline the paper
+// improves upon, reimplemented faithfully.
+//
+// Given K readers, reference tags j at known positions with signal vectors
+// theta_j = (S_1..S_K), and a tracking tag with vector s, LANDMARC computes
+// the signal-space Euclidean distance
+//     E_j = sqrt( sum_k (s_k - theta_jk)^2 ),
+// selects the k nearest reference tags (k = 4 in both papers), and estimates
+// the position as the weighted centroid with weights proportional to 1/E^2:
+//     w_j = (1/E_j^2) / sum_i (1/E_i^2),   (x,y) = sum_j w_j (x_j, y_j).
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "sim/types.h"
+
+namespace vire::landmarc {
+
+struct LandmarcConfig {
+  /// Number of nearest reference tags used in the centroid (paper: 4).
+  int k_nearest = 4;
+  /// Guard added to E^2 so an exact signal match does not divide by zero.
+  double epsilon = 1e-9;
+  /// Minimum readers with valid readings on both sides of a comparison;
+  /// links missing on either side are skipped pairwise.
+  int min_common_readers = 2;
+};
+
+/// A reference tag known to the localizer.
+struct Reference {
+  geom::Vec2 position;
+  sim::RssiVector rssi;  ///< one entry per reader; NaN = not detected
+};
+
+/// Diagnostics for one localization call.
+struct LandmarcResult {
+  geom::Vec2 position;
+  /// Indices (into the reference list) of the k selected neighbours.
+  std::vector<std::size_t> neighbors;
+  /// Normalised weights of the selected neighbours (sums to 1).
+  std::vector<double> weights;
+  /// Signal distances E_j of the selected neighbours.
+  std::vector<double> distances;
+};
+
+class LandmarcLocalizer {
+ public:
+  explicit LandmarcLocalizer(LandmarcConfig config = {}) : config_(config) {}
+
+  void set_references(std::vector<Reference> references);
+  [[nodiscard]] const std::vector<Reference>& references() const noexcept {
+    return references_;
+  }
+  [[nodiscard]] const LandmarcConfig& config() const noexcept { return config_; }
+
+  /// Signal-space distance between two RSSI vectors over their common valid
+  /// readers, scaled to the full reader count (so vectors with different
+  /// coverage stay comparable). Returns NaN if fewer than
+  /// `min_common_readers` are shared.
+  [[nodiscard]] double signal_distance(const sim::RssiVector& a,
+                                       const sim::RssiVector& b) const;
+
+  /// Locates one tracking tag; nullopt if no reference is comparable.
+  [[nodiscard]] std::optional<LandmarcResult> locate(const sim::RssiVector& tracking) const;
+
+ private:
+  LandmarcConfig config_;
+  std::vector<Reference> references_;
+};
+
+}  // namespace vire::landmarc

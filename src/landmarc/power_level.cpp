@@ -1,0 +1,41 @@
+#include "landmarc/power_level.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vire::landmarc {
+
+PowerLevelQuantizer::PowerLevelQuantizer(PowerLevelConfig config) : config_(config) {
+  if (config.levels < 2) {
+    throw std::invalid_argument("PowerLevelQuantizer: needs at least 2 levels");
+  }
+  if (config.strongest_dbm <= config.weakest_dbm) {
+    throw std::invalid_argument("PowerLevelQuantizer: strongest must exceed weakest");
+  }
+  band_db_ = (config.strongest_dbm - config.weakest_dbm) / (config.levels - 1);
+}
+
+double PowerLevelQuantizer::quantize(double rssi_dbm) const noexcept {
+  if (std::isnan(rssi_dbm)) return rssi_dbm;
+  // Level 1 at/above strongest; each band_db_ below adds one level.
+  const double raw = 1.0 + (config_.strongest_dbm - rssi_dbm) / band_db_;
+  const double level = std::clamp(std::round(raw), 1.0,
+                                  static_cast<double>(config_.levels));
+  return level;
+}
+
+double PowerLevelQuantizer::quantize_to_rssi(double rssi_dbm) const noexcept {
+  if (std::isnan(rssi_dbm)) return rssi_dbm;
+  const double level = quantize(rssi_dbm);
+  return config_.strongest_dbm - (level - 1.0) * band_db_;
+}
+
+sim::RssiVector PowerLevelQuantizer::quantize_vector(const sim::RssiVector& v) const {
+  sim::RssiVector out;
+  out.reserve(v.size());
+  for (double x : v) out.push_back(quantize_to_rssi(x));
+  return out;
+}
+
+}  // namespace vire::landmarc

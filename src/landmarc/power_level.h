@@ -1,0 +1,47 @@
+#pragma once
+// Legacy power-level quantisation.
+//
+// The original LANDMARC hardware did not expose RSSI; readers scanned eight
+// discrete power levels and reported the level at which a tag became
+// audible, "level 8 the farthest and level 1 the nearest" (paper Sec. 3.1).
+// Using levels instead of dBm "caused unnecessary localization inaccuracy".
+// This quantizer lets the benches run LANDMARC in legacy mode to show how
+// much of LANDMARC's error budget the old hardware was responsible for.
+
+#include <vector>
+
+#include "sim/types.h"
+
+namespace vire::landmarc {
+
+struct PowerLevelConfig {
+  int levels = 8;
+  /// RSSI at or above this maps to level 1 (nearest).
+  double strongest_dbm = -60.0;
+  /// RSSI at or below this maps to the last level (farthest).
+  double weakest_dbm = -95.0;
+};
+
+class PowerLevelQuantizer {
+ public:
+  explicit PowerLevelQuantizer(PowerLevelConfig config = {});
+
+  /// Maps an RSSI (dBm) to a level in [1, levels]. NaN maps to NaN.
+  [[nodiscard]] double quantize(double rssi_dbm) const noexcept;
+
+  /// Quantises then re-expands to the band-centre RSSI (dBm), which is what
+  /// LANDMARC effectively worked with. NaN passes through.
+  [[nodiscard]] double quantize_to_rssi(double rssi_dbm) const noexcept;
+
+  /// Element-wise quantize_to_rssi.
+  [[nodiscard]] sim::RssiVector quantize_vector(const sim::RssiVector& v) const;
+
+  [[nodiscard]] const PowerLevelConfig& config() const noexcept { return config_; }
+  [[nodiscard]] double band_width_db() const noexcept { return band_db_; }
+
+ private:
+  PowerLevelConfig config_;
+  double band_db_;
+};
+
+}  // namespace vire::landmarc

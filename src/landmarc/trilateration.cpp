@@ -1,0 +1,144 @@
+#include "landmarc/trilateration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vire::landmarc {
+
+double FittedPathLoss::distance_for(double rssi_dbm) const {
+  const double d = std::pow(10.0, (rssi_at_1m - rssi_dbm) / (10.0 * exponent));
+  return std::max(0.1, d);
+}
+
+FittedPathLoss fit_path_loss(const std::vector<double>& distances_m,
+                             const std::vector<double>& rssi_dbm) {
+  // Linear regression of rssi on x = -10*log10(d): rssi = a + b*x.
+  const std::size_t n = std::min(distances_m.size(), rssi_dbm.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int valid = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(rssi_dbm[i]) || distances_m[i] <= 0.0) continue;
+    const double x = -10.0 * std::log10(distances_m[i]);
+    sx += x;
+    sy += rssi_dbm[i];
+    sxx += x * x;
+    sxy += x * rssi_dbm[i];
+    ++valid;
+  }
+  if (valid < 2) {
+    throw std::invalid_argument("fit_path_loss: needs at least 2 valid samples");
+  }
+  const double denom = valid * sxx - sx * sx;
+  FittedPathLoss fit;
+  if (std::abs(denom) < 1e-12) {
+    throw std::invalid_argument("fit_path_loss: degenerate sample distances");
+  }
+  fit.exponent = (valid * sxy - sx * sy) / denom;
+  fit.rssi_at_1m = (sy - fit.exponent * sx) / valid;
+  // Guard against pathological fits (all tags nearly equidistant).
+  fit.exponent = std::clamp(fit.exponent, 1.0, 6.0);
+
+  double sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(rssi_dbm[i]) || distances_m[i] <= 0.0) continue;
+    const double predicted =
+        fit.rssi_at_1m - 10.0 * fit.exponent * std::log10(distances_m[i]);
+    sse += (rssi_dbm[i] - predicted) * (rssi_dbm[i] - predicted);
+  }
+  fit.rmse_db = std::sqrt(sse / valid);
+  return fit;
+}
+
+TrilaterationLocalizer::TrilaterationLocalizer(std::vector<geom::Vec2> reader_positions,
+                                               FittedPathLoss model,
+                                               TrilaterationConfig config)
+    : readers_(std::move(reader_positions)), model_(model), config_(config) {
+  if (readers_.size() < 3) {
+    throw std::invalid_argument("TrilaterationLocalizer: needs >= 3 readers");
+  }
+}
+
+TrilaterationLocalizer TrilaterationLocalizer::from_references(
+    std::vector<geom::Vec2> reader_positions,
+    const std::vector<geom::Vec2>& reference_positions,
+    const std::vector<sim::RssiVector>& reference_rssi, TrilaterationConfig config) {
+  if (reference_positions.size() != reference_rssi.size()) {
+    throw std::invalid_argument("from_references: positions/rssi size mismatch");
+  }
+  std::vector<double> distances, rssi;
+  for (std::size_t j = 0; j < reference_positions.size(); ++j) {
+    for (std::size_t k = 0; k < reader_positions.size(); ++k) {
+      if (k >= reference_rssi[j].size()) break;
+      distances.push_back(reference_positions[j].distance_to(reader_positions[k]));
+      rssi.push_back(reference_rssi[j][k]);
+    }
+  }
+  return TrilaterationLocalizer(std::move(reader_positions),
+                                fit_path_loss(distances, rssi), config);
+}
+
+std::optional<TrilaterationResult> TrilaterationLocalizer::locate(
+    const sim::RssiVector& tracking) const {
+  // Collect valid (reader, range) observations.
+  std::vector<geom::Vec2> anchors;
+  std::vector<double> ranges;
+  for (std::size_t k = 0; k < readers_.size() && k < tracking.size(); ++k) {
+    if (std::isnan(tracking[k])) continue;
+    anchors.push_back(readers_[k]);
+    ranges.push_back(model_.distance_for(tracking[k]));
+  }
+  if (anchors.size() < 3) return std::nullopt;
+
+  // Start at the range-weighted centroid of the anchors.
+  geom::Vec2 p{0, 0};
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    const double w = 1.0 / std::max(0.25, ranges[i]);
+    p += anchors[i] * w;
+    wsum += w;
+  }
+  p = p / wsum;
+
+  TrilaterationResult result;
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    // Gauss-Newton on residuals r_i = |p - a_i| - d_i.
+    double h11 = 0, h12 = 0, h22 = 0, g1 = 0, g2 = 0;
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      const geom::Vec2 diff = p - anchors[i];
+      const double dist = std::max(1e-6, diff.norm());
+      const geom::Vec2 jac = diff / dist;  // d|p-a|/dp
+      const double residual = dist - ranges[i];
+      const double w = config_.weight_by_inverse_distance
+                           ? 1.0 / std::max(0.25, ranges[i] * ranges[i])
+                           : 1.0;
+      h11 += w * jac.x * jac.x;
+      h12 += w * jac.x * jac.y;
+      h22 += w * jac.y * jac.y;
+      g1 += w * jac.x * residual;
+      g2 += w * jac.y * residual;
+    }
+    // Levenberg damping keeps the 2x2 solve well-posed near collinearity.
+    const double damping = 1e-6 * (h11 + h22);
+    h11 += damping;
+    h22 += damping;
+    const double det = h11 * h22 - h12 * h12;
+    if (std::abs(det) < 1e-12) return std::nullopt;
+    const geom::Vec2 step{-(h22 * g1 - h12 * g2) / det, -(h11 * g2 - h12 * g1) / det};
+    p += step;
+    result.iterations = iter + 1;
+    if (step.norm() < config_.convergence_m) break;
+  }
+  if (!std::isfinite(p.x) || !std::isfinite(p.y)) return std::nullopt;
+
+  double sse = 0.0;
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    const double r = p.distance_to(anchors[i]) - ranges[i];
+    sse += r * r;
+  }
+  result.position = p;
+  result.residual_m = std::sqrt(sse / static_cast<double>(anchors.size()));
+  return result;
+}
+
+}  // namespace vire::landmarc

@@ -1,0 +1,80 @@
+#pragma once
+// Trilateration baseline.
+//
+// A model-based comparator the RFID-localization literature (e.g. the
+// triangulation refinement of Jin et al. cited by the paper as [12]) builds
+// on: invert a fitted path-loss model to turn each reader's RSSI into a
+// range estimate, then solve the nonlinear least-squares position by
+// Gauss-Newton. Unlike LANDMARC/VIRE it needs no reference tags at run time
+// — but it inherits every modelling error of the RSSI-to-distance map,
+// which is exactly why the paper's scene-analysis methods beat it indoors.
+// The reference tags are still used once, to FIT the model (self-survey).
+
+#include <optional>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "sim/types.h"
+
+namespace vire::landmarc {
+
+/// Fitted log-distance model: rssi = a - 10*b*log10(d).
+struct FittedPathLoss {
+  double rssi_at_1m = -58.0;  ///< a
+  double exponent = 2.5;      ///< b
+  double rmse_db = 0.0;       ///< fit residual (diagnostic)
+
+  /// Inverts the model: expected distance for an RSSI (clamped to >= 0.1 m).
+  [[nodiscard]] double distance_for(double rssi_dbm) const;
+};
+
+/// Least-squares fit of (distance, RSSI) pairs to the log-distance model.
+/// Pairs with NaN RSSI are skipped; needs at least 2 valid pairs.
+[[nodiscard]] FittedPathLoss fit_path_loss(const std::vector<double>& distances_m,
+                                           const std::vector<double>& rssi_dbm);
+
+struct TrilaterationConfig {
+  int max_iterations = 25;
+  double convergence_m = 1e-4;
+  /// Range weights ~ 1/d^2 (nearer readers are more informative). Set false
+  /// for unweighted residuals.
+  bool weight_by_inverse_distance = true;
+};
+
+struct TrilaterationResult {
+  geom::Vec2 position;
+  int iterations = 0;
+  double residual_m = 0.0;  ///< RMS range residual at the solution
+};
+
+/// RSSI-ranging localizer over K readers at known positions.
+class TrilaterationLocalizer {
+ public:
+  TrilaterationLocalizer(std::vector<geom::Vec2> reader_positions,
+                         FittedPathLoss model, TrilaterationConfig config = {});
+
+  /// Fits the path-loss model from reference-tag observations (positions +
+  /// RSSI vectors) and builds the localizer — the self-survey constructor.
+  static TrilaterationLocalizer from_references(
+      std::vector<geom::Vec2> reader_positions,
+      const std::vector<geom::Vec2>& reference_positions,
+      const std::vector<sim::RssiVector>& reference_rssi,
+      TrilaterationConfig config = {});
+
+  /// Gauss-Newton solve from the readers' centroid; nullopt if fewer than
+  /// 3 readers report a valid RSSI or the iteration diverges.
+  [[nodiscard]] std::optional<TrilaterationResult> locate(
+      const sim::RssiVector& tracking) const;
+
+  [[nodiscard]] const FittedPathLoss& model() const noexcept { return model_; }
+  [[nodiscard]] const std::vector<geom::Vec2>& readers() const noexcept {
+    return readers_;
+  }
+
+ private:
+  std::vector<geom::Vec2> readers_;
+  FittedPathLoss model_;
+  TrilaterationConfig config_;
+};
+
+}  // namespace vire::landmarc

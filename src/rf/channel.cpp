@@ -1,0 +1,43 @@
+#include "rf/channel.h"
+
+namespace vire::rf {
+
+RfChannel::RfChannel(geom::Aabb area, std::vector<Surface> surfaces,
+                     ChannelConfig config, std::uint64_t seed)
+    : area_(area),
+      config_(config),
+      path_loss_(std::make_unique<LogDistancePathLoss>(config.rssi_at_1m_dbm,
+                                                       config.path_loss_exponent)),
+      multipath_(std::move(surfaces),
+                 [&config] {
+                   MultipathConfig mp = config.multipath;
+                   mp.frequency_hz = config.frequency_hz;
+                   return mp;
+                 }()),
+      structure_rng_(seed) {}
+
+int RfChannel::add_reader(geom::Vec2 position) {
+  const int index = static_cast<int>(readers_.size());
+  support::Rng field_rng =
+      structure_rng_.split("reader-shadowing").split(static_cast<std::uint64_t>(index));
+  readers_.push_back(
+      ReaderState{position, ShadowingField(area_, config_.shadowing, field_rng)});
+  return index;
+}
+
+double RfChannel::mean_rssi_dbm(int k, geom::Vec2 p) const {
+  const auto& reader = readers_.at(static_cast<std::size_t>(k));
+  const double distance = reader.position.distance_to(p);
+  double rssi = path_loss_->mean_rssi_dbm(distance);
+  rssi += multipath_.gain_db(p, reader.position);
+  rssi += reader.shadowing.offset_db(p);
+  return rssi;
+}
+
+double RfChannel::sample_rssi_dbm(int k, geom::Vec2 p, support::Rng& rng,
+                                  double extra_offset_db) const {
+  return mean_rssi_dbm(k, p) + rng.normal(0.0, config_.noise_sigma_db) +
+         extra_offset_db;
+}
+
+}  // namespace vire::rf

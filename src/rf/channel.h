@@ -1,0 +1,100 @@
+#pragma once
+// Composite RF channel: the single source of RSSI truth for the simulator.
+//
+// For a link (reader k, position p) the deterministic mean is
+//   mean(k, p) = PathLoss(|p - reader_k|)            large-scale decay
+//              + MultipathGain(p -> reader_k)        frozen standing waves
+//              + Shadowing_k(p)                      correlated random field
+// and a measurement adds zero-mean Gaussian noise plus optional per-tag bias
+// and interference offsets supplied by the caller. The localization
+// algorithms only ever see sampled RSSI — never the channel internals —
+// mirroring the information available to the paper's real system.
+
+#include <memory>
+#include <vector>
+
+#include "geom/polygon.h"
+#include "geom/vec2.h"
+#include "rf/interference.h"
+#include "rf/multipath.h"
+#include "rf/pathloss.h"
+#include "rf/shadowing.h"
+#include "rf/units.h"
+#include "support/rng.h"
+
+namespace vire::rf {
+
+struct ChannelConfig {
+  double frequency_hz = kDefaultFrequencyHz;
+  /// Mean RSSI at the 1 m reference distance.
+  double rssi_at_1m_dbm = -58.0;
+  /// Log-distance path-loss exponent (2 free space; 3-4 cluttered indoor).
+  double path_loss_exponent = 2.2;
+  ShadowingConfig shadowing;
+  MultipathConfig multipath;
+  /// Per-measurement thermal/quantisation noise (dB).
+  double noise_sigma_db = 1.5;
+  /// Reader sensitivity: measurements below this are not detected.
+  double sensitivity_dbm = -105.0;
+};
+
+/// Frozen channel realisation over a sensing area with K readers.
+/// Construction seeds all random structure (shadowing per reader); after
+/// construction, mean_rssi_dbm is a pure function — repeated surveys of the
+/// same point agree up to measurement noise, exactly as in a static room.
+class RfChannel {
+ public:
+  /// @param area       bounding box of the deployment (fields cover it
+  ///                   plus a margin, so tags slightly outside still work)
+  /// @param surfaces   reflecting/attenuating surfaces of the environment
+  /// @param config     channel parameters
+  /// @param seed       seed for all frozen random structure
+  RfChannel(geom::Aabb area, std::vector<Surface> surfaces, ChannelConfig config,
+            std::uint64_t seed);
+
+  /// Registers a reader; returns its index k.
+  int add_reader(geom::Vec2 position);
+
+  [[nodiscard]] int reader_count() const noexcept {
+    return static_cast<int>(readers_.size());
+  }
+  [[nodiscard]] geom::Vec2 reader_position(int k) const { return readers_.at(
+      static_cast<std::size_t>(k)).position; }
+
+  /// Deterministic mean RSSI (dBm) of a transmitter at `p` seen by reader k.
+  [[nodiscard]] double mean_rssi_dbm(int k, geom::Vec2 p) const;
+
+  /// One noisy measurement: mean + N(0, noise_sigma) + extra_offset_db.
+  /// `extra_offset_db` carries per-tag bias, interference, fading and walker
+  /// shadowing computed by the simulation layer.
+  [[nodiscard]] double sample_rssi_dbm(int k, geom::Vec2 p, support::Rng& rng,
+                                       double extra_offset_db = 0.0) const;
+
+  /// Whether a measurement value is above the reader sensitivity floor.
+  [[nodiscard]] bool detectable(double rssi_dbm) const noexcept {
+    return rssi_dbm >= config_.sensitivity_dbm;
+  }
+
+  [[nodiscard]] const ChannelConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const MultipathModel& multipath() const noexcept { return multipath_; }
+  [[nodiscard]] const PathLossModel& path_loss() const noexcept { return *path_loss_; }
+  [[nodiscard]] const ShadowingField& shadowing(int k) const {
+    return readers_.at(static_cast<std::size_t>(k)).shadowing;
+  }
+  [[nodiscard]] const geom::Aabb& area() const noexcept { return area_; }
+
+ private:
+  struct ReaderState {
+    geom::Vec2 position;
+    ShadowingField shadowing;
+  };
+
+  geom::Aabb area_;
+  ChannelConfig config_;
+  std::unique_ptr<PathLossModel> path_loss_;
+  MultipathModel multipath_;
+  std::vector<ReaderState> readers_;
+  support::Rng structure_rng_;  ///< source for per-reader shadowing seeds
+};
+
+}  // namespace vire::rf

@@ -1,0 +1,29 @@
+#include "rf/fading.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vire::rf {
+
+Ar1Fading::Ar1Fading(double sigma_db, double tau_seconds, support::Rng rng)
+    : sigma_(sigma_db), tau_(tau_seconds), value_(0.0), rng_(rng) {
+  if (tau_seconds <= 0.0) throw std::invalid_argument("Ar1Fading: tau must be > 0");
+  // Start at a stationary draw so early samples are not biased toward 0.
+  value_ = sigma_ * rng_.normal();
+}
+
+double Ar1Fading::advance(double dt_seconds) {
+  if (dt_seconds < 0.0) throw std::invalid_argument("Ar1Fading: negative dt");
+  if (dt_seconds == 0.0) return value_;
+  const double rho = std::exp(-dt_seconds / tau_);
+  value_ = rho * value_ + std::sqrt(1.0 - rho * rho) * sigma_ * rng_.normal();
+  return value_;
+}
+
+double BodyShadowProfile::loss_db(double distance_to_link_m) const noexcept {
+  if (distance_to_link_m >= half_width_m || half_width_m <= 0.0) return 0.0;
+  const double t = distance_to_link_m / half_width_m;  // in [0, 1)
+  return peak_loss_db * 0.5 * (1.0 + std::cos(M_PI * t));
+}
+
+}  // namespace vire::rf

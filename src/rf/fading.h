@@ -1,0 +1,50 @@
+#pragma once
+// Temporal channel variation.
+//
+// Two paper-documented effects live here:
+//  * slow drift of a static link over time (AR(1) Gauss-Markov process) —
+//    "the RSSI value is stable for a period of time if there is no moving
+//    object in the sensing area";
+//  * abrupt transient disturbance when a person walks through the region —
+//    "a sudden change of the RSSI value occurred when a person walked
+//    through the testing region".
+// The walker geometry itself is owned by the simulation layer; this file
+// provides the per-link stochastic processes.
+
+#include "support/rng.h"
+
+namespace vire::rf {
+
+/// First-order Gauss-Markov (AR(1)) process with stationary standard
+/// deviation `sigma` and exponential correlation time `tau` (seconds):
+///   x(t+dt) = rho * x(t) + sqrt(1-rho^2) * sigma * eps,  rho = exp(-dt/tau).
+class Ar1Fading {
+ public:
+  Ar1Fading(double sigma_db, double tau_seconds, support::Rng rng);
+
+  /// Advances the process by `dt_seconds` (>= 0) and returns the new value.
+  double advance(double dt_seconds);
+
+  [[nodiscard]] double value_db() const noexcept { return value_; }
+  [[nodiscard]] double sigma_db() const noexcept { return sigma_; }
+  [[nodiscard]] double tau_seconds() const noexcept { return tau_; }
+
+ private:
+  double sigma_;
+  double tau_;
+  double value_;
+  support::Rng rng_;
+};
+
+/// Attenuation profile of a human body crossing near a link.
+/// Given the distance (m) from the body centre to the link segment, returns
+/// the extra loss in dB: a smooth bump of depth `peak_loss_db` with
+/// half-width `half_width_m` (raised-cosine), zero beyond the width.
+struct BodyShadowProfile {
+  double peak_loss_db = 8.0;
+  double half_width_m = 0.6;
+
+  [[nodiscard]] double loss_db(double distance_to_link_m) const noexcept;
+};
+
+}  // namespace vire::rf

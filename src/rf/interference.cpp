@@ -1,0 +1,43 @@
+#include "rf/interference.h"
+
+#include <algorithm>
+
+namespace vire::rf {
+
+int InterferenceModel::neighbor_count(const std::vector<geom::Vec2>& tags,
+                                      std::size_t index) const noexcept {
+  if (index >= tags.size()) return 0;
+  const geom::Vec2 self = tags[index];
+  const double r2 =
+      config_.neighborhood_radius_m * config_.neighborhood_radius_m;
+  int count = 0;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (i == index) continue;
+    if ((tags[i] - self).norm2() <= r2) ++count;
+  }
+  return count;
+}
+
+double InterferenceModel::severity_db(int neighbors) const noexcept {
+  const int excess = neighbors - config_.clean_neighbor_limit;
+  if (excess <= 0) return 0.0;
+  return std::min(config_.max_severity_db, excess * config_.severity_per_tag_db);
+}
+
+double InterferenceModel::rssi_offset_db(const std::vector<geom::Vec2>& tags,
+                                         std::size_t index,
+                                         support::Rng& rng) const {
+  return rssi_offset_db(neighbor_count(tags, index), rng);
+}
+
+double InterferenceModel::rssi_offset_db(int neighbors, support::Rng& rng) const {
+  const double severity = severity_db(neighbors);
+  if (severity <= 0.0) return 0.0;
+  // Heavy-tailed loss: most collisions shave a few dB, some swallow the
+  // beacon almost entirely (Fig. 4 scatters down to the noise floor).
+  const double magnitude = std::min(severity * rng.exponential(1.5), severity);
+  const bool upward = rng.bernoulli(config_.upward_fraction);
+  return upward ? 0.35 * magnitude : -magnitude;
+}
+
+}  // namespace vire::rf

@@ -1,0 +1,60 @@
+#pragma once
+// Tag-density-driven RF interference.
+//
+// The paper (Sec. 4.1, Fig. 4) observes that active tags placed at the same
+// spot one at a time report near-identical RSSI, but packing more than ~10
+// tags together makes the readings scatter wildly (beacon collisions and
+// mutual detuning). This is the physical reason VIRE densifies the grid with
+// *virtual* tags instead of real ones. The model below reproduces the
+// effect: per-measurement corruption that switches on once the number of
+// co-located neighbours crosses a threshold and grows with crowding.
+
+#include <vector>
+
+#include "geom/vec2.h"
+#include "support/rng.h"
+
+namespace vire::rf {
+
+struct InterferenceConfig {
+  /// Tags within this radius of each other count as "packed together".
+  double neighborhood_radius_m = 0.5;
+  /// Up to this many neighbours the channel stays clean (paper: ~10 tags).
+  int clean_neighbor_limit = 10;
+  /// Corruption severity added per neighbour beyond the limit (dB).
+  double severity_per_tag_db = 2.0;
+  /// Upper bound on the corruption magnitude (dB).
+  double max_severity_db = 25.0;
+  /// Fraction of corrupted measurements that *gain* power (constructive
+  /// collision) rather than lose it; Fig. 4 shows mostly losses.
+  double upward_fraction = 0.15;
+};
+
+class InterferenceModel {
+ public:
+  explicit InterferenceModel(InterferenceConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const InterferenceConfig& config() const noexcept { return config_; }
+
+  /// Number of other tags within the neighbourhood radius of tags[index].
+  [[nodiscard]] int neighbor_count(const std::vector<geom::Vec2>& tags,
+                                   std::size_t index) const noexcept;
+
+  /// Corruption severity (dB) for a tag with `neighbors` co-located tags.
+  /// Zero at or below the clean limit, then linear up to the cap.
+  [[nodiscard]] double severity_db(int neighbors) const noexcept;
+
+  /// Random RSSI offset (dB) for one measurement of tags[index].
+  /// Zero when the neighbourhood is below the clean limit.
+  [[nodiscard]] double rssi_offset_db(const std::vector<geom::Vec2>& tags,
+                                      std::size_t index, support::Rng& rng) const;
+
+  /// Offset for a known neighbour count (used when the caller maintains a
+  /// spatial index).
+  [[nodiscard]] double rssi_offset_db(int neighbors, support::Rng& rng) const;
+
+ private:
+  InterferenceConfig config_;
+};
+
+}  // namespace vire::rf

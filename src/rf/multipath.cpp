@@ -1,0 +1,138 @@
+#include "rf/multipath.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rf/units.h"
+
+namespace vire::rf {
+
+namespace {
+constexpr double kMinPathLength = 0.05;  // guard against the 1/d pole
+}
+
+MultipathModel::MultipathModel(std::vector<Surface> surfaces, MultipathConfig config)
+    : surfaces_(std::move(surfaces)),
+      config_(config),
+      wavelength_m_(wavelength(config.frequency_hz)) {}
+
+double MultipathModel::obstruction_factor(const geom::Segment& ray, int skip_a,
+                                          int skip_b) const {
+  double factor = 1.0;
+  for (std::size_t i = 0; i < surfaces_.size(); ++i) {
+    if (static_cast<int>(i) == skip_a || static_cast<int>(i) == skip_b) continue;
+    // Shrink the ray parameter range slightly so touching a surface exactly
+    // at an endpoint (e.g. the reflection point) does not count.
+    if (auto hit = geom::intersect(ray, surfaces_[i].segment, -1e-9)) {
+      if (hit->t > 1e-9 && hit->t < 1.0 - 1e-9) {
+        factor *= std::pow(10.0, -surfaces_[i].transmission_loss_db / 20.0);
+      }
+    }
+  }
+  return factor;
+}
+
+std::vector<RayPath> MultipathModel::trace_paths(geom::Vec2 tx, geom::Vec2 rx) const {
+  std::vector<RayPath> paths;
+
+  // Direct ray.
+  {
+    RayPath direct;
+    direct.length_m = std::max(tx.distance_to(rx), kMinPathLength);
+    direct.amplitude_scale = obstruction_factor({tx, rx}, -1, -1);
+    direct.reflections = 0;
+    paths.push_back(direct);
+  }
+  if (config_.max_reflection_order < 1) return paths;
+
+  // First-order reflections: image tx across each surface, require the
+  // image->rx segment to cross the reflecting surface itself.
+  for (std::size_t i = 0; i < surfaces_.size(); ++i) {
+    const auto& wall = surfaces_[i].segment;
+    const geom::Vec2 image = geom::mirror_across(wall, tx);
+    const geom::Segment image_ray{image, rx};
+    const auto hit = geom::intersect(image_ray, wall);
+    if (!hit) continue;  // reflection point falls outside the finite wall
+    const geom::Vec2 refl = hit->point;
+    RayPath p;
+    p.length_m = std::max(image.distance_to(rx), kMinPathLength);
+    p.reflections = 1;
+    double amp = surfaces_[i].reflection_coeff;
+    amp *= obstruction_factor({tx, refl}, static_cast<int>(i), -1);
+    amp *= obstruction_factor({refl, rx}, static_cast<int>(i), -1);
+    p.amplitude_scale = amp;
+    if (p.amplitude_scale > 1e-6) paths.push_back(p);
+  }
+  if (config_.max_reflection_order < 2) return paths;
+
+  // Second-order: image tx across wall i, then that image across wall j.
+  for (std::size_t i = 0; i < surfaces_.size(); ++i) {
+    const auto& wall_i = surfaces_[i].segment;
+    const geom::Vec2 image1 = geom::mirror_across(wall_i, tx);
+    for (std::size_t j = 0; j < surfaces_.size(); ++j) {
+      if (j == i) continue;
+      const auto& wall_j = surfaces_[j].segment;
+      const geom::Vec2 image2 = geom::mirror_across(wall_j, image1);
+      // Unfold backwards: rx -> reflection on wall_j -> reflection on wall_i.
+      const auto hit_j = geom::intersect({image2, rx}, wall_j);
+      if (!hit_j) continue;
+      const geom::Vec2 refl_j = hit_j->point;
+      const auto hit_i = geom::intersect({image1, refl_j}, wall_i);
+      if (!hit_i) continue;
+      const geom::Vec2 refl_i = hit_i->point;
+      RayPath p;
+      p.length_m = std::max(image2.distance_to(rx), kMinPathLength);
+      p.reflections = 2;
+      double amp = surfaces_[i].reflection_coeff * surfaces_[j].reflection_coeff;
+      amp *= obstruction_factor({tx, refl_i}, static_cast<int>(i), static_cast<int>(j));
+      amp *= obstruction_factor({refl_i, refl_j}, static_cast<int>(i),
+                                static_cast<int>(j));
+      amp *= obstruction_factor({refl_j, rx}, static_cast<int>(i), static_cast<int>(j));
+      p.amplitude_scale = amp;
+      if (p.amplitude_scale > 1e-6) paths.push_back(p);
+    }
+  }
+  return paths;
+}
+
+double MultipathModel::coherent_gain_db(geom::Vec2 tx, geom::Vec2 rx) const {
+  const auto paths = trace_paths(tx, rx);
+  const double d_direct = std::max(tx.distance_to(rx), kMinPathLength);
+
+  std::complex<double> field{0.0, 0.0};
+  for (const auto& p : paths) {
+    double amplitude = p.amplitude_scale / p.length_m;
+    // Diffuse-scattering loss applies once per reflection bounce.
+    for (int b = 0; b < p.reflections; ++b) amplitude *= config_.specular_fraction;
+    const double phase = 2.0 * M_PI * p.length_m / wavelength_m_;
+    field += std::polar(amplitude, -phase);
+  }
+
+  const double reference = 1.0 / d_direct;  // unobstructed direct ray
+  const double magnitude = std::abs(field);
+  double gain = (magnitude > 0.0)
+                    ? amplitude_ratio_to_db(magnitude / reference)
+                    : -config_.fade_floor_db;
+  return std::clamp(gain, -config_.fade_floor_db, config_.fade_ceiling_db);
+}
+
+double MultipathModel::gain_db(geom::Vec2 tx, geom::Vec2 rx) const {
+  if (config_.aperture_m <= 0.0 || config_.aperture_samples <= 1) {
+    return coherent_gain_db(tx, rx);
+  }
+  // Mean linear power over a small neighbourhood of the transmitter: the
+  // centre plus up to four diagonal offsets at the aperture radius.
+  static constexpr geom::Vec2 kOffsets[5] = {
+      {0.0, 0.0}, {0.7071, 0.7071}, {-0.7071, 0.7071},
+      {0.7071, -0.7071}, {-0.7071, -0.7071}};
+  const int samples = std::min(config_.aperture_samples, 5);
+  double power_sum = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    const geom::Vec2 p = tx + kOffsets[s] * config_.aperture_m;
+    power_sum += db_to_ratio(coherent_gain_db(p, rx));
+  }
+  const double gain = ratio_to_db(power_sum / samples);
+  return std::clamp(gain, -config_.fade_floor_db, config_.fade_ceiling_db);
+}
+
+}  // namespace vire::rf

@@ -1,0 +1,77 @@
+#include "rf/pathloss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vire::rf {
+
+LogDistancePathLoss::LogDistancePathLoss(double rssi_at_ref_dbm, double exponent,
+                                         double reference_m, double min_distance_m)
+    : rssi_at_ref_dbm_(rssi_at_ref_dbm),
+      exponent_(exponent),
+      reference_m_(reference_m),
+      min_distance_m_(min_distance_m) {
+  if (reference_m <= 0.0) {
+    throw std::invalid_argument("LogDistancePathLoss: reference distance must be > 0");
+  }
+  if (exponent <= 0.0) {
+    throw std::invalid_argument("LogDistancePathLoss: exponent must be > 0");
+  }
+}
+
+double LogDistancePathLoss::mean_rssi_dbm(double distance_m) const noexcept {
+  const double d = std::max(distance_m, min_distance_m_);
+  return rssi_at_ref_dbm_ - 10.0 * exponent_ * std::log10(d / reference_m_);
+}
+
+std::unique_ptr<PathLossModel> LogDistancePathLoss::clone() const {
+  return std::make_unique<LogDistancePathLoss>(*this);
+}
+
+MultiSlopePathLoss::MultiSlopePathLoss(double rssi_at_ref_dbm,
+                                       std::vector<Slope> slopes,
+                                       double min_distance_m)
+    : rssi_at_ref_dbm_(rssi_at_ref_dbm),
+      slopes_(std::move(slopes)),
+      min_distance_m_(min_distance_m) {
+  if (slopes_.empty()) {
+    throw std::invalid_argument("MultiSlopePathLoss: needs at least one slope");
+  }
+  if (!std::is_sorted(slopes_.begin(), slopes_.end(),
+                      [](const Slope& a, const Slope& b) { return a.start_m < b.start_m; })) {
+    throw std::invalid_argument("MultiSlopePathLoss: slopes must be sorted by start");
+  }
+  if (slopes_.front().start_m <= 0.0) {
+    throw std::invalid_argument("MultiSlopePathLoss: first start must be > 0");
+  }
+  // Precompute the RSSI at each segment start so the curve is continuous.
+  rssi_at_start_.resize(slopes_.size());
+  rssi_at_start_[0] = rssi_at_ref_dbm_;
+  for (std::size_t i = 1; i < slopes_.size(); ++i) {
+    const Slope& prev = slopes_[i - 1];
+    rssi_at_start_[i] =
+        rssi_at_start_[i - 1] -
+        10.0 * prev.exponent * std::log10(slopes_[i].start_m / prev.start_m);
+  }
+}
+
+double MultiSlopePathLoss::mean_rssi_dbm(double distance_m) const noexcept {
+  double d = std::max(distance_m, min_distance_m_);
+  d = std::max(d, slopes_.front().start_m);
+  // Find the active segment (last slope whose start <= d).
+  std::size_t seg = 0;
+  while (seg + 1 < slopes_.size() && slopes_[seg + 1].start_m <= d) ++seg;
+  return rssi_at_start_[seg] -
+         10.0 * slopes_[seg].exponent * std::log10(d / slopes_[seg].start_m);
+}
+
+std::unique_ptr<PathLossModel> MultiSlopePathLoss::clone() const {
+  return std::make_unique<MultiSlopePathLoss>(*this);
+}
+
+std::unique_ptr<PathLossModel> make_free_space_model(double rssi_at_1m_dbm) {
+  return std::make_unique<LogDistancePathLoss>(rssi_at_1m_dbm, 2.0);
+}
+
+}  // namespace vire::rf

@@ -1,0 +1,78 @@
+#pragma once
+// Large-scale path-loss models. The paper (Sec. 2) notes that the in-theory
+// inverse-square law becomes a power of 3–4 indoors; these models capture
+// that as a configurable exponent (log-distance) or distance-dependent
+// exponents (multi-slope, for rooms where the near field is clean but the
+// far field is cluttered).
+
+#include <memory>
+#include <vector>
+
+namespace vire::rf {
+
+/// Interface: mean received power (dBm) at link distance d (metres) for a
+/// transmitter of `tx_power_dbm`. Implementations must be pure functions of
+/// distance (stochastic terms live in ShadowingField / measurement noise).
+class PathLossModel {
+ public:
+  virtual ~PathLossModel() = default;
+
+  /// Mean RSSI in dBm at distance `distance_m` >= 0. Implementations clamp
+  /// below a minimum distance (default 0.1 m) to avoid the near-field pole.
+  [[nodiscard]] virtual double mean_rssi_dbm(double distance_m) const noexcept = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<PathLossModel> clone() const = 0;
+};
+
+/// Log-distance model: RSSI(d) = rssi_at_ref - 10*exponent*log10(d/d_ref).
+class LogDistancePathLoss final : public PathLossModel {
+ public:
+  /// @param rssi_at_ref_dbm  mean RSSI at the reference distance
+  /// @param exponent         path-loss exponent (2 = free space, 3-4 indoor)
+  /// @param reference_m      reference distance (default 1 m)
+  /// @param min_distance_m   distances below this are clamped
+  LogDistancePathLoss(double rssi_at_ref_dbm, double exponent,
+                      double reference_m = 1.0, double min_distance_m = 0.1);
+
+  [[nodiscard]] double mean_rssi_dbm(double distance_m) const noexcept override;
+  [[nodiscard]] std::unique_ptr<PathLossModel> clone() const override;
+
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+  [[nodiscard]] double rssi_at_reference() const noexcept { return rssi_at_ref_dbm_; }
+
+ private:
+  double rssi_at_ref_dbm_;
+  double exponent_;
+  double reference_m_;
+  double min_distance_m_;
+};
+
+/// Multi-slope model: piecewise log-distance with breakpoints. Continuous at
+/// each breakpoint by construction.
+class MultiSlopePathLoss final : public PathLossModel {
+ public:
+  struct Slope {
+    double start_m;    ///< segment begins at this distance
+    double exponent;   ///< path-loss exponent within the segment
+  };
+
+  /// `slopes` must be sorted by start_m with slopes.front().start_m equal to
+  /// the reference distance.
+  MultiSlopePathLoss(double rssi_at_ref_dbm, std::vector<Slope> slopes,
+                     double min_distance_m = 0.1);
+
+  [[nodiscard]] double mean_rssi_dbm(double distance_m) const noexcept override;
+  [[nodiscard]] std::unique_ptr<PathLossModel> clone() const override;
+
+ private:
+  double rssi_at_ref_dbm_;
+  std::vector<Slope> slopes_;
+  std::vector<double> rssi_at_start_;  ///< precomputed RSSI at each segment start
+  double min_distance_m_;
+};
+
+/// The "theoretical" free-space inverse-square curve plotted in Fig. 3.
+[[nodiscard]] std::unique_ptr<PathLossModel> make_free_space_model(
+    double rssi_at_1m_dbm);
+
+}  // namespace vire::rf

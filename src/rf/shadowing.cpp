@@ -1,0 +1,87 @@
+#include "rf/shadowing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace vire::rf {
+
+namespace {
+
+geom::RegularGrid make_lattice(const geom::Aabb& area, const ShadowingConfig& cfg) {
+  const geom::Aabb expanded = area.expanded(cfg.margin_m);
+  const int cols =
+      std::max(2, static_cast<int>(std::ceil(expanded.width() / cfg.lattice_step_m)) + 1);
+  const int rows =
+      std::max(2, static_cast<int>(std::ceil(expanded.height() / cfg.lattice_step_m)) + 1);
+  return {expanded.lo, cfg.lattice_step_m, cols, rows};
+}
+
+/// Separable Gaussian blur along one axis (rows or columns) of a row-major
+/// field. `stride` is 1 for horizontal passes, `cols` for vertical passes.
+void blur_axis(std::vector<double>& values, int lines, int length, int line_stride,
+               int elem_stride, const std::vector<double>& kernel) {
+  const int radius = static_cast<int>(kernel.size() / 2);
+  std::vector<double> line(static_cast<std::size_t>(length));
+  for (int l = 0; l < lines; ++l) {
+    double* base = values.data() + static_cast<std::ptrdiff_t>(l) * line_stride;
+    for (int i = 0; i < length; ++i) {
+      line[static_cast<std::size_t>(i)] =
+          base[static_cast<std::ptrdiff_t>(i) * elem_stride];
+    }
+    for (int i = 0; i < length; ++i) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        const int j = std::clamp(i + k, 0, length - 1);
+        acc += kernel[static_cast<std::size_t>(k + radius)] *
+               line[static_cast<std::size_t>(j)];
+      }
+      base[static_cast<std::ptrdiff_t>(i) * elem_stride] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+ShadowingField::ShadowingField(const geom::Aabb& area, const ShadowingConfig& config,
+                               support::Rng rng)
+    : config_(config), field_(make_lattice(area, config)) {
+  auto& values = field_.values();
+  for (auto& v : values) v = rng.normal();
+
+  // Gaussian kernel with sigma = correlation distance (in lattice cells).
+  const double sigma_cells =
+      std::max(0.5, config.correlation_m / config.lattice_step_m);
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma_cells)));
+  std::vector<double> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int k = -radius; k <= radius; ++k) {
+    const double w = std::exp(-0.5 * (k / sigma_cells) * (k / sigma_cells));
+    kernel[static_cast<std::size_t>(k + radius)] = w;
+    sum += w;
+  }
+  for (auto& w : kernel) w /= sum;
+
+  const int cols = field_.grid().cols();
+  const int rows = field_.grid().rows();
+  blur_axis(values, rows, cols, cols, 1, kernel);  // horizontal
+  blur_axis(values, cols, rows, 1, cols, kernel);  // vertical
+
+  // Rescale to zero mean, target sigma.
+  support::RunningStats stats;
+  for (double v : values) stats.add(v);
+  const double sd = stats.stddev();
+  const double scale = sd > 0.0 ? config.sigma_db / sd : 0.0;
+  const double mean = stats.mean();
+  for (auto& v : values) v = (v - mean) * scale;
+}
+
+double ShadowingField::empirical_sigma_db() const noexcept {
+  support::RunningStats stats;
+  for (double v : field_.values()) stats.add(v);
+  return stats.stddev();
+}
+
+}  // namespace vire::rf

@@ -1,0 +1,54 @@
+#pragma once
+// Spatially-correlated log-normal shadowing.
+//
+// Classic i.i.d. log-normal shadowing would break the premise that both
+// LANDMARC and VIRE rely on — "tags placed close enough have similar RSSI"
+// (paper Sec. 4.1). Real shadowing decorrelates over metres (Gudmundson's
+// model); we synthesise a smooth random field per reader by low-pass
+// filtering white Gaussian noise on a lattice with a Gaussian kernel whose
+// width sets the decorrelation distance, then rescaling to the target
+// standard deviation. Sampling is deterministic in position, so nearby tags
+// see nearby shadowing values — exactly the structure VIRE's interpolation
+// exploits and the structure a real site survey observes.
+
+#include "geom/grid.h"
+#include "geom/polygon.h"
+#include "geom/vec2.h"
+#include "support/rng.h"
+
+namespace vire::rf {
+
+struct ShadowingConfig {
+  double sigma_db = 3.0;          ///< target standard deviation (dB)
+  double correlation_m = 1.5;     ///< decorrelation distance (m)
+  double lattice_step_m = 0.25;   ///< resolution of the synthesised field
+  double margin_m = 4.0;          ///< field extends this far beyond the area
+};
+
+/// A frozen, position-deterministic shadowing field over a rectangular
+/// region. One instance per reader (shadowing is link-dependent).
+class ShadowingField {
+ public:
+  /// Builds the field covering `area` (expanded by config.margin_m).
+  /// All randomness comes from `rng`; equal seeds give equal fields.
+  ShadowingField(const geom::Aabb& area, const ShadowingConfig& config,
+                 support::Rng rng);
+
+  /// Shadowing offset (dB) at a position; bilinear between lattice nodes,
+  /// clamped at the field boundary.
+  [[nodiscard]] double offset_db(geom::Vec2 position) const {
+    return field_.sample(position);
+  }
+
+  [[nodiscard]] const ShadowingConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const geom::GridField& field() const noexcept { return field_; }
+
+  /// Empirical standard deviation over the lattice (should be ~sigma_db).
+  [[nodiscard]] double empirical_sigma_db() const noexcept;
+
+ private:
+  ShadowingConfig config_;
+  geom::GridField field_;
+};
+
+}  // namespace vire::rf

@@ -1,0 +1,52 @@
+#pragma once
+// RF unit conversions and physical constants. RSSI values throughout the
+// library are in dBm (as reported by the improved RF Code readers the paper
+// uses); power combining happens in linear milliwatts / field amplitudes.
+
+#include <cmath>
+
+namespace vire::rf {
+
+/// Speed of light (m/s).
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Default carrier of RF Code active tags (433.92 MHz ISM band).
+inline constexpr double kDefaultFrequencyHz = 433.92e6;
+
+/// Wavelength for a carrier frequency (m).
+[[nodiscard]] constexpr double wavelength(double frequency_hz) noexcept {
+  return kSpeedOfLight / frequency_hz;
+}
+
+[[nodiscard]] inline double dbm_to_mw(double dbm) noexcept {
+  return std::pow(10.0, dbm / 10.0);
+}
+
+[[nodiscard]] inline double mw_to_dbm(double mw) noexcept {
+  return 10.0 * std::log10(mw);
+}
+
+/// Converts a power ratio to decibels.
+[[nodiscard]] inline double ratio_to_db(double ratio) noexcept {
+  return 10.0 * std::log10(ratio);
+}
+
+/// Converts decibels to a power ratio.
+[[nodiscard]] inline double db_to_ratio(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Converts an amplitude (field) ratio to decibels (20 log10).
+[[nodiscard]] inline double amplitude_ratio_to_db(double ratio) noexcept {
+  return 20.0 * std::log10(ratio);
+}
+
+/// Free-space path loss (dB) at distance d (m) and frequency f (Hz).
+/// FSPL = 20 log10(4 pi d / lambda).
+[[nodiscard]] inline double free_space_path_loss_db(double distance_m,
+                                                    double frequency_hz) noexcept {
+  const double lambda = wavelength(frequency_hz);
+  return 20.0 * std::log10(4.0 * M_PI * distance_m / lambda);
+}
+
+}  // namespace vire::rf

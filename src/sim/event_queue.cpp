@@ -1,0 +1,38 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vire::sim {
+
+void EventQueue::schedule(SimTime when, Callback callback) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  queue_.push(Event{when, next_seq_++, std::move(callback)});
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    // Copy out before pop: the callback may schedule new events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.callback(now_);
+    ++executed;
+  }
+  now_ = std::max(now_, until);
+  return executed;
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.when;
+  event.callback(now_);
+  return true;
+}
+
+}  // namespace vire::sim

@@ -1,0 +1,56 @@
+#pragma once
+// Discrete-event core: a time-ordered queue of callbacks with a
+// deterministic tie-break (insertion sequence), so simulations replay
+// identically for a given seed regardless of container internals.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace vire::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  /// Schedules `callback` at absolute time `when` (must be >= now()).
+  void schedule(SimTime when, Callback callback);
+
+  /// Schedules relative to the current time.
+  void schedule_in(SimTime delay, Callback callback) {
+    schedule(now_ + delay, std::move(callback));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `until`; advances now() to `until` on return. Returns events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Executes exactly one event if any; returns whether one ran.
+  bool step();
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vire::sim

@@ -1,0 +1,105 @@
+#include "sim/middleware.h"
+
+#include <algorithm>
+
+namespace vire::sim {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}
+
+Middleware::Middleware(int reader_count, MiddlewareConfig config)
+    : reader_count_(reader_count), config_(config) {}
+
+void Middleware::ingest(const RssiReading& reading) {
+  auto& samples = links_[{reading.tag, reading.reader}];
+  samples.push_back({reading.time, reading.rssi_dbm});
+  // Opportunistic per-link eviction keeps deques short without a global scan.
+  const SimTime cutoff = reading.time - config_.window_s;
+  while (!samples.empty() && samples.front().time < cutoff) samples.pop_front();
+}
+
+void Middleware::evict_stale(SimTime now) {
+  const SimTime cutoff = now - config_.window_s;
+  for (auto it = links_.begin(); it != links_.end();) {
+    auto& samples = it->second;
+    while (!samples.empty() && samples.front().time < cutoff) samples.pop_front();
+    if (samples.empty()) {
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double Middleware::aggregate(const std::deque<Sample>& samples) const {
+  if (samples.size() < config_.min_samples || samples.empty()) return kNan;
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const auto& s : samples) values.push_back(s.rssi_dbm);
+  switch (config_.aggregation) {
+    case Aggregation::kMean: {
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      return sum / static_cast<double>(values.size());
+    }
+    case Aggregation::kMedian: {
+      const auto mid = values.size() / 2;
+      std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                       values.end());
+      if (values.size() % 2 == 1) return values[mid];
+      const double upper = values[mid];
+      const double lower =
+          *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+      return 0.5 * (lower + upper);
+    }
+    case Aggregation::kTrimmedMean: {
+      std::sort(values.begin(), values.end());
+      const auto trim = values.size() / 5;  // 20% per side
+      if (values.size() <= 2 * trim) {
+        double sum = 0.0;
+        for (double v : values) sum += v;
+        return sum / static_cast<double>(values.size());
+      }
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (std::size_t i = trim; i < values.size() - trim; ++i) {
+        sum += values[i];
+        ++count;
+      }
+      return sum / static_cast<double>(count);
+    }
+  }
+  return kNan;
+}
+
+double Middleware::link_rssi(TagId tag, ReaderId reader) const {
+  const auto it = links_.find({tag, reader});
+  if (it == links_.end()) return kNan;
+  return aggregate(it->second);
+}
+
+RssiVector Middleware::rssi_vector(TagId tag) const {
+  RssiVector out(static_cast<std::size_t>(reader_count_), kNan);
+  for (int k = 0; k < reader_count_; ++k) {
+    out[static_cast<std::size_t>(k)] = link_rssi(tag, static_cast<ReaderId>(k));
+  }
+  return out;
+}
+
+std::vector<TagId> Middleware::known_tags() const {
+  std::vector<TagId> tags;
+  for (const auto& [key, samples] : links_) {
+    if (tags.empty() || tags.back() != key.first) tags.push_back(key.first);
+  }
+  return tags;
+}
+
+std::size_t Middleware::sample_count(TagId tag, ReaderId reader) const {
+  const auto it = links_.find({tag, reader});
+  return it == links_.end() ? 0 : it->second.size();
+}
+
+void Middleware::clear() { links_.clear(); }
+
+}  // namespace vire::sim

@@ -1,0 +1,71 @@
+#pragma once
+// Middleware collector: the software layer between readers and localization.
+// Buffers (time, tag, reader, RSSI) readings and serves smoothed per-link
+// estimates over a sliding window — the paper's central processing server
+// "gathers the information of tags received by readers".
+//
+// Smoothing matters: the walker-disturbance experiments rely on the
+// middleware's outlier-robust aggregation (median or trimmed mean) to filter
+// "sudden change of the RSSI value ... when a person walked through".
+
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace vire::sim {
+
+enum class Aggregation {
+  kMean,
+  kMedian,
+  kTrimmedMean,  ///< mean after dropping the top/bottom 20%
+};
+
+struct MiddlewareConfig {
+  double window_s = 30.0;  ///< readings older than this are evicted
+  Aggregation aggregation = Aggregation::kTrimmedMean;
+  std::size_t min_samples = 1;  ///< fewer samples than this => no estimate
+};
+
+class Middleware {
+ public:
+  explicit Middleware(int reader_count, MiddlewareConfig config = {});
+
+  void ingest(const RssiReading& reading);
+
+  /// Drops readings older than (now - window) across all links.
+  void evict_stale(SimTime now);
+
+  /// Smoothed RSSI of (tag, reader) over the window; NaN if insufficient.
+  [[nodiscard]] double link_rssi(TagId tag, ReaderId reader) const;
+
+  /// Full K-vector for a tag (NaN where undetected).
+  [[nodiscard]] RssiVector rssi_vector(TagId tag) const;
+
+  /// Tags with at least one buffered reading.
+  [[nodiscard]] std::vector<TagId> known_tags() const;
+
+  [[nodiscard]] std::size_t sample_count(TagId tag, ReaderId reader) const;
+  [[nodiscard]] int reader_count() const noexcept { return reader_count_; }
+  [[nodiscard]] const MiddlewareConfig& config() const noexcept { return config_; }
+
+  void clear();
+
+ private:
+  struct Sample {
+    SimTime time;
+    double rssi_dbm;
+  };
+  using LinkKey = std::pair<TagId, ReaderId>;
+
+  [[nodiscard]] double aggregate(const std::deque<Sample>& samples) const;
+
+  int reader_count_;
+  MiddlewareConfig config_;
+  std::map<LinkKey, std::deque<Sample>> links_;
+};
+
+}  // namespace vire::sim

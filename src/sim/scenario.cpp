@@ -1,0 +1,211 @@
+#include "sim/scenario.h"
+
+#include <stdexcept>
+
+#include "sim/tag.h"
+
+namespace vire::sim {
+
+namespace {
+
+geom::Vec2 vec2_from(const std::vector<double>& values, const std::string& what) {
+  if (values.size() != 2) {
+    throw std::runtime_error("scenario: '" + what + "' needs exactly 2 numbers");
+  }
+  return {values[0], values[1]};
+}
+
+geom::Aabb aabb_from(const std::vector<double>& values, const std::string& what) {
+  if (values.size() != 4) {
+    throw std::runtime_error("scenario: '" + what +
+                             "' needs 4 numbers (lo.x, lo.y, hi.x, hi.y)");
+  }
+  if (values[2] <= values[0] || values[3] <= values[1]) {
+    throw std::runtime_error("scenario: '" + what + "' has an empty extent");
+  }
+  return {{values[0], values[1]}, {values[2], values[3]}};
+}
+
+std::vector<geom::Vec2> path_from(const std::vector<double>& values,
+                                  const std::string& what) {
+  if (values.size() < 4 || values.size() % 2 != 0) {
+    throw std::runtime_error("scenario: '" + what +
+                             "' needs an even number (>= 4) of coordinates");
+  }
+  std::vector<geom::Vec2> out;
+  for (std::size_t i = 0; i + 1 < values.size(); i += 2) {
+    out.push_back({values[i], values[i + 1]});
+  }
+  return out;
+}
+
+env::Environment environment_from(const support::Config& config) {
+  const support::ConfigSection* section = config.first("environment");
+  if (section == nullptr) {
+    throw std::runtime_error("scenario: missing [environment] section");
+  }
+
+  // Either a paper preset...
+  if (const auto preset = section->get_string("preset")) {
+    env::Environment env = [&] {
+      if (*preset == "env1") return env::make_paper_environment(env::PaperEnvironment::kEnv1SemiOpen);
+      if (*preset == "env2") return env::make_paper_environment(env::PaperEnvironment::kEnv2Spacious);
+      if (*preset == "env3") return env::make_paper_environment(env::PaperEnvironment::kEnv3Office);
+      throw std::runtime_error("scenario: unknown preset '" + *preset +
+                               "' (env1|env2|env3)");
+    }();
+    // ...optionally with channel overrides.
+    env.channel_config.path_loss_exponent =
+        section->double_or("path_loss_exponent", env.channel_config.path_loss_exponent);
+    env.channel_config.rssi_at_1m_dbm =
+        section->double_or("rssi_at_1m", env.channel_config.rssi_at_1m_dbm);
+    env.channel_config.shadowing.sigma_db =
+        section->double_or("shadowing_sigma", env.channel_config.shadowing.sigma_db);
+    env.channel_config.shadowing.correlation_m = section->double_or(
+        "shadowing_correlation", env.channel_config.shadowing.correlation_m);
+    env.channel_config.noise_sigma_db =
+        section->double_or("noise_sigma", env.channel_config.noise_sigma_db);
+    return env;
+  }
+
+  // ...or an explicit room.
+  const auto extent = section->get_doubles("extent");
+  if (!extent) {
+    throw std::runtime_error(
+        "scenario: [environment] needs either 'preset' or 'extent'");
+  }
+  env::Environment env(section->string_or("name", "scenario"),
+                  aabb_from(*extent, "extent"));
+  env.channel_config.path_loss_exponent =
+      section->double_or("path_loss_exponent", 2.5);
+  env.channel_config.rssi_at_1m_dbm = section->double_or("rssi_at_1m", -58.0);
+  env.channel_config.shadowing.sigma_db = section->double_or("shadowing_sigma", 3.0);
+  env.channel_config.shadowing.correlation_m =
+      section->double_or("shadowing_correlation", 1.8);
+  env.channel_config.noise_sigma_db = section->double_or("noise_sigma", 1.5);
+  if (const auto room = section->get_doubles("room")) {
+    env.add_room_outline(aabb_from(*room, "room"),
+                         material_from_string(section->string_or("room_material",
+                                                                 "concrete")));
+  }
+  return env;
+}
+
+}  // namespace
+
+geom::Vec2 ScenarioTag::position_at(double t) const {
+  if (!mobile()) return position;
+  return make_waypoint_trajectory(waypoints, speed_mps, start_time_s)(t);
+}
+
+env::Material material_from_string(const std::string& name) {
+  if (name == "drywall") return env::Material::kDrywall;
+  if (name == "concrete") return env::Material::kConcrete;
+  if (name == "brick") return env::Material::kBrick;
+  if (name == "glass") return env::Material::kGlass;
+  if (name == "wood") return env::Material::kWood;
+  if (name == "metal") return env::Material::kMetal;
+  if (name == "human" || name == "body") return env::Material::kHumanBody;
+  throw std::runtime_error("scenario: unknown material '" + name + "'");
+}
+
+Scenario load_scenario(const support::Config& config) {
+  Scenario scenario(environment_from(config));
+
+  // Extra walls and obstacles.
+  for (const auto* section : config.sections_named("wall")) {
+    const auto from = section->get_doubles("from");
+    const auto to = section->get_doubles("to");
+    if (!from || !to) {
+      throw std::runtime_error("scenario: [wall] needs 'from' and 'to'");
+    }
+    scenario.environment.add_wall(
+        {{vec2_from(*from, "from"), vec2_from(*to, "to")},
+         material_from_string(section->string_or("material", "drywall")),
+         section->string_or("label", "wall")});
+  }
+  for (const auto* section : config.sections_named("obstacle")) {
+    const auto rect = section->get_doubles("rect");
+    if (!rect) throw std::runtime_error("scenario: [obstacle] needs 'rect'");
+    scenario.environment.add_obstacle(
+        {aabb_from(*rect, "rect"),
+         material_from_string(section->string_or("material", "wood")),
+         section->string_or("label", "obstacle")});
+  }
+
+  // Deployment.
+  if (const auto* section = config.first("deployment")) {
+    if (const auto origin = section->get_doubles("origin")) {
+      scenario.deployment.origin = vec2_from(*origin, "origin");
+    }
+    scenario.deployment.spacing_m = section->double_or("spacing",
+                                                       scenario.deployment.spacing_m);
+    scenario.deployment.cols = section->int_or("cols", scenario.deployment.cols);
+    scenario.deployment.rows = section->int_or("rows", scenario.deployment.rows);
+    scenario.deployment.reader_offset_m =
+        section->double_or("reader_offset", scenario.deployment.reader_offset_m);
+    scenario.deployment.readers = section->int_or("readers",
+                                                  scenario.deployment.readers);
+    const std::string placement = section->string_or("placement", "corners");
+    if (placement == "corners") {
+      scenario.deployment.placement = env::ReaderPlacement::kCorners;
+    } else if (placement == "midpoints") {
+      scenario.deployment.placement = env::ReaderPlacement::kEdgeMidpoints;
+    } else if (placement == "both") {
+      scenario.deployment.placement = env::ReaderPlacement::kCornersAndMidpoints;
+    } else if (placement == "one-sided") {
+      scenario.deployment.placement = env::ReaderPlacement::kOneSided;
+    } else {
+      throw std::runtime_error("scenario: unknown placement '" + placement + "'");
+    }
+  }
+
+  // Tags.
+  for (const auto* section : config.sections_named("tag")) {
+    ScenarioTag tag;
+    tag.name = section->string_or("name",
+                                  "tag-" + std::to_string(scenario.tags.size() + 1));
+    tag.speed_mps = section->double_or("speed", 0.5);
+    tag.start_time_s = section->double_or("start", 0.0);
+    if (const auto waypoints = section->get_doubles("waypoints")) {
+      tag.waypoints = path_from(*waypoints, "waypoints");
+      tag.position = tag.waypoints.front();
+    } else if (const auto position = section->get_doubles("position")) {
+      tag.position = vec2_from(*position, "position");
+    } else {
+      throw std::runtime_error("scenario: [tag] '" + tag.name +
+                               "' needs 'position' or 'waypoints'");
+    }
+    scenario.tags.push_back(std::move(tag));
+  }
+  if (scenario.tags.empty()) {
+    throw std::runtime_error("scenario: needs at least one [tag]");
+  }
+
+  // Walkers.
+  for (const auto* section : config.sections_named("walker")) {
+    const auto path = section->get_doubles("path");
+    if (!path) throw std::runtime_error("scenario: [walker] needs 'path'");
+    rf::BodyShadowProfile profile;
+    profile.peak_loss_db = section->double_or("loss", profile.peak_loss_db);
+    scenario.walkers.emplace_back(path_from(*path, "path"),
+                                  section->double_or("speed", 1.2),
+                                  section->double_or("start", 0.0), profile,
+                                  section->bool_or("stays", false));
+  }
+
+  // Simulation parameters.
+  if (const auto* section = config.first("simulation")) {
+    scenario.seed = static_cast<std::uint64_t>(section->int_or("seed", 1));
+    scenario.duration_s = section->double_or("duration", 60.0);
+    scenario.middleware.window_s =
+        section->double_or("window", scenario.middleware.window_s);
+  }
+  return scenario;
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  return load_scenario(support::Config::load(path));
+}
+
+}  // namespace vire::sim

@@ -1,0 +1,84 @@
+#pragma once
+// Declarative scenario descriptions.
+//
+// A deployment study shouldn't require recompiling C++: a scenario file
+// describes the room (or selects a paper preset), the reference-tag
+// deployment, the tracked tags and any walkers, and the simulation
+// parameters. `examples/scenario_runner` executes such files end to end.
+//
+//   [environment]
+//   preset = env3              # or: name/extent + explicit walls/obstacles
+//   noise_sigma = 2.0          # any channel parameter can be overridden
+//
+//   [obstacle]
+//   rect = 4, 0.2, 4.8, 2.2    # lo.x, lo.y, hi.x, hi.y
+//   material = metal
+//
+//   [deployment]
+//   cols = 4
+//   rows = 4
+//   spacing = 1.0
+//   placement = corners        # corners | midpoints | both | one-sided
+//
+//   [tag]
+//   name = forklift
+//   position = 1.5, 1.5        # static tag...
+//   waypoints = 0,0, 3,0, 3,3  # ...or a route (with speed / start)
+//   speed = 0.5
+//
+//   [walker]
+//   path = -1,1.5, 4,1.5
+//   speed = 1.2
+//   start = 10
+//
+//   [simulation]
+//   seed = 7
+//   duration = 60
+
+#include <string>
+#include <vector>
+
+#include "env/deployment.h"
+#include "env/environment.h"
+#include "sim/simulator.h"
+#include "support/config.h"
+
+namespace vire::sim {
+
+/// A tag the scenario wants located (static position or waypoint route).
+struct ScenarioTag {
+  std::string name;
+  geom::Vec2 position;            ///< start (and, for static tags, only) position
+  std::vector<geom::Vec2> waypoints;  ///< non-empty => mobile
+  double speed_mps = 0.5;
+  double start_time_s = 0.0;
+  [[nodiscard]] bool mobile() const noexcept { return waypoints.size() >= 2; }
+  /// Ground-truth position at time t.
+  [[nodiscard]] geom::Vec2 position_at(double t) const;
+};
+
+struct Scenario {
+  explicit Scenario(env::Environment environment_in)
+      : environment(std::move(environment_in)) {}
+
+  env::Environment environment;
+  env::DeploymentConfig deployment;
+  std::vector<ScenarioTag> tags;
+  std::vector<Walker> walkers;
+  std::uint64_t seed = 1;
+  double duration_s = 60.0;
+  MiddlewareConfig middleware;
+};
+
+/// Parses a env::Material from its lowercase name ("metal", "concrete", ...).
+/// Throws std::runtime_error for unknown names.
+[[nodiscard]] env::Material material_from_string(const std::string& name);
+
+/// Builds a Scenario from a parsed config; throws std::runtime_error with a
+/// descriptive message on semantic errors (missing sections, bad shapes).
+[[nodiscard]] Scenario load_scenario(const support::Config& config);
+
+/// Convenience: load + parse a scenario file.
+[[nodiscard]] Scenario load_scenario_file(const std::string& path);
+
+}  // namespace vire::sim

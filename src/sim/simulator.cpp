@@ -1,0 +1,134 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+
+namespace vire::sim {
+
+RfidSimulator::RfidSimulator(const env::Environment& environment,
+                             const env::Deployment& deployment,
+                             SimulatorConfig config)
+    : deployment_(deployment),
+      config_(config),
+      interference_(config.interference),
+      middleware_(deployment.reader_count(), config.middleware),
+      master_rng_(config.seed),
+      measurement_rng_(master_rng_.split("measurement")),
+      tag_rng_(master_rng_.split("tags")) {
+  // The channel's shadowing fields must cover the deployment plus any area
+  // mobile tags/walkers may roam, so take the environment extent.
+  const std::uint64_t channel_seed =
+      config.channel_seed != 0 ? config.channel_seed : master_rng_.split("channel")();
+  channel_ = std::make_unique<rf::RfChannel>(environment.extent(),
+                                             environment.surfaces(),
+                                             environment.channel_config, channel_seed);
+  for (const auto& pos : deployment.reader_positions()) channel_->add_reader(pos);
+}
+
+TagId RfidSimulator::add_tag(geom::Vec2 position) {
+  return add_tag(position, config_.tag_defaults);
+}
+
+TagId RfidSimulator::add_tag(geom::Vec2 position, const TagConfig& config) {
+  const auto id = static_cast<TagId>(tags_.size());
+  const double bias = tag_rng_.normal(0.0, config.behavior_sigma_db);
+  const double orientation = tag_rng_.uniform(0.0, 2.0 * M_PI);
+  tags_.push_back(std::make_unique<ActiveTag>(id, position, bias, orientation, config));
+  // Random beacon phase so tags are not synchronised.
+  schedule_beacon(id, now() + tag_rng_.uniform(0.0, config.beacon_interval_s));
+  return id;
+}
+
+TagId RfidSimulator::add_mobile_tag(Trajectory trajectory, const TagConfig& config) {
+  const TagId id = add_tag({0.0, 0.0}, config);
+  tags_.back()->set_trajectory(std::move(trajectory));
+  return id;
+}
+
+std::vector<TagId> RfidSimulator::add_reference_tags() {
+  std::vector<TagId> ids;
+  ids.reserve(deployment_.reference_positions().size());
+  for (const auto& pos : deployment_.reference_positions()) {
+    ids.push_back(add_tag(pos));
+  }
+  return ids;
+}
+
+void RfidSimulator::schedule_beacon(TagId id, SimTime when) {
+  events_.schedule(when, [this, id](SimTime t) { emit_beacon(id, t); });
+}
+
+double RfidSimulator::link_extra_offset_db(TagId id, int reader, geom::Vec2 tag_pos,
+                                           SimTime t) {
+  const auto& tag = *tags_[static_cast<std::size_t>(id)];
+  double offset = tag.behavior_bias_db();
+
+  // Tag antenna directivity toward this reader.
+  const geom::Vec2 reader_pos = channel_->reader_position(reader);
+  const geom::Vec2 to_reader = reader_pos - tag_pos;
+  offset += tag.antenna_gain_db(std::atan2(to_reader.y, to_reader.x));
+  for (const auto& walker : walkers_) {
+    offset -= walker.link_loss_db(tag_pos, reader_pos, t);
+  }
+
+  // Slow AR(1) fading, one process per (tag, reader) link.
+  if (config_.fading_sigma_db > 0.0) {
+    const auto key = std::make_pair(id, reader);
+    auto it = fading_.find(key);
+    if (it == fading_.end()) {
+      support::Rng link_rng = master_rng_.split("fading").split(
+          (static_cast<std::uint64_t>(id) << 16) ^ static_cast<std::uint64_t>(reader));
+      it = fading_
+               .emplace(key, LinkFading{rf::Ar1Fading(config_.fading_sigma_db,
+                                                      config_.fading_tau_s, link_rng),
+                                        t})
+               .first;
+    }
+    auto& lf = it->second;
+    offset += lf.process.advance(std::max(0.0, t - lf.last_update));
+    lf.last_update = t;
+  }
+
+  // Tag-density interference (same offset model for every reader of this
+  // beacon would be wrong — collisions are per-reception — so draw fresh).
+  if (config_.enable_interference) {
+    std::vector<geom::Vec2> positions;
+    positions.reserve(tags_.size());
+    for (const auto& other : tags_) positions.push_back(other->position(t));
+    offset += interference_.rssi_offset_db(positions, id, measurement_rng_);
+  }
+  return offset;
+}
+
+void RfidSimulator::emit_beacon(TagId id, SimTime t) {
+  auto& beacon_tag = *tags_[static_cast<std::size_t>(id)];
+  const geom::Vec2 pos = beacon_tag.position(t);
+
+  for (int k = 0; k < channel_->reader_count(); ++k) {
+    const double extra = link_extra_offset_db(id, k, pos, t);
+    const double rssi = channel_->sample_rssi_dbm(k, pos, measurement_rng_, extra);
+    if (channel_->detectable(rssi)) {
+      middleware_.ingest({t, id, static_cast<ReaderId>(k), rssi});
+    }
+  }
+
+  const auto& cfg = beacon_tag.config();
+  const double jitter = cfg.beacon_interval_s * cfg.beacon_jitter_fraction;
+  const double next =
+      cfg.beacon_interval_s + measurement_rng_.uniform(-jitter, jitter);
+  schedule_beacon(id, t + std::max(0.05, next));
+}
+
+void RfidSimulator::run_until(SimTime until) { events_.run_until(until); }
+
+std::vector<RssiVector> RfidSimulator::survey(SimTime duration) {
+  middleware_.clear();
+  run_for(duration);
+  std::vector<RssiVector> out;
+  out.reserve(tags_.size());
+  for (TagId id = 0; id < tags_.size(); ++id) {
+    out.push_back(middleware_.rssi_vector(id));
+  }
+  return out;
+}
+
+}  // namespace vire::sim

@@ -1,0 +1,115 @@
+#pragma once
+// RfidSimulator: the facade that wires environment geometry, the RF channel,
+// active tags, readers, walkers and the middleware into one discrete-event
+// simulation. This substitutes for the paper's physical testbed: everything
+// downstream (LANDMARC, VIRE, the benches) consumes only the middleware's
+// (tag, reader, RSSI) stream.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "env/deployment.h"
+#include "env/environment.h"
+#include "rf/channel.h"
+#include "rf/fading.h"
+#include "rf/interference.h"
+#include "sim/event_queue.h"
+#include "sim/middleware.h"
+#include "sim/tag.h"
+#include "sim/walker.h"
+#include "support/rng.h"
+
+namespace vire::sim {
+
+struct SimulatorConfig {
+  TagConfig tag_defaults;
+  MiddlewareConfig middleware;
+  rf::InterferenceConfig interference;
+  bool enable_interference = true;
+  /// Slow per-link temporal fading (AR(1)); sigma 0 disables it.
+  double fading_sigma_db = 0.4;
+  double fading_tau_s = 30.0;
+  std::uint64_t seed = 1;
+  /// Seed for the frozen channel structure (shadowing fields). 0 derives it
+  /// from `seed`; set it explicitly to hold the room constant while tags,
+  /// noise and beacon phases vary (e.g. the Fig. 4 sequential protocol).
+  std::uint64_t channel_seed = 0;
+};
+
+class RfidSimulator {
+ public:
+  RfidSimulator(const env::Environment& environment, const env::Deployment& deployment,
+                SimulatorConfig config = {});
+
+  /// Adds a static tag; beaconing starts at a random phase within one period.
+  TagId add_tag(geom::Vec2 position);
+  TagId add_tag(geom::Vec2 position, const TagConfig& config);
+  /// Adds a mobile tag following `trajectory`.
+  TagId add_mobile_tag(Trajectory trajectory, const TagConfig& config);
+
+  /// Adds all reference tags of the deployment; returns their ids in grid
+  /// row-major order.
+  std::vector<TagId> add_reference_tags();
+
+  void add_walker(Walker walker) { walkers_.push_back(std::move(walker)); }
+
+  /// Advances the simulation to absolute time `until` (seconds).
+  void run_until(SimTime until);
+  /// Advances by `duration` seconds.
+  void run_for(SimTime duration) { run_until(now() + duration); }
+
+  [[nodiscard]] SimTime now() const noexcept { return events_.now(); }
+
+  [[nodiscard]] const Middleware& middleware() const noexcept { return middleware_; }
+  [[nodiscard]] Middleware& middleware() noexcept { return middleware_; }
+  [[nodiscard]] const rf::RfChannel& channel() const noexcept { return *channel_; }
+  [[nodiscard]] const env::Deployment& deployment() const noexcept {
+    return deployment_;
+  }
+  [[nodiscard]] int reader_count() const noexcept { return channel_->reader_count(); }
+  [[nodiscard]] std::size_t tag_count() const noexcept { return tags_.size(); }
+
+  [[nodiscard]] const ActiveTag& tag(TagId id) const {
+    return *tags_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] ActiveTag& tag(TagId id) {
+    return *tags_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Smoothed RSSI vector for a tag from the middleware window.
+  [[nodiscard]] RssiVector rssi_vector(TagId id) const {
+    return middleware_.rssi_vector(id);
+  }
+
+  /// Convenience: clears the middleware, runs for `duration` seconds, and
+  /// returns the smoothed RSSI vector of every tag (index = TagId).
+  std::vector<RssiVector> survey(SimTime duration);
+
+ private:
+  void schedule_beacon(TagId id, SimTime when);
+  void emit_beacon(TagId id, SimTime t);
+  [[nodiscard]] double link_extra_offset_db(TagId id, int reader, geom::Vec2 tag_pos,
+                                            SimTime t);
+
+  env::Deployment deployment_;
+  SimulatorConfig config_;
+  std::unique_ptr<rf::RfChannel> channel_;
+  rf::InterferenceModel interference_;
+  EventQueue events_;
+  Middleware middleware_;
+  std::vector<std::unique_ptr<ActiveTag>> tags_;
+  std::vector<Walker> walkers_;
+
+  struct LinkFading {
+    rf::Ar1Fading process;
+    SimTime last_update;
+  };
+  std::map<std::pair<TagId, int>, LinkFading> fading_;
+
+  support::Rng master_rng_;
+  support::Rng measurement_rng_;
+  support::Rng tag_rng_;
+};
+
+}  // namespace vire::sim

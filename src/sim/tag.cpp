@@ -1,0 +1,34 @@
+#include "sim/tag.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace vire::sim {
+
+Trajectory make_waypoint_trajectory(std::vector<geom::Vec2> waypoints,
+                                    double speed_mps, SimTime start_time) {
+  if (waypoints.empty()) {
+    throw std::invalid_argument("make_waypoint_trajectory: no waypoints");
+  }
+  if (speed_mps <= 0.0) {
+    throw std::invalid_argument("make_waypoint_trajectory: speed must be > 0");
+  }
+  // Precompute cumulative arrival time at each waypoint.
+  std::vector<SimTime> arrival(waypoints.size(), start_time);
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    arrival[i] = arrival[i - 1] + waypoints[i - 1].distance_to(waypoints[i]) / speed_mps;
+  }
+  return [waypoints = std::move(waypoints), arrival = std::move(arrival)](
+             SimTime t) -> geom::Vec2 {
+    if (t <= arrival.front()) return waypoints.front();
+    if (t >= arrival.back()) return waypoints.back();
+    std::size_t seg = 1;
+    while (seg < arrival.size() && arrival[seg] < t) ++seg;
+    const SimTime t0 = arrival[seg - 1];
+    const SimTime t1 = arrival[seg];
+    const double frac = (t1 > t0) ? (t - t0) / (t1 - t0) : 0.0;
+    return geom::lerp(waypoints[seg - 1], waypoints[seg], frac);
+  };
+}
+
+}  // namespace vire::sim

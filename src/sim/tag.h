@@ -1,0 +1,91 @@
+#pragma once
+// Active RFID tags. Each tag beacons independently on its own period with a
+// small random dither (real tags drift; perfectly synchronised beacons would
+// also produce unrealistic collision patterns). Per-tag behaviour bias
+// models the paper's "varying behaviors of tags": large for the original
+// LANDMARC-era hardware, small for the improved RF Code equipment.
+
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "sim/types.h"
+
+namespace vire::sim {
+
+/// Optional motion: position as a function of time. Static tags omit it.
+using Trajectory = std::function<geom::Vec2(SimTime)>;
+
+struct TagConfig {
+  /// Mean beacon period (s). 2.0 for the improved hardware; the original
+  /// LANDMARC equipment averaged 7.5 s (paper Sec. 3.1).
+  double beacon_interval_s = 2.0;
+  /// Uniform dither applied to each interval, as a fraction of the period.
+  double beacon_jitter_fraction = 0.1;
+  /// Std-dev of the fixed per-tag RSSI bias (dB). ~0.4 for the improved
+  /// "all tags show very similar behavior" hardware; ~1.5 for the original.
+  double behavior_sigma_db = 0.4;
+  /// Half peak-to-peak depth (dB) of the tag antenna's azimuthal gain
+  /// pattern. Real tag antennas are not isotropic — the paper lists
+  /// "orientation of antenna" among the factors influencing RSSI — so two
+  /// co-located tags with different orientations show per-reader RSSI
+  /// differences of this magnitude. 0 disables the effect.
+  double antenna_pattern_db = 1.5;
+};
+
+class ActiveTag {
+ public:
+  ActiveTag(TagId id, geom::Vec2 position, double behavior_bias_db,
+            double orientation_rad, TagConfig config = {})
+      : id_(id),
+        position_(position),
+        bias_db_(behavior_bias_db),
+        orientation_rad_(orientation_rad),
+        config_(config) {}
+
+  [[nodiscard]] TagId id() const noexcept { return id_; }
+  [[nodiscard]] const TagConfig& config() const noexcept { return config_; }
+
+  /// Fixed per-tag RSSI offset (hardware behaviour variation).
+  [[nodiscard]] double behavior_bias_db() const noexcept { return bias_db_; }
+
+  /// Mounting orientation of the tag antenna (radians).
+  [[nodiscard]] double orientation_rad() const noexcept { return orientation_rad_; }
+
+  /// Directional gain (dB) toward azimuth `bearing_rad` — a dipole-like
+  /// two-lobe pattern: antenna_pattern_db * cos(2*(bearing - orientation)).
+  /// Zero-mean over bearings, deterministic for a given tag.
+  [[nodiscard]] double antenna_gain_db(double bearing_rad) const noexcept {
+    return config_.antenna_pattern_db *
+           std::cos(2.0 * (bearing_rad - orientation_rad_));
+  }
+
+  /// Position at time t (follows the trajectory if one is set).
+  [[nodiscard]] geom::Vec2 position(SimTime t) const {
+    return trajectory_ ? (*trajectory_)(t) : position_;
+  }
+
+  void set_position(geom::Vec2 p) noexcept {
+    position_ = p;
+    trajectory_.reset();
+  }
+  void set_trajectory(Trajectory trajectory) { trajectory_ = std::move(trajectory); }
+  [[nodiscard]] bool is_mobile() const noexcept { return trajectory_.has_value(); }
+
+ private:
+  TagId id_;
+  geom::Vec2 position_;
+  double bias_db_;
+  double orientation_rad_;
+  TagConfig config_;
+  std::optional<Trajectory> trajectory_;
+};
+
+/// Straight-line waypoint trajectory at constant speed; clamps at the ends.
+[[nodiscard]] Trajectory make_waypoint_trajectory(std::vector<geom::Vec2> waypoints,
+                                                  double speed_mps,
+                                                  SimTime start_time = 0.0);
+
+}  // namespace vire::sim

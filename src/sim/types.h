@@ -1,0 +1,28 @@
+#pragma once
+// Shared identifier and reading types for the RFID simulation stack.
+// These mirror what the paper's middleware exposes: "the tag ID, the reader
+// ID, and RSSI values".
+
+#include <cstdint>
+#include <vector>
+
+namespace vire::sim {
+
+using TagId = std::uint32_t;
+using ReaderId = std::uint16_t;
+using SimTime = double;  ///< seconds since simulation start
+
+/// One beacon reception: reader `reader` heard tag `tag` with `rssi_dbm`
+/// at simulation time `time`.
+struct RssiReading {
+  SimTime time = 0.0;
+  TagId tag = 0;
+  ReaderId reader = 0;
+  double rssi_dbm = 0.0;
+};
+
+/// Per-tag RSSI vector across all K readers (index = reader id).
+/// Entries for readers that did not detect the tag are NaN.
+using RssiVector = std::vector<double>;
+
+}  // namespace vire::sim

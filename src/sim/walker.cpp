@@ -1,0 +1,31 @@
+#include "sim/walker.h"
+
+namespace vire::sim {
+
+Walker::Walker(std::vector<geom::Vec2> waypoints, double speed_mps,
+               SimTime start_time, rf::BodyShadowProfile profile,
+               bool present_after_walk)
+    : start_time_(start_time),
+      profile_(profile),
+      present_after_walk_(present_after_walk) {
+  double path_length = 0.0;
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    path_length += waypoints[i - 1].distance_to(waypoints[i]);
+  }
+  end_time_ = start_time + (speed_mps > 0.0 ? path_length / speed_mps : 0.0);
+  trajectory_ = make_waypoint_trajectory(std::move(waypoints), speed_mps, start_time);
+}
+
+bool Walker::present(SimTime t) const noexcept {
+  if (t < start_time_) return true;  // standing at the start point
+  if (t <= end_time_) return true;
+  return present_after_walk_;
+}
+
+double Walker::link_loss_db(geom::Vec2 a, geom::Vec2 b, SimTime t) const {
+  if (!present(t)) return 0.0;
+  const geom::Segment link{a, b};
+  return profile_.loss_db(link.distance_to(position(t)));
+}
+
+}  // namespace vire::sim

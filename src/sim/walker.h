@@ -1,0 +1,47 @@
+#pragma once
+// Human walker: a moving body that transiently attenuates links it passes
+// near. The paper: "a sudden change of the RSSI value occurred when a person
+// walked through the testing region. ... Such a factor should be avoided or
+// filtered out when designing the location sensing system."
+
+#include <vector>
+
+#include "geom/segment.h"
+#include "geom/vec2.h"
+#include "rf/fading.h"
+#include "sim/tag.h"
+#include "sim/types.h"
+
+namespace vire::sim {
+
+class Walker {
+ public:
+  /// Walks the waypoint path at `speed_mps` starting at `start_time`;
+  /// before/after the walk the body rests at the first/last waypoint.
+  /// Set `present_after_walk = false` to remove the body once it finishes
+  /// (person leaves the room).
+  Walker(std::vector<geom::Vec2> waypoints, double speed_mps, SimTime start_time,
+         rf::BodyShadowProfile profile = {}, bool present_after_walk = false);
+
+  [[nodiscard]] geom::Vec2 position(SimTime t) const { return trajectory_(t); }
+  [[nodiscard]] bool present(SimTime t) const noexcept;
+
+  /// Extra attenuation (dB, >= 0) the walker causes on the straight link
+  /// from `a` to `b` at time t.
+  [[nodiscard]] double link_loss_db(geom::Vec2 a, geom::Vec2 b, SimTime t) const;
+
+  [[nodiscard]] SimTime start_time() const noexcept { return start_time_; }
+  [[nodiscard]] SimTime end_time() const noexcept { return end_time_; }
+  [[nodiscard]] const rf::BodyShadowProfile& profile() const noexcept {
+    return profile_;
+  }
+
+ private:
+  Trajectory trajectory_;
+  SimTime start_time_;
+  SimTime end_time_;
+  rf::BodyShadowProfile profile_;
+  bool present_after_walk_;
+};
+
+}  // namespace vire::sim

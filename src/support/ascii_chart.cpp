@@ -1,0 +1,245 @@
+#include "support/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace vire::support {
+
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Range find_range(const std::vector<double>& x) {
+  Range r{std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+  for (double v : x) {
+    if (!std::isfinite(v)) continue;
+    r.lo = std::min(r.lo, v);
+    r.hi = std::max(r.hi, v);
+  }
+  if (!std::isfinite(r.lo)) return {0.0, 1.0};
+  if (r.hi == r.lo) {
+    r.lo -= 0.5;
+    r.hi += 0.5;
+  }
+  return r;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+// Bresenham-style rasterisation between two plot-area cells.
+void draw_segment(std::vector<std::string>& canvas, int x0, int y0, int x1, int y1,
+                  char glyph) {
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  int x = x0, y = y0;
+  while (true) {
+    if (y >= 0 && y < static_cast<int>(canvas.size()) && x >= 0 &&
+        x < static_cast<int>(canvas[0].size())) {
+      canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = glyph;
+    }
+    if (x == x1 && y == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y += sy;
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_line_chart(const std::vector<double>& x,
+                              const std::vector<Series>& series,
+                              const ChartOptions& opt) {
+  const int w = std::max(opt.width, 10);
+  const int h = std::max(opt.height, 5);
+  const Range xr = find_range(x);
+
+  std::vector<double> all_y;
+  for (const auto& s : series)
+    for (double v : s.y)
+      if (std::isfinite(v)) all_y.push_back(v);
+  Range yr = find_range(all_y);
+  if (opt.y_from_zero) yr.lo = std::min(yr.lo, 0.0);
+  // Pad the top slightly so maxima are not clipped onto the border.
+  yr.hi += (yr.hi - yr.lo) * 0.05;
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+  auto to_col = [&](double v) {
+    return static_cast<int>(std::lround((v - xr.lo) / (xr.hi - xr.lo) * (w - 1)));
+  };
+  auto to_row = [&](double v) {
+    return (h - 1) -
+           static_cast<int>(std::lround((v - yr.lo) / (yr.hi - yr.lo) * (h - 1)));
+  };
+
+  for (const auto& s : series) {
+    int prev_c = -1, prev_r = -1;
+    const std::size_t n = std::min(x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(s.y[i]) || !std::isfinite(x[i])) {
+        prev_c = -1;
+        continue;
+      }
+      const int c = to_col(x[i]);
+      const int r = to_row(s.y[i]);
+      if (opt.connect && prev_c >= 0) {
+        draw_segment(canvas, prev_c, prev_r, c, r, s.glyph);
+      } else if (r >= 0 && r < h && c >= 0 && c < w) {
+        canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = s.glyph;
+      }
+      prev_c = c;
+      prev_r = r;
+    }
+  }
+
+  std::ostringstream out;
+  if (!opt.title.empty()) out << "  " << opt.title << '\n';
+  const int label_w = 9;
+  for (int r = 0; r < h; ++r) {
+    std::string label(static_cast<std::size_t>(label_w), ' ');
+    if (r == 0 || r == h - 1 || r == h / 2) {
+      const double frac = 1.0 - static_cast<double>(r) / (h - 1);
+      const double v = yr.lo + frac * (yr.hi - yr.lo);
+      std::string t = fmt(v);
+      label = std::string(static_cast<std::size_t>(
+                              std::max(0, label_w - 1 - static_cast<int>(t.size()))),
+                          ' ') +
+              t + " ";
+    }
+    out << label << '|' << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(static_cast<std::size_t>(label_w), ' ') << '+'
+      << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  // X-axis end labels.
+  std::string lo = fmt(xr.lo), hi = fmt(xr.hi);
+  out << std::string(static_cast<std::size_t>(label_w + 1), ' ') << lo
+      << std::string(static_cast<std::size_t>(std::max(
+             1, w - static_cast<int>(lo.size()) - static_cast<int>(hi.size()))),
+                     ' ')
+      << hi << '\n';
+  if (!opt.x_label.empty() || !opt.y_label.empty()) {
+    out << std::string(static_cast<std::size_t>(label_w + 1), ' ') << opt.x_label;
+    if (!opt.y_label.empty()) out << "   [y: " << opt.y_label << "]";
+    out << '\n';
+  }
+  // Legend.
+  out << std::string(static_cast<std::size_t>(label_w + 1), ' ');
+  for (const auto& s : series) out << s.glyph << "=" << s.label << "  ";
+  out << '\n';
+  return out.str();
+}
+
+std::string render_bar_chart(const std::vector<std::string>& categories,
+                             const std::vector<Series>& series,
+                             const ChartOptions& opt) {
+  double max_v = 0.0;
+  for (const auto& s : series)
+    for (double v : s.y)
+      if (std::isfinite(v)) max_v = std::max(max_v, v);
+  if (max_v <= 0.0) max_v = 1.0;
+
+  const int bar_w = std::max(opt.width, 30);
+  std::ostringstream out;
+  if (!opt.title.empty()) out << "  " << opt.title << '\n';
+  std::size_t label_w = 0;
+  for (const auto& c : categories) label_w = std::max(label_w, c.size());
+  std::size_t series_w = 0;
+  for (const auto& s : series) series_w = std::max(series_w, s.label.size());
+
+  for (std::size_t ci = 0; ci < categories.size(); ++ci) {
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      const auto& s = series[si];
+      const double v = ci < s.y.size() ? s.y[ci] : 0.0;
+      const int len = static_cast<int>(std::lround(v / max_v * bar_w));
+      out << "  ";
+      if (si == 0) {
+        out << categories[ci]
+            << std::string(label_w - categories[ci].size(), ' ');
+      } else {
+        out << std::string(label_w, ' ');
+      }
+      out << ' ' << s.label << std::string(series_w - s.label.size(), ' ') << " |"
+          << std::string(static_cast<std::size_t>(std::max(0, len)), s.glyph) << ' '
+          << fmt(v) << '\n';
+    }
+    out << '\n';
+  }
+  if (!opt.x_label.empty()) out << "  [" << opt.x_label << "]\n";
+  return out.str();
+}
+
+std::string render_heatmap(const std::vector<double>& values, int rows, int cols,
+                           std::string_view title) {
+  static constexpr std::string_view kShades = " .:-=+*#%@";
+  std::ostringstream out;
+  if (!title.empty()) out << "  " << title << '\n';
+  if (rows <= 0 || cols <= 0 ||
+      values.size() < static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    out << "  (empty heatmap)\n";
+    return out.str();
+  }
+  Range r = find_range(values);
+  // Render row 0 at the bottom so the map matches (x,y) plot orientation.
+  for (int row = rows - 1; row >= 0; --row) {
+    out << "  ";
+    for (int col = 0; col < cols; ++col) {
+      const double v = values[static_cast<std::size_t>(row) *
+                                  static_cast<std::size_t>(cols) +
+                              static_cast<std::size_t>(col)];
+      if (!std::isfinite(v)) {
+        out << ' ';
+        continue;
+      }
+      const double t = (v - r.lo) / (r.hi - r.lo);
+      const auto idx = static_cast<std::size_t>(
+          std::clamp(t, 0.0, 1.0) * static_cast<double>(kShades.size() - 1));
+      out << kShades[idx];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_mask(const std::vector<bool>& mask, int rows, int cols,
+                        std::string_view title) {
+  std::ostringstream out;
+  if (!title.empty()) out << "  " << title << '\n';
+  if (rows <= 0 || cols <= 0 ||
+      mask.size() < static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    out << "  (empty mask)\n";
+    return out.str();
+  }
+  for (int row = rows - 1; row >= 0; --row) {
+    out << "  ";
+    for (int col = 0; col < cols; ++col) {
+      const bool on = mask[static_cast<std::size_t>(row) *
+                               static_cast<std::size_t>(cols) +
+                           static_cast<std::size_t>(col)];
+      out << (on ? '#' : '.');
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace vire::support

@@ -1,0 +1,52 @@
+#pragma once
+// Terminal rendering of the reproduced figures: line/scatter charts, grouped
+// bar charts (per-tag comparisons like Fig. 2(b)/Fig. 6), and heat maps
+// (proximity-map visualisation, Fig. 5). Pure text output so every bench can
+// show the figure it regenerates without a plotting dependency.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vire::support {
+
+/// One plotted series: a label, a glyph used for its points, and y-values.
+struct Series {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> y;
+};
+
+struct ChartOptions {
+  int width = 72;        ///< plot-area columns
+  int height = 20;       ///< plot-area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool y_from_zero = false;  ///< force the y-axis to start at 0
+  bool connect = true;       ///< draw line segments between points
+};
+
+/// Renders one or more series against a shared numeric x-axis.
+/// Series shorter than `x` are padded by omission (only defined points drawn).
+[[nodiscard]] std::string render_line_chart(const std::vector<double>& x,
+                                            const std::vector<Series>& series,
+                                            const ChartOptions& options);
+
+/// Renders a grouped bar chart: one group per category (e.g. tracking tag),
+/// one bar per series within the group. Values must be >= 0.
+[[nodiscard]] std::string render_bar_chart(const std::vector<std::string>& categories,
+                                           const std::vector<Series>& series,
+                                           const ChartOptions& options);
+
+/// Renders a dense 2D field (row-major, `rows` x `cols`) as a shaded grid.
+/// Values are min-max normalised; NaN cells render as spaces.
+[[nodiscard]] std::string render_heatmap(const std::vector<double>& values,
+                                         int rows, int cols,
+                                         std::string_view title);
+
+/// Renders a binary mask (e.g. a proximity map) with '#' for true cells.
+[[nodiscard]] std::string render_mask(const std::vector<bool>& mask, int rows, int cols,
+                                      std::string_view title);
+
+}  // namespace vire::support

@@ -1,0 +1,171 @@
+#include "support/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vire::support {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return std::string(s.substr(begin, end - begin));
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string_view strip_comment(std::string_view line) {
+  const auto pos = line.find_first_of("#;");
+  return pos == std::string_view::npos ? line : line.substr(0, pos);
+}
+
+}  // namespace
+
+void ConfigSection::set(std::string key, std::string value) {
+  entries_[lower(std::move(key))] = std::move(value);
+}
+
+bool ConfigSection::has(std::string_view key) const {
+  return entries_.count(lower(std::string(key))) > 0;
+}
+
+std::optional<std::string> ConfigSection::get_string(std::string_view key) const {
+  const auto it = entries_.find(lower(std::string(key)));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> ConfigSection::get_double(std::string_view key) const {
+  const auto raw = get_string(key);
+  if (!raw) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(*raw, &pos);
+    if (trim(raw->substr(pos)).empty()) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::runtime_error("Config: key '" + std::string(key) +
+                           "' is not a number: '" + *raw + "'");
+}
+
+std::optional<int> ConfigSection::get_int(std::string_view key) const {
+  const auto v = get_double(key);
+  if (!v) return std::nullopt;
+  return static_cast<int>(*v);
+}
+
+std::optional<bool> ConfigSection::get_bool(std::string_view key) const {
+  const auto raw = get_string(key);
+  if (!raw) return std::nullopt;
+  const std::string v = lower(trim(*raw));
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  throw std::runtime_error("Config: key '" + std::string(key) +
+                           "' is not a boolean: '" + *raw + "'");
+}
+
+std::optional<std::vector<double>> ConfigSection::get_doubles(
+    std::string_view key) const {
+  const auto raw = get_string(key);
+  if (!raw) return std::nullopt;
+  std::vector<double> out;
+  std::stringstream stream(*raw);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const std::string t = trim(item);
+    if (t.empty()) continue;
+    try {
+      out.push_back(std::stod(t));
+    } catch (const std::exception&) {
+      throw std::runtime_error("Config: key '" + std::string(key) +
+                               "' has a non-numeric element: '" + t + "'");
+    }
+  }
+  return out;
+}
+
+std::string ConfigSection::string_or(std::string_view key, std::string fallback) const {
+  return get_string(key).value_or(std::move(fallback));
+}
+double ConfigSection::double_or(std::string_view key, double fallback) const {
+  return get_double(key).value_or(fallback);
+}
+int ConfigSection::int_or(std::string_view key, int fallback) const {
+  return get_int(key).value_or(fallback);
+}
+bool ConfigSection::bool_or(std::string_view key, bool fallback) const {
+  return get_bool(key).value_or(fallback);
+}
+
+Config Config::parse(std::string_view text) {
+  Config config;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto newline = text.find('\n', start);
+    const std::string_view raw_line =
+        text.substr(start, newline == std::string_view::npos ? std::string_view::npos
+                                                             : newline - start);
+    start = newline == std::string_view::npos ? text.size() + 1 : newline + 1;
+    ++line_number;
+
+    const std::string line = trim(strip_comment(raw_line));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw std::runtime_error("Config: malformed section header at line " +
+                                 std::to_string(line_number));
+      }
+      config.sections_.emplace_back(lower(trim(line.substr(1, line.size() - 2))),
+                                    config.sections_.size());
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("Config: expected 'key = value' at line " +
+                               std::to_string(line_number));
+    }
+    if (config.sections_.empty()) {
+      throw std::runtime_error("Config: key outside any [section] at line " +
+                               std::to_string(line_number));
+    }
+    config.sections_.back().set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  }
+  return config;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::vector<const ConfigSection*> Config::sections_named(std::string_view name) const {
+  const std::string wanted = lower(std::string(name));
+  std::vector<const ConfigSection*> out;
+  for (const auto& section : sections_) {
+    if (section.name() == wanted) out.push_back(&section);
+  }
+  return out;
+}
+
+const ConfigSection* Config::first(std::string_view name) const {
+  const auto all = sections_named(name);
+  return all.empty() ? nullptr : all.front();
+}
+
+}  // namespace vire::support

@@ -1,0 +1,80 @@
+#pragma once
+// Minimal INI-style configuration parser for scenario files.
+//
+// Format:
+//   # comment            ; comment
+//   [section]
+//   key = value
+//   [section]            # repeated section names append a new instance
+//
+// Sections are ordered and may repeat (e.g. several [obstacle] sections);
+// values are strings with typed accessors. This is deliberately tiny — a
+// scenario description needs nothing more.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vire::support {
+
+/// One [section] instance with its key/value pairs.
+class ConfigSection {
+ public:
+  ConfigSection(std::string name, std::size_t index)
+      : name_(std::move(name)), index_(index) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Position of this section in the file (0-based across all sections).
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+  void set(std::string key, std::string value);
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  [[nodiscard]] std::optional<std::string> get_string(std::string_view key) const;
+  [[nodiscard]] std::optional<double> get_double(std::string_view key) const;
+  [[nodiscard]] std::optional<int> get_int(std::string_view key) const;
+  [[nodiscard]] std::optional<bool> get_bool(std::string_view key) const;
+  /// Comma-separated list of doubles ("1.5, 2.0, 3").
+  [[nodiscard]] std::optional<std::vector<double>> get_doubles(std::string_view key) const;
+
+  /// Typed accessors with defaults.
+  [[nodiscard]] std::string string_or(std::string_view key, std::string fallback) const;
+  [[nodiscard]] double double_or(std::string_view key, double fallback) const;
+  [[nodiscard]] int int_or(std::string_view key, int fallback) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::string name_;
+  std::size_t index_;
+  std::map<std::string, std::string> entries_;
+};
+
+/// A parsed configuration file: ordered, repeatable sections.
+class Config {
+ public:
+  /// Parses text; throws std::runtime_error with a line number on syntax
+  /// errors (junk outside sections, lines without '=').
+  static Config parse(std::string_view text);
+  /// Loads and parses a file; throws std::runtime_error if unreadable.
+  static Config load(const std::string& path);
+
+  [[nodiscard]] const std::vector<ConfigSection>& sections() const noexcept {
+    return sections_;
+  }
+  /// All sections with the given name, in file order.
+  [[nodiscard]] std::vector<const ConfigSection*> sections_named(
+      std::string_view name) const;
+  /// The first section with the given name, or nullptr.
+  [[nodiscard]] const ConfigSection* first(std::string_view name) const;
+
+ private:
+  std::vector<ConfigSection> sections_;
+};
+
+}  // namespace vire::support

@@ -1,0 +1,134 @@
+#include "support/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace vire::support {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string format_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::filesystem::path& path) : path_(path) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  out_.open(path);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path.string());
+  }
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  std::vector<std::string> fields;
+  fields.reserve(names.size());
+  for (auto n : names) fields.emplace_back(n);
+  write_fields(fields);
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { write_fields(names); }
+
+void CsvWriter::row(const std::vector<std::string>& fields) { write_fields(fields); }
+
+void CsvWriter::row_numeric(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(format_number(v));
+  write_fields(fields);
+}
+
+void CsvWriter::row_labeled(std::string_view label, const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.emplace_back(label);
+  for (double v : values) fields.push_back(format_number(v));
+  write_fields(fields);
+}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+CsvTable read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path.string());
+  CsvTable table;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool file_has_rows = false;
+  char c;
+  auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    if (!file_has_rows) {
+      table.header = std::move(current);
+      file_has_rows = true;
+    } else {
+      table.rows.push_back(std::move(current));
+    }
+    current.clear();
+  };
+  bool any_char = false;
+  while (in.get(c)) {
+    any_char = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else {
+      switch (c) {
+        case '"':
+          in_quotes = true;
+          break;
+        case ',':
+          end_field();
+          break;
+        case '\r':
+          break;  // tolerate CRLF
+        case '\n':
+          end_row();
+          break;
+        default:
+          field.push_back(c);
+      }
+    }
+  }
+  if (any_char && (!field.empty() || !current.empty())) end_row();
+  return table;
+}
+
+}  // namespace vire::support

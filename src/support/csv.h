@@ -1,0 +1,61 @@
+#pragma once
+// Minimal CSV writing/reading used by the benchmark harness to persist the
+// series behind every reproduced figure (one CSV per figure, checked into
+// the bench output directory so results can be re-plotted externally).
+
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vire::support {
+
+/// Escapes a field per RFC 4180 (quotes fields containing comma/quote/newline).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Streams rows to a CSV file. Throws std::runtime_error if the file cannot
+/// be opened. Flushes on destruction (RAII).
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::filesystem::path& path);
+
+  /// Writes a header row; typically called once, first.
+  void header(std::initializer_list<std::string_view> names);
+  void header(const std::vector<std::string>& names);
+
+  /// Row of already-formatted string fields.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: row of doubles formatted with %.6g.
+  void row_numeric(const std::vector<double>& values);
+
+  /// Mixed row: first field a label, remaining numeric.
+  void row_labeled(std::string_view label, const std::vector<double>& values);
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+/// Fully parsed CSV table (small files only; used by tests to round-trip).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses a CSV file. Handles quoted fields and embedded commas/newlines.
+/// The first row is treated as the header.
+[[nodiscard]] CsvTable read_csv(const std::filesystem::path& path);
+
+/// Formats a double with %.6g (shared by CSV and report rendering).
+[[nodiscard]] std::string format_number(double v);
+
+}  // namespace vire::support

@@ -1,0 +1,65 @@
+#include "support/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace vire::support {
+
+namespace {
+std::mutex g_log_mutex;
+}
+
+std::string strprintf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view msg) {
+    std::fprintf(stderr, "[%.*s] %.*s\n",
+                 static_cast<int>(to_string(level).size()), to_string(level).data(),
+                 static_cast<int>(msg.size()), msg.data());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(g_log_mutex);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  std::lock_guard lock(g_log_mutex);
+  if (sink_) sink_(level, message);
+}
+
+}  // namespace vire::support

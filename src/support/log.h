@@ -1,0 +1,73 @@
+#pragma once
+// Lightweight leveled logging. Thread-safe (a single mutex around the sink),
+// zero-cost when the level is filtered out before formatting. printf-style
+// formatting (GCC 12's libstdc++ has no <format>).
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace vire::support {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Global logger configuration. Defaults to kInfo on stderr.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Replaces the output sink (default writes "[LEVEL] msg\n" to stderr).
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kInfo;
+  Sink sink_;
+};
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+template <typename... Args>
+void log_at(LogLevel level, const char* fmt, Args&&... args) {
+  auto& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  if constexpr (sizeof...(Args) == 0) {
+    logger.log(level, fmt);
+  } else {
+    logger.log(level, strprintf(fmt, std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_debug(const char* fmt, Args&&... args) {
+  log_at(LogLevel::kDebug, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(const char* fmt, Args&&... args) {
+  log_at(LogLevel::kInfo, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args&&... args) {
+  log_at(LogLevel::kWarn, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(const char* fmt, Args&&... args) {
+  log_at(LogLevel::kError, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace vire::support

@@ -1,0 +1,135 @@
+#pragma once
+// Deterministic, splittable random number generation for reproducible
+// simulation experiments.
+//
+// All stochastic components of the library (shadowing fields, measurement
+// noise, interference, walker processes, Monte-Carlo trial drivers) draw
+// from Rng instances that are derived from a single experiment seed via
+// stable stream-splitting, so that
+//   * a whole experiment is reproducible from one 64-bit seed, and
+//   * adding trials / components does not perturb the streams of others.
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace vire::support {
+
+/// splitmix64 step; used both as a seeding mixer and for stream derivation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a hash of a label, used to derive named sub-streams.
+[[nodiscard]] constexpr std::uint64_t hash_label(std::string_view label) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** PRNG. Fast, high quality, 2^256-1 period.
+/// Satisfies the UniformRandomBitGenerator concept so it can be used with
+/// <random> distributions, but the common distributions (uniform, normal,
+/// exponential) are provided as members for portability of exact streams
+/// across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+    // xoshiro must not start from the all-zero state.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t s1 = state_[1];
+    const std::uint64_t result = rotl(s1 * 5, 7) * 9;
+    const std::uint64_t t = s1 << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= s1;
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded generation (bias negligible for
+    // simulation use; the rejection step keeps it exact).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (lo < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller with caching of the second variate.
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Exponential with given rate lambda (> 0).
+  double exponential(double lambda) noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Derives an independent child stream. The parent stream advances by one
+  /// draw; the child is seeded from the draw mixed with `label`, so children
+  /// with different labels are decorrelated even for the same parent state.
+  [[nodiscard]] Rng split(std::string_view label) noexcept {
+    std::uint64_t s = (*this)() ^ hash_label(label);
+    return Rng(splitmix64(s));
+  }
+
+  /// Derives an independent child stream by index (e.g. per-trial streams).
+  [[nodiscard]] Rng split(std::uint64_t index) noexcept {
+    std::uint64_t s = (*this)() ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace vire::support

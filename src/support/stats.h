@@ -1,0 +1,79 @@
+#pragma once
+// Descriptive statistics used throughout the evaluation harness:
+// streaming accumulators (Welford), order statistics, CDFs, confidence
+// intervals, and simple regression used by shape-checks in the benches.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vire::support {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+/// Numerically stable for long Monte-Carlo runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample: moments plus selected quantiles.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Quantile by linear interpolation between closest ranks (type-7, the
+/// default of R/NumPy). `q` in [0,1]. Empty input returns 0.
+[[nodiscard]] double quantile(std::span<const double> sorted_values, double q) noexcept;
+
+/// Computes a full summary; the input need not be sorted (a copy is sorted).
+[[nodiscard]] SampleSummary summarize(std::span<const double> values);
+
+/// Empirical CDF evaluated at `x`: fraction of samples <= x.
+[[nodiscard]] double ecdf(std::span<const double> sorted_values, double x) noexcept;
+
+/// Ordinary least-squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+[[nodiscard]] LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Pearson correlation; 0 when either side is constant or sizes mismatch.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Relative improvement of `candidate` over `baseline` in percent:
+/// 100 * (baseline - candidate) / baseline. Returns 0 if baseline == 0.
+[[nodiscard]] double improvement_percent(double baseline, double candidate) noexcept;
+
+}  // namespace vire::support

@@ -1,0 +1,134 @@
+#include "core/bayesian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace vire::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+geom::RegularGrid paper_grid() { return {{0, 0}, 1.0, 4, 4}; }
+
+sim::RssiVector field_at(geom::Vec2 p) {
+  static const geom::Vec2 readers[4] = {
+      {-0.7, -0.7}, {3.7, -0.7}, {3.7, 3.7}, {-0.7, 3.7}};
+  sim::RssiVector v;
+  for (const auto& r : readers) {
+    v.push_back(-40.0 - 20.0 * std::log10(std::max(0.1, p.distance_to(r))));
+  }
+  return v;
+}
+
+std::vector<sim::RssiVector> references() {
+  std::vector<sim::RssiVector> refs;
+  for (std::size_t i = 0; i < paper_grid().node_count(); ++i) {
+    refs.push_back(field_at(paper_grid().position(i)));
+  }
+  return refs;
+}
+
+BayesianGridLocalizer make_localizer(double sigma = 1.0) {
+  BayesianConfig config;
+  config.sigma_db = sigma;
+  config.virtual_grid.subdivision = 10;
+  BayesianGridLocalizer localizer(paper_grid(), config);
+  localizer.set_reference_rssi(references());
+  return localizer;
+}
+
+TEST(Bayesian, NotReadyBeforeReferences) {
+  BayesianGridLocalizer localizer(paper_grid());
+  EXPECT_FALSE(localizer.ready());
+  EXPECT_FALSE(localizer.locate(field_at({1, 1})).has_value());
+}
+
+TEST(Bayesian, InvalidSigmaThrows) {
+  BayesianConfig config;
+  config.sigma_db = 0.0;
+  EXPECT_THROW(BayesianGridLocalizer(paper_grid(), config), std::invalid_argument);
+}
+
+TEST(Bayesian, PosteriorSumsToOne) {
+  const auto localizer = make_localizer();
+  const auto post = localizer.posterior(field_at({1.4, 2.1}));
+  ASSERT_FALSE(post.empty());
+  double sum = 0;
+  for (double p : post) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Bayesian, MapNearTruthOnCleanField) {
+  const auto localizer = make_localizer();
+  for (const auto& truth : {geom::Vec2{1.5, 1.5}, geom::Vec2{0.6, 2.4},
+                            geom::Vec2{2.7, 0.8}}) {
+    const auto result = localizer.locate(field_at(truth));
+    ASSERT_TRUE(result.has_value());
+    EXPECT_LT(geom::distance(result->map_position, truth), 0.12)
+        << "at " << truth.to_string();
+    EXPECT_LT(geom::distance(result->mean_position, truth), 0.25);
+  }
+}
+
+TEST(Bayesian, SmallerSigmaSharperPosterior) {
+  const auto sharp = make_localizer(0.5);
+  const auto broad = make_localizer(4.0);
+  const auto tracking = field_at({1.5, 1.5});
+  const auto sharp_result = sharp.locate(tracking);
+  const auto broad_result = broad.locate(tracking);
+  ASSERT_TRUE(sharp_result && broad_result);
+  EXPECT_LT(sharp_result->entropy, broad_result->entropy);
+  EXPECT_GT(sharp_result->map_probability, broad_result->map_probability);
+}
+
+TEST(Bayesian, NaNReaderSkipped) {
+  const auto localizer = make_localizer();
+  sim::RssiVector tracking = field_at({1.5, 1.5});
+  tracking[1] = kNan;
+  const auto result = localizer.locate(tracking);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->mean_position, {1.5, 1.5}), 0.3);
+}
+
+TEST(Bayesian, TrackingSizeMismatchThrows) {
+  const auto localizer = make_localizer();
+  EXPECT_THROW((void)localizer.locate({-60.0, -70.0}), std::invalid_argument);
+}
+
+TEST(Bayesian, RobustToModerateMeasurementNoise) {
+  auto localizer = make_localizer(2.0);
+  support::Rng rng(9);
+  support::RunningStats errors;
+  const geom::Vec2 truth{1.3, 1.9};
+  for (int i = 0; i < 40; ++i) {
+    sim::RssiVector tracking = field_at(truth);
+    for (auto& s : tracking) s += rng.normal(0.0, 1.5);
+    const auto result = localizer.locate(tracking);
+    ASSERT_TRUE(result.has_value());
+    errors.add(geom::distance(result->mean_position, truth));
+  }
+  EXPECT_LT(errors.mean(), 0.5);
+}
+
+TEST(Bayesian, PerReaderInconsistencyDegradesEstimate) {
+  // A tracking vector whose readers disagree (one shifted up, one down)
+  // matches no position well: the estimate is pulled away from the truth
+  // and the best node's posterior mass drops.
+  const auto localizer = make_localizer(1.0);
+  const geom::Vec2 truth{1.5, 1.5};
+  const auto clean = localizer.locate(field_at(truth));
+  sim::RssiVector conflicted = field_at(truth);
+  conflicted[0] += 4.0;
+  conflicted[2] -= 4.0;
+  const auto noisy = localizer.locate(conflicted);
+  ASSERT_TRUE(clean && noisy);
+  EXPECT_GT(geom::distance(noisy->mean_position, truth),
+            geom::distance(clean->mean_position, truth));
+}
+
+}  // namespace
+}  // namespace vire::core

@@ -1,0 +1,174 @@
+#include "core/interpolation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vire::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+std::vector<double> lattice_from(int cols, int rows,
+                                 const std::function<double(double, double)>& f) {
+  std::vector<double> values;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) values.push_back(f(c, r));
+  }
+  return values;
+}
+
+// Property: all methods reproduce lattice nodes exactly.
+class EndpointExactness : public ::testing::TestWithParam<InterpolationMethod> {};
+
+TEST_P(EndpointExactness, NodesReproduced) {
+  const auto values =
+      lattice_from(4, 4, [](double x, double y) { return -60.0 - 3.0 * x - 2.0 * y + x * y; });
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_NEAR(interpolate_at(values, 4, 4, c, r, GetParam()),
+                  values[static_cast<std::size_t>(r) * 4 + static_cast<std::size_t>(c)],
+                  1e-9)
+          << "at node (" << c << "," << r << ") method " << to_string(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, EndpointExactness,
+                         ::testing::Values(InterpolationMethod::kLinear,
+                                           InterpolationMethod::kCatmullRom,
+                                           InterpolationMethod::kPolynomial));
+
+// Property: all methods reproduce affine fields exactly everywhere.
+class AffineExactness : public ::testing::TestWithParam<InterpolationMethod> {};
+
+TEST_P(AffineExactness, AffineFieldExact) {
+  auto f = [](double x, double y) { return 5.0 + 2.0 * x - 3.0 * y; };
+  const auto values = lattice_from(5, 4, f);
+  for (double gx = 0.0; gx <= 4.0; gx += 0.23) {
+    for (double gy = 0.0; gy <= 3.0; gy += 0.31) {
+      EXPECT_NEAR(interpolate_at(values, 5, 4, gx, gy, GetParam()), f(gx, gy), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, AffineExactness,
+                         ::testing::Values(InterpolationMethod::kLinear,
+                                           InterpolationMethod::kCatmullRom,
+                                           InterpolationMethod::kPolynomial));
+
+TEST(Linear, BilinearMidCellValue) {
+  const std::vector<double> values = {0.0, 1.0, 2.0, 3.0};  // 2x2
+  EXPECT_NEAR(interpolate_at(values, 2, 2, 0.5, 0.5, InterpolationMethod::kLinear),
+              1.5, 1e-12);
+}
+
+TEST(Linear, MatchesPaperFormulaAlongGridLines) {
+  // Paper Sec 4.2: along a horizontal line the virtual tag at fraction p/n
+  // between real tags A and B has value (p*B + (n-p)*A)/n.
+  const std::vector<double> values = {-70.0, -60.0, -75.0, -65.0};  // 2x2
+  const int n = 10;
+  for (int p = 0; p <= n; ++p) {
+    const double expected = (p * -60.0 + (n - p) * -70.0) / n;
+    EXPECT_NEAR(interpolate_at(values, 2, 2, static_cast<double>(p) / n, 0.0,
+                               InterpolationMethod::kLinear),
+                expected, 1e-9);
+  }
+}
+
+TEST(Linear, NaNCornerPropagates) {
+  const std::vector<double> values = {0.0, kNan, 2.0, 3.0};
+  EXPECT_TRUE(std::isnan(
+      interpolate_at(values, 2, 2, 0.5, 0.5, InterpolationMethod::kLinear)));
+}
+
+TEST(Linear, ClampsOutsideRange) {
+  const std::vector<double> values = {0.0, 1.0, 2.0, 3.0};
+  EXPECT_NEAR(interpolate_at(values, 2, 2, -5.0, -5.0, InterpolationMethod::kLinear),
+              0.0, 1e-12);
+  EXPECT_NEAR(interpolate_at(values, 2, 2, 9.0, 9.0, InterpolationMethod::kLinear),
+              3.0, 1e-12);
+}
+
+TEST(CatmullRom, Reproduces1DControlPoints) {
+  EXPECT_NEAR(catmull_rom(1.0, 2.0, 3.0, 4.0, 0.0), 2.0, 1e-12);
+  EXPECT_NEAR(catmull_rom(1.0, 2.0, 3.0, 4.0, 1.0), 3.0, 1e-12);
+}
+
+TEST(CatmullRom, SmoothCurveBetterThanLinearOnQuadratic) {
+  // Quadratic field: Catmull-Rom (cubic) tracks curvature; bilinear cannot.
+  auto f = [](double x, double y) { return x * x + 0.5 * y * y; };
+  const auto values = lattice_from(6, 6, f);
+  double linear_err = 0.0, spline_err = 0.0;
+  for (double g = 1.1; g < 4.0; g += 0.13) {
+    linear_err += std::abs(
+        interpolate_at(values, 6, 6, g, g, InterpolationMethod::kLinear) - f(g, g));
+    spline_err += std::abs(
+        interpolate_at(values, 6, 6, g, g, InterpolationMethod::kCatmullRom) -
+        f(g, g));
+  }
+  EXPECT_LT(spline_err, linear_err * 0.25);
+}
+
+TEST(CatmullRom, NaNFallsBackToBilinearBehaviour) {
+  auto values = lattice_from(4, 4, [](double x, double y) { return x + y; });
+  values[0] = kNan;  // corner of the stencil for interior cells
+  // Interior point whose 4x4 stencil touches the NaN corner but whose
+  // bilinear cell does not: falls back to a finite bilinear value.
+  const double v =
+      interpolate_at(values, 4, 4, 1.5, 1.5, InterpolationMethod::kCatmullRom);
+  EXPECT_FALSE(std::isnan(v));
+  EXPECT_NEAR(v, 3.0, 1e-9);
+}
+
+TEST(Lagrange, ExactForPolynomialsOfMatchingDegree) {
+  // Degree-3 polynomial sampled at 4 points: exact everywhere.
+  auto poly = [](double x) { return 2.0 + x - 0.5 * x * x + 0.25 * x * x * x; };
+  std::vector<double> y;
+  for (int i = 0; i < 4; ++i) y.push_back(poly(i));
+  for (double x = 0.0; x <= 3.0; x += 0.1) {
+    EXPECT_NEAR(lagrange(y, x), poly(x), 1e-9);
+  }
+}
+
+TEST(Lagrange, EdgeCases) {
+  EXPECT_TRUE(std::isnan(lagrange({}, 0.5)));
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(lagrange(one, 3.0), 7.0);
+}
+
+TEST(Lagrange, RungePhenomenonAtEndpoints) {
+  // The paper warns polynomial interpolation "may not be so exact after
+  // all, especially at the end points". Sample a steep-but-smooth function
+  // at 10 points and check the overshoot near the ends dwarfs the centre.
+  auto runge = [](double x) { return 1.0 / (1.0 + 4.0 * (x - 6.5) * (x - 6.5)); };
+  std::vector<double> y;
+  for (int i = 0; i < 14; ++i) y.push_back(runge(i));
+  double centre_err = 0.0, edge_err = 0.0;
+  for (double x = 6.0; x <= 7.0; x += 0.05) {
+    centre_err = std::max(centre_err, std::abs(lagrange(y, x) - runge(x)));
+  }
+  for (double x = 0.0; x <= 0.9; x += 0.05) {
+    edge_err = std::max(edge_err, std::abs(lagrange(y, x) - runge(x)));
+  }
+  EXPECT_GT(edge_err, 3.0 * centre_err);
+}
+
+TEST(Interpolation, DegenerateLatticeGivesNaN) {
+  const std::vector<double> one = {1.0};
+  EXPECT_TRUE(std::isnan(
+      interpolate_at(one, 1, 1, 0.0, 0.0, InterpolationMethod::kLinear)));
+  const std::vector<double> short_lattice = {1.0, 2.0};
+  EXPECT_TRUE(std::isnan(interpolate_at(short_lattice, 2, 2, 0.5, 0.5,
+                                        InterpolationMethod::kLinear)));
+}
+
+TEST(Interpolation, MethodNames) {
+  EXPECT_EQ(to_string(InterpolationMethod::kLinear), "linear");
+  EXPECT_EQ(to_string(InterpolationMethod::kCatmullRom), "catmull-rom");
+  EXPECT_EQ(to_string(InterpolationMethod::kPolynomial), "polynomial");
+}
+
+}  // namespace
+}  // namespace vire::core

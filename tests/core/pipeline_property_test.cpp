@@ -1,0 +1,171 @@
+// Randomised property tests over the full VIRE pipeline: for families of
+// random-but-physical RSSI fields (random reader placements, exponents,
+// smooth perturbations), invariants that must hold for EVERY realisation:
+//   * the virtual grid reproduces reference readings at real nodes;
+//   * with an exact tracking vector the true region survives elimination;
+//   * the estimate stays inside the (extended) grid and near the truth;
+//   * weights are a proper convex combination;
+//   * the Bayesian posterior's MAP agrees with VIRE within grid resolution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bayesian.h"
+#include "core/vire_localizer.h"
+#include "support/rng.h"
+
+namespace vire::core {
+namespace {
+
+struct RandomField {
+  std::vector<geom::Vec2> readers;
+  std::vector<double> exponents;
+  std::vector<double> ripple_phase;
+  double ripple_db = 0.0;
+
+  sim::RssiVector at(geom::Vec2 p) const {
+    sim::RssiVector v;
+    for (std::size_t k = 0; k < readers.size(); ++k) {
+      const double d = std::max(0.2, p.distance_to(readers[k]));
+      double rssi = -42.0 - 10.0 * exponents[k] * std::log10(d);
+      // Smooth large-scale perturbation (stands in for shadowing).
+      rssi += ripple_db * std::sin(0.9 * p.x + ripple_phase[k]) *
+              std::cos(0.7 * p.y - ripple_phase[k]);
+      v.push_back(rssi);
+    }
+    return v;
+  }
+};
+
+RandomField make_field(std::uint64_t seed) {
+  support::Rng rng(seed);
+  RandomField field;
+  const int readers = 3 + static_cast<int>(rng.uniform_index(3));  // 3..5
+  for (int k = 0; k < readers; ++k) {
+    // Readers scattered around (but outside) the [0,3]^2 grid.
+    const double angle = rng.uniform(0.0, 2.0 * M_PI);
+    const double radius = rng.uniform(2.8, 4.5);
+    field.readers.push_back(
+        {1.5 + radius * std::cos(angle), 1.5 + radius * std::sin(angle)});
+    field.exponents.push_back(rng.uniform(2.0, 3.2));
+    field.ripple_phase.push_back(rng.uniform(0.0, 2.0 * M_PI));
+  }
+  field.ripple_db = rng.uniform(0.0, 1.2);
+  return field;
+}
+
+geom::RegularGrid paper_grid() { return {{0, 0}, 1.0, 4, 4}; }
+
+std::vector<sim::RssiVector> references_for(const RandomField& field) {
+  std::vector<sim::RssiVector> refs;
+  for (std::size_t i = 0; i < paper_grid().node_count(); ++i) {
+    refs.push_back(field.at(paper_grid().position(i)));
+  }
+  return refs;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineProperty, VirtualGridExactAtRealNodes) {
+  const RandomField field = make_field(GetParam());
+  const auto refs = references_for(field);
+  VirtualGridConfig config;
+  config.subdivision = 7;
+  const VirtualGrid vg(paper_grid(), refs, config);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const std::size_t node = vg.grid().to_linear({c * 7, r * 7});
+      const std::size_t real_index = static_cast<std::size_t>(r) * 4 +
+                                     static_cast<std::size_t>(c);
+      for (int k = 0; k < vg.reader_count(); ++k) {
+        EXPECT_NEAR(vg.rssi(k, node), refs[real_index][static_cast<std::size_t>(k)],
+                    1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(PipelineProperty, TrueRegionSurvivesAndEstimateIsClose) {
+  const RandomField field = make_field(GetParam());
+  support::Rng rng(GetParam() ^ 0xABCD);
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references_for(field));
+
+  for (int probe = 0; probe < 5; ++probe) {
+    const geom::Vec2 truth{rng.uniform(0.3, 2.7), rng.uniform(0.3, 2.7)};
+    const auto result = localizer.locate(field.at(truth));
+    ASSERT_TRUE(result.has_value()) << "seed " << GetParam();
+    // Estimate within the extended grid.
+    EXPECT_GE(result->position.x, -0.5 - 1e-9);
+    EXPECT_LE(result->position.x, 3.5 + 1e-9);
+    EXPECT_GE(result->position.y, -0.5 - 1e-9);
+    EXPECT_LE(result->position.y, 3.5 + 1e-9);
+    // With exact (noise-free) tracking the error is bounded by the field's
+    // interpolation error scale.
+    EXPECT_LT(geom::distance(result->position, truth), 0.65)
+        << "seed " << GetParam() << " truth " << truth.to_string();
+    // Weights form a convex combination.
+    double sum = 0.0;
+    for (double w : result->estimate.weights) {
+      EXPECT_GE(w, 0.0);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_P(PipelineProperty, EliminationSoundUnderBoundedNoise) {
+  // If every reader's tracking deviation is under the final threshold, the
+  // node nearest the truth must survive (soundness of the proximity test).
+  const RandomField field = make_field(GetParam());
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references_for(field));
+  const geom::Vec2 truth{1.7, 1.3};
+  const auto clean = localizer.locate(field.at(truth));
+  ASSERT_TRUE(clean.has_value());
+  const double threshold = clean->elimination.thresholds_db.front();
+
+  support::Rng rng(GetParam() ^ 0x1234);
+  sim::RssiVector noisy = field.at(truth);
+  const auto& vg = localizer.virtual_grid();
+  const std::size_t true_node = vg.nearest_node(truth);
+  for (std::size_t k = 0; k < noisy.size(); ++k) {
+    // Perturb by strictly less than (threshold - interpolation slack).
+    const double slack =
+        std::abs(vg.rssi(static_cast<int>(k), true_node) - noisy[k]);
+    const double room = threshold - slack;
+    if (room > 0.05) noisy[k] += rng.uniform(-0.8, 0.8) * (room - 0.05);
+  }
+  const auto result = localizer.locate(noisy);
+  ASSERT_TRUE(result.has_value());
+  // With deviations within the clean threshold, the adaptive pass may pick
+  // a different threshold, but the union-of-constraints still keeps the
+  // estimate in the truth's neighbourhood.
+  EXPECT_LT(geom::distance(result->position, truth), 0.9);
+}
+
+TEST_P(PipelineProperty, BayesianMapAgreesWithVire) {
+  const RandomField field = make_field(GetParam());
+  VireLocalizer vire(paper_grid(), recommended_vire_config());
+  vire.set_reference_rssi(references_for(field));
+  BayesianConfig bayes_config;
+  bayes_config.virtual_grid = recommended_vire_config().virtual_grid;
+  bayes_config.sigma_db = 1.0;
+  BayesianGridLocalizer bayes(paper_grid(), bayes_config);
+  bayes.set_reference_rssi(references_for(field));
+
+  const geom::Vec2 truth{0.9, 2.1};
+  const auto v = vire.locate(field.at(truth));
+  const auto b = bayes.locate(field.at(truth));
+  ASSERT_TRUE(v && b);
+  // Hard elimination and the posterior peak see the same signal geometry.
+  EXPECT_LT(geom::distance(v->position, b->map_position), 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110,
+                                           121, 132));
+
+}  // namespace
+}  // namespace vire::core

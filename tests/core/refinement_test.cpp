@@ -1,0 +1,126 @@
+#include "core/refinement.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vire::core {
+namespace {
+
+geom::RegularGrid paper_grid() { return {{0, 0}, 1.0, 4, 4}; }
+
+sim::RssiVector field_at(geom::Vec2 p) {
+  static const geom::Vec2 readers[4] = {
+      {-0.7, -0.7}, {3.7, -0.7}, {3.7, 3.7}, {-0.7, 3.7}};
+  sim::RssiVector v;
+  for (const auto& r : readers) {
+    v.push_back(-40.0 - 20.0 * std::log10(std::max(0.1, p.distance_to(r))));
+  }
+  return v;
+}
+
+std::vector<sim::RssiVector> references() {
+  std::vector<sim::RssiVector> refs;
+  for (std::size_t i = 0; i < paper_grid().node_count(); ++i) {
+    refs.push_back(field_at(paper_grid().position(i)));
+  }
+  return refs;
+}
+
+TEST(CoarseToFine, NotReadyBeforeReferences) {
+  CoarseToFineLocalizer localizer(paper_grid());
+  EXPECT_FALSE(localizer.ready());
+  EXPECT_FALSE(localizer.locate(field_at({1.5, 1.5})).has_value());
+}
+
+TEST(CoarseToFine, LocatesOnCleanField) {
+  CoarseToFineLocalizer localizer(paper_grid());
+  localizer.set_reference_rssi(references());
+  const geom::Vec2 truth{1.35, 1.7};
+  const auto result = localizer.locate(field_at(truth));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->position, truth), 0.25);
+}
+
+TEST(CoarseToFine, FineWindowIsSmallerThanFullGrid) {
+  // The savings show on deployments larger than the 4x4 testbed: on an
+  // 8x8 real grid a uniform n=16 lattice (with the same extension ring)
+  // would have (7*16+1+16)^2 = 16641 nodes; the refined window evaluates
+  // only the few cells around the coarse survivors.
+  const geom::RegularGrid big_grid({0, 0}, 1.0, 8, 8);
+  std::vector<sim::RssiVector> refs;
+  for (std::size_t i = 0; i < big_grid.node_count(); ++i) {
+    refs.push_back(field_at(big_grid.position(i)));
+  }
+  CoarseToFineLocalizer localizer(big_grid);
+  localizer.set_reference_rssi(refs);
+  const auto result = localizer.locate(field_at({2.5, 3.5}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(result->fine_nodes, 16641u / 3);
+  EXPECT_GT(result->fine_nodes, 0u);
+  // The refinement window covers a few cells, not the whole grid.
+  EXPECT_LE(result->window_hi.col - result->window_lo.col, 4);
+  EXPECT_LE(result->window_hi.row - result->window_lo.row, 4);
+}
+
+TEST(CoarseToFine, WindowContainsTruth) {
+  CoarseToFineLocalizer localizer(paper_grid());
+  localizer.set_reference_rssi(references());
+  for (const auto& truth : {geom::Vec2{0.5, 0.5}, geom::Vec2{2.5, 1.2},
+                            geom::Vec2{1.1, 2.8}}) {
+    const auto result = localizer.locate(field_at(truth));
+    ASSERT_TRUE(result.has_value());
+    const geom::Vec2 lo = paper_grid().position(result->window_lo);
+    const geom::Vec2 hi = paper_grid().position(result->window_hi);
+    EXPECT_LE(lo.x, truth.x);
+    EXPECT_LE(lo.y, truth.y);
+    EXPECT_GE(hi.x, truth.x);
+    EXPECT_GE(hi.y, truth.y);
+  }
+}
+
+TEST(CoarseToFine, MatchesUniformFineAccuracy) {
+  // Same fine subdivision, uniform vs refined: errors must be comparable.
+  CoarseToFineLocalizer refined(paper_grid());
+  refined.set_reference_rssi(references());
+
+  VireConfig uniform_config = recommended_vire_config();
+  uniform_config.virtual_grid.subdivision = 16;
+  uniform_config.virtual_grid.boundary_extension_cells = 8;
+  VireLocalizer uniform(paper_grid(), uniform_config);
+  uniform.set_reference_rssi(references());
+
+  for (const auto& truth : {geom::Vec2{1.5, 1.5}, geom::Vec2{0.7, 2.3},
+                            geom::Vec2{2.6, 0.9}}) {
+    const auto r = refined.locate(field_at(truth));
+    const auto u = uniform.locate(field_at(truth));
+    ASSERT_TRUE(r.has_value());
+    ASSERT_TRUE(u.has_value());
+    const double refined_err = geom::distance(r->position, truth);
+    const double uniform_err = geom::distance(u->position, truth);
+    EXPECT_LT(refined_err, uniform_err + 0.15) << "at " << truth.to_string();
+  }
+}
+
+TEST(CoarseToFine, HandlesOutsideTag) {
+  CoarseToFineLocalizer localizer(paper_grid());
+  localizer.set_reference_rssi(references());
+  const geom::Vec2 truth{3.25, 3.2};
+  const auto result = localizer.locate(field_at(truth));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->position, truth), 0.5);
+}
+
+TEST(CoarseToFine, CustomSubdivisions) {
+  RefinementConfig config;
+  config.coarse_subdivision = 2;
+  config.fine_subdivision = 24;
+  CoarseToFineLocalizer localizer(paper_grid(), config);
+  localizer.set_reference_rssi(references());
+  const auto result = localizer.locate(field_at({1.8, 1.2}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->position, {1.8, 1.2}), 0.25);
+}
+
+}  // namespace
+}  // namespace vire::core

@@ -1,0 +1,125 @@
+#include "core/tracking_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace vire::core {
+namespace {
+
+TEST(TrackingFilter, FirstUpdateInitialises) {
+  TrackingFilter filter;
+  EXPECT_FALSE(filter.initialized());
+  EXPECT_FALSE(filter.predict(0.0).has_value());
+  const geom::Vec2 smoothed = filter.update(1.0, {2.0, 3.0});
+  EXPECT_TRUE(filter.initialized());
+  EXPECT_EQ(smoothed, geom::Vec2(2, 3));
+  EXPECT_EQ(filter.velocity(), geom::Vec2(0, 0));
+}
+
+TEST(TrackingFilter, ConvergesToConstantVelocityTrack) {
+  TrackingFilter filter;
+  // Truth: starts at (0,0), moves at (1.0, 0.5) m/s; exact measurements.
+  for (int i = 0; i <= 20; ++i) {
+    const double t = i * 1.0;
+    filter.update(t, {1.0 * t, 0.5 * t});
+  }
+  EXPECT_NEAR(filter.position().x, 20.0, 0.05);
+  EXPECT_NEAR(filter.position().y, 10.0, 0.05);
+  EXPECT_NEAR(filter.velocity().x, 1.0, 0.05);
+  EXPECT_NEAR(filter.velocity().y, 0.5, 0.05);
+}
+
+TEST(TrackingFilter, PredictionExtrapolatesWithVelocity) {
+  TrackingFilter filter;
+  for (int i = 0; i <= 20; ++i) {
+    filter.update(i * 1.0, {2.0 * i, 0.0});
+  }
+  const auto predicted = filter.predict(25.0);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(predicted->x, 50.0, 1.0);
+}
+
+TEST(TrackingFilter, SmoothsNoiseOnStaticTag) {
+  TrackingFilterConfig config;
+  config.alpha = 0.3;
+  config.beta = 0.05;
+  TrackingFilter filter(config);
+  support::Rng rng(3);
+  support::RunningStats raw_err, smoothed_err;
+  const geom::Vec2 truth{1.5, 1.5};
+  for (int i = 0; i < 200; ++i) {
+    const geom::Vec2 measured{truth.x + rng.normal(0.0, 0.3),
+                              truth.y + rng.normal(0.0, 0.3)};
+    const geom::Vec2 smoothed = filter.update(i * 2.0, measured);
+    if (i > 20) {  // after burn-in
+      raw_err.add(geom::distance(measured, truth));
+      smoothed_err.add(geom::distance(smoothed, truth));
+    }
+  }
+  EXPECT_LT(smoothed_err.mean(), 0.6 * raw_err.mean());
+}
+
+TEST(TrackingFilter, OutlierGateLimitsJumpDamage) {
+  TrackingFilterConfig gated;
+  gated.outlier_gate_m = 1.0;
+  gated.outlier_gain_scale = 0.1;
+  TrackingFilterConfig ungated = gated;
+  ungated.outlier_gate_m = 0.0;
+  TrackingFilter with_gate(gated), without_gate(ungated);
+  for (int i = 0; i < 10; ++i) {
+    with_gate.update(i * 1.0, {0.0, 0.0});
+    without_gate.update(i * 1.0, {0.0, 0.0});
+  }
+  // A single wild outlier.
+  const geom::Vec2 gated_pos = with_gate.update(10.0, {8.0, 0.0});
+  const geom::Vec2 ungated_pos = without_gate.update(10.0, {8.0, 0.0});
+  EXPECT_LT(gated_pos.norm(), ungated_pos.norm());
+  EXPECT_LT(gated_pos.norm(), 1.0);
+}
+
+TEST(TrackingFilter, SameInstantUpdateAverages) {
+  TrackingFilter filter;
+  filter.update(5.0, {1.0, 1.0});
+  const geom::Vec2 refined = filter.update(5.0, {3.0, 3.0});
+  EXPECT_EQ(refined, geom::Vec2(2, 2));
+}
+
+TEST(TrackingFilter, TimeBackwardsThrows) {
+  TrackingFilter filter;
+  filter.update(5.0, {0, 0});
+  EXPECT_THROW(filter.update(4.0, {0, 0}), std::invalid_argument);
+}
+
+TEST(TrackingFilter, ResetClearsState) {
+  TrackingFilter filter;
+  filter.update(1.0, {5, 5});
+  filter.reset();
+  EXPECT_FALSE(filter.initialized());
+}
+
+TEST(TrackingFilter, InvalidGainsThrow) {
+  TrackingFilterConfig bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(TrackingFilter{bad}, std::invalid_argument);
+  bad = {};
+  bad.alpha = 1.2;
+  EXPECT_THROW(TrackingFilter{bad}, std::invalid_argument);
+  bad = {};
+  bad.beta = 1.9;  // >= 2 - alpha
+  EXPECT_THROW(TrackingFilter{bad}, std::invalid_argument);
+}
+
+TEST(TrackingFilter, IrregularSamplingStillTracks) {
+  TrackingFilter filter;
+  const double times[] = {0.0, 1.5, 2.0, 4.5, 5.0, 8.0, 9.5, 12.0, 13.0, 16.0};
+  for (double t : times) {
+    filter.update(t, {0.8 * t, -0.4 * t});
+  }
+  EXPECT_NEAR(filter.velocity().x, 0.8, 0.1);
+  EXPECT_NEAR(filter.velocity().y, -0.4, 0.1);
+}
+
+}  // namespace
+}  // namespace vire::core

@@ -1,0 +1,145 @@
+#include "core/vire_localizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vire::core {
+namespace {
+
+geom::RegularGrid paper_grid() { return {{0, 0}, 1.0, 4, 4}; }
+
+sim::RssiVector field_at(geom::Vec2 p) {
+  static const geom::Vec2 readers[4] = {
+      {-0.7, -0.7}, {3.7, -0.7}, {3.7, 3.7}, {-0.7, 3.7}};
+  sim::RssiVector v;
+  for (const auto& r : readers) {
+    v.push_back(-40.0 - 20.0 * std::log10(std::max(0.1, p.distance_to(r))));
+  }
+  return v;
+}
+
+std::vector<sim::RssiVector> references() {
+  std::vector<sim::RssiVector> refs;
+  for (std::size_t i = 0; i < paper_grid().node_count(); ++i) {
+    refs.push_back(field_at(paper_grid().position(i)));
+  }
+  return refs;
+}
+
+TEST(VireLocalizer, NotReadyBeforeReferencesSet) {
+  VireLocalizer localizer(paper_grid());
+  EXPECT_FALSE(localizer.ready());
+  EXPECT_FALSE(localizer.locate(field_at({1.5, 1.5})).has_value());
+  EXPECT_EQ(localizer.virtual_tag_count(), 0u);
+}
+
+TEST(VireLocalizer, ReadyAfterReferences) {
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references());
+  EXPECT_TRUE(localizer.ready());
+  EXPECT_EQ(localizer.virtual_tag_count(), 41u * 41u);  // with extension ring
+}
+
+TEST(VireLocalizer, CleanFieldAccuracy) {
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references());
+  const geom::Vec2 truth{1.35, 1.7};
+  const auto result = localizer.locate(field_at(truth));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->position, truth), 0.3);
+  EXPECT_GT(result->survivor_count(), 0u);
+}
+
+TEST(VireLocalizer, OutsideTagHandledByExtensionRing) {
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references());
+  const geom::Vec2 truth{3.25, 3.2};  // Tag 9-like position
+  const auto result = localizer.locate(field_at(truth));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->position, truth), 0.4);
+}
+
+TEST(VireLocalizer, StrictPaperConfigClampsOutsideTags) {
+  VireConfig config = recommended_vire_config();
+  config.virtual_grid.boundary_extension_cells = 0;  // strict paper grid
+  VireLocalizer localizer(paper_grid(), config);
+  localizer.set_reference_rssi(references());
+  const auto result = localizer.locate(field_at({3.25, 3.2}));
+  ASSERT_TRUE(result.has_value());
+  // Every surviving node lies inside the sensing area.
+  EXPECT_LE(result->position.x, 3.0 + 1e-9);
+  EXPECT_LE(result->position.y, 3.0 + 1e-9);
+}
+
+TEST(VireLocalizer, RebuildingReferencesChangesGrid) {
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references());
+  const double before = localizer.virtual_grid().rssi(0, 100);
+  auto shifted = references();
+  for (auto& v : shifted) {
+    for (auto& x : v) x -= 5.0;
+  }
+  localizer.set_reference_rssi(shifted);
+  EXPECT_NEAR(localizer.virtual_grid().rssi(0, 100), before - 5.0, 1e-9);
+}
+
+TEST(VireLocalizer, ResultDiagnosticsConsistent) {
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references());
+  const auto result = localizer.locate(field_at({2.0, 1.0}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->estimate.nodes.size(), result->survivor_count());
+  EXPECT_EQ(result->elimination.thresholds_db.size(), 4u);
+  // Every estimate node is marked in the survivor mask.
+  for (std::size_t node : result->estimate.nodes) {
+    EXPECT_TRUE(result->elimination.survivors[node]);
+  }
+}
+
+TEST(VireLocalizer, RecommendedConfigValues) {
+  const VireConfig config = recommended_vire_config();
+  EXPECT_EQ(config.virtual_grid.subdivision, 10);
+  EXPECT_EQ(config.virtual_grid.method, InterpolationMethod::kLinear);
+  EXPECT_EQ(config.elimination.mode, ThresholdMode::kAdaptive);
+  EXPECT_EQ(config.weighting, WeightingMode::kCombined);
+}
+
+// Property sweep: clean-field localization is accurate across positions
+// and for every interpolation method.
+struct SweepCase {
+  double x;
+  double y;
+  InterpolationMethod method;
+};
+
+class VireSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(VireSweep, AccurateOnCleanField) {
+  VireConfig config = recommended_vire_config();
+  config.virtual_grid.method = GetParam().method;
+  VireLocalizer localizer(paper_grid(), config);
+  localizer.set_reference_rssi(references());
+  const geom::Vec2 truth{GetParam().x, GetParam().y};
+  const auto result = localizer.locate(field_at(truth));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->position, truth), 0.45)
+      << "method " << to_string(GetParam().method);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const double coords[][2] = {{0.5, 0.5}, {1.5, 1.5}, {2.5, 2.5}, {0.8, 2.2},
+                              {2.3, 0.6}, {1.1, 1.9}, {2.9, 2.9}};
+  for (auto method : {InterpolationMethod::kLinear, InterpolationMethod::kCatmullRom,
+                      InterpolationMethod::kPolynomial}) {
+    for (const auto& c : coords) cases.push_back({c[0], c[1], method});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(PositionsAndMethods, VireSweep,
+                         ::testing::ValuesIn(sweep_cases()));
+
+}  // namespace
+}  // namespace vire::core

@@ -1,0 +1,175 @@
+#include "core/virtual_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vire::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+geom::RegularGrid paper_grid() { return {{0, 0}, 1.0, 4, 4}; }
+
+std::vector<sim::RssiVector> synth_references(const geom::RegularGrid& grid,
+                                              int readers = 4) {
+  std::vector<sim::RssiVector> refs;
+  for (std::size_t i = 0; i < grid.node_count(); ++i) {
+    const geom::Vec2 p = grid.position(i);
+    sim::RssiVector v;
+    for (int k = 0; k < readers; ++k) {
+      v.push_back(-50.0 - 4.0 * p.x - 3.0 * p.y - 2.0 * k);
+    }
+    refs.push_back(v);
+  }
+  return refs;
+}
+
+TEST(VirtualGrid, NodeCountMatchesPaperFormula) {
+  // (C-1)n+1 per side: 4x4 real grid at n=10 -> 31x31 = 961 ~ "N^2 = 900".
+  VirtualGridConfig config;
+  config.subdivision = 10;
+  const VirtualGrid vg(paper_grid(), synth_references(paper_grid()), config);
+  EXPECT_EQ(vg.grid().cols(), 31);
+  EXPECT_EQ(vg.grid().rows(), 31);
+  EXPECT_EQ(vg.node_count(), 961u);
+  EXPECT_EQ(vg.reader_count(), 4);
+}
+
+TEST(VirtualGrid, SubdivisionOneReproducesRealGrid) {
+  VirtualGridConfig config;
+  config.subdivision = 1;
+  const auto refs = synth_references(paper_grid());
+  const VirtualGrid vg(paper_grid(), refs, config);
+  EXPECT_EQ(vg.node_count(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_NEAR(vg.rssi(k, i), refs[i][static_cast<std::size_t>(k)], 1e-12);
+    }
+  }
+}
+
+TEST(VirtualGrid, ExactAtRealNodePositions) {
+  VirtualGridConfig config;
+  config.subdivision = 5;
+  const auto refs = synth_references(paper_grid());
+  const VirtualGrid vg(paper_grid(), refs, config);
+  // Real node (2,1) sits at virtual index (10, 5).
+  const std::size_t node = vg.grid().to_linear({10, 5});
+  const std::size_t real_index = 1 * 4 + 2;
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(vg.rssi(k, node), refs[real_index][static_cast<std::size_t>(k)], 1e-9);
+  }
+}
+
+TEST(VirtualGrid, LinearFieldInterpolatedExactly) {
+  VirtualGridConfig config;
+  config.subdivision = 8;
+  const VirtualGrid vg(paper_grid(), synth_references(paper_grid()), config);
+  for (std::size_t node = 0; node < vg.node_count(); node += 7) {
+    const geom::Vec2 p = vg.position(node);
+    for (int k = 0; k < 4; ++k) {
+      const double expected = -50.0 - 4.0 * p.x - 3.0 * p.y - 2.0 * k;
+      EXPECT_NEAR(vg.rssi(k, node), expected, 1e-9);
+    }
+  }
+}
+
+TEST(VirtualGrid, StepIsSpacingOverSubdivision) {
+  VirtualGridConfig config;
+  config.subdivision = 4;
+  const VirtualGrid vg(paper_grid(), synth_references(paper_grid()), config);
+  EXPECT_NEAR(vg.grid().step(), 0.25, 1e-12);
+}
+
+TEST(VirtualGrid, BoundaryExtensionGrowsLattice) {
+  VirtualGridConfig config;
+  config.subdivision = 10;
+  config.boundary_extension_cells = 5;
+  const VirtualGrid vg(paper_grid(), synth_references(paper_grid()), config);
+  EXPECT_EQ(vg.grid().cols(), 41);
+  EXPECT_EQ(vg.grid().rows(), 41);
+  EXPECT_NEAR(vg.grid().min_corner().x, -0.5, 1e-12);
+  EXPECT_NEAR(vg.grid().max_corner().y, 3.5, 1e-12);
+}
+
+TEST(VirtualGrid, ExtensionRingLinearlyExtrapolates) {
+  VirtualGridConfig config;
+  config.subdivision = 10;
+  config.boundary_extension_cells = 5;
+  const VirtualGrid vg(paper_grid(), synth_references(paper_grid()), config);
+  // The synthetic field is affine, so extrapolation is exact too.
+  const std::size_t corner = vg.grid().to_linear({0, 0});  // (-0.5, -0.5)
+  const geom::Vec2 p = vg.position(corner);
+  EXPECT_NEAR(vg.rssi(0, corner), -50.0 - 4.0 * p.x - 3.0 * p.y, 1e-9);
+}
+
+TEST(VirtualGrid, NaNReferencePropagatesToItsCells) {
+  auto refs = synth_references(paper_grid());
+  refs[5][2] = kNan;  // real node (1,1), reader 2
+  VirtualGridConfig config;
+  config.subdivision = 4;
+  const VirtualGrid vg(paper_grid(), refs, config);
+  // A node strictly inside the cell (1,1)-(2,2) must be NaN for reader 2...
+  const std::size_t inside = vg.grid().to_linear({6, 6});
+  EXPECT_TRUE(std::isnan(vg.rssi(2, inside)));
+  EXPECT_FALSE(vg.node_valid(inside));
+  // ...but valid for other readers,
+  EXPECT_FALSE(std::isnan(vg.rssi(0, inside)));
+  // and a node in a far cell stays fully valid.
+  const std::size_t far_node = vg.grid().to_linear({1, 11});
+  EXPECT_TRUE(vg.node_valid(far_node));
+}
+
+TEST(VirtualGrid, NearestNode) {
+  VirtualGridConfig config;
+  config.subdivision = 10;
+  const VirtualGrid vg(paper_grid(), synth_references(paper_grid()), config);
+  const std::size_t node = vg.nearest_node({1.52, 1.48});
+  EXPECT_NEAR(vg.position(node).x, 1.5, 1e-12);
+  EXPECT_NEAR(vg.position(node).y, 1.5, 1e-12);
+}
+
+TEST(VirtualGrid, InvalidInputsThrow) {
+  VirtualGridConfig bad_subdivision;
+  bad_subdivision.subdivision = 0;
+  EXPECT_THROW(VirtualGrid(paper_grid(), synth_references(paper_grid()),
+                           bad_subdivision),
+               std::invalid_argument);
+
+  VirtualGridConfig bad_extension;
+  bad_extension.boundary_extension_cells = -1;
+  EXPECT_THROW(VirtualGrid(paper_grid(), synth_references(paper_grid()),
+                           bad_extension),
+               std::invalid_argument);
+
+  // Wrong number of reference vectors.
+  auto refs = synth_references(paper_grid());
+  refs.pop_back();
+  EXPECT_THROW(VirtualGrid(paper_grid(), refs, VirtualGridConfig{}),
+               std::invalid_argument);
+
+  // Inconsistent reader counts.
+  refs = synth_references(paper_grid());
+  refs[3].pop_back();
+  EXPECT_THROW(VirtualGrid(paper_grid(), refs, VirtualGridConfig{}),
+               std::invalid_argument);
+}
+
+// Parameterized: the node-count formula holds across subdivisions.
+class VirtualGridCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(VirtualGridCounts, FormulaHolds) {
+  const int n = GetParam();
+  VirtualGridConfig config;
+  config.subdivision = n;
+  const VirtualGrid vg(paper_grid(), synth_references(paper_grid()), config);
+  const int side = 3 * n + 1;
+  EXPECT_EQ(vg.node_count(), static_cast<std::size_t>(side) * side);
+}
+
+INSTANTIATE_TEST_SUITE_P(Subdivisions, VirtualGridCounts,
+                         ::testing::Values(1, 2, 3, 5, 8, 10, 13));
+
+}  // namespace
+}  // namespace vire::core

@@ -1,0 +1,179 @@
+#include "engine/localization_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/environment.h"
+#include "sim/simulator.h"
+
+namespace vire::engine {
+namespace {
+
+struct Rig {
+  env::Environment environment = env::make_paper_environment(
+      env::PaperEnvironment::kEnv1SemiOpen);
+  env::Deployment deployment = env::Deployment::paper_testbed();
+  sim::RfidSimulator simulator;
+  std::vector<sim::TagId> reference_ids;
+
+  explicit Rig(std::uint64_t seed = 7)
+      : simulator(environment, deployment, [seed] {
+          sim::SimulatorConfig config;
+          config.seed = seed;
+          return config;
+        }()) {
+    reference_ids = simulator.add_reference_tags();
+  }
+};
+
+TEST(Engine, UpdateWithoutReferencesThrows) {
+  Rig rig;
+  LocalizationEngine engine(rig.deployment);
+  rig.simulator.run_for(10.0);
+  EXPECT_THROW((void)engine.update(rig.simulator.middleware(), 10.0),
+               std::logic_error);
+}
+
+TEST(Engine, WrongReferenceCountThrows) {
+  Rig rig;
+  LocalizationEngine engine(rig.deployment);
+  EXPECT_THROW(engine.set_reference_ids({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Engine, ProducesValidFixes) {
+  Rig rig;
+  const geom::Vec2 truth{1.4, 1.8};
+  const sim::TagId asset = rig.simulator.add_tag(truth);
+  rig.simulator.run_for(40.0);
+
+  LocalizationEngine engine(rig.deployment);
+  engine.set_reference_ids(rig.reference_ids);
+  engine.track(asset, "asset");
+  const auto fixes = engine.update(rig.simulator.middleware(), rig.simulator.now());
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_TRUE(fixes[0].valid);
+  EXPECT_EQ(fixes[0].name, "asset");
+  EXPECT_LT(geom::distance(fixes[0].position, truth), 1.0);
+  EXPECT_GT(fixes[0].survivor_count, 0u);
+}
+
+TEST(Engine, RefreshIntervalRateLimitsGridRebuilds) {
+  Rig rig;
+  const sim::TagId asset = rig.simulator.add_tag({1.5, 1.5});
+  rig.simulator.run_for(30.0);
+
+  EngineConfig config;
+  config.min_refresh_interval_s = 20.0;
+  LocalizationEngine engine(rig.deployment, config);
+  engine.set_reference_ids(rig.reference_ids);
+  engine.track(asset);
+
+  for (int i = 0; i < 5; ++i) {
+    rig.simulator.run_for(5.0);
+    (void)engine.update(rig.simulator.middleware(), rig.simulator.now());
+  }
+  // 25 s of updates at a 20 s refresh interval: initial build + one refresh.
+  EXPECT_EQ(engine.grid_rebuilds(), 2);
+}
+
+TEST(Engine, ZeroIntervalRebuildsEveryUpdate) {
+  Rig rig;
+  const sim::TagId asset = rig.simulator.add_tag({1.5, 1.5});
+  rig.simulator.run_for(30.0);
+  EngineConfig config;
+  config.min_refresh_interval_s = 0.0;
+  LocalizationEngine engine(rig.deployment, config);
+  engine.set_reference_ids(rig.reference_ids);
+  engine.track(asset);
+  for (int i = 0; i < 3; ++i) {
+    rig.simulator.run_for(1.0);
+    (void)engine.update(rig.simulator.middleware(), rig.simulator.now());
+  }
+  EXPECT_EQ(engine.grid_rebuilds(), 3);
+}
+
+TEST(Engine, TrackerSmoothsAcrossUpdates) {
+  Rig rig;
+  const geom::Vec2 truth{1.5, 1.5};
+  const sim::TagId asset = rig.simulator.add_tag(truth);
+  rig.simulator.run_for(30.0);
+
+  EngineConfig config;
+  config.tracking.alpha = 0.3;
+  config.tracking.beta = 0.05;
+  LocalizationEngine engine(rig.deployment, config);
+  engine.set_reference_ids(rig.reference_ids);
+  engine.track(asset);
+
+  Fix last;
+  for (int i = 0; i < 8; ++i) {
+    rig.simulator.run_for(5.0);
+    last = engine.update(rig.simulator.middleware(), rig.simulator.now()).front();
+  }
+  ASSERT_TRUE(last.valid);
+  ASSERT_NE(engine.tracker(asset), nullptr);
+  EXPECT_TRUE(engine.tracker(asset)->initialized());
+  EXPECT_LT(geom::distance(last.smoothed_position, truth), 0.8);
+}
+
+TEST(Engine, TrackingDisabledPassesRawThrough) {
+  Rig rig;
+  const sim::TagId asset = rig.simulator.add_tag({2.0, 1.0});
+  rig.simulator.run_for(30.0);
+  EngineConfig config;
+  config.enable_tracking = false;
+  LocalizationEngine engine(rig.deployment, config);
+  engine.set_reference_ids(rig.reference_ids);
+  engine.track(asset);
+  const auto fix = engine.update(rig.simulator.middleware(), rig.simulator.now()).front();
+  ASSERT_TRUE(fix.valid);
+  EXPECT_EQ(fix.position, fix.smoothed_position);
+  EXPECT_EQ(engine.tracker(asset), nullptr);
+}
+
+TEST(Engine, UnknownTagYieldsInvalidFix) {
+  Rig rig;
+  rig.simulator.run_for(20.0);
+  LocalizationEngine engine(rig.deployment);
+  engine.set_reference_ids(rig.reference_ids);
+  engine.track(999, "ghost");  // never beacons
+  const auto fixes = engine.update(rig.simulator.middleware(), rig.simulator.now());
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_FALSE(fixes[0].valid);
+}
+
+TEST(Engine, UntrackRemovesTagAndTracker) {
+  Rig rig;
+  const sim::TagId asset = rig.simulator.add_tag({1.5, 1.5});
+  rig.simulator.run_for(20.0);
+  LocalizationEngine engine(rig.deployment);
+  engine.set_reference_ids(rig.reference_ids);
+  engine.track(asset);
+  (void)engine.update(rig.simulator.middleware(), rig.simulator.now());
+  EXPECT_EQ(engine.tracked_count(), 1u);
+  engine.untrack(asset);
+  EXPECT_EQ(engine.tracked_count(), 0u);
+  EXPECT_EQ(engine.tracker(asset), nullptr);
+  EXPECT_TRUE(engine.update(rig.simulator.middleware(), rig.simulator.now()).empty());
+}
+
+TEST(Engine, MultipleTagsEachGetAFix) {
+  Rig rig;
+  const sim::TagId a = rig.simulator.add_tag({0.8, 0.8});
+  const sim::TagId b = rig.simulator.add_tag({2.2, 2.2});
+  rig.simulator.run_for(40.0);
+  LocalizationEngine engine(rig.deployment);
+  engine.set_reference_ids(rig.reference_ids);
+  engine.track(a, "a");
+  engine.track(b, "b");
+  const auto fixes = engine.update(rig.simulator.middleware(), rig.simulator.now());
+  ASSERT_EQ(fixes.size(), 2u);
+  EXPECT_TRUE(fixes[0].valid);
+  EXPECT_TRUE(fixes[1].valid);
+  EXPECT_LT(geom::distance(fixes[0].position, {0.8, 0.8}), 1.0);
+  EXPECT_LT(geom::distance(fixes[1].position, {2.2, 2.2}), 1.0);
+}
+
+}  // namespace
+}  // namespace vire::engine

@@ -1,0 +1,99 @@
+#include "env/deployment.h"
+
+#include <gtest/gtest.h>
+
+namespace vire::env {
+namespace {
+
+TEST(Deployment, PaperTestbedLayout) {
+  const Deployment d = Deployment::paper_testbed();
+  EXPECT_EQ(d.reference_count(), 16);
+  EXPECT_EQ(d.reader_count(), 4);
+  EXPECT_EQ(d.reference_positions().front(), geom::Vec2(0, 0));
+  EXPECT_EQ(d.reference_positions().back(), geom::Vec2(3, 3));
+  // "The distance between two adjacent tags in a row or in a column is 1 m."
+  EXPECT_DOUBLE_EQ(d.reference_grid().step(), 1.0);
+}
+
+TEST(Deployment, ReadersOneMetreFromCornerTags) {
+  const Deployment d = Deployment::paper_testbed();
+  const geom::Vec2 corners[4] = {{0, 0}, {3, 0}, {3, 3}, {0, 3}};
+  for (const auto& reader : d.reader_positions()) {
+    double best = 1e9;
+    for (const auto& corner : corners) {
+      best = std::min(best, reader.distance_to(corner));
+    }
+    // "The distance between the reader and the nearby edge tag is 1 m."
+    EXPECT_NEAR(best, 1.0, 1e-9);
+  }
+}
+
+TEST(Deployment, ReadersOutsideSensingArea) {
+  const Deployment d = Deployment::paper_testbed();
+  const auto area = d.sensing_area();
+  for (const auto& reader : d.reader_positions()) {
+    EXPECT_FALSE(area.contains(reader));
+  }
+}
+
+TEST(Deployment, SensingAreaAndFullExtent) {
+  const Deployment d = Deployment::paper_testbed();
+  EXPECT_EQ(d.sensing_area().lo, geom::Vec2(0, 0));
+  EXPECT_EQ(d.sensing_area().hi, geom::Vec2(3, 3));
+  const auto full = d.full_extent();
+  EXPECT_LT(full.lo.x, 0.0);
+  EXPECT_GT(full.hi.x, 3.0);
+}
+
+TEST(Deployment, IsInteriorClassification) {
+  const Deployment d = Deployment::paper_testbed();
+  EXPECT_TRUE(d.is_interior({1.5, 1.5}));
+  EXPECT_TRUE(d.is_interior({0.5, 0.5}));
+  EXPECT_FALSE(d.is_interior({0.1, 1.5}));   // within the default margin
+  EXPECT_FALSE(d.is_interior({3.2, 3.2}));   // outside entirely
+  EXPECT_TRUE(d.is_interior({0.1, 1.5}, 0.05));  // custom margin
+}
+
+TEST(Deployment, EightReaderVariant) {
+  DeploymentConfig config;
+  config.readers = 8;
+  const Deployment d(config);
+  EXPECT_EQ(d.reader_count(), 8);
+  // Edge-midpoint readers sit on the grid's mid-lines.
+  bool found_south_mid = false;
+  for (const auto& r : d.reader_positions()) {
+    if (std::abs(r.x - 1.5) < 1e-9 && r.y < 0.0) found_south_mid = true;
+  }
+  EXPECT_TRUE(found_south_mid);
+}
+
+TEST(Deployment, CustomGridDimensions) {
+  DeploymentConfig config;
+  config.cols = 6;
+  config.rows = 5;
+  config.spacing_m = 0.5;
+  config.origin = {10.0, 20.0};
+  const Deployment d(config);
+  EXPECT_EQ(d.reference_count(), 30);
+  EXPECT_EQ(d.reference_positions().front(), geom::Vec2(10.0, 20.0));
+  EXPECT_EQ(d.reference_positions().back(), geom::Vec2(12.5, 22.0));
+}
+
+TEST(Deployment, InvalidConfigsThrow) {
+  DeploymentConfig too_small;
+  too_small.cols = 1;
+  EXPECT_THROW(Deployment{too_small}, std::invalid_argument);
+  DeploymentConfig bad_readers;
+  bad_readers.readers = 5;
+  EXPECT_THROW(Deployment{bad_readers}, std::invalid_argument);
+}
+
+TEST(Deployment, ReferencePositionsRowMajor) {
+  const Deployment d = Deployment::paper_testbed();
+  // Row-major: index 1 is (1,0), index 4 is (0,1).
+  EXPECT_EQ(d.reference_positions()[1], geom::Vec2(1, 0));
+  EXPECT_EQ(d.reference_positions()[4], geom::Vec2(0, 1));
+}
+
+}  // namespace
+}  // namespace vire::env

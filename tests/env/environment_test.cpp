@@ -1,0 +1,94 @@
+#include "env/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace vire::env {
+namespace {
+
+TEST(Material, PropertiesAreOrderedSensibly) {
+  EXPECT_GT(properties(Material::kMetal).reflection_coeff,
+            properties(Material::kConcrete).reflection_coeff);
+  EXPECT_GT(properties(Material::kConcrete).reflection_coeff,
+            properties(Material::kDrywall).reflection_coeff);
+  EXPECT_GT(properties(Material::kMetal).transmission_loss_db,
+            properties(Material::kDrywall).transmission_loss_db);
+  EXPECT_EQ(name(Material::kMetal), "metal");
+}
+
+TEST(Environment, AddRoomOutlineCreatesFourWalls) {
+  Environment env("test", {{0, 0}, {10, 10}});
+  env.add_room_outline({{0, 0}, {10, 10}}, Material::kConcrete);
+  EXPECT_EQ(env.walls().size(), 4u);
+  // Every wall carries the concrete properties into the surface list.
+  const auto surfaces = env.surfaces();
+  ASSERT_EQ(surfaces.size(), 4u);
+  for (const auto& s : surfaces) {
+    EXPECT_DOUBLE_EQ(s.reflection_coeff,
+                     properties(Material::kConcrete).reflection_coeff);
+  }
+}
+
+TEST(Environment, ObstaclesContributeFourFacesEach) {
+  Environment env("test", {{0, 0}, {10, 10}});
+  env.add_obstacle({{{1, 1}, {2, 2}}, Material::kMetal, "box"});
+  env.add_obstacle({{{4, 4}, {5, 6}}, Material::kWood, "desk"});
+  EXPECT_EQ(env.surfaces().size(), 8u);
+}
+
+TEST(PaperEnvironments, AllThreeBuild) {
+  for (auto which : all_paper_environments()) {
+    const Environment env = make_paper_environment(which);
+    EXPECT_FALSE(env.name().empty());
+    EXPECT_FALSE(env.surfaces().empty());
+    // The extent must cover the testbed (grid [0,3]^2 + corner readers).
+    EXPECT_TRUE(env.extent().contains({-1.8, -1.7}));
+    EXPECT_TRUE(env.extent().contains({4.2, 4.2}));
+  }
+}
+
+TEST(PaperEnvironments, SeverityOrdering) {
+  const Environment env1 = make_paper_environment(PaperEnvironment::kEnv1SemiOpen);
+  const Environment env2 = make_paper_environment(PaperEnvironment::kEnv2Spacious);
+  const Environment env3 = make_paper_environment(PaperEnvironment::kEnv3Office);
+  // Path-loss exponent, shadowing and noise grow from Env1 to Env3
+  // (paper Sec. 3.3: Env3 is the severe-multipath locale).
+  EXPECT_LT(env1.channel_config.path_loss_exponent,
+            env3.channel_config.path_loss_exponent);
+  EXPECT_LT(env1.channel_config.shadowing.sigma_db,
+            env3.channel_config.shadowing.sigma_db);
+  EXPECT_LE(env1.channel_config.noise_sigma_db, env3.channel_config.noise_sigma_db);
+  EXPECT_LE(env2.channel_config.shadowing.sigma_db,
+            env3.channel_config.shadowing.sigma_db);
+}
+
+TEST(PaperEnvironments, Env3HasCloserWallsThanEnv2) {
+  const Environment env2 = make_paper_environment(PaperEnvironment::kEnv2Spacious);
+  const Environment env3 = make_paper_environment(PaperEnvironment::kEnv3Office);
+  // Closest wall distance to the sensing-area centre (1.5, 1.5).
+  auto closest = [](const Environment& env) {
+    double best = 1e9;
+    for (const auto& wall : env.walls()) {
+      best = std::min(best, wall.segment.distance_to({1.5, 1.5}));
+    }
+    return best;
+  };
+  EXPECT_LT(closest(env3), closest(env2));
+}
+
+TEST(PaperEnvironments, Env3ContainsMetalObstacles) {
+  const Environment env3 = make_paper_environment(PaperEnvironment::kEnv3Office);
+  int metal = 0;
+  for (const auto& obstacle : env3.obstacles()) {
+    if (obstacle.material == Material::kMetal) ++metal;
+  }
+  EXPECT_GE(metal, 1);
+}
+
+TEST(PaperEnvironments, Names) {
+  EXPECT_EQ(name(PaperEnvironment::kEnv1SemiOpen), "Env1-Semi-opened area");
+  EXPECT_EQ(name(PaperEnvironment::kEnv3Office), "Env3-Closed area");
+  EXPECT_EQ(all_paper_environments().size(), 3u);
+}
+
+}  // namespace
+}  // namespace vire::env

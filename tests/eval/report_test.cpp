@@ -1,0 +1,67 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace vire::eval {
+namespace {
+
+TEST(TextTable, RendersHeaderSeparatorAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1.5"});
+  table.add_row({"beta", "2.75"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.75"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(TextTable, NumericRow) {
+  TextTable table({"label", "x", "y"});
+  table.add_row_numeric("row", {1.23456, 7.0}, 2);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("7.00"), std::string::npos);
+}
+
+TEST(Fixed, Precision) {
+  EXPECT_EQ(fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fixed(1.0, 0), "1");
+  EXPECT_EQ(fixed(-0.5, 3), "-0.500");
+}
+
+TEST(RenderChecks, PassFailCounts) {
+  const std::vector<ShapeCheck> checks = {
+      {"first", true, "detail-a"}, {"second", false, ""}, {"third", true, ""}};
+  const std::string out = render_checks(checks);
+  EXPECT_NE(out.find("[PASS] first"), std::string::npos);
+  EXPECT_NE(out.find("[FAIL] second"), std::string::npos);
+  EXPECT_NE(out.find("detail-a"), std::string::npos);
+  EXPECT_NE(out.find("2/3 passed"), std::string::npos);
+}
+
+TEST(RenderComparison, ContainsSummaryLines) {
+  ComparisonSummary summary;
+  summary.environment = env::PaperEnvironment::kEnv1SemiOpen;
+  summary.trials = 5;
+  PerTagComparison tag;
+  tag.name = "Tag1";
+  tag.boundary = false;
+  tag.landmarc_error.add(0.5);
+  tag.vire_error.add(0.25);
+  summary.tags.push_back(tag);
+  const std::string out = render_comparison(summary);
+  EXPECT_NE(out.find("Env1"), std::string::npos);
+  EXPECT_NE(out.find("Tag1"), std::string::npos);
+  EXPECT_NE(out.find("50.0%"), std::string::npos);
+  EXPECT_NE(out.find("non-boundary"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vire::eval

@@ -1,0 +1,138 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vire::eval {
+namespace {
+
+ComparisonOptions quick_options() {
+  ComparisonOptions options;
+  options.trials = 3;
+  options.observation.survey_duration_s = 20.0;
+  return options;
+}
+
+TEST(Runner, ComparisonProducesPerTagStats) {
+  const auto summary =
+      run_paper_comparison(env::PaperEnvironment::kEnv1SemiOpen, quick_options());
+  ASSERT_EQ(summary.tags.size(), 9u);
+  EXPECT_EQ(summary.trials, 3);
+  for (const auto& tag : summary.tags) {
+    EXPECT_EQ(tag.landmarc_error.count() + static_cast<std::size_t>(tag.landmarc_failures), 3u);
+    EXPECT_EQ(tag.vire_error.count() + static_cast<std::size_t>(tag.vire_failures), 3u);
+    EXPECT_GT(tag.landmarc_error.mean(), 0.0);
+    EXPECT_GT(tag.vire_error.mean(), 0.0);
+  }
+}
+
+TEST(Runner, SerialAndParallelAgree) {
+  ComparisonOptions options = quick_options();
+  options.parallel = true;
+  const auto par = run_paper_comparison(env::PaperEnvironment::kEnv1SemiOpen, options);
+  options.parallel = false;
+  const auto ser = run_paper_comparison(env::PaperEnvironment::kEnv1SemiOpen, options);
+  for (std::size_t i = 0; i < par.tags.size(); ++i) {
+    EXPECT_NEAR(par.tags[i].landmarc_error.mean(), ser.tags[i].landmarc_error.mean(),
+                1e-9);
+    EXPECT_NEAR(par.tags[i].vire_error.mean(), ser.tags[i].vire_error.mean(), 1e-9);
+  }
+}
+
+TEST(Runner, SummaryAggregates) {
+  const auto summary =
+      run_paper_comparison(env::PaperEnvironment::kEnv1SemiOpen, quick_options());
+  // Non-boundary mean only covers tags 1-5.
+  double manual = 0;
+  for (int i = 0; i < 5; ++i) {
+    manual += summary.tags[static_cast<std::size_t>(i)].vire_error.mean();
+  }
+  manual /= 5.0;
+  EXPECT_NEAR(summary.mean_error(true, true), manual, 1e-12);
+  EXPECT_GE(summary.worst_error(true, true), summary.mean_error(true, true));
+  EXPECT_GE(summary.max_improvement_percent(), summary.min_improvement_percent());
+}
+
+TEST(Runner, ImprovementPercentPerTag) {
+  PerTagComparison tag;
+  tag.landmarc_error.add(1.0);
+  tag.vire_error.add(0.4);
+  EXPECT_NEAR(tag.improvement_percent(), 60.0, 1e-9);
+}
+
+TEST(Runner, LandmarcErrorsAlignedWithTracking) {
+  ObservationOptions options;
+  options.survey_duration_s = 20.0;
+  const auto obs = observe_testbed(env::PaperEnvironment::kEnv1SemiOpen,
+                                   {{1.5, 1.5}, {2.5, 0.5}}, options);
+  const auto errors = landmarc_errors(obs, landmarc::LandmarcConfig{});
+  ASSERT_EQ(errors.size(), 2u);
+  for (double e : errors) {
+    ASSERT_FALSE(std::isnan(e));
+    EXPECT_LT(e, 2.0);
+  }
+}
+
+TEST(Runner, PowerLevelModeDegradesLandmarc) {
+  ObservationOptions options;
+  options.survey_duration_s = 30.0;
+  options.seed = 31337;
+  const auto specs = paper_tracking_tags();
+  std::vector<geom::Vec2> positions;
+  for (const auto& s : specs) positions.push_back(s.position);
+
+  double raw_total = 0.0, quantized_total = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    options.seed = 31337 + static_cast<std::uint64_t>(trial) * 101;
+    const auto obs =
+        observe_testbed(env::PaperEnvironment::kEnv2Spacious, positions, options);
+    for (double e : landmarc_errors(obs, {}, false)) raw_total += e;
+    for (double e : landmarc_errors(obs, {}, true)) quantized_total += e;
+  }
+  // 8-level quantisation (the original LANDMARC pitfall) must hurt.
+  EXPECT_GT(quantized_total, raw_total);
+}
+
+TEST(Runner, VireErrorsRunWithCustomConfig) {
+  ObservationOptions options;
+  options.survey_duration_s = 20.0;
+  const auto obs = observe_testbed(env::PaperEnvironment::kEnv1SemiOpen,
+                                   {{1.5, 1.5}}, options);
+  core::VireConfig config = core::recommended_vire_config();
+  config.virtual_grid.subdivision = 6;
+  const auto errors = vire_errors(obs, config, options.deployment);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_FALSE(std::isnan(errors[0]));
+}
+
+TEST(Runner, SweepShapesAndDeterminism) {
+  SweepOptions options;
+  options.trials = 4;
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  auto metric = [](double x, std::uint64_t seed) {
+    return x * 10.0 + static_cast<double>(seed % 7);
+  };
+  const auto a = run_sweep(xs, metric, options);
+  const auto b = run_sweep(xs, metric, options);
+  ASSERT_EQ(a.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a[i].count(), 4u);
+    EXPECT_DOUBLE_EQ(a[i].mean(), b[i].mean());  // deterministic seeding
+  }
+  EXPECT_GT(a[2].mean(), a[0].mean());
+}
+
+TEST(Runner, SweepSkipsNaNMetrics) {
+  SweepOptions options;
+  options.trials = 4;
+  const auto results = run_sweep(
+      {1.0}, [](double, std::uint64_t seed) {
+        return seed % 2 == 0 ? 1.0 : std::nan("");
+      },
+      options);
+  EXPECT_LE(results[0].count(), 4u);
+}
+
+}  // namespace
+}  // namespace vire::eval

@@ -1,0 +1,157 @@
+#include "eval/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "core/vire_localizer.h"
+#include "env/deployment.h"
+#include "eval/runner.h"
+
+namespace vire::eval {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vire_trace_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+Trace make_trace() {
+  ObservationOptions options;
+  options.seed = 2024;
+  options.survey_duration_s = 30.0;
+  const auto obs = observe_testbed(env::PaperEnvironment::kEnv1SemiOpen,
+                                   {{1.5, 1.5}, {2.2, 0.8}}, options);
+  const env::Deployment deployment(options.deployment);
+  return Trace::from_observation(obs, deployment.reader_positions(),
+                                 {"alpha", "beta"});
+}
+
+TEST_F(TraceTest, RoundTripPreservesEverything) {
+  const Trace original = make_trace();
+  const auto path = dir_ / "survey.trace";
+  write_trace(original, path);
+  const Trace loaded = read_trace(path);
+
+  ASSERT_EQ(loaded.reader_positions.size(), original.reader_positions.size());
+  ASSERT_EQ(loaded.reference_rssi.size(), original.reference_rssi.size());
+  ASSERT_EQ(loaded.tracking_rssi.size(), 2u);
+  EXPECT_EQ(loaded.tracking_names[0], "alpha");
+  EXPECT_EQ(loaded.tracking_names[1], "beta");
+  for (std::size_t j = 0; j < original.reference_rssi.size(); ++j) {
+    EXPECT_NEAR(loaded.reference_positions[j].x, original.reference_positions[j].x,
+                1e-9);
+    for (std::size_t k = 0; k < original.reference_rssi[j].size(); ++k) {
+      EXPECT_NEAR(loaded.reference_rssi[j][k], original.reference_rssi[j][k], 1e-4);
+    }
+  }
+  EXPECT_NEAR(loaded.tracking_positions[0].x, 1.5, 1e-9);
+}
+
+TEST_F(TraceTest, ReplayedTraceLocalizesIdentically) {
+  const Trace trace = make_trace();
+  const auto path = dir_ / "replay.trace";
+  write_trace(trace, path);
+  const Trace loaded = read_trace(path);
+
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  core::VireLocalizer direct(deployment.reference_grid(),
+                             core::recommended_vire_config());
+  direct.set_reference_rssi(trace.reference_rssi);
+  core::VireLocalizer replayed(deployment.reference_grid(),
+                               core::recommended_vire_config());
+  replayed.set_reference_rssi(loaded.reference_rssi);
+
+  for (std::size_t t = 0; t < trace.tracking_rssi.size(); ++t) {
+    const auto a = direct.locate(trace.tracking_rssi[t]);
+    const auto b = replayed.locate(loaded.tracking_rssi[t]);
+    ASSERT_TRUE(a && b);
+    // %.6g round-tripping keeps RSSI to ~1e-4 dB: estimates must agree to
+    // well under a centimetre.
+    EXPECT_LT(geom::distance(a->position, b->position), 0.01);
+  }
+}
+
+TEST_F(TraceTest, NaNRssiAndUnknownTruthSurvive) {
+  Trace trace = make_trace();
+  trace.tracking_rssi[0][1] = std::nan("");
+  trace.tracking_positions[1] = {std::nan(""), std::nan("")};
+  const auto path = dir_ / "nan.trace";
+  write_trace(trace, path);
+  const Trace loaded = read_trace(path);
+  EXPECT_TRUE(std::isnan(loaded.tracking_rssi[0][1]));
+  EXPECT_FALSE(std::isnan(loaded.tracking_rssi[0][0]));
+  EXPECT_TRUE(std::isnan(loaded.tracking_positions[1].x));
+}
+
+TEST_F(TraceTest, ToObservationShapes) {
+  const Trace trace = make_trace();
+  const TestbedObservation obs = trace.to_observation();
+  EXPECT_EQ(obs.reader_count, 4);
+  EXPECT_EQ(obs.reference_rssi.size(), 16u);
+  EXPECT_EQ(obs.tracking_rssi.size(), 2u);
+}
+
+TEST_F(TraceTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace(dir_ / "nope.trace"), std::runtime_error);
+}
+
+TEST_F(TraceTest, BadHeaderThrows) {
+  const auto path = dir_ / "bad.trace";
+  {
+    std::ofstream out(path);
+    out << "not a trace\n";
+  }
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(TraceTest, MalformedRecordReportsLineNumber) {
+  const auto path = dir_ / "malformed.trace";
+  {
+    std::ofstream out(path);
+    out << "# vire-trace v1\n";
+    out << "reader,0,1.0,2.0\n";
+    out << "banana,split\n";
+  }
+  try {
+    (void)read_trace(path);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST_F(TraceTest, WrongRssiCountThrows) {
+  const auto path = dir_ / "short.trace";
+  {
+    std::ofstream out(path);
+    out << "# vire-trace v1\n";
+    out << "reader,0,1.0,2.0\n";
+    out << "reader,1,3.0,2.0\n";
+    out << "reference,0,0,0,-60\n";  // needs 2 RSSI fields
+  }
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+TEST_F(TraceTest, EmptyTraceThrows) {
+  const auto path = dir_ / "empty.trace";
+  {
+    std::ofstream out(path);
+    out << "# vire-trace v1\n";
+  }
+  EXPECT_THROW((void)read_trace(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vire::eval

@@ -1,0 +1,120 @@
+#include "geom/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace vire::geom {
+namespace {
+
+TEST(RegularGrid, BasicGeometry) {
+  const RegularGrid g({1.0, 2.0}, 0.5, 4, 3);
+  EXPECT_EQ(g.cols(), 4);
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.position({0, 0}), Vec2(1.0, 2.0));
+  EXPECT_EQ(g.position({3, 2}), Vec2(2.5, 3.0));
+  EXPECT_EQ(g.min_corner(), Vec2(1.0, 2.0));
+  EXPECT_EQ(g.max_corner(), Vec2(2.5, 3.0));
+}
+
+TEST(RegularGrid, InvalidArgsThrow) {
+  EXPECT_THROW(RegularGrid({0, 0}, 0.0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(RegularGrid({0, 0}, -1.0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(RegularGrid({0, 0}, 1.0, 0, 2), std::invalid_argument);
+}
+
+TEST(RegularGrid, LinearIndexRoundTrip) {
+  const RegularGrid g({0, 0}, 1.0, 5, 7);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    EXPECT_EQ(g.to_linear(g.from_linear(i)), i);
+  }
+}
+
+TEST(RegularGrid, Contains) {
+  const RegularGrid g({0, 0}, 1.0, 3, 3);
+  EXPECT_TRUE(g.contains({0, 0}));
+  EXPECT_TRUE(g.contains({2, 2}));
+  EXPECT_FALSE(g.contains({3, 0}));
+  EXPECT_FALSE(g.contains({0, -1}));
+}
+
+TEST(RegularGrid, NearestClampsOutside) {
+  const RegularGrid g({0, 0}, 1.0, 4, 4);
+  EXPECT_EQ(g.nearest({1.4, 1.6}), (GridIndex{1, 2}));
+  EXPECT_EQ(g.nearest({-5, -5}), (GridIndex{0, 0}));
+  EXPECT_EQ(g.nearest({50, 50}), (GridIndex{3, 3}));
+}
+
+TEST(RegularGrid, CellOfAndLocate) {
+  const RegularGrid g({0, 0}, 1.0, 4, 4);
+  EXPECT_EQ(g.cell_of({1.5, 2.5}), (GridIndex{1, 2}));
+  EXPECT_EQ(g.cell_of({3.0, 3.0}), (GridIndex{2, 2}));  // clamped top corner
+  const auto loc = g.locate({1.25, 2.75});
+  EXPECT_EQ(loc.cell, (GridIndex{1, 2}));
+  EXPECT_NEAR(loc.fx, 0.25, 1e-12);
+  EXPECT_NEAR(loc.fy, 0.75, 1e-12);
+}
+
+TEST(RegularGrid, CellOfThrowsWithoutCells) {
+  const RegularGrid g({0, 0}, 1.0, 1, 1);
+  EXPECT_THROW((void)g.cell_of({0, 0}), std::logic_error);
+}
+
+TEST(RegularGrid, Covers) {
+  const RegularGrid g({0, 0}, 1.0, 4, 4);
+  EXPECT_TRUE(g.covers({1.5, 1.5}));
+  EXPECT_TRUE(g.covers({0, 0}));
+  EXPECT_TRUE(g.covers({3, 3}));
+  EXPECT_FALSE(g.covers({3.01, 1}));
+  EXPECT_FALSE(g.covers({-0.01, 1}));
+}
+
+TEST(RegularGrid, Neighbors4) {
+  const RegularGrid g({0, 0}, 1.0, 3, 3);
+  EXPECT_EQ(g.neighbors4({1, 1}).size(), 4u);
+  EXPECT_EQ(g.neighbors4({0, 0}).size(), 2u);
+  EXPECT_EQ(g.neighbors4({0, 1}).size(), 3u);
+}
+
+TEST(GridField, InitialValue) {
+  GridField f(RegularGrid({0, 0}, 1.0, 3, 3), 7.5);
+  for (double v : f.values()) EXPECT_DOUBLE_EQ(v, 7.5);
+}
+
+TEST(GridField, SampleExactAtNodes) {
+  GridField f(RegularGrid({0, 0}, 1.0, 3, 3));
+  f.at({1, 2}) = 42.0;
+  EXPECT_DOUBLE_EQ(f.sample({1.0, 2.0}), 42.0);
+}
+
+// Property: bilinear sampling reproduces any affine field exactly.
+TEST(GridField, BilinearExactForAffineFields) {
+  const RegularGrid g({-1.0, 0.5}, 0.5, 6, 5);
+  GridField f(g);
+  auto affine = [](Vec2 p) { return 3.0 + 2.0 * p.x - 1.5 * p.y; };
+  for (int r = 0; r < g.rows(); ++r) {
+    for (int c = 0; c < g.cols(); ++c) {
+      f.at({c, r}) = affine(g.position({c, r}));
+    }
+  }
+  support::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 p{rng.uniform(-1.0, 1.5), rng.uniform(0.5, 2.5)};
+    EXPECT_NEAR(f.sample(p), affine(p), 1e-9);
+  }
+}
+
+TEST(GridField, SampleClampsOutside) {
+  const RegularGrid g({0, 0}, 1.0, 2, 2);
+  GridField f(g);
+  f.at({0, 0}) = 1.0;
+  f.at({1, 0}) = 2.0;
+  f.at({0, 1}) = 3.0;
+  f.at({1, 1}) = 4.0;
+  EXPECT_DOUBLE_EQ(f.sample({-5, -5}), 1.0);
+  EXPECT_DOUBLE_EQ(f.sample({5, 5}), 4.0);
+}
+
+}  // namespace
+}  // namespace vire::geom

@@ -1,0 +1,85 @@
+#include "geom/polygon.h"
+
+#include <gtest/gtest.h>
+
+namespace vire::geom {
+namespace {
+
+TEST(Aabb, ContainsAndMetrics) {
+  const Aabb box{{0, 0}, {4, 2}};
+  EXPECT_TRUE(box.contains({2, 1}));
+  EXPECT_TRUE(box.contains({0, 0}));
+  EXPECT_FALSE(box.contains({4.1, 1}));
+  EXPECT_EQ(box.center(), Vec2(2, 1));
+  EXPECT_DOUBLE_EQ(box.width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.height(), 2.0);
+}
+
+TEST(Aabb, Expanded) {
+  const Aabb box = Aabb{{1, 1}, {2, 2}}.expanded(0.5);
+  EXPECT_EQ(box.lo, Vec2(0.5, 0.5));
+  EXPECT_EQ(box.hi, Vec2(2.5, 2.5));
+}
+
+TEST(Aabb, EdgesFormClosedLoop) {
+  const Aabb box{{0, 0}, {2, 1}};
+  const auto edges = box.edges();
+  ASSERT_EQ(edges.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(edges[i].b, edges[(i + 1) % 4].a);
+  }
+}
+
+TEST(Polygon, RequiresThreeVertices) {
+  EXPECT_THROW(Polygon({{0, 0}, {1, 1}}), std::invalid_argument);
+}
+
+TEST(Polygon, RectangleHelpers) {
+  const Polygon rect = Polygon::rectangle({0, 0}, {3, 2});
+  EXPECT_EQ(rect.size(), 4u);
+  EXPECT_DOUBLE_EQ(rect.area(), 6.0);
+  const Aabb box = rect.bounding_box();
+  EXPECT_EQ(box.lo, Vec2(0, 0));
+  EXPECT_EQ(box.hi, Vec2(3, 2));
+}
+
+TEST(Polygon, TriangleArea) {
+  const Polygon tri({{0, 0}, {4, 0}, {0, 3}});
+  EXPECT_DOUBLE_EQ(tri.area(), 6.0);
+}
+
+TEST(Polygon, AreaIndependentOfWinding) {
+  const Polygon ccw({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  const Polygon cw({{0, 0}, {0, 2}, {2, 2}, {2, 0}});
+  EXPECT_DOUBLE_EQ(ccw.area(), cw.area());
+}
+
+TEST(Polygon, ContainsInteriorAndExterior) {
+  const Polygon rect = Polygon::rectangle({0, 0}, {2, 2});
+  EXPECT_TRUE(rect.contains({1, 1}));
+  EXPECT_FALSE(rect.contains({3, 1}));
+  EXPECT_FALSE(rect.contains({-0.5, 1}));
+}
+
+TEST(Polygon, BoundaryCountsAsInside) {
+  const Polygon rect = Polygon::rectangle({0, 0}, {2, 2});
+  EXPECT_TRUE(rect.contains({0, 1}));
+  EXPECT_TRUE(rect.contains({1, 0}));
+  EXPECT_TRUE(rect.contains({2, 2}));
+}
+
+TEST(Polygon, NonConvexContainment) {
+  // L-shape.
+  const Polygon ell({{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}});
+  EXPECT_TRUE(ell.contains({0.5, 2.0}));
+  EXPECT_TRUE(ell.contains({2.0, 0.5}));
+  EXPECT_FALSE(ell.contains({2.0, 2.0}));  // in the notch
+}
+
+TEST(Polygon, EdgesCount) {
+  const Polygon tri({{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(tri.edges().size(), 3u);
+}
+
+}  // namespace
+}  // namespace vire::geom

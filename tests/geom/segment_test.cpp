@@ -1,0 +1,110 @@
+#include "geom/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace vire::geom {
+namespace {
+
+TEST(Segment, LengthDirectionMidpoint) {
+  const Segment s{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(s.length(), 5.0);
+  EXPECT_NEAR(s.direction().x, 0.6, 1e-12);
+  EXPECT_EQ(s.midpoint(), Vec2(1.5, 2.0));
+  EXPECT_EQ(s.at(0.5), Vec2(1.5, 2.0));
+}
+
+TEST(Segment, ClosestPointProjectsOntoSegment) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_EQ(s.closest_point({5, 3}), Vec2(5, 0));
+  EXPECT_EQ(s.closest_point({-2, 1}), Vec2(0, 0));   // clamped to a
+  EXPECT_EQ(s.closest_point({15, -1}), Vec2(10, 0));  // clamped to b
+  EXPECT_DOUBLE_EQ(s.distance_to({5, 3}), 3.0);
+}
+
+TEST(Segment, DegenerateSegmentClosestPoint) {
+  const Segment s{{2, 2}, {2, 2}};
+  EXPECT_EQ(s.closest_point({5, 6}), Vec2(2, 2));
+  EXPECT_DOUBLE_EQ(s.distance_to({5, 6}), 5.0);
+}
+
+TEST(Intersect, CrossingSegments) {
+  const Segment a{{0, 0}, {10, 10}};
+  const Segment b{{0, 10}, {10, 0}};
+  const auto hit = intersect(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->point.x, 5.0, 1e-12);
+  EXPECT_NEAR(hit->point.y, 5.0, 1e-12);
+  EXPECT_NEAR(hit->t, 0.5, 1e-12);
+  EXPECT_NEAR(hit->u, 0.5, 1e-12);
+}
+
+TEST(Intersect, NonCrossingSegments) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{0, 1}, {1, 1}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(Intersect, ParallelReturnsNullopt) {
+  const Segment a{{0, 0}, {10, 0}};
+  const Segment b{{0, 1}, {10, 1}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(Intersect, CollinearOverlapReturnsNullopt) {
+  const Segment a{{0, 0}, {10, 0}};
+  const Segment b{{5, 0}, {15, 0}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(Intersect, TouchingAtEndpointCounts) {
+  const Segment a{{0, 0}, {5, 5}};
+  const Segment b{{5, 5}, {10, 0}};
+  const auto hit = intersect(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->t, 1.0, 1e-9);
+  EXPECT_NEAR(hit->u, 0.0, 1e-9);
+}
+
+TEST(Intersect, JustMissesBeyondEndpoint) {
+  const Segment a{{0, 0}, {1, 0}};
+  const Segment b{{2, -1}, {2, 1}};
+  EXPECT_FALSE(intersect(a, b).has_value());
+}
+
+TEST(MirrorAcross, HorizontalWall) {
+  const Segment wall{{0, 0}, {10, 0}};
+  EXPECT_EQ(mirror_across(wall, {3, 4}), Vec2(3, -4));
+  EXPECT_EQ(mirror_across(wall, {3, -4}), Vec2(3, 4));
+}
+
+TEST(MirrorAcross, PointOnWallUnchanged) {
+  const Segment wall{{0, 0}, {10, 10}};
+  const Vec2 p{4, 4};
+  const Vec2 m = mirror_across(wall, p);
+  EXPECT_NEAR(m.x, 4.0, 1e-12);
+  EXPECT_NEAR(m.y, 4.0, 1e-12);
+}
+
+TEST(MirrorAcross, UsesInfiniteLine) {
+  // Point beyond the finite wall still mirrors across the line.
+  const Segment wall{{0, 0}, {1, 0}};
+  EXPECT_EQ(mirror_across(wall, {100, 7}), Vec2(100, -7));
+}
+
+TEST(MirrorAcross, DiagonalWall) {
+  const Segment wall{{0, 0}, {10, 10}};
+  const Vec2 m = mirror_across(wall, {2, 0});
+  EXPECT_NEAR(m.x, 0.0, 1e-12);
+  EXPECT_NEAR(m.y, 2.0, 1e-12);
+}
+
+TEST(MirrorAcross, DoubleMirrorIsIdentity) {
+  const Segment wall{{1, 2}, {5, 7}};
+  const Vec2 p{3.3, -1.2};
+  const Vec2 mm = mirror_across(wall, mirror_across(wall, p));
+  EXPECT_NEAR(mm.x, p.x, 1e-12);
+  EXPECT_NEAR(mm.y, p.y, 1e-12);
+}
+
+}  // namespace
+}  // namespace vire::geom

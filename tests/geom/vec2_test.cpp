@@ -1,0 +1,68 @@
+#include "geom/vec2.h"
+
+#include <gtest/gtest.h>
+
+namespace vire::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -4};
+  EXPECT_EQ(a + b, Vec2(4, -2));
+  EXPECT_EQ(a - b, Vec2(-2, 6));
+  EXPECT_EQ(a * 2.0, Vec2(2, 4));
+  EXPECT_EQ(2.0 * a, Vec2(2, 4));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1));
+  EXPECT_EQ(-a, Vec2(-1, -2));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1, 1};
+  v += {2, 3};
+  EXPECT_EQ(v, Vec2(3, 4));
+  v -= {1, 1};
+  EXPECT_EQ(v, Vec2(2, 3));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4, 6));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1, 2}, b{3, 4};
+  EXPECT_DOUBLE_EQ(a.dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -2.0);
+  EXPECT_DOUBLE_EQ(a.cross(a), 0.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 v{3, 4};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(Vec2(0, 0).distance_to({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {4, 5}), 5.0);
+}
+
+TEST(Vec2, Normalized) {
+  const Vec2 u = Vec2{3, 4}.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(u.x, 0.6, 1e-12);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2(0, 0));
+}
+
+TEST(Vec2, PerpIsCcwAndOrthogonal) {
+  const Vec2 v{2, 1};
+  const Vec2 p = v.perp();
+  EXPECT_DOUBLE_EQ(v.dot(p), 0.0);
+  EXPECT_GT(v.cross(p), 0.0);  // CCW
+}
+
+TEST(Vec2, Lerp) {
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 0.0), Vec2(0, 0));
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 1.0), Vec2(10, 20));
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 0.5), Vec2(5, 10));
+}
+
+TEST(Vec2, ToString) {
+  EXPECT_EQ(Vec2(1.5, -2.25).to_string(), "(1.500, -2.250)");
+}
+
+}  // namespace
+}  // namespace vire::geom

@@ -1,0 +1,150 @@
+// Integration tests: the full simulate -> survey -> localize pipeline, with
+// both localizers, exercised the way the benches and examples use it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/vire_localizer.h"
+#include "env/deployment.h"
+#include "eval/runner.h"
+#include "eval/testbed.h"
+#include "landmarc/landmarc.h"
+#include "support/stats.h"
+
+namespace vire {
+namespace {
+
+TEST(EndToEnd, FullPipelineLocatesATag) {
+  eval::ObservationOptions options;
+  options.seed = 2026;
+  options.survey_duration_s = 60.0;
+  const geom::Vec2 truth{1.35, 1.7};
+  const auto obs =
+      eval::observe_testbed(env::PaperEnvironment::kEnv3Office, {truth}, options);
+
+  // LANDMARC.
+  landmarc::LandmarcLocalizer lm;
+  std::vector<landmarc::Reference> refs;
+  for (std::size_t j = 0; j < obs.reference_positions.size(); ++j) {
+    refs.push_back({obs.reference_positions[j], obs.reference_rssi[j]});
+  }
+  lm.set_references(std::move(refs));
+  const auto lm_result = lm.locate(obs.tracking_rssi[0]);
+  ASSERT_TRUE(lm_result.has_value());
+  EXPECT_LT(geom::distance(lm_result->position, truth), 1.5);
+
+  // VIRE.
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  core::VireLocalizer vire(deployment.reference_grid(),
+                           core::recommended_vire_config());
+  vire.set_reference_rssi(obs.reference_rssi);
+  const auto vire_result = vire.locate(obs.tracking_rssi[0]);
+  ASSERT_TRUE(vire_result.has_value());
+  EXPECT_LT(geom::distance(vire_result->position, truth), 1.5);
+}
+
+TEST(EndToEnd, VireBeatsLandmarcOnAverage) {
+  // A miniature Fig. 6: few trials, all three environments; VIRE must win
+  // on the all-tag mean in each (the paper's headline claim).
+  eval::ComparisonOptions options;
+  options.trials = 8;
+  options.base_seed = 20070901;
+  for (auto which : env::all_paper_environments()) {
+    const auto summary = eval::run_paper_comparison(which, options);
+    EXPECT_LT(summary.mean_error(true), summary.mean_error(false))
+        << "environment " << env::name(which);
+  }
+}
+
+TEST(EndToEnd, BoundaryExtensionRepairsOutsideTag) {
+  // Tag 9 (outside the perimeter): the extension ring must reduce the error
+  // that the strict paper grid suffers there.
+  eval::ObservationOptions options;
+  options.survey_duration_s = 40.0;
+  const geom::Vec2 tag9{3.25, 3.2};
+  support::RunningStats strict_err, extended_err;
+  for (int trial = 0; trial < 6; ++trial) {
+    options.seed = 555 + static_cast<std::uint64_t>(trial) * 7919;
+    const auto obs = eval::observe_testbed(env::PaperEnvironment::kEnv1SemiOpen,
+                                           {tag9}, options);
+    core::VireConfig strict = core::recommended_vire_config();
+    strict.virtual_grid.boundary_extension_cells = 0;
+    core::VireConfig extended = core::recommended_vire_config();
+    const auto strict_errors = eval::vire_errors(obs, strict, options.deployment);
+    const auto ext_errors = eval::vire_errors(obs, extended, options.deployment);
+    if (!std::isnan(strict_errors[0])) strict_err.add(strict_errors[0]);
+    if (!std::isnan(ext_errors[0])) extended_err.add(ext_errors[0]);
+  }
+  EXPECT_LT(extended_err.mean(), strict_err.mean());
+}
+
+TEST(EndToEnd, MoreVirtualTagsImproveAccuracyFromCoarseBase) {
+  // Fig. 7's left side in miniature: n=1 (plain real grid) vs n=10.
+  eval::ObservationOptions options;
+  options.survey_duration_s = 40.0;
+  support::RunningStats coarse_err, fine_err;
+  const auto specs = eval::paper_tracking_tags();
+  std::vector<geom::Vec2> positions;
+  for (const auto& s : specs) positions.push_back(s.position);
+  for (int trial = 0; trial < 5; ++trial) {
+    options.seed = 777 + static_cast<std::uint64_t>(trial) * 104729;
+    const auto obs = eval::observe_testbed(env::PaperEnvironment::kEnv3Office,
+                                           positions, options);
+    core::VireConfig coarse = core::recommended_vire_config();
+    coarse.virtual_grid.subdivision = 1;
+    coarse.virtual_grid.boundary_extension_cells = 1;
+    core::VireConfig fine = core::recommended_vire_config();
+    const auto coarse_errors = eval::vire_errors(obs, coarse, options.deployment);
+    const auto fine_errors = eval::vire_errors(obs, fine, options.deployment);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].boundary) continue;
+      if (!std::isnan(coarse_errors[i])) coarse_err.add(coarse_errors[i]);
+      if (!std::isnan(fine_errors[i])) fine_err.add(fine_errors[i]);
+    }
+  }
+  EXPECT_LT(fine_err.mean(), coarse_err.mean());
+}
+
+TEST(EndToEnd, Env3HarderThanEnv1ForLandmarc) {
+  eval::ComparisonOptions options;
+  options.trials = 8;
+  const auto env1 =
+      eval::run_paper_comparison(env::PaperEnvironment::kEnv1SemiOpen, options);
+  const auto env3 =
+      eval::run_paper_comparison(env::PaperEnvironment::kEnv3Office, options);
+  EXPECT_GT(env3.mean_error(false), env1.mean_error(false));
+}
+
+TEST(EndToEnd, EightReadersImproveOverFour) {
+  // The paper's future-work question ("effects with more readers"): with 8
+  // readers the elimination has more constraints and should not get worse.
+  eval::ObservationOptions options;
+  options.survey_duration_s = 40.0;
+  const auto specs = eval::paper_tracking_tags();
+  std::vector<geom::Vec2> positions;
+  for (const auto& s : specs) positions.push_back(s.position);
+  support::RunningStats four_err, eight_err;
+  for (int trial = 0; trial < 5; ++trial) {
+    options.seed = 999 + static_cast<std::uint64_t>(trial) * 15485863;
+    options.deployment.readers = 4;
+    const auto obs4 = eval::observe_testbed(env::PaperEnvironment::kEnv3Office,
+                                            positions, options);
+    auto dep4 = options.deployment;
+    options.deployment.readers = 8;
+    const auto obs8 = eval::observe_testbed(env::PaperEnvironment::kEnv3Office,
+                                            positions, options);
+    const auto cfg = core::recommended_vire_config();
+    const auto e4 = eval::vire_errors(obs4, cfg, dep4);
+    const auto e8 = eval::vire_errors(obs8, cfg, options.deployment);
+    options.deployment.readers = 4;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (!std::isnan(e4[i])) four_err.add(e4[i]);
+      if (!std::isnan(e8[i])) eight_err.add(e8[i]);
+    }
+  }
+  EXPECT_LT(eight_err.mean(), four_err.mean() * 1.1);
+}
+
+}  // namespace
+}  // namespace vire

@@ -1,0 +1,79 @@
+#include "landmarc/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vire::landmarc {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(Calibration, RecoversKnownBiases) {
+  // Three tags at the same spot; true per-tag biases +1, 0, -1 dB on a
+  // common baseline of (-60, -70) across two readers.
+  const std::vector<sim::RssiVector> surveys = {
+      {-59.0, -69.0}, {-60.0, -70.0}, {-61.0, -71.0}};
+  const std::vector<sim::TagId> ids = {10, 11, 12};
+  const CalibrationTable table = CalibrationTable::from_colocated_surveys(surveys, ids);
+  EXPECT_NEAR(table.bias_db(10), 1.0, 1e-9);
+  EXPECT_NEAR(table.bias_db(11), 0.0, 1e-9);
+  EXPECT_NEAR(table.bias_db(12), -1.0, 1e-9);
+}
+
+TEST(Calibration, ApplySubtractsBias) {
+  CalibrationTable table;
+  table.set_bias(5, 1.5);
+  const sim::RssiVector corrected = table.apply(5, {-60.0, kNan, -70.0});
+  EXPECT_NEAR(corrected[0], -61.5, 1e-12);
+  EXPECT_TRUE(std::isnan(corrected[1]));
+  EXPECT_NEAR(corrected[2], -71.5, 1e-12);
+}
+
+TEST(Calibration, UnknownTagHasZeroBias) {
+  const CalibrationTable table;
+  EXPECT_DOUBLE_EQ(table.bias_db(99), 0.0);
+  const sim::RssiVector v = {-60.0};
+  EXPECT_DOUBLE_EQ(table.apply(99, v)[0], -60.0);
+}
+
+TEST(Calibration, HandlesNaNReadings) {
+  const std::vector<sim::RssiVector> surveys = {{-59.0, kNan}, {-61.0, -70.0}};
+  const std::vector<sim::TagId> ids = {1, 2};
+  const CalibrationTable table = CalibrationTable::from_colocated_surveys(surveys, ids);
+  // Reader 0 cohort mean: -60. Tag 1 deviation from reader 0 only: +1.
+  EXPECT_NEAR(table.bias_db(1), 1.0, 1e-9);
+}
+
+TEST(Calibration, MismatchedSizesThrow) {
+  EXPECT_THROW(CalibrationTable::from_colocated_surveys({{-60.0}}, {1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      CalibrationTable::from_colocated_surveys({{-60.0}, {-60.0, -61.0}}, {1, 2}),
+      std::invalid_argument);
+}
+
+TEST(Calibration, EmptyInputsGiveEmptyTable) {
+  const CalibrationTable table = CalibrationTable::from_colocated_surveys({}, {});
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(Calibration, CalibrationImprovesSignatureAgreement) {
+  // Two biased tags measured at the same spot: after calibration their
+  // corrected vectors must be closer together than before.
+  const sim::RssiVector a = {-58.0, -68.0, -63.0};
+  const sim::RssiVector b = {-62.0, -72.0, -67.0};
+  const CalibrationTable table =
+      CalibrationTable::from_colocated_surveys({a, b}, {1, 2});
+  const auto ca = table.apply(1, a);
+  const auto cb = table.apply(2, b);
+  double raw = 0, cal = 0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    raw += std::abs(a[k] - b[k]);
+    cal += std::abs(ca[k] - cb[k]);
+  }
+  EXPECT_LT(cal, raw * 0.1);
+}
+
+}  // namespace
+}  // namespace vire::landmarc

@@ -1,0 +1,178 @@
+#include "landmarc/landmarc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vire::landmarc {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// A clean synthetic signal space: RSSI = -40 - 20*log10(distance to reader),
+/// 4 readers at the corners of [0,3]^2 offset outward.
+sim::RssiVector synth_rssi(geom::Vec2 p) {
+  static const geom::Vec2 readers[4] = {
+      {-0.7, -0.7}, {3.7, -0.7}, {3.7, 3.7}, {-0.7, 3.7}};
+  sim::RssiVector v;
+  for (const auto& r : readers) {
+    v.push_back(-40.0 - 20.0 * std::log10(std::max(0.1, p.distance_to(r))));
+  }
+  return v;
+}
+
+std::vector<Reference> grid_references() {
+  std::vector<Reference> refs;
+  for (int y = 0; y <= 3; ++y) {
+    for (int x = 0; x <= 3; ++x) {
+      const geom::Vec2 p{static_cast<double>(x), static_cast<double>(y)};
+      refs.push_back({p, synth_rssi(p)});
+    }
+  }
+  return refs;
+}
+
+TEST(Landmarc, ExactSignatureMatchesReferencePosition) {
+  LandmarcLocalizer localizer;
+  localizer.set_references(grid_references());
+  // Tracking tag exactly on reference (2,1): nearest neighbour has E=0.
+  const auto result = localizer.locate(synth_rssi({2, 1}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->position.x, 2.0, 0.05);
+  EXPECT_NEAR(result->position.y, 1.0, 0.05);
+  EXPECT_NEAR(result->distances.front(), 0.0, 1e-9);
+}
+
+TEST(Landmarc, InteriorTagLocatedWithinCell) {
+  LandmarcLocalizer localizer;
+  localizer.set_references(grid_references());
+  const geom::Vec2 truth{1.4, 1.7};
+  const auto result = localizer.locate(synth_rssi(truth));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->position, truth), 0.5);
+}
+
+TEST(Landmarc, WeightsSumToOne) {
+  LandmarcLocalizer localizer;
+  localizer.set_references(grid_references());
+  const auto result = localizer.locate(synth_rssi({1.2, 2.3}));
+  ASSERT_TRUE(result.has_value());
+  double sum = 0;
+  for (double w : result->weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (double w : result->weights) EXPECT_GT(w, 0.0);
+}
+
+TEST(Landmarc, SelectsConfiguredK) {
+  LandmarcConfig config;
+  config.k_nearest = 3;
+  LandmarcLocalizer localizer(config);
+  localizer.set_references(grid_references());
+  const auto result = localizer.locate(synth_rssi({1.5, 1.5}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->neighbors.size(), 3u);
+}
+
+TEST(Landmarc, KLargerThanReferencesClamps) {
+  LandmarcConfig config;
+  config.k_nearest = 100;
+  LandmarcLocalizer localizer(config);
+  localizer.set_references(grid_references());
+  const auto result = localizer.locate(synth_rssi({1.5, 1.5}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->neighbors.size(), 16u);
+}
+
+TEST(Landmarc, EstimateInsideConvexHullOfNeighbors) {
+  LandmarcLocalizer localizer;
+  localizer.set_references(grid_references());
+  const auto result = localizer.locate(synth_rssi({0.6, 2.8}));
+  ASSERT_TRUE(result.has_value());
+  // Convex combination of reference positions stays within the grid box.
+  EXPECT_GE(result->position.x, 0.0);
+  EXPECT_LE(result->position.x, 3.0);
+  EXPECT_GE(result->position.y, 0.0);
+  EXPECT_LE(result->position.y, 3.0);
+}
+
+TEST(Landmarc, NoReferencesGivesNullopt) {
+  LandmarcLocalizer localizer;
+  EXPECT_FALSE(localizer.locate(synth_rssi({1, 1})).has_value());
+}
+
+TEST(Landmarc, SignalDistancePairwiseNaNHandling) {
+  LandmarcLocalizer localizer;
+  const sim::RssiVector a = {-60.0, -70.0, kNan, -80.0};
+  const sim::RssiVector b = {-62.0, kNan, -75.0, -84.0};
+  // Common readers: 0 and 3 -> distance over those, scaled to 4 readers.
+  const double d = localizer.signal_distance(a, b);
+  const double expected = std::sqrt((4.0 + 16.0) * (4.0 / 2.0));
+  EXPECT_NEAR(d, expected, 1e-9);
+}
+
+TEST(Landmarc, TooFewCommonReadersIsNaN) {
+  LandmarcConfig config;
+  config.min_common_readers = 3;
+  LandmarcLocalizer localizer(config);
+  const sim::RssiVector a = {-60.0, kNan, kNan, -80.0};
+  const sim::RssiVector b = {-62.0, -70.0, -75.0, kNan};
+  EXPECT_TRUE(std::isnan(localizer.signal_distance(a, b)));
+}
+
+TEST(Landmarc, AllNaNTrackingGivesNullopt) {
+  LandmarcLocalizer localizer;
+  localizer.set_references(grid_references());
+  EXPECT_FALSE(localizer.locate({kNan, kNan, kNan, kNan}).has_value());
+}
+
+TEST(Landmarc, InconsistentReferenceSizesThrow) {
+  LandmarcLocalizer localizer;
+  std::vector<Reference> refs = {{{0, 0}, {-60.0, -70.0}},
+                                 {{1, 0}, {-60.0, -70.0, -80.0}}};
+  EXPECT_THROW(localizer.set_references(std::move(refs)), std::invalid_argument);
+}
+
+TEST(Landmarc, DeterministicTieBreak) {
+  // Two references with identical signatures: ties broken by index.
+  LandmarcConfig config;
+  config.k_nearest = 1;
+  LandmarcLocalizer localizer(config);
+  const sim::RssiVector sig = {-60.0, -70.0, -65.0, -75.0};
+  localizer.set_references({{{0, 0}, sig}, {{3, 3}, sig}});
+  const auto result = localizer.locate(sig);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->neighbors.front(), 0u);
+}
+
+TEST(Landmarc, CloserInSignalSpaceGetsLargerWeight) {
+  LandmarcLocalizer localizer;
+  localizer.set_references(grid_references());
+  const auto result = localizer.locate(synth_rssi({1.1, 1.1}));
+  ASSERT_TRUE(result.has_value());
+  // Weights sorted like distances: first neighbour is the closest.
+  for (std::size_t i = 1; i < result->weights.size(); ++i) {
+    EXPECT_GE(result->weights[0], result->weights[i]);
+  }
+}
+
+// Property sweep over a grid of positions: LANDMARC on a clean channel
+// always lands within the cell diagonal of the truth.
+class LandmarcAccuracy : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LandmarcAccuracy, CleanChannelErrorBounded) {
+  LandmarcLocalizer localizer;
+  localizer.set_references(grid_references());
+  const geom::Vec2 truth{GetParam().first, GetParam().second};
+  const auto result = localizer.locate(synth_rssi(truth));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->position, truth), 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Positions, LandmarcAccuracy,
+    ::testing::Values(std::pair{0.5, 0.5}, std::pair{1.5, 1.5}, std::pair{2.5, 2.5},
+                      std::pair{0.3, 2.7}, std::pair{2.2, 0.4}, std::pair{1.0, 2.0},
+                      std::pair{2.9, 2.9}, std::pair{0.1, 0.1}));
+
+}  // namespace
+}  // namespace vire::landmarc

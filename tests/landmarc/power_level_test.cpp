@@ -1,0 +1,91 @@
+#include "landmarc/power_level.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vire::landmarc {
+namespace {
+
+TEST(PowerLevel, StrongestMapsToLevelOne) {
+  const PowerLevelQuantizer q;
+  EXPECT_DOUBLE_EQ(q.quantize(-60.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantize(-40.0), 1.0);  // clamped above
+}
+
+TEST(PowerLevel, WeakestMapsToLastLevel) {
+  const PowerLevelQuantizer q;
+  EXPECT_DOUBLE_EQ(q.quantize(-95.0), 8.0);
+  EXPECT_DOUBLE_EQ(q.quantize(-120.0), 8.0);  // clamped below
+}
+
+TEST(PowerLevel, MonotoneNonIncreasingLevelWithRssi) {
+  const PowerLevelQuantizer q;
+  double prev_level = q.quantize(-120.0);
+  for (double rssi = -119.0; rssi <= -40.0; rssi += 0.5) {
+    const double level = q.quantize(rssi);
+    EXPECT_LE(level, prev_level);
+    prev_level = level;
+  }
+}
+
+TEST(PowerLevel, BandWidth) {
+  const PowerLevelQuantizer q;
+  EXPECT_NEAR(q.band_width_db(), 5.0, 1e-12);  // (95-60)/(8-1)
+}
+
+TEST(PowerLevel, QuantizeToRssiIsIdempotent) {
+  const PowerLevelQuantizer q;
+  for (double rssi = -100.0; rssi <= -55.0; rssi += 1.3) {
+    const double once = q.quantize_to_rssi(rssi);
+    EXPECT_DOUBLE_EQ(q.quantize_to_rssi(once), once);
+  }
+}
+
+TEST(PowerLevel, QuantizationErrorBoundedByHalfBand) {
+  const PowerLevelQuantizer q;
+  for (double rssi = -94.0; rssi <= -61.0; rssi += 0.37) {
+    EXPECT_LE(std::abs(q.quantize_to_rssi(rssi) - rssi),
+              q.band_width_db() / 2.0 + 1e-9);
+  }
+}
+
+TEST(PowerLevel, NaNPassesThrough) {
+  const PowerLevelQuantizer q;
+  EXPECT_TRUE(std::isnan(q.quantize(std::nan(""))));
+  EXPECT_TRUE(std::isnan(q.quantize_to_rssi(std::nan(""))));
+}
+
+TEST(PowerLevel, VectorQuantization) {
+  const PowerLevelQuantizer q;
+  const sim::RssiVector v = {-60.0, -72.5, std::nan(""), -95.0};
+  const sim::RssiVector out = q.quantize_vector(v);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], -60.0);
+  EXPECT_TRUE(std::isnan(out[2]));
+  EXPECT_DOUBLE_EQ(out[3], -95.0);
+}
+
+TEST(PowerLevel, CustomConfig) {
+  PowerLevelConfig config;
+  config.levels = 4;
+  config.strongest_dbm = -50.0;
+  config.weakest_dbm = -80.0;
+  const PowerLevelQuantizer q(config);
+  EXPECT_NEAR(q.band_width_db(), 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(q.quantize(-50.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantize(-80.0), 4.0);
+}
+
+TEST(PowerLevel, InvalidConfigsThrow) {
+  PowerLevelConfig one_level;
+  one_level.levels = 1;
+  EXPECT_THROW(PowerLevelQuantizer{one_level}, std::invalid_argument);
+  PowerLevelConfig inverted;
+  inverted.strongest_dbm = -95.0;
+  inverted.weakest_dbm = -60.0;
+  EXPECT_THROW(PowerLevelQuantizer{inverted}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vire::landmarc

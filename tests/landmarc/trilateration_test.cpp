@@ -1,0 +1,130 @@
+#include "landmarc/trilateration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vire::landmarc {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+const std::vector<geom::Vec2> kReaders = {
+    {-0.7, -0.7}, {3.7, -0.7}, {3.7, 3.7}, {-0.7, 3.7}};
+
+sim::RssiVector rssi_at(geom::Vec2 p, double a = -58.0, double b = 2.5) {
+  sim::RssiVector v;
+  for (const auto& r : kReaders) {
+    v.push_back(a - 10.0 * b * std::log10(std::max(0.1, p.distance_to(r))));
+  }
+  return v;
+}
+
+TEST(FitPathLoss, RecoversExactModel) {
+  std::vector<double> distances, rssi;
+  for (double d = 0.5; d < 8.0; d += 0.5) {
+    distances.push_back(d);
+    rssi.push_back(-58.0 - 10.0 * 2.5 * std::log10(d));
+  }
+  const FittedPathLoss fit = fit_path_loss(distances, rssi);
+  EXPECT_NEAR(fit.rssi_at_1m, -58.0, 1e-9);
+  EXPECT_NEAR(fit.exponent, 2.5, 1e-9);
+  EXPECT_NEAR(fit.rmse_db, 0.0, 1e-9);
+}
+
+TEST(FitPathLoss, SkipsNaNSamples) {
+  const std::vector<double> distances = {1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> rssi = {-58.0, kNan, -70.0, -76.0};
+  EXPECT_NO_THROW((void)fit_path_loss(distances, rssi));
+}
+
+TEST(FitPathLoss, TooFewSamplesThrow) {
+  EXPECT_THROW((void)fit_path_loss({1.0}, {-58.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_path_loss({1.0, 2.0}, {kNan, -60.0}), std::invalid_argument);
+}
+
+TEST(FitPathLoss, DistanceInversionRoundTrips) {
+  FittedPathLoss model;
+  model.rssi_at_1m = -58.0;
+  model.exponent = 2.5;
+  for (double d = 0.5; d < 10.0; d += 0.7) {
+    const double rssi = -58.0 - 25.0 * std::log10(d);
+    EXPECT_NEAR(model.distance_for(rssi), d, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(model.distance_for(0.0), 0.1);  // clamped near field
+}
+
+TEST(Trilateration, ExactRangesExactPosition) {
+  FittedPathLoss model;
+  model.rssi_at_1m = -58.0;
+  model.exponent = 2.5;
+  const TrilaterationLocalizer localizer(kReaders, model);
+  for (const auto& truth : {geom::Vec2{1.5, 1.5}, geom::Vec2{0.4, 2.6},
+                            geom::Vec2{2.9, 0.3}}) {
+    const auto result = localizer.locate(rssi_at(truth));
+    ASSERT_TRUE(result.has_value());
+    EXPECT_LT(geom::distance(result->position, truth), 1e-3);
+    EXPECT_LT(result->residual_m, 1e-3);
+  }
+}
+
+TEST(Trilateration, FromReferencesSelfSurvey) {
+  std::vector<geom::Vec2> reference_positions;
+  std::vector<sim::RssiVector> reference_rssi;
+  for (int y = 0; y <= 3; ++y) {
+    for (int x = 0; x <= 3; ++x) {
+      const geom::Vec2 p{static_cast<double>(x), static_cast<double>(y)};
+      reference_positions.push_back(p);
+      reference_rssi.push_back(rssi_at(p));
+    }
+  }
+  const auto localizer = TrilaterationLocalizer::from_references(
+      kReaders, reference_positions, reference_rssi);
+  EXPECT_NEAR(localizer.model().exponent, 2.5, 0.01);
+  const auto result = localizer.locate(rssi_at({1.2, 2.4}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->position, {1.2, 2.4}), 0.05);
+}
+
+TEST(Trilateration, ThreeValidReadersSuffice) {
+  FittedPathLoss model;
+  model.rssi_at_1m = -58.0;
+  model.exponent = 2.5;
+  const TrilaterationLocalizer localizer(kReaders, model);
+  sim::RssiVector tracking = rssi_at({1.5, 1.5});
+  tracking[3] = kNan;
+  const auto result = localizer.locate(tracking);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->position, {1.5, 1.5}), 0.01);
+}
+
+TEST(Trilateration, TwoValidReadersFail) {
+  FittedPathLoss model;
+  const TrilaterationLocalizer localizer(kReaders, model);
+  sim::RssiVector tracking = rssi_at({1.5, 1.5});
+  tracking[2] = tracking[3] = kNan;
+  EXPECT_FALSE(localizer.locate(tracking).has_value());
+}
+
+TEST(Trilateration, FewReadersAtConstructionThrow) {
+  EXPECT_THROW(TrilaterationLocalizer({{0, 0}, {1, 0}}, FittedPathLoss{}),
+               std::invalid_argument);
+}
+
+TEST(Trilateration, NoisyRangesStayNear) {
+  FittedPathLoss model;
+  model.rssi_at_1m = -58.0;
+  model.exponent = 2.5;
+  const TrilaterationLocalizer localizer(kReaders, model);
+  sim::RssiVector tracking = rssi_at({1.5, 1.5});
+  // 1.5 dB of model mismatch on two readers.
+  tracking[0] += 1.5;
+  tracking[2] -= 1.5;
+  const auto result = localizer.locate(tracking);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(geom::distance(result->position, {1.5, 1.5}), 0.6);
+  EXPECT_GT(result->residual_m, 0.0);
+}
+
+}  // namespace
+}  // namespace vire::landmarc

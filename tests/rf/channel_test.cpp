@@ -1,0 +1,128 @@
+#include "rf/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.h"
+
+namespace vire::rf {
+namespace {
+
+RfChannel make_channel(std::uint64_t seed = 1, ChannelConfig config = {}) {
+  RfChannel channel({{0, 0}, {10, 10}}, {}, config, seed);
+  return channel;
+}
+
+TEST(Channel, ReaderRegistrationReturnsSequentialIndices) {
+  RfChannel channel = make_channel();
+  EXPECT_EQ(channel.add_reader({0, 0}), 0);
+  EXPECT_EQ(channel.add_reader({10, 0}), 1);
+  EXPECT_EQ(channel.reader_count(), 2);
+  EXPECT_EQ(channel.reader_position(1), geom::Vec2(10, 0));
+}
+
+TEST(Channel, MeanIsDeterministic) {
+  RfChannel channel = make_channel(5);
+  channel.add_reader({0, 0});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(channel.mean_rssi_dbm(0, {3.3, 4.4}),
+                     channel.mean_rssi_dbm(0, {3.3, 4.4}));
+  }
+}
+
+TEST(Channel, SameSeedSameChannel) {
+  RfChannel a = make_channel(99), b = make_channel(99);
+  a.add_reader({1, 1});
+  b.add_reader({1, 1});
+  for (double x = 0; x < 10; x += 1.1) {
+    EXPECT_DOUBLE_EQ(a.mean_rssi_dbm(0, {x, 5.0}), b.mean_rssi_dbm(0, {x, 5.0}));
+  }
+}
+
+TEST(Channel, DifferentSeedsDifferentShadowing) {
+  RfChannel a = make_channel(1), b = make_channel(2);
+  a.add_reader({1, 1});
+  b.add_reader({1, 1});
+  double max_diff = 0;
+  for (double x = 0; x < 10; x += 0.7) {
+    max_diff = std::max(
+        max_diff, std::abs(a.mean_rssi_dbm(0, {x, 5.0}) - b.mean_rssi_dbm(0, {x, 5.0})));
+  }
+  EXPECT_GT(max_diff, 0.5);
+}
+
+TEST(Channel, MeanDecreasesWithDistanceOnAverage) {
+  ChannelConfig config;
+  config.shadowing.sigma_db = 0.0;  // isolate the path-loss trend
+  RfChannel channel({{0, 0}, {30, 10}}, {}, config, 1);
+  channel.add_reader({0, 5});
+  EXPECT_GT(channel.mean_rssi_dbm(0, {1, 5}), channel.mean_rssi_dbm(0, {10, 5}));
+  EXPECT_GT(channel.mean_rssi_dbm(0, {10, 5}), channel.mean_rssi_dbm(0, {29, 5}));
+}
+
+TEST(Channel, SamplesScatterAroundMean) {
+  ChannelConfig config;
+  config.noise_sigma_db = 2.0;
+  RfChannel channel = make_channel(3, config);
+  channel.add_reader({0, 0});
+  const geom::Vec2 p{4, 4};
+  const double mean = channel.mean_rssi_dbm(0, p);
+  support::Rng rng(10);
+  support::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(channel.sample_rssi_dbm(0, p, rng));
+  EXPECT_NEAR(stats.mean(), mean, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Channel, ExtraOffsetShiftsSample) {
+  ChannelConfig config;
+  config.noise_sigma_db = 0.0;
+  RfChannel channel = make_channel(4, config);
+  channel.add_reader({0, 0});
+  support::Rng rng(11);
+  const double base = channel.sample_rssi_dbm(0, {3, 3}, rng);
+  const double shifted = channel.sample_rssi_dbm(0, {3, 3}, rng, -7.5);
+  EXPECT_NEAR(shifted, base - 7.5, 1e-9);
+}
+
+TEST(Channel, DetectabilityThreshold) {
+  ChannelConfig config;
+  config.sensitivity_dbm = -100.0;
+  RfChannel channel = make_channel(5, config);
+  EXPECT_TRUE(channel.detectable(-99.9));
+  EXPECT_TRUE(channel.detectable(-100.0));
+  EXPECT_FALSE(channel.detectable(-100.1));
+}
+
+TEST(Channel, SurfacesProduceRipple) {
+  ChannelConfig config;
+  config.shadowing.sigma_db = 0.0;
+  config.noise_sigma_db = 0.0;
+  config.multipath.aperture_m = 0.0;
+  config.multipath.specular_fraction = 1.0;
+  std::vector<Surface> walls = {{{{-5, 8}, {15, 8}}, 0.9, 6.0}};
+  RfChannel with_wall({{0, 0}, {10, 10}}, walls, config, 1);
+  RfChannel without({{0, 0}, {10, 10}}, {}, config, 1);
+  with_wall.add_reader({0, 5});
+  without.add_reader({0, 5});
+  support::RunningStats diff;
+  for (double x = 1; x < 10; x += 0.05) {
+    diff.add(with_wall.mean_rssi_dbm(0, {x, 5}) - without.mean_rssi_dbm(0, {x, 5}));
+  }
+  EXPECT_GT(diff.stddev(), 0.4);  // the wall leaves a standing-wave imprint
+}
+
+TEST(Channel, PerReaderShadowingIndependent) {
+  RfChannel channel = make_channel(6);
+  channel.add_reader({0, 0});
+  channel.add_reader({0, 0});  // same position, different field
+  double max_diff = 0;
+  for (double x = 1; x < 10; x += 0.9) {
+    max_diff = std::max(max_diff,
+                        std::abs(channel.shadowing(0).offset_db({x, 5.0}) -
+                                 channel.shadowing(1).offset_db({x, 5.0})));
+  }
+  EXPECT_GT(max_diff, 0.3);
+}
+
+}  // namespace
+}  // namespace vire::rf

@@ -1,0 +1,101 @@
+#include "rf/fading.h"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.h"
+
+namespace vire::rf {
+namespace {
+
+TEST(Ar1Fading, StationarySigma) {
+  Ar1Fading fading(2.0, 10.0, support::Rng(1));
+  support::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(fading.advance(1.0));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.15);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.15);
+}
+
+TEST(Ar1Fading, ZeroDtKeepsValue) {
+  Ar1Fading fading(1.0, 5.0, support::Rng(2));
+  const double v = fading.value_db();
+  EXPECT_DOUBLE_EQ(fading.advance(0.0), v);
+}
+
+TEST(Ar1Fading, NegativeDtThrows) {
+  Ar1Fading fading(1.0, 5.0, support::Rng(3));
+  EXPECT_THROW(fading.advance(-1.0), std::invalid_argument);
+}
+
+TEST(Ar1Fading, InvalidTauThrows) {
+  EXPECT_THROW(Ar1Fading(1.0, 0.0, support::Rng(4)), std::invalid_argument);
+  EXPECT_THROW(Ar1Fading(1.0, -2.0, support::Rng(4)), std::invalid_argument);
+}
+
+TEST(Ar1Fading, ShortStepsStronglyCorrelated) {
+  // lag-1 autocorrelation at dt = tau/100 should be ~exp(-0.01) ~ 0.99.
+  Ar1Fading fading(1.0, 100.0, support::Rng(5));
+  std::vector<double> xs, ys;
+  double prev = fading.advance(1.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double cur = fading.advance(1.0);
+    xs.push_back(prev);
+    ys.push_back(cur);
+    prev = cur;
+  }
+  EXPECT_GT(support::pearson(xs, ys), 0.95);
+}
+
+TEST(Ar1Fading, LongStepsDecorrelate) {
+  Ar1Fading fading(1.0, 1.0, support::Rng(6));
+  std::vector<double> xs, ys;
+  double prev = fading.advance(20.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double cur = fading.advance(20.0);  // dt = 20*tau
+    xs.push_back(prev);
+    ys.push_back(cur);
+    prev = cur;
+  }
+  EXPECT_LT(std::abs(support::pearson(xs, ys)), 0.05);
+}
+
+TEST(Ar1Fading, DeterministicGivenSeed) {
+  Ar1Fading a(1.5, 7.0, support::Rng(42));
+  Ar1Fading b(1.5, 7.0, support::Rng(42));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.advance(0.5), b.advance(0.5));
+  }
+}
+
+TEST(BodyShadow, PeakAtZeroDistance) {
+  const BodyShadowProfile profile{8.0, 0.6};
+  EXPECT_DOUBLE_EQ(profile.loss_db(0.0), 8.0);
+}
+
+TEST(BodyShadow, ZeroBeyondHalfWidth) {
+  const BodyShadowProfile profile{8.0, 0.6};
+  EXPECT_DOUBLE_EQ(profile.loss_db(0.6), 0.0);
+  EXPECT_DOUBLE_EQ(profile.loss_db(5.0), 0.0);
+}
+
+TEST(BodyShadow, MonotoneDecreasing) {
+  const BodyShadowProfile profile{10.0, 1.0};
+  double prev = profile.loss_db(0.0);
+  for (double d = 0.05; d < 1.0; d += 0.05) {
+    const double cur = profile.loss_db(d);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(BodyShadow, HalfDepthAtHalfWidthMidpoint) {
+  const BodyShadowProfile profile{10.0, 1.0};
+  EXPECT_NEAR(profile.loss_db(0.5), 5.0, 1e-9);  // raised cosine midpoint
+}
+
+TEST(BodyShadow, DegenerateWidthIsSafe) {
+  const BodyShadowProfile profile{10.0, 0.0};
+  EXPECT_DOUBLE_EQ(profile.loss_db(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vire::rf

@@ -1,0 +1,109 @@
+#include "rf/interference.h"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.h"
+
+namespace vire::rf {
+namespace {
+
+std::vector<geom::Vec2> packed_tags(int n, double radius = 0.1) {
+  std::vector<geom::Vec2> tags;
+  support::Rng rng(1);
+  for (int i = 0; i < n; ++i) {
+    tags.push_back({rng.uniform(-radius, radius), rng.uniform(-radius, radius)});
+  }
+  return tags;
+}
+
+TEST(Interference, NeighborCounting) {
+  const InterferenceModel model;
+  std::vector<geom::Vec2> tags = {{0, 0}, {0.1, 0}, {0.2, 0}, {5, 5}};
+  EXPECT_EQ(model.neighbor_count(tags, 0), 2);
+  EXPECT_EQ(model.neighbor_count(tags, 3), 0);
+  EXPECT_EQ(model.neighbor_count(tags, 99), 0);  // out of range
+}
+
+TEST(Interference, NoCorruptionBelowCleanLimit) {
+  const InterferenceModel model;
+  support::Rng rng(2);
+  const auto tags = packed_tags(10);  // 9 neighbours each, below limit 10
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    EXPECT_DOUBLE_EQ(model.rssi_offset_db(tags, i, rng), 0.0);
+  }
+}
+
+TEST(Interference, CorruptionAboveCleanLimit) {
+  const InterferenceModel model;
+  support::Rng rng(3);
+  const auto tags = packed_tags(20);  // 19 neighbours each
+  int corrupted = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      if (model.rssi_offset_db(tags, i, rng) != 0.0) ++corrupted;
+    }
+  }
+  EXPECT_GT(corrupted, 900);  // almost always corrupted
+}
+
+TEST(Interference, SeverityGrowsLinearlyThenCaps) {
+  InterferenceConfig config;
+  config.clean_neighbor_limit = 10;
+  config.severity_per_tag_db = 2.0;
+  config.max_severity_db = 25.0;
+  const InterferenceModel model(config);
+  EXPECT_DOUBLE_EQ(model.severity_db(10), 0.0);
+  EXPECT_DOUBLE_EQ(model.severity_db(11), 2.0);
+  EXPECT_DOUBLE_EQ(model.severity_db(15), 10.0);
+  EXPECT_DOUBLE_EQ(model.severity_db(100), 25.0);
+  EXPECT_DOUBLE_EQ(model.severity_db(0), 0.0);
+}
+
+TEST(Interference, OffsetsMostlyNegative) {
+  const InterferenceModel model;
+  support::Rng rng(4);
+  int negative = 0, positive = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double off = model.rssi_offset_db(20, rng);
+    if (off < 0) ++negative;
+    if (off > 0) ++positive;
+  }
+  EXPECT_GT(negative, 3 * positive);
+}
+
+TEST(Interference, OffsetMagnitudeBounded) {
+  const InterferenceModel model;
+  support::Rng rng(5);
+  const double severity = model.severity_db(20);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LE(std::abs(model.rssi_offset_db(20, rng)), severity + 1e-9);
+  }
+}
+
+TEST(Interference, RadiusBoundsNeighborhood) {
+  InterferenceConfig config;
+  config.neighborhood_radius_m = 0.5;
+  const InterferenceModel model(config);
+  std::vector<geom::Vec2> tags = {{0, 0}, {0.49, 0}, {0.51, 0}};
+  EXPECT_EQ(model.neighbor_count(tags, 0), 1);
+}
+
+// Parameterized: increasing density increases mean corruption magnitude.
+class InterferenceDensity : public ::testing::TestWithParam<int> {};
+
+TEST_P(InterferenceDensity, MoreNeighborsMoreCorruption) {
+  const InterferenceModel model;
+  support::Rng rng(6);
+  support::RunningStats low, high;
+  for (int i = 0; i < 3000; ++i) {
+    low.add(std::abs(model.rssi_offset_db(12, rng)));
+    high.add(std::abs(model.rssi_offset_db(GetParam(), rng)));
+  }
+  EXPECT_GT(high.mean(), low.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, InterferenceDensity,
+                         ::testing::Values(15, 20, 30, 50));
+
+}  // namespace
+}  // namespace vire::rf

@@ -1,0 +1,156 @@
+#include "rf/multipath.h"
+
+#include <gtest/gtest.h>
+
+#include "rf/units.h"
+#include "support/stats.h"
+
+namespace vire::rf {
+namespace {
+
+MultipathConfig coherent_config(int order = 2) {
+  MultipathConfig config;
+  config.max_reflection_order = order;
+  config.aperture_m = 0.0;  // raw coherent field for structural tests
+  config.specular_fraction = 1.0;
+  return config;
+}
+
+TEST(Multipath, NoSurfacesZeroGain) {
+  const MultipathModel model({}, coherent_config());
+  EXPECT_NEAR(model.gain_db({0, 0}, {5, 0}), 0.0, 1e-9);
+  EXPECT_NEAR(model.coherent_gain_db({1, 2}, {8, 3}), 0.0, 1e-9);
+}
+
+TEST(Multipath, DirectPathAlwaysTraced) {
+  const MultipathModel model({}, coherent_config());
+  const auto paths = model.trace_paths({0, 0}, {3, 4});
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(paths[0].length_m, 5.0);
+  EXPECT_EQ(paths[0].reflections, 0);
+  EXPECT_DOUBLE_EQ(paths[0].amplitude_scale, 1.0);
+}
+
+TEST(Multipath, SingleWallAddsOneReflection) {
+  const Surface wall{{{-10, 2}, {10, 2}}, 0.6, 6.0};
+  const MultipathModel model({wall}, coherent_config(1));
+  const auto paths = model.trace_paths({0, 0}, {4, 0});
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[1].reflections, 1);
+  // Image path length: |(0,4)->(4,0)| with image at (0,4) (mirror of (0,0)
+  // across y=2).
+  EXPECT_NEAR(paths[1].length_m, std::sqrt(16.0 + 16.0), 1e-9);
+  EXPECT_NEAR(paths[1].amplitude_scale, 0.6, 1e-9);
+}
+
+TEST(Multipath, ReflectionPointMustLieOnFiniteWall) {
+  // A short wall segment far to the side cannot produce a specular point.
+  const Surface wall{{{100, 2}, {101, 2}}, 0.6, 6.0};
+  const MultipathModel model({wall}, coherent_config(1));
+  EXPECT_EQ(model.trace_paths({0, 0}, {4, 0}).size(), 1u);
+}
+
+TEST(Multipath, ObstructionAttenuatesDirectRay) {
+  // A wall crossing the direct ray: amplitude scaled by its through-loss.
+  const Surface blocker{{{2, -1}, {2, 1}}, 0.5, 20.0};
+  const MultipathModel model({blocker}, coherent_config(0));
+  const auto paths = model.trace_paths({0, 0}, {4, 0});
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_NEAR(paths[0].amplitude_scale, std::pow(10.0, -20.0 / 20.0), 1e-9);
+  EXPECT_NEAR(model.gain_db({0, 0}, {4, 0}), -20.0, 1e-6);
+}
+
+TEST(Multipath, SecondOrderPathsAppear) {
+  const Surface top{{{-10, 3}, {10, 3}}, 0.7, 6.0};
+  const Surface bottom{{{-10, -3}, {10, -3}}, 0.7, 6.0};
+  const MultipathModel model({top, bottom}, coherent_config(2));
+  const auto paths = model.trace_paths({0, 0}, {6, 0});
+  int second_order = 0;
+  for (const auto& p : paths) {
+    if (p.reflections == 2) ++second_order;
+  }
+  EXPECT_GE(second_order, 2);  // top->bottom and bottom->top at least
+}
+
+TEST(Multipath, GainClampedToConfiguredBounds) {
+  MultipathConfig config = coherent_config(2);
+  config.fade_floor_db = 25.0;
+  config.fade_ceiling_db = 8.0;
+  const Surface wall{{{-50, 1}, {50, 1}}, 0.95, 6.0};
+  const MultipathModel model({wall}, config);
+  for (double x = 0.5; x < 30.0; x += 0.05) {
+    const double g = model.gain_db({0, 0}, {x, 0});
+    EXPECT_GE(g, -25.0 - 1e-9);
+    EXPECT_LE(g, 8.0 + 1e-9);
+  }
+}
+
+TEST(Multipath, StandingWaveRippleNearWall) {
+  // A reflector behind the receiver: the direct and reflected paths differ
+  // by 2*(wall distance), so moving the receiver produces the classic
+  // standing wave with lambda/2 spatial period. The gain must oscillate.
+  const Surface wall{{{10, -50}, {10, 50}}, 0.9, 6.0};
+  const MultipathModel model({wall}, coherent_config(1));
+  support::RunningStats gains;
+  int sign_changes = 0;
+  double prev_delta = 0.0;
+  double prev = model.gain_db({0, 0}, {1.0, 0});
+  for (double x = 1.05; x < 8.0; x += 0.05) {
+    const double g = model.gain_db({0, 0}, {x, 0});
+    const double delta = g - prev;
+    if (delta * prev_delta < 0) ++sign_changes;
+    prev_delta = delta;
+    prev = g;
+    gains.add(g);
+  }
+  EXPECT_GT(sign_changes, 10);       // oscillatory
+  EXPECT_GT(gains.stddev(), 1.0);    // meaningful ripple
+}
+
+TEST(Multipath, ApertureAveragingReducesFadeDepth) {
+  const Surface wall{{{-50, 0.4}, {50, 0.4}}, 0.9, 6.0};
+  MultipathConfig raw = coherent_config(1);
+  MultipathConfig smoothed = raw;
+  smoothed.aperture_m = 0.12;
+  smoothed.aperture_samples = 5;
+  const MultipathModel raw_model({wall}, raw);
+  const MultipathModel smooth_model({wall}, smoothed);
+  support::RunningStats raw_gain, smooth_gain;
+  for (double x = 1.0; x < 8.0; x += 0.03) {
+    raw_gain.add(raw_model.gain_db({0, 0}, {x, 0}));
+    smooth_gain.add(smooth_model.gain_db({0, 0}, {x, 0}));
+  }
+  EXPECT_LT(smooth_gain.stddev(), raw_gain.stddev());
+  EXPECT_GT(smooth_gain.min(), raw_gain.min());
+}
+
+TEST(Multipath, SpecularFractionWeakensReflections) {
+  const Surface wall{{{-50, 0.5}, {50, 0.5}}, 0.9, 6.0};
+  MultipathConfig full = coherent_config(1);
+  MultipathConfig diffuse = full;
+  diffuse.specular_fraction = 0.3;
+  const MultipathModel full_model({wall}, full);
+  const MultipathModel diffuse_model({wall}, diffuse);
+  support::RunningStats full_gain, diffuse_gain;
+  for (double x = 1.0; x < 8.0; x += 0.03) {
+    full_gain.add(full_model.gain_db({0, 0}, {x, 0}));
+    diffuse_gain.add(diffuse_model.gain_db({0, 0}, {x, 0}));
+  }
+  EXPECT_LT(diffuse_gain.stddev(), full_gain.stddev());
+}
+
+TEST(Multipath, GainIsDeterministic) {
+  const Surface wall{{{-10, 1}, {10, 1}}, 0.5, 6.0};
+  const MultipathModel model({wall}, MultipathConfig{});
+  EXPECT_DOUBLE_EQ(model.gain_db({0, 0}, {3, 0}), model.gain_db({0, 0}, {3, 0}));
+}
+
+TEST(Multipath, OrderZeroIgnoresWalls) {
+  const Surface wall{{{-10, 1}, {10, 1}}, 0.9, 6.0};
+  const MultipathModel model({wall}, coherent_config(0));
+  // Wall parallel to the ray: no obstruction and no reflection considered.
+  EXPECT_NEAR(model.gain_db({0, 0}, {5, 0}), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vire::rf

@@ -1,0 +1,111 @@
+#include "rf/pathloss.h"
+
+#include <gtest/gtest.h>
+
+#include "rf/units.h"
+
+namespace vire::rf {
+namespace {
+
+TEST(LogDistance, ValueAtReference) {
+  const LogDistancePathLoss m(-58.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.mean_rssi_dbm(1.0), -58.0);
+}
+
+TEST(LogDistance, TenXDistanceDropsTenGamma) {
+  const LogDistancePathLoss m(-58.0, 2.5);
+  EXPECT_NEAR(m.mean_rssi_dbm(10.0), -58.0 - 25.0, 1e-9);
+  EXPECT_NEAR(m.mean_rssi_dbm(100.0), -58.0 - 50.0, 1e-9);
+}
+
+TEST(LogDistance, ClampsBelowMinDistance) {
+  const LogDistancePathLoss m(-58.0, 2.0, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(m.mean_rssi_dbm(0.0), m.mean_rssi_dbm(0.1));
+  EXPECT_DOUBLE_EQ(m.mean_rssi_dbm(0.05), m.mean_rssi_dbm(0.1));
+}
+
+TEST(LogDistance, InvalidArgsThrow) {
+  EXPECT_THROW(LogDistancePathLoss(-58.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(LogDistancePathLoss(-58.0, 2.0, 0.0), std::invalid_argument);
+}
+
+TEST(LogDistance, CloneIsIndependentCopy) {
+  const LogDistancePathLoss m(-60.0, 3.0);
+  const auto c = m.clone();
+  EXPECT_DOUBLE_EQ(c->mean_rssi_dbm(5.0), m.mean_rssi_dbm(5.0));
+}
+
+// Property sweep: strictly decreasing in distance for every exponent.
+class LogDistanceMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(LogDistanceMonotonic, StrictlyDecreasing) {
+  const LogDistancePathLoss m(-58.0, GetParam());
+  double prev = m.mean_rssi_dbm(0.2);
+  for (double d = 0.4; d < 30.0; d += 0.2) {
+    const double cur = m.mean_rssi_dbm(d);
+    EXPECT_LT(cur, prev) << "at distance " << d;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, LogDistanceMonotonic,
+                         ::testing::Values(2.0, 2.2, 2.5, 3.0, 3.5, 4.0));
+
+TEST(MultiSlope, MatchesSingleSlopeWhenOneSegment) {
+  const MultiSlopePathLoss multi(-58.0, {{1.0, 2.5}});
+  const LogDistancePathLoss single(-58.0, 2.5);
+  for (double d = 1.0; d < 20.0; d += 0.7) {
+    EXPECT_NEAR(multi.mean_rssi_dbm(d), single.mean_rssi_dbm(d), 1e-9);
+  }
+}
+
+TEST(MultiSlope, ContinuousAtBreakpoints) {
+  const MultiSlopePathLoss m(-58.0, {{1.0, 2.0}, {5.0, 3.5}, {12.0, 4.0}});
+  for (double bp : {5.0, 12.0}) {
+    EXPECT_NEAR(m.mean_rssi_dbm(bp - 1e-9), m.mean_rssi_dbm(bp + 1e-9), 1e-6);
+  }
+}
+
+TEST(MultiSlope, SteeperSlopeBeyondBreakpoint) {
+  const MultiSlopePathLoss m(-58.0, {{1.0, 2.0}, {5.0, 4.0}});
+  // Between 5 and 10 m: drop should be 40*log10(2) ~ 12 dB, not 6 dB.
+  const double drop = m.mean_rssi_dbm(5.0) - m.mean_rssi_dbm(10.0);
+  EXPECT_NEAR(drop, 40.0 * std::log10(2.0), 1e-9);
+}
+
+TEST(MultiSlope, InvalidConfigsThrow) {
+  EXPECT_THROW(MultiSlopePathLoss(-58.0, {}), std::invalid_argument);
+  EXPECT_THROW(MultiSlopePathLoss(-58.0, {{5.0, 2.0}, {1.0, 3.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(MultiSlopePathLoss(-58.0, {{0.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(FreeSpace, FactoryIsInverseSquare) {
+  const auto m = make_free_space_model(-58.0);
+  EXPECT_NEAR(m->mean_rssi_dbm(2.0) - m->mean_rssi_dbm(4.0), 20.0 * std::log10(2.0),
+              1e-9);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(-30.0), 0.001, 1e-12);
+  EXPECT_NEAR(mw_to_dbm(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(db_to_ratio(3.0103), 2.0, 1e-3);
+  EXPECT_NEAR(ratio_to_db(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(amplitude_ratio_to_db(10.0), 20.0, 1e-12);
+}
+
+TEST(Units, WavelengthAt433Mhz) {
+  EXPECT_NEAR(wavelength(433.92e6), 0.6909, 1e-3);
+}
+
+TEST(Units, FreeSpacePathLossGrowsWithDistanceAndFrequency) {
+  const double f = 433.92e6;
+  EXPECT_GT(free_space_path_loss_db(10.0, f), free_space_path_loss_db(1.0, f));
+  EXPECT_GT(free_space_path_loss_db(1.0, 2.4e9), free_space_path_loss_db(1.0, f));
+  // Canonical value: FSPL at 1 m, 2.4 GHz ~ 40 dB.
+  EXPECT_NEAR(free_space_path_loss_db(1.0, 2.4e9), 40.05, 0.1);
+}
+
+}  // namespace
+}  // namespace vire::rf

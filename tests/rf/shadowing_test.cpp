@@ -1,0 +1,117 @@
+#include "rf/shadowing.h"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.h"
+
+namespace vire::rf {
+namespace {
+
+geom::Aabb test_area() { return {{0, 0}, {10, 10}}; }
+
+TEST(Shadowing, EmpiricalSigmaMatchesTarget) {
+  ShadowingConfig config;
+  config.sigma_db = 3.0;
+  const ShadowingField field(test_area(), config, support::Rng(1));
+  EXPECT_NEAR(field.empirical_sigma_db(), 3.0, 0.05);
+}
+
+TEST(Shadowing, DeterministicForSameSeed) {
+  ShadowingConfig config;
+  const ShadowingField a(test_area(), config, support::Rng(7));
+  const ShadowingField b(test_area(), config, support::Rng(7));
+  for (double x = 0; x <= 10.0; x += 1.3) {
+    for (double y = 0; y <= 10.0; y += 1.7) {
+      EXPECT_DOUBLE_EQ(a.offset_db({x, y}), b.offset_db({x, y}));
+    }
+  }
+}
+
+TEST(Shadowing, DifferentSeedsDiffer) {
+  ShadowingConfig config;
+  const ShadowingField a(test_area(), config, support::Rng(1));
+  const ShadowingField b(test_area(), config, support::Rng(2));
+  double max_diff = 0.0;
+  for (double x = 0; x <= 10.0; x += 0.9) {
+    max_diff = std::max(max_diff, std::abs(a.offset_db({x, 5.0}) - b.offset_db({x, 5.0})));
+  }
+  EXPECT_GT(max_diff, 0.5);
+}
+
+TEST(Shadowing, SpatiallySmooth) {
+  // Nearby points must have nearby offsets: the core property VIRE's
+  // interpolation premise rests on.
+  ShadowingConfig config;
+  config.sigma_db = 3.0;
+  config.correlation_m = 1.5;
+  const ShadowingField field(test_area(), config, support::Rng(3));
+  support::RunningStats step_diff;
+  for (double x = 1.0; x < 9.0; x += 0.4) {
+    for (double y = 1.0; y < 9.0; y += 0.4) {
+      step_diff.add(std::abs(field.offset_db({x + 0.1, y}) - field.offset_db({x, y})));
+    }
+  }
+  // 10 cm steps should move the field far less than one sigma.
+  EXPECT_LT(step_diff.mean(), 0.5);
+}
+
+TEST(Shadowing, DecorrelatesOverDistance) {
+  ShadowingConfig config;
+  config.sigma_db = 3.0;
+  config.correlation_m = 1.0;
+  const ShadowingField field(test_area(), config, support::Rng(4));
+  // Mean |difference| between points far apart approaches sigma*sqrt(2)*
+  // sqrt(2/pi) ~ 1.13*sigma; between adjacent points it stays small.
+  support::RunningStats near_diff, far_diff;
+  for (double x = 0.5; x < 9.0; x += 0.37) {
+    for (double y = 0.5; y < 9.0; y += 0.41) {
+      near_diff.add(std::abs(field.offset_db({x, y}) - field.offset_db({x + 0.2, y})));
+      const double fx = x < 5.0 ? x + 4.5 : x - 4.5;
+      far_diff.add(std::abs(field.offset_db({x, y}) - field.offset_db({fx, y})));
+    }
+  }
+  EXPECT_GT(far_diff.mean(), 3.0 * near_diff.mean());
+}
+
+TEST(Shadowing, CoversAreaPlusMargin) {
+  ShadowingConfig config;
+  config.margin_m = 2.0;
+  const ShadowingField field(test_area(), config, support::Rng(5));
+  // Outside-but-within-margin positions get real values, not crashes.
+  EXPECT_NO_THROW((void)field.offset_db({-1.5, -1.5}));
+  EXPECT_NO_THROW((void)field.offset_db({11.5, 11.5}));
+}
+
+TEST(Shadowing, ZeroSigmaGivesZeroField) {
+  ShadowingConfig config;
+  config.sigma_db = 0.0;
+  const ShadowingField field(test_area(), config, support::Rng(6));
+  for (double x = 0; x <= 10; x += 2.1) {
+    EXPECT_NEAR(field.offset_db({x, x}), 0.0, 1e-9);
+  }
+}
+
+TEST(Shadowing, MeanIsApproximatelyZero) {
+  ShadowingConfig config;
+  config.sigma_db = 4.0;
+  const ShadowingField field(test_area(), config, support::Rng(8));
+  support::RunningStats stats;
+  for (double v : field.field().values()) stats.add(v);
+  EXPECT_NEAR(stats.mean(), 0.0, 1e-9);
+}
+
+// Parameterized: sigma is honoured across a range of configurations.
+class ShadowingSigma : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShadowingSigma, TargetSigmaHonoured) {
+  ShadowingConfig config;
+  config.sigma_db = GetParam();
+  const ShadowingField field(test_area(), config, support::Rng(11));
+  EXPECT_NEAR(field.empirical_sigma_db(), GetParam(), 0.02 + 0.02 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, ShadowingSigma,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0, 5.5, 8.0));
+
+}  // namespace
+}  // namespace vire::rf

@@ -1,0 +1,117 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vire::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&](SimTime) { order.push_back(3); });
+  q.schedule(1.0, [&](SimTime) { order.push_back(1); });
+  q.schedule(2.0, [&](SimTime) { order.push_back(2); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TieBrokenByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i](SimTime) { order.push_back(i); });
+  }
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule(1.0, [&](SimTime) { ++ran; });
+  q.schedule(5.0, [&](SimTime) { ++ran; });
+  EXPECT_EQ(q.run_until(3.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventAtExactDeadlineRuns) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule(3.0, [&](SimTime) { ran = true; });
+  q.run_until(3.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CallbackSeesEventTime) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.schedule(2.5, [&](SimTime t) { seen = t; });
+  q.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void(SimTime)> reschedule = [&](SimTime t) {
+    ++count;
+    if (count < 5) q.schedule(t + 1.0, reschedule);
+  };
+  q.schedule(0.0, reschedule);
+  q.run_until(100.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueue, ScheduleInPastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [](SimTime) {});
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule(4.0, [](SimTime) {}), std::invalid_argument);
+}
+
+TEST(EventQueue, ScheduleInRelative) {
+  EventQueue q;
+  q.schedule(2.0, [](SimTime) {});
+  q.run_until(2.0);
+  SimTime seen = -1;
+  q.schedule_in(3.0, [&](SimTime t) { seen = t; });
+  q.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(EventQueue, StepExecutesOne) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule(1.0, [&](SimTime) { ++ran; });
+  q.schedule(2.0, [&](SimTime) { ++ran; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, EmptyAndPending) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule(1.0, [](SimTime) {});
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(1.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TimeAdvancesMonotonically) {
+  EventQueue q;
+  q.run_until(5.0);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  q.run_until(3.0);  // earlier deadline must not rewind the clock
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+}  // namespace
+}  // namespace vire::sim

@@ -1,0 +1,128 @@
+#include "sim/middleware.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vire::sim {
+namespace {
+
+TEST(Middleware, UnknownLinkIsNaN) {
+  const Middleware mw(4);
+  EXPECT_TRUE(std::isnan(mw.link_rssi(0, 0)));
+}
+
+TEST(Middleware, MeanAggregation) {
+  MiddlewareConfig config;
+  config.aggregation = Aggregation::kMean;
+  Middleware mw(2, config);
+  mw.ingest({1.0, 0, 0, -70.0});
+  mw.ingest({2.0, 0, 0, -72.0});
+  mw.ingest({3.0, 0, 0, -74.0});
+  EXPECT_NEAR(mw.link_rssi(0, 0), -72.0, 1e-12);
+}
+
+TEST(Middleware, MedianAggregation) {
+  MiddlewareConfig config;
+  config.aggregation = Aggregation::kMedian;
+  Middleware mw(1, config);
+  mw.ingest({1.0, 0, 0, -70.0});
+  mw.ingest({2.0, 0, 0, -90.0});  // outlier
+  mw.ingest({3.0, 0, 0, -71.0});
+  EXPECT_NEAR(mw.link_rssi(0, 0), -71.0, 1e-12);
+}
+
+TEST(Middleware, MedianEvenCount) {
+  MiddlewareConfig config;
+  config.aggregation = Aggregation::kMedian;
+  Middleware mw(1, config);
+  mw.ingest({1.0, 0, 0, -70.0});
+  mw.ingest({2.0, 0, 0, -72.0});
+  EXPECT_NEAR(mw.link_rssi(0, 0), -71.0, 1e-12);
+}
+
+TEST(Middleware, TrimmedMeanDropsOutliers) {
+  MiddlewareConfig config;
+  config.aggregation = Aggregation::kTrimmedMean;
+  Middleware mw(1, config);
+  // 10 samples: 8 at -70, plus -100 and -40 outliers (20% trim each side).
+  for (int i = 0; i < 8; ++i) mw.ingest({static_cast<double>(i), 0, 0, -70.0});
+  mw.ingest({8.0, 0, 0, -100.0});
+  mw.ingest({9.0, 0, 0, -40.0});
+  EXPECT_NEAR(mw.link_rssi(0, 0), -70.0, 0.01);
+}
+
+TEST(Middleware, TrimmedMeanSmallSamplesFallsBackToMean) {
+  MiddlewareConfig config;
+  config.aggregation = Aggregation::kTrimmedMean;
+  Middleware mw(1, config);
+  mw.ingest({1.0, 0, 0, -60.0});
+  mw.ingest({2.0, 0, 0, -70.0});
+  EXPECT_NEAR(mw.link_rssi(0, 0), -65.0, 1e-12);
+}
+
+TEST(Middleware, WindowEvictionOnIngest) {
+  MiddlewareConfig config;
+  config.window_s = 10.0;
+  config.aggregation = Aggregation::kMean;
+  Middleware mw(1, config);
+  mw.ingest({0.0, 0, 0, -90.0});
+  mw.ingest({20.0, 0, 0, -70.0});  // evicts the 0.0 sample
+  EXPECT_NEAR(mw.link_rssi(0, 0), -70.0, 1e-12);
+  EXPECT_EQ(mw.sample_count(0, 0), 1u);
+}
+
+TEST(Middleware, EvictStaleRemovesLinks) {
+  MiddlewareConfig config;
+  config.window_s = 5.0;
+  Middleware mw(1, config);
+  mw.ingest({0.0, 0, 0, -70.0});
+  mw.ingest({1.0, 1, 0, -75.0});
+  mw.evict_stale(100.0);
+  EXPECT_TRUE(std::isnan(mw.link_rssi(0, 0)));
+  EXPECT_TRUE(mw.known_tags().empty());
+}
+
+TEST(Middleware, MinSamplesGate) {
+  MiddlewareConfig config;
+  config.min_samples = 3;
+  Middleware mw(1, config);
+  mw.ingest({1.0, 0, 0, -70.0});
+  mw.ingest({2.0, 0, 0, -70.0});
+  EXPECT_TRUE(std::isnan(mw.link_rssi(0, 0)));
+  mw.ingest({3.0, 0, 0, -70.0});
+  EXPECT_FALSE(std::isnan(mw.link_rssi(0, 0)));
+}
+
+TEST(Middleware, RssiVectorPerReader) {
+  Middleware mw(3);
+  mw.ingest({1.0, 7, 0, -60.0});
+  mw.ingest({1.5, 7, 2, -80.0});
+  const RssiVector v = mw.rssi_vector(7);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NEAR(v[0], -60.0, 1e-12);
+  EXPECT_TRUE(std::isnan(v[1]));
+  EXPECT_NEAR(v[2], -80.0, 1e-12);
+}
+
+TEST(Middleware, KnownTagsListsEachOnce) {
+  Middleware mw(2);
+  mw.ingest({1.0, 3, 0, -60.0});
+  mw.ingest({1.0, 3, 1, -62.0});
+  mw.ingest({1.0, 9, 0, -70.0});
+  const auto tags = mw.known_tags();
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0], 3u);
+  EXPECT_EQ(tags[1], 9u);
+}
+
+TEST(Middleware, ClearEmptiesEverything) {
+  Middleware mw(2);
+  mw.ingest({1.0, 0, 0, -60.0});
+  mw.clear();
+  EXPECT_TRUE(std::isnan(mw.link_rssi(0, 0)));
+  EXPECT_EQ(mw.sample_count(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace vire::sim

@@ -1,0 +1,142 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace vire::sim {
+namespace {
+
+constexpr const char* kMinimal =
+    "[environment]\n"
+    "preset = env1\n"
+    "[tag]\n"
+    "position = 1.5, 1.5\n";
+
+TEST(Scenario, MinimalPresetScenario) {
+  const Scenario scenario = load_scenario(support::Config::parse(kMinimal));
+  EXPECT_EQ(scenario.environment.name(), "Env1-Semi-opened area");
+  ASSERT_EQ(scenario.tags.size(), 1u);
+  EXPECT_EQ(scenario.tags[0].position, geom::Vec2(1.5, 1.5));
+  EXPECT_FALSE(scenario.tags[0].mobile());
+  EXPECT_EQ(scenario.deployment.cols, 4);  // defaults
+  EXPECT_DOUBLE_EQ(scenario.duration_s, 60.0);
+}
+
+TEST(Scenario, PresetChannelOverrides) {
+  const Scenario scenario = load_scenario(support::Config::parse(
+      "[environment]\npreset = env3\nnoise_sigma = 9.5\n"
+      "[tag]\nposition = 1, 1\n"));
+  EXPECT_DOUBLE_EQ(scenario.environment.channel_config.noise_sigma_db, 9.5);
+  // Untouched parameters keep the preset's values.
+  EXPECT_DOUBLE_EQ(scenario.environment.channel_config.path_loss_exponent, 2.8);
+}
+
+TEST(Scenario, ExplicitRoomWithWallsAndObstacles) {
+  const Scenario scenario = load_scenario(support::Config::parse(
+      "[environment]\n"
+      "name = custom\n"
+      "extent = -2, -2, 8, 6\n"
+      "room = -1, -1, 7, 5\n"
+      "room_material = brick\n"
+      "[wall]\nfrom = 0, 0\nto = 3, 0\nmaterial = glass\n"
+      "[obstacle]\nrect = 2, 2, 3, 3\nmaterial = metal\nlabel = safe\n"
+      "[tag]\nposition = 1, 1\n"));
+  EXPECT_EQ(scenario.environment.name(), "custom");
+  EXPECT_EQ(scenario.environment.walls().size(), 5u);  // 4 room + 1 extra
+  ASSERT_EQ(scenario.environment.obstacles().size(), 1u);
+  EXPECT_EQ(scenario.environment.obstacles()[0].material, env::Material::kMetal);
+  EXPECT_EQ(scenario.environment.obstacles()[0].label, "safe");
+}
+
+TEST(Scenario, DeploymentSection) {
+  const Scenario scenario = load_scenario(support::Config::parse(
+      "[environment]\npreset = env2\n"
+      "[deployment]\ncols = 6\nrows = 5\nspacing = 0.5\nplacement = midpoints\n"
+      "[tag]\nposition = 1, 1\n"));
+  EXPECT_EQ(scenario.deployment.cols, 6);
+  EXPECT_EQ(scenario.deployment.rows, 5);
+  EXPECT_DOUBLE_EQ(scenario.deployment.spacing_m, 0.5);
+  EXPECT_EQ(scenario.deployment.placement, env::ReaderPlacement::kEdgeMidpoints);
+}
+
+TEST(Scenario, MobileTagWithWaypoints) {
+  const Scenario scenario = load_scenario(support::Config::parse(
+      "[environment]\npreset = env1\n"
+      "[tag]\nname = cart\nwaypoints = 0,0, 4,0\nspeed = 2\nstart = 10\n"));
+  ASSERT_EQ(scenario.tags.size(), 1u);
+  const auto& tag = scenario.tags[0];
+  EXPECT_TRUE(tag.mobile());
+  EXPECT_EQ(tag.position_at(0.0), geom::Vec2(0, 0));
+  EXPECT_EQ(tag.position_at(11.0), geom::Vec2(2, 0));
+  EXPECT_EQ(tag.position_at(100.0), geom::Vec2(4, 0));
+}
+
+TEST(Scenario, WalkersAndSimulationSection) {
+  const Scenario scenario = load_scenario(support::Config::parse(
+      "[environment]\npreset = env1\n"
+      "[tag]\nposition = 1, 1\n"
+      "[walker]\npath = -1,0, 4,0\nspeed = 1.5\nstart = 5\nloss = 10\n"
+      "[simulation]\nseed = 77\nduration = 90\nwindow = 12\n"));
+  ASSERT_EQ(scenario.walkers.size(), 1u);
+  EXPECT_DOUBLE_EQ(scenario.walkers[0].start_time(), 5.0);
+  EXPECT_DOUBLE_EQ(scenario.walkers[0].profile().peak_loss_db, 10.0);
+  EXPECT_EQ(scenario.seed, 77u);
+  EXPECT_DOUBLE_EQ(scenario.duration_s, 90.0);
+  EXPECT_DOUBLE_EQ(scenario.middleware.window_s, 12.0);
+}
+
+TEST(Scenario, MaterialNames) {
+  EXPECT_EQ(material_from_string("metal"), env::Material::kMetal);
+  EXPECT_EQ(material_from_string("concrete"), env::Material::kConcrete);
+  EXPECT_EQ(material_from_string("wood"), env::Material::kWood);
+  EXPECT_THROW((void)material_from_string("adamantium"), std::runtime_error);
+}
+
+TEST(Scenario, SemanticErrors) {
+  // No environment.
+  EXPECT_THROW((void)load_scenario(support::Config::parse("[tag]\nposition = 1,1\n")),
+               std::runtime_error);
+  // No tags.
+  EXPECT_THROW(
+      (void)load_scenario(support::Config::parse("[environment]\npreset = env1\n")),
+      std::runtime_error);
+  // Unknown preset.
+  EXPECT_THROW((void)load_scenario(support::Config::parse(
+                   "[environment]\npreset = env9\n[tag]\nposition = 1,1\n")),
+               std::runtime_error);
+  // Tag without position or waypoints.
+  EXPECT_THROW((void)load_scenario(support::Config::parse(
+                   "[environment]\npreset = env1\n[tag]\nname = x\n")),
+               std::runtime_error);
+  // Bad extent shape.
+  EXPECT_THROW((void)load_scenario(support::Config::parse(
+                   "[environment]\nextent = 1, 2, 3\n[tag]\nposition = 1,1\n")),
+               std::runtime_error);
+  // Empty extent.
+  EXPECT_THROW((void)load_scenario(support::Config::parse(
+                   "[environment]\nextent = 5, 5, 1, 1\n[tag]\nposition = 1,1\n")),
+               std::runtime_error);
+  // Odd waypoint list.
+  EXPECT_THROW((void)load_scenario(support::Config::parse(
+                   "[environment]\npreset = env1\n[tag]\nwaypoints = 1,2,3\n")),
+               std::runtime_error);
+  // Unknown placement.
+  EXPECT_THROW((void)load_scenario(support::Config::parse(
+                   "[environment]\npreset = env1\n[deployment]\nplacement = ring\n"
+                   "[tag]\nposition = 1,1\n")),
+               std::runtime_error);
+}
+
+TEST(Scenario, EndToEndWithSimulator) {
+  const Scenario scenario = load_scenario(support::Config::parse(kMinimal));
+  const env::Deployment deployment(scenario.deployment);
+  SimulatorConfig config;
+  config.seed = scenario.seed;
+  RfidSimulator simulator(scenario.environment, deployment, config);
+  simulator.add_reference_tags();
+  const TagId id = simulator.add_tag(scenario.tags[0].position);
+  simulator.run_for(20.0);
+  EXPECT_FALSE(std::isnan(simulator.rssi_vector(id)[0]));
+}
+
+}  // namespace
+}  // namespace vire::sim

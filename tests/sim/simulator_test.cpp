@@ -1,0 +1,168 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vire::sim {
+namespace {
+
+env::Environment test_env() {
+  env::Environment env("sim-test", {{-3, -3}, {6, 6}});
+  env.channel_config.noise_sigma_db = 0.5;
+  env.channel_config.shadowing.sigma_db = 1.0;
+  return env;
+}
+
+TEST(Simulator, BeaconsProduceReadings) {
+  RfidSimulator sim(test_env(), env::Deployment::paper_testbed());
+  const TagId id = sim.add_tag({1.5, 1.5});
+  sim.run_for(30.0);
+  // 2 s beacon interval over 30 s: ~15 beacons at each of 4 readers.
+  for (int k = 0; k < sim.reader_count(); ++k) {
+    EXPECT_GE(sim.middleware().sample_count(id, static_cast<ReaderId>(k)), 10u);
+  }
+}
+
+TEST(Simulator, RssiVectorIsPlausible) {
+  RfidSimulator sim(test_env(), env::Deployment::paper_testbed());
+  const TagId id = sim.add_tag({1.5, 1.5});
+  sim.run_for(30.0);
+  const RssiVector v = sim.rssi_vector(id);
+  ASSERT_EQ(v.size(), 4u);
+  for (double rssi : v) {
+    ASSERT_FALSE(std::isnan(rssi));
+    EXPECT_LT(rssi, -40.0);
+    EXPECT_GT(rssi, -105.0);
+  }
+}
+
+TEST(Simulator, CloserReaderHearsStronger) {
+  auto env = test_env();
+  env.channel_config.shadowing.sigma_db = 0.0;
+  env.channel_config.noise_sigma_db = 0.1;
+  RfidSimulator sim(env, env::Deployment::paper_testbed());
+  // Tag right next to reader 0's corner (-0.707, -0.707).
+  const TagId id = sim.add_tag({0.1, 0.1});
+  sim.run_for(30.0);
+  const RssiVector v = sim.rssi_vector(id);
+  EXPECT_GT(v[0], v[2]);  // reader 0 (near corner) vs reader 2 (far corner)
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+  SimulatorConfig config;
+  config.seed = 12345;
+  RfidSimulator a(test_env(), env::Deployment::paper_testbed(), config);
+  RfidSimulator b(test_env(), env::Deployment::paper_testbed(), config);
+  const TagId ta = a.add_tag({1.2, 2.1});
+  const TagId tb = b.add_tag({1.2, 2.1});
+  a.run_for(20.0);
+  b.run_for(20.0);
+  const RssiVector va = a.rssi_vector(ta);
+  const RssiVector vb = b.rssi_vector(tb);
+  for (std::size_t k = 0; k < va.size(); ++k) EXPECT_DOUBLE_EQ(va[k], vb[k]);
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  SimulatorConfig a_config, b_config;
+  a_config.seed = 1;
+  b_config.seed = 2;
+  RfidSimulator a(test_env(), env::Deployment::paper_testbed(), a_config);
+  RfidSimulator b(test_env(), env::Deployment::paper_testbed(), b_config);
+  const TagId ta = a.add_tag({1.2, 2.1});
+  const TagId tb = b.add_tag({1.2, 2.1});
+  a.run_for(20.0);
+  b.run_for(20.0);
+  EXPECT_NE(a.rssi_vector(ta)[0], b.rssi_vector(tb)[0]);
+}
+
+TEST(Simulator, ChannelSeedHoldsRoomConstant) {
+  SimulatorConfig a_config, b_config;
+  a_config.seed = 1;
+  b_config.seed = 2;
+  a_config.channel_seed = b_config.channel_seed = 777;
+  RfidSimulator a(test_env(), env::Deployment::paper_testbed(), a_config);
+  RfidSimulator b(test_env(), env::Deployment::paper_testbed(), b_config);
+  // The frozen channel must agree even though tag/noise streams differ.
+  EXPECT_DOUBLE_EQ(a.channel().mean_rssi_dbm(0, {1.5, 1.5}),
+                   b.channel().mean_rssi_dbm(0, {1.5, 1.5}));
+}
+
+TEST(Simulator, ReferenceTagsMatchDeployment) {
+  RfidSimulator sim(test_env(), env::Deployment::paper_testbed());
+  const auto ids = sim.add_reference_tags();
+  EXPECT_EQ(ids.size(), 16u);
+  EXPECT_EQ(sim.tag_count(), 16u);
+  EXPECT_EQ(sim.tag(ids[0]).position(0.0), geom::Vec2(0, 0));
+  EXPECT_EQ(sim.tag(ids[15]).position(0.0), geom::Vec2(3, 3));
+}
+
+TEST(Simulator, MobileTagMoves) {
+  RfidSimulator sim(test_env(), env::Deployment::paper_testbed());
+  TagConfig config;
+  const TagId id =
+      sim.add_mobile_tag(make_waypoint_trajectory({{0, 0}, {3, 0}}, 0.5), config);
+  EXPECT_TRUE(sim.tag(id).is_mobile());
+  EXPECT_EQ(sim.tag(id).position(0.0), geom::Vec2(0, 0));
+  EXPECT_EQ(sim.tag(id).position(6.0), geom::Vec2(3, 0));
+}
+
+TEST(Simulator, SurveyReturnsOneVectorPerTag) {
+  RfidSimulator sim(test_env(), env::Deployment::paper_testbed());
+  sim.add_tag({0.5, 0.5});
+  sim.add_tag({2.5, 2.5});
+  const auto vectors = sim.survey(30.0);
+  ASSERT_EQ(vectors.size(), 2u);
+  for (const auto& v : vectors) {
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_FALSE(std::isnan(v[0]));
+  }
+}
+
+TEST(Simulator, SurveyClearsPreviousWindow) {
+  RfidSimulator sim(test_env(), env::Deployment::paper_testbed());
+  const TagId id = sim.add_tag({1.5, 1.5});
+  sim.run_for(30.0);
+  const auto count_before = sim.middleware().sample_count(id, 0);
+  EXPECT_GT(count_before, 0u);
+  sim.survey(10.0);
+  // Only the new 10 s of samples remain (~5 beacons), not 40 s worth.
+  EXPECT_LT(sim.middleware().sample_count(id, 0), count_before);
+}
+
+TEST(Simulator, WalkerDisturbsLink) {
+  auto env = test_env();
+  env.channel_config.noise_sigma_db = 0.0;
+  env.channel_config.shadowing.sigma_db = 0.0;
+  SimulatorConfig config;
+  config.fading_sigma_db = 0.0;
+  config.middleware.aggregation = Aggregation::kMean;
+
+  // Baseline without walker.
+  RfidSimulator calm(env, env::Deployment::paper_testbed(), config);
+  const TagId calm_id = calm.add_tag({1.5, 1.5});
+  calm.run_for(40.0);
+  const double calm_rssi = calm.rssi_vector(calm_id)[0];
+
+  // A body parked right on the tag->reader0 link for the entire survey.
+  RfidSimulator busy(env, env::Deployment::paper_testbed(), config);
+  const TagId busy_id = busy.add_tag({1.5, 1.5});
+  busy.add_walker(Walker({{0.4, 0.4}, {0.4, 0.4}}, 1.0, 0.0,
+                         rf::BodyShadowProfile{8.0, 0.6}, true));
+  busy.run_for(40.0);
+  const double busy_rssi = busy.rssi_vector(busy_id)[0];
+
+  EXPECT_LT(busy_rssi, calm_rssi - 3.0);
+}
+
+TEST(Simulator, LegacyBeaconIntervalProducesFewerSamples) {
+  SimulatorConfig config;
+  config.tag_defaults.beacon_interval_s = 7.5;  // original hardware
+  RfidSimulator sim(test_env(), env::Deployment::paper_testbed(), config);
+  const TagId id = sim.add_tag({1.5, 1.5});
+  sim.run_for(30.0);
+  EXPECT_LE(sim.middleware().sample_count(id, 0), 6u);
+}
+
+}  // namespace
+}  // namespace vire::sim

@@ -1,0 +1,78 @@
+#include "sim/tag.h"
+
+#include <gtest/gtest.h>
+
+namespace vire::sim {
+namespace {
+
+TEST(ActiveTag, StaticPosition) {
+  const ActiveTag tag(1, {2.0, 3.0}, 0.5, 0.0);
+  EXPECT_EQ(tag.id(), 1u);
+  EXPECT_EQ(tag.position(0.0), geom::Vec2(2, 3));
+  EXPECT_EQ(tag.position(100.0), geom::Vec2(2, 3));
+  EXPECT_DOUBLE_EQ(tag.behavior_bias_db(), 0.5);
+  EXPECT_FALSE(tag.is_mobile());
+}
+
+TEST(ActiveTag, SetPositionClearsTrajectory) {
+  ActiveTag tag(1, {0, 0}, 0.0, 0.0);
+  tag.set_trajectory(make_waypoint_trajectory({{0, 0}, {10, 0}}, 1.0));
+  EXPECT_TRUE(tag.is_mobile());
+  tag.set_position({5, 5});
+  EXPECT_FALSE(tag.is_mobile());
+  EXPECT_EQ(tag.position(3.0), geom::Vec2(5, 5));
+}
+
+TEST(ActiveTag, AntennaGainPattern) {
+  TagConfig config;
+  config.antenna_pattern_db = 2.0;
+  const ActiveTag tag(1, {0, 0}, 0.0, /*orientation=*/0.0, config);
+  EXPECT_NEAR(tag.antenna_gain_db(0.0), 2.0, 1e-12);          // boresight
+  EXPECT_NEAR(tag.antenna_gain_db(M_PI / 2.0), -2.0, 1e-12);  // null
+  EXPECT_NEAR(tag.antenna_gain_db(M_PI), 2.0, 1e-12);         // two-lobe
+  EXPECT_NEAR(tag.antenna_gain_db(M_PI / 4.0), 0.0, 1e-12);
+}
+
+TEST(ActiveTag, OrientationRotatesPattern) {
+  TagConfig config;
+  config.antenna_pattern_db = 3.0;
+  const ActiveTag tag(1, {0, 0}, 0.0, M_PI / 2.0, config);
+  EXPECT_NEAR(tag.antenna_gain_db(M_PI / 2.0), 3.0, 1e-12);
+  EXPECT_NEAR(tag.antenna_gain_db(0.0), -3.0, 1e-12);
+}
+
+TEST(Trajectory, WaypointsTraversedAtSpeed) {
+  const auto traj = make_waypoint_trajectory({{0, 0}, {10, 0}}, 2.0);
+  EXPECT_EQ(traj(0.0), geom::Vec2(0, 0));
+  EXPECT_EQ(traj(2.5), geom::Vec2(5, 0));
+  EXPECT_EQ(traj(5.0), geom::Vec2(10, 0));
+}
+
+TEST(Trajectory, ClampsBeforeStartAndAfterEnd) {
+  const auto traj = make_waypoint_trajectory({{0, 0}, {4, 0}}, 1.0, /*start=*/10.0);
+  EXPECT_EQ(traj(0.0), geom::Vec2(0, 0));
+  EXPECT_EQ(traj(12.0), geom::Vec2(2, 0));
+  EXPECT_EQ(traj(100.0), geom::Vec2(4, 0));
+}
+
+TEST(Trajectory, MultiSegmentPath) {
+  const auto traj = make_waypoint_trajectory({{0, 0}, {3, 0}, {3, 4}}, 1.0);
+  EXPECT_EQ(traj(3.0), geom::Vec2(3, 0));   // corner
+  EXPECT_EQ(traj(5.0), geom::Vec2(3, 2));   // halfway up second leg
+  EXPECT_EQ(traj(7.0), geom::Vec2(3, 4));   // end
+}
+
+TEST(Trajectory, SingleWaypointIsStationary) {
+  const auto traj = make_waypoint_trajectory({{1, 2}}, 1.0);
+  EXPECT_EQ(traj(0.0), geom::Vec2(1, 2));
+  EXPECT_EQ(traj(50.0), geom::Vec2(1, 2));
+}
+
+TEST(Trajectory, InvalidArgsThrow) {
+  EXPECT_THROW(make_waypoint_trajectory({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_waypoint_trajectory({{0, 0}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_waypoint_trajectory({{0, 0}}, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vire::sim

@@ -1,0 +1,59 @@
+#include "sim/walker.h"
+
+#include <gtest/gtest.h>
+
+namespace vire::sim {
+namespace {
+
+TEST(Walker, FollowsPath) {
+  const Walker w({{0, 0}, {10, 0}}, 1.0, /*start=*/5.0);
+  EXPECT_EQ(w.position(0.0), geom::Vec2(0, 0));   // waiting at start
+  EXPECT_EQ(w.position(10.0), geom::Vec2(5, 0));  // halfway
+  EXPECT_EQ(w.position(15.0), geom::Vec2(10, 0));
+  EXPECT_DOUBLE_EQ(w.start_time(), 5.0);
+  EXPECT_DOUBLE_EQ(w.end_time(), 15.0);
+}
+
+TEST(Walker, PresenceWindow) {
+  const Walker transient({{0, 0}, {4, 0}}, 2.0, 1.0, {}, /*present_after=*/false);
+  EXPECT_TRUE(transient.present(0.5));   // standing at start point
+  EXPECT_TRUE(transient.present(2.0));   // walking
+  EXPECT_FALSE(transient.present(10.0)); // left the room
+
+  const Walker resident({{0, 0}, {4, 0}}, 2.0, 1.0, {}, /*present_after=*/true);
+  EXPECT_TRUE(resident.present(10.0));
+}
+
+TEST(Walker, LinkLossWhenCrossingLink) {
+  rf::BodyShadowProfile profile{8.0, 0.6};
+  // Walker crosses the link (0,0)-(10,0) at x=5, moving in +y.
+  const Walker w({{5, -3}, {5, 3}}, 1.0, 0.0, profile);
+  // At t=3 the walker is exactly on the link.
+  EXPECT_NEAR(w.link_loss_db({0, 0}, {10, 0}, 3.0), 8.0, 1e-9);
+  // At t=0 the walker is 3 m away: no loss.
+  EXPECT_DOUBLE_EQ(w.link_loss_db({0, 0}, {10, 0}, 0.0), 0.0);
+}
+
+TEST(Walker, LossFadesWithDistanceFromLink) {
+  rf::BodyShadowProfile profile{8.0, 1.0};
+  const Walker w({{5, -3}, {5, 3}}, 1.0, 0.0, profile);
+  const double at_half_metre = w.link_loss_db({0, 0}, {10, 0}, 2.5);
+  const double on_link = w.link_loss_db({0, 0}, {10, 0}, 3.0);
+  EXPECT_GT(on_link, at_half_metre);
+  EXPECT_GT(at_half_metre, 0.0);
+}
+
+TEST(Walker, NoLossAfterLeaving) {
+  const Walker w({{5, -3}, {5, 3}}, 1.0, 0.0, {8.0, 2.0}, /*present_after=*/false);
+  EXPECT_DOUBLE_EQ(w.link_loss_db({0, 0}, {10, 0}, 100.0), 0.0);
+}
+
+TEST(Walker, LossAppliesOnlyNearLinkSegmentNotInfiniteLine) {
+  rf::BodyShadowProfile profile{8.0, 0.6};
+  // Walker stands beyond the link's endpoint extension.
+  const Walker w({{20, 0}, {20, 0.1}}, 1.0, 0.0, profile, true);
+  EXPECT_DOUBLE_EQ(w.link_loss_db({0, 0}, {10, 0}, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vire::sim

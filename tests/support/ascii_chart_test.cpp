@@ -1,0 +1,112 @@
+#include "support/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vire::support {
+namespace {
+
+TEST(LineChart, ContainsGlyphsAndLegend) {
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  Series s{"series-a", '*', {0.0, 1.0, 4.0, 9.0, 16.0}};
+  ChartOptions opt;
+  opt.title = "squares";
+  const std::string out = render_line_chart(x, {s}, opt);
+  EXPECT_NE(out.find("squares"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("series-a"), std::string::npos);
+}
+
+TEST(LineChart, HandlesNaNGaps) {
+  std::vector<double> x = {0, 1, 2, 3};
+  Series s{"gap", 'o', {1.0, std::nan(""), 3.0, 4.0}};
+  const std::string out = render_line_chart(x, {s}, {});
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(LineChart, ConstantSeriesDoesNotCrash) {
+  std::vector<double> x = {0, 1, 2};
+  Series s{"flat", '#', {5.0, 5.0, 5.0}};
+  const std::string out = render_line_chart(x, {s}, {});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(LineChart, MultipleSeries) {
+  std::vector<double> x = {0, 1, 2, 3};
+  Series a{"up", 'u', {0, 1, 2, 3}};
+  Series b{"down", 'd', {3, 2, 1, 0}};
+  const std::string out = render_line_chart(x, {a, b}, {});
+  EXPECT_NE(out.find('u'), std::string::npos);
+  EXPECT_NE(out.find('d'), std::string::npos);
+}
+
+TEST(BarChart, RendersAllCategoriesAndValues) {
+  std::vector<std::string> cats = {"Tag1", "Tag2"};
+  Series lm{"LM", 'L', {0.5, 1.0}};
+  Series vr{"VIRE", 'V', {0.25, 0.5}};
+  ChartOptions opt;
+  opt.width = 40;
+  const std::string out = render_bar_chart(cats, {lm, vr}, opt);
+  EXPECT_NE(out.find("Tag1"), std::string::npos);
+  EXPECT_NE(out.find("Tag2"), std::string::npos);
+  EXPECT_NE(out.find('L'), std::string::npos);
+  EXPECT_NE(out.find('V'), std::string::npos);
+}
+
+TEST(BarChart, LongestBarBelongsToMax) {
+  std::vector<std::string> cats = {"a", "b"};
+  Series s{"s", '#', {1.0, 2.0}};
+  ChartOptions opt;
+  opt.width = 30;
+  const std::string out = render_bar_chart(cats, {s}, opt);
+  // The second bar (value 2.0) should have ~twice the glyphs of the first.
+  const auto first_line_len = out.find('\n', out.find('#'));
+  (void)first_line_len;
+  std::size_t count_a = 0, count_b = 0, line = 0;
+  for (std::size_t i = 0, start = 0; i <= out.size(); ++i) {
+    if (i == out.size() || out[i] == '\n') {
+      const std::string row = out.substr(start, i - start);
+      const auto hashes = static_cast<std::size_t>(
+          std::count(row.begin(), row.end(), '#'));
+      if (hashes > 0) {
+        if (line == 0) count_a = hashes;
+        else count_b = hashes;
+        ++line;
+      }
+      start = i + 1;
+    }
+  }
+  EXPECT_GT(count_b, count_a);
+}
+
+TEST(Heatmap, ShadesExtremes) {
+  // 2x2: min at one corner, max at another.
+  const std::string out = render_heatmap({0.0, 1.0, 0.5, 1.0}, 2, 2, "hm");
+  EXPECT_NE(out.find("hm"), std::string::npos);
+  EXPECT_NE(out.find('@'), std::string::npos);  // max shade
+}
+
+TEST(Heatmap, RejectsBadDimensions) {
+  const std::string out = render_heatmap({1.0}, 2, 2, "bad");
+  EXPECT_NE(out.find("empty"), std::string::npos);
+}
+
+TEST(Mask, RendersHashesAndDots) {
+  const std::string out = render_mask({true, false, false, true}, 2, 2, "mask");
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(Mask, RowZeroRenderedAtBottom) {
+  // 2x1 grid: row 0 true, row 1 false -> '#' must appear on the LAST line.
+  const std::string out = render_mask({true, false}, 2, 1, "");
+  const auto hash_pos = out.find('#');
+  const auto dot_pos = out.find('.');
+  ASSERT_NE(hash_pos, std::string::npos);
+  ASSERT_NE(dot_pos, std::string::npos);
+  EXPECT_GT(hash_pos, dot_pos);
+}
+
+}  // namespace
+}  // namespace vire::support

@@ -1,0 +1,111 @@
+#include "support/config.h"
+
+#include <gtest/gtest.h>
+
+namespace vire::support {
+namespace {
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const Config config = Config::parse(
+      "[alpha]\n"
+      "key = value\n"
+      "number = 42\n"
+      "[beta]\n"
+      "flag = true\n");
+  ASSERT_EQ(config.sections().size(), 2u);
+  EXPECT_EQ(config.sections()[0].name(), "alpha");
+  EXPECT_EQ(config.first("alpha")->string_or("key", ""), "value");
+  EXPECT_EQ(config.first("alpha")->int_or("number", 0), 42);
+  EXPECT_TRUE(config.first("beta")->bool_or("flag", false));
+}
+
+TEST(Config, CommentsAndWhitespace) {
+  const Config config = Config::parse(
+      "# leading comment\n"
+      "  [ Room ]   ; trailing comment\n"
+      "  size =  12.5   # inline comment\n"
+      "\n"
+      "empty_ok =    \n");
+  const auto* section = config.first("room");
+  ASSERT_NE(section, nullptr);
+  EXPECT_DOUBLE_EQ(section->double_or("size", 0.0), 12.5);
+  EXPECT_TRUE(section->has("empty_ok"));
+  EXPECT_EQ(section->string_or("empty_ok", "x"), "");
+}
+
+TEST(Config, KeysAreCaseInsensitive) {
+  const Config config = Config::parse("[S]\nMyKey = 7\n");
+  EXPECT_EQ(config.first("s")->int_or("mykey", 0), 7);
+  EXPECT_EQ(config.first("S")->int_or("MYKEY", 0), 7);
+}
+
+TEST(Config, RepeatedSectionsKeepInstances) {
+  const Config config = Config::parse(
+      "[tag]\nname = a\n[tag]\nname = b\n[tag]\nname = c\n");
+  const auto tags = config.sections_named("tag");
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(tags[0]->string_or("name", ""), "a");
+  EXPECT_EQ(tags[2]->string_or("name", ""), "c");
+}
+
+TEST(Config, DoublesList) {
+  const Config config = Config::parse("[s]\npath = 1.5, -2, 3.25,4\n");
+  const auto values = config.first("s")->get_doubles("path");
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 4u);
+  EXPECT_DOUBLE_EQ((*values)[1], -2.0);
+  EXPECT_DOUBLE_EQ((*values)[3], 4.0);
+}
+
+TEST(Config, MissingKeysReturnNulloptAndFallbacks) {
+  const Config config = Config::parse("[s]\na = 1\n");
+  const auto* s = config.first("s");
+  EXPECT_FALSE(s->get_string("missing").has_value());
+  EXPECT_FALSE(s->get_double("missing").has_value());
+  EXPECT_EQ(s->string_or("missing", "def"), "def");
+  EXPECT_DOUBLE_EQ(s->double_or("missing", 9.5), 9.5);
+  EXPECT_EQ(config.first("nope"), nullptr);
+  EXPECT_TRUE(config.sections_named("nope").empty());
+}
+
+TEST(Config, BooleanSpellings) {
+  const Config config = Config::parse(
+      "[s]\na = yes\nb = off\nc = 1\nd = FALSE\n");
+  const auto* s = config.first("s");
+  EXPECT_TRUE(s->bool_or("a", false));
+  EXPECT_FALSE(s->bool_or("b", true));
+  EXPECT_TRUE(s->bool_or("c", false));
+  EXPECT_FALSE(s->bool_or("d", true));
+}
+
+TEST(Config, SyntaxErrorsThrowWithLineNumbers) {
+  EXPECT_THROW((void)Config::parse("key = before any section\n"), std::runtime_error);
+  EXPECT_THROW((void)Config::parse("[s]\nno equals sign here\n"), std::runtime_error);
+  EXPECT_THROW((void)Config::parse("[unclosed\n"), std::runtime_error);
+  try {
+    (void)Config::parse("[s]\nok = 1\nbroken line\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const Config config = Config::parse("[s]\nnum = not_a_number\nflag = maybe\n");
+  EXPECT_THROW((void)config.first("s")->get_double("num"), std::runtime_error);
+  EXPECT_THROW((void)config.first("s")->get_bool("flag"), std::runtime_error);
+  EXPECT_THROW((void)Config::parse("[s]\nv = 1, x\n").first("s")->get_doubles("v"),
+               std::runtime_error);
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW((void)Config::load("/nonexistent/path.scn"), std::runtime_error);
+}
+
+TEST(Config, ValueWithEqualsSignKeepsRemainder) {
+  const Config config = Config::parse("[s]\nexpr = a=b\n");
+  EXPECT_EQ(config.first("s")->string_or("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace vire::support

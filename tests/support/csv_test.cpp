@@ -1,0 +1,99 @@
+#include "support/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace vire::support {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vire_csv_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST_F(CsvTest, EscapeQuotesCommasNewlines) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST_F(CsvTest, WriteAndReadRoundTrip) {
+  const auto path = dir_ / "round.csv";
+  {
+    CsvWriter w(path);
+    w.header({"name", "value", "note"});
+    w.row({"alpha", "1.5", "plain"});
+    w.row({"beta", "2", "with,comma"});
+    w.row({"gamma", "3", "with \"quote\""});
+  }
+  const CsvTable t = read_csv(path);
+  ASSERT_EQ(t.header.size(), 3u);
+  EXPECT_EQ(t.header[0], "name");
+  ASSERT_EQ(t.rows.size(), 3u);
+  EXPECT_EQ(t.rows[1][2], "with,comma");
+  EXPECT_EQ(t.rows[2][2], "with \"quote\"");
+}
+
+TEST_F(CsvTest, NumericRows) {
+  const auto path = dir_ / "num.csv";
+  {
+    CsvWriter w(path);
+    w.header({"x", "y"});
+    w.row_numeric({1.0, 2.5});
+    w.row_labeled("label", {3.25});
+    EXPECT_EQ(w.rows_written(), 3u);
+  }
+  const CsvTable t = read_csv(path);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], "1");
+  EXPECT_EQ(t.rows[0][1], "2.5");
+  EXPECT_EQ(t.rows[1][0], "label");
+  EXPECT_EQ(t.rows[1][1], "3.25");
+}
+
+TEST_F(CsvTest, CreatesParentDirectories) {
+  const auto path = dir_ / "nested" / "deep" / "file.csv";
+  CsvWriter w(path);
+  w.header({"a"});
+  EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST_F(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv(dir_ / "missing.csv"), std::runtime_error);
+}
+
+TEST_F(CsvTest, ReadHandlesCrlfAndFinalLineWithoutNewline) {
+  const auto path = dir_ / "crlf.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\r\n1,2\r\n3,4";  // no trailing newline
+  }
+  const CsvTable t = read_csv(path);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "4");
+}
+
+TEST_F(CsvTest, FormatNumber) {
+  EXPECT_EQ(format_number(1.0), "1");
+  EXPECT_EQ(format_number(0.125), "0.125");
+  EXPECT_EQ(format_number(-3.5e6), "-3.5e+06");
+}
+
+}  // namespace
+}  // namespace vire::support

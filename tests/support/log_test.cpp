@@ -1,0 +1,82 @@
+#include "support/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace vire::support {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_level(LogLevel::kDebug);
+    Logger::instance().set_sink([this](LogLevel level, std::string_view msg) {
+      records_.emplace_back(level, std::string(msg));
+    });
+  }
+  void TearDown() override {
+    // Restore defaults so other tests/processes are unaffected.
+    Logger::instance().set_level(LogLevel::kInfo);
+    Logger::instance().set_sink([](LogLevel, std::string_view) {});
+  }
+  std::vector<std::pair<LogLevel, std::string>> records_;
+};
+
+TEST_F(LogTest, FormatsArguments) {
+  log_info("tag %d at (%.1f, %.1f)", 7, 1.5, 2.5);
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].second, "tag 7 at (1.5, 2.5)");
+  EXPECT_EQ(records_[0].first, LogLevel::kInfo);
+}
+
+TEST_F(LogTest, PlainMessageWithoutArguments) {
+  log_warn("plain message");
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].second, "plain message");
+  EXPECT_EQ(records_[0].first, LogLevel::kWarn);
+}
+
+TEST_F(LogTest, LevelFiltering) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  log_debug("hidden %d", 1);
+  log_info("hidden too");
+  log_warn("visible");
+  log_error("also visible %s", "x");
+  ASSERT_EQ(records_.size(), 2u);
+  EXPECT_EQ(records_[0].first, LogLevel::kWarn);
+  EXPECT_EQ(records_[1].first, LogLevel::kError);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  log_error("even errors");
+  EXPECT_TRUE(records_.empty());
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LogTest, StrprintfLongStrings) {
+  const std::string big(500, 'x');
+  const std::string out = strprintf("[%s]", big.c_str());
+  EXPECT_EQ(out.size(), 502u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST_F(LogTest, EnabledReflectsLevel) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace vire::support

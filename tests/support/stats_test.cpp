@@ -1,0 +1,164 @@
+#include "support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace vire::support {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0, -3.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(77);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStats, Ci95Shrinks) {
+  RunningStats few, many;
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) few.add(rng.normal());
+  for (int i = 0; i < 1000; ++i) many.add(rng.normal());
+  EXPECT_GT(few.ci95_halfwidth(), many.ci95_halfwidth());
+}
+
+TEST(Quantile, HandlesEdges) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.3), 7.0);
+}
+
+TEST(Quantile, LinearInterpolationBetweenRanks) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+TEST(Summarize, FullSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const SampleSummary s = summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean, 50.5, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 0.2);
+}
+
+TEST(Summarize, EmptyInput) {
+  const SampleSummary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Ecdf, StepFunction) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ecdf(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(v, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(v, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(v, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf({}, 1.0), 0.0);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 - 2.0 * i);
+  }
+  const LinearFit f = fit_line(x, y);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(f.slope, -2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(FitLine, DegenerateInputs) {
+  EXPECT_EQ(fit_line({}, {}).slope, 0.0);
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_EQ(fit_line(x, y).slope, 0.0);  // vertical: no fit
+}
+
+TEST(Pearson, SignAndMagnitude) {
+  std::vector<double> x, y_pos, y_neg;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y_pos.push_back(i + rng.normal(0.0, 5.0));
+    y_neg.push_back(-2.0 * i + rng.normal(0.0, 5.0));
+  }
+  EXPECT_GT(pearson(x, y_pos), 0.9);
+  EXPECT_LT(pearson(x, y_neg), -0.9);
+}
+
+TEST(ImprovementPercent, Basics) {
+  EXPECT_DOUBLE_EQ(improvement_percent(1.0, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(1.0, 1.5), -50.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(2.0, 2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vire::support
