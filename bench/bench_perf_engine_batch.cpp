@@ -1,0 +1,143 @@
+// Performance: batch localization throughput of the LocalizationEngine vs
+// `parallel_workers`. One simulated testbed, a fleet of static tags, and
+// repeated update() rounds against a fixed middleware snapshot — so after
+// the first round the unchanged-reference skip keeps the virtual grid
+// cached and the measurement isolates the per-tag locate() fan-out, which
+// is the server's hot path.
+//
+// Also cross-checks the determinism contract: every worker count must
+// reproduce the serial fixes bit-for-bit.
+//
+// Env knobs: VIRE_TAGS (default 64), VIRE_ROUNDS (default 30).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/localization_engine.h"
+#include "env/environment.h"
+#include "sim/simulator.h"
+#include "support/csv.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace vire;
+
+int env_int(const char* name, int fallback) {
+  if (const char* s = std::getenv(name)) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+bool fixes_identical(const std::vector<engine::Fix>& a,
+                     const std::vector<engine::Fix>& b) {
+  if (a.size() != b.size()) return false;
+  auto same = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  };
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].tag != b[i].tag || a[i].valid != b[i].valid ||
+        a[i].survivor_count != b[i].survivor_count ||
+        !same(a[i].position.x, b[i].position.x) ||
+        !same(a[i].position.y, b[i].position.y) ||
+        !same(a[i].smoothed_position.x, b[i].smoothed_position.x) ||
+        !same(a[i].smoothed_position.y, b[i].smoothed_position.y)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const int tag_count = env_int("VIRE_TAGS", 64);
+  const int rounds = env_int("VIRE_ROUNDS", 30);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("=== Engine batch throughput vs parallel_workers ===\n");
+  std::printf("tags: %d, update rounds: %d, hardware threads: %u\n\n", tag_count,
+              rounds, hw);
+
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv1SemiOpen);
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  sim::SimulatorConfig sim_config;
+  sim_config.seed = 7;
+  sim::RfidSimulator simulator(environment, deployment, sim_config);
+  const auto reference_ids = simulator.add_reference_tags();
+
+  // Deterministic pseudo-random fleet over the deployment area (plus a
+  // fringe outside the reference lattice, the hard boundary cases).
+  std::vector<sim::TagId> tags;
+  std::uint64_t state = 0x243f6a8885a308d3ULL;
+  for (int i = 0; i < tag_count; ++i) {
+    const double x = -0.5 + 4.0 * (static_cast<double>(support::splitmix64(state) >> 11) /
+                                   9007199254740992.0);
+    const double y = -0.5 + 4.0 * (static_cast<double>(support::splitmix64(state) >> 11) /
+                                   9007199254740992.0);
+    tags.push_back(simulator.add_tag({x, y}));
+  }
+  simulator.run_for(40.0);
+  const sim::SimTime now = simulator.now();
+  const sim::Middleware& middleware = simulator.middleware();
+
+  std::vector<int> worker_counts = {1, 2, 4, 8, 0};
+  support::CsvWriter csv("bench_out/perf_engine_batch.csv");
+  csv.header({"workers_requested", "workers_actual", "tags", "rounds",
+              "mean_update_ms", "tags_per_sec", "speedup_vs_serial",
+              "bit_identical_to_serial"});
+
+  std::printf("%10s %8s %16s %14s %9s %12s\n", "workers", "actual", "mean update ms",
+              "tags/sec", "speedup", "identical");
+
+  double serial_tags_per_sec = 0.0;
+  std::vector<engine::Fix> serial_fixes;
+  for (const int workers : worker_counts) {
+    engine::EngineConfig config;
+    config.parallel_workers = workers;
+    config.min_refresh_interval_s = 1000.0;  // grid built once, then cached
+    engine::LocalizationEngine engine(deployment, config);
+    engine.set_reference_ids(reference_ids);
+    for (const auto id : tags) engine.track(id);
+
+    auto fixes = engine.update(middleware, now);  // warm-up: builds the grid
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < rounds; ++r) fixes = engine.update(middleware, now);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+
+    const double mean_update_ms = 1e3 * seconds / rounds;
+    const double tags_per_sec =
+        static_cast<double>(tag_count) * rounds / std::max(1e-12, seconds);
+    if (workers == 1) {
+      serial_tags_per_sec = tags_per_sec;
+      serial_fixes = fixes;
+    }
+    const bool identical = fixes_identical(fixes, serial_fixes);
+    const double speedup = tags_per_sec / std::max(1e-12, serial_tags_per_sec);
+
+    std::printf("%10d %8zu %16.3f %14.0f %8.2fx %12s\n", workers,
+                engine.worker_count(), mean_update_ms, tags_per_sec, speedup,
+                identical ? "yes" : "NO");
+    csv.row({std::to_string(workers), std::to_string(engine.worker_count()),
+             std::to_string(tag_count), std::to_string(rounds),
+             std::to_string(mean_update_ms), std::to_string(tags_per_sec),
+             std::to_string(speedup), identical ? "1" : "0"});
+    if (!identical) {
+      std::printf("\nDETERMINISM VIOLATION at workers=%d\n", workers);
+      return 1;
+    }
+  }
+
+  std::printf("\nCSV written to bench_out/perf_engine_batch.csv\n");
+  return 0;
+}

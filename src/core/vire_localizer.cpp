@@ -17,8 +17,8 @@ VireLocalizer::VireLocalizer(const geom::RegularGrid& real_grid, VireConfig conf
     : real_grid_(real_grid), config_(config), elimination_(config.elimination) {}
 
 void VireLocalizer::set_reference_rssi(
-    const std::vector<sim::RssiVector>& reference_rssi) {
-  virtual_grid_.emplace(real_grid_, reference_rssi, config_.virtual_grid);
+    const std::vector<sim::RssiVector>& reference_rssi, support::ThreadPool* pool) {
+  virtual_grid_.emplace(real_grid_, reference_rssi, config_.virtual_grid, pool);
 }
 
 std::optional<VireResult> VireLocalizer::locate(const sim::RssiVector& tracking) const {

@@ -55,8 +55,10 @@ class VireLocalizer {
   /// (Re)builds the virtual grid from fresh reference readings (row-major
   /// over the real grid, one RssiVector per reference tag). Call again
   /// whenever the middleware window moves — this is the paper's "updated if
-  /// the RSSI reading of a real reference tag is changed".
-  void set_reference_rssi(const std::vector<sim::RssiVector>& reference_rssi);
+  /// the RSSI reading of a real reference tag is changed". With a pool the
+  /// per-reader interpolation runs concurrently (bit-identical to serial).
+  void set_reference_rssi(const std::vector<sim::RssiVector>& reference_rssi,
+                          support::ThreadPool* pool = nullptr);
 
   /// Locates one tracking tag. nullopt if no virtual grid has been built or
   /// no region survives with comparable readings.

@@ -57,7 +57,7 @@ geom::RegularGrid make_virtual_lattice(const geom::RegularGrid& real_grid,
 
 VirtualGrid::VirtualGrid(const geom::RegularGrid& real_grid,
                          const std::vector<sim::RssiVector>& reference_rssi,
-                         VirtualGridConfig config)
+                         VirtualGridConfig config, support::ThreadPool* pool)
     : config_(config), virtual_grid_(make_virtual_lattice(real_grid, config)) {
   if (reference_rssi.size() != real_grid.node_count()) {
     throw std::invalid_argument(
@@ -81,9 +81,11 @@ VirtualGrid::VirtualGrid(const geom::RegularGrid& real_grid,
   values_.assign(static_cast<std::size_t>(reader_count_),
                  std::vector<double>(virtual_grid_.node_count(), kNan));
 
-  // Per-reader scalar field over the real lattice.
-  std::vector<double> real_values(real_grid.node_count());
-  for (int k = 0; k < reader_count_; ++k) {
+  // Per-reader scalar field over the real lattice. Readers are independent
+  // (each writes only values_[k]) and the interpolation is pure arithmetic,
+  // so fanning readers over the pool is bit-identical to the serial loop.
+  auto interpolate_reader = [&](int k) {
+    std::vector<double> real_values(real_grid.node_count());
     for (std::size_t j = 0; j < reference_rssi.size(); ++j) {
       real_values[j] = reference_rssi[j][static_cast<std::size_t>(k)];
     }
@@ -101,6 +103,13 @@ VirtualGrid::VirtualGrid(const geom::RegularGrid& real_grid,
                                                   gx, gy);
       }
     }
+  };
+  if (pool != nullptr && pool->size() > 1 && reader_count_ > 1) {
+    support::parallel_for(
+        0, static_cast<std::size_t>(reader_count_),
+        [&](std::size_t k) { interpolate_reader(static_cast<int>(k)); }, pool);
+  } else {
+    for (int k = 0; k < reader_count_; ++k) interpolate_reader(k);
   }
 }
 

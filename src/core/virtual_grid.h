@@ -13,6 +13,7 @@
 #include "core/interpolation.h"
 #include "geom/grid.h"
 #include "sim/types.h"
+#include "support/thread_pool.h"
 
 namespace vire::core {
 
@@ -35,9 +36,12 @@ class VirtualGrid {
   /// @param reference_rssi  row-major per real node, one RssiVector (K
   ///                        readers) each — straight from the middleware
   /// @param config      subdivision / interpolation / boundary extension
+  /// @param pool        optional thread pool; the per-reader scalar fields
+  ///                    are interpolated concurrently (one task per reader,
+  ///                    disjoint output rows — bit-identical to serial)
   VirtualGrid(const geom::RegularGrid& real_grid,
               const std::vector<sim::RssiVector>& reference_rssi,
-              VirtualGridConfig config = {});
+              VirtualGridConfig config = {}, support::ThreadPool* pool = nullptr);
 
   [[nodiscard]] const geom::RegularGrid& grid() const noexcept { return virtual_grid_; }
   [[nodiscard]] const VirtualGridConfig& config() const noexcept { return config_; }

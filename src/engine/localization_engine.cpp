@@ -2,14 +2,45 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace vire::engine {
+
+namespace {
+
+/// NaN-aware sample equality: an undetected link (NaN) that stays
+/// undetected counts as unchanged.
+bool same_reading(double a, double b) noexcept {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+bool same_readings(const std::vector<sim::RssiVector>& a,
+                   const std::vector<sim::RssiVector>& b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    if (a[j].size() != b[j].size()) return false;
+    for (std::size_t k = 0; k < a[j].size(); ++k) {
+      if (!same_reading(a[j][k], b[j][k])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 LocalizationEngine::LocalizationEngine(const env::Deployment& deployment,
                                        EngineConfig config)
     : deployment_(deployment),
       config_(config),
-      localizer_(deployment.reference_grid(), config.vire) {}
+      localizer_(deployment.reference_grid(), config.vire) {
+  if (config_.parallel_workers < 0) {
+    throw std::invalid_argument("LocalizationEngine: parallel_workers must be >= 0");
+  }
+  if (config_.parallel_workers != 1) {
+    pool_ = std::make_unique<support::ThreadPool>(
+        static_cast<std::size_t>(config_.parallel_workers));
+  }
+}
 
 void LocalizationEngine::set_reference_ids(std::vector<sim::TagId> ids) {
   if (static_cast<int>(ids.size()) != deployment_.reference_count()) {
@@ -17,7 +48,8 @@ void LocalizationEngine::set_reference_ids(std::vector<sim::TagId> ids) {
         "LocalizationEngine: reference id count must match the deployment");
   }
   reference_ids_ = std::move(ids);
-  last_refresh_.reset();  // force a rebuild on the next update
+  last_refresh_.reset();         // force a rebuild on the next update
+  last_reference_rssi_.clear();  // readings of old ids are not comparable
 }
 
 void LocalizationEngine::track(sim::TagId id, std::string name) {
@@ -44,8 +76,12 @@ void LocalizationEngine::refresh_references(const sim::Middleware& middleware,
   for (const sim::TagId id : reference_ids_) {
     reference_rssi.push_back(middleware.rssi_vector(id));
   }
-  localizer_.set_reference_rssi(reference_rssi);
   last_refresh_ = now;
+  if (grid_rebuilds_ > 0 && same_readings(reference_rssi, last_reference_rssi_)) {
+    return;  // unchanged references: the current grid is still exact
+  }
+  localizer_.set_reference_rssi(reference_rssi, pool_.get());
+  last_reference_rssi_ = std::move(reference_rssi);
   ++grid_rebuilds_;
 }
 
@@ -56,32 +92,58 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
   }
   refresh_references(middleware, now);
 
-  std::vector<Fix> fixes;
-  fixes.reserve(tracked_.size());
-  for (const auto& [id, name] : tracked_) {
-    Fix fix;
-    fix.tag = id;
-    fix.name = name;
-    fix.time = now;
-
-    const sim::RssiVector rssi = middleware.rssi_vector(id);
+  // Snapshot the batch in tag order. RSSI vectors are fetched serially
+  // (the middleware is not guarded); locate() is a pure function of the
+  // localizer's immutable grid, so only it is fanned out.
+  struct Item {
+    sim::TagId id;
+    const std::string* name;
+    sim::RssiVector rssi;
     int valid_readers = 0;
-    for (double v : rssi) {
-      if (!std::isnan(v)) ++valid_readers;
+    std::optional<core::VireResult> result;
+  };
+  std::vector<Item> items;
+  items.reserve(tracked_.size());
+  for (const auto& [id, name] : tracked_) {
+    Item item{id, &name, middleware.rssi_vector(id), 0, std::nullopt};
+    for (double v : item.rssi) {
+      if (!std::isnan(v)) ++item.valid_readers;
     }
-    if (valid_readers >= config_.min_valid_readers) {
-      if (const auto result = localizer_.locate(rssi)) {
-        fix.valid = true;
-        fix.position = result->position;
-        fix.survivor_count = result->survivor_count();
-        if (config_.enable_tracking) {
-          auto [it, inserted] =
-              trackers_.try_emplace(id, core::TrackingFilter(config_.tracking));
-          (void)inserted;
-          fix.smoothed_position = it->second.update(now, result->position);
-        } else {
-          fix.smoothed_position = result->position;
-        }
+    items.push_back(std::move(item));
+  }
+
+  auto locate_item = [&](std::size_t i) {
+    Item& item = items[i];
+    if (item.valid_readers >= config_.min_valid_readers) {
+      item.result = localizer_.locate(item.rssi);
+    }
+  };
+  if (pool_) {
+    support::parallel_for(0, items.size(), locate_item, pool_.get());
+  } else {
+    for (std::size_t i = 0; i < items.size(); ++i) locate_item(i);
+  }
+
+  // Merge serially in tag order: tracker updates and Fix assembly happen
+  // in the same deterministic order regardless of worker count.
+  std::vector<Fix> fixes;
+  fixes.reserve(items.size());
+  for (Item& item : items) {
+    Fix fix;
+    fix.tag = item.id;
+    fix.name = *item.name;
+    fix.time = now;
+    if (item.result) {
+      fix.valid = true;
+      fix.position = item.result->position;
+      fix.survivor_count = item.result->survivor_count();
+      if (config_.enable_tracking) {
+        auto [it, inserted] =
+            trackers_.try_emplace(item.id, core::TrackingFilter(config_.tracking));
+        (void)inserted;
+        fix.smoothed_position = it->second.update(now, item.result->position);
+      } else {
+        fix.smoothed_position = item.result->position;
       }
     }
     fixes.push_back(std::move(fix));

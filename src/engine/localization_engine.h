@@ -8,8 +8,15 @@
 // "updated if the RSSI reading of a real reference tag is changed"),
 // localizes every registered tracking tag, and maintains a smoothed track
 // per tag. Consumers poll `update()` and get a list of fixes.
+//
+// Concurrency: with `parallel_workers != 1` the engine owns a ThreadPool
+// and fans the per-tag locate() calls (and the per-reader grid
+// interpolation) out over it. Tags are independent once the virtual grid
+// is built, and results are merged back in tag order, so the returned Fix
+// vector is bit-identical for every worker count (see tests/determinism).
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +25,7 @@
 #include "core/vire_localizer.h"
 #include "env/deployment.h"
 #include "sim/middleware.h"
+#include "support/thread_pool.h"
 
 namespace vire::engine {
 
@@ -26,11 +34,19 @@ struct EngineConfig {
   core::TrackingFilterConfig tracking;
   bool enable_tracking = true;
   /// The virtual grid is rebuilt from fresh reference readings at most this
-  /// often (seconds). 0 rebuilds on every update.
+  /// often (seconds). 0 rebuilds on every update. Independent of the rate
+  /// limit, a rebuild is skipped entirely when the reference readings are
+  /// unchanged since the last one (the paper's "updated if the RSSI reading
+  /// of a real reference tag is changed").
   double min_refresh_interval_s = 10.0;
   /// A tag whose RSSI vector has fewer than this many valid readers is
   /// reported as invalid rather than localized.
   int min_valid_readers = 3;
+  /// Worker threads for the per-tag locate() fan-out and the per-reader
+  /// grid interpolation. 1 runs fully serial (no pool is created);
+  /// 0 selects hardware concurrency. Every setting produces bit-identical
+  /// fixes — parallelism changes throughput, never results.
+  int parallel_workers = 1;
 };
 
 /// One localization result for one tracked tag.
@@ -69,6 +85,10 @@ class LocalizationEngine {
   /// Diagnostics: how many times the virtual grid has been rebuilt.
   [[nodiscard]] int grid_rebuilds() const noexcept { return grid_rebuilds_; }
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  /// Number of pool workers backing update() (1 when running serial).
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return pool_ ? pool_->size() : 1;
+  }
 
  private:
   void refresh_references(const sim::Middleware& middleware, sim::SimTime now);
@@ -80,7 +100,11 @@ class LocalizationEngine {
   std::map<sim::TagId, std::string> tracked_;
   std::map<sim::TagId, core::TrackingFilter> trackers_;
   std::optional<sim::SimTime> last_refresh_;
+  /// Reference readings behind the current virtual grid; a refresh whose
+  /// readings match is skipped without rebuilding.
+  std::vector<sim::RssiVector> last_reference_rssi_;
   int grid_rebuilds_ = 0;
+  std::unique_ptr<support::ThreadPool> pool_;
 };
 
 }  // namespace vire::engine

@@ -29,6 +29,11 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Stops the pool: already-queued tasks are drained, workers are joined,
+  /// and subsequent submit() calls throw std::runtime_error. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
   /// Enqueues a task; throws std::runtime_error if the pool is stopping.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {

@@ -1,0 +1,103 @@
+// Property: with boundary_extension_cells = 0 the virtual lattice coincides
+// with the real reference lattice, and locate() returns a weighted centroid
+// of surviving virtual nodes — so no input whatsoever (in-grid, boundary,
+// far outside, or pure noise) may produce a position outside the real
+// lattice's bounding box.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/vire_localizer.h"
+#include "env/deployment.h"
+#include "support/rng.h"
+
+namespace vire::core {
+namespace {
+
+constexpr geom::Vec2 kReaders[4] = {{-0.7, -0.7}, {3.7, -0.7}, {3.7, 3.7}, {-0.7, 3.7}};
+
+sim::RssiVector field_at(geom::Vec2 p) {
+  sim::RssiVector v;
+  for (const auto& r : kReaders) {
+    v.push_back(-40.0 - 20.0 * std::log10(std::max(0.1, geom::distance(p, r))));
+  }
+  return v;
+}
+
+VireLocalizer make_strict_localizer() {
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  VireConfig config = recommended_vire_config();
+  config.virtual_grid.boundary_extension_cells = 0;  // strict paper lattice
+  VireLocalizer localizer(deployment.reference_grid(), config);
+  std::vector<sim::RssiVector> refs;
+  for (const auto& p : deployment.reference_positions()) refs.push_back(field_at(p));
+  localizer.set_reference_rssi(refs);
+  return localizer;
+}
+
+void expect_inside(const VireLocalizer& localizer, const std::optional<VireResult>& result) {
+  if (!result) return;  // "no survivors" is an acceptable answer
+  const geom::Vec2 lo = localizer.real_grid().min_corner();
+  const geom::Vec2 hi = localizer.real_grid().max_corner();
+  EXPECT_GE(result->position.x, lo.x);
+  EXPECT_LE(result->position.x, hi.x);
+  EXPECT_GE(result->position.y, lo.y);
+  EXPECT_LE(result->position.y, hi.y);
+}
+
+TEST(LocateBoundsProperty, NoisyFieldPositionsStayInsideRealLattice) {
+  const VireLocalizer localizer = make_strict_localizer();
+  support::Rng rng(0xB0D5ULL);
+  int located = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    // True position anywhere in a band spilling well past the lattice.
+    const geom::Vec2 truth{rng.uniform(-1.5, 4.5), rng.uniform(-1.5, 4.5)};
+    sim::RssiVector rssi = field_at(truth);
+    for (double& v : rssi) v += rng.uniform(-3.0, 3.0);
+    const auto result = localizer.locate(rssi);
+    if (result) ++located;
+    expect_inside(localizer, result);
+  }
+  EXPECT_GT(located, 0) << "property test never exercised a successful locate";
+}
+
+TEST(LocateBoundsProperty, PureNoiseVectorsStayInsideRealLattice) {
+  const VireLocalizer localizer = make_strict_localizer();
+  support::Rng rng(0x5EEDULL);
+  for (int trial = 0; trial < 400; ++trial) {
+    sim::RssiVector rssi;
+    for (int k = 0; k < 4; ++k) rssi.push_back(rng.uniform(-85.0, -30.0));
+    expect_inside(localizer, localizer.locate(rssi));
+  }
+}
+
+TEST(LocateBoundsProperty, BoundaryExtensionCanExceedTheRealLatticeButNotTheVirtualOne) {
+  // Control experiment: with the extension ring enabled the estimate may
+  // legitimately leave the real lattice, but never the extended lattice.
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  VireConfig config = recommended_vire_config();
+  ASSERT_GT(config.virtual_grid.boundary_extension_cells, 0);
+  VireLocalizer localizer(deployment.reference_grid(), config);
+  std::vector<sim::RssiVector> refs;
+  for (const auto& p : deployment.reference_positions()) refs.push_back(field_at(p));
+  localizer.set_reference_rssi(refs);
+
+  support::Rng rng(0xE47ULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const geom::Vec2 truth{rng.uniform(-0.5, 3.5), rng.uniform(-0.5, 3.5)};
+    sim::RssiVector rssi = field_at(truth);
+    for (double& v : rssi) v += rng.uniform(-2.0, 2.0);
+    const auto result = localizer.locate(rssi);
+    if (!result) continue;
+    const geom::Vec2 lo = localizer.virtual_grid().grid().min_corner();
+    const geom::Vec2 hi = localizer.virtual_grid().grid().max_corner();
+    EXPECT_GE(result->position.x, lo.x);
+    EXPECT_LE(result->position.x, hi.x);
+    EXPECT_GE(result->position.y, lo.y);
+    EXPECT_LE(result->position.y, hi.y);
+  }
+}
+
+}  // namespace
+}  // namespace vire::core

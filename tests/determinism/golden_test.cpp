@@ -1,0 +1,150 @@
+// Golden-file regression harness: locks the seed scenarios' localization
+// estimates bit-for-bit. Each scenario runs the full simulator -> middleware
+// -> engine pipeline with a fixed seed and compares every Fix field,
+// rendered at full precision (%.17g round-trips doubles exactly), against a
+// CSV checked into tests/golden/.
+//
+// Regenerating after an intentional algorithm change:
+//   VIRE_REGEN_GOLDEN=1 ./golden_regression_test
+// rewrites the files in the source tree (path baked in via VIRE_GOLDEN_DIR);
+// review the diff like any other code change.
+//
+// Parallel runs are compared against the SAME files as serial runs — the
+// golden suite is also an end-to-end determinism check.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/localization_engine.h"
+#include "env/environment.h"
+#include "sim/simulator.h"
+
+#ifndef VIRE_GOLDEN_DIR
+#error "VIRE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace vire::engine {
+namespace {
+
+struct Scenario {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::vector<geom::Vec2> tags;
+  int rounds = 3;
+};
+
+std::vector<Scenario> scenarios() {
+  return {
+      {"center_cluster", 7, {{1.4, 1.8}, {1.5, 1.5}, {2.2, 2.2}}, 3},
+      {"boundary_ring", 21, {{0.0, 0.0}, {3.0, 1.0}, {1.0, 3.0}, {2.9, 2.9}}, 3},
+      {"dense_batch",
+       99,
+       {{0.3, 0.3}, {0.9, 2.1}, {1.2, 0.7}, {1.4, 1.8}, {1.5, 1.5}, {1.8, 2.6},
+        {2.1, 1.1}, {2.2, 2.2}, {2.6, 0.4}, {2.8, 2.9}, {0.5, 1.6}, {1.9, 0.2}},
+       2},
+  };
+}
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+/// Runs a scenario and renders one CSV line per (round, fix).
+std::vector<std::string> render_rows(const Scenario& scenario, int workers) {
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv1SemiOpen);
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  sim::SimulatorConfig sim_config;
+  sim_config.seed = scenario.seed;
+  sim::RfidSimulator simulator(environment, deployment, sim_config);
+  const auto reference_ids = simulator.add_reference_tags();
+  std::vector<sim::TagId> tags;
+  for (const auto& p : scenario.tags) tags.push_back(simulator.add_tag(p));
+  simulator.run_for(35.0);
+
+  EngineConfig config;
+  config.parallel_workers = workers;
+  config.min_refresh_interval_s = 10.0;
+  LocalizationEngine engine(deployment, config);
+  engine.set_reference_ids(reference_ids);
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    engine.track(tags[i], "tag-" + std::to_string(i));
+  }
+
+  std::vector<std::string> rows;
+  for (int r = 0; r < scenario.rounds; ++r) {
+    simulator.run_for(5.0);
+    const auto fixes = engine.update(simulator.middleware(), simulator.now());
+    for (std::size_t i = 0; i < fixes.size(); ++i) {
+      const Fix& fix = fixes[i];
+      std::ostringstream row;
+      row << r << ',' << i << ',' << fix.name << ',' << (fix.valid ? 1 : 0) << ','
+          << format_double(fix.position.x) << ',' << format_double(fix.position.y)
+          << ',' << format_double(fix.smoothed_position.x) << ','
+          << format_double(fix.smoothed_position.y) << ',' << fix.survivor_count;
+      rows.push_back(row.str());
+    }
+  }
+  return rows;
+}
+
+std::filesystem::path golden_path(const Scenario& scenario) {
+  return std::filesystem::path(VIRE_GOLDEN_DIR) / (scenario.name + ".csv");
+}
+
+const char* kHeader = "round,tag_index,name,valid,x,y,smoothed_x,smoothed_y,survivors";
+
+void write_golden(const Scenario& scenario, const std::vector<std::string>& rows) {
+  std::ofstream out(golden_path(scenario));
+  ASSERT_TRUE(out.is_open()) << golden_path(scenario);
+  out << kHeader << '\n';
+  for (const auto& row : rows) out << row << '\n';
+}
+
+std::vector<std::string> read_golden(const Scenario& scenario) {
+  std::ifstream in(golden_path(scenario));
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool regen_requested() { return std::getenv("VIRE_REGEN_GOLDEN") != nullptr; }
+
+void check_scenario(const Scenario& scenario, int workers) {
+  const auto rows = render_rows(scenario, workers);
+  if (regen_requested()) {
+    write_golden(scenario, rows);
+    GTEST_SKIP() << "regenerated " << golden_path(scenario);
+  }
+  const auto golden = read_golden(scenario);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << golden_path(scenario)
+      << " — run with VIRE_REGEN_GOLDEN=1 to create it";
+  ASSERT_EQ(golden.size(), rows.size() + 1) << scenario.name;
+  EXPECT_EQ(golden[0], kHeader);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(golden[i + 1], rows[i])
+        << scenario.name << " row " << i << " (workers=" << workers << ")";
+  }
+}
+
+TEST(Golden, SerialRunsMatchGoldenFiles) {
+  for (const auto& scenario : scenarios()) check_scenario(scenario, 1);
+}
+
+TEST(Golden, ParallelRunsMatchGoldenFiles) {
+  for (const auto& scenario : scenarios()) check_scenario(scenario, 4);
+}
+
+}  // namespace
+}  // namespace vire::engine

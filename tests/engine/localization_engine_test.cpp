@@ -93,6 +93,121 @@ TEST(Engine, ZeroIntervalRebuildsEveryUpdate) {
   EXPECT_EQ(engine.grid_rebuilds(), 3);
 }
 
+TEST(Engine, StaticReferencesSkipGridRebuild) {
+  // Unchanged reference readings must not trigger a rebuild even when the
+  // refresh interval says one is due — the skip is content-based, not
+  // rate-limited.
+  Rig rig;
+  const sim::TagId asset = rig.simulator.add_tag({1.5, 1.5});
+  rig.simulator.run_for(30.0);
+  EngineConfig config;
+  config.min_refresh_interval_s = 0.0;  // every update is "due"
+  LocalizationEngine engine(rig.deployment, config);
+  engine.set_reference_ids(rig.reference_ids);
+  engine.track(asset);
+
+  // The simulator does not advance, so the middleware snapshot is frozen.
+  for (int i = 0; i < 5; ++i) {
+    (void)engine.update(rig.simulator.middleware(), rig.simulator.now());
+    EXPECT_EQ(engine.grid_rebuilds(), 1);
+  }
+
+  // Fresh readings arrive: the rebuild fires again.
+  rig.simulator.run_for(5.0);
+  (void)engine.update(rig.simulator.middleware(), rig.simulator.now());
+  EXPECT_EQ(engine.grid_rebuilds(), 2);
+}
+
+TEST(Engine, FewValidReadersYieldsInvalidFixAndLeavesTrackerAlone) {
+  // Synthetic middleware: 16 reference tags heard by all 4 readers, one
+  // tracked tag heard by too few. The tag must come back invalid and its
+  // TrackingFilter state must not be created or disturbed.
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  const geom::Vec2 readers[4] = {{-0.7, -0.7}, {3.7, -0.7}, {3.7, 3.7}, {-0.7, 3.7}};
+  auto field = [&](geom::Vec2 p, int k) {
+    return -40.0 - 20.0 * std::log10(std::max(0.1, geom::distance(p, readers[k])));
+  };
+
+  sim::Middleware middleware(4);
+  std::vector<sim::TagId> reference_ids;
+  for (int j = 0; j < deployment.reference_count(); ++j) {
+    const sim::TagId id = 100 + static_cast<sim::TagId>(j);
+    reference_ids.push_back(id);
+    for (sim::ReaderId k = 0; k < 4; ++k) {
+      middleware.ingest({0.5, id, k,
+                         field(deployment.reference_positions()[static_cast<std::size_t>(j)], k)});
+    }
+  }
+  const sim::TagId asset = 1;
+  const geom::Vec2 truth{1.4, 1.8};
+  for (sim::ReaderId k = 0; k < 2; ++k) {  // only 2 of 4 readers hear it
+    middleware.ingest({0.5, asset, k, field(truth, k)});
+  }
+
+  EngineConfig config;
+  config.min_refresh_interval_s = 1000.0;
+  ASSERT_EQ(config.min_valid_readers, 3);
+  LocalizationEngine engine(deployment, config);
+  engine.set_reference_ids(reference_ids);
+  engine.track(asset);
+
+  auto fixes = engine.update(middleware, 1.0);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_FALSE(fixes[0].valid);
+  EXPECT_EQ(engine.tracker(asset), nullptr);  // no tracker materialized
+
+  // Now all 4 readers hear it: a valid fix initializes the tracker.
+  for (sim::ReaderId k = 2; k < 4; ++k) {
+    middleware.ingest({1.5, asset, k, field(truth, k)});
+  }
+  fixes = engine.update(middleware, 2.0);
+  ASSERT_TRUE(fixes[0].valid);
+  ASSERT_NE(engine.tracker(asset), nullptr);
+  const geom::Vec2 tracked_position = engine.tracker(asset)->position();
+  const sim::SimTime tracked_time = engine.tracker(asset)->last_update();
+
+  // Readers 2 and 3 fall silent again: invalid fix, tracker untouched.
+  middleware.clear();
+  for (sim::ReaderId k = 0; k < 2; ++k) {
+    middleware.ingest({2.5, asset, k, field(truth, k)});
+  }
+  fixes = engine.update(middleware, 3.0);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_FALSE(fixes[0].valid);
+  ASSERT_NE(engine.tracker(asset), nullptr);
+  EXPECT_EQ(engine.tracker(asset)->position(), tracked_position);
+  EXPECT_EQ(engine.tracker(asset)->last_update(), tracked_time);
+}
+
+TEST(Engine, ParallelWorkersProduceSameFixesAsSerial) {
+  Rig rig;
+  const sim::TagId a = rig.simulator.add_tag({0.8, 0.8});
+  const sim::TagId b = rig.simulator.add_tag({2.2, 2.2});
+  const sim::TagId c = rig.simulator.add_tag({1.4, 1.8});
+  rig.simulator.run_for(40.0);
+
+  auto run = [&](int workers) {
+    EngineConfig config;
+    config.parallel_workers = workers;
+    LocalizationEngine engine(rig.deployment, config);
+    engine.set_reference_ids(rig.reference_ids);
+    engine.track(a, "a");
+    engine.track(b, "b");
+    engine.track(c, "c");
+    return engine.update(rig.simulator.middleware(), rig.simulator.now());
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].valid, parallel[i].valid);
+    EXPECT_EQ(serial[i].position, parallel[i].position);
+    EXPECT_EQ(serial[i].smoothed_position, parallel[i].smoothed_position);
+    EXPECT_EQ(serial[i].survivor_count, parallel[i].survivor_count);
+  }
+}
+
 TEST(Engine, TrackerSmoothsAcrossUpdates) {
   Rig rig;
   const geom::Vec2 truth{1.5, 1.5};

@@ -43,6 +43,61 @@ TEST(ThreadPool, DefaultSizeIsPositive) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, SingleThreadPoolRunsAllTasksInOrder) {
+  ThreadPool pool(1);
+  ASSERT_EQ(pool.size(), 1u);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  // One worker drains the queue FIFO, so no synchronization is needed
+  // around `order` and the sequence is exactly 0..19.
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, SingleThreadPoolPropagatesException) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::logic_error("single"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotKillTheWorker) {
+  ThreadPool pool(1);
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The packaged_task caught the exception; the worker must still be alive.
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  pool.stop();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, StopDrainsAlreadyQueuedTasks) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.stop();
+  EXPECT_EQ(counter.load(), 200);
+  for (auto& f : futures) f.get();  // all futures are ready, none broken
+}
+
+TEST(ThreadPool, StopIsIdempotent) {
+  ThreadPool pool(2);
+  pool.stop();
+  pool.stop();  // second stop (and the destructor after it) must be a no-op
+  EXPECT_THROW(pool.submit([] { return 1; }), std::runtime_error);
+}
+
 TEST(ParallelFor, ComputesAllIndices) {
   ThreadPool pool(4);
   std::vector<int> out(1000, 0);
