@@ -6,6 +6,7 @@
 // linear (the paper), Catmull-Rom spline (local nonlinear), and full
 // Lagrange polynomial (global; the paper predicts end-point misbehaviour).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "eval/report.h"
 #include "eval/runner.h"
+#include "obs/bench_report.h"
 #include "support/csv.h"
 
 namespace {
@@ -47,6 +49,14 @@ int main() {
   support::CsvWriter csv("bench_out/ablation_interp.csv");
   csv.header({"method", "environment", "interior_error_m", "boundary_error_m"});
 
+  obs::BenchReport report;
+  report.name = "ablation_interp";
+  report.git_rev = VIRE_GIT_REV;
+  report.config = {{"trials", std::to_string(trials)}};
+  report.throughput_unit = "localizations_per_sec";
+  std::size_t localizations = 0;
+  const auto bench_start = std::chrono::steady_clock::now();
+
   // errors[method][env] -> (interior, boundary)
   std::vector<std::vector<std::pair<double, double>>> all;
   eval::TextTable table({"method", "Env1 int/bnd (m)", "Env2 int/bnd (m)",
@@ -64,12 +74,18 @@ int main() {
         core::VireConfig config = core::recommended_vire_config();
         config.virtual_grid.method = method;
         const auto errors = eval::vire_errors(obs, config, options.deployment);
+        localizations += errors.size();
         for (std::size_t i = 0; i < errors.size(); ++i) {
           if (std::isnan(errors[i])) continue;
           (boundary[i] ? bnd : interior).add(errors[i]);
         }
       }
       row.push_back(eval::fixed(interior.mean()) + " / " + eval::fixed(bnd.mean()));
+      const std::string env_tag(env::name(which).substr(0, 4));  // "Env1".."Env3"
+      const std::string key =
+          std::string(core::to_string(method)) + "_" + env_tag;
+      report.results.emplace_back(key + "_interior_m", interior.mean());
+      report.results.emplace_back(key + "_boundary_m", bnd.mean());
       per_env.push_back({interior.mean(), bnd.mean()});
       csv.row({std::string(core::to_string(method)), std::string(env::name(which)),
                support::format_number(interior.mean()),
@@ -101,6 +117,14 @@ int main() {
   checks.push_back({"polynomial shows a boundary penalty vs linear somewhere",
                     poly_edge_penalty, ""});
   std::printf("%s", eval::render_checks(checks).c_str());
+
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - bench_start)
+          .count();
+  report.wall_ms = 1e3 * seconds;
+  report.throughput = static_cast<double>(localizations) / std::max(1e-12, seconds);
+  const auto json_path = obs::write_bench_report(report);
   std::printf("\nCSV written to bench_out/ablation_interp.csv\n");
+  std::printf("JSON report written to %s\n", json_path.string().c_str());
   return 0;
 }

@@ -15,6 +15,7 @@
 
 #include "eval/report.h"
 #include "eval/runner.h"
+#include "obs/metrics.h"
 #include "support/ascii_chart.h"
 #include "support/csv.h"
 
@@ -33,9 +34,11 @@ int env_trials_from_env(int fallback) {
 int main() {
   using namespace vire;
 
+  obs::MetricsRegistry metrics;
   eval::ComparisonOptions options;
   options.trials = env_trials_from_env(40);
   options.base_seed = 20070901;  // ICPP 2007
+  options.metrics = &metrics;
   // options.vire defaults to recommended_vire_config(): n=10 (N^2 = 961 ~
   // the paper's 900), linear interpolation, adaptive threshold.
 
@@ -120,6 +123,8 @@ int main() {
                     ""});
 
   std::printf("%s", eval::render_checks(checks).c_str());
+  std::printf("\npipeline metrics (all 3 environments):\n%s",
+              eval::render_metrics(metrics).c_str());
   std::printf("\nCSV written to bench_out/fig6_comparison.csv\n");
   return 0;
 }

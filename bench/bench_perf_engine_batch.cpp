@@ -21,6 +21,7 @@
 
 #include "engine/localization_engine.h"
 #include "env/environment.h"
+#include "obs/bench_report.h"
 #include "sim/simulator.h"
 #include "support/csv.h"
 #include "support/rng.h"
@@ -99,6 +100,15 @@ int main() {
   std::printf("%10s %8s %16s %14s %9s %12s\n", "workers", "actual", "mean update ms",
               "tags/sec", "speedup", "identical");
 
+  obs::BenchReport report;
+  report.name = "perf_engine_batch";
+  report.git_rev = VIRE_GIT_REV;
+  report.config = {{"tags", std::to_string(tag_count)},
+                   {"rounds", std::to_string(rounds)},
+                   {"hardware_threads", std::to_string(hw)}};
+  report.throughput_unit = "tags_per_sec";
+
+  const auto bench_start = std::chrono::steady_clock::now();
   double serial_tags_per_sec = 0.0;
   std::vector<engine::Fix> serial_fixes;
   for (const int workers : worker_counts) {
@@ -136,8 +146,16 @@ int main() {
       std::printf("\nDETERMINISM VIOLATION at workers=%d\n", workers);
       return 1;
     }
+    report.results.emplace_back(
+        "tags_per_sec_workers_" + std::to_string(workers), tags_per_sec);
+    report.throughput = std::max(report.throughput, tags_per_sec);
   }
 
+  report.wall_ms = 1e3 * std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - bench_start)
+                             .count();
+  const auto json_path = obs::write_bench_report(report);
   std::printf("\nCSV written to bench_out/perf_engine_batch.csv\n");
+  std::printf("JSON report written to %s\n", json_path.string().c_str());
   return 0;
 }

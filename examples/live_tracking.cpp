@@ -8,6 +8,7 @@
 
 #include "engine/localization_engine.h"
 #include "env/environment.h"
+#include "obs/exporters.h"
 #include "sim/simulator.h"
 #include "support/stats.h"
 
@@ -36,7 +37,11 @@ int main() {
   engine_config.min_refresh_interval_s = 20.0;
   engine_config.tracking.alpha = 0.45;
   engine_config.tracking.beta = 0.05;
+  // Two workers exercise the pool instrumentation; fixes are bit-identical
+  // at any worker count, so the example output does not change.
+  engine_config.parallel_workers = 2;
   engine::LocalizationEngine engine(deployment, engine_config);
+  simulator.middleware().attach_metrics(engine.metrics());
   engine.set_reference_ids(reference_ids);
   engine.track(crate, "crate");
   engine.track(cart, "cart");
@@ -71,5 +76,11 @@ int main() {
   std::printf("  cart  (mobile): mean %.2f m over %zu fixes\n", cart_err.mean(),
               cart_err.count());
   std::printf("  virtual-grid rebuilds: %d (rate-limited)\n", engine.grid_rebuilds());
+
+  // Full pipeline metrics snapshot (engine + middleware + pool) on exit.
+  obs::write_json_snapshot(engine.metrics(), "bench_out/live_tracking_metrics.json");
+  obs::write_prometheus_snapshot(engine.metrics(),
+                                 "bench_out/live_tracking_metrics.prom");
+  std::printf("  metrics snapshot: bench_out/live_tracking_metrics.{json,prom}\n");
   return crate_err.mean() < 1.0 && cart_err.mean() < 1.2 ? 0 : 1;
 }

@@ -118,6 +118,7 @@ EliminationResult EliminationEngine::run_adaptive(
     best_threshold = threshold;
     best_maps = std::move(maps);
     best_intersection = std::move(intersection);
+    ++result.refinement_steps;
   }
 
   for (int k : readers) {
@@ -174,6 +175,7 @@ EliminationResult EliminationEngine::run_adaptive_per_reader(
       thresholds[i] = candidate;
       maps[i] = std::move(trial);
       intersection = std::move(trial_intersection);
+      ++result.refinement_steps;
     }
     frozen[i] = true;
   }

@@ -48,6 +48,9 @@ struct EliminationResult {
   std::vector<double> thresholds_db;
   /// Final per-reader proximity maps (diagnostics, Fig. 5-style rendering).
   std::vector<ProximityMap> maps;
+  /// Threshold-reduction steps actually applied by the adaptive modes (0 for
+  /// kFixed): the refinement depth the runtime metrics track per locate.
+  int refinement_steps = 0;
   [[nodiscard]] std::size_t survivor_count() const noexcept {
     return count_marked(survivors);
   }

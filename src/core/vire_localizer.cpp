@@ -1,5 +1,7 @@
 #include "core/vire_localizer.h"
 
+#include "obs/metrics.h"
+
 namespace vire::core {
 
 VireConfig recommended_vire_config() {
@@ -21,12 +23,22 @@ void VireLocalizer::set_reference_rssi(
   virtual_grid_.emplace(real_grid_, reference_rssi, config_.virtual_grid, pool);
 }
 
-std::optional<VireResult> VireLocalizer::locate(const sim::RssiVector& tracking) const {
+std::optional<VireResult> VireLocalizer::locate(const sim::RssiVector& tracking,
+                                                LocateStats* stats) const {
   if (!virtual_grid_) return std::nullopt;
   VireResult result;
-  result.elimination = elimination_.run(*virtual_grid_, tracking);
-  result.estimate = compute_estimate(*virtual_grid_, result.elimination.survivors,
-                                     tracking, config_.weighting, config_.w1_exponent);
+  {
+    const obs::Stopwatch watch;
+    result.elimination = elimination_.run(*virtual_grid_, tracking);
+    if (stats != nullptr) stats->elimination_seconds = watch.elapsed_seconds();
+  }
+  {
+    const obs::Stopwatch watch;
+    result.estimate =
+        compute_estimate(*virtual_grid_, result.elimination.survivors, tracking,
+                         config_.weighting, config_.w1_exponent);
+    if (stats != nullptr) stats->weighting_seconds = watch.elapsed_seconds();
+  }
   if (result.estimate.nodes.empty()) return std::nullopt;
   result.position = result.estimate.position;
   return result;

@@ -47,6 +47,14 @@ struct VireResult {
   }
 };
 
+/// Optional per-locate timing side channel (wall time, seconds). Filled when
+/// a caller passes it to locate(); used by the engine's stage histograms.
+/// Never feeds back into the estimate, so determinism is unaffected.
+struct LocateStats {
+  double elimination_seconds = 0.0;
+  double weighting_seconds = 0.0;
+};
+
 class VireLocalizer {
  public:
   /// @param real_grid  geometry of the real reference-tag lattice
@@ -61,8 +69,10 @@ class VireLocalizer {
                           support::ThreadPool* pool = nullptr);
 
   /// Locates one tracking tag. nullopt if no virtual grid has been built or
-  /// no region survives with comparable readings.
-  [[nodiscard]] std::optional<VireResult> locate(const sim::RssiVector& tracking) const;
+  /// no region survives with comparable readings. `stats`, when non-null,
+  /// receives per-stage wall times (a pure observability side channel).
+  [[nodiscard]] std::optional<VireResult> locate(const sim::RssiVector& tracking,
+                                                 LocateStats* stats = nullptr) const;
 
   [[nodiscard]] bool ready() const noexcept { return virtual_grid_.has_value(); }
   [[nodiscard]] const VirtualGrid& virtual_grid() const { return *virtual_grid_; }

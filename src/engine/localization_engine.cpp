@@ -36,9 +36,47 @@ LocalizationEngine::LocalizationEngine(const env::Deployment& deployment,
   if (config_.parallel_workers < 0) {
     throw std::invalid_argument("LocalizationEngine: parallel_workers must be >= 0");
   }
+
+  const auto latency = obs::default_latency_buckets_s();
+  inst_.updates = &metrics_.counter("vire_engine_updates_total", {},
+                                    "update() calls served");
+  inst_.fixes_valid = &metrics_.counter("vire_engine_fixes_total", "valid=\"true\"",
+                                        "Fixes produced, by validity");
+  inst_.fixes_invalid = &metrics_.counter("vire_engine_fixes_total", "valid=\"false\"",
+                                          "Fixes produced, by validity");
+  inst_.grid_rebuilds = &metrics_.counter(
+      "vire_engine_grid_rebuilds_total", {},
+      "Virtual-grid rebuilds from fresh reference readings");
+  inst_.grid_skips_rate_limited = &metrics_.counter(
+      "vire_engine_grid_rebuild_skips_total", "reason=\"rate_limited\"",
+      "Rebuilds skipped, by reason");
+  inst_.grid_skips_unchanged = &metrics_.counter(
+      "vire_engine_grid_rebuild_skips_total", "reason=\"unchanged\"",
+      "Rebuilds skipped, by reason");
+  inst_.update_seconds = &metrics_.histogram("vire_engine_update_seconds", latency,
+                                             {}, "End-to-end update() latency");
+  inst_.stage_interpolation =
+      &metrics_.histogram("vire_engine_stage_seconds", latency,
+                          "stage=\"interpolation\"", "Per-stage wall time");
+  inst_.stage_elimination =
+      &metrics_.histogram("vire_engine_stage_seconds", latency,
+                          "stage=\"elimination\"", "Per-stage wall time");
+  inst_.stage_weighting = &metrics_.histogram(
+      "vire_engine_stage_seconds", latency, "stage=\"weighting\"",
+      "Per-stage wall time");
+  inst_.stage_locate = &metrics_.histogram("vire_engine_stage_seconds", latency,
+                                           "stage=\"locate\"", "Per-stage wall time");
+  inst_.survivors = &metrics_.histogram(
+      "vire_engine_survivors", obs::exponential_buckets(1.0, 2.0, 11), {},
+      "Surviving virtual regions per valid fix");
+  inst_.refinement_steps = &metrics_.histogram(
+      "vire_engine_threshold_refinement_steps", obs::linear_buckets(0.0, 1.0, 15),
+      {}, "Adaptive threshold-reduction steps per locate");
+
   if (config_.parallel_workers != 1) {
     pool_ = std::make_unique<support::ThreadPool>(
         static_cast<std::size_t>(config_.parallel_workers));
+    pool_->attach_metrics(metrics_);
   }
 }
 
@@ -70,7 +108,10 @@ void LocalizationEngine::refresh_references(const sim::Middleware& middleware,
                                             sim::SimTime now) {
   const bool due = !last_refresh_.has_value() ||
                    now - *last_refresh_ >= config_.min_refresh_interval_s;
-  if (!due) return;
+  if (!due) {
+    inst_.grid_skips_rate_limited->inc();
+    return;
+  }
   std::vector<sim::RssiVector> reference_rssi;
   reference_rssi.reserve(reference_ids_.size());
   for (const sim::TagId id : reference_ids_) {
@@ -78,11 +119,16 @@ void LocalizationEngine::refresh_references(const sim::Middleware& middleware,
   }
   last_refresh_ = now;
   if (grid_rebuilds_ > 0 && same_readings(reference_rssi, last_reference_rssi_)) {
+    inst_.grid_skips_unchanged->inc();
     return;  // unchanged references: the current grid is still exact
   }
-  localizer_.set_reference_rssi(reference_rssi, pool_.get());
+  {
+    const obs::ScopedTimer timer(inst_.stage_interpolation);
+    localizer_.set_reference_rssi(reference_rssi, pool_.get());
+  }
   last_reference_rssi_ = std::move(reference_rssi);
   ++grid_rebuilds_;
+  inst_.grid_rebuilds->inc();
 }
 
 std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
@@ -90,6 +136,8 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
   if (reference_ids_.empty()) {
     throw std::logic_error("LocalizationEngine: set_reference_ids() first");
   }
+  const obs::ScopedTimer update_timer(inst_.update_seconds);
+  inst_.updates->inc();
   refresh_references(middleware, now);
 
   // Snapshot the batch in tag order. RSSI vectors are fetched serially
@@ -101,27 +149,33 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
     sim::RssiVector rssi;
     int valid_readers = 0;
     std::optional<core::VireResult> result;
+    core::LocateStats stats;
   };
   std::vector<Item> items;
   items.reserve(tracked_.size());
   for (const auto& [id, name] : tracked_) {
-    Item item{id, &name, middleware.rssi_vector(id), 0, std::nullopt};
+    Item item{id, &name, middleware.rssi_vector(id), 0, std::nullopt, {}};
     for (double v : item.rssi) {
       if (!std::isnan(v)) ++item.valid_readers;
     }
     items.push_back(std::move(item));
   }
 
+  // Workers only write their own item (results and timings); histograms are
+  // fed in the serial merge below, so no shared state enters the fan-out.
   auto locate_item = [&](std::size_t i) {
     Item& item = items[i];
     if (item.valid_readers >= config_.min_valid_readers) {
-      item.result = localizer_.locate(item.rssi);
+      item.result = localizer_.locate(item.rssi, &item.stats);
     }
   };
-  if (pool_) {
-    support::parallel_for(0, items.size(), locate_item, pool_.get());
-  } else {
-    for (std::size_t i = 0; i < items.size(); ++i) locate_item(i);
+  {
+    const obs::ScopedTimer locate_timer(inst_.stage_locate);
+    if (pool_) {
+      support::parallel_for(0, items.size(), locate_item, pool_.get());
+    } else {
+      for (std::size_t i = 0; i < items.size(); ++i) locate_item(i);
+    }
   }
 
   // Merge serially in tag order: tracker updates and Fix assembly happen
@@ -137,6 +191,12 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
       fix.valid = true;
       fix.position = item.result->position;
       fix.survivor_count = item.result->survivor_count();
+      inst_.fixes_valid->inc();
+      inst_.stage_elimination->observe(item.stats.elimination_seconds);
+      inst_.stage_weighting->observe(item.stats.weighting_seconds);
+      inst_.survivors->observe(static_cast<double>(fix.survivor_count));
+      inst_.refinement_steps->observe(
+          static_cast<double>(item.result->elimination.refinement_steps));
       if (config_.enable_tracking) {
         auto [it, inserted] =
             trackers_.try_emplace(item.id, core::TrackingFilter(config_.tracking));
@@ -145,6 +205,8 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
       } else {
         fix.smoothed_position = item.result->position;
       }
+    } else {
+      inst_.fixes_invalid->inc();
     }
     fixes.push_back(std::move(fix));
   }

@@ -24,6 +24,7 @@
 #include "core/tracking_filter.h"
 #include "core/vire_localizer.h"
 #include "env/deployment.h"
+#include "obs/metrics.h"
 #include "sim/middleware.h"
 #include "support/thread_pool.h"
 
@@ -90,8 +91,36 @@ class LocalizationEngine {
     return pool_ ? pool_->size() : 1;
   }
 
+  /// The engine's metrics registry (counters, stage timers, distributions —
+  /// see docs/observability.md for the catalog). Always populated; callers
+  /// export it with obs::to_prometheus()/obs::to_json(). Other components
+  /// (e.g. the middleware) may register their metrics here too, so one
+  /// export covers the whole pipeline. Instrumentation is a pure side
+  /// channel: fixes are bit-identical with or without consumers reading it.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
  private:
   void refresh_references(const sim::Middleware& middleware, sim::SimTime now);
+
+  /// Pointers into metrics_ for the hot path (registered at construction).
+  struct Instruments {
+    obs::Counter* updates = nullptr;
+    obs::Counter* fixes_valid = nullptr;
+    obs::Counter* fixes_invalid = nullptr;
+    obs::Counter* grid_rebuilds = nullptr;
+    obs::Counter* grid_skips_rate_limited = nullptr;
+    obs::Counter* grid_skips_unchanged = nullptr;
+    obs::Histogram* update_seconds = nullptr;
+    obs::Histogram* stage_interpolation = nullptr;
+    obs::Histogram* stage_elimination = nullptr;
+    obs::Histogram* stage_weighting = nullptr;
+    obs::Histogram* stage_locate = nullptr;
+    obs::Histogram* survivors = nullptr;
+    obs::Histogram* refinement_steps = nullptr;
+  };
 
   env::Deployment deployment_;
   EngineConfig config_;
@@ -104,6 +133,10 @@ class LocalizationEngine {
   /// readings match is skipped without rebuilding.
   std::vector<sim::RssiVector> last_reference_rssi_;
   int grid_rebuilds_ = 0;
+  /// Declared before pool_: workers may bump pool metrics until joined, so
+  /// the registry must be destroyed after the pool.
+  obs::MetricsRegistry metrics_;
+  Instruments inst_;
   std::unique_ptr<support::ThreadPool> pool_;
 };
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "env/environment.h"
+#include "obs/exporters.h"
 
 namespace vire::eval {
 
@@ -68,6 +69,29 @@ std::string render_checks(const std::vector<ShapeCheck>& checks) {
   }
   out << "  shape checks: " << passed << '/' << checks.size() << " passed\n";
   return out.str();
+}
+
+std::string render_metrics(const obs::MetricsRegistry& registry) {
+  TextTable table({"metric", "value", "mean", "count"});
+  for (const obs::MetricSnapshot& m : registry.snapshot()) {
+    const std::string name =
+        m.labels.empty() ? m.name : m.name + "{" + m.labels + "}";
+    switch (m.kind) {
+      case obs::MetricKind::kCounter:
+        table.add_row({name, std::to_string(m.counter_value), "", ""});
+        break;
+      case obs::MetricKind::kGauge:
+        table.add_row({name, obs::format_double(m.gauge_value), "", ""});
+        break;
+      case obs::MetricKind::kHistogram: {
+        const double mean =
+            m.hist_count > 0 ? m.hist_sum / static_cast<double>(m.hist_count) : 0.0;
+        table.add_row({name, "", fixed(mean, 6), std::to_string(m.hist_count)});
+        break;
+      }
+    }
+  }
+  return table.render();
 }
 
 std::string render_comparison(const ComparisonSummary& summary) {

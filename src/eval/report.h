@@ -39,6 +39,12 @@ struct ShapeCheck {
 /// (the rows behind Fig. 6(a-c), with improvement percentages).
 [[nodiscard]] std::string render_comparison(const ComparisonSummary& summary);
 
+/// Renders a metrics registry as a fixed-width table (counters as totals,
+/// gauges as values, histograms as count/mean/max-bucket) — the "pipeline
+/// metrics" section the Monte-Carlo drivers embed in their reports when
+/// ComparisonOptions::metrics is set.
+[[nodiscard]] std::string render_metrics(const obs::MetricsRegistry& registry);
+
 /// Formats a double with fixed precision.
 [[nodiscard]] std::string fixed(double v, int precision = 3);
 

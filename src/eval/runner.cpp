@@ -115,8 +115,40 @@ ComparisonSummary run_paper_comparison(env::PaperEnvironment which,
   // shadowing realisation, tag biases and all measurement noise.
   const env::Environment environment = env::make_paper_environment(which);
 
+  // Optional pipeline instrumentation; counters are atomic, so the parallel
+  // trial fan-out updates them without the merge mutex.
+  struct EvalInstruments {
+    obs::Counter* trials = nullptr;
+    obs::Histogram* trial_seconds = nullptr;
+    obs::Counter* landmarc_localizations = nullptr;
+    obs::Counter* vire_localizations = nullptr;
+    obs::Counter* landmarc_failures = nullptr;
+    obs::Counter* vire_failures = nullptr;
+  } inst;
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options.metrics;
+    inst.trials = &reg.counter("vire_eval_trials_total", {},
+                               "Monte-Carlo trials completed");
+    inst.trial_seconds =
+        &reg.histogram("vire_eval_trial_seconds", obs::default_latency_buckets_s(),
+                       {}, "Wall time of one survey + both localizers");
+    inst.landmarc_localizations =
+        &reg.counter("vire_eval_localizations_total", "algo=\"landmarc\"",
+                     "Tag localizations attempted, by algorithm");
+    inst.vire_localizations =
+        &reg.counter("vire_eval_localizations_total", "algo=\"vire\"",
+                     "Tag localizations attempted, by algorithm");
+    inst.landmarc_failures =
+        &reg.counter("vire_eval_failures_total", "algo=\"landmarc\"",
+                     "Localizations that returned no estimate, by algorithm");
+    inst.vire_failures =
+        &reg.counter("vire_eval_failures_total", "algo=\"vire\"",
+                     "Localizations that returned no estimate, by algorithm");
+  }
+
   std::mutex merge_mutex;
   auto run_trial = [&](std::size_t trial) {
+    const obs::ScopedTimer trial_timer(inst.trial_seconds);
     ObservationOptions obs_options = options.observation;
     obs_options.seed = options.base_seed + trial * 0x9e3779b9ULL;
     const TestbedObservation obs =
@@ -127,15 +159,23 @@ ComparisonSummary run_paper_comparison(env::PaperEnvironment which,
     const std::vector<double> vr =
         vire_errors(obs, options.vire, obs_options.deployment);
 
+    if (inst.trials != nullptr) {
+      inst.trials->inc();
+      inst.landmarc_localizations->inc(lm.size());
+      inst.vire_localizations->inc(vr.size());
+    }
+
     std::lock_guard lock(merge_mutex);
     for (std::size_t i = 0; i < specs.size(); ++i) {
       if (std::isnan(lm[i])) {
         ++summary.tags[i].landmarc_failures;
+        if (inst.landmarc_failures != nullptr) inst.landmarc_failures->inc();
       } else {
         summary.tags[i].landmarc_error.add(lm[i]);
       }
       if (std::isnan(vr[i])) {
         ++summary.tags[i].vire_failures;
+        if (inst.vire_failures != nullptr) inst.vire_failures->inc();
       } else {
         summary.tags[i].vire_error.add(vr[i]);
       }

@@ -13,6 +13,7 @@
 #include "env/environment.h"
 #include "eval/testbed.h"
 #include "landmarc/landmarc.h"
+#include "obs/metrics.h"
 #include "support/stats.h"
 
 namespace vire::eval {
@@ -27,6 +28,10 @@ struct ComparisonOptions {
   /// Quantise RSSI to legacy 8-level power readings before localization
   /// (applies to LANDMARC only; models the original-equipment pitfall).
   bool landmarc_power_levels = false;
+  /// Optional pipeline metrics sink: when set, the runner records per-trial
+  /// wall time and per-algorithm localization/failure counters here
+  /// (vire_eval_* — see docs/observability.md). Must outlive the run.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Accumulated per-tag outcome across trials.

@@ -1,0 +1,70 @@
+#include "obs/bench_report.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/exporters.h"
+
+namespace vire::obs {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string number(double v) {
+  return std::isfinite(v) ? format_double(v) : "null";
+}
+
+}  // namespace
+
+std::string to_json(const BenchReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"name\": " << quoted(report.name) << ",\n";
+  out << "  \"git_rev\": " << quoted(report.git_rev) << ",\n";
+  out << "  \"config\": {";
+  for (std::size_t i = 0; i < report.config.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << quoted(report.config[i].first) << ": "
+        << quoted(report.config[i].second);
+  }
+  out << "},\n";
+  out << "  \"wall_ms\": " << number(report.wall_ms) << ",\n";
+  out << "  \"throughput\": " << number(report.throughput) << ",\n";
+  out << "  \"throughput_unit\": " << quoted(report.throughput_unit) << ",\n";
+  out << "  \"results\": {";
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << quoted(report.results[i].first) << ": "
+        << number(report.results[i].second);
+  }
+  out << "}\n";
+  out << "}";
+  return out.str();
+}
+
+std::filesystem::path write_bench_report(const BenchReport& report,
+                                         const std::filesystem::path& dir) {
+  if (report.name.empty()) {
+    throw std::invalid_argument("write_bench_report: report needs a name");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path = dir / ("BENCH_" + report.name + ".json");
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_bench_report: cannot open " + path.string());
+  }
+  out << to_json(report) << '\n';
+  return path;
+}
+
+}  // namespace vire::obs

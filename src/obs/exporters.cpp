@@ -1,0 +1,180 @@
+#include "obs/exporters.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace vire::obs {
+
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// "name" or "name{labels}" / "name{labels,extra}".
+std::string series(const std::string& name, const std::string& labels,
+                   const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name + "{";
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Inf literals; encode non-finite values as null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  return format_double(v);
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, result.ptr);
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  const auto snaps = registry.snapshot();
+  std::ostringstream out;
+  // Prometheus requires all series of one family to be contiguous; emit in
+  // first-registration order of each family name.
+  std::unordered_set<std::string> done;
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    if (!done.insert(snaps[i].name).second) continue;
+    bool typed = false;
+    for (std::size_t j = i; j < snaps.size(); ++j) {
+      const MetricSnapshot& m = snaps[j];
+      if (m.name != snaps[i].name) continue;
+      if (!typed) {
+        if (!m.help.empty()) out << "# HELP " << m.name << ' ' << m.help << '\n';
+        out << "# TYPE " << m.name << ' ' << kind_name(m.kind) << '\n';
+        typed = true;
+      }
+      switch (m.kind) {
+        case MetricKind::kCounter:
+          out << series(m.name, m.labels) << ' ' << m.counter_value << '\n';
+          break;
+        case MetricKind::kGauge:
+          out << series(m.name, m.labels) << ' ' << format_double(m.gauge_value)
+              << '\n';
+          break;
+        case MetricKind::kHistogram: {
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < m.bucket_counts.size(); ++b) {
+            cumulative += m.bucket_counts[b];
+            const std::string le =
+                b < m.bounds.size() ? format_double(m.bounds[b]) : "+Inf";
+            out << series(m.name + "_bucket", m.labels, "le=\"" + le + "\"") << ' '
+                << cumulative << '\n';
+          }
+          out << series(m.name + "_sum", m.labels) << ' ' << format_double(m.hist_sum)
+              << '\n';
+          out << series(m.name + "_count", m.labels) << ' ' << m.hist_count << '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  const auto snaps = registry.snapshot();
+  std::ostringstream counters, gauges, histograms;
+  bool first_counter = true, first_gauge = true, first_histogram = true;
+  for (const MetricSnapshot& m : snaps) {
+    const std::string id = "\"name\":\"" + json_escape(m.name) + "\",\"labels\":\"" +
+                           json_escape(m.labels) + "\"";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        counters << (first_counter ? "" : ",") << "{" << id
+                 << ",\"value\":" << m.counter_value << "}";
+        first_counter = false;
+        break;
+      case MetricKind::kGauge:
+        gauges << (first_gauge ? "" : ",") << "{" << id
+               << ",\"value\":" << json_number(m.gauge_value) << "}";
+        first_gauge = false;
+        break;
+      case MetricKind::kHistogram: {
+        histograms << (first_histogram ? "" : ",") << "{" << id
+                   << ",\"count\":" << m.hist_count
+                   << ",\"sum\":" << json_number(m.hist_sum) << ",\"buckets\":[";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < m.bucket_counts.size(); ++b) {
+          cumulative += m.bucket_counts[b];
+          const std::string le =
+              b < m.bounds.size() ? format_double(m.bounds[b]) : "+Inf";
+          histograms << (b == 0 ? "" : ",") << "{\"le\":\"" << le
+                     << "\",\"count\":" << cumulative << "}";
+        }
+        histograms << "]}";
+        first_histogram = false;
+        break;
+      }
+    }
+  }
+  std::ostringstream out;
+  out << "{\"counters\":[" << counters.str() << "],\"gauges\":[" << gauges.str()
+      << "],\"histograms\":[" << histograms.str() << "]}";
+  return out.str();
+}
+
+namespace {
+
+void write_text(const std::string& text, const std::filesystem::path& path,
+                const char* what) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error(std::string(what) + ": cannot open " + path.string());
+  }
+  out << text << '\n';
+}
+
+}  // namespace
+
+void write_json_snapshot(const MetricsRegistry& registry,
+                         const std::filesystem::path& path) {
+  write_text(to_json(registry), path, "write_json_snapshot");
+}
+
+void write_prometheus_snapshot(const MetricsRegistry& registry,
+                               const std::filesystem::path& path) {
+  write_text(to_prometheus(registry), path, "write_prometheus_snapshot");
+}
+
+}  // namespace vire::obs

@@ -1,0 +1,40 @@
+#pragma once
+// Exporters for MetricsRegistry snapshots:
+//  * Prometheus text exposition format (v0.0.4) — the string a /metrics
+//    endpoint would serve; histograms expand to cumulative _bucket{le=...}
+//    series plus _sum and _count;
+//  * JSON snapshot — one self-describing document for offline analysis and
+//    the bench trajectory tooling.
+//
+// Both operate on a point-in-time snapshot, so they can run concurrently
+// with hot-path updates.
+
+#include <filesystem>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace vire::obs {
+
+/// Renders the whole registry in Prometheus text exposition format.
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+/// Renders the whole registry as a JSON document:
+/// {"counters":[...],"gauges":[...],"histograms":[...]}.
+[[nodiscard]] std::string to_json(const MetricsRegistry& registry);
+
+/// Writes to_json() to `path`, creating parent directories. Throws
+/// std::runtime_error on I/O failure.
+void write_json_snapshot(const MetricsRegistry& registry,
+                         const std::filesystem::path& path);
+
+/// Writes to_prometheus() to `path`, creating parent directories. Throws
+/// std::runtime_error on I/O failure.
+void write_prometheus_snapshot(const MetricsRegistry& registry,
+                               const std::filesystem::path& path);
+
+/// Shortest round-trip decimal formatting ("0.1", not "0.10000000000000001").
+/// Non-finite values render as "NaN"/"+Inf"/"-Inf" (Prometheus spelling).
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace vire::obs

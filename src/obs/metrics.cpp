@@ -1,0 +1,162 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vire::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: needs at least one bucket bound");
+  }
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i])) {
+      throw std::invalid_argument("Histogram: bounds must be finite (+Inf is implicit)");
+    }
+    if (i > 0 && bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  if (std::isnan(v)) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<double> linear_buckets(double start, double step, int count) {
+  if (count < 1 || step <= 0.0) {
+    throw std::invalid_argument("linear_buckets: count >= 1 and step > 0 required");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) bounds.push_back(start + step * i);
+  return bounds;
+}
+
+std::vector<double> exponential_buckets(double start, double factor, int count) {
+  if (count < 1 || start <= 0.0 || factor <= 1.0) {
+    throw std::invalid_argument(
+        "exponential_buckets: count >= 1, start > 0, factor > 1 required");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> default_latency_buckets_s() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+          2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0};
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_locked(const std::string& name,
+                                                     const std::string& labels) {
+  for (auto& entry : entries_) {
+    if (entry.name == name && entry.labels == labels) return &entry;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& labels,
+                                  const std::string& help) {
+  std::lock_guard lock(mutex_);
+  if (Entry* existing = find_locked(name, labels)) {
+    if (existing->kind != MetricKind::kCounter) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with a different kind");
+    }
+    return *existing->counter;
+  }
+  Entry entry{MetricKind::kCounter, name, labels, help,
+              std::make_unique<Counter>(), nullptr, nullptr};
+  entries_.push_back(std::move(entry));
+  return *entries_.back().counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& labels,
+                              const std::string& help) {
+  std::lock_guard lock(mutex_);
+  if (Entry* existing = find_locked(name, labels)) {
+    if (existing->kind != MetricKind::kGauge) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with a different kind");
+    }
+    return *existing->gauge;
+  }
+  Entry entry{MetricKind::kGauge, name, labels, help,
+              nullptr, std::make_unique<Gauge>(), nullptr};
+  entries_.push_back(std::move(entry));
+  return *entries_.back().gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds,
+                                      const std::string& labels,
+                                      const std::string& help) {
+  std::lock_guard lock(mutex_);
+  if (Entry* existing = find_locked(name, labels)) {
+    if (existing->kind != MetricKind::kHistogram) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' already registered with a different kind");
+    }
+    return *existing->histogram;
+  }
+  Entry entry{MetricKind::kHistogram, name, labels, help, nullptr, nullptr,
+              std::make_unique<Histogram>(std::move(upper_bounds))};
+  entries_.push_back(std::move(entry));
+  return *entries_.back().histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSnapshot snap;
+    snap.kind = entry.kind;
+    snap.name = entry.name;
+    snap.labels = entry.labels;
+    snap.help = entry.help;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        snap.counter_value = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        snap.gauge_value = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        snap.bounds = h.bounds();
+        snap.bucket_counts.reserve(snap.bounds.size() + 1);
+        for (std::size_t i = 0; i <= snap.bounds.size(); ++i) {
+          snap.bucket_counts.push_back(h.bucket_value(i));
+        }
+        snap.hist_count = h.count();
+        snap.hist_sum = h.sum();
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace vire::obs

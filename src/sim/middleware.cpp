@@ -11,19 +11,38 @@ constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 Middleware::Middleware(int reader_count, MiddlewareConfig config)
     : reader_count_(reader_count), config_(config) {}
 
+void Middleware::attach_metrics(obs::MetricsRegistry& registry) {
+  readings_ingested_ =
+      &registry.counter("vire_middleware_readings_ingested_total", {},
+                        "RSSI readings accepted into the sliding window");
+  samples_evicted_ =
+      &registry.counter("vire_middleware_samples_evicted_total", {},
+                        "Buffered samples dropped after ageing out of the window");
+  nan_links_served_ =
+      &registry.counter("vire_middleware_nan_links_served_total", {},
+                        "link_rssi() queries answered with NaN (undetected link)");
+}
+
 void Middleware::ingest(const RssiReading& reading) {
   auto& samples = links_[{reading.tag, reading.reader}];
   samples.push_back({reading.time, reading.rssi_dbm});
+  if (readings_ingested_ != nullptr) readings_ingested_->inc();
   // Opportunistic per-link eviction keeps deques short without a global scan.
   const SimTime cutoff = reading.time - config_.window_s;
-  while (!samples.empty() && samples.front().time < cutoff) samples.pop_front();
+  while (!samples.empty() && samples.front().time < cutoff) {
+    samples.pop_front();
+    if (samples_evicted_ != nullptr) samples_evicted_->inc();
+  }
 }
 
 void Middleware::evict_stale(SimTime now) {
   const SimTime cutoff = now - config_.window_s;
   for (auto it = links_.begin(); it != links_.end();) {
     auto& samples = it->second;
-    while (!samples.empty() && samples.front().time < cutoff) samples.pop_front();
+    while (!samples.empty() && samples.front().time < cutoff) {
+      samples.pop_front();
+      if (samples_evicted_ != nullptr) samples_evicted_->inc();
+    }
     if (samples.empty()) {
       it = links_.erase(it);
     } else {
@@ -75,8 +94,9 @@ double Middleware::aggregate(const std::deque<Sample>& samples) const {
 
 double Middleware::link_rssi(TagId tag, ReaderId reader) const {
   const auto it = links_.find({tag, reader});
-  if (it == links_.end()) return kNan;
-  return aggregate(it->second);
+  const double rssi = it == links_.end() ? kNan : aggregate(it->second);
+  if (std::isnan(rssi) && nan_links_served_ != nullptr) nan_links_served_->inc();
+  return rssi;
 }
 
 RssiVector Middleware::rssi_vector(TagId tag) const {

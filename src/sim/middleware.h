@@ -14,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/types.h"
 
 namespace vire::sim {
@@ -52,6 +53,14 @@ class Middleware {
   [[nodiscard]] int reader_count() const noexcept { return reader_count_; }
   [[nodiscard]] const MiddlewareConfig& config() const noexcept { return config_; }
 
+  /// Registers ingest/eviction/NaN-serve counters with `registry`:
+  ///   vire_middleware_readings_ingested_total
+  ///   vire_middleware_samples_evicted_total
+  ///   vire_middleware_nan_links_served_total
+  /// The registry must outlive this middleware. Pure side channel — serving
+  /// RSSI is unchanged.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
   void clear();
 
  private:
@@ -66,6 +75,12 @@ class Middleware {
   int reader_count_;
   MiddlewareConfig config_;
   std::map<LinkKey, std::deque<Sample>> links_;
+  /// Optional instrumentation (null until attach_metrics). The NaN counter
+  /// is bumped from const accessors — counters are atomic, so this stays a
+  /// logically-const side channel.
+  obs::Counter* readings_ingested_ = nullptr;
+  obs::Counter* samples_evicted_ = nullptr;
+  obs::Counter* nan_links_served_ = nullptr;
 };
 
 }  // namespace vire::sim

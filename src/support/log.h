@@ -3,6 +3,7 @@
 // zero-cost when the level is filtered out before formatting. printf-style
 // formatting (GCC 12's libstdc++ has no <format>).
 
+#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -21,10 +22,17 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  /// Safe to call concurrently with log() from other threads (the level is
+  /// atomic; the documented set_sink/log thread-safety now actually holds
+  /// for the level check too).
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >= static_cast<int>(this->level());
   }
 
   /// Replaces the output sink (default writes "[LEVEL] msg\n" to stderr).
@@ -34,7 +42,7 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kInfo;
+  std::atomic<LogLevel> level_{LogLevel::kInfo};
   Sink sink_;
 };
 

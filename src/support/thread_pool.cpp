@@ -28,6 +28,17 @@ void ThreadPool::stop() {
   }
 }
 
+void ThreadPool::attach_metrics(obs::MetricsRegistry& registry,
+                                const std::string& prefix) {
+  obs::Counter& tasks = registry.counter(
+      prefix + "_tasks_total", {}, "Tasks executed by the thread pool workers");
+  obs::Gauge& high_water =
+      registry.gauge(prefix + "_queue_depth_high_water", {},
+                     "Maximum queued-task backlog observed since start");
+  tasks_total_.store(&tasks, std::memory_order_release);
+  queue_high_water_.store(&high_water, std::memory_order_release);
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -42,6 +53,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     task();
+    if (auto* counter = tasks_total_.load(std::memory_order_acquire)) counter->inc();
   }
 }
 

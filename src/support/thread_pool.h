@@ -4,14 +4,18 @@
 // workload is embarrassingly parallel (independent trials), so a simple
 // chunked static/dynamic scheduler is both sufficient and predictable.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace vire::support {
 
@@ -34,6 +38,15 @@ class ThreadPool {
   /// the destructor calls it.
   void stop();
 
+  /// Registers pool metrics with `registry` and starts recording:
+  ///   <prefix>_tasks_total              tasks executed by the workers
+  ///   <prefix>_queue_depth_high_water   max queued-task backlog observed
+  /// Metric objects must outlive the pool (the engine owns both). Counting
+  /// is relaxed-atomic; attaching mid-flight only misses events already
+  /// past, it never blocks the hot path.
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "vire_threadpool");
+
   /// Enqueues a task; throws std::runtime_error if the pool is stopping.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
@@ -44,6 +57,9 @@ class ThreadPool {
       std::lock_guard lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
       queue_.emplace_back([task] { (*task)(); });
+      if (auto* gauge = queue_high_water_.load(std::memory_order_acquire)) {
+        gauge->record_max(static_cast<double>(queue_.size()));
+      }
     }
     cv_.notify_one();
     return result;
@@ -57,6 +73,10 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  /// Optional instrumentation (null until attach_metrics). Atomic pointers:
+  /// workers read them without the queue mutex.
+  std::atomic<obs::Counter*> tasks_total_{nullptr};
+  std::atomic<obs::Gauge*> queue_high_water_{nullptr};
 };
 
 /// Shared process-wide pool (lazily constructed, hardware-concurrency sized).

@@ -95,6 +95,56 @@ TEST_F(TraceTest, NaNRssiAndUnknownTruthSurvive) {
   EXPECT_TRUE(std::isnan(loaded.tracking_positions[1].x));
 }
 
+TEST_F(TraceTest, AllNaNRssiVectorRoundTrips) {
+  // A tag that no reader heard during the survey: its whole RSSI vector is
+  // NaN. The trace must carry it through unchanged rather than dropping the
+  // record or mangling the row into fewer fields.
+  Trace trace = make_trace();
+  const std::size_t readers = trace.reader_positions.size();
+  for (std::size_t k = 0; k < readers; ++k) {
+    trace.tracking_rssi[1][k] = std::nan("");
+  }
+  const auto path = dir_ / "all_nan.trace";
+  write_trace(trace, path);
+  const Trace loaded = read_trace(path);
+
+  ASSERT_EQ(loaded.tracking_rssi.size(), trace.tracking_rssi.size());
+  ASSERT_EQ(loaded.tracking_rssi[1].size(), readers);
+  for (std::size_t k = 0; k < readers; ++k) {
+    EXPECT_TRUE(std::isnan(loaded.tracking_rssi[1][k])) << "reader " << k;
+  }
+  // The healthy tag is untouched.
+  for (std::size_t k = 0; k < readers; ++k) {
+    EXPECT_FALSE(std::isnan(loaded.tracking_rssi[0][k])) << "reader " << k;
+  }
+  EXPECT_EQ(loaded.tracking_names[1], "beta");
+}
+
+TEST_F(TraceTest, MissingGroundTruthRoundTrips) {
+  // Field recordings often have no surveyed truth at all; every tracking
+  // position is unknown. Round-trip must preserve the NaN positions while
+  // keeping the RSSI usable for localization.
+  Trace trace = make_trace();
+  for (auto& position : trace.tracking_positions) {
+    position = {std::nan(""), std::nan("")};
+  }
+  const auto path = dir_ / "no_truth.trace";
+  write_trace(trace, path);
+  const Trace loaded = read_trace(path);
+
+  ASSERT_EQ(loaded.tracking_positions.size(), trace.tracking_positions.size());
+  for (const auto& position : loaded.tracking_positions) {
+    EXPECT_TRUE(std::isnan(position.x));
+    EXPECT_TRUE(std::isnan(position.y));
+  }
+  // RSSI survives, so the trace still localizes.
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  core::VireLocalizer localizer(deployment.reference_grid(),
+                                core::recommended_vire_config());
+  localizer.set_reference_rssi(loaded.reference_rssi);
+  EXPECT_TRUE(localizer.locate(loaded.tracking_rssi[0]).has_value());
+}
+
 TEST_F(TraceTest, ToObservationShapes) {
   const Trace trace = make_trace();
   const TestbedObservation obs = trace.to_observation();

@@ -1,0 +1,169 @@
+// Exporter golden-output tests: the Prometheus text exposition and JSON
+// snapshot of a small registry with hand-set values are locked byte for
+// byte, so a formatting regression (bucket cumulation, label merging, le
+// spelling, number round-tripping) fails loudly.
+
+#include "obs/exporters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unistd.h>
+
+#include "eval/report.h"
+#include "obs/bench_report.h"
+
+namespace vire::obs {
+namespace {
+
+/// Small deterministic registry shared by the golden tests.
+void populate(MetricsRegistry& registry) {
+  Counter& requests = registry.counter("demo_requests_total", "code=\"200\"",
+                                       "Requests served");
+  requests.inc(3);
+  registry.counter("demo_requests_total", "code=\"500\"").inc();
+  Gauge& depth = registry.gauge("demo_queue_depth", "", "Queue depth");
+  depth.set(2.5);
+  Histogram& latency =
+      registry.histogram("demo_latency_seconds", {0.25, 1.0}, "", "Latency");
+  // Exactly-representable values: the golden sum has no rounding wiggle.
+  latency.observe(0.125);
+  latency.observe(0.25);
+  latency.observe(0.5);
+  latency.observe(2.0);
+}
+
+TEST(PrometheusExporter, GoldenOutput) {
+  MetricsRegistry registry;
+  populate(registry);
+  const std::string expected =
+      "# HELP demo_requests_total Requests served\n"
+      "# TYPE demo_requests_total counter\n"
+      "demo_requests_total{code=\"200\"} 3\n"
+      "demo_requests_total{code=\"500\"} 1\n"
+      "# HELP demo_queue_depth Queue depth\n"
+      "# TYPE demo_queue_depth gauge\n"
+      "demo_queue_depth 2.5\n"
+      "# HELP demo_latency_seconds Latency\n"
+      "# TYPE demo_latency_seconds histogram\n"
+      "demo_latency_seconds_bucket{le=\"0.25\"} 2\n"
+      "demo_latency_seconds_bucket{le=\"1\"} 3\n"
+      "demo_latency_seconds_bucket{le=\"+Inf\"} 4\n"
+      "demo_latency_seconds_sum 2.875\n"
+      "demo_latency_seconds_count 4\n";
+  EXPECT_EQ(to_prometheus(registry), expected);
+}
+
+TEST(JsonExporter, GoldenOutput) {
+  MetricsRegistry registry;
+  populate(registry);
+  const std::string expected =
+      "{\"counters\":["
+      "{\"name\":\"demo_requests_total\",\"labels\":\"code=\\\"200\\\"\",\"value\":3},"
+      "{\"name\":\"demo_requests_total\",\"labels\":\"code=\\\"500\\\"\",\"value\":1}"
+      "],\"gauges\":["
+      "{\"name\":\"demo_queue_depth\",\"labels\":\"\",\"value\":2.5}"
+      "],\"histograms\":["
+      "{\"name\":\"demo_latency_seconds\",\"labels\":\"\",\"count\":4,\"sum\":2.875,"
+      "\"buckets\":[{\"le\":\"0.25\",\"count\":2},{\"le\":\"1\",\"count\":3},"
+      "{\"le\":\"+Inf\",\"count\":4}]}"
+      "]}";
+  EXPECT_EQ(to_json(registry), expected);
+}
+
+TEST(Exporters, FormatDoubleRoundTrips) {
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(2.5), "2.5");
+  // Shortest round-trip form; scientific is valid in both export formats.
+  EXPECT_EQ(format_double(1e-4), "1e-04");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-Inf");
+  EXPECT_EQ(format_double(std::nan("")), "NaN");
+}
+
+TEST(Exporters, EmptyRegistryExportsEmptyDocuments) {
+  MetricsRegistry registry;
+  EXPECT_EQ(to_prometheus(registry), "");
+  EXPECT_EQ(to_json(registry),
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[]}");
+}
+
+class ExporterFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vire_obs_exporter_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ExporterFileTest, WritesSnapshotsToDisk) {
+  MetricsRegistry registry;
+  populate(registry);
+  const auto json_path = dir_ / "nested" / "metrics.json";
+  const auto prom_path = dir_ / "nested" / "metrics.prom";
+  write_json_snapshot(registry, json_path);
+  write_prometheus_snapshot(registry, prom_path);
+
+  std::ifstream json_in(json_path);
+  std::stringstream json_text;
+  json_text << json_in.rdbuf();
+  EXPECT_EQ(json_text.str(), to_json(registry) + "\n");
+
+  std::ifstream prom_in(prom_path);
+  std::stringstream prom_text;
+  prom_text << prom_in.rdbuf();
+  EXPECT_NE(prom_text.str().find("demo_requests_total{code=\"200\"} 3"),
+            std::string::npos);
+}
+
+TEST_F(ExporterFileTest, BenchReportGoldenJson) {
+  BenchReport report;
+  report.name = "unit";
+  report.git_rev = "abc1234";
+  report.config = {{"tags", "64"}, {"rounds", "30"}};
+  report.wall_ms = 125.5;
+  report.throughput = 2048.0;
+  report.throughput_unit = "tags_per_sec";
+  report.results = {{"workers_1", 1024.0}, {"workers_4", 2048.0}};
+  const std::string expected =
+      "{\n"
+      "  \"name\": \"unit\",\n"
+      "  \"git_rev\": \"abc1234\",\n"
+      "  \"config\": {\"tags\": \"64\", \"rounds\": \"30\"},\n"
+      "  \"wall_ms\": 125.5,\n"
+      "  \"throughput\": 2048,\n"
+      "  \"throughput_unit\": \"tags_per_sec\",\n"
+      "  \"results\": {\"workers_1\": 1024, \"workers_4\": 2048}\n"
+      "}";
+  EXPECT_EQ(to_json(report), expected);
+
+  const auto path = write_bench_report(report, dir_);
+  EXPECT_EQ(path.filename(), "BENCH_unit.json");
+  std::ifstream in(path);
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_EQ(text.str(), expected + "\n");
+}
+
+TEST(RenderMetrics, TabulatesAllKinds) {
+  MetricsRegistry registry;
+  populate(registry);
+  const std::string table = eval::render_metrics(registry);
+  EXPECT_NE(table.find("demo_requests_total{code=\"200\"}"), std::string::npos);
+  EXPECT_NE(table.find("demo_queue_depth"), std::string::npos);
+  EXPECT_NE(table.find("demo_latency_seconds"), std::string::npos);
+  EXPECT_NE(table.find("0.71875"), std::string::npos);  // histogram mean 2.875/4
+}
+
+}  // namespace
+}  // namespace vire::obs

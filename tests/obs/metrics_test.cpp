@@ -1,0 +1,194 @@
+// Registry/metric primitives: exact counts under thread hammering (the
+// lock-free hot-path contract), histogram bucket-boundary edge cases, and
+// registration semantics. The concurrency tests also run under TSan in CI.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace vire::obs {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("test_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Histogram, ConcurrentObservationsAreExact) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("test_seconds", {1.0, 2.0, 3.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.observe(static_cast<double>((t + i) % 4) + 0.5);  // 0.5..3.5
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t b = 0; b <= hist.bounds().size(); ++b) {
+    bucket_total += hist.bucket_value(b);
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+}
+
+TEST(Gauge, RecordMaxIsHighWaterMark) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("test_high_water");
+  gauge.record_max(3.0);
+  gauge.record_max(1.0);  // lower: ignored
+  EXPECT_EQ(gauge.value(), 3.0);
+  gauge.record_max(7.5);
+  EXPECT_EQ(gauge.value(), 7.5);
+}
+
+TEST(Gauge, ConcurrentRecordMaxKeepsMaximum) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("test_high_water");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (int i = 0; i < 20000; ++i) {
+        gauge.record_max(static_cast<double>(t * 20000 + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(gauge.value(), 8.0 * 20000.0 - 1.0);
+}
+
+TEST(Histogram, BucketBoundariesAreLessOrEqual) {
+  MetricsRegistry registry;
+  // Prometheus le semantics: an observation equal to a bound lands IN that
+  // bucket, observations above the last bound land in +Inf.
+  Histogram& hist = registry.histogram("test_bounds", {1.0, 2.0, 5.0});
+  hist.observe(0.5);   // le=1
+  hist.observe(1.0);   // le=1 (boundary)
+  hist.observe(1.5);   // le=2
+  hist.observe(2.0);   // le=2 (boundary)
+  hist.observe(5.0);   // le=5 (boundary)
+  hist.observe(5.001); // +Inf
+  hist.observe(-3.0);  // le=1 (below the first bound)
+  EXPECT_EQ(hist.bucket_value(0), 3u);
+  EXPECT_EQ(hist.bucket_value(1), 2u);
+  EXPECT_EQ(hist.bucket_value(2), 1u);
+  EXPECT_EQ(hist.bucket_value(3), 1u);  // +Inf
+  EXPECT_EQ(hist.count(), 7u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 5.001 - 3.0);
+}
+
+TEST(Histogram, NanObservationsAreDropped) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("test_nan", {1.0});
+  hist.observe(std::nan(""));
+  hist.observe(0.5);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5);
+}
+
+TEST(Histogram, InvalidBoundsThrow) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("empty", {}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("unsorted", {2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("duplicate", {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(
+      registry.histogram("inf", {1.0, std::numeric_limits<double>::infinity()}),
+      std::invalid_argument);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentPerNameAndLabels) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests_total", "code=\"200\"");
+  Counter& b = registry.counter("requests_total", "code=\"200\"");
+  Counter& c = registry.counter("requests_total", "code=\"500\"");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("thing");
+  EXPECT_THROW(registry.gauge("thing"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("thing", {1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ReferencesStayValidAsRegistryGrows) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("first_total");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler_total_" + std::to_string(i));
+  }
+  first.inc();
+  EXPECT_EQ(first.value(), 1u);
+  EXPECT_EQ(registry.snapshot().front().counter_value, 1u);
+}
+
+TEST(ScopedTimer, RecordsOneObservation) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("timed_seconds", default_latency_buckets_s());
+  { ScopedTimer timer(&hist); }
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_GE(hist.sum(), 0.0);
+}
+
+TEST(ScopedTimer, NullHistogramIsNoop) {
+  ScopedTimer timer(nullptr);
+  EXPECT_EQ(timer.elapsed_seconds(), 0.0);
+}
+
+TEST(BucketGenerators, ProduceExpectedSeries) {
+  EXPECT_EQ(linear_buckets(0.0, 1.0, 3), (std::vector<double>{0.0, 1.0, 2.0}));
+  EXPECT_EQ(exponential_buckets(1.0, 2.0, 4), (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  const auto latency = default_latency_buckets_s();
+  ASSERT_FALSE(latency.empty());
+  for (std::size_t i = 1; i < latency.size(); ++i) {
+    EXPECT_LT(latency[i - 1], latency[i]);
+  }
+  EXPECT_THROW(linear_buckets(0.0, 0.0, 3), std::invalid_argument);
+  EXPECT_THROW(exponential_buckets(1.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SnapshotWhileHammeredIsConsistent) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hammered_total");
+  std::atomic<bool> stop{false};
+  std::thread hammer([&] {
+    while (!stop.load()) counter.inc();
+  });
+  while (counter.value() == 0) std::this_thread::yield();
+  for (int i = 0; i < 100; ++i) {
+    const auto snaps = registry.snapshot();
+    ASSERT_EQ(snaps.size(), 1u);
+  }
+  stop.store(true);
+  hammer.join();
+  EXPECT_GT(counter.value(), 0u);
+}
+
+}  // namespace
+}  // namespace vire::obs

@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace vire::sim {
 namespace {
 
@@ -122,6 +124,41 @@ TEST(Middleware, ClearEmptiesEverything) {
   mw.clear();
   EXPECT_TRUE(std::isnan(mw.link_rssi(0, 0)));
   EXPECT_EQ(mw.sample_count(0, 0), 0u);
+}
+
+TEST(Middleware, MetricsCountIngestEvictionsAndNanServes) {
+  obs::MetricsRegistry registry;
+  MiddlewareConfig config;
+  config.window_s = 10.0;
+  Middleware mw(2, config);
+  mw.attach_metrics(registry);
+
+  mw.ingest({0.0, 0, 0, -70.0});
+  mw.ingest({1.0, 0, 0, -71.0});
+  mw.ingest({20.0, 0, 0, -72.0});  // window eviction drops the first two
+  EXPECT_EQ(registry.counter("vire_middleware_readings_ingested_total").value(), 3u);
+  EXPECT_EQ(registry.counter("vire_middleware_samples_evicted_total").value(), 2u);
+
+  mw.ingest({21.0, 1, 1, -60.0});
+  mw.evict_stale(100.0);  // both remaining samples age out
+  EXPECT_EQ(registry.counter("vire_middleware_samples_evicted_total").value(), 4u);
+
+  const obs::Counter& nan_serves =
+      registry.counter("vire_middleware_nan_links_served_total");
+  EXPECT_EQ(nan_serves.value(), 0u);
+  EXPECT_TRUE(std::isnan(mw.link_rssi(0, 0)));  // evicted link serves NaN
+  EXPECT_TRUE(std::isnan(mw.link_rssi(5, 1)));  // never-seen link serves NaN
+  EXPECT_EQ(nan_serves.value(), 2u);
+}
+
+TEST(Middleware, MetricsAreOptional) {
+  // No attach_metrics call: every path must still work (null instruments).
+  Middleware mw(1);
+  mw.ingest({1.0, 0, 0, -70.0});
+  EXPECT_FALSE(std::isnan(mw.link_rssi(0, 0)));
+  EXPECT_TRUE(std::isnan(mw.link_rssi(9, 0)));
+  mw.evict_stale(1000.0);
+  mw.clear();
 }
 
 }  // namespace
