@@ -1,0 +1,188 @@
+// Robustness: localization error CDF vs fraction of failed readers. For each
+// failure level (0..K-1 of the K paper-testbed readers killed mid-run by a
+// seed-driven FaultPlan) the full pipeline — simulator, fault injector,
+// middleware, health monitor, engine with LANDMARC fallback — runs the same
+// deterministic scenario and the post-kill error distribution is recorded.
+// This is the headline graceful-degradation curve of docs/robustness.md:
+// accuracy should decay smoothly with failures, not cliff to invalid fixes.
+//
+// Env knobs: VIRE_ROUNDS (post-kill update rounds, default 16),
+//            VIRE_TAGS (tracked tags, default 8).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/localization_engine.h"
+#include "env/environment.h"
+#include "fault/fault_injector.h"
+#include "obs/bench_report.h"
+#include "sim/simulator.h"
+#include "support/csv.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace vire;
+
+int env_int(const char* name, int fallback) {
+  if (const char* s = std::getenv(name)) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+double quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return std::nan("");
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+struct LevelResult {
+  int failed_readers = 0;
+  std::size_t fixes = 0;
+  std::size_t fresh = 0;     ///< kOk or kDegraded (a new position this round)
+  std::size_t fallback = 0;  ///< fresh fixes produced by the LANDMARC fallback
+  std::vector<double> errors;  ///< fresh-fix errors, post-kill rounds only
+};
+
+}  // namespace
+
+int main() {
+  const int rounds = env_int("VIRE_ROUNDS", 16);
+  const int tag_count = env_int("VIRE_TAGS", 8);
+  constexpr double kKillTime = 60.0;
+  constexpr double kRoundStep = 5.0;
+
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  const int reader_count = static_cast<int>(deployment.reader_count());
+
+  std::printf("=== Error CDF vs fraction of failed readers ===\n");
+  std::printf("readers: %d, tags: %d, post-kill rounds: %d\n\n", reader_count,
+              tag_count, rounds);
+
+  obs::BenchReport report;
+  report.name = "fault_degradation";
+  report.git_rev = VIRE_GIT_REV;
+  report.config = {{"readers", std::to_string(reader_count)},
+                   {"tags", std::to_string(tag_count)},
+                   {"rounds", std::to_string(rounds)}};
+  report.throughput_unit = "fixes_per_sec";
+
+  support::CsvWriter csv("bench_out/fault_degradation.csv");
+  csv.header({"failed_readers", "failed_fraction", "fresh_fix_fraction",
+              "fallback_fraction", "err_p50_m", "err_p90_m", "err_max_m"});
+
+  std::printf("%8s %10s %8s %10s %8s %8s %8s\n", "failed", "fraction", "fresh",
+              "fallback", "p50 m", "p90 m", "max m");
+
+  const auto bench_start = std::chrono::steady_clock::now();
+  std::size_t total_fixes = 0;
+  for (int failed = 0; failed < reader_count; ++failed) {
+    const env::Environment environment =
+        env::make_paper_environment(env::PaperEnvironment::kEnv1SemiOpen);
+    sim::SimulatorConfig sim_config;
+    sim_config.seed = 7;
+    sim_config.middleware.window_s = 10.0;
+    sim::RfidSimulator simulator(environment, deployment, sim_config);
+
+    fault::FaultPlan plan;
+    for (int r = 0; r < failed; ++r) plan.kill_reader(r, kKillTime);
+    fault::FaultInjector injector(plan, /*seed=*/7);
+    simulator.set_interceptor(&injector);
+
+    const auto reference_ids = simulator.add_reference_tags();
+    // Deterministic tag fleet over the interior of the testbed.
+    std::vector<sim::TagId> tags;
+    std::vector<geom::Vec2> truths;
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < tag_count; ++i) {
+      const double x = 0.5 + 3.0 * (static_cast<double>(
+                                        support::splitmix64(state) >> 11) /
+                                    9007199254740992.0);
+      const double y = 0.5 + 3.0 * (static_cast<double>(
+                                        support::splitmix64(state) >> 11) /
+                                    9007199254740992.0);
+      truths.push_back({x, y});
+      tags.push_back(simulator.add_tag({x, y}));
+    }
+
+    engine::EngineConfig config;
+    config.min_refresh_interval_s = 10.0;
+    config.degradation.health.quarantine_after = 2;
+    config.degradation.health.recover_after = 2;
+    engine::LocalizationEngine engine(deployment, config);
+    engine.set_reference_ids(reference_ids);
+    for (const auto id : tags) engine.track(id);
+
+    simulator.run_for(40.0);  // fill the aggregation window
+
+    LevelResult level;
+    level.failed_readers = failed;
+    // Warm rounds up to the kill, then settle rounds for quarantine latency
+    // (eviction window + hysteresis), then the measured post-kill rounds.
+    const int settle = 4 + static_cast<int>(kKillTime / kRoundStep);
+    for (int r = 0; r < settle + rounds; ++r) {
+      simulator.run_for(kRoundStep);
+      const sim::SimTime now = simulator.now();
+      simulator.middleware().evict_stale(now);
+      const auto fixes = engine.update(simulator.middleware(), now);
+      if (r < settle) continue;
+      for (std::size_t i = 0; i < fixes.size(); ++i) {
+        ++level.fixes;
+        const bool fresh = fixes[i].quality == engine::FixQuality::kOk ||
+                           fixes[i].quality == engine::FixQuality::kDegraded;
+        if (!fresh) continue;
+        ++level.fresh;
+        if (fixes[i].used_fallback) ++level.fallback;
+        level.errors.push_back(geom::distance(fixes[i].position, truths[i]));
+      }
+    }
+    total_fixes += level.fixes;
+
+    std::sort(level.errors.begin(), level.errors.end());
+    const double fraction =
+        static_cast<double>(failed) / static_cast<double>(reader_count);
+    const double fresh_fraction =
+        level.fixes == 0 ? 0.0
+                         : static_cast<double>(level.fresh) /
+                               static_cast<double>(level.fixes);
+    const double fallback_fraction =
+        level.fresh == 0 ? 0.0
+                         : static_cast<double>(level.fallback) /
+                               static_cast<double>(level.fresh);
+    const double p50 = quantile(level.errors, 0.5);
+    const double p90 = quantile(level.errors, 0.9);
+    const double pmax = level.errors.empty() ? std::nan("") : level.errors.back();
+
+    std::printf("%8d %9.0f%% %7.0f%% %9.0f%% %8.3f %8.3f %8.3f\n", failed,
+                100.0 * fraction, 100.0 * fresh_fraction,
+                100.0 * fallback_fraction, p50, p90, pmax);
+    csv.row({std::to_string(failed), std::to_string(fraction),
+             std::to_string(fresh_fraction), std::to_string(fallback_fraction),
+             std::to_string(p50), std::to_string(p90), std::to_string(pmax)});
+
+    const std::string prefix = "failed_" + std::to_string(failed) + "_";
+    report.results.emplace_back(prefix + "err_p50_m", p50);
+    report.results.emplace_back(prefix + "err_p90_m", p90);
+    report.results.emplace_back(prefix + "fresh_fix_fraction", fresh_fraction);
+  }
+
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - bench_start)
+                            .count();
+  report.wall_ms = 1e3 * wall_s;
+  report.throughput = static_cast<double>(total_fixes) / std::max(1e-12, wall_s);
+  const auto json_path = obs::write_bench_report(report);
+  std::printf("\nCSV written to bench_out/fault_degradation.csv\n");
+  std::printf("JSON report written to %s\n", json_path.string().c_str());
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "core/vire_localizer.h"
 
+#include <limits>
+#include <stdexcept>
+
 #include "obs/metrics.h"
 
 namespace vire::core {
@@ -21,6 +24,24 @@ VireLocalizer::VireLocalizer(const geom::RegularGrid& real_grid, VireConfig conf
 void VireLocalizer::set_reference_rssi(
     const std::vector<sim::RssiVector>& reference_rssi, support::ThreadPool* pool) {
   virtual_grid_.emplace(real_grid_, reference_rssi, config_.virtual_grid, pool);
+}
+
+std::optional<VireResult> VireLocalizer::locate(const sim::RssiVector& tracking,
+                                                const std::vector<bool>& reader_mask,
+                                                LocateStats* stats) const {
+  if (reader_mask.size() != tracking.size()) {
+    throw std::invalid_argument("VireLocalizer: reader_mask size mismatch");
+  }
+  bool all_healthy = true;
+  for (const bool healthy : reader_mask) all_healthy = all_healthy && healthy;
+  if (all_healthy) return locate(tracking, stats);
+  // Masked readers become NaN: elimination skips NaN readers, so their maps
+  // never join the intersection and the weighting never sees them.
+  sim::RssiVector masked = tracking;
+  for (std::size_t k = 0; k < masked.size(); ++k) {
+    if (!reader_mask[k]) masked[k] = std::numeric_limits<double>::quiet_NaN();
+  }
+  return locate(masked, stats);
 }
 
 std::optional<VireResult> VireLocalizer::locate(const sim::RssiVector& tracking,

@@ -74,6 +74,17 @@ class VireLocalizer {
   [[nodiscard]] std::optional<VireResult> locate(const sim::RssiVector& tracking,
                                                  LocateStats* stats = nullptr) const;
 
+  /// Degradation-aware variant: readers with reader_mask[k] == false are
+  /// excluded — their proximity maps never enter the elimination
+  /// intersection, exactly as if the tag were undetected by them. Used by
+  /// the engine to keep localizing over the healthy reader subset when a
+  /// HealthMonitor quarantines readers (see docs/robustness.md). The mask
+  /// size must match the tracking vector; an all-true mask is identical to
+  /// the unmasked overload bit for bit.
+  [[nodiscard]] std::optional<VireResult> locate(const sim::RssiVector& tracking,
+                                                 const std::vector<bool>& reader_mask,
+                                                 LocateStats* stats = nullptr) const;
+
   [[nodiscard]] bool ready() const noexcept { return virtual_grid_.has_value(); }
   [[nodiscard]] const VirtualGrid& virtual_grid() const { return *virtual_grid_; }
   [[nodiscard]] const VireConfig& config() const noexcept { return config_; }

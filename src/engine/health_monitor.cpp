@@ -1,0 +1,169 @@
+#include "engine/health_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace vire::engine {
+
+namespace {
+
+/// NaN-aware equality: an undetected link staying undetected is "unchanged".
+bool same_reading(double a, double b) noexcept {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+double median_of(std::vector<double>& values) noexcept {
+  if (values.empty()) return 0.0;
+  const auto mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  if (values.size() % 2 == 1) return values[mid];
+  const double upper = values[mid];
+  const double lower =
+      *std::max_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(int reader_count, HealthConfig config)
+    : config_(config),
+      status_(static_cast<std::size_t>(reader_count), ReaderHealth::kHealthy),
+      state_(static_cast<std::size_t>(reader_count)),
+      healthy_mask_(static_cast<std::size_t>(reader_count), true) {
+  if (reader_count <= 0) {
+    throw std::invalid_argument("HealthMonitor: reader_count must be positive");
+  }
+  if (config.quarantine_after < 1 || config.recover_after < 1 ||
+      !(config.min_valid_fraction >= 0.0 && config.min_valid_fraction <= 1.0) ||
+      !(config.max_median_jump_db > 0.0)) {
+    throw std::invalid_argument("HealthMonitor: invalid config");
+  }
+}
+
+void HealthMonitor::attach_metrics(obs::MetricsRegistry& registry) {
+  reader_gauges_.assign(status_.size(), nullptr);
+  for (std::size_t k = 0; k < status_.size(); ++k) {
+    reader_gauges_[k] = &registry.gauge(
+        "vire_health_reader_healthy", "reader=\"" + std::to_string(k) + "\"",
+        "Per-reader health (1 = healthy, 0 = quarantined)");
+  }
+  quarantines_metric_ = &registry.counter(
+      "vire_health_quarantines_total", {}, "Readers quarantined by the health monitor");
+  recoveries_metric_ = &registry.counter(
+      "vire_health_recoveries_total", {}, "Quarantined readers recovered to healthy");
+  healthy_gauge_ = &registry.gauge("vire_health_healthy_readers", {},
+                                   "Readers currently considered healthy");
+  quarantines_metric_->inc(quarantines_);
+  recoveries_metric_->inc(recoveries_);
+  publish_metrics();
+}
+
+bool HealthMonitor::is_suspect(int reader,
+                               const std::vector<sim::RssiVector>& reference_rssi,
+                               sim::SimTime now) {
+  const auto k = static_cast<std::size_t>(reader);
+  ReaderState& state = state_[k];
+  const std::size_t ref_count = reference_rssi.size();
+
+  std::size_t valid = 0;
+  bool changed = false;
+  std::vector<double> deltas;
+  deltas.reserve(ref_count);
+  std::vector<double> current(ref_count, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t j = 0; j < ref_count; ++j) {
+    const double v = k < reference_rssi[j].size()
+                         ? reference_rssi[j][k]
+                         : std::numeric_limits<double>::quiet_NaN();
+    current[j] = v;
+    if (!std::isnan(v)) ++valid;
+    if (state.seen) {
+      const double last = state.last_rssi[j];
+      if (!same_reading(v, last)) changed = true;
+      if (!std::isnan(v) && !std::isnan(last)) deltas.push_back(std::abs(v - last));
+    }
+  }
+
+  bool suspect = false;
+  // Coverage: the reader lost (most of) its view of the reference field.
+  if (ref_count > 0 &&
+      static_cast<double>(valid) <
+          config_.min_valid_fraction * static_cast<double>(ref_count)) {
+    suspect = true;
+  }
+  // Disturbance: the whole reference field moved at once — physically
+  // implausible, so the reader's front end is the likely culprit.
+  if (!suspect && state.seen && !deltas.empty() &&
+      median_of(deltas) > config_.max_median_jump_db) {
+    suspect = true;
+  }
+  // Staleness: data frozen while the clock advanced.
+  if (!state.seen || changed) state.last_change = now;
+  if (!suspect && config_.stale_after_s > 0.0 && state.seen &&
+      now - state.last_change > config_.stale_after_s) {
+    suspect = true;
+  }
+
+  state.last_rssi = std::move(current);
+  state.seen = true;
+  return suspect;
+}
+
+void HealthMonitor::assess(const std::vector<sim::RssiVector>& reference_rssi,
+                           sim::SimTime now) {
+  mask_changed_ = false;
+  if (!config_.enabled) return;
+  for (std::size_t k = 0; k < status_.size(); ++k) {
+    ReaderState& state = state_[k];
+    if (is_suspect(static_cast<int>(k), reference_rssi, now)) {
+      state.clean_streak = 0;
+      ++state.suspect_streak;
+      if (status_[k] == ReaderHealth::kHealthy &&
+          state.suspect_streak >= config_.quarantine_after) {
+        status_[k] = ReaderHealth::kQuarantined;
+        healthy_mask_[k] = false;
+        mask_changed_ = true;
+        ++quarantines_;
+        if (quarantines_metric_ != nullptr) quarantines_metric_->inc();
+      }
+    } else {
+      state.suspect_streak = 0;
+      ++state.clean_streak;
+      if (status_[k] == ReaderHealth::kQuarantined &&
+          state.clean_streak >= config_.recover_after) {
+        status_[k] = ReaderHealth::kHealthy;
+        healthy_mask_[k] = true;
+        mask_changed_ = true;
+        ++recoveries_;
+        if (recoveries_metric_ != nullptr) recoveries_metric_->inc();
+      }
+    }
+  }
+  publish_metrics();
+}
+
+int HealthMonitor::healthy_count() const noexcept {
+  int count = 0;
+  for (const bool healthy : healthy_mask_) count += healthy ? 1 : 0;
+  return count;
+}
+
+bool HealthMonitor::all_healthy() const noexcept {
+  return healthy_count() == reader_count();
+}
+
+void HealthMonitor::publish_metrics() {
+  if (healthy_gauge_ != nullptr) {
+    healthy_gauge_->set(static_cast<double>(healthy_count()));
+  }
+  for (std::size_t k = 0; k < reader_gauges_.size(); ++k) {
+    if (reader_gauges_[k] != nullptr) {
+      reader_gauges_[k]->set(healthy_mask_[k] ? 1.0 : 0.0);
+    }
+  }
+}
+
+}  // namespace vire::engine

@@ -1,6 +1,7 @@
 #include "engine/localization_engine.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -26,15 +27,48 @@ bool same_readings(const std::vector<sim::RssiVector>& a,
   return true;
 }
 
+/// Blanks quarantined readers' entries out of an RSSI vector. NaN is exactly
+/// "not detected", which every downstream consumer (elimination, LANDMARC
+/// signal distance, the grid interpolation) already skips.
+void apply_mask(sim::RssiVector& rssi, const std::vector<bool>& mask) {
+  const std::size_t n = rssi.size() < mask.size() ? rssi.size() : mask.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!mask[k]) rssi[k] = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
 }  // namespace
+
+std::string_view to_string(FixQuality q) noexcept {
+  switch (q) {
+    case FixQuality::kOk:
+      return "ok";
+    case FixQuality::kDegraded:
+      return "degraded";
+    case FixQuality::kHold:
+      return "hold";
+    case FixQuality::kInvalid:
+      return "invalid";
+  }
+  return "invalid";
+}
 
 LocalizationEngine::LocalizationEngine(const env::Deployment& deployment,
                                        EngineConfig config)
     : deployment_(deployment),
       config_(config),
-      localizer_(deployment.reference_grid(), config.vire) {
+      localizer_(deployment.reference_grid(), config.vire),
+      fallback_(config.degradation.fallback),
+      health_(deployment.reader_count(), config.degradation.health) {
   if (config_.parallel_workers < 0) {
     throw std::invalid_argument("LocalizationEngine: parallel_workers must be >= 0");
+  }
+  if (config_.degradation.fallback_min_readers < 1) {
+    throw std::invalid_argument(
+        "LocalizationEngine: fallback_min_readers must be >= 1");
+  }
+  if (config_.degradation.hold_max_age_s < 0.0) {
+    throw std::invalid_argument("LocalizationEngine: hold_max_age_s must be >= 0");
   }
 
   const auto latency = obs::default_latency_buckets_s();
@@ -44,6 +78,16 @@ LocalizationEngine::LocalizationEngine(const env::Deployment& deployment,
                                         "Fixes produced, by validity");
   inst_.fixes_invalid = &metrics_.counter("vire_engine_fixes_total", "valid=\"false\"",
                                           "Fixes produced, by validity");
+  for (const FixQuality q : {FixQuality::kOk, FixQuality::kDegraded,
+                             FixQuality::kHold, FixQuality::kInvalid}) {
+    inst_.fixes_quality[static_cast<std::size_t>(q)] = &metrics_.counter(
+        "vire_engine_fixes_by_quality_total",
+        "quality=\"" + std::string(to_string(q)) + "\"",
+        "Fixes produced, by quality level (see docs/robustness.md)");
+  }
+  inst_.fallback_locates = &metrics_.counter(
+      "vire_engine_fallback_locates_total", {},
+      "Fixes produced by the LANDMARC k-NN fallback path");
   inst_.grid_rebuilds = &metrics_.counter(
       "vire_engine_grid_rebuilds_total", {},
       "Virtual-grid rebuilds from fresh reference readings");
@@ -55,6 +99,9 @@ LocalizationEngine::LocalizationEngine(const env::Deployment& deployment,
       "Rebuilds skipped, by reason");
   inst_.update_seconds = &metrics_.histogram("vire_engine_update_seconds", latency,
                                              {}, "End-to-end update() latency");
+  inst_.degraded_update_seconds = &metrics_.histogram(
+      "vire_engine_degraded_update_seconds", latency, {},
+      "update() latency while at least one reader is quarantined");
   inst_.stage_interpolation =
       &metrics_.histogram("vire_engine_stage_seconds", latency,
                           "stage=\"interpolation\"", "Per-stage wall time");
@@ -72,6 +119,7 @@ LocalizationEngine::LocalizationEngine(const env::Deployment& deployment,
   inst_.refinement_steps = &metrics_.histogram(
       "vire_engine_threshold_refinement_steps", obs::linear_buckets(0.0, 1.0, 15),
       {}, "Adaptive threshold-reduction steps per locate");
+  health_.attach_metrics(metrics_);
 
   if (config_.parallel_workers != 1) {
     pool_ = std::make_unique<support::ThreadPool>(
@@ -97,6 +145,7 @@ void LocalizationEngine::track(sim::TagId id, std::string name) {
 void LocalizationEngine::untrack(sim::TagId id) {
   tracked_.erase(id);
   trackers_.erase(id);
+  last_good_.erase(id);
 }
 
 const core::TrackingFilter* LocalizationEngine::tracker(sim::TagId id) const {
@@ -104,18 +153,18 @@ const core::TrackingFilter* LocalizationEngine::tracker(sim::TagId id) const {
   return it == trackers_.end() ? nullptr : &it->second;
 }
 
-void LocalizationEngine::refresh_references(const sim::Middleware& middleware,
-                                            sim::SimTime now) {
-  const bool due = !last_refresh_.has_value() ||
+obs::Counter* LocalizationEngine::quality_counter(FixQuality q) const noexcept {
+  return inst_.fixes_quality[static_cast<std::size_t>(q)];
+}
+
+void LocalizationEngine::refresh_references(
+    const std::vector<sim::RssiVector>& reference_rssi, sim::SimTime now,
+    bool force) {
+  const bool due = force || !last_refresh_.has_value() ||
                    now - *last_refresh_ >= config_.min_refresh_interval_s;
   if (!due) {
     inst_.grid_skips_rate_limited->inc();
     return;
-  }
-  std::vector<sim::RssiVector> reference_rssi;
-  reference_rssi.reserve(reference_ids_.size());
-  for (const sim::TagId id : reference_ids_) {
-    reference_rssi.push_back(middleware.rssi_vector(id));
   }
   last_refresh_ = now;
   if (grid_rebuilds_ > 0 && same_readings(reference_rssi, last_reference_rssi_)) {
@@ -126,7 +175,7 @@ void LocalizationEngine::refresh_references(const sim::Middleware& middleware,
     const obs::ScopedTimer timer(inst_.stage_interpolation);
     localizer_.set_reference_rssi(reference_rssi, pool_.get());
   }
-  last_reference_rssi_ = std::move(reference_rssi);
+  last_reference_rssi_ = reference_rssi;
   ++grid_rebuilds_;
   inst_.grid_rebuilds->inc();
 }
@@ -136,9 +185,44 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
   if (reference_ids_.empty()) {
     throw std::logic_error("LocalizationEngine: set_reference_ids() first");
   }
-  const obs::ScopedTimer update_timer(inst_.update_seconds);
+  const obs::Stopwatch update_watch;
   inst_.updates->inc();
-  refresh_references(middleware, now);
+
+  // Reference readings are fetched on every update: the health monitor needs
+  // them as probes even when the grid refresh is rate-limited.
+  std::vector<sim::RssiVector> reference_rssi;
+  reference_rssi.reserve(reference_ids_.size());
+  for (const sim::TagId id : reference_ids_) {
+    reference_rssi.push_back(middleware.rssi_vector(id));
+  }
+  health_.assess(reference_rssi, now);
+  const std::vector<bool>& mask = health_.healthy_mask();
+  const bool degraded_mode = !health_.all_healthy();
+
+  // Quarantined readers are blanked out of the reference field before the
+  // grid sees it, and a mask flip forces an immediate rebuild — the healthy
+  // path (no quarantine, no flip) runs on the untouched readings and stays
+  // bit-identical to the degradation-free engine.
+  if (degraded_mode) {
+    for (sim::RssiVector& row : reference_rssi) apply_mask(row, mask);
+  }
+  refresh_references(reference_rssi, now, health_.mask_changed());
+
+  // The fallback localizer compares tracking tags against the *real*
+  // reference tags' current (mask-blanked) readings — LANDMARC needs no
+  // virtual grid, which is exactly why it survives reader loss better.
+  const bool fallback_ready =
+      config_.degradation.enable_fallback && degraded_mode &&
+      health_.healthy_count() >= config_.degradation.fallback_min_readers;
+  if (fallback_ready) {
+    std::vector<landmarc::Reference> references;
+    references.reserve(reference_rssi.size());
+    const auto& positions = deployment_.reference_positions();
+    for (std::size_t j = 0; j < reference_rssi.size(); ++j) {
+      references.push_back({positions[j], reference_rssi[j]});
+    }
+    fallback_.set_references(std::move(references));
+  }
 
   // Snapshot the batch in tag order. RSSI vectors are fetched serially
   // (the middleware is not guarded); locate() is a pure function of the
@@ -149,12 +233,15 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
     sim::RssiVector rssi;
     int valid_readers = 0;
     std::optional<core::VireResult> result;
+    std::optional<landmarc::LandmarcResult> fallback;
     core::LocateStats stats;
   };
   std::vector<Item> items;
   items.reserve(tracked_.size());
   for (const auto& [id, name] : tracked_) {
-    Item item{id, &name, middleware.rssi_vector(id), 0, std::nullopt, {}};
+    Item item{id, &name, middleware.rssi_vector(id), 0, std::nullopt,
+              std::nullopt, {}};
+    if (degraded_mode) apply_mask(item.rssi, mask);
     for (double v : item.rssi) {
       if (!std::isnan(v)) ++item.valid_readers;
     }
@@ -163,10 +250,16 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
 
   // Workers only write their own item (results and timings); histograms are
   // fed in the serial merge below, so no shared state enters the fan-out.
+  // Both localizers are const here, and the fallback references were frozen
+  // above, so the fan-out stays free of shared mutable state.
   auto locate_item = [&](std::size_t i) {
     Item& item = items[i];
-    if (item.valid_readers >= config_.min_valid_readers) {
+    if (item.valid_readers >= config_.min_valid_readers && item.valid_readers > 0) {
       item.result = localizer_.locate(item.rssi, &item.stats);
+    }
+    if (!item.result && fallback_ready &&
+        item.valid_readers >= config_.degradation.fallback_min_readers) {
+      item.fallback = fallback_.locate(item.rssi);
     }
   };
   {
@@ -178,8 +271,9 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
     }
   }
 
-  // Merge serially in tag order: tracker updates and Fix assembly happen
-  // in the same deterministic order regardless of worker count.
+  // Merge serially in tag order: tracker updates, hold bookkeeping and Fix
+  // assembly happen in the same deterministic order regardless of worker
+  // count.
   std::vector<Fix> fixes;
   fixes.reserve(items.size());
   for (Item& item : items) {
@@ -189,27 +283,55 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
     fix.time = now;
     if (item.result) {
       fix.valid = true;
+      fix.quality = degraded_mode ? FixQuality::kDegraded : FixQuality::kOk;
       fix.position = item.result->position;
       fix.survivor_count = item.result->survivor_count();
-      inst_.fixes_valid->inc();
       inst_.stage_elimination->observe(item.stats.elimination_seconds);
       inst_.stage_weighting->observe(item.stats.weighting_seconds);
       inst_.survivors->observe(static_cast<double>(fix.survivor_count));
       inst_.refinement_steps->observe(
           static_cast<double>(item.result->elimination.refinement_steps));
+    } else if (item.fallback) {
+      fix.valid = true;
+      fix.quality = FixQuality::kDegraded;
+      fix.used_fallback = true;
+      fix.position = item.fallback->position;
+      inst_.fallback_locates->inc();
+    }
+    if (fix.valid) {
+      inst_.fixes_valid->inc();
       if (config_.enable_tracking) {
         auto [it, inserted] =
             trackers_.try_emplace(item.id, core::TrackingFilter(config_.tracking));
         (void)inserted;
-        fix.smoothed_position = it->second.update(now, item.result->position);
+        fix.smoothed_position = it->second.update(now, fix.position);
       } else {
-        fix.smoothed_position = item.result->position;
+        fix.smoothed_position = fix.position;
       }
+      last_good_[item.id] = {now, fix.position, fix.smoothed_position};
     } else {
+      // Neither path produced a position: serve the last good fix while it
+      // is fresh enough, otherwise report invalid (position stays at the
+      // default origin — never NaN; consumers must check valid/quality).
+      const auto held = last_good_.find(item.id);
+      if (held != last_good_.end() && config_.degradation.hold_max_age_s > 0.0 &&
+          now - held->second.time <= config_.degradation.hold_max_age_s) {
+        fix.quality = FixQuality::kHold;
+        fix.position = held->second.position;
+        fix.smoothed_position = held->second.smoothed;
+        fix.age_s = now - held->second.time;
+      } else {
+        fix.quality = FixQuality::kInvalid;
+      }
       inst_.fixes_invalid->inc();
     }
+    quality_counter(fix.quality)->inc();
     fixes.push_back(std::move(fix));
   }
+
+  const double elapsed = update_watch.elapsed_seconds();
+  inst_.update_seconds->observe(elapsed);
+  if (degraded_mode) inst_.degraded_update_seconds->observe(elapsed);
   return fixes;
 }
 

@@ -9,26 +9,60 @@
 // localizes every registered tracking tag, and maintains a smoothed track
 // per tag. Consumers poll `update()` and get a list of fixes.
 //
+// Graceful degradation (see docs/robustness.md): a per-reader HealthMonitor
+// scores every reader against the reference field and quarantines unhealthy
+// ones; localization then runs over the healthy subset only. When the
+// healthy subset is too small for VIRE's quorum the engine falls back to
+// LANDMARC-style k-NN over the real reference tags, and when even that
+// fails it holds the last good fix for a bounded time. Every fix carries a
+// FixQuality level so consumers can tell a confident estimate from a
+// degraded or held one.
+//
 // Concurrency: with `parallel_workers != 1` the engine owns a ThreadPool
 // and fans the per-tag locate() calls (and the per-reader grid
 // interpolation) out over it. Tags are independent once the virtual grid
 // is built, and results are merged back in tag order, so the returned Fix
 // vector is bit-identical for every worker count (see tests/determinism).
+// Health assessment, masking, fallback-reference assembly and the hold
+// bookkeeping all run in the serial sections, so the degradation machinery
+// preserves that contract.
 
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/tracking_filter.h"
 #include "core/vire_localizer.h"
+#include "engine/health_monitor.h"
 #include "env/deployment.h"
+#include "landmarc/landmarc.h"
 #include "obs/metrics.h"
 #include "sim/middleware.h"
 #include "support/thread_pool.h"
 
 namespace vire::engine {
+
+/// How the engine degrades when readers fail (see docs/robustness.md).
+struct DegradationConfig {
+  /// Per-reader health scoring; disable for the strict paper pipeline.
+  HealthConfig health;
+  /// When quarantines shrink the healthy set below `min_valid_readers`,
+  /// localize with LANDMARC k-NN over the real reference tags instead of
+  /// dropping the tag. Engages only while at least one reader is
+  /// quarantined — a tag that is simply out of range with a healthy reader
+  /// fleet still reports invalid, as before.
+  bool enable_fallback = true;
+  landmarc::LandmarcConfig fallback;
+  /// Minimum healthy readers with valid readings for the fallback path.
+  int fallback_min_readers = 2;
+  /// When neither VIRE nor the fallback produces a position, re-emit the
+  /// tag's last good fix as quality kHold for at most this long (seconds);
+  /// 0 disables holding and such tags go straight to kInvalid.
+  double hold_max_age_s = 20.0;
+};
 
 struct EngineConfig {
   core::VireConfig vire = core::recommended_vire_config();
@@ -38,27 +72,49 @@ struct EngineConfig {
   /// often (seconds). 0 rebuilds on every update. Independent of the rate
   /// limit, a rebuild is skipped entirely when the reference readings are
   /// unchanged since the last one (the paper's "updated if the RSSI reading
-  /// of a real reference tag is changed").
+  /// of a real reference tag is changed"), and forced whenever the health
+  /// mask changes so quarantined readers leave the grid immediately.
   double min_refresh_interval_s = 10.0;
-  /// A tag whose RSSI vector has fewer than this many valid readers is
-  /// reported as invalid rather than localized.
+  /// A tag whose RSSI vector has fewer than this many valid healthy readers
+  /// is not localized with VIRE (the fallback/hold ladder takes over).
   int min_valid_readers = 3;
   /// Worker threads for the per-tag locate() fan-out and the per-reader
   /// grid interpolation. 1 runs fully serial (no pool is created);
   /// 0 selects hardware concurrency. Every setting produces bit-identical
   /// fixes — parallelism changes throughput, never results.
   int parallel_workers = 1;
+  DegradationConfig degradation;
 };
+
+/// Confidence ladder of a Fix, from best to worst. kOk and kDegraded carry a
+/// fresh position (valid == true); kHold re-serves the last good position;
+/// kInvalid has no usable position (the coordinates are the default origin,
+/// never NaN — check quality/valid, not the numbers).
+enum class FixQuality {
+  kOk,        ///< all readers healthy, full VIRE estimate
+  kDegraded,  ///< produced while readers were quarantined (VIRE subset or fallback)
+  kHold,      ///< last good fix re-served within the staleness cap
+  kInvalid,   ///< nothing usable (and no recent fix to hold)
+};
+
+[[nodiscard]] std::string_view to_string(FixQuality q) noexcept;
 
 /// One localization result for one tracked tag.
 struct Fix {
   sim::TagId tag = 0;
   std::string name;
   sim::SimTime time = 0.0;
+  /// True iff this update produced a fresh position (quality kOk/kDegraded).
   bool valid = false;
-  geom::Vec2 position;          ///< raw VIRE estimate
+  FixQuality quality = FixQuality::kInvalid;
+  geom::Vec2 position;          ///< raw estimate (last good one for kHold)
   geom::Vec2 smoothed_position; ///< track-filtered (== position if disabled)
   std::size_t survivor_count = 0;
+  /// True when the LANDMARC k-NN fallback produced the position.
+  bool used_fallback = false;
+  /// Age of the underlying estimate: 0 for fresh fixes, time since the last
+  /// good fix for kHold.
+  double age_s = 0.0;
 };
 
 class LocalizationEngine {
@@ -76,8 +132,9 @@ class LocalizationEngine {
   [[nodiscard]] std::size_t tracked_count() const noexcept { return tracked_.size(); }
 
   /// Pulls reference + tracking readings from the middleware at time `now`,
-  /// refreshing the virtual grid if due, and returns one Fix per tracked
-  /// tag. Throws std::logic_error if reference ids were never set.
+  /// assessing reader health, refreshing the virtual grid if due, and
+  /// returns one Fix per tracked tag. Throws std::logic_error if reference
+  /// ids were never set.
   std::vector<Fix> update(const sim::Middleware& middleware, sim::SimTime now);
 
   /// The smoothed track of a tag (nullptr if not tracked / no fix yet).
@@ -91,6 +148,9 @@ class LocalizationEngine {
     return pool_ ? pool_->size() : 1;
   }
 
+  /// The per-reader health monitor driving the degradation ladder.
+  [[nodiscard]] const HealthMonitor& health() const noexcept { return health_; }
+
   /// The engine's metrics registry (counters, stage timers, distributions —
   /// see docs/observability.md for the catalog). Always populated; callers
   /// export it with obs::to_prometheus()/obs::to_json(). Other components
@@ -103,17 +163,22 @@ class LocalizationEngine {
   }
 
  private:
-  void refresh_references(const sim::Middleware& middleware, sim::SimTime now);
+  void refresh_references(const std::vector<sim::RssiVector>& reference_rssi,
+                          sim::SimTime now, bool force);
+  [[nodiscard]] obs::Counter* quality_counter(FixQuality q) const noexcept;
 
   /// Pointers into metrics_ for the hot path (registered at construction).
   struct Instruments {
     obs::Counter* updates = nullptr;
     obs::Counter* fixes_valid = nullptr;
     obs::Counter* fixes_invalid = nullptr;
+    obs::Counter* fixes_quality[4] = {nullptr, nullptr, nullptr, nullptr};
+    obs::Counter* fallback_locates = nullptr;
     obs::Counter* grid_rebuilds = nullptr;
     obs::Counter* grid_skips_rate_limited = nullptr;
     obs::Counter* grid_skips_unchanged = nullptr;
     obs::Histogram* update_seconds = nullptr;
+    obs::Histogram* degraded_update_seconds = nullptr;
     obs::Histogram* stage_interpolation = nullptr;
     obs::Histogram* stage_elimination = nullptr;
     obs::Histogram* stage_weighting = nullptr;
@@ -122,12 +187,22 @@ class LocalizationEngine {
     obs::Histogram* refinement_steps = nullptr;
   };
 
+  /// Last fresh (kOk/kDegraded) estimate per tag, for the bounded hold.
+  struct LastGood {
+    sim::SimTime time = 0.0;
+    geom::Vec2 position;
+    geom::Vec2 smoothed;
+  };
+
   env::Deployment deployment_;
   EngineConfig config_;
   core::VireLocalizer localizer_;
+  landmarc::LandmarcLocalizer fallback_;
+  HealthMonitor health_;
   std::vector<sim::TagId> reference_ids_;
   std::map<sim::TagId, std::string> tracked_;
   std::map<sim::TagId, core::TrackingFilter> trackers_;
+  std::map<sim::TagId, LastGood> last_good_;
   std::optional<sim::SimTime> last_refresh_;
   /// Reference readings behind the current virtual grid; a refresh whose
   /// readings match is skipped without rebuilding.

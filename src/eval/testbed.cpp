@@ -42,6 +42,7 @@ TestbedObservation observe_testbed(const env::Environment& environment,
   }
 
   sim::RfidSimulator simulator(environment, deployment, sim_config);
+  simulator.set_interceptor(options.interceptor);
   const std::vector<sim::TagId> reference_ids = simulator.add_reference_tags();
   std::vector<sim::TagId> tracking_ids;
   tracking_ids.reserve(tracking_positions.size());

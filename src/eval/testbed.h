@@ -50,6 +50,10 @@ struct ObservationOptions {
   std::vector<sim::Walker> walkers;
   sim::MiddlewareConfig middleware;
   env::DeploymentConfig deployment;
+  /// Optional reading interceptor (e.g. a fault::FaultInjector) placed
+  /// between the channel and the middleware for robustness studies. Not
+  /// owned; must outlive the observe_testbed() call. nullptr = clean survey.
+  sim::ReadingInterceptor* interceptor = nullptr;
 };
 
 /// Everything a localizer may legally see, plus ground truth for scoring.

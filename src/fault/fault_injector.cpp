@@ -1,0 +1,160 @@
+#include "fault/fault_injector.h"
+
+#include <cstring>
+
+#include "support/rng.h"
+
+namespace vire::fault {
+
+namespace {
+
+/// Distinct salt spaces per fault family so entry i of one family never
+/// shares a draw with entry i of another.
+constexpr std::uint64_t kSaltDropout = 1ULL << 32;
+constexpr std::uint64_t kSaltSpike = 2ULL << 32;
+constexpr std::uint64_t kSaltDelay = 3ULL << 32;
+constexpr std::uint64_t kSaltDuplicate = 4ULL << 32;
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {
+  plan_.validate();
+}
+
+void FaultInjector::attach_metrics(obs::MetricsRegistry& registry) {
+  const auto counter = [&](const char* type) -> obs::Counter* {
+    return &registry.counter("vire_fault_injected_total",
+                             std::string("type=\"") + type + "\"",
+                             "Faults injected into the reading stream, by type");
+  };
+  inst_.outage_drops = counter("reader_outage");
+  inst_.link_drops = counter("link_drop");
+  inst_.biased = counter("rssi_bias");
+  inst_.spiked = counter("rssi_spike");
+  inst_.skewed = counter("clock_skew");
+  inst_.delayed = counter("delay");
+  inst_.duplicated = counter("duplicate");
+  inst_.pending = &registry.gauge("vire_fault_pending_readings", {},
+                                  "Readings buffered for delayed delivery");
+  // Replay counts accumulated before attachment so the export is complete.
+  inst_.outage_drops->inc(stats_.outage_drops);
+  inst_.link_drops->inc(stats_.link_drops);
+  inst_.biased->inc(stats_.biased);
+  inst_.spiked->inc(stats_.spiked);
+  inst_.skewed->inc(stats_.skewed);
+  inst_.delayed->inc(stats_.delayed);
+  inst_.duplicated->inc(stats_.duplicated);
+  update_pending_gauge();
+}
+
+double FaultInjector::draw(const sim::RssiReading& reading, std::uint64_t salt,
+                           std::uint64_t* extra_bits) const noexcept {
+  std::uint64_t time_bits = 0;
+  std::memcpy(&time_bits, &reading.time, sizeof(time_bits));
+  std::uint64_t state = seed_;
+  state ^= (static_cast<std::uint64_t>(reading.tag) + 1) * 0x9e3779b97f4a7c15ULL;
+  state ^= (static_cast<std::uint64_t>(reading.reader) + 1) * 0xbf58476d1ce4e5b9ULL;
+  state ^= time_bits * 0x94d049bb133111ebULL;
+  state ^= salt * 0xd6e8feb86659fd93ULL;
+  const std::uint64_t mixed = support::splitmix64(state);
+  if (extra_bits != nullptr) *extra_bits = support::splitmix64(state);
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+void FaultInjector::buffer(sim::SimTime delivery, const sim::RssiReading& reading) {
+  pending_.push({delivery, sequence_++, reading});
+  update_pending_gauge();
+}
+
+void FaultInjector::update_pending_gauge() {
+  if (inst_.pending != nullptr) {
+    inst_.pending->set(static_cast<double>(pending_.size()));
+  }
+}
+
+void FaultInjector::process(const sim::RssiReading& reading,
+                            std::vector<sim::RssiReading>& out) {
+  ++stats_.processed;
+  const sim::SimTime t = reading.time;  // windows key off the emission time
+
+  for (const auto& outage : plan_.outages) {
+    if (outage.reader == reading.reader && outage.window.contains(t)) {
+      ++stats_.outage_drops;
+      if (inst_.outage_drops != nullptr) inst_.outage_drops->inc();
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < plan_.dropouts.size(); ++i) {
+    const auto& drop = plan_.dropouts[i];
+    if (drop.reader != reading.reader || !drop.window.contains(t)) continue;
+    if (draw(reading, kSaltDropout + i) < drop.drop_rate) {
+      ++stats_.link_drops;
+      if (inst_.link_drops != nullptr) inst_.link_drops->inc();
+      return;
+    }
+  }
+
+  sim::RssiReading delivered = reading;
+  for (const auto& bias : plan_.biases) {
+    if (bias.reader != reading.reader || !bias.window.contains(t)) continue;
+    delivered.rssi_dbm += bias.bias_db;
+    ++stats_.biased;
+    if (inst_.biased != nullptr) inst_.biased->inc();
+  }
+  for (std::size_t i = 0; i < plan_.spikes.size(); ++i) {
+    const auto& spike = plan_.spikes[i];
+    if (spike.reader != reading.reader || !spike.window.contains(t)) continue;
+    std::uint64_t sign_bits = 0;
+    if (draw(reading, kSaltSpike + i, &sign_bits) < spike.probability) {
+      delivered.rssi_dbm +=
+          ((sign_bits & 1) != 0 ? spike.magnitude_db : -spike.magnitude_db);
+      ++stats_.spiked;
+      if (inst_.spiked != nullptr) inst_.spiked->inc();
+    }
+  }
+  for (const auto& skew : plan_.skews) {
+    if (skew.reader != reading.reader || !skew.window.contains(t)) continue;
+    delivered.time += skew.offset_s;
+    ++stats_.skewed;
+    if (inst_.skewed != nullptr) inst_.skewed->inc();
+  }
+
+  bool held_back = false;
+  for (std::size_t i = 0; i < plan_.delays.size(); ++i) {
+    const auto& delay = plan_.delays[i];
+    if (delay.reader != reading.reader || !delay.window.contains(t)) continue;
+    std::uint64_t span_bits = 0;
+    if (draw(reading, kSaltDelay + i, &span_bits) < delay.probability) {
+      const double u = static_cast<double>(span_bits >> 11) * 0x1.0p-53;
+      const double wait =
+          delay.min_delay_s + (delay.max_delay_s - delay.min_delay_s) * u;
+      buffer(t + wait, delivered);
+      ++stats_.delayed;
+      if (inst_.delayed != nullptr) inst_.delayed->inc();
+      held_back = true;
+      break;  // one hold-back is enough; further delay entries are moot
+    }
+  }
+  for (std::size_t i = 0; i < plan_.duplications.size(); ++i) {
+    const auto& dup = plan_.duplications[i];
+    if (dup.reader != reading.reader || !dup.window.contains(t)) continue;
+    if (draw(reading, kSaltDuplicate + i) < dup.probability) {
+      buffer(t + dup.echo_delay_s, delivered);
+      ++stats_.duplicated;
+      if (inst_.duplicated != nullptr) inst_.duplicated->inc();
+    }
+  }
+
+  if (!held_back) out.push_back(delivered);
+}
+
+void FaultInjector::drain(sim::SimTime now, std::vector<sim::RssiReading>& out) {
+  while (!pending_.empty() && pending_.top().delivery <= now) {
+    out.push_back(pending_.top().reading);
+    pending_.pop();
+  }
+  update_pending_gauge();
+}
+
+}  // namespace vire::fault

@@ -1,0 +1,104 @@
+#pragma once
+// FaultInjector: executes a FaultPlan on the reading stream between the
+// readers and Middleware::ingest (plugged into RfidSimulator via
+// set_interceptor()).
+//
+// Determinism: every random decision (drop? spike? delay by how much?) is a
+// pure hash of (seed, tag, reader, emission-time bits, fault entry) — no
+// internal RNG state advances. Two runs with the same seed and the same
+// reading stream therefore make identical decisions regardless of how the
+// readings are interleaved with drain() calls, and adding a fault entry
+// never perturbs the draws of another. This is the same
+// order-independence principle the simulator's split RNG streams follow
+// (support/rng.h), taken to its stateless limit.
+//
+// Delayed and duplicated readings are buffered in a min-heap keyed by
+// (delivery time, insertion sequence); the sequence tie-break keeps the
+// drain order reproducible even when two readings land on the same instant.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "sim/types.h"
+
+namespace vire::fault {
+
+/// Injection counts by fault type (always maintained; mirrored into a
+/// MetricsRegistry after attach_metrics()).
+struct InjectionStats {
+  std::uint64_t processed = 0;        ///< readings seen by process()
+  std::uint64_t outage_drops = 0;
+  std::uint64_t link_drops = 0;
+  std::uint64_t biased = 0;
+  std::uint64_t spiked = 0;
+  std::uint64_t skewed = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return outage_drops + link_drops;
+  }
+};
+
+class FaultInjector final : public sim::ReadingInterceptor {
+ public:
+  /// Validates the plan (throws std::invalid_argument on malformed entries).
+  /// The whole fault realisation is reproducible from `seed` alone.
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 1);
+
+  void process(const sim::RssiReading& reading,
+               std::vector<sim::RssiReading>& out) override;
+  void drain(sim::SimTime now, std::vector<sim::RssiReading>& out) override;
+
+  /// Registers vire_fault_injected_total{type=...} counters and the
+  /// vire_fault_pending_readings gauge. The registry must outlive the
+  /// injector. Pure side channel: injection decisions are unchanged.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
+  [[nodiscard]] const InjectionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  /// Readings currently buffered for later delivery.
+  [[nodiscard]] std::size_t pending_count() const noexcept { return pending_.size(); }
+
+ private:
+  /// Uniform [0,1) draw for one (reading, fault entry) decision — a pure
+  /// hash, see the file comment.
+  [[nodiscard]] double draw(const sim::RssiReading& reading, std::uint64_t salt,
+                            std::uint64_t* extra_bits = nullptr) const noexcept;
+  void buffer(sim::SimTime delivery, const sim::RssiReading& reading);
+  void update_pending_gauge();
+
+  struct Pending {
+    sim::SimTime delivery;
+    std::uint64_t sequence;
+    sim::RssiReading reading;
+    /// Min-heap ordering: earliest delivery first, insertion order on ties.
+    bool operator>(const Pending& other) const noexcept {
+      if (delivery != other.delivery) return delivery > other.delivery;
+      return sequence > other.sequence;
+    }
+  };
+
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  std::uint64_t sequence_ = 0;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+  InjectionStats stats_;
+
+  struct Instruments {
+    obs::Counter* outage_drops = nullptr;
+    obs::Counter* link_drops = nullptr;
+    obs::Counter* biased = nullptr;
+    obs::Counter* spiked = nullptr;
+    obs::Counter* skewed = nullptr;
+    obs::Counter* delayed = nullptr;
+    obs::Counter* duplicated = nullptr;
+    obs::Gauge* pending = nullptr;
+  };
+  Instruments inst_;
+};
+
+}  // namespace vire::fault

@@ -1,0 +1,118 @@
+#include "fault/fault_plan.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace vire::fault {
+
+namespace {
+
+void check_window(const TimeWindow& w, const char* what) {
+  if (std::isnan(w.start) || std::isnan(w.end) || w.end < w.start) {
+    throw std::invalid_argument(std::string("FaultPlan: bad window on ") + what);
+  }
+}
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultPlan: probability outside [0,1] on ") +
+                                what);
+  }
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::kill_reader(sim::ReaderId reader, sim::SimTime start,
+                                  sim::SimTime end) {
+  outages.push_back({reader, {start, end}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_links(sim::ReaderId reader, double drop_rate,
+                                 TimeWindow window) {
+  dropouts.push_back({reader, drop_rate, window});
+  return *this;
+}
+
+FaultPlan& FaultPlan::bias_rssi(sim::ReaderId reader, double bias_db,
+                                TimeWindow window) {
+  biases.push_back({reader, bias_db, window});
+  return *this;
+}
+
+FaultPlan& FaultPlan::spike_rssi(sim::ReaderId reader, double probability,
+                                 double magnitude_db, TimeWindow window) {
+  spikes.push_back({reader, probability, magnitude_db, window});
+  return *this;
+}
+
+FaultPlan& FaultPlan::skew_clock(sim::ReaderId reader, double offset_s,
+                                 TimeWindow window) {
+  skews.push_back({reader, offset_s, window});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_readings(sim::ReaderId reader, double probability,
+                                     double min_delay_s, double max_delay_s,
+                                     TimeWindow window) {
+  delays.push_back({reader, probability, min_delay_s, max_delay_s, window});
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate_readings(sim::ReaderId reader, double probability,
+                                         double echo_delay_s, TimeWindow window) {
+  duplications.push_back({reader, probability, echo_delay_s, window});
+  return *this;
+}
+
+bool FaultPlan::empty() const noexcept { return entry_count() == 0; }
+
+std::size_t FaultPlan::entry_count() const noexcept {
+  return outages.size() + dropouts.size() + biases.size() + spikes.size() +
+         skews.size() + delays.size() + duplications.size();
+}
+
+void FaultPlan::validate() const {
+  for (const auto& e : outages) check_window(e.window, "outage");
+  for (const auto& e : dropouts) {
+    check_window(e.window, "dropout");
+    check_probability(e.drop_rate, "dropout");
+  }
+  for (const auto& e : biases) {
+    check_window(e.window, "bias");
+    if (!std::isfinite(e.bias_db)) {
+      throw std::invalid_argument("FaultPlan: non-finite bias_db");
+    }
+  }
+  for (const auto& e : spikes) {
+    check_window(e.window, "spikes");
+    check_probability(e.probability, "spikes");
+    if (!std::isfinite(e.magnitude_db)) {
+      throw std::invalid_argument("FaultPlan: non-finite spike magnitude");
+    }
+  }
+  for (const auto& e : skews) {
+    check_window(e.window, "skew");
+    if (!std::isfinite(e.offset_s)) {
+      throw std::invalid_argument("FaultPlan: non-finite clock offset");
+    }
+  }
+  for (const auto& e : delays) {
+    check_window(e.window, "delay");
+    check_probability(e.probability, "delay");
+    if (!(e.min_delay_s >= 0.0) || !(e.max_delay_s >= e.min_delay_s) ||
+        !std::isfinite(e.max_delay_s)) {
+      throw std::invalid_argument("FaultPlan: bad delay range");
+    }
+  }
+  for (const auto& e : duplications) {
+    check_window(e.window, "duplication");
+    check_probability(e.probability, "duplication");
+    if (!(e.echo_delay_s >= 0.0) || !std::isfinite(e.echo_delay_s)) {
+      throw std::invalid_argument("FaultPlan: bad echo delay");
+    }
+  }
+}
+
+}  // namespace vire::fault

@@ -1,0 +1,127 @@
+#pragma once
+// FaultPlan: a composable, schedule-based description of everything that can
+// go wrong between the readers and the middleware. VIRE's own
+// walker-disturbance experiments (paper Fig. 8) show corrupted RSSI is the
+// dominant field failure; deployed systems additionally lose whole readers,
+// see per-link packet loss, receive biased or spiking values from
+// misbehaving hardware, and get readings late, duplicated or with skewed
+// timestamps. A FaultPlan expresses each of these as a typed entry with a
+// time window; the FaultInjector executes the plan deterministically from a
+// single seed (see fault_injector.h).
+//
+// Every entry targets one reader. Windows are half-open [start, end): a
+// reader outage with end = 30 restarts exactly at t = 30.
+
+#include <limits>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace vire::fault {
+
+/// Half-open activity window [start, end) in simulation seconds.
+struct TimeWindow {
+  sim::SimTime start = 0.0;
+  sim::SimTime end = std::numeric_limits<double>::infinity();
+  [[nodiscard]] bool contains(sim::SimTime t) const noexcept {
+    return t >= start && t < end;
+  }
+};
+
+/// Reader completely silent during the window (power loss, crash); readings
+/// resume the instant the window closes (restart).
+struct ReaderOutage {
+  sim::ReaderId reader = 0;
+  TimeWindow window;
+};
+
+/// Intermittent per-link loss: each reading from the reader is dropped
+/// independently with probability `drop_rate`.
+struct LinkDropout {
+  sim::ReaderId reader = 0;
+  double drop_rate = 0.0;  ///< in [0, 1]
+  TimeWindow window;
+};
+
+/// Constant RSSI offset on every reading from the reader (miscalibrated or
+/// drifting front end).
+struct RssiBias {
+  sim::ReaderId reader = 0;
+  double bias_db = 0.0;
+  TimeWindow window;
+};
+
+/// Burst noise: each reading is independently hit with probability
+/// `probability`, adding +/- `magnitude_db` (sign drawn per reading).
+struct RssiSpikes {
+  sim::ReaderId reader = 0;
+  double probability = 0.0;  ///< in [0, 1]
+  double magnitude_db = 10.0;
+  TimeWindow window;
+};
+
+/// Reader clock skew: reported timestamps are shifted by `offset_s` while
+/// delivery time is unaffected (the reading arrives on time but lies about
+/// when it was taken).
+struct ClockSkew {
+  sim::ReaderId reader = 0;
+  double offset_s = 0.0;
+  TimeWindow window;
+};
+
+/// Delivery delay: each reading is independently held back with probability
+/// `probability` for a uniform delay in [min_delay_s, max_delay_s], which
+/// also reorders it relative to later on-time readings.
+struct DeliveryDelay {
+  sim::ReaderId reader = 0;
+  double probability = 0.0;  ///< in [0, 1]
+  double min_delay_s = 0.0;
+  double max_delay_s = 1.0;
+  TimeWindow window;
+};
+
+/// Duplication: each reading is independently re-delivered a second time
+/// `echo_delay_s` later with probability `probability` (retry storms,
+/// at-least-once transports).
+struct Duplication {
+  sim::ReaderId reader = 0;
+  double probability = 0.0;  ///< in [0, 1]
+  double echo_delay_s = 0.5;
+  TimeWindow window;
+};
+
+/// The full schedule. Build with the fluent helpers (each appends one entry
+/// and returns *this, so plans compose in one expression) or fill the
+/// vectors directly.
+struct FaultPlan {
+  std::vector<ReaderOutage> outages;
+  std::vector<LinkDropout> dropouts;
+  std::vector<RssiBias> biases;
+  std::vector<RssiSpikes> spikes;
+  std::vector<ClockSkew> skews;
+  std::vector<DeliveryDelay> delays;
+  std::vector<Duplication> duplications;
+
+  FaultPlan& kill_reader(sim::ReaderId reader, sim::SimTime start,
+                         sim::SimTime end = std::numeric_limits<double>::infinity());
+  FaultPlan& drop_links(sim::ReaderId reader, double drop_rate, TimeWindow window = {});
+  FaultPlan& bias_rssi(sim::ReaderId reader, double bias_db, TimeWindow window = {});
+  FaultPlan& spike_rssi(sim::ReaderId reader, double probability, double magnitude_db,
+                        TimeWindow window = {});
+  FaultPlan& skew_clock(sim::ReaderId reader, double offset_s, TimeWindow window = {});
+  FaultPlan& delay_readings(sim::ReaderId reader, double probability,
+                            double min_delay_s, double max_delay_s,
+                            TimeWindow window = {});
+  FaultPlan& duplicate_readings(sim::ReaderId reader, double probability,
+                                double echo_delay_s, TimeWindow window = {});
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] std::size_t entry_count() const noexcept;
+
+  /// Throws std::invalid_argument on malformed entries (probabilities
+  /// outside [0, 1], inverted windows or delay ranges, non-finite
+  /// magnitudes). Called by the FaultInjector constructor.
+  void validate() const;
+};
+
+}  // namespace vire::fault

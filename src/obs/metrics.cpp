@@ -159,4 +159,33 @@ std::size_t MetricsRegistry::size() const {
   return entries_.size();
 }
 
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const std::string& labels) const {
+  std::lock_guard lock(mutex_);
+  auto* self = const_cast<MetricsRegistry*>(this);
+  const Entry* entry = self->find_locked(name, labels);
+  return entry != nullptr && entry->kind == MetricKind::kCounter
+             ? entry->counter.get()
+             : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const std::string& labels) const {
+  std::lock_guard lock(mutex_);
+  auto* self = const_cast<MetricsRegistry*>(this);
+  const Entry* entry = self->find_locked(name, labels);
+  return entry != nullptr && entry->kind == MetricKind::kGauge ? entry->gauge.get()
+                                                               : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const std::string& labels) const {
+  std::lock_guard lock(mutex_);
+  auto* self = const_cast<MetricsRegistry*>(this);
+  const Entry* entry = self->find_locked(name, labels);
+  return entry != nullptr && entry->kind == MetricKind::kHistogram
+             ? entry->histogram.get()
+             : nullptr;
+}
+
 }  // namespace vire::obs

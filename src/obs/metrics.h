@@ -135,6 +135,16 @@ class MetricsRegistry {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Read-only lookups by exact (name, labels); nullptr when the pair was
+  /// never registered or is registered as a different kind. Handy for tests
+  /// and dashboards that assert on specific series without registering them.
+  [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                            const std::string& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                        const std::string& labels = {}) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name,
+                                                const std::string& labels = {}) const;
+
  private:
   struct Entry {
     MetricKind kind;

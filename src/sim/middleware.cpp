@@ -18,28 +18,49 @@ void Middleware::attach_metrics(obs::MetricsRegistry& registry) {
   samples_evicted_ =
       &registry.counter("vire_middleware_samples_evicted_total", {},
                         "Buffered samples dropped after ageing out of the window");
+  rejected_non_finite_ =
+      &registry.counter("vire_middleware_readings_rejected_total",
+                        "reason=\"non_finite\"",
+                        "Readings rejected at ingest, by reason");
+  rejected_reader_range_ =
+      &registry.counter("vire_middleware_readings_rejected_total",
+                        "reason=\"reader_out_of_range\"",
+                        "Readings rejected at ingest, by reason");
   nan_links_served_ =
       &registry.counter("vire_middleware_nan_links_served_total", {},
                         "link_rssi() queries answered with NaN (undetected link)");
 }
 
 void Middleware::ingest(const RssiReading& reading) {
+  if (!std::isfinite(reading.time) || !std::isfinite(reading.rssi_dbm)) {
+    ++rejected_;
+    if (rejected_non_finite_ != nullptr) rejected_non_finite_->inc();
+    return;
+  }
+  if (static_cast<int>(reading.reader) >= reader_count_) {
+    ++rejected_;
+    if (rejected_reader_range_ != nullptr) rejected_reader_range_->inc();
+    return;
+  }
   auto& samples = links_[{reading.tag, reading.reader}];
   samples.push_back({reading.time, reading.rssi_dbm});
   if (readings_ingested_ != nullptr) readings_ingested_->inc();
-  // Opportunistic per-link eviction keeps deques short without a global scan.
+  // Opportunistic per-link eviction keeps deques short without a global
+  // scan. Same strict half-open window rule as evict_stale().
   const SimTime cutoff = reading.time - config_.window_s;
-  while (!samples.empty() && samples.front().time < cutoff) {
+  while (!samples.empty() && samples.front().time <= cutoff) {
     samples.pop_front();
     if (samples_evicted_ != nullptr) samples_evicted_->inc();
   }
 }
 
 void Middleware::evict_stale(SimTime now) {
+  // Window is (now - window_s, now]: strict `<=` so a sample exactly
+  // window_s old is evicted, never served.
   const SimTime cutoff = now - config_.window_s;
   for (auto it = links_.begin(); it != links_.end();) {
     auto& samples = it->second;
-    while (!samples.empty() && samples.front().time < cutoff) {
+    while (!samples.empty() && samples.front().time <= cutoff) {
       samples.pop_front();
       if (samples_evicted_ != nullptr) samples_evicted_->inc();
     }

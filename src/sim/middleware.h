@@ -9,6 +9,7 @@
 // "sudden change of the RSSI value ... when a person walked through".
 
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <map>
@@ -35,9 +36,18 @@ class Middleware {
  public:
   explicit Middleware(int reader_count, MiddlewareConfig config = {});
 
+  /// Buffers one reading. Malformed input is rejected rather than buffered —
+  /// a non-finite timestamp or RSSI (clock corruption, parse garbage) or a
+  /// reader id outside [0, reader_count) would otherwise poison the window
+  /// or index out of range downstream. Rejections are counted per reason via
+  /// attach_metrics(); accepting is unchanged for well-formed readings.
   void ingest(const RssiReading& reading);
 
-  /// Drops readings older than (now - window) across all links.
+  /// Evicts samples outside the sliding window across all links. The window
+  /// is the half-open interval (now - window_s, now]: a sample with
+  /// time <= now - window_s is evicted (strict comparison), a sample exactly
+  /// window_s old is already gone. ingest() applies the same rule
+  /// opportunistically per link, keyed on the incoming reading's time.
   void evict_stale(SimTime now);
 
   /// Smoothed RSSI of (tag, reader) over the window; NaN if insufficient.
@@ -53,13 +63,18 @@ class Middleware {
   [[nodiscard]] int reader_count() const noexcept { return reader_count_; }
   [[nodiscard]] const MiddlewareConfig& config() const noexcept { return config_; }
 
-  /// Registers ingest/eviction/NaN-serve counters with `registry`:
+  /// Registers ingest/eviction/rejection/NaN-serve counters with `registry`:
   ///   vire_middleware_readings_ingested_total
   ///   vire_middleware_samples_evicted_total
+  ///   vire_middleware_readings_rejected_total{reason="non_finite"}
+  ///   vire_middleware_readings_rejected_total{reason="reader_out_of_range"}
   ///   vire_middleware_nan_links_served_total
   /// The registry must outlive this middleware. Pure side channel — serving
   /// RSSI is unchanged.
   void attach_metrics(obs::MetricsRegistry& registry);
+
+  /// Readings rejected by ingest() since construction (all reasons).
+  [[nodiscard]] std::uint64_t rejected_count() const noexcept { return rejected_; }
 
   void clear();
 
@@ -80,7 +95,10 @@ class Middleware {
   /// logically-const side channel.
   obs::Counter* readings_ingested_ = nullptr;
   obs::Counter* samples_evicted_ = nullptr;
+  obs::Counter* rejected_non_finite_ = nullptr;
+  obs::Counter* rejected_reader_range_ = nullptr;
   obs::Counter* nan_links_served_ = nullptr;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace vire::sim

@@ -99,7 +99,25 @@ double RfidSimulator::link_extra_offset_db(TagId id, int reader, geom::Vec2 tag_
   return offset;
 }
 
+void RfidSimulator::ingest_through_interceptor(const RssiReading& reading) {
+  if (interceptor_ == nullptr) {
+    middleware_.ingest(reading);
+    return;
+  }
+  intercept_scratch_.clear();
+  interceptor_->process(reading, intercept_scratch_);
+  for (const auto& delivered : intercept_scratch_) middleware_.ingest(delivered);
+}
+
+void RfidSimulator::drain_interceptor(SimTime now) {
+  if (interceptor_ == nullptr) return;
+  intercept_scratch_.clear();
+  interceptor_->drain(now, intercept_scratch_);
+  for (const auto& delivered : intercept_scratch_) middleware_.ingest(delivered);
+}
+
 void RfidSimulator::emit_beacon(TagId id, SimTime t) {
+  drain_interceptor(t);  // deliver any delayed readings that came due
   auto& beacon_tag = *tags_[static_cast<std::size_t>(id)];
   const geom::Vec2 pos = beacon_tag.position(t);
 
@@ -107,7 +125,7 @@ void RfidSimulator::emit_beacon(TagId id, SimTime t) {
     const double extra = link_extra_offset_db(id, k, pos, t);
     const double rssi = channel_->sample_rssi_dbm(k, pos, measurement_rng_, extra);
     if (channel_->detectable(rssi)) {
-      middleware_.ingest({t, id, static_cast<ReaderId>(k), rssi});
+      ingest_through_interceptor({t, id, static_cast<ReaderId>(k), rssi});
     }
   }
 
@@ -118,7 +136,10 @@ void RfidSimulator::emit_beacon(TagId id, SimTime t) {
   schedule_beacon(id, t + std::max(0.05, next));
 }
 
-void RfidSimulator::run_until(SimTime until) { events_.run_until(until); }
+void RfidSimulator::run_until(SimTime until) {
+  events_.run_until(until);
+  drain_interceptor(until);
+}
 
 std::vector<RssiVector> RfidSimulator::survey(SimTime duration) {
   middleware_.clear();

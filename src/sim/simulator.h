@@ -54,6 +54,19 @@ class RfidSimulator {
 
   void add_walker(Walker walker) { walkers_.push_back(std::move(walker)); }
 
+  /// Routes every emitted reading through `interceptor` before it reaches
+  /// the middleware (nullptr restores the direct path). Used by the fault
+  /// subsystem (fault::FaultInjector) to drop/corrupt/delay the stream; the
+  /// interceptor must outlive the simulation. Buffered (delayed) readings
+  /// are drained at each subsequent beacon event and at the end of every
+  /// run_until(), so delivery order is deterministic.
+  void set_interceptor(ReadingInterceptor* interceptor) noexcept {
+    interceptor_ = interceptor;
+  }
+  [[nodiscard]] ReadingInterceptor* interceptor() const noexcept {
+    return interceptor_;
+  }
+
   /// Advances the simulation to absolute time `until` (seconds).
   void run_until(SimTime until);
   /// Advances by `duration` seconds.
@@ -89,6 +102,8 @@ class RfidSimulator {
  private:
   void schedule_beacon(TagId id, SimTime when);
   void emit_beacon(TagId id, SimTime t);
+  void ingest_through_interceptor(const RssiReading& reading);
+  void drain_interceptor(SimTime now);
   [[nodiscard]] double link_extra_offset_db(TagId id, int reader, geom::Vec2 tag_pos,
                                             SimTime t);
 
@@ -100,6 +115,8 @@ class RfidSimulator {
   Middleware middleware_;
   std::vector<std::unique_ptr<ActiveTag>> tags_;
   std::vector<Walker> walkers_;
+  ReadingInterceptor* interceptor_ = nullptr;
+  std::vector<RssiReading> intercept_scratch_;
 
   struct LinkFading {
     rf::Ar1Fading process;

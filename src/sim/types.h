@@ -25,4 +25,23 @@ struct RssiReading {
 /// Entries for readers that did not detect the tag are NaN.
 using RssiVector = std::vector<double>;
 
+/// Hook between the readers and the middleware: every emitted reading passes
+/// through the interceptor before Middleware::ingest, so a caller can drop,
+/// corrupt, delay or duplicate the stream (see src/fault/ for the seed-driven
+/// fault-injection implementation). The simulator is single-threaded, so
+/// implementations need no internal locking; they must be deterministic
+/// functions of the reading stream to preserve the repo's reproducibility
+/// contract.
+class ReadingInterceptor {
+ public:
+  virtual ~ReadingInterceptor() = default;
+  /// Transforms one emitted reading into zero or more readings delivered
+  /// immediately (appended to `out`). Readings held back for later delivery
+  /// are returned by drain().
+  virtual void process(const RssiReading& reading, std::vector<RssiReading>& out) = 0;
+  /// Appends every buffered (delayed/duplicated) reading whose delivery time
+  /// is <= `now`, in delivery order.
+  virtual void drain(SimTime now, std::vector<RssiReading>& out) = 0;
+};
+
 }  // namespace vire::sim

@@ -1,0 +1,148 @@
+// Elimination and threshold refinement under missing readers: the pipeline
+// must keep producing estimates from K-1 and K-2 reader subsets (non-empty
+// survivor regions) or, where a subset cannot support an estimate, report
+// that deterministically — never crash, never return NaN positions. This is
+// the core-layer half of the graceful-degradation contract; the engine-layer
+// half (HealthMonitor quarantines feeding the reader mask) is exercised in
+// tests/engine/degradation_scenario_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/vire_localizer.h"
+
+namespace vire::core {
+namespace {
+
+geom::RegularGrid paper_grid() { return {{0, 0}, 1.0, 4, 4}; }
+
+sim::RssiVector field_at(geom::Vec2 p) {
+  static const geom::Vec2 readers[4] = {
+      {-0.7, -0.7}, {3.7, -0.7}, {3.7, 3.7}, {-0.7, 3.7}};
+  sim::RssiVector v;
+  for (const auto& r : readers) {
+    v.push_back(-40.0 - 20.0 * std::log10(std::max(0.1, p.distance_to(r))));
+  }
+  return v;
+}
+
+std::vector<sim::RssiVector> references() {
+  std::vector<sim::RssiVector> refs;
+  for (std::size_t i = 0; i < paper_grid().node_count(); ++i) {
+    refs.push_back(field_at(paper_grid().position(i)));
+  }
+  return refs;
+}
+
+std::vector<bool> mask_without(std::initializer_list<int> dead) {
+  std::vector<bool> mask(4, true);
+  for (int k : dead) mask[static_cast<std::size_t>(k)] = false;
+  return mask;
+}
+
+bool bitwise_equal(const geom::Vec2& a, const geom::Vec2& b) {
+  return std::bit_cast<std::uint64_t>(a.x) == std::bit_cast<std::uint64_t>(b.x) &&
+         std::bit_cast<std::uint64_t>(a.y) == std::bit_cast<std::uint64_t>(b.y);
+}
+
+TEST(DegradedReaders, MaskSizeMismatchThrows) {
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references());
+  EXPECT_THROW((void)localizer.locate(field_at({1.5, 1.5}), std::vector<bool>(3, true)),
+               std::invalid_argument);
+}
+
+TEST(DegradedReaders, AllTrueMaskIsBitIdenticalToUnmasked) {
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references());
+  const auto tracking = field_at({1.35, 1.7});
+  const auto unmasked = localizer.locate(tracking);
+  const auto masked = localizer.locate(tracking, std::vector<bool>(4, true));
+  ASSERT_TRUE(unmasked.has_value());
+  ASSERT_TRUE(masked.has_value());
+  EXPECT_TRUE(bitwise_equal(unmasked->position, masked->position));
+  EXPECT_EQ(unmasked->survivor_count(), masked->survivor_count());
+}
+
+TEST(DegradedReaders, EveryKMinus1SubsetSurvivesForInteriorTags) {
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references());
+  const std::vector<geom::Vec2> interior = {{1.5, 1.5}, {1.35, 1.7}, {2.2, 2.2}};
+  for (int dead = 0; dead < 4; ++dead) {
+    const auto mask = mask_without({dead});
+    for (const auto& truth : interior) {
+      const auto result = localizer.locate(field_at(truth), mask);
+      ASSERT_TRUE(result.has_value()) << "dead reader " << dead;
+      // Elimination over 3 proximity maps still refines to a region...
+      EXPECT_GT(result->survivor_count(), 0u);
+      // ...whose centroid remains a sane estimate.
+      EXPECT_LT(geom::distance(result->position, truth), 1.0)
+          << "dead reader " << dead << ", truth (" << truth.x << "," << truth.y << ")";
+      EXPECT_TRUE(std::isfinite(result->position.x));
+      EXPECT_TRUE(std::isfinite(result->position.y));
+    }
+  }
+}
+
+TEST(DegradedReaders, KMinus2SubsetsSurviveOrReportDeterministically) {
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references());
+  const geom::Vec2 truth{1.5, 1.5};
+  const auto tracking = field_at(truth);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      const auto mask = mask_without({a, b});
+      const auto first = localizer.locate(tracking, mask);
+      const auto second = localizer.locate(tracking, mask);
+      // Whichever way it goes, it goes the same way every time.
+      ASSERT_EQ(first.has_value(), second.has_value())
+          << "dead " << a << "," << b;
+      if (first) {
+        EXPECT_GT(first->survivor_count(), 0u);
+        EXPECT_TRUE(std::isfinite(first->position.x));
+        EXPECT_TRUE(std::isfinite(first->position.y));
+        EXPECT_TRUE(bitwise_equal(first->position, second->position));
+        // Two opposite corner readers still bound the tag to a plausible
+        // region; accuracy degrades but must not diverge off the testbed.
+        EXPECT_LT(geom::distance(first->position, truth), 2.0);
+      }
+    }
+  }
+}
+
+TEST(DegradedReaders, MaskingEqualsNaNingTheReadings) {
+  // The mask is specified as "exactly as if the tag were undetected by the
+  // masked readers": both spellings must produce bit-identical pipelines.
+  VireLocalizer localizer(paper_grid(), recommended_vire_config());
+  localizer.set_reference_rssi(references());
+  const auto tracking = field_at({2.0, 1.2});
+  const auto via_mask = localizer.locate(tracking, mask_without({1}));
+  auto nanned = tracking;
+  nanned[1] = std::numeric_limits<double>::quiet_NaN();
+  const auto via_nan = localizer.locate(nanned);
+  ASSERT_EQ(via_mask.has_value(), via_nan.has_value());
+  ASSERT_TRUE(via_mask.has_value());
+  EXPECT_TRUE(bitwise_equal(via_mask->position, via_nan->position));
+  EXPECT_EQ(via_mask->survivor_count(), via_nan->survivor_count());
+}
+
+TEST(DegradedReaders, ThresholdRefinementStillConvergesUnderMissingReaders) {
+  // Adaptive refinement loops until the surviving area is small enough; with
+  // a reader gone the loop must still terminate with a recorded step count.
+  VireConfig config = recommended_vire_config();
+  config.elimination.mode = ThresholdMode::kAdaptive;
+  VireLocalizer localizer(paper_grid(), config);
+  localizer.set_reference_rssi(references());
+  const auto result = localizer.locate(field_at({1.5, 1.5}), mask_without({3}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(result->elimination.refinement_steps, 0);
+  EXPECT_GT(result->survivor_count(), 0u);
+}
+
+}  // namespace
+}  // namespace vire::core

@@ -1,0 +1,186 @@
+#include "engine/health_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace vire::engine {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// A healthy 4-reader reference field over `refs` reference tags, with a
+/// tiny per-assessment wobble so the staleness check sees fresh data.
+std::vector<sim::RssiVector> healthy_field(int refs, double wobble = 0.0) {
+  std::vector<sim::RssiVector> field;
+  for (int j = 0; j < refs; ++j) {
+    field.push_back({-50.0 + j + wobble, -52.0 + j + wobble, -54.0 + j + wobble,
+                     -56.0 + j + wobble});
+  }
+  return field;
+}
+
+/// Same field with reader `k` silenced (all its entries NaN).
+std::vector<sim::RssiVector> field_without_reader(int refs, int k, double wobble = 0.0) {
+  auto field = healthy_field(refs, wobble);
+  for (auto& row : field) row[static_cast<std::size_t>(k)] = kNaN;
+  return field;
+}
+
+TEST(HealthMonitor, StartsAllHealthy) {
+  HealthMonitor monitor(4);
+  EXPECT_TRUE(monitor.all_healthy());
+  EXPECT_EQ(monitor.healthy_count(), 4);
+  EXPECT_EQ(monitor.reader_count(), 4);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(monitor.status(k), ReaderHealth::kHealthy);
+  }
+}
+
+TEST(HealthMonitor, RejectsBadConfig) {
+  EXPECT_THROW(HealthMonitor(0), std::invalid_argument);
+  HealthConfig bad;
+  bad.quarantine_after = 0;
+  EXPECT_THROW(HealthMonitor(4, bad), std::invalid_argument);
+  HealthConfig fraction;
+  fraction.min_valid_fraction = 1.5;
+  EXPECT_THROW(HealthMonitor(4, fraction), std::invalid_argument);
+}
+
+TEST(HealthMonitor, CoverageLossQuarantinesAfterHysteresis) {
+  HealthConfig config;
+  config.quarantine_after = 2;
+  HealthMonitor monitor(4, config);
+
+  monitor.assess(healthy_field(16), 1.0);
+  EXPECT_TRUE(monitor.all_healthy());
+
+  // Reader 2 goes dark: first suspect assessment does not flip the mask...
+  monitor.assess(field_without_reader(16, 2, 0.1), 2.0);
+  EXPECT_TRUE(monitor.all_healthy());
+  EXPECT_FALSE(monitor.mask_changed());
+
+  // ...the second does.
+  monitor.assess(field_without_reader(16, 2, 0.2), 3.0);
+  EXPECT_FALSE(monitor.all_healthy());
+  EXPECT_TRUE(monitor.mask_changed());
+  EXPECT_EQ(monitor.status(2), ReaderHealth::kQuarantined);
+  EXPECT_EQ(monitor.healthy_count(), 3);
+  EXPECT_EQ(monitor.quarantine_count(), 1u);
+  const auto& mask = monitor.healthy_mask();
+  EXPECT_TRUE(mask[0] && mask[1] && mask[3]);
+  EXPECT_FALSE(mask[2]);
+}
+
+TEST(HealthMonitor, RecoveryAfterCleanStreak) {
+  HealthConfig config;
+  config.quarantine_after = 1;
+  config.recover_after = 2;
+  HealthMonitor monitor(4, config);
+
+  monitor.assess(healthy_field(16), 1.0);
+  monitor.assess(field_without_reader(16, 1, 0.1), 2.0);
+  ASSERT_EQ(monitor.status(1), ReaderHealth::kQuarantined);
+
+  // One clean assessment is not enough to recover...
+  monitor.assess(healthy_field(16, 0.2), 3.0);
+  EXPECT_EQ(monitor.status(1), ReaderHealth::kQuarantined);
+  EXPECT_FALSE(monitor.mask_changed());
+  // ...two are.
+  monitor.assess(healthy_field(16, 0.3), 4.0);
+  EXPECT_EQ(monitor.status(1), ReaderHealth::kHealthy);
+  EXPECT_TRUE(monitor.mask_changed());
+  EXPECT_TRUE(monitor.all_healthy());
+  EXPECT_EQ(monitor.recovery_count(), 1u);
+}
+
+TEST(HealthMonitor, FieldWideDisturbanceQuarantines) {
+  HealthConfig config;
+  config.quarantine_after = 1;
+  config.max_median_jump_db = 10.0;
+  HealthMonitor monitor(4, config);
+
+  monitor.assess(healthy_field(16), 1.0);
+  // Reader 0's whole reference view jumps 25 dB at once — physically
+  // implausible, so the reader is the suspect.
+  auto disturbed = healthy_field(16, 0.1);
+  for (auto& row : disturbed) row[0] += 25.0;
+  monitor.assess(disturbed, 2.0);
+  EXPECT_EQ(monitor.status(0), ReaderHealth::kQuarantined);
+  EXPECT_EQ(monitor.healthy_count(), 3);
+}
+
+TEST(HealthMonitor, SmallJitterDoesNotQuarantine) {
+  HealthConfig config;
+  config.quarantine_after = 1;
+  HealthMonitor monitor(4, config);
+  monitor.assess(healthy_field(16), 1.0);
+  auto jittered = healthy_field(16);
+  for (std::size_t j = 0; j < jittered.size(); ++j) {
+    for (auto& v : jittered[j]) v += (j % 2 == 0 ? 1.5 : -1.5);
+  }
+  monitor.assess(jittered, 2.0);
+  EXPECT_TRUE(monitor.all_healthy());
+}
+
+TEST(HealthMonitor, FrozenReadingsTriggerStaleness) {
+  HealthConfig config;
+  config.quarantine_after = 1;
+  config.stale_after_s = 10.0;
+  HealthMonitor monitor(4, config);
+
+  // The same bits forever: healthy until the staleness horizon passes.
+  const auto frozen = healthy_field(16);
+  monitor.assess(frozen, 0.0);
+  monitor.assess(frozen, 5.0);
+  EXPECT_TRUE(monitor.all_healthy());
+  monitor.assess(frozen, 11.0);
+  EXPECT_EQ(monitor.healthy_count(), 0);  // every reader is frozen
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(monitor.status(k), ReaderHealth::kQuarantined);
+  }
+}
+
+TEST(HealthMonitor, DisabledMonitorNeverQuarantines) {
+  HealthConfig config;
+  config.enabled = false;
+  config.quarantine_after = 1;
+  HealthMonitor monitor(4, config);
+  monitor.assess(healthy_field(16), 1.0);
+  monitor.assess(field_without_reader(16, 0, 0.1), 2.0);
+  monitor.assess(field_without_reader(16, 0, 0.2), 3.0);
+  EXPECT_TRUE(monitor.all_healthy());
+}
+
+TEST(HealthMonitor, MetricsTrackQuarantinesAndRecoveries) {
+  HealthConfig config;
+  config.quarantine_after = 1;
+  config.recover_after = 1;
+  HealthMonitor monitor(4, config);
+  obs::MetricsRegistry registry;
+  monitor.attach_metrics(registry);
+
+  monitor.assess(healthy_field(16), 1.0);
+  monitor.assess(field_without_reader(16, 3, 0.1), 2.0);
+  monitor.assess(healthy_field(16, 0.2), 3.0);
+
+  const auto* quarantines = registry.find_counter("vire_health_quarantines_total");
+  const auto* recoveries = registry.find_counter("vire_health_recoveries_total");
+  const auto* healthy = registry.find_gauge("vire_health_healthy_readers");
+  const auto* reader3 = registry.find_gauge("vire_health_reader_healthy", "reader=\"3\"");
+  ASSERT_NE(quarantines, nullptr);
+  ASSERT_NE(recoveries, nullptr);
+  ASSERT_NE(healthy, nullptr);
+  ASSERT_NE(reader3, nullptr);
+  EXPECT_EQ(quarantines->value(), 1u);
+  EXPECT_EQ(recoveries->value(), 1u);
+  EXPECT_DOUBLE_EQ(healthy->value(), 4.0);
+  EXPECT_DOUBLE_EQ(reader3->value(), 1.0);
+}
+
+}  // namespace
+}  // namespace vire::engine

@@ -179,6 +179,124 @@ TEST(Engine, FewValidReadersYieldsInvalidFixAndLeavesTrackerAlone) {
   EXPECT_EQ(engine.tracker(asset)->last_update(), tracked_time);
 }
 
+TEST(Engine, AllLinksBelowMinSamplesYieldInvalidQualityNotNaN) {
+  // Satellite regression: when every reader link of a tag is below the
+  // middleware's min_samples gate (rssi_vector all NaN), the engine must
+  // emit a quality-kInvalid fix with finite coordinates — never a silent
+  // NaN position — even with min_valid_readers lowered to 0.
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  const geom::Vec2 readers[4] = {{-0.7, -0.7}, {3.7, -0.7}, {3.7, 3.7}, {-0.7, 3.7}};
+  auto field = [&](geom::Vec2 p, int k) {
+    return -40.0 - 20.0 * std::log10(std::max(0.1, geom::distance(p, readers[k])));
+  };
+
+  sim::MiddlewareConfig mw_config;
+  mw_config.min_samples = 2;
+  sim::Middleware middleware(4, mw_config);
+  std::vector<sim::TagId> reference_ids;
+  for (int j = 0; j < deployment.reference_count(); ++j) {
+    const sim::TagId id = 100 + static_cast<sim::TagId>(j);
+    reference_ids.push_back(id);
+    for (sim::ReaderId k = 0; k < 4; ++k) {
+      const geom::Vec2 p = deployment.reference_positions()[static_cast<std::size_t>(j)];
+      middleware.ingest({0.4, id, k, field(p, k)});
+      middleware.ingest({0.6, id, k, field(p, k)});
+    }
+  }
+  const sim::TagId asset = 1;
+  for (sim::ReaderId k = 0; k < 4; ++k) {
+    middleware.ingest({0.5, asset, k, field({1.4, 1.8}, k)});  // 1 < min_samples
+  }
+
+  EngineConfig config;
+  config.min_valid_readers = 0;  // even the degenerate config must not NaN
+  LocalizationEngine engine(deployment, config);
+  engine.set_reference_ids(reference_ids);
+  engine.track(asset);
+  const auto fixes = engine.update(middleware, 1.0);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_FALSE(fixes[0].valid);
+  EXPECT_EQ(fixes[0].quality, FixQuality::kInvalid);
+  EXPECT_TRUE(std::isfinite(fixes[0].position.x));
+  EXPECT_TRUE(std::isfinite(fixes[0].position.y));
+  EXPECT_TRUE(std::isfinite(fixes[0].smoothed_position.x));
+  EXPECT_TRUE(std::isfinite(fixes[0].smoothed_position.y));
+  const auto* invalid = engine.metrics().find_counter(
+      "vire_engine_fixes_by_quality_total", "quality=\"invalid\"");
+  ASSERT_NE(invalid, nullptr);
+  EXPECT_EQ(invalid->value(), 1u);
+}
+
+TEST(Engine, HoldServesLastGoodFixWithinStalenessCap) {
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  const geom::Vec2 readers[4] = {{-0.7, -0.7}, {3.7, -0.7}, {3.7, 3.7}, {-0.7, 3.7}};
+  auto field = [&](geom::Vec2 p, int k) {
+    return -40.0 - 20.0 * std::log10(std::max(0.1, geom::distance(p, readers[k])));
+  };
+  auto ingest_references = [&](sim::Middleware& mw, double t,
+                               std::vector<sim::TagId>& ids) {
+    ids.clear();
+    for (int j = 0; j < deployment.reference_count(); ++j) {
+      const sim::TagId id = 100 + static_cast<sim::TagId>(j);
+      ids.push_back(id);
+      const geom::Vec2 p = deployment.reference_positions()[static_cast<std::size_t>(j)];
+      for (sim::ReaderId k = 0; k < 4; ++k) mw.ingest({t, id, k, field(p, k)});
+    }
+  };
+
+  sim::Middleware middleware(4);
+  std::vector<sim::TagId> reference_ids;
+  ingest_references(middleware, 0.5, reference_ids);
+  const sim::TagId asset = 1;
+  const geom::Vec2 truth{1.4, 1.8};
+  for (sim::ReaderId k = 0; k < 4; ++k) {
+    middleware.ingest({0.5, asset, k, field(truth, k)});
+  }
+
+  EngineConfig config;
+  config.min_refresh_interval_s = 1000.0;
+  config.degradation.hold_max_age_s = 3.0;
+  LocalizationEngine engine(deployment, config);
+  engine.set_reference_ids(reference_ids);
+  engine.track(asset);
+
+  const auto first = engine.update(middleware, 1.0);
+  ASSERT_TRUE(first[0].valid);
+  ASSERT_EQ(first[0].quality, FixQuality::kOk);
+  EXPECT_DOUBLE_EQ(first[0].age_s, 0.0);
+
+  // The asset falls silent (references stay up): within the cap the engine
+  // re-serves the last good estimate as kHold, flagged stale via valid=false.
+  middleware.clear();
+  ingest_references(middleware, 1.5, reference_ids);
+  const auto held = engine.update(middleware, 2.0);
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_FALSE(held[0].valid);
+  EXPECT_EQ(held[0].quality, FixQuality::kHold);
+  EXPECT_EQ(held[0].position, first[0].position);
+  EXPECT_EQ(held[0].smoothed_position, first[0].smoothed_position);
+  EXPECT_DOUBLE_EQ(held[0].age_s, 1.0);
+
+  // Past the staleness cap the hold expires into kInvalid.
+  ingest_references(middleware, 5.5, reference_ids);
+  const auto expired = engine.update(middleware, 6.0);
+  EXPECT_FALSE(expired[0].valid);
+  EXPECT_EQ(expired[0].quality, FixQuality::kInvalid);
+
+  // untrack() forgets the held state too.
+  engine.untrack(asset);
+  engine.track(asset);
+  const auto fresh = engine.update(middleware, 6.5);
+  EXPECT_EQ(fresh[0].quality, FixQuality::kInvalid);
+}
+
+TEST(Engine, FixQualityToStringCoversAllLevels) {
+  EXPECT_EQ(to_string(FixQuality::kOk), "ok");
+  EXPECT_EQ(to_string(FixQuality::kDegraded), "degraded");
+  EXPECT_EQ(to_string(FixQuality::kHold), "hold");
+  EXPECT_EQ(to_string(FixQuality::kInvalid), "invalid");
+}
+
 TEST(Engine, ParallelWorkersProduceSameFixesAsSerial) {
   Rig rig;
   const sim::TagId a = rig.simulator.add_tag({0.8, 0.8});

@@ -1,0 +1,267 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "obs/exporters.h"
+
+namespace vire::fault {
+namespace {
+
+sim::RssiReading make_reading(sim::SimTime time, sim::TagId tag, sim::ReaderId reader,
+                              double rssi = -50.0) {
+  return {time, tag, reader, rssi};
+}
+
+/// A synthetic stream of `count` readings from `reader`, one per second.
+std::vector<sim::RssiReading> stream(sim::ReaderId reader, int count,
+                                     sim::TagId tag = 1) {
+  std::vector<sim::RssiReading> readings;
+  for (int i = 0; i < count; ++i) {
+    readings.push_back(make_reading(1.0 + i, tag, reader));
+  }
+  return readings;
+}
+
+std::vector<sim::RssiReading> run_through(FaultInjector& injector,
+                                          const std::vector<sim::RssiReading>& in,
+                                          sim::SimTime drain_until = 1e9) {
+  std::vector<sim::RssiReading> out;
+  for (const auto& reading : in) {
+    injector.drain(reading.time, out);
+    injector.process(reading, out);
+  }
+  injector.drain(drain_until, out);
+  return out;
+}
+
+TEST(FaultInjector, EmptyPlanPassesEverythingThrough) {
+  FaultInjector injector{FaultPlan{}, 42};
+  const auto in = stream(0, 10);
+  const auto out = run_through(injector, in);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].time, in[i].time);
+    EXPECT_EQ(out[i].rssi_dbm, in[i].rssi_dbm);
+  }
+  EXPECT_EQ(injector.stats().processed, 10u);
+  EXPECT_EQ(injector.stats().dropped(), 0u);
+}
+
+TEST(FaultInjector, OutageDropsOnlyInsideWindowAndOnlyThatReader) {
+  FaultPlan plan;
+  plan.kill_reader(2, 3.0, 7.0);
+  FaultInjector injector{plan, 1};
+  std::vector<sim::RssiReading> out;
+  // Reader 2, t = 1..10: t in [3, 7) must vanish, 7.0 itself survives
+  // (restart instant), and reader 0 is untouched throughout.
+  for (int i = 1; i <= 10; ++i) {
+    injector.process(make_reading(i, 1, 2), out);
+    injector.process(make_reading(i, 1, 0), out);
+  }
+  int reader2 = 0;
+  for (const auto& r : out) {
+    if (r.reader == 2) {
+      ++reader2;
+      EXPECT_TRUE(r.time < 3.0 || r.time >= 7.0) << "leaked at t=" << r.time;
+    }
+  }
+  EXPECT_EQ(reader2, 6);                              // t = 1, 2, 7, 8, 9, 10
+  EXPECT_EQ(out.size(), 16u);                         // + 10 from reader 0
+  EXPECT_EQ(injector.stats().outage_drops, 4u);       // t = 3, 4, 5, 6
+}
+
+TEST(FaultInjector, DropRateZeroAndOneAreExact) {
+  FaultPlan none;
+  none.drop_links(0, 0.0);
+  FaultInjector keep_all{none, 7};
+  EXPECT_EQ(run_through(keep_all, stream(0, 50)).size(), 50u);
+
+  FaultPlan all;
+  all.drop_links(0, 1.0);
+  FaultInjector drop_all{all, 7};
+  EXPECT_TRUE(run_through(drop_all, stream(0, 50)).empty());
+  EXPECT_EQ(drop_all.stats().link_drops, 50u);
+}
+
+TEST(FaultInjector, DropRateIsRoughlyHonored) {
+  FaultPlan plan;
+  plan.drop_links(0, 0.3);
+  FaultInjector injector{plan, 11};
+  const int n = 2000;
+  const auto out = run_through(injector, stream(0, n));
+  const double survival = static_cast<double>(out.size()) / n;
+  EXPECT_NEAR(survival, 0.7, 0.05);
+}
+
+TEST(FaultInjector, BiasShiftsRssiInsideWindow) {
+  FaultPlan plan;
+  plan.bias_rssi(1, -12.5, {2.0, 4.0});
+  FaultInjector injector{plan, 1};
+  std::vector<sim::RssiReading> out;
+  injector.process(make_reading(1.0, 9, 1, -50.0), out);
+  injector.process(make_reading(2.0, 9, 1, -50.0), out);
+  injector.process(make_reading(5.0, 9, 1, -50.0), out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].rssi_dbm, -50.0);
+  EXPECT_DOUBLE_EQ(out[1].rssi_dbm, -62.5);
+  EXPECT_DOUBLE_EQ(out[2].rssi_dbm, -50.0);
+  EXPECT_EQ(injector.stats().biased, 1u);
+}
+
+TEST(FaultInjector, SpikesHitWithConfiguredMagnitude) {
+  FaultPlan plan;
+  plan.spike_rssi(0, 1.0, 10.0);  // every reading spikes
+  FaultInjector injector{plan, 3};
+  const auto out = run_through(injector, stream(0, 100));
+  ASSERT_EQ(out.size(), 100u);
+  int up = 0;
+  int down = 0;
+  for (const auto& r : out) {
+    if (r.rssi_dbm == -40.0) ++up;
+    if (r.rssi_dbm == -60.0) ++down;
+  }
+  EXPECT_EQ(up + down, 100);  // every reading moved exactly +/-10 dB
+  EXPECT_GT(up, 20);          // both signs occur
+  EXPECT_GT(down, 20);
+}
+
+TEST(FaultInjector, ClockSkewShiftsTimestamps) {
+  FaultPlan plan;
+  plan.skew_clock(0, 0.25);
+  FaultInjector injector{plan, 1};
+  std::vector<sim::RssiReading> out;
+  injector.process(make_reading(10.0, 1, 0), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].time, 10.25);
+}
+
+TEST(FaultInjector, DelayedReadingsArriveOnDrainInOrder) {
+  FaultPlan plan;
+  plan.delay_readings(0, 1.0, 2.0, 2.0);  // every reading held exactly 2 s
+  FaultInjector injector{plan, 5};
+  std::vector<sim::RssiReading> out;
+  injector.process(make_reading(1.0, 1, 0), out);
+  injector.process(make_reading(1.5, 1, 0), out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(injector.pending_count(), 2u);
+
+  injector.drain(2.9, out);
+  EXPECT_TRUE(out.empty());  // neither is due yet
+  injector.drain(3.0, out);
+  ASSERT_EQ(out.size(), 1u);  // the t=1.0 reading, due at 3.0
+  EXPECT_DOUBLE_EQ(out[0].time, 1.0);
+  injector.drain(10.0, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[1].time, 1.5);
+  EXPECT_EQ(injector.pending_count(), 0u);
+  EXPECT_EQ(injector.stats().delayed, 2u);
+}
+
+TEST(FaultInjector, DuplicationEmitsOriginalAndLaterEcho) {
+  FaultPlan plan;
+  plan.duplicate_readings(0, 1.0, 0.5);
+  FaultInjector injector{plan, 5};
+  std::vector<sim::RssiReading> out;
+  injector.process(make_reading(1.0, 1, 0), out);
+  ASSERT_EQ(out.size(), 1u);  // original delivered immediately
+  injector.drain(2.0, out);
+  ASSERT_EQ(out.size(), 2u);  // echo delivered after echo_delay_s
+  EXPECT_DOUBLE_EQ(out[1].time, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].rssi_dbm, out[0].rssi_dbm);
+  EXPECT_EQ(injector.stats().duplicated, 1u);
+}
+
+TEST(FaultInjector, SameSeedSameStreamIsBitIdentical) {
+  FaultPlan plan;
+  plan.drop_links(0, 0.3)
+      .spike_rssi(0, 0.2, 8.0)
+      .delay_readings(0, 0.3, 0.5, 3.0)
+      .duplicate_readings(0, 0.1, 0.5);
+  const auto in = stream(0, 500);
+
+  FaultInjector a{plan, 99};
+  FaultInjector b{plan, 99};
+  const auto out_a = run_through(a, in);
+  const auto out_b = run_through(b, in);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i].time, out_b[i].time);
+    EXPECT_EQ(out_a[i].rssi_dbm, out_b[i].rssi_dbm);
+  }
+
+  FaultInjector c{plan, 100};  // a different seed realizes different faults
+  const auto out_c = run_through(c, in);
+  const bool differs = out_c.size() != out_a.size() ||
+                       [&] {
+                         for (std::size_t i = 0; i < out_a.size(); ++i) {
+                           if (out_a[i].time != out_c[i].time ||
+                               out_a[i].rssi_dbm != out_c[i].rssi_dbm) {
+                             return true;
+                           }
+                         }
+                         return false;
+                       }();
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, DecisionsAreIndependentOfDrainInterleaving) {
+  // Stateless hash draws: draining between every reading or only at the end
+  // must not change any decision, only *when* buffered readings surface.
+  FaultPlan plan;
+  plan.drop_links(0, 0.4).spike_rssi(0, 0.3, 6.0);
+  const auto in = stream(0, 300);
+
+  FaultInjector interleaved{plan, 17};
+  std::vector<sim::RssiReading> out_interleaved;
+  for (const auto& reading : in) {
+    interleaved.drain(reading.time, out_interleaved);
+    interleaved.process(reading, out_interleaved);
+  }
+
+  FaultInjector batched{plan, 17};
+  std::vector<sim::RssiReading> out_batched;
+  for (const auto& reading : in) batched.process(reading, out_batched);
+
+  ASSERT_EQ(out_interleaved.size(), out_batched.size());
+  for (std::size_t i = 0; i < out_batched.size(); ++i) {
+    EXPECT_EQ(out_interleaved[i].time, out_batched[i].time);
+    EXPECT_EQ(out_interleaved[i].rssi_dbm, out_batched[i].rssi_dbm);
+  }
+}
+
+TEST(FaultInjector, AttachMetricsExportsCountsIncludingPreAttachHistory) {
+  FaultPlan plan;
+  plan.kill_reader(0, 0.0, 100.0).bias_rssi(1, 3.0);
+  FaultInjector injector{plan, 1};
+  std::vector<sim::RssiReading> out;
+  injector.process(make_reading(1.0, 1, 0), out);  // dropped before attach
+  injector.process(make_reading(1.0, 1, 1), out);  // biased before attach
+
+  obs::MetricsRegistry registry;
+  injector.attach_metrics(registry);
+  injector.process(make_reading(2.0, 1, 0), out);  // dropped after attach
+
+  const auto* outages =
+      registry.find_counter("vire_fault_injected_total", "type=\"reader_outage\"");
+  const auto* biased =
+      registry.find_counter("vire_fault_injected_total", "type=\"rssi_bias\"");
+  ASSERT_NE(outages, nullptr);
+  ASSERT_NE(biased, nullptr);
+  EXPECT_EQ(outages->value(), 2u);  // pre-attach drop replayed + live one
+  EXPECT_EQ(biased->value(), 1u);
+  const std::string prom = obs::to_prometheus(registry);
+  EXPECT_NE(prom.find("vire_fault_injected_total"), std::string::npos);
+  EXPECT_NE(prom.find("vire_fault_pending_readings"), std::string::npos);
+}
+
+TEST(FaultInjector, MalformedPlanThrowsAtConstruction) {
+  FaultPlan plan;
+  plan.drop_links(0, 2.0);
+  EXPECT_THROW((FaultInjector{plan, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vire::fault

@@ -1,0 +1,75 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace vire::fault {
+namespace {
+
+TEST(FaultPlan, DefaultPlanIsEmptyAndValid) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.entry_count(), 0u);
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, FluentBuildersComposeInOneExpression) {
+  FaultPlan plan;
+  plan.kill_reader(2, 10.0, 30.0)
+      .drop_links(1, 0.25, {5.0, 50.0})
+      .bias_rssi(0, -6.0)
+      .spike_rssi(3, 0.1, 12.0)
+      .skew_clock(1, 0.75)
+      .delay_readings(2, 0.2, 0.5, 2.0)
+      .duplicate_readings(0, 0.05, 0.5);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.entry_count(), 7u);
+  ASSERT_EQ(plan.outages.size(), 1u);
+  EXPECT_EQ(plan.outages[0].reader, 2);
+  EXPECT_DOUBLE_EQ(plan.outages[0].window.start, 10.0);
+  EXPECT_DOUBLE_EQ(plan.outages[0].window.end, 30.0);
+  ASSERT_EQ(plan.dropouts.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.dropouts[0].drop_rate, 0.25);
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, WindowIsHalfOpen) {
+  const TimeWindow window{10.0, 30.0};
+  EXPECT_FALSE(window.contains(9.999));
+  EXPECT_TRUE(window.contains(10.0));   // start is inclusive
+  EXPECT_TRUE(window.contains(29.999));
+  EXPECT_FALSE(window.contains(30.0));  // end is exclusive: restart instant
+  const TimeWindow forever;
+  EXPECT_TRUE(forever.contains(0.0));
+  EXPECT_TRUE(forever.contains(1e12));
+}
+
+TEST(FaultPlan, ValidateRejectsBadProbabilities) {
+  FaultPlan plan;
+  plan.drop_links(0, 1.5);
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  FaultPlan negative;
+  negative.spike_rssi(0, -0.1, 10.0);
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, ValidateRejectsInvertedWindowsAndRanges) {
+  FaultPlan inverted_window;
+  inverted_window.kill_reader(0, 30.0, 10.0);
+  EXPECT_THROW(inverted_window.validate(), std::invalid_argument);
+
+  FaultPlan inverted_delay;
+  inverted_delay.delay_readings(0, 0.5, 2.0, 1.0);
+  EXPECT_THROW(inverted_delay.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, ValidateRejectsNonFiniteMagnitudes) {
+  FaultPlan plan;
+  plan.bias_rssi(0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vire::fault

@@ -151,6 +151,73 @@ TEST(Middleware, MetricsCountIngestEvictionsAndNanServes) {
   EXPECT_EQ(nan_serves.value(), 2u);
 }
 
+TEST(Middleware, RejectsNonFiniteReadings) {
+  obs::MetricsRegistry registry;
+  Middleware mw(2);
+  mw.attach_metrics(registry);
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  mw.ingest({nan, 0, 0, -70.0});   // corrupted timestamp
+  mw.ingest({1.0, 0, 0, nan});     // corrupted RSSI
+  mw.ingest({inf, 0, 0, -70.0});   // infinite timestamp
+  mw.ingest({1.0, 0, 0, -inf});    // infinite RSSI
+  EXPECT_EQ(mw.sample_count(0, 0), 0u);  // nothing buffered
+  EXPECT_EQ(mw.rejected_count(), 4u);
+  EXPECT_EQ(registry
+                .counter("vire_middleware_readings_rejected_total",
+                         "reason=\"non_finite\"")
+                .value(),
+            4u);
+  EXPECT_EQ(registry.counter("vire_middleware_readings_ingested_total").value(), 0u);
+
+  mw.ingest({1.0, 0, 0, -70.0});  // well-formed reading still accepted
+  EXPECT_EQ(mw.sample_count(0, 0), 1u);
+}
+
+TEST(Middleware, RejectsReaderIdOutOfRange) {
+  obs::MetricsRegistry registry;
+  Middleware mw(2);  // valid readers: 0, 1
+  mw.attach_metrics(registry);
+
+  mw.ingest({1.0, 0, 2, -70.0});
+  mw.ingest({1.0, 0, 9, -70.0});
+  EXPECT_EQ(mw.rejected_count(), 2u);
+  EXPECT_EQ(registry
+                .counter("vire_middleware_readings_rejected_total",
+                         "reason=\"reader_out_of_range\"")
+                .value(),
+            2u);
+  // An out-of-range reading must never widen rssi_vector().
+  EXPECT_EQ(mw.rssi_vector(0).size(), 2u);
+  EXPECT_TRUE(mw.known_tags().empty());
+}
+
+TEST(Middleware, RejectionWorksWithoutMetrics) {
+  Middleware mw(1);
+  mw.ingest({std::numeric_limits<double>::quiet_NaN(), 0, 0, -70.0});
+  mw.ingest({1.0, 0, 5, -70.0});
+  EXPECT_EQ(mw.rejected_count(), 2u);
+  EXPECT_TRUE(mw.known_tags().empty());
+}
+
+TEST(Middleware, EvictionBoundaryIsStrict) {
+  // Window is (now - window_s, now]: a sample exactly window_s old is gone.
+  MiddlewareConfig config;
+  config.window_s = 10.0;
+  Middleware mw(1, config);
+  mw.ingest({0.0, 0, 0, -70.0});
+  mw.ingest({10.0, 0, 0, -80.0});  // cutoff = 0.0: the t=0 sample is evicted
+  EXPECT_EQ(mw.sample_count(0, 0), 1u);
+  EXPECT_DOUBLE_EQ(mw.link_rssi(0, 0), -80.0);
+
+  mw.ingest({19.999, 0, 0, -90.0});  // cutoff 9.999 < 10.0: t=10 survives
+  EXPECT_EQ(mw.sample_count(0, 0), 2u);
+
+  mw.evict_stale(30.0);  // cutoff 20.0 >= both: all evicted
+  EXPECT_EQ(mw.sample_count(0, 0), 0u);
+}
+
 TEST(Middleware, MetricsAreOptional) {
   // No attach_metrics call: every path must still work (null instruments).
   Middleware mw(1);
