@@ -84,4 +84,5 @@ BENCHMARK(BM_VirtualGridWithBoundaryExtension)->Arg(0)->Arg(5)->Arg(10);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "gbench_report_main.h"
+VIRE_GBENCH_REPORT_MAIN("perf_interpolation")

@@ -144,4 +144,5 @@ BENCHMARK(BM_LandmarcLocateLargeGrid)->Arg(4)->Arg(8)->Arg(16)->Arg(31);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "gbench_report_main.h"
+VIRE_GBENCH_REPORT_MAIN("perf_localize")

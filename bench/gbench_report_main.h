@@ -1,0 +1,107 @@
+#pragma once
+// Shared main() for the google-benchmark perf benches: runs the registered
+// benchmarks with the usual console output, collects every per-iteration
+// run, and writes bench_out/BENCH_<name>.json through obs::write_bench_report
+// so the gbench-based benches feed the same throughput trajectory as the
+// hand-rolled ones (bench_perf_engine_batch et al).
+//
+// Usage — instead of BENCHMARK_MAIN():
+//   #include "gbench_report_main.h"
+//   VIRE_GBENCH_REPORT_MAIN("perf_localize")
+//
+// The report's headline throughput is the fastest benchmark's iteration
+// rate; every individual benchmark lands in `results` as
+// <name>_items_per_sec. Aggregate rows (BigO/RMS fits) and errored runs are
+// excluded.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.h"
+
+#ifndef VIRE_GIT_REV
+#define VIRE_GIT_REV "unknown"
+#endif
+
+namespace vire::benchutil {
+
+/// ConsoleReporter that additionally records (name, iterations/sec, wall s)
+/// for every real iteration run.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double items_per_sec = 0.0;
+    double wall_s = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.report_big_o || run.report_rms) {
+        continue;
+      }
+      Row row;
+      row.name = run.benchmark_name();
+      row.wall_s = run.real_accumulated_time;
+      if (run.real_accumulated_time > 0.0) {
+        row.items_per_sec =
+            static_cast<double>(run.iterations) / run.real_accumulated_time;
+      }
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Row> rows;
+};
+
+/// Runs all registered benchmarks and writes BENCH_<report_name>.json.
+/// Returns the process exit code.
+inline int run_and_report(int argc, char** argv, const char* report_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  CollectingReporter reporter;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (ran == 0 || reporter.rows.empty()) {
+    std::fprintf(stderr, "%s: no benchmarks ran, skipping BENCH report\n",
+                 report_name);
+    return ran == 0 ? 1 : 0;
+  }
+
+  obs::BenchReport report;
+  report.name = report_name;
+  report.git_rev = VIRE_GIT_REV;
+  report.config.emplace_back("benchmarks", std::to_string(reporter.rows.size()));
+  double wall_s = 0.0;
+  double best = 0.0;
+  for (const CollectingReporter::Row& row : reporter.rows) {
+    wall_s += row.wall_s;
+    best = std::max(best, row.items_per_sec);
+    report.results.emplace_back(row.name + "_items_per_sec", row.items_per_sec);
+  }
+  report.wall_ms = 1e3 * wall_s;
+  report.throughput = best;
+  try {
+    const auto path = obs::write_bench_report(report);
+    std::printf("BENCH report: %s\n", path.string().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: BENCH report write failed: %s\n", report_name,
+                 e.what());
+  }
+  return 0;
+}
+
+}  // namespace vire::benchutil
+
+#define VIRE_GBENCH_REPORT_MAIN(report_name)                         \
+  int main(int argc, char** argv) {                                  \
+    return vire::benchutil::run_and_report(argc, argv, report_name); \
+  }

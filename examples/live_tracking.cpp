@@ -2,9 +2,14 @@
 // would run it — reference grid refreshed from the middleware on a rate
 // limit, every registered tag localized and track-filtered on each poll.
 //
-//   ./build/examples/live_tracking
+//   ./build/examples/live_tracking [metrics-dir]
+//
+// Metrics, the Prometheus snapshot and the session trace land in
+// metrics-dir (argv[1], else $VIRE_METRICS_DIR, else bench_out).
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 
 #include "engine/localization_engine.h"
 #include "env/environment.h"
@@ -12,8 +17,13 @@
 #include "sim/simulator.h"
 #include "support/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vire;
+
+  const char* env_dir = std::getenv("VIRE_METRICS_DIR");
+  const std::filesystem::path out_dir =
+      argc > 1 ? argv[1] : (env_dir != nullptr && *env_dir != '\0' ? env_dir
+                                                                   : "bench_out");
 
   const env::Environment environment =
       env::make_paper_environment(env::PaperEnvironment::kEnv2Spacious);
@@ -40,7 +50,12 @@ int main() {
   // Two workers exercise the pool instrumentation; fixes are bit-identical
   // at any worker count, so the example output does not change.
   engine_config.parallel_workers = 2;
+  // Trace the session too: pool.task spans carry the worker indices and the
+  // engine stages nest under engine.update (see docs/observability.md).
+  engine_config.observability.enable_tracing = true;
+  engine_config.observability.anomaly_dump_dir = out_dir;
   engine::LocalizationEngine engine(deployment, engine_config);
+  simulator.middleware().attach_tracer(&engine.tracer());
   simulator.middleware().attach_metrics(engine.metrics());
   engine.set_reference_ids(reference_ids);
   engine.track(crate, "crate");
@@ -77,10 +92,16 @@ int main() {
               cart_err.count());
   std::printf("  virtual-grid rebuilds: %d (rate-limited)\n", engine.grid_rebuilds());
 
-  // Full pipeline metrics snapshot (engine + middleware + pool) on exit.
-  obs::write_json_snapshot(engine.metrics(), "bench_out/live_tracking_metrics.json");
+  // Full pipeline metrics snapshot (engine + middleware + pool) plus the
+  // session trace on exit.
+  obs::write_json_snapshot(engine.metrics(),
+                           out_dir / "live_tracking_metrics.json");
   obs::write_prometheus_snapshot(engine.metrics(),
-                                 "bench_out/live_tracking_metrics.prom");
-  std::printf("  metrics snapshot: bench_out/live_tracking_metrics.{json,prom}\n");
+                                 out_dir / "live_tracking_metrics.prom");
+  engine.tracer().write_chrome_json(out_dir / "live_tracking_trace.json");
+  std::printf("  metrics snapshot: %s/live_tracking_metrics.{json,prom}\n",
+              out_dir.string().c_str());
+  std::printf("  session trace:    %s/live_tracking_trace.json\n",
+              out_dir.string().c_str());
   return crate_err.mean() < 1.0 && cart_err.mean() < 1.2 ? 0 : 1;
 }

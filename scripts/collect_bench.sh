@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs the perf benches and collects their machine-readable BENCH_*.json
+# reports (schema: src/obs/bench_report.h) into one directory, so CI can
+# upload the whole set as a single artifact and the throughput trajectory
+# accumulates across commits.
+#
+# Usage:
+#   scripts/collect_bench.sh [build-dir] [dest-dir]
+#
+#   build-dir  cmake build tree containing bench/ (default: build)
+#   dest-dir   where the BENCH_*.json files are copied (default: repo root)
+#
+# Environment:
+#   VIRE_BENCH_FILTER  --benchmark_filter regex for the google-benchmark
+#                      based benches (default ".": everything). CI sets a
+#                      narrow filter to keep the job fast.
+#   VIRE_BATCH_TAGS/VIRE_BATCH_ROUNDS    workload of bench_perf_engine_batch
+#   VIRE_FAULT_TAGS/VIRE_FAULT_ROUNDS    workload of bench_fault_degradation
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+DEST_DIR="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+FILTER="${VIRE_BENCH_FILTER:-.}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "collect_bench: no bench/ under '$BUILD_DIR' — build the repo first" >&2
+  exit 1
+fi
+
+# Resolve before cd: a relative dest stays anchored at the caller's cwd.
+mkdir -p "$DEST_DIR"
+DEST_DIR="$(cd "$DEST_DIR" && pwd)"
+
+# The benches write bench_out/ relative to their working directory.
+cd "$BUILD_DIR"
+
+echo "== bench_perf_engine_batch =="
+VIRE_TAGS="${VIRE_BATCH_TAGS:-16}" VIRE_ROUNDS="${VIRE_BATCH_ROUNDS:-3}" \
+  ./bench/bench_perf_engine_batch
+
+echo "== bench_fault_degradation =="
+VIRE_TAGS="${VIRE_FAULT_TAGS:-4}" VIRE_ROUNDS="${VIRE_FAULT_ROUNDS:-4}" \
+  ./bench/bench_fault_degradation
+
+echo "== bench_perf_localize =="
+./bench/bench_perf_localize --benchmark_filter="$FILTER"
+
+echo "== bench_perf_interpolation =="
+./bench/bench_perf_interpolation --benchmark_filter="$FILTER"
+
+count=0
+for report in bench_out/BENCH_*.json; do
+  [ -e "$report" ] || continue
+  cp "$report" "$DEST_DIR/"
+  count=$((count + 1))
+done
+
+if [ "$count" -eq 0 ]; then
+  echo "collect_bench: no BENCH_*.json produced" >&2
+  exit 1
+fi
+echo "collect_bench: copied $count report(s) to $DEST_DIR"

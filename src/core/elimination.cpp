@@ -77,10 +77,15 @@ EliminationResult EliminationEngine::run_fixed(const VirtualGrid& grid,
                                                const sim::RssiVector& tracking) const {
   EliminationResult result;
   result.thresholds_db.assign(tracking.size(), config_.fixed_threshold_db);
+  result.initial_threshold_db = config_.fixed_threshold_db;
+  result.final_threshold_db = config_.fixed_threshold_db;
   const auto readers = valid_readers(tracking);
   result.maps = build_maps(grid, tracking, readers, config_.fixed_threshold_db);
   result.survivors = result.maps.empty() ? std::vector<bool>(grid.node_count(), false)
                                          : intersect_maps(result.maps);
+  if (!result.maps.empty()) {
+    result.survivors_per_step.push_back(count_marked(result.survivors));
+  }
   if (!result.maps.empty() && count_marked(result.survivors) == 0) {
     // A too-small fixed threshold "sweeps away" the real position (paper
     // Sec. 5.3); a deployed system must still answer, so fall back to the
@@ -96,6 +101,8 @@ EliminationResult EliminationEngine::run_adaptive(
   const std::vector<int> readers = valid_readers(tracking);
   EliminationResult result;
   result.thresholds_db.assign(tracking.size(), config_.initial_threshold_db);
+  result.initial_threshold_db = config_.initial_threshold_db;
+  result.final_threshold_db = config_.initial_threshold_db;
   if (readers.empty()) {
     result.survivors.assign(grid.node_count(), false);
     return result;
@@ -108,6 +115,7 @@ EliminationResult EliminationEngine::run_adaptive(
   std::vector<ProximityMap> best_maps =
       build_maps(grid, tracking, readers, best_threshold);
   std::vector<bool> best_intersection = intersect_maps(best_maps);
+  result.survivors_per_step.push_back(count_marked(best_intersection));
 
   for (double threshold = config_.initial_threshold_db - config_.step_db;
        threshold >= config_.min_threshold_db - 1e-12;
@@ -119,11 +127,13 @@ EliminationResult EliminationEngine::run_adaptive(
     best_maps = std::move(maps);
     best_intersection = std::move(intersection);
     ++result.refinement_steps;
+    result.survivors_per_step.push_back(count_marked(best_intersection));
   }
 
   for (int k : readers) {
     result.thresholds_db[static_cast<std::size_t>(k)] = best_threshold;
   }
+  result.final_threshold_db = best_threshold;
   result.maps = std::move(best_maps);
   result.survivors = std::move(best_intersection);
   if (count_marked(result.survivors) == 0) {
@@ -137,6 +147,8 @@ EliminationResult EliminationEngine::run_adaptive_per_reader(
   const std::vector<int> readers = valid_readers(tracking);
   EliminationResult result;
   result.thresholds_db.assign(tracking.size(), config_.initial_threshold_db);
+  result.initial_threshold_db = config_.initial_threshold_db;
+  result.final_threshold_db = config_.initial_threshold_db;
   if (readers.empty()) {
     result.survivors.assign(grid.node_count(), false);
     return result;
@@ -148,6 +160,7 @@ EliminationResult EliminationEngine::run_adaptive_per_reader(
   std::vector<double> thresholds(readers.size(), config_.initial_threshold_db);
   std::vector<bool> frozen(readers.size(), false);
   auto intersection = intersect_maps(maps);
+  result.survivors_per_step.push_back(count_marked(intersection));
 
   // Greedy: shrink the largest-area unfrozen reader while the intersection
   // keeps the minimum area, then freeze it and move to the next.
@@ -176,6 +189,7 @@ EliminationResult EliminationEngine::run_adaptive_per_reader(
       maps[i] = std::move(trial);
       intersection = std::move(trial_intersection);
       ++result.refinement_steps;
+      result.survivors_per_step.push_back(count_marked(intersection));
     }
     frozen[i] = true;
   }
@@ -183,6 +197,8 @@ EliminationResult EliminationEngine::run_adaptive_per_reader(
   for (std::size_t i = 0; i < readers.size(); ++i) {
     result.thresholds_db[static_cast<std::size_t>(readers[i])] = thresholds[i];
   }
+  result.final_threshold_db =
+      *std::min_element(thresholds.begin(), thresholds.end());
   result.maps = std::move(maps);
   result.survivors = std::move(intersection);
   if (count_marked(result.survivors) == 0) {

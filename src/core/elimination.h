@@ -51,6 +51,14 @@ struct EliminationResult {
   /// Threshold-reduction steps actually applied by the adaptive modes (0 for
   /// kFixed): the refinement depth the runtime metrics track per locate.
   int refinement_steps = 0;
+  /// Threshold-refinement provenance (the flight recorder's "why this fix"
+  /// path): the starting common threshold, the accepted final one (the
+  /// smallest per-reader threshold in kAdaptivePerReader mode), and the
+  /// surviving-intersection size after the initial pass plus each accepted
+  /// reduction — size refinement_steps + 1 whenever any reader voted.
+  double initial_threshold_db = 0.0;
+  double final_threshold_db = 0.0;
+  std::vector<std::size_t> survivors_per_step;
   [[nodiscard]] std::size_t survivor_count() const noexcept {
     return count_marked(survivors);
   }

@@ -99,6 +99,8 @@ WeightedEstimate compute_estimate(const VirtualGrid& grid,
     est.w2.push_back(w2);
   }
 
+  est.cluster_sizes = component_sizes;
+  est.cluster_weights.assign(component_sizes.size(), 0.0);
   if (est.nodes.empty()) return est;
 
   est.weights.resize(est.nodes.size());
@@ -118,6 +120,8 @@ WeightedEstimate compute_estimate(const VirtualGrid& grid,
   for (std::size_t i = 0; i < est.nodes.size(); ++i) {
     est.weights[i] /= sum;
     position += grid.position(est.nodes[i]) * est.weights[i];
+    est.cluster_weights[static_cast<std::size_t>(labels[est.nodes[i]])] +=
+        est.weights[i];
   }
   est.position = position;
   return est;

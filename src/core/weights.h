@@ -40,6 +40,11 @@ struct WeightedEstimate {
   /// Diagnostics: per-survivor raw w1/w2 (pre-normalisation).
   std::vector<double> w1;
   std::vector<double> w2;
+  /// Per-cluster provenance: region count and total normalised weight of
+  /// each 4-connected surviving cluster (aligned; cluster order = label
+  /// order from label_components). Empty when nothing survived.
+  std::vector<std::size_t> cluster_sizes;
+  std::vector<double> cluster_weights;
 };
 
 /// Computes the weighted centroid of the surviving regions.

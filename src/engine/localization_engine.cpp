@@ -1,9 +1,12 @@
 #include "engine/localization_engine.h"
 
 #include <cmath>
+#include <exception>
 #include <limits>
 #include <stdexcept>
 #include <utility>
+
+#include "support/log.h"
 
 namespace vire::engine {
 
@@ -59,7 +62,9 @@ LocalizationEngine::LocalizationEngine(const env::Deployment& deployment,
       config_(config),
       localizer_(deployment.reference_grid(), config.vire),
       fallback_(config.degradation.fallback),
-      health_(deployment.reader_count(), config.degradation.health) {
+      health_(deployment.reader_count(), config.degradation.health),
+      tracer_(config.observability.trace_capacity),
+      recorder_(config.observability.flight_recorder_fixes) {
   if (config_.parallel_workers < 0) {
     throw std::invalid_argument("LocalizationEngine: parallel_workers must be >= 0");
   }
@@ -119,12 +124,22 @@ LocalizationEngine::LocalizationEngine(const env::Deployment& deployment,
   inst_.refinement_steps = &metrics_.histogram(
       "vire_engine_threshold_refinement_steps", obs::linear_buckets(0.0, 1.0, 15),
       {}, "Adaptive threshold-reduction steps per locate");
+  inst_.anomaly_quality = &metrics_.counter(
+      "vire_engine_anomaly_dumps_total", "trigger=\"quality_drop\"",
+      "Anomaly-triggered provenance dumps, by trigger");
+  inst_.anomaly_latency = &metrics_.counter(
+      "vire_engine_anomaly_dumps_total", "trigger=\"latency_slo\"",
+      "Anomaly-triggered provenance dumps, by trigger");
   health_.attach_metrics(metrics_);
+
+  tracer_.set_enabled(config_.observability.enable_tracing);
+  tracer_.set_thread_name("engine");
 
   if (config_.parallel_workers != 1) {
     pool_ = std::make_unique<support::ThreadPool>(
         static_cast<std::size_t>(config_.parallel_workers));
     pool_->attach_metrics(metrics_);
+    pool_->attach_tracer(&tracer_);
   }
 }
 
@@ -146,6 +161,17 @@ void LocalizationEngine::untrack(sim::TagId id) {
   tracked_.erase(id);
   trackers_.erase(id);
   last_good_.erase(id);
+  last_quality_.erase(id);
+}
+
+std::pair<std::filesystem::path, std::filesystem::path>
+LocalizationEngine::dump_provenance(const std::filesystem::path& dir,
+                                    const std::string& stem) const {
+  const std::filesystem::path trace_path = dir / (stem + "_trace.json");
+  const std::filesystem::path flight_path = dir / (stem + "_flight.json");
+  tracer_.write_chrome_json(trace_path);
+  obs::write_flight_dump(recorder_, flight_path);
+  return {trace_path, flight_path};
 }
 
 const core::TrackingFilter* LocalizationEngine::tracker(sim::TagId id) const {
@@ -173,6 +199,13 @@ void LocalizationEngine::refresh_references(
   }
   {
     const obs::ScopedTimer timer(inst_.stage_interpolation);
+    // Args are only materialised when tracing is on (the ternary keeps the
+    // disabled path allocation-free).
+    const obs::TraceSpan span(
+        &tracer_, "engine.interpolation",
+        tracer_.enabled() ? "{\"references\":" +
+                                std::to_string(reference_rssi.size()) + "}"
+                          : std::string{});
     localizer_.set_reference_rssi(reference_rssi, pool_.get());
   }
   last_reference_rssi_ = reference_rssi;
@@ -187,6 +220,14 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
   }
   const obs::Stopwatch update_watch;
   inst_.updates->inc();
+  // Trace args are only materialised when tracing is on (the ternaries keep
+  // the disabled path allocation-free; a null/disabled TraceSpan reads no
+  // clock and takes no lock).
+  const obs::TraceSpan update_span(
+      &tracer_, "engine.update",
+      tracer_.enabled() ? "{\"sim_time\":" + std::to_string(now) +
+                              ",\"tags\":" + std::to_string(tracked_.size()) + "}"
+                        : std::string{});
 
   // Reference readings are fetched on every update: the health monitor needs
   // them as probes even when the grid refresh is rate-limited.
@@ -195,7 +236,10 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
   for (const sim::TagId id : reference_ids_) {
     reference_rssi.push_back(middleware.rssi_vector(id));
   }
-  health_.assess(reference_rssi, now);
+  {
+    const obs::TraceSpan span(&tracer_, "engine.health");
+    health_.assess(reference_rssi, now);
+  }
   const std::vector<bool>& mask = health_.healthy_mask();
   const bool degraded_mode = !health_.all_healthy();
 
@@ -254,16 +298,39 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
   // above, so the fan-out stays free of shared mutable state.
   auto locate_item = [&](std::size_t i) {
     Item& item = items[i];
+    const bool tracing = tracer_.enabled();
+    const double locate_start_us = tracing ? tracer_.now_us() : 0.0;
     if (item.valid_readers >= config_.min_valid_readers && item.valid_readers > 0) {
       item.result = localizer_.locate(item.rssi, &item.stats);
+      if (tracing && item.result) {
+        // Elimination runs first inside locate(), weighting follows; both
+        // durations come from the stage timers, so the child spans are laid
+        // end to end from the measured locate start.
+        const std::string tag_args = "{\"tag\":" + std::to_string(item.id) + "}";
+        const double elim_end_us =
+            locate_start_us + 1e6 * item.stats.elimination_seconds;
+        tracer_.complete("engine.elimination", locate_start_us, elim_end_us,
+                         tag_args);
+        tracer_.complete("engine.weighting", elim_end_us,
+                         elim_end_us + 1e6 * item.stats.weighting_seconds,
+                         tag_args);
+      }
     }
     if (!item.result && fallback_ready &&
         item.valid_readers >= config_.degradation.fallback_min_readers) {
       item.fallback = fallback_.locate(item.rssi);
     }
+    if (tracing) {
+      tracer_.complete("engine.locate_tag", locate_start_us, tracer_.now_us(),
+                       "{\"tag\":" + std::to_string(item.id) + "}");
+    }
   };
   {
     const obs::ScopedTimer locate_timer(inst_.stage_locate);
+    const obs::TraceSpan span(
+        &tracer_, "engine.locate",
+        tracer_.enabled() ? "{\"items\":" + std::to_string(items.size()) + "}"
+                          : std::string{});
     if (pool_) {
       support::parallel_for(0, items.size(), locate_item, pool_.get());
     } else {
@@ -273,9 +340,13 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
 
   // Merge serially in tag order: tracker updates, hold bookkeeping and Fix
   // assembly happen in the same deterministic order regardless of worker
-  // count.
+  // count. All provenance capture (flight records, quality transitions)
+  // lives here for the same reason — the trace and recorder contents are
+  // identical at any worker count modulo timestamps.
   std::vector<Fix> fixes;
   fixes.reserve(items.size());
+  bool quality_drop = false;
+  const double merge_start_us = tracer_.enabled() ? tracer_.now_us() : 0.0;
   for (Item& item : items) {
     Fix fix;
     fix.tag = item.id;
@@ -326,12 +397,98 @@ std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,
       inst_.fixes_invalid->inc();
     }
     quality_counter(fix.quality)->inc();
+
+    // Quality-transition tracking: a tag leaving kOk is the anomaly trigger;
+    // every transition becomes a global instant so Perfetto lines it up with
+    // the fault markers that caused it.
+    const auto prev = last_quality_.find(item.id);
+    const FixQuality previous =
+        prev == last_quality_.end() ? fix.quality : prev->second;
+    if (previous != fix.quality) {
+      if (tracer_.enabled()) {
+        tracer_.instant("engine.quality_transition",
+                        "{\"tag\":" + std::to_string(item.id) + ",\"from\":\"" +
+                            std::string(to_string(previous)) + "\",\"to\":\"" +
+                            std::string(to_string(fix.quality)) + "\"}",
+                        'g');
+      }
+      if (previous == FixQuality::kOk) quality_drop = true;
+    }
+    last_quality_[item.id] = fix.quality;
+
+    if (recorder_.capacity() > 0) {
+      obs::FixRecord rec;
+      rec.sequence = fix_sequence_++;
+      rec.time = now;
+      rec.tag = static_cast<std::uint32_t>(item.id);
+      rec.name = fix.name;
+      rec.quality = std::string(to_string(fix.quality));
+      rec.decision = item.result        ? "vire"
+                     : item.fallback    ? "fallback"
+                     : fix.quality == FixQuality::kHold ? "hold"
+                                                        : "none";
+      rec.valid = fix.valid;
+      rec.used_fallback = fix.used_fallback;
+      rec.age_s = fix.age_s;
+      rec.x = fix.position.x;
+      rec.y = fix.position.y;
+      rec.readers.reserve(item.rssi.size());
+      for (std::size_t k = 0; k < item.rssi.size(); ++k) {
+        rec.readers.push_back(
+            {item.rssi[k], k < mask.size() ? static_cast<bool>(mask[k]) : true});
+      }
+      if (item.result) {
+        const core::EliminationResult& elim = item.result->elimination;
+        rec.refinement.initial_threshold_db = elim.initial_threshold_db;
+        rec.refinement.final_threshold_db = elim.final_threshold_db;
+        rec.refinement.steps = elim.refinement_steps;
+        rec.refinement.survivors_per_step.assign(elim.survivors_per_step.begin(),
+                                                 elim.survivors_per_step.end());
+        rec.survivor_count = fix.survivor_count;
+        const core::WeightedEstimate& est = item.result->estimate;
+        rec.clusters.reserve(est.cluster_sizes.size());
+        for (std::size_t c = 0; c < est.cluster_sizes.size(); ++c) {
+          rec.clusters.push_back({est.cluster_sizes[c], est.cluster_weights[c]});
+        }
+        rec.elimination_seconds = item.stats.elimination_seconds;
+        rec.weighting_seconds = item.stats.weighting_seconds;
+      }
+      recorder_.record(std::move(rec));
+    }
+
     fixes.push_back(std::move(fix));
+  }
+  if (tracer_.enabled()) {
+    tracer_.complete("engine.merge", merge_start_us, tracer_.now_us());
   }
 
   const double elapsed = update_watch.elapsed_seconds();
   inst_.update_seconds->observe(elapsed);
   if (degraded_mode) inst_.degraded_update_seconds->observe(elapsed);
+
+  const bool latency_breach =
+      config_.observability.update_latency_slo_s > 0.0 &&
+      elapsed > config_.observability.update_latency_slo_s;
+  if (latency_breach && tracer_.enabled()) {
+    tracer_.instant("engine.latency_slo_breach",
+                    "{\"elapsed_s\":" + std::to_string(elapsed) + ",\"slo_s\":" +
+                        std::to_string(config_.observability.update_latency_slo_s) +
+                        "}",
+                    'g');
+  }
+  if ((quality_drop || latency_breach) && config_.observability.max_auto_dumps > 0 &&
+      auto_dumps_ < config_.observability.max_auto_dumps) {
+    if (quality_drop) inst_.anomaly_quality->inc();
+    if (latency_breach) inst_.anomaly_latency->inc();
+    const std::string stem = "anomaly_" + std::to_string(auto_dumps_);
+    ++auto_dumps_;
+    try {
+      dump_provenance(config_.observability.anomaly_dump_dir, stem);
+    } catch (const std::exception& e) {
+      support::log_warn("anomaly provenance dump (%s) failed: %s", stem.c_str(),
+                        e.what());
+    }
+  }
   return fixes;
 }
 

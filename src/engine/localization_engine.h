@@ -27,11 +27,14 @@
 // bookkeeping all run in the serial sections, so the degradation machinery
 // preserves that contract.
 
+#include <cstdint>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/tracking_filter.h"
@@ -39,7 +42,9 @@
 #include "engine/health_monitor.h"
 #include "env/deployment.h"
 #include "landmarc/landmarc.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/middleware.h"
 #include "support/thread_pool.h"
 
@@ -64,6 +69,28 @@ struct DegradationConfig {
   double hold_max_age_s = 20.0;
 };
 
+/// Tracing + flight-recorder knobs (see docs/observability.md). Both are
+/// pure side channels: fixes are bit-identical with them on or off, at any
+/// worker count.
+struct ObservabilityConfig {
+  /// Start the span tracer enabled. It can be toggled at runtime through
+  /// tracer().set_enabled(); disabled tracing costs one relaxed atomic load
+  /// per instrumentation point.
+  bool enable_tracing = false;
+  /// Trace ring capacity in events (oldest events are overwritten).
+  std::size_t trace_capacity = 65536;
+  /// Fixes retained by the flight recorder; 0 disables provenance capture.
+  std::size_t flight_recorder_fixes = 256;
+  /// update() latency SLO (seconds); an update slower than this triggers an
+  /// anomaly dump. 0 disables the latency trigger.
+  double update_latency_slo_s = 0.0;
+  /// Where anomaly-triggered dumps land (trace + flight JSON per anomaly).
+  std::filesystem::path anomaly_dump_dir = "obs_out";
+  /// Anomaly dumps are capped per engine lifetime so a flapping reader
+  /// cannot fill the disk; 0 disables auto-dumping entirely.
+  int max_auto_dumps = 4;
+};
+
 struct EngineConfig {
   core::VireConfig vire = core::recommended_vire_config();
   core::TrackingFilterConfig tracking;
@@ -84,6 +111,7 @@ struct EngineConfig {
   /// fixes — parallelism changes throughput, never results.
   int parallel_workers = 1;
   DegradationConfig degradation;
+  ObservabilityConfig observability;
 };
 
 /// Confidence ladder of a Fix, from best to worst. kOk and kDegraded carry a
@@ -162,6 +190,31 @@ class LocalizationEngine {
     return metrics_;
   }
 
+  /// The pipeline span tracer (Chrome trace-event JSON; see
+  /// docs/observability.md). Always constructed; starts enabled iff
+  /// ObservabilityConfig::enable_tracing. Other components plug into the
+  /// same timeline via their attach_tracer() (middleware, fault injector —
+  /// the pool is attached automatically).
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Full provenance of the last N fixes (N =
+  /// ObservabilityConfig::flight_recorder_fixes; empty when 0).
+  [[nodiscard]] const obs::FlightRecorder& flight_recorder() const noexcept {
+    return recorder_;
+  }
+
+  /// Writes `<stem>_trace.json` (Chrome trace-event) and `<stem>_flight.json`
+  /// (flight-recorder dump) under `dir`, creating it if needed, and returns
+  /// the two paths. Throws std::runtime_error on I/O failure. The anomaly
+  /// auto-dump calls this with stem "anomaly_<n>" (failures there are logged,
+  /// never thrown into update()).
+  std::pair<std::filesystem::path, std::filesystem::path> dump_provenance(
+      const std::filesystem::path& dir, const std::string& stem = "vire") const;
+
+  /// Anomaly dumps written so far (capped at max_auto_dumps).
+  [[nodiscard]] int auto_dump_count() const noexcept { return auto_dumps_; }
+
  private:
   void refresh_references(const std::vector<sim::RssiVector>& reference_rssi,
                           sim::SimTime now, bool force);
@@ -185,6 +238,8 @@ class LocalizationEngine {
     obs::Histogram* stage_locate = nullptr;
     obs::Histogram* survivors = nullptr;
     obs::Histogram* refinement_steps = nullptr;
+    obs::Counter* anomaly_quality = nullptr;
+    obs::Counter* anomaly_latency = nullptr;
   };
 
   /// Last fresh (kOk/kDegraded) estimate per tag, for the bounded hold.
@@ -212,6 +267,15 @@ class LocalizationEngine {
   /// the registry must be destroyed after the pool.
   obs::MetricsRegistry metrics_;
   Instruments inst_;
+  /// Same destruction-order rule as metrics_: workers emit pool.task spans
+  /// until joined, so the tracer must outlive the pool.
+  obs::Tracer tracer_;
+  obs::FlightRecorder recorder_;
+  /// Previous update's quality per tag, for the quality-transition anomaly
+  /// trigger (a tag leaving kOk).
+  std::map<sim::TagId, FixQuality> last_quality_;
+  std::uint64_t fix_sequence_ = 0;
+  int auto_dumps_ = 0;
   std::unique_ptr<support::ThreadPool> pool_;
 };
 

@@ -73,6 +73,15 @@ void FaultInjector::update_pending_gauge() {
   }
 }
 
+void FaultInjector::mark(const char* type, const sim::RssiReading& reading) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  tracer_->instant(std::string("fault.") + type,
+                   "{\"tag\":" + std::to_string(reading.tag) +
+                       ",\"reader\":" + std::to_string(reading.reader) +
+                       ",\"sim_time\":" + std::to_string(reading.time) + "}",
+                   'g');
+}
+
 void FaultInjector::process(const sim::RssiReading& reading,
                             std::vector<sim::RssiReading>& out) {
   ++stats_.processed;
@@ -82,6 +91,7 @@ void FaultInjector::process(const sim::RssiReading& reading,
     if (outage.reader == reading.reader && outage.window.contains(t)) {
       ++stats_.outage_drops;
       if (inst_.outage_drops != nullptr) inst_.outage_drops->inc();
+      mark("reader_outage", reading);
       return;
     }
   }
@@ -91,6 +101,7 @@ void FaultInjector::process(const sim::RssiReading& reading,
     if (draw(reading, kSaltDropout + i) < drop.drop_rate) {
       ++stats_.link_drops;
       if (inst_.link_drops != nullptr) inst_.link_drops->inc();
+      mark("link_drop", reading);
       return;
     }
   }
@@ -101,6 +112,7 @@ void FaultInjector::process(const sim::RssiReading& reading,
     delivered.rssi_dbm += bias.bias_db;
     ++stats_.biased;
     if (inst_.biased != nullptr) inst_.biased->inc();
+    mark("rssi_bias", reading);
   }
   for (std::size_t i = 0; i < plan_.spikes.size(); ++i) {
     const auto& spike = plan_.spikes[i];
@@ -111,6 +123,7 @@ void FaultInjector::process(const sim::RssiReading& reading,
           ((sign_bits & 1) != 0 ? spike.magnitude_db : -spike.magnitude_db);
       ++stats_.spiked;
       if (inst_.spiked != nullptr) inst_.spiked->inc();
+      mark("rssi_spike", reading);
     }
   }
   for (const auto& skew : plan_.skews) {
@@ -118,6 +131,7 @@ void FaultInjector::process(const sim::RssiReading& reading,
     delivered.time += skew.offset_s;
     ++stats_.skewed;
     if (inst_.skewed != nullptr) inst_.skewed->inc();
+    mark("clock_skew", reading);
   }
 
   bool held_back = false;
@@ -132,6 +146,7 @@ void FaultInjector::process(const sim::RssiReading& reading,
       buffer(t + wait, delivered);
       ++stats_.delayed;
       if (inst_.delayed != nullptr) inst_.delayed->inc();
+      mark("delay", reading);
       held_back = true;
       break;  // one hold-back is enough; further delay entries are moot
     }
@@ -143,6 +158,7 @@ void FaultInjector::process(const sim::RssiReading& reading,
       buffer(t + dup.echo_delay_s, delivered);
       ++stats_.duplicated;
       if (inst_.duplicated != nullptr) inst_.duplicated->inc();
+      mark("duplicate", reading);
     }
   }
 

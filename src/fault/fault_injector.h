@@ -22,6 +22,7 @@
 
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/types.h"
 
 namespace vire::fault {
@@ -57,6 +58,12 @@ class FaultInjector final : public sim::ReadingInterceptor {
   /// injector. Pure side channel: injection decisions are unchanged.
   void attach_metrics(obs::MetricsRegistry& registry);
 
+  /// Attaches a tracer: every injected fault becomes a global-scope instant
+  /// event ("fault.<type>" with tag/reader/sim-time args), so cause lines up
+  /// visually with the engine's quality transitions in Perfetto. Pass
+  /// nullptr to detach. Pure side channel: injection decisions are unchanged.
+  void attach_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   [[nodiscard]] const InjectionStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
@@ -70,6 +77,8 @@ class FaultInjector final : public sim::ReadingInterceptor {
                             std::uint64_t* extra_bits = nullptr) const noexcept;
   void buffer(sim::SimTime delivery, const sim::RssiReading& reading);
   void update_pending_gauge();
+  /// Emits the "fault.<type>" instant event if a tracer is attached+enabled.
+  void mark(const char* type, const sim::RssiReading& reading);
 
   struct Pending {
     sim::SimTime delivery;
@@ -99,6 +108,7 @@ class FaultInjector final : public sim::ReadingInterceptor {
     obs::Gauge* pending = nullptr;
   };
   Instruments inst_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace vire::fault

@@ -55,6 +55,24 @@ std::string json_number(double v) {
 
 }  // namespace
 
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string label_pair(const std::string& name, const std::string& value) {
+  return name + "=\"" + escape_label_value(value) + "\"";
+}
+
 std::string format_double(double v) {
   if (std::isnan(v)) return "NaN";
   if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";

@@ -37,4 +37,14 @@ void write_prometheus_snapshot(const MetricsRegistry& registry,
 /// Non-finite values render as "NaN"/"+Inf"/"-Inf" (Prometheus spelling).
 [[nodiscard]] std::string format_double(double v);
 
+/// Escapes a raw string for use inside a Prometheus label value (text
+/// exposition format): backslash, double quote and newline become \\, \"
+/// and \n. Use when a label value comes from free-form input (tag names,
+/// file paths) rather than a fixed enum.
+[[nodiscard]] std::string escape_label_value(const std::string& value);
+
+/// Formats one `name="value"` label pair with the value escaped.
+[[nodiscard]] std::string label_pair(const std::string& name,
+                                     const std::string& value);
+
 }  // namespace vire::obs

@@ -1,0 +1,133 @@
+#pragma once
+// Span-based pipeline tracer emitting Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing).
+//
+// Design constraints (see docs/observability.md):
+//  * disabled tracing costs ~zero on the hot path: every recording entry
+//    point starts with one relaxed atomic-bool load and returns — no locks,
+//    no allocation, no clock read;
+//  * enabled tracing buffers into a fixed-capacity ring (oldest events are
+//    overwritten, never reallocated), guarded by a mutex — worker threads
+//    emit concurrently, and event rates are span-per-stage/task, not
+//    per-sample, so the mutex is uncontended in practice;
+//  * tracing is a pure side channel: timestamps are wall clock and never
+//    feed back into localization, so the engine's bit-identical determinism
+//    contract holds with tracing on at any worker count (covered by
+//    tests/engine/trace_pipeline_test.cpp).
+//
+// Timestamps are microseconds since the tracer's construction (steady
+// clock). Thread ids are small stable integers assigned per OS thread on
+// first use; set_thread_name() attaches Perfetto thread labels.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vire::obs {
+
+/// One recorded event, already reduced to Chrome trace-event fields.
+struct TraceEvent {
+  std::string name;
+  char ph = 'X';        ///< 'X' complete, 'i' instant
+  char scope = 't';     ///< instant events only: 't' thread, 'p' process, 'g' global
+  double ts_us = 0.0;   ///< microseconds since tracer epoch
+  double dur_us = 0.0;  ///< complete events only
+  std::uint32_t tid = 0;
+  std::string args;     ///< preformatted JSON object (e.g. R"({"tag":3})"), may be empty
+};
+
+class Tracer {
+ public:
+  /// @param capacity ring size in events (>= 1); the last `capacity` events
+  ///        are retained, older ones are overwritten and counted as dropped.
+  explicit Tracer(std::size_t capacity = 65536);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Tracing starts disabled; recording entry points are no-ops until this
+  /// is flipped on (a relaxed atomic load is the entire disabled cost).
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since tracer construction (steady clock).
+  [[nodiscard]] double now_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Records a complete ('X') event spanning [start_us, end_us].
+  void complete(std::string name, double start_us, double end_us,
+                std::string args = {});
+  /// Records an instant ('i') event at the current time. `scope` 'g' draws
+  /// a full-height marker line in Perfetto — used for fault injections and
+  /// quality transitions so cause and effect line up visually.
+  void instant(std::string name, std::string args = {}, char scope = 't');
+
+  /// Stable small id of the calling thread (assigned on first use).
+  [[nodiscard]] std::uint32_t thread_id();
+  /// Names the calling thread in the trace (Perfetto thread_name metadata).
+  void set_thread_name(std::string name);
+
+  /// Events currently retained, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Events recorded since construction (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+  /// Events lost to ring overwrite.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  void clear();
+
+  /// Renders the retained events as a Chrome trace-event JSON document
+  /// ({"displayTimeUnit":"ms","traceEvents":[...]}), including process and
+  /// thread-name metadata events.
+  [[nodiscard]] std::string to_chrome_json() const;
+  /// Writes to_chrome_json() to `path`, creating parent directories.
+  /// Throws std::runtime_error on I/O failure.
+  void write_chrome_json(const std::filesystem::path& path) const;
+
+ private:
+  void push(TraceEvent event);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;       ///< fixed capacity, never reallocated
+  std::uint64_t head_ = 0;             ///< total events pushed (next slot = head_ % capacity)
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
+};
+
+/// RAII span: records one complete event from construction to destruction.
+/// Null or disabled tracer => fully inert (no clock read).
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name, std::string args = {})
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name),
+        args_(std::move(args)),
+        start_us_(tracer_ != nullptr ? tracer_->now_us() : 0.0) {}
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->complete(name_, start_us_, tracer_->now_us(), std::move(args_));
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  std::string args_;
+  double start_us_;
+};
+
+}  // namespace vire::obs

@@ -35,11 +35,22 @@ void Middleware::ingest(const RssiReading& reading) {
   if (!std::isfinite(reading.time) || !std::isfinite(reading.rssi_dbm)) {
     ++rejected_;
     if (rejected_non_finite_ != nullptr) rejected_non_finite_->inc();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->instant("middleware.reject",
+                       "{\"reason\":\"non_finite\",\"tag\":" +
+                           std::to_string(reading.tag) + "}");
+    }
     return;
   }
   if (static_cast<int>(reading.reader) >= reader_count_) {
     ++rejected_;
     if (rejected_reader_range_ != nullptr) rejected_reader_range_->inc();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->instant("middleware.reject",
+                       "{\"reason\":\"reader_out_of_range\",\"tag\":" +
+                           std::to_string(reading.tag) + ",\"reader\":" +
+                           std::to_string(reading.reader) + "}");
+    }
     return;
   }
   auto& samples = links_[{reading.tag, reading.reader}];
@@ -55,6 +66,7 @@ void Middleware::ingest(const RssiReading& reading) {
 }
 
 void Middleware::evict_stale(SimTime now) {
+  obs::TraceSpan span(tracer_, "middleware.evict_stale");
   // Window is (now - window_s, now]: strict `<=` so a sample exactly
   // window_s old is evicted, never served.
   const SimTime cutoff = now - config_.window_s;

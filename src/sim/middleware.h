@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/types.h"
 
 namespace vire::sim {
@@ -76,6 +77,12 @@ class Middleware {
   /// Readings rejected by ingest() since construction (all reasons).
   [[nodiscard]] std::uint64_t rejected_count() const noexcept { return rejected_; }
 
+  /// Attaches a tracer: ingest rejections become instant events and
+  /// evict_stale() batches become complete spans. Pass nullptr to detach.
+  /// The tracer must outlive this middleware; same side-channel contract as
+  /// attach_metrics.
+  void attach_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   void clear();
 
  private:
@@ -98,6 +105,7 @@ class Middleware {
   obs::Counter* rejected_non_finite_ = nullptr;
   obs::Counter* rejected_reader_range_ = nullptr;
   obs::Counter* nan_links_served_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::uint64_t rejected_ = 0;
 };
 

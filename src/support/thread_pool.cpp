@@ -11,7 +11,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -39,7 +39,7 @@ void ThreadPool::attach_metrics(obs::MetricsRegistry& registry,
   queue_high_water_.store(&high_water, std::memory_order_release);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
@@ -52,7 +52,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    obs::Tracer* tracer = tracer_.load(std::memory_order_acquire);
+    if (tracer != nullptr && tracer->enabled()) {
+      const double start = tracer->now_us();
+      task();
+      tracer->complete("pool.task", start, tracer->now_us(),
+                       "{\"worker\":" + std::to_string(worker_index) + "}");
+    } else {
+      task();
+    }
     if (auto* counter = tasks_total_.load(std::memory_order_acquire)) counter->inc();
   }
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vire::support {
 
@@ -47,6 +48,14 @@ class ThreadPool {
   void attach_metrics(obs::MetricsRegistry& registry,
                       const std::string& prefix = "vire_threadpool");
 
+  /// Attaches a tracer: every executed task emits a "pool.task" complete
+  /// span tagged with the executing worker's index. Pass nullptr to detach.
+  /// The tracer must outlive the pool. Same contract as attach_metrics: a
+  /// missing or disabled tracer costs one relaxed atomic load per task.
+  void attach_tracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+
   /// Enqueues a task; throws std::runtime_error if the pool is stopping.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
@@ -66,7 +75,7 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -77,6 +86,7 @@ class ThreadPool {
   /// workers read them without the queue mutex.
   std::atomic<obs::Counter*> tasks_total_{nullptr};
   std::atomic<obs::Gauge*> queue_high_water_{nullptr};
+  std::atomic<obs::Tracer*> tracer_{nullptr};
 };
 
 /// Shared process-wide pool (lazily constructed, hardware-concurrency sized).

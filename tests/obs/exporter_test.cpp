@@ -85,6 +85,50 @@ TEST(Exporters, FormatDoubleRoundTrips) {
   EXPECT_EQ(format_double(std::nan("")), "NaN");
 }
 
+TEST(Exporters, EscapeLabelValueHandlesPrometheusSpecials) {
+  // Text exposition format: backslash, double quote and newline are the
+  // three characters that must be escaped inside a label value.
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value(R"(back\slash)"), R"(back\\slash)");
+  EXPECT_EQ(escape_label_value(R"(say "hi")"), R"(say \"hi\")");
+  EXPECT_EQ(escape_label_value("line1\nline2"), R"(line1\nline2)");
+  EXPECT_EQ(escape_label_value("a\\\"b\nc"), R"(a\\\"b\nc)");
+  EXPECT_EQ(escape_label_value(""), "");
+}
+
+TEST(Exporters, LabelPairFormatsAndEscapes) {
+  EXPECT_EQ(label_pair("tag", "pallet-7"), "tag=\"pallet-7\"");
+  EXPECT_EQ(label_pair("path", R"(C:\tmp)"), R"(path="C:\\tmp")");
+  EXPECT_EQ(label_pair("name", "a\"b\nc"), R"(name="a\"b\nc")");
+}
+
+TEST(PrometheusExporter, EscapedLabelValuesSurviveExport) {
+  MetricsRegistry registry;
+  registry
+      .counter("demo_files_total",
+               label_pair("path", "dir\\file \"x\"\ny"), "Files seen")
+      .inc();
+  const std::string out = to_prometheus(registry);
+  EXPECT_NE(out.find("demo_files_total{path=\"dir\\\\file \\\"x\\\"\\ny\"} 1"),
+            std::string::npos)
+      << out;
+  // The physical newline never leaks into the series line.
+  EXPECT_EQ(out.find("\ny\"}"), std::string::npos);
+}
+
+TEST(PrometheusExporter, ObservationsPastTheLastBoundLandInInfBucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("demo_big_seconds", {1.0}, "", "Big");
+  h.observe(100.0);
+  h.observe(1000.0);
+  const std::string out = to_prometheus(registry);
+  // The +Inf bucket is cumulative (== _count) even when every finite bucket
+  // is empty, and the le spelling is exactly "+Inf".
+  EXPECT_NE(out.find("demo_big_seconds_bucket{le=\"1\"} 0"), std::string::npos);
+  EXPECT_NE(out.find("demo_big_seconds_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(out.find("demo_big_seconds_count 2"), std::string::npos);
+}
+
 TEST(Exporters, EmptyRegistryExportsEmptyDocuments) {
   MetricsRegistry registry;
   EXPECT_EQ(to_prometheus(registry), "");

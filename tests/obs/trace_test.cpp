@@ -1,0 +1,254 @@
+// Tracer unit tests: disabled-by-default inertness, ring overwrite
+// semantics, stable thread ids, the Chrome trace-event JSON rendering
+// (schema keys, metadata, escaping), and the TraceSpan RAII helper. The
+// concurrency test doubles as the TSan target for the mutex-guarded ring.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+#include <unistd.h>
+
+namespace vire::obs {
+namespace {
+
+TEST(Tracer, StartsDisabledAndRecordsNothing) {
+  Tracer tracer(16);
+  EXPECT_FALSE(tracer.enabled());
+  tracer.complete("span", 0.0, 10.0);
+  tracer.instant("marker");
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Tracer, RecordsCompleteAndInstantEventsWhenEnabled) {
+  Tracer tracer(16);
+  tracer.set_enabled(true);
+  tracer.complete("stage", 5.0, 30.0, R"({"tag":3})");
+  tracer.instant("fault", R"({"reader":2})", 'g');
+
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "stage");
+  EXPECT_EQ(events[0].ph, 'X');
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 5.0);
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 25.0);
+  EXPECT_EQ(events[0].args, R"({"tag":3})");
+  EXPECT_EQ(events[1].name, "fault");
+  EXPECT_EQ(events[1].ph, 'i');
+  EXPECT_EQ(events[1].scope, 'g');
+  EXPECT_GE(events[1].ts_us, 0.0);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST(Tracer, NegativeDurationClampsToZero) {
+  Tracer tracer(4);
+  tracer.set_enabled(true);
+  tracer.complete("backwards", 10.0, 5.0);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 0.0);
+}
+
+TEST(Tracer, RingOverwriteKeepsNewestOldestFirst) {
+  Tracer tracer(3);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    tracer.instant("e" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.recorded(), 5u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "e2");
+  EXPECT_EQ(events[1].name, "e3");
+  EXPECT_EQ(events[2].name, "e4");
+}
+
+TEST(Tracer, ZeroCapacityClampsToOne) {
+  Tracer tracer(0);
+  EXPECT_EQ(tracer.capacity(), 1u);
+  tracer.set_enabled(true);
+  tracer.instant("a");
+  tracer.instant("b");
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "b");
+}
+
+TEST(Tracer, ClearDropsRetainedEvents) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  tracer.instant("a");
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Tracer, ThreadIdsAreStablePerThreadAndDistinctAcrossThreads) {
+  Tracer tracer(8);
+  const std::uint32_t mine = tracer.thread_id();
+  EXPECT_EQ(tracer.thread_id(), mine);
+  std::uint32_t other = mine;
+  std::thread([&] { other = tracer.thread_id(); }).join();
+  EXPECT_NE(other, mine);
+}
+
+TEST(Tracer, NowIsMonotonic) {
+  Tracer tracer;
+  const double a = tracer.now_us();
+  const double b = tracer.now_us();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(Tracer, ChromeJsonCarriesSchemaKeysAndMetadata) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  tracer.set_thread_name("engine");
+  tracer.complete("engine.update", 1.0, 2.5, R"({"tags":3})");
+  tracer.instant("engine.quality_transition", {}, 'g');
+
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"process_name\",\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"engine\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"engine.update\",\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find(",\"ts\":1.000,\"dur\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"tags\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"g\""), std::string::npos);
+  // Every event — metadata included — carries ph/ts/tid, so consumers can
+  // assert a uniform schema: process_name + thread_name + 2 events = 4.
+  const auto occurrences = [&json](const char* needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(occurrences("\"ph\":"), 4u);
+  EXPECT_EQ(occurrences("\"ts\":"), 4u);
+  EXPECT_EQ(occurrences("\"tid\":"), 4u);
+}
+
+TEST(Tracer, ChromeJsonEscapesNamesAndThreadNames) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  tracer.set_thread_name("line1\nline2");
+  tracer.instant("quote\"back\\slash");
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find(R"(quote\"back\\slash)"), std::string::npos);
+  EXPECT_NE(json.find(R"(line1\nline2)"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(Tracer, SetThreadNameOverwritesPreviousName) {
+  Tracer tracer(8);
+  tracer.set_thread_name("first");
+  tracer.set_thread_name("second");
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_EQ(json.find("\"name\":\"first\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"second\"}"), std::string::npos);
+}
+
+TEST(Tracer, ConcurrentEmittersLoseNothingBelowCapacity) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 256;
+  Tracer tracer(kThreads * kPerThread);
+  tracer.set_enabled(true);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const double start = tracer.now_us();
+        tracer.complete("w" + std::to_string(t), start, tracer.now_us());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tracer.recorded(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.snapshot().size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(TraceSpan, NullTracerAndDisabledTracerAreInert) {
+  { TraceSpan span(nullptr, "noop"); }
+  Tracer tracer(8);
+  { TraceSpan span(&tracer, "disabled"); }
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(TraceSpan, RecordsOneCompleteEventOnDestruction) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  {
+    TraceSpan span(&tracer, "scoped", R"({"k":1})");
+    EXPECT_EQ(tracer.recorded(), 0u);  // not yet — records on destruction
+  }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "scoped");
+  EXPECT_EQ(events[0].ph, 'X');
+  EXPECT_EQ(events[0].args, R"({"k":1})");
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST(TraceSpan, DisableMidSpanDropsTheEvent) {
+  // complete() rechecks enabled() at destruction, so flipping the tracer off
+  // mid-span suppresses the event instead of recording a half-configured one.
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  {
+    TraceSpan span(&tracer, "latched");
+    tracer.set_enabled(false);
+  }
+  EXPECT_EQ(tracer.recorded(), 0u);  // complete() checks enabled() again
+  tracer.set_enabled(true);
+  {
+    TraceSpan span(&tracer, "live");
+  }
+  EXPECT_EQ(tracer.recorded(), 1u);
+}
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vire_obs_trace_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(TraceFileTest, WriteChromeJsonCreatesParentDirectories) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  tracer.instant("marker");
+  const auto path = dir_ / "nested" / "trace.json";
+  tracer.write_chrome_json(path);
+
+  std::ifstream in(path);
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_EQ(text.str(), tracer.to_chrome_json() + "\n");
+}
+
+TEST_F(TraceFileTest, WriteChromeJsonThrowsOnUnwritablePath) {
+  Tracer tracer(8);
+  EXPECT_THROW(tracer.write_chrome_json(dir_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vire::obs
