@@ -1,0 +1,212 @@
+// Persistence overhead and recovery speed: how expensive is crash safety?
+// Three headline numbers (docs/robustness.md, "Crash recovery"):
+//
+//   * checkpoint write  — serialize + atomic-rename of a live engine's full
+//     state, the per-cadence cost of checkpointing;
+//   * WAL append        — journaled readings/s, the steady-state tax on the
+//     ingest path (measured with fsync off and with the every-64 default);
+//   * WAL replay        — readings/s through the real recovery path
+//     (checkpoint load + Middleware::ingest/evict + engine updates), which
+//     bounds restart time: downtime ~ WAL-suffix length / replay rate.
+//
+// Env knobs: VIRE_RECOVERY_POLLS       scenario polls journaled (default 12)
+//            VIRE_RECOVERY_READINGS    synthetic WAL appends (default 100000)
+//            VIRE_RECOVERY_CHECKPOINTS checkpoint writes timed (default 10)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+
+#include "engine/localization_engine.h"
+#include "env/environment.h"
+#include "obs/bench_report.h"
+#include "persist/checkpoint.h"
+#include "persist/recovery.h"
+#include "persist/wal.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace vire;
+namespace fs = std::filesystem;
+
+int env_int(const char* name, int fallback) {
+  if (const char* s = std::getenv(name)) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Pipeline {
+  std::unique_ptr<sim::RfidSimulator> simulator;
+  std::unique_ptr<engine::LocalizationEngine> engine;
+};
+
+Pipeline make_pipeline() {
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv1SemiOpen);
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  sim::SimulatorConfig sim_config;
+  sim_config.seed = 11;
+  sim_config.middleware.window_s = 10.0;
+
+  Pipeline p;
+  p.simulator = std::make_unique<sim::RfidSimulator>(environment, deployment,
+                                                     sim_config);
+  const auto reference_ids = p.simulator->add_reference_tags();
+  const sim::TagId pallet = p.simulator->add_tag({1.4, 1.8});
+  const sim::TagId forklift = p.simulator->add_tag({2.3, 1.1});
+
+  engine::EngineConfig config;
+  config.min_refresh_interval_s = 10.0;
+  p.engine = std::make_unique<engine::LocalizationEngine>(deployment, config);
+  p.simulator->middleware().attach_metrics(p.engine->metrics());
+  p.engine->set_reference_ids(reference_ids);
+  p.engine->track(pallet, "pallet");
+  p.engine->track(forklift, "forklift");
+  return p;
+}
+
+double wal_append_rate(const fs::path& dir, int readings,
+                       persist::FsyncPolicy policy) {
+  fs::remove_all(dir);
+  persist::WalConfig config;
+  config.dir = dir;
+  config.fsync = policy;
+  persist::WalWriter wal(config);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < readings; ++i) {
+    wal.on_accepted({0.01 * i, static_cast<sim::TagId>(100 + (i & 15)),
+                     static_cast<sim::ReaderId>(i & 3), -55.0 - (i & 7)});
+  }
+  wal.sync();
+  const double elapsed = seconds_since(start);
+  fs::remove_all(dir);
+  return static_cast<double>(readings) / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  const int polls = env_int("VIRE_RECOVERY_POLLS", 12);
+  const int readings = env_int("VIRE_RECOVERY_READINGS", 100000);
+  const int checkpoints = env_int("VIRE_RECOVERY_CHECKPOINTS", 10);
+  const fs::path scratch = "bench_out/recovery_scratch";
+
+  std::printf("=== Crash-safety overhead & recovery speed ===\n");
+  std::printf("polls: %d, synthetic readings: %d, checkpoint reps: %d\n\n",
+              polls, readings, checkpoints);
+
+  // 1. A live scenario with the journal attached, to get a realistic engine
+  // state for checkpointing and a realistic WAL for replay.
+  fs::remove_all(scratch);
+  Pipeline live = make_pipeline();
+  persist::WalConfig wal_config;
+  wal_config.dir = scratch / "wal";
+  wal_config.fsync = persist::FsyncPolicy::kOff;
+  auto wal = std::make_unique<persist::WalWriter>(wal_config);
+  live.simulator->middleware().attach_journal(wal.get());
+
+  persist::CheckpointStoreConfig store_config;
+  store_config.dir = scratch / "ckpt";
+  persist::CheckpointStore store(store_config);
+  const std::uint64_t fingerprint =
+      persist::engine_config_fingerprint(live.engine->config());
+
+  live.simulator->run_for(40.0);
+  persist::Checkpoint checkpoint;  // refreshed every poll; last one wins
+  for (int poll = 0; poll < polls; ++poll) {
+    live.simulator->run_for(5.0);
+    const sim::SimTime now = live.simulator->now();
+    live.simulator->middleware().evict_stale(now);
+    wal->append_update_marker(now);
+    live.engine->update(live.simulator->middleware(), now);
+    if (poll == 0) {
+      // Checkpoint once, early: recovery below replays the long suffix.
+      checkpoint.config_fingerprint = fingerprint;
+      checkpoint.wal_sequence = wal->next_sequence();
+      checkpoint.sim_time = now;
+      checkpoint.engine = live.engine->snapshot();
+      checkpoint.middleware = live.simulator->middleware().snapshot();
+      checkpoint.counters = persist::sample_counters(live.engine->metrics());
+      store.write(checkpoint);
+    }
+  }
+  // Refresh the snapshot to end-of-run state for the checkpoint timing.
+  checkpoint.engine = live.engine->snapshot();
+  checkpoint.middleware = live.simulator->middleware().snapshot();
+  checkpoint.counters = persist::sample_counters(live.engine->metrics());
+  const std::size_t checkpoint_bytes = persist::serialize(checkpoint).size();
+  live.simulator->middleware().attach_journal(nullptr);
+  wal.reset();  // close the segment cleanly
+
+  // 2. Checkpoint write latency (serialize + atomic rename, fsync on).
+  // A separate scratch store: these timing writes must not shadow the real
+  // poll-0 checkpoint the recovery below loads.
+  persist::CheckpointStoreConfig timing_config;
+  timing_config.dir = scratch / "ckpt_timing";
+  persist::CheckpointStore timing_store(timing_config);
+  const auto ckpt_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < checkpoints; ++i) {
+    checkpoint.wal_sequence += 1;  // distinct file names, keep-prune active
+    timing_store.write(checkpoint);
+  }
+  const double checkpoint_ms =
+      seconds_since(ckpt_start) * 1000.0 / checkpoints;
+
+  // 3. Synthetic WAL append throughput.
+  const double append_nofsync =
+      wal_append_rate(scratch / "wal_bench", readings, persist::FsyncPolicy::kOff);
+  const double append_fsync64 = wal_append_rate(
+      scratch / "wal_bench", readings, persist::FsyncPolicy::kEveryN);
+
+  // 4. Replay speed through the real recovery path.
+  Pipeline fresh = make_pipeline();
+  persist::RecoveryManager manager({scratch / "wal", scratch / "ckpt"});
+  const persist::RecoveryReport report =
+      manager.recover(*fresh.engine, fresh.simulator->middleware());
+  const double replay_rate =
+      report.recovery_seconds > 0.0
+          ? static_cast<double>(report.readings_replayed) / report.recovery_seconds
+          : 0.0;
+
+  std::printf("checkpoint write   : %8.3f ms  (%zu bytes, %d reps)\n",
+              checkpoint_ms, checkpoint_bytes, checkpoints);
+  std::printf("WAL append (no fsync): %10.0f readings/s\n", append_nofsync);
+  std::printf("WAL append (fsync/64): %10.0f readings/s\n", append_fsync64);
+  std::printf("WAL replay          : %10.0f readings/s  (%llu frames, %llu "
+              "updates, %.3f s)\n",
+              replay_rate,
+              static_cast<unsigned long long>(report.frames_replayed),
+              static_cast<unsigned long long>(report.updates_replayed),
+              report.recovery_seconds);
+
+  obs::BenchReport bench;
+  bench.name = "recovery";
+  bench.git_rev = VIRE_GIT_REV;
+  bench.config = {{"polls", std::to_string(polls)},
+                  {"synthetic_readings", std::to_string(readings)},
+                  {"checkpoint_reps", std::to_string(checkpoints)},
+                  {"checkpoint_bytes", std::to_string(checkpoint_bytes)}};
+  bench.wall_ms = report.recovery_seconds * 1000.0;
+  bench.throughput = replay_rate;
+  bench.throughput_unit = "replayed_readings_per_sec";
+  bench.results = {{"checkpoint_write_ms", checkpoint_ms},
+                   {"wal_append_nofsync_per_sec", append_nofsync},
+                   {"wal_append_fsync64_per_sec", append_fsync64},
+                   {"replay_readings_per_sec", replay_rate},
+                   {"frames_replayed", static_cast<double>(report.frames_replayed)}};
+  const auto path = obs::write_bench_report(bench);
+  std::printf("\nreport: %s\n", path.string().c_str());
+
+  fs::remove_all(scratch);
+  return report.checkpoint_loaded && report.frames_replayed > 0 ? 0 : 1;
+}

@@ -16,6 +16,9 @@
 #                      narrow filter to keep the job fast.
 #   VIRE_BATCH_TAGS/VIRE_BATCH_ROUNDS    workload of bench_perf_engine_batch
 #   VIRE_FAULT_TAGS/VIRE_FAULT_ROUNDS    workload of bench_fault_degradation
+#   VIRE_RECOVERY_POLLS/VIRE_RECOVERY_READINGS/VIRE_RECOVERY_CHECKPOINTS
+#                      workload of bench_recovery (journaled polls, synthetic
+#                      WAL appends, checkpoint-write repetitions)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -41,6 +44,12 @@ VIRE_TAGS="${VIRE_BATCH_TAGS:-16}" VIRE_ROUNDS="${VIRE_BATCH_ROUNDS:-3}" \
 echo "== bench_fault_degradation =="
 VIRE_TAGS="${VIRE_FAULT_TAGS:-4}" VIRE_ROUNDS="${VIRE_FAULT_ROUNDS:-4}" \
   ./bench/bench_fault_degradation
+
+echo "== bench_recovery =="
+VIRE_RECOVERY_POLLS="${VIRE_RECOVERY_POLLS:-12}" \
+VIRE_RECOVERY_READINGS="${VIRE_RECOVERY_READINGS:-100000}" \
+VIRE_RECOVERY_CHECKPOINTS="${VIRE_RECOVERY_CHECKPOINTS:-10}" \
+  ./bench/bench_recovery
 
 echo "== bench_perf_localize =="
 ./bench/bench_perf_localize --benchmark_filter="$FILTER"

@@ -37,6 +37,19 @@ struct TrackingFilterConfig {
   double max_speed_mps = 3.0;
 };
 
+/// The filter's complete mutable state, for engine checkpoints
+/// (src/persist/). Restoring it into a filter with the same config
+/// reproduces every subsequent update bit for bit.
+struct TrackingFilterState {
+  bool initialized = false;
+  geom::Vec2 position;
+  geom::Vec2 velocity;
+  sim::SimTime last_time = 0.0;
+  geom::Vec2 last_measurement;
+  sim::SimTime last_measurement_time = 0.0;
+  int consecutive_outliers = 0;
+};
+
 /// Alpha-beta tracker over 2D position measurements at irregular intervals.
 class TrackingFilter {
  public:
@@ -57,6 +70,23 @@ class TrackingFilter {
   [[nodiscard]] const TrackingFilterConfig& config() const noexcept { return config_; }
 
   void reset();
+
+  /// Checkpoint support: export / reinstate the full mutable state.
+  [[nodiscard]] TrackingFilterState state() const noexcept {
+    return {initialized_,       position_,
+            velocity_,          last_time_,
+            last_measurement_,  last_measurement_time_,
+            consecutive_outliers_};
+  }
+  void restore(const TrackingFilterState& state) noexcept {
+    initialized_ = state.initialized;
+    position_ = state.position;
+    velocity_ = state.velocity;
+    last_time_ = state.last_time;
+    last_measurement_ = state.last_measurement;
+    last_measurement_time_ = state.last_measurement_time;
+    consecutive_outliers_ = state.consecutive_outliers;
+  }
 
  private:
   void clamp_velocity() noexcept;

@@ -155,6 +155,50 @@ bool HealthMonitor::all_healthy() const noexcept {
   return healthy_count() == reader_count();
 }
 
+HealthMonitorState HealthMonitor::snapshot() const {
+  HealthMonitorState snap;
+  snap.readers.reserve(state_.size());
+  for (std::size_t k = 0; k < state_.size(); ++k) {
+    const ReaderState& state = state_[k];
+    HealthMonitorState::Reader reader;
+    reader.quarantined = status_[k] == ReaderHealth::kQuarantined;
+    reader.suspect_streak = state.suspect_streak;
+    reader.clean_streak = state.clean_streak;
+    reader.last_rssi = state.last_rssi;
+    reader.last_change = state.last_change;
+    reader.seen = state.seen;
+    snap.readers.push_back(std::move(reader));
+  }
+  snap.quarantines = quarantines_;
+  snap.recoveries = recoveries_;
+  return snap;
+}
+
+void HealthMonitor::restore(const HealthMonitorState& snapshot) {
+  if (snapshot.readers.size() != state_.size()) {
+    throw std::invalid_argument(
+        "HealthMonitor::restore: snapshot has " +
+        std::to_string(snapshot.readers.size()) + " readers, monitor has " +
+        std::to_string(state_.size()));
+  }
+  for (std::size_t k = 0; k < state_.size(); ++k) {
+    const HealthMonitorState::Reader& reader = snapshot.readers[k];
+    status_[k] = reader.quarantined ? ReaderHealth::kQuarantined : ReaderHealth::kHealthy;
+    healthy_mask_[k] = !reader.quarantined;
+    ReaderState& state = state_[k];
+    state.status = status_[k];
+    state.suspect_streak = reader.suspect_streak;
+    state.clean_streak = reader.clean_streak;
+    state.last_rssi = reader.last_rssi;
+    state.last_change = reader.last_change;
+    state.seen = reader.seen;
+  }
+  quarantines_ = snapshot.quarantines;
+  recoveries_ = snapshot.recoveries;
+  mask_changed_ = false;
+  publish_metrics();
+}
+
 void HealthMonitor::publish_metrics() {
   if (healthy_gauge_ != nullptr) {
     healthy_gauge_->set(static_cast<double>(healthy_count()));

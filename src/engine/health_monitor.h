@@ -51,6 +51,25 @@ struct HealthConfig {
 
 enum class ReaderHealth { kHealthy, kQuarantined };
 
+/// The monitor's complete mutable state, for engine checkpoints
+/// (src/persist/). Restoring it into a monitor with the same reader count
+/// and config reproduces every subsequent assessment bit for bit — the
+/// hysteresis streaks, staleness clocks and last-seen readings all resume
+/// exactly where the checkpointed process left them.
+struct HealthMonitorState {
+  struct Reader {
+    bool quarantined = false;
+    int suspect_streak = 0;
+    int clean_streak = 0;
+    std::vector<double> last_rssi;
+    sim::SimTime last_change = 0.0;
+    bool seen = false;
+  };
+  std::vector<Reader> readers;
+  std::uint64_t quarantines = 0;
+  std::uint64_t recoveries = 0;
+};
+
 class HealthMonitor {
  public:
   HealthMonitor(int reader_count, HealthConfig config = {});
@@ -84,6 +103,14 @@ class HealthMonitor {
   /// quarantine/recovery counters and the healthy-reader gauge. Registry
   /// must outlive the monitor. Pure side channel.
   void attach_metrics(obs::MetricsRegistry& registry);
+
+  /// Checkpoint support: export / reinstate the full mutable state.
+  /// restore() throws if the snapshot's reader count differs; it republishes
+  /// gauges but never bumps the quarantine/recovery *counters* — the
+  /// persistence layer restores registry counters itself, so restoring here
+  /// too would double-count.
+  [[nodiscard]] HealthMonitorState snapshot() const;
+  void restore(const HealthMonitorState& snapshot);
 
  private:
   struct ReaderState {

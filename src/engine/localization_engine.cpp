@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/atomic_file.h"
 #include "support/log.h"
 
 namespace vire::engine {
@@ -169,9 +170,86 @@ LocalizationEngine::dump_provenance(const std::filesystem::path& dir,
                                     const std::string& stem) const {
   const std::filesystem::path trace_path = dir / (stem + "_trace.json");
   const std::filesystem::path flight_path = dir / (stem + "_flight.json");
-  tracer_.write_chrome_json(trace_path);
-  obs::write_flight_dump(recorder_, flight_path);
+  // Write-temp-then-rename: a crash mid-dump leaves either the previous dump
+  // or a complete new one, never truncated JSON (see support/atomic_file.h).
+  support::atomic_write_file(trace_path, tracer_.to_chrome_json() + "\n");
+  support::atomic_write_file(flight_path, obs::to_json(recorder_) + "\n");
   return {trace_path, flight_path};
+}
+
+EngineStateSnapshot LocalizationEngine::snapshot() const {
+  EngineStateSnapshot snap;
+  snap.reference_ids = reference_ids_;
+  snap.tracked.assign(tracked_.begin(), tracked_.end());
+  snap.health = health_.snapshot();
+  snap.has_last_refresh = last_refresh_.has_value();
+  snap.last_refresh = last_refresh_.value_or(0.0);
+  snap.last_reference_rssi = last_reference_rssi_;
+  snap.grid_rebuilds = grid_rebuilds_;
+  snap.fix_sequence = fix_sequence_;
+  snap.auto_dumps = auto_dumps_;
+  snap.trackers.reserve(trackers_.size());
+  for (const auto& [tag, tracker] : trackers_) {
+    snap.trackers.push_back({tag, tracker.state()});
+  }
+  snap.last_good.reserve(last_good_.size());
+  for (const auto& [tag, hold] : last_good_) {
+    snap.last_good.push_back({tag, hold.time, hold.position, hold.smoothed});
+  }
+  snap.last_quality.reserve(last_quality_.size());
+  for (const auto& [tag, quality] : last_quality_) {
+    snap.last_quality.push_back({tag, quality});
+  }
+  return snap;
+}
+
+void LocalizationEngine::restore(const EngineStateSnapshot& snapshot) {
+  if (!snapshot.reference_ids.empty() &&
+      static_cast<int>(snapshot.reference_ids.size()) !=
+          deployment_.reference_count()) {
+    throw std::invalid_argument(
+        "LocalizationEngine::restore: snapshot reference count does not match "
+        "the deployment");
+  }
+  health_.restore(snapshot.health);  // validates the reader count
+
+  reference_ids_ = snapshot.reference_ids;
+  tracked_.clear();
+  for (const auto& [tag, name] : snapshot.tracked) tracked_[tag] = name;
+  if (snapshot.has_last_refresh) {
+    last_refresh_ = snapshot.last_refresh;
+  } else {
+    last_refresh_.reset();
+  }
+  last_reference_rssi_ = snapshot.last_reference_rssi;
+  grid_rebuilds_ = snapshot.grid_rebuilds;
+  fix_sequence_ = snapshot.fix_sequence;
+  auto_dumps_ = snapshot.auto_dumps;
+
+  trackers_.clear();
+  for (const EngineStateSnapshot::Tracker& t : snapshot.trackers) {
+    auto [it, inserted] = trackers_.try_emplace(
+        t.tag, core::TrackingFilter(config_.tracking));
+    (void)inserted;
+    it->second.restore(t.state);
+  }
+  last_good_.clear();
+  for (const EngineStateSnapshot::Hold& h : snapshot.last_good) {
+    last_good_[h.tag] = {h.time, h.position, h.smoothed};
+  }
+  last_quality_.clear();
+  for (const EngineStateSnapshot::Quality& q : snapshot.last_quality) {
+    last_quality_[q.tag] = q.quality;
+  }
+
+  // Rebuild the virtual grid the checkpointed engine was running on, from the
+  // stored (post-mask) reference readings. Deliberately no metric increments
+  // and no grid_rebuilds_ bump: the persistence layer restores counters
+  // registry-wide, and refresh_references()'s unchanged-skip must see exactly
+  // the state the uninterrupted engine had.
+  if (grid_rebuilds_ > 0 && !last_reference_rssi_.empty()) {
+    localizer_.set_reference_rssi(last_reference_rssi_, pool_.get());
+  }
 }
 
 const core::TrackingFilter* LocalizationEngine::tracker(sim::TagId id) const {

@@ -127,6 +127,44 @@ enum class FixQuality {
 
 [[nodiscard]] std::string_view to_string(FixQuality q) noexcept;
 
+/// The engine's complete mutable state, for crash-safe checkpoints
+/// (src/persist/). Everything update() reads or writes across calls is here:
+/// restoring a snapshot into an engine built from the same deployment and
+/// config reproduces every subsequent fix bit for bit, at any worker count.
+/// Maps are flattened to sorted vectors so serialization is deterministic.
+struct EngineStateSnapshot {
+  std::vector<sim::TagId> reference_ids;
+  /// (tag id, display name), in tag order.
+  std::vector<std::pair<sim::TagId, std::string>> tracked;
+  HealthMonitorState health;
+  bool has_last_refresh = false;
+  sim::SimTime last_refresh = 0.0;
+  /// Post-mask reference readings behind the current virtual grid; restore()
+  /// rebuilds the grid from these when grid_rebuilds > 0, so the unchanged-
+  /// readings rebuild skip behaves exactly as in the uninterrupted run.
+  std::vector<sim::RssiVector> last_reference_rssi;
+  int grid_rebuilds = 0;
+  std::uint64_t fix_sequence = 0;
+  int auto_dumps = 0;
+  struct Tracker {
+    sim::TagId tag = 0;
+    core::TrackingFilterState state;
+  };
+  std::vector<Tracker> trackers;
+  struct Hold {
+    sim::TagId tag = 0;
+    sim::SimTime time = 0.0;
+    geom::Vec2 position;
+    geom::Vec2 smoothed;
+  };
+  std::vector<Hold> last_good;
+  struct Quality {
+    sim::TagId tag = 0;
+    FixQuality quality = FixQuality::kInvalid;
+  };
+  std::vector<Quality> last_quality;
+};
+
 /// One localization result for one tracked tag.
 struct Fix {
   sim::TagId tag = 0;
@@ -214,6 +252,21 @@ class LocalizationEngine {
 
   /// Anomaly dumps written so far (capped at max_auto_dumps).
   [[nodiscard]] int auto_dump_count() const noexcept { return auto_dumps_; }
+
+  /// Reference tag ids as declared with set_reference_ids() (empty before).
+  [[nodiscard]] const std::vector<sim::TagId>& reference_ids() const noexcept {
+    return reference_ids_;
+  }
+
+  /// Checkpoint support: export / reinstate the full mutable state.
+  /// restore() rebuilds the virtual grid from the snapshot's reference
+  /// readings (when one existed) WITHOUT bumping the rebuild metrics — the
+  /// persistence layer restores registry counters separately, and a restored
+  /// engine must count exactly like the uninterrupted one. Throws
+  /// std::invalid_argument when the snapshot is structurally incompatible
+  /// (reference/reader counts differ from this engine's deployment).
+  [[nodiscard]] EngineStateSnapshot snapshot() const;
+  void restore(const EngineStateSnapshot& snapshot);
 
  private:
   void refresh_references(const std::vector<sim::RssiVector>& reference_rssi,

@@ -1,0 +1,34 @@
+#include "fault/disk_fault.h"
+
+namespace vire::fault {
+
+DiskFaultPlan& DiskFaultPlan::short_write_at(std::uint64_t at_write,
+                                             std::size_t offset) {
+  entries.push_back({support::IoFaultKind::kShortWrite, at_write, offset});
+  return *this;
+}
+
+DiskFaultPlan& DiskFaultPlan::enospc_at(std::uint64_t at_write) {
+  entries.push_back({support::IoFaultKind::kEnospc, at_write, 0});
+  return *this;
+}
+
+DiskFaultPlan& DiskFaultPlan::corrupt_byte_at(std::uint64_t at_write,
+                                              std::size_t offset) {
+  entries.push_back({support::IoFaultKind::kCorruptByte, at_write, offset});
+  return *this;
+}
+
+std::optional<support::IoFault> DiskFaultInjector::on_write(std::size_t size) {
+  (void)size;
+  const std::uint64_t index = writes_++;
+  for (const DiskFaultEntry& entry : plan_.entries) {
+    if (entry.at_write == index) {
+      ++imposed_;
+      return support::IoFault{entry.kind, entry.offset};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vire::fault

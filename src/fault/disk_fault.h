@@ -1,0 +1,61 @@
+#pragma once
+// Disk-fault schedule for the persistence layer (src/persist/), the storage
+// counterpart of FaultPlan's reading-stream entries. Deployed WAL and
+// checkpoint writers fail in three characteristic ways — a torn (short)
+// write at the moment of a crash, a full disk (ENOSPC), and silent media
+// corruption that only a later CRC check can see. Each entry arms one such
+// fault at the Nth physical write observed by the hook (0-based), so a test
+// can aim a failure at exactly the frame or checkpoint it wants to break.
+//
+// Like the reading-stream injector, realisations are deterministic: the
+// injector holds nothing but the plan and a monotone write counter, so the
+// same plan against the same write sequence imposes the same faults.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/atomic_file.h"
+
+namespace vire::fault {
+
+/// One armed disk fault: impose `kind` on write number `at_write`.
+struct DiskFaultEntry {
+  support::IoFaultKind kind = support::IoFaultKind::kEnospc;
+  std::uint64_t at_write = 0;
+  /// Cut point (short write) or corrupted byte (corrupt), modulo buffer size.
+  std::size_t offset = 0;
+};
+
+/// The schedule. Compose with the fluent builders, mirroring FaultPlan.
+struct DiskFaultPlan {
+  std::vector<DiskFaultEntry> entries;
+
+  DiskFaultPlan& short_write_at(std::uint64_t at_write, std::size_t offset = 0);
+  DiskFaultPlan& enospc_at(std::uint64_t at_write);
+  DiskFaultPlan& corrupt_byte_at(std::uint64_t at_write, std::size_t offset = 0);
+
+  [[nodiscard]] bool empty() const noexcept { return entries.empty(); }
+};
+
+/// Executes a DiskFaultPlan as a support::IoFaultHook: every physical write
+/// of the attached writer bumps a counter, and a write whose index matches
+/// an armed entry suffers that entry's fault. Multiple entries on the same
+/// index: the first one in plan order wins.
+class DiskFaultInjector final : public support::IoFaultHook {
+ public:
+  explicit DiskFaultInjector(DiskFaultPlan plan) : plan_(std::move(plan)) {}
+
+  std::optional<support::IoFault> on_write(std::size_t size) override;
+
+  [[nodiscard]] std::uint64_t writes_seen() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t faults_imposed() const noexcept { return imposed_; }
+  [[nodiscard]] const DiskFaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  DiskFaultPlan plan_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t imposed_ = 0;
+};
+
+}  // namespace vire::fault

@@ -1,0 +1,110 @@
+#include "persist/binary_io.h"
+
+#include <array>
+#include <cstring>
+
+namespace vire::persist {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1U) : c >> 1U;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFFU] ^ (crc >> 8U);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v & 0xFFU));
+  u8(static_cast<std::uint8_t>(v >> 8U));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v & 0xFFFFU));
+  u16(static_cast<std::uint16_t>(v >> 16U));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFU));
+  u32(static_cast<std::uint32_t>(v >> 32U));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buffer_.append(v);
+}
+
+bool ByteReader::take(std::size_t n) noexcept {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint8_t> ByteReader::u8() noexcept {
+  if (!take(1)) return std::nullopt;
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::optional<std::uint16_t> ByteReader::u16() noexcept {
+  const auto lo = u8();
+  const auto hi = u8();
+  if (!lo || !hi) return std::nullopt;
+  return static_cast<std::uint16_t>(*lo | (static_cast<std::uint16_t>(*hi) << 8U));
+}
+
+std::optional<std::uint32_t> ByteReader::u32() noexcept {
+  const auto lo = u16();
+  const auto hi = u16();
+  if (!lo || !hi) return std::nullopt;
+  return *lo | (static_cast<std::uint32_t>(*hi) << 16U);
+}
+
+std::optional<std::uint64_t> ByteReader::u64() noexcept {
+  const auto lo = u32();
+  const auto hi = u32();
+  if (!lo || !hi) return std::nullopt;
+  return *lo | (static_cast<std::uint64_t>(*hi) << 32U);
+}
+
+std::optional<double> ByteReader::f64() noexcept {
+  const auto bits = u64();
+  if (!bits) return std::nullopt;
+  double v = 0.0;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+std::optional<std::string> ByteReader::str() {
+  const auto len = u32();
+  if (!len || !take(*len)) return std::nullopt;
+  std::string out(data_.substr(pos_, *len));
+  pos_ += *len;
+  return out;
+}
+
+}  // namespace vire::persist

@@ -1,0 +1,73 @@
+#pragma once
+// Little-endian binary encoding + CRC32 for the persistence layer's on-disk
+// formats (WAL frames, checkpoints — see docs/robustness.md, "Crash
+// recovery"). Doubles are serialized by bit pattern, never by text round-
+// trip, so a value read back is the *identical* IEEE-754 double — the whole
+// bit-identical recovery contract rests on this.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace vire::persist {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `data`. Used as the per-frame
+/// and per-checkpoint integrity check; a torn or bit-flipped record fails it.
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Appends fixed-width little-endian fields to a byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Bit-pattern encoding: the exact IEEE-754 double, NaN payloads included.
+  void f64(double v);
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view v);
+  void raw(std::string_view v) { buffer_.append(v); }
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return buffer_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Reads fixed-width little-endian fields back. Every accessor returns
+/// nullopt once the buffer is exhausted (or a length prefix overruns it) and
+/// the reader stays failed — callers check ok() once at the end instead of
+/// after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) noexcept : data_(data) {}
+
+  std::optional<std::uint8_t> u8() noexcept;
+  std::optional<std::uint16_t> u16() noexcept;
+  std::optional<std::uint32_t> u32() noexcept;
+  std::optional<std::uint64_t> u64() noexcept;
+  std::optional<double> f64() noexcept;
+  std::optional<std::string> str();
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  /// True when every byte was consumed and nothing failed.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return !failed_ && pos_ == data_.size();
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n) noexcept;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace vire::persist

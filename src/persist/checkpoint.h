@@ -1,0 +1,117 @@
+#pragma once
+// Engine checkpoints: a versioned, CRC-protected snapshot of everything the
+// localization pipeline mutates between updates (see docs/robustness.md,
+// "Crash recovery"). A checkpoint plus the WAL suffix written after it is a
+// complete recipe for reconstructing the crashed process bit for bit.
+//
+// File format (checkpoint_<wal_sequence>.ckpt, all little-endian):
+//   "VCKP" magic | body | u32 crc32(body)
+//   body: u32 version | u64 config_fingerprint | u64 wal_sequence
+//         | f64 sim_time | engine state | middleware window | counter samples
+//
+// Checkpoints are written through support::atomic_write_file (temp file +
+// rename), so a crash mid-write leaves the previous checkpoint intact. The
+// store keeps the newest `keep` files; loading walks newest-to-oldest and
+// falls back past any file whose CRC, version or config fingerprint does not
+// match, counting each rejection.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/localization_engine.h"
+#include "obs/metrics.h"
+#include "sim/middleware.h"
+#include "support/atomic_file.h"
+
+namespace vire::persist {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Fingerprint of every EngineConfig field that affects fix values — the
+/// algorithm, degradation and tracking knobs. parallel_workers and the
+/// observability block are deliberately EXCLUDED: both are pure side
+/// channels (fixes are bit-identical across them), so a checkpoint taken at
+/// workers=4 restores cleanly into an engine running workers=1.
+[[nodiscard]] std::uint64_t engine_config_fingerprint(
+    const engine::EngineConfig& config) noexcept;
+
+struct Checkpoint {
+  std::uint64_t config_fingerprint = 0;
+  /// WAL sequence the next frame would get at snapshot time: recovery
+  /// replays frames with sequence >= this.
+  std::uint64_t wal_sequence = 0;
+  /// Simulation time of the last completed engine update.
+  sim::SimTime sim_time = 0.0;
+  engine::EngineStateSnapshot engine;
+  sim::Middleware::Snapshot middleware;
+  /// Counter values at snapshot time; restored registry-wide on recovery so
+  /// post-replay counters match the uninterrupted run.
+  struct CounterSample {
+    std::string name;
+    std::string labels;
+    std::uint64_t value = 0;
+  };
+  std::vector<CounterSample> counters;
+};
+
+/// Body + magic + CRC, ready for atomic_write_file.
+[[nodiscard]] std::string serialize(const Checkpoint& checkpoint);
+/// nullopt when the magic, CRC, version or structure is invalid.
+[[nodiscard]] std::optional<Checkpoint> deserialize(std::string_view data);
+
+/// Every counter currently in `registry`, in registration order.
+[[nodiscard]] std::vector<Checkpoint::CounterSample> sample_counters(
+    const obs::MetricsRegistry& registry);
+/// Raises each named counter to its sampled value (counters are monotonic —
+/// a current value above the sample is left alone, with a warning).
+void restore_counters(obs::MetricsRegistry& registry,
+                      const std::vector<Checkpoint::CounterSample>& samples);
+
+struct CheckpointStoreConfig {
+  std::filesystem::path dir;
+  /// Newest checkpoints kept on disk; older ones are pruned after a write.
+  std::size_t keep = 3;
+  /// Durability/retry knobs (and the disk-fault testing seam).
+  support::AtomicWriteOptions write_options;
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(CheckpointStoreConfig config);
+
+  /// Serializes and atomically writes checkpoint_<wal_sequence>.ckpt, then
+  /// prunes beyond `keep`. Throws std::runtime_error when every write
+  /// attempt fails (the previous checkpoint file is untouched either way).
+  void write(const Checkpoint& checkpoint);
+
+  struct LoadResult {
+    std::optional<Checkpoint> checkpoint;  ///< newest valid, if any
+    std::uint64_t rejected = 0;  ///< files skipped (CRC/version/config mismatch)
+  };
+  /// Walks checkpoints newest-to-oldest and returns the first that
+  /// deserializes AND matches `expected_config_fingerprint`. Never throws on
+  /// bad files — that is the fallback path working as designed.
+  [[nodiscard]] LoadResult load_newest_valid(
+      std::uint64_t expected_config_fingerprint) const;
+
+  /// Sequences present on disk, oldest first (diagnostics/tests).
+  [[nodiscard]] std::vector<std::uint64_t> stored_sequences() const;
+
+  /// Registers vire_persist_checkpoint_{written,loaded,rejected}_total.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
+  [[nodiscard]] const CheckpointStoreConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  CheckpointStoreConfig config_;
+  obs::Counter* written_metric_ = nullptr;
+  obs::Counter* loaded_metric_ = nullptr;
+  obs::Counter* rejected_metric_ = nullptr;
+};
+
+}  // namespace vire::persist

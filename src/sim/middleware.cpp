@@ -26,6 +26,10 @@ void Middleware::attach_metrics(obs::MetricsRegistry& registry) {
       &registry.counter("vire_middleware_readings_rejected_total",
                         "reason=\"reader_out_of_range\"",
                         "Readings rejected at ingest, by reason");
+  duplicates_metric_ = &registry.counter(
+      "vire_middleware_duplicates_total", {},
+      "Readings that replaced a buffered sample with the same "
+      "(tag, reader, time) — last-write-wins duplicate policy");
   nan_links_served_ =
       &registry.counter("vire_middleware_nan_links_served_total", {},
                         "link_rssi() queries answered with NaN (undetected link)");
@@ -54,8 +58,27 @@ void Middleware::ingest(const RssiReading& reading) {
     return;
   }
   auto& samples = links_[{reading.tag, reading.reader}];
-  samples.push_back({reading.time, reading.rssi_dbm});
+  // Last-write-wins duplicate policy: an identical (tag, reader, time)
+  // observation replaces the buffered sample in place, keeping at-least-once
+  // delivery and crash-recovery replay idempotent. Per-link times are
+  // non-decreasing except for delayed redeliveries, so the reverse scan
+  // usually stops at the first comparison.
+  bool replaced = false;
+  for (auto it = samples.rbegin(); it != samples.rend() && it->time >= reading.time;
+       ++it) {
+    if (it->time == reading.time) {
+      it->rssi_dbm = reading.rssi_dbm;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) samples.push_back({reading.time, reading.rssi_dbm});
+  if (replaced) {
+    ++duplicates_;
+    if (duplicates_metric_ != nullptr) duplicates_metric_->inc();
+  }
   if (readings_ingested_ != nullptr) readings_ingested_->inc();
+  if (journal_ != nullptr) journal_->on_accepted(reading);
   // Opportunistic per-link eviction keeps deques short without a global
   // scan. Same strict half-open window rule as evict_stale().
   const SimTime cutoff = reading.time - config_.window_s;
@@ -67,6 +90,7 @@ void Middleware::ingest(const RssiReading& reading) {
 
 void Middleware::evict_stale(SimTime now) {
   obs::TraceSpan span(tracer_, "middleware.evict_stale");
+  if (journal_ != nullptr) journal_->on_evict(now);
   // Window is (now - window_s, now]: strict `<=` so a sample exactly
   // window_s old is evicted, never served.
   const SimTime cutoff = now - config_.window_s;
@@ -154,5 +178,27 @@ std::size_t Middleware::sample_count(TagId tag, ReaderId reader) const {
 }
 
 void Middleware::clear() { links_.clear(); }
+
+Middleware::Snapshot Middleware::snapshot() const {
+  Snapshot snap;
+  snap.links.reserve(links_.size());
+  for (const auto& [key, samples] : links_) {
+    Snapshot::Link link;
+    link.tag = key.first;
+    link.reader = key.second;
+    link.samples.assign(samples.begin(), samples.end());
+    snap.links.push_back(std::move(link));
+  }
+  return snap;
+}
+
+void Middleware::restore(const Snapshot& snap) {
+  links_.clear();
+  for (const Snapshot::Link& link : snap.links) {
+    auto& samples = links_[{link.tag, link.reader}];
+    samples.assign(link.samples.begin(), link.samples.end());
+  }
+}
+
 
 }  // namespace vire::sim

@@ -42,6 +42,15 @@ class Middleware {
   /// reader id outside [0, reader_count) would otherwise poison the window
   /// or index out of range downstream. Rejections are counted per reason via
   /// attach_metrics(); accepting is unchanged for well-formed readings.
+  ///
+  /// Duplicate policy — last-write-wins: a reading whose (tag, reader, time)
+  /// matches a buffered sample *replaces* that sample in place instead of
+  /// being appended. At-least-once transports (retry storms, the fault
+  /// injector's Duplication entries) and crash-recovery replay therefore
+  /// re-deliver idempotently: the window never holds two samples for the
+  /// same observation, and re-ingesting an identical stream is a no-op.
+  /// Replacements are counted in vire_middleware_duplicates_total /
+  /// duplicate_count().
   void ingest(const RssiReading& reading);
 
   /// Evicts samples outside the sliding window across all links. The window
@@ -69,6 +78,7 @@ class Middleware {
   ///   vire_middleware_samples_evicted_total
   ///   vire_middleware_readings_rejected_total{reason="non_finite"}
   ///   vire_middleware_readings_rejected_total{reason="reader_out_of_range"}
+  ///   vire_middleware_duplicates_total
   ///   vire_middleware_nan_links_served_total
   /// The registry must outlive this middleware. Pure side channel — serving
   /// RSSI is unchanged.
@@ -76,6 +86,16 @@ class Middleware {
 
   /// Readings rejected by ingest() since construction (all reasons).
   [[nodiscard]] std::uint64_t rejected_count() const noexcept { return rejected_; }
+
+  /// Readings that replaced a buffered sample with the same
+  /// (tag, reader, time) under the last-write-wins duplicate policy.
+  [[nodiscard]] std::uint64_t duplicate_count() const noexcept { return duplicates_; }
+
+  /// Attaches a durability journal: every accepted reading and every
+  /// evict_stale() call is reported, in order, so the persistence layer can
+  /// write-ahead-log the middleware's input (see src/persist/). nullptr
+  /// detaches. The journal must outlive this middleware; pure side channel.
+  void attach_journal(ReadingJournal* journal) noexcept { journal_ = journal; }
 
   /// Attaches a tracer: ingest rejections become instant events and
   /// evict_stale() batches become complete spans. Pass nullptr to detach.
@@ -85,11 +105,31 @@ class Middleware {
 
   void clear();
 
- private:
+  /// One buffered observation of a (tag, reader) link.
   struct Sample {
     SimTime time;
     double rssi_dbm;
   };
+
+  /// Point-in-time copy of the whole sliding window, for engine checkpoints
+  /// (src/persist/). Links and samples appear in the same deterministic
+  /// order they are stored, so snapshot/restore round-trips bit-identically.
+  struct Snapshot {
+    struct Link {
+      TagId tag = 0;
+      ReaderId reader = 0;
+      std::vector<Sample> samples;
+    };
+    std::vector<Link> links;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Replaces the buffered window with `snap` (metrics, journal and config
+  /// are untouched). Restoring a snapshot taken from an identically
+  /// configured middleware reproduces every aggregate bit for bit.
+  void restore(const Snapshot& snap);
+
+ private:
   using LinkKey = std::pair<TagId, ReaderId>;
 
   [[nodiscard]] double aggregate(const std::deque<Sample>& samples) const;
@@ -104,9 +144,12 @@ class Middleware {
   obs::Counter* samples_evicted_ = nullptr;
   obs::Counter* rejected_non_finite_ = nullptr;
   obs::Counter* rejected_reader_range_ = nullptr;
+  obs::Counter* duplicates_metric_ = nullptr;
   obs::Counter* nan_links_served_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  ReadingJournal* journal_ = nullptr;
   std::uint64_t rejected_ = 0;
+  std::uint64_t duplicates_ = 0;
 };
 
 }  // namespace vire::sim

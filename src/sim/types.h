@@ -44,4 +44,19 @@ class ReadingInterceptor {
   virtual void drain(SimTime now, std::vector<RssiReading>& out) = 0;
 };
 
+/// Durability tap between the middleware and the persistence layer (see
+/// src/persist/ and docs/robustness.md, "Crash recovery"). The middleware
+/// invokes it synchronously for every reading *accepted* by ingest() — after
+/// validation and duplicate resolution, in arrival order — and for every
+/// explicit evict_stale() call. Replaying the recorded stream through a
+/// fresh Middleware reproduces its window state bit for bit, which is the
+/// property crash recovery rests on. Implementations (e.g. persist::WalWriter)
+/// must not call back into the middleware.
+class ReadingJournal {
+ public:
+  virtual ~ReadingJournal() = default;
+  virtual void on_accepted(const RssiReading& reading) = 0;
+  virtual void on_evict(SimTime now) = 0;
+};
+
 }  // namespace vire::sim

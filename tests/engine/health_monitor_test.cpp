@@ -182,5 +182,131 @@ TEST(HealthMonitor, MetricsTrackQuarantinesAndRecoveries) {
   EXPECT_DOUBLE_EQ(reader3->value(), 1.0);
 }
 
+// ---- Threshold boundary semantics -----------------------------------------
+// The checks use STRICT comparisons: a reader sitting exactly ON a threshold
+// is still healthy. These tests pin that boundary so a refactor flipping
+// `<` to `<=` (or `>` to `>=`) fails loudly instead of silently shifting
+// which deployments flap.
+
+/// Field where reader `k` hears exactly `heard` of the `refs` reference tags
+/// (the rest NaN), everyone else hears all of them.
+std::vector<sim::RssiVector> field_with_coverage(int refs, int k, int heard,
+                                                 double wobble = 0.0) {
+  auto field = healthy_field(refs, wobble);
+  for (int j = heard; j < refs; ++j) {
+    field[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)] = kNaN;
+  }
+  return field;
+}
+
+/// Field where reader `k`'s every reference reading moved by exactly
+/// `jump_db` since `healthy_field(refs, 0.0)` (so the median |delta| is
+/// exactly `jump_db`); other readers wobble benignly.
+std::vector<sim::RssiVector> field_with_jump(int refs, int k, double jump_db,
+                                             double wobble) {
+  auto field = healthy_field(refs, wobble);
+  for (auto& row : field) {
+    row[static_cast<std::size_t>(k)] += jump_db - wobble;
+  }
+  return field;
+}
+
+TEST(HealthMonitorBoundary, CoverageExactlyAtThresholdIsHealthy) {
+  // min_valid_fraction = 0.5 over 16 references: hearing exactly 8 is ON
+  // the threshold — the check is `valid < fraction * refs`, so not suspect.
+  HealthConfig config;
+  config.quarantine_after = 1;  // any suspect assessment would quarantine
+  HealthMonitor monitor(4, config);
+  monitor.assess(healthy_field(16), 1.0);
+  for (int i = 0; i < 5; ++i) {
+    monitor.assess(field_with_coverage(16, 2, 8, 0.1 * (i + 1)), 2.0 + i);
+    EXPECT_TRUE(monitor.all_healthy()) << "assessment " << i;
+  }
+}
+
+TEST(HealthMonitorBoundary, CoverageOneBelowThresholdQuarantines) {
+  HealthConfig config;
+  config.quarantine_after = 1;
+  HealthMonitor monitor(4, config);
+  monitor.assess(healthy_field(16), 1.0);
+  monitor.assess(field_with_coverage(16, 2, 7, 0.1), 2.0);  // 7 < 8
+  EXPECT_EQ(monitor.status(2), ReaderHealth::kQuarantined);
+}
+
+TEST(HealthMonitorBoundary, JumpExactlyAtThresholdIsHealthy) {
+  // max_median_jump_db = 10.0 and every delta is exactly 10.0: the check is
+  // `median > max`, so not suspect.
+  HealthConfig config;
+  config.quarantine_after = 1;
+  HealthMonitor monitor(4, config);
+  monitor.assess(healthy_field(16), 1.0);
+  monitor.assess(field_with_jump(16, 1, 10.0, 0.1), 2.0);
+  EXPECT_TRUE(monitor.all_healthy());
+}
+
+TEST(HealthMonitorBoundary, JumpJustAboveThresholdQuarantines) {
+  HealthConfig config;
+  config.quarantine_after = 1;
+  HealthMonitor monitor(4, config);
+  monitor.assess(healthy_field(16), 1.0);
+  monitor.assess(field_with_jump(16, 1, 10.0 + 1e-9, 0.1), 2.0);
+  EXPECT_EQ(monitor.status(1), ReaderHealth::kQuarantined);
+}
+
+TEST(HealthMonitorBoundary, StalenessExactlyAtThresholdIsHealthy) {
+  HealthConfig config;
+  config.quarantine_after = 1;
+  config.stale_after_s = 60.0;
+  HealthMonitor monitor(4, config);
+  const auto frozen = healthy_field(16);
+  monitor.assess(frozen, 0.0);
+  monitor.assess(frozen, 60.0);  // `now - last_change > stale_after_s` is false
+  EXPECT_TRUE(monitor.all_healthy());
+  monitor.assess(frozen, 60.0 + 1e-9);
+  EXPECT_FALSE(monitor.all_healthy());
+}
+
+TEST(HealthMonitorBoundary, FlappingReaderNeverFlapsTheMask) {
+  // A reader alternating bad/good every assessment never accumulates
+  // quarantine_after = 2 consecutive suspect windows: the hysteresis keeps
+  // the mask rock solid (and quarantine_count at zero) through 20 cycles.
+  HealthConfig config;
+  config.quarantine_after = 2;
+  config.recover_after = 2;
+  HealthMonitor monitor(4, config);
+  monitor.assess(healthy_field(16), 0.0);
+  for (int i = 0; i < 20; ++i) {
+    const double t = 1.0 + i;
+    const double wobble = 0.1 * (i + 1);
+    if (i % 2 == 0) {
+      monitor.assess(field_without_reader(16, 0, wobble), t);  // suspect
+    } else {
+      monitor.assess(healthy_field(16, wobble), t);  // clean
+    }
+    EXPECT_TRUE(monitor.all_healthy()) << "cycle " << i;
+    EXPECT_FALSE(monitor.mask_changed()) << "cycle " << i;
+  }
+  EXPECT_EQ(monitor.quarantine_count(), 0u);
+  EXPECT_EQ(monitor.recovery_count(), 0u);
+}
+
+TEST(HealthMonitorBoundary, SuspectStreakSurvivesSnapshotRestore) {
+  // Checkpoint fidelity at the hysteresis boundary: a monitor one suspect
+  // assessment away from quarantining must still be exactly one away after
+  // snapshot/restore.
+  HealthConfig config;
+  config.quarantine_after = 2;
+  HealthMonitor original(4, config);
+  original.assess(healthy_field(16), 1.0);
+  original.assess(field_without_reader(16, 3, 0.1), 2.0);  // streak = 1
+  ASSERT_TRUE(original.all_healthy());
+
+  HealthMonitor restored(4, config);
+  restored.restore(original.snapshot());
+  restored.assess(field_without_reader(16, 3, 0.2), 3.0);  // streak = 2
+  EXPECT_EQ(restored.status(3), ReaderHealth::kQuarantined);
+  EXPECT_EQ(restored.quarantine_count(), 1u);
+}
+
 }  // namespace
 }  // namespace vire::engine

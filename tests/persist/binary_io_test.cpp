@@ -1,0 +1,122 @@
+// ByteWriter/ByteReader round trips and the CRC32 the WAL + checkpoint
+// formats rest on. The f64 cases pin the bit-pattern contract: what comes
+// back is the IDENTICAL double, NaN payloads and signed zeros included.
+
+#include "persist/binary_io.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace vire::persist {
+namespace {
+
+std::uint64_t bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The classic IEEE-802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "the quick brown fox";
+  const std::uint32_t clean = crc32(data);
+  data[7] = static_cast<char>(data[7] ^ 0x40);
+  EXPECT_NE(crc32(data), clean);
+}
+
+TEST(ByteIoTest, RoundTripsEveryFieldType) {
+  ByteWriter writer;
+  writer.u8(0xAB);
+  writer.u16(0xBEEF);
+  writer.u32(0xDEADBEEFu);
+  writer.u64(0x0123456789ABCDEFull);
+  writer.f64(-12.34375);
+  writer.str("hello");
+  writer.str("");
+
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u16(), 0xBEEF);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.f64(), -12.34375);
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteIoTest, EncodingIsLittleEndian) {
+  ByteWriter writer;
+  writer.u32(0x01020304u);
+  const std::string& bytes = writer.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[1]), 0x03);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[2]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(ByteIoTest, DoublesRoundTripByBitPattern) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max()};
+  for (const double v : values) {
+    ByteWriter writer;
+    writer.f64(v);
+    ByteReader reader(writer.bytes());
+    const auto back = reader.f64();
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(bits(*back), bits(v));  // NaN == NaN under bit comparison
+  }
+}
+
+TEST(ByteIoTest, TruncatedBufferFailsAndStaysFailed) {
+  ByteWriter writer;
+  writer.u32(7);
+  std::string bytes = writer.take();
+  bytes.resize(3);  // torn mid-field
+
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.u32(), std::nullopt);
+  EXPECT_FALSE(reader.ok());
+  // Sticky: even a field that would fit no longer reads.
+  EXPECT_EQ(reader.u8(), std::nullopt);
+  EXPECT_FALSE(reader.exhausted());
+}
+
+TEST(ByteIoTest, OverlongStringPrefixFails) {
+  ByteWriter writer;
+  writer.u32(1000);  // length prefix promising bytes that are not there
+  writer.raw("abc");
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.str(), std::nullopt);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteIoTest, ExhaustedDetectsTrailingGarbage) {
+  ByteWriter writer;
+  writer.u8(1);
+  writer.u8(2);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.u8(), 1);
+  EXPECT_FALSE(reader.exhausted());  // one byte left
+  EXPECT_EQ(reader.u8(), 2);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+}  // namespace
+}  // namespace vire::persist

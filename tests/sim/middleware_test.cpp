@@ -218,6 +218,72 @@ TEST(Middleware, EvictionBoundaryIsStrict) {
   EXPECT_EQ(mw.sample_count(0, 0), 0u);
 }
 
+// ---- Duplicate policy (last-write-wins) -----------------------------------
+// At-least-once delivery and crash-recovery replay both re-present readings
+// the middleware has already buffered. The explicit policy: an identical
+// (tag, reader, time) replaces the sample IN PLACE — no reordering, no
+// growth — and the replacement is counted.
+
+TEST(Middleware, DuplicateTimestampReplacesInPlace) {
+  Middleware mw(2);
+  mw.ingest({1.0, 0, 0, -70.0});
+  mw.ingest({2.0, 0, 0, -72.0});
+  mw.ingest({1.0, 0, 0, -90.0});  // re-delivery with a new value
+  EXPECT_EQ(mw.sample_count(0, 0), 2u);  // replaced, not appended
+  EXPECT_EQ(mw.duplicate_count(), 1u);
+  // Last write won: the mean over {-90, -72} reflects the replacement.
+  EXPECT_NEAR(mw.link_rssi(0, 0), -81.0, 1e-12);
+}
+
+TEST(Middleware, IdenticalReplayIsFullyIdempotent) {
+  // Replaying the exact accepted stream (what recovery's catch-up may do)
+  // must leave every aggregate bit-identical and every deque untouched.
+  Middleware mw(2);
+  const RssiReading stream[] = {
+      {1.0, 0, 0, -70.0}, {1.5, 0, 1, -75.0}, {2.0, 0, 0, -72.0}};
+  for (const auto& r : stream) mw.ingest(r);
+  const double before = mw.link_rssi(0, 0);
+  for (const auto& r : stream) mw.ingest(r);  // full re-delivery
+  EXPECT_EQ(mw.sample_count(0, 0), 2u);
+  EXPECT_EQ(mw.sample_count(0, 1), 1u);
+  EXPECT_EQ(mw.duplicate_count(), 3u);
+  EXPECT_EQ(mw.link_rssi(0, 0), before);  // exact, not NEAR
+}
+
+TEST(Middleware, DuplicatesOnlyMatchSameLinkAndTime) {
+  Middleware mw(2);
+  mw.ingest({1.0, 0, 0, -70.0});
+  mw.ingest({1.0, 0, 1, -70.0});  // same time, different reader
+  mw.ingest({1.0, 1, 0, -70.0});  // same time, different tag
+  mw.ingest({1.25, 0, 0, -70.0});  // same link, different time
+  EXPECT_EQ(mw.duplicate_count(), 0u);
+  EXPECT_EQ(mw.sample_count(0, 0), 2u);
+}
+
+TEST(Middleware, DuplicateMetricCountsReplacements) {
+  obs::MetricsRegistry registry;
+  Middleware mw(1);
+  mw.attach_metrics(registry);
+  mw.ingest({1.0, 0, 0, -70.0});
+  mw.ingest({1.0, 0, 0, -71.0});
+  mw.ingest({1.0, 0, 0, -72.0});
+  EXPECT_EQ(registry.counter("vire_middleware_duplicates_total").value(), 2u);
+  // Every presentation counts as ingested, replacements included.
+  EXPECT_EQ(registry.counter("vire_middleware_readings_ingested_total").value(), 3u);
+}
+
+TEST(Middleware, DelayedRedeliveryBehindNewerSamplesStillReplaces) {
+  // The reverse scan must find a duplicate even when newer samples have
+  // arrived since the original delivery.
+  Middleware mw(1);
+  for (int i = 0; i < 6; ++i) {
+    mw.ingest({1.0 + i, 0, 0, -70.0 - i});
+  }
+  mw.ingest({2.0, 0, 0, -50.0});  // redelivery of the 2nd sample, new value
+  EXPECT_EQ(mw.sample_count(0, 0), 6u);
+  EXPECT_EQ(mw.duplicate_count(), 1u);
+}
+
 TEST(Middleware, MetricsAreOptional) {
   // No attach_metrics call: every path must still work (null instruments).
   Middleware mw(1);
