@@ -62,11 +62,22 @@ bool fixes_identical(const std::vector<engine::Fix>& a,
 int main() {
   const int tag_count = env_int("VIRE_TAGS", 64);
   const int rounds = env_int("VIRE_ROUNDS", 30);
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // Honest hardware report: hardware_concurrency() as-is (0 = unknown). The
+  // old max(1, ...) clamp hid the difference between "single core" and
+  // "could not detect", and the scaling curve below keys off the real value.
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const unsigned hw = std::max(1u, hw_raw);
+  const bool can_scale = hw > 1;
 
   std::printf("=== Engine batch throughput vs parallel_workers ===\n");
-  std::printf("tags: %d, update rounds: %d, hardware threads: %u\n\n", tag_count,
-              rounds, hw);
+  std::printf("tags: %d, update rounds: %d, hardware threads: %u%s\n\n", tag_count,
+              rounds, hw_raw, hw_raw == 0 ? " (undetected)" : "");
+  if (!can_scale) {
+    std::printf(
+        "NOTE: single hardware thread — a multi-worker \"speedup\" here would\n"
+        "just measure oversubscription, so the scaling curve is refused and\n"
+        "only the serial throughput is reported.\n\n");
+  }
 
   const env::Environment environment =
       env::make_paper_environment(env::PaperEnvironment::kEnv1SemiOpen);
@@ -91,7 +102,17 @@ int main() {
   const sim::SimTime now = simulator.now();
   const sim::Middleware& middleware = simulator.middleware();
 
-  std::vector<int> worker_counts = {1, 2, 4, 8, 0};
+  // Pinned sweep: serial first (the baseline every row is compared to),
+  // then powers of two up to the machine's real thread count, then 0
+  // (= auto-size). On a single-thread machine the sweep is just {1} — see
+  // the refusal note above.
+  std::vector<int> worker_counts = {1};
+  if (can_scale) {
+    for (int w = 2; static_cast<unsigned>(w) <= hw; w *= 2) {
+      worker_counts.push_back(w);
+    }
+    worker_counts.push_back(0);
+  }
   support::CsvWriter csv("bench_out/perf_engine_batch.csv");
   csv.header({"workers_requested", "workers_actual", "tags", "rounds",
               "mean_update_ms", "tags_per_sec", "speedup_vs_serial",
@@ -105,7 +126,9 @@ int main() {
   report.git_rev = VIRE_GIT_REV;
   report.config = {{"tags", std::to_string(tag_count)},
                    {"rounds", std::to_string(rounds)},
-                   {"hardware_threads", std::to_string(hw)}};
+                   {"hardware_threads", std::to_string(hw_raw)},
+                   {"scaling_curve",
+                    can_scale ? "measured" : "refused: single hardware thread"}};
   report.throughput_unit = "tags_per_sec";
 
   const auto bench_start = std::chrono::steady_clock::now();

@@ -68,7 +68,7 @@ int main() {
 
     const auto& grid = vire.virtual_grid().grid();
     std::printf("%s\n",
-                support::render_mask(vire_result->elimination.survivors, grid.rows(),
+                support::render_mask(vire_result->elimination.survivors.to_bools(), grid.rows(),
                                      grid.cols(),
                                      "surviving regions after elimination (Fig. 5)")
                     .c_str());

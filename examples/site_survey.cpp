@@ -94,12 +94,12 @@ void render_proximity_maps(env::PaperEnvironment which) {
     char title[80];
     std::snprintf(title, sizeof(title), "reader %d proximity map (threshold %.2f dB)",
                   map.reader(), map.threshold_db());
-    std::printf("%s\n", support::render_mask(map.mask(), grid.rows(), grid.cols(),
+    std::printf("%s\n", support::render_mask(map.mask().to_bools(), grid.rows(), grid.cols(),
                                              title)
                             .c_str());
   }
   std::printf("%s\n",
-              support::render_mask(result->elimination.survivors, grid.rows(),
+              support::render_mask(result->elimination.survivors.to_bools(), grid.rows(),
                                    grid.cols(),
                                    "intersection after elimination (Fig. 5)")
                   .c_str());

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Perf-regression guard: compare a BENCH_*.json report against the
+checked-in floor (bench/perf_floor.json) and fail on a >tolerance drop.
+
+Usage: check_perf_floor.py <bench-report.json> [floor.json]
+
+The floor file records, per bench name, the reference throughput for a named
+result key, the tolerance, and the machine/workload the floor was measured
+on. The guard compares `results[key]` (falling back to the headline
+`throughput`) and exits non-zero when
+
+    measured < floor * (1 - tolerance)
+
+The floor is a conservative lower bound — refresh it (see the `measured_on`
+note in the file) when the reference hardware or the bench workload changes,
+not to chase normal run-to-run noise.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    report_path = pathlib.Path(sys.argv[1])
+    floor_path = (
+        pathlib.Path(sys.argv[2])
+        if len(sys.argv) > 2
+        else pathlib.Path(__file__).resolve().parent.parent / "bench" / "perf_floor.json"
+    )
+
+    report = json.loads(report_path.read_text())
+    floors = json.loads(floor_path.read_text())
+
+    name = report.get("name", "")
+    entry = floors.get("benches", {}).get(name)
+    if entry is None:
+        print(f"check_perf_floor: no floor recorded for bench '{name}' — skipping")
+        return 0
+
+    key = entry.get("result_key")
+    results = dict(report.get("results", {})) if isinstance(report.get("results"), dict) else {
+        k: v for k, v in report.get("results", [])
+    }
+    measured = results.get(key, report.get("throughput"))
+    if measured is None:
+        print(f"check_perf_floor: report '{name}' has no result '{key}' and no "
+              "headline throughput", file=sys.stderr)
+        return 1
+
+    floor = float(entry["floor"])
+    tolerance = float(entry.get("tolerance", 0.20))
+    limit = floor * (1.0 - tolerance)
+    verdict = "OK" if measured >= limit else "REGRESSION"
+    print(f"check_perf_floor: {name}.{key} = {measured:.0f} {report.get('throughput_unit', '')}"
+          f" (floor {floor:.0f}, tolerance {tolerance:.0%}, limit {limit:.0f}) -> {verdict}")
+    if measured < limit:
+        print(f"check_perf_floor: throughput dropped more than {tolerance:.0%} below "
+              f"the checked-in floor ({floor:.0f} in {floor_path}).\n"
+              "If this is an intentional trade-off or the reference hardware "
+              "changed, update bench/perf_floor.json in the same commit and say why.",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

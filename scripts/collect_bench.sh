@@ -14,6 +14,9 @@
 #   VIRE_BENCH_FILTER  --benchmark_filter regex for the google-benchmark
 #                      based benches (default ".": everything). CI sets a
 #                      narrow filter to keep the job fast.
+#   VIRE_ENFORCE_PERF_FLOOR  "1" => fail if bench_perf_engine_batch falls
+#                      more than the tolerance below bench/perf_floor.json
+#                      (scripts/check_perf_floor.py). Unset => report only.
 #   VIRE_BATCH_TAGS/VIRE_BATCH_ROUNDS    workload of bench_perf_engine_batch
 #   VIRE_FAULT_TAGS/VIRE_FAULT_ROUNDS    workload of bench_fault_degradation
 #   VIRE_RECOVERY_POLLS/VIRE_RECOVERY_READINGS/VIRE_RECOVERY_CHECKPOINTS
@@ -69,3 +72,16 @@ if [ "$count" -eq 0 ]; then
   exit 1
 fi
 echo "collect_bench: copied $count report(s) to $DEST_DIR"
+
+# Perf-regression guard: compare the engine-batch throughput against the
+# checked-in floor. Advisory by default (machines differ); CI's metrics job
+# sets VIRE_ENFORCE_PERF_FLOOR=1 to make a >tolerance drop fail the build.
+SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
+if [ -f bench_out/BENCH_perf_engine_batch.json ]; then
+  if [ "${VIRE_ENFORCE_PERF_FLOOR:-0}" = "1" ]; then
+    python3 "$SCRIPT_DIR/check_perf_floor.py" bench_out/BENCH_perf_engine_batch.json
+  else
+    python3 "$SCRIPT_DIR/check_perf_floor.py" bench_out/BENCH_perf_engine_batch.json \
+      || echo "collect_bench: perf floor check failed (advisory; set VIRE_ENFORCE_PERF_FLOOR=1 to enforce)" >&2
+  fi
+fi

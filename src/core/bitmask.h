@@ -1,0 +1,137 @@
+#pragma once
+// Word-packed bit mask over the virtual grid nodes.
+//
+// Proximity maps and the elimination intersection used to be
+// std::vector<bool>; the threshold-shrink loop intersects K masks per step,
+// so the mask representation is squarely on the hot path. Packing 64 nodes
+// per word turns intersect_maps() into a word-wise AND and count_marked()
+// into a popcount sum — O(node_count / 64) per step instead of a per-bit
+// proxy-reference dance. Semantics (indexing, sizes, iteration order) match
+// the old vector<bool> exactly; tests/core/layout_equivalence_test.cpp locks
+// the two representations against each other bit for bit.
+//
+// Invariant: bits at positions >= size() in the last word are always zero,
+// so whole-word AND/OR/popcount never see garbage tail bits.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace vire::core {
+
+class BitMask {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  BitMask() = default;
+  explicit BitMask(std::size_t size, bool value = false) { assign(size, value); }
+  BitMask(std::initializer_list<bool> bits) {
+    assign(bits.size(), false);
+    std::size_t i = 0;
+    for (const bool b : bits) set(i++, b);
+  }
+  explicit BitMask(const std::vector<bool>& bits) {
+    assign(bits.size(), false);
+    for (std::size_t i = 0; i < bits.size(); ++i) set(i, bits[i]);
+  }
+
+  void assign(std::size_t size, bool value) {
+    size_ = size;
+    words_.assign(word_count(size), value ? ~Word{0} : Word{0});
+    if (value) mask_tail();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & Word{1};
+  }
+  [[nodiscard]] bool operator[](std::size_t i) const noexcept { return test(i); }
+
+  void set(std::size_t i, bool value = true) noexcept {
+    const Word bit = Word{1} << (i % kWordBits);
+    if (value) {
+      words_[i / kWordBits] |= bit;
+    } else {
+      words_[i / kWordBits] &= ~bit;
+    }
+  }
+
+  /// Number of set bits (popcount over the words).
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (const Word w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+  [[nodiscard]] bool any() const noexcept {
+    for (const Word w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// Word-wise AND / OR. Sizes must match (callers validate; the elimination
+  /// paths only combine masks built over the same grid).
+  BitMask& operator&=(const BitMask& other) noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+    return *this;
+  }
+  BitMask& operator|=(const BitMask& other) noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+    return *this;
+  }
+
+  friend bool operator==(const BitMask& a, const BitMask& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Raw word access for bulk builders (e.g. the proximity-map compare
+  /// sweep). Writers must respect the zero-tail invariant.
+  [[nodiscard]] std::span<const Word> words() const noexcept { return words_; }
+  [[nodiscard]] std::span<Word> words() noexcept { return words_; }
+
+  /// Zeroes any bits at positions >= size() in the last word, restoring the
+  /// invariant after a bulk word write.
+  void mask_tail() noexcept {
+    const std::size_t tail = size_ % kWordBits;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (Word{1} << tail) - 1;
+    }
+  }
+
+  /// Visits the index of every set bit in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      Word bits = words_[w];
+      while (bits != 0) {
+        const auto lane = static_cast<std::size_t>(std::countr_zero(bits));
+        fn(w * kWordBits + lane);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Unpacked copy, for diagnostics/rendering paths that want vector<bool>.
+  [[nodiscard]] std::vector<bool> to_bools() const {
+    std::vector<bool> out(size_, false);
+    for_each_set([&](std::size_t i) { out[i] = true; });
+    return out;
+  }
+
+  [[nodiscard]] static constexpr std::size_t word_count(std::size_t bits) noexcept {
+    return (bits + kWordBits - 1) / kWordBits;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace vire::core

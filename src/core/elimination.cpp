@@ -1,6 +1,7 @@
 #include "core/elimination.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -47,27 +48,82 @@ std::vector<int> valid_readers(const sim::RssiVector& tracking) {
   return out;
 }
 
-std::vector<ProximityMap> build_maps(const VirtualGrid& grid,
-                                     const sim::RssiVector& tracking,
-                                     const std::vector<int>& readers,
+/// Per-node |S_k(T_i) - s_k| for one voting reader, computed ONCE per
+/// locate. Every threshold step then costs one compare per node instead of
+/// re-walking the grid: `dist <= t` reproduces the original
+/// "skip-NaN, mark if |v - s| <= t" semantics exactly (a NaN distance never
+/// compares true).
+struct ReaderDistances {
+  int reader = 0;
+  double tracking_rssi = 0.0;
+  std::vector<double> dist;
+};
+
+std::vector<ReaderDistances> compute_distances(const VirtualGrid& grid,
+                                               const sim::RssiVector& tracking,
+                                               const std::vector<int>& readers) {
+  std::vector<ReaderDistances> out;
+  out.reserve(readers.size());
+  for (const int k : readers) {
+    ReaderDistances rd;
+    rd.reader = k;
+    rd.tracking_rssi = tracking[static_cast<std::size_t>(k)];
+    const std::span<const double> values = grid.reader_values(k);
+    rd.dist.resize(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      rd.dist[i] = std::abs(values[i] - rd.tracking_rssi);
+    }
+    out.push_back(std::move(rd));
+  }
+  return out;
+}
+
+std::vector<ProximityMap> build_maps(const std::vector<ReaderDistances>& dists,
                                      double threshold) {
   std::vector<ProximityMap> maps;
-  maps.reserve(readers.size());
-  for (int k : readers) {
-    maps.emplace_back(grid, k, tracking[static_cast<std::size_t>(k)], threshold);
+  maps.reserve(dists.size());
+  for (const ReaderDistances& rd : dists) {
+    maps.push_back(ProximityMap::from_distances(rd.dist, rd.reader,
+                                                rd.tracking_rssi, threshold));
   }
   return maps;
 }
 
+/// Surviving-intersection size at a candidate threshold without
+/// materialising the per-reader masks: word-wise AND over compare-words,
+/// then popcount. This is the elimination walk's inner loop.
+std::size_t count_intersection(const std::vector<ReaderDistances>& dists,
+                               double threshold, std::size_t node_count) {
+  if (dists.empty()) return 0;
+  std::size_t count = 0;
+  std::size_t i = 0;
+  while (i < node_count) {
+    const std::size_t lanes =
+        std::min<std::size_t>(BitMask::kWordBits, node_count - i);
+    BitMask::Word word = lanes == BitMask::kWordBits
+                             ? ~BitMask::Word{0}
+                             : (BitMask::Word{1} << lanes) - 1;
+    for (const ReaderDistances& rd : dists) {
+      BitMask::Word bits = 0;
+      const double* d = rd.dist.data() + i;
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        bits |= static_cast<BitMask::Word>(d[lane] <= threshold) << lane;
+      }
+      word &= bits;
+      if (word == 0) break;
+    }
+    count += static_cast<std::size_t>(std::popcount(word));
+    i += lanes;
+  }
+  return count;
+}
+
 /// Union of all maps — the degenerate-measurement fallback so the localizer
 /// can still produce an answer when the readers fully disagree.
-std::vector<bool> union_of_maps(const std::vector<ProximityMap>& maps,
-                                std::size_t node_count) {
-  std::vector<bool> out(node_count, false);
-  for (const auto& map : maps) {
-    const auto& mask = map.mask();
-    for (std::size_t i = 0; i < mask.size(); ++i) out[i] = out[i] || mask[i];
-  }
+BitMask union_of_maps(const std::vector<ProximityMap>& maps,
+                      std::size_t node_count) {
+  BitMask out(node_count, false);
+  for (const auto& map : maps) out |= map.mask();
   return out;
 }
 
@@ -80,8 +136,9 @@ EliminationResult EliminationEngine::run_fixed(const VirtualGrid& grid,
   result.initial_threshold_db = config_.fixed_threshold_db;
   result.final_threshold_db = config_.fixed_threshold_db;
   const auto readers = valid_readers(tracking);
-  result.maps = build_maps(grid, tracking, readers, config_.fixed_threshold_db);
-  result.survivors = result.maps.empty() ? std::vector<bool>(grid.node_count(), false)
+  const auto dists = compute_distances(grid, tracking, readers);
+  result.maps = build_maps(dists, config_.fixed_threshold_db);
+  result.survivors = result.maps.empty() ? BitMask(grid.node_count(), false)
                                          : intersect_maps(result.maps);
   if (!result.maps.empty()) {
     result.survivors_per_step.push_back(count_marked(result.survivors));
@@ -108,34 +165,34 @@ EliminationResult EliminationEngine::run_adaptive(
     return result;
   }
   const std::size_t min_area = min_survivors(grid);
+  const auto dists = compute_distances(grid, tracking, readers);
 
   // Walk the common threshold downward; keep the smallest one whose
-  // intersection still covers the minimum area.
+  // intersection still covers the minimum area. The walk itself only needs
+  // the intersection COUNT per candidate; the accepted threshold's maps and
+  // mask are materialised once at the end (identical inputs => identical
+  // maps, so deferring the build changes nothing).
   double best_threshold = config_.initial_threshold_db;
-  std::vector<ProximityMap> best_maps =
-      build_maps(grid, tracking, readers, best_threshold);
-  std::vector<bool> best_intersection = intersect_maps(best_maps);
-  result.survivors_per_step.push_back(count_marked(best_intersection));
+  result.survivors_per_step.push_back(
+      count_intersection(dists, best_threshold, grid.node_count()));
 
   for (double threshold = config_.initial_threshold_db - config_.step_db;
        threshold >= config_.min_threshold_db - 1e-12;
        threshold -= config_.step_db) {
-    auto maps = build_maps(grid, tracking, readers, threshold);
-    auto intersection = intersect_maps(maps);
-    if (count_marked(intersection) < min_area) break;
+    const std::size_t survivors =
+        count_intersection(dists, threshold, grid.node_count());
+    if (survivors < min_area) break;
     best_threshold = threshold;
-    best_maps = std::move(maps);
-    best_intersection = std::move(intersection);
     ++result.refinement_steps;
-    result.survivors_per_step.push_back(count_marked(best_intersection));
+    result.survivors_per_step.push_back(survivors);
   }
 
   for (int k : readers) {
     result.thresholds_db[static_cast<std::size_t>(k)] = best_threshold;
   }
   result.final_threshold_db = best_threshold;
-  result.maps = std::move(best_maps);
-  result.survivors = std::move(best_intersection);
+  result.maps = build_maps(dists, best_threshold);
+  result.survivors = intersect_maps(result.maps);
   if (count_marked(result.survivors) == 0) {
     result.survivors = union_of_maps(result.maps, grid.node_count());
   }
@@ -154,9 +211,9 @@ EliminationResult EliminationEngine::run_adaptive_per_reader(
     return result;
   }
   const std::size_t min_area = min_survivors(grid);
+  const auto dists = compute_distances(grid, tracking, readers);
 
-  std::vector<ProximityMap> maps =
-      build_maps(grid, tracking, readers, config_.initial_threshold_db);
+  std::vector<ProximityMap> maps = build_maps(dists, config_.initial_threshold_db);
   std::vector<double> thresholds(readers.size(), config_.initial_threshold_db);
   std::vector<bool> frozen(readers.size(), false);
   auto intersection = intersect_maps(maps);
@@ -179,11 +236,13 @@ EliminationResult EliminationEngine::run_adaptive_per_reader(
 
     while (thresholds[i] - config_.step_db >= config_.min_threshold_db - 1e-12) {
       const double candidate = thresholds[i] - config_.step_db;
-      ProximityMap trial(grid, readers[i],
-                         tracking[static_cast<std::size_t>(readers[i])], candidate);
-      std::vector<ProximityMap> trial_maps = maps;
-      trial_maps[i] = trial;
-      auto trial_intersection = intersect_maps(trial_maps);
+      ProximityMap trial = ProximityMap::from_distances(
+          dists[i].dist, dists[i].reader, dists[i].tracking_rssi, candidate);
+      // Intersection with the trial map swapped in — no map-vector copy.
+      BitMask trial_intersection = trial.mask();
+      for (std::size_t m = 0; m < maps.size(); ++m) {
+        if (m != i) trial_intersection &= maps[m].mask();
+      }
       if (count_marked(trial_intersection) < min_area) break;
       thresholds[i] = candidate;
       maps[i] = std::move(trial);

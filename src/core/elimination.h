@@ -43,7 +43,7 @@ struct EliminationConfig {
 
 struct EliminationResult {
   /// Intersection of the per-reader maps: the "most probable regions".
-  std::vector<bool> survivors;
+  BitMask survivors;
   /// Final per-reader thresholds (all equal except per-reader mode).
   std::vector<double> thresholds_db;
   /// Final per-reader proximity maps (diagnostics, Fig. 5-style rendering).

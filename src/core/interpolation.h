@@ -34,6 +34,21 @@ enum class InterpolationMethod {
 [[nodiscard]] double interpolate_at(std::span<const double> values, int cols, int rows,
                                     double gx, double gy, InterpolationMethod method);
 
+/// Fills one reader plane of the virtual lattice for kLinear in a single
+/// sweep. The virtual node (vc, vr) maps to real-grid coordinates
+/// gx = (vc - extension)/subdivision, gy likewise; nodes inside the real
+/// lattice get bilinear interpolation, the boundary-extension ring gets
+/// linear extrapolation from the nearest edge cell. Bit-identical to calling
+/// interpolate_at()/extrapolation per node (the per-node clamps are no-ops
+/// inside the lattice and the two paths share one arithmetic expression),
+/// but hoists the cell lookup, NaN checks and corner loads out of the inner
+/// loop so runs of `subdivision` columns vectorize. `out` is row-major,
+/// virtual_cols * virtual_rows.
+void interpolate_linear_plane(std::span<const double> real_values, int real_cols,
+                              int real_rows, int subdivision, int extension,
+                              int virtual_cols, int virtual_rows,
+                              std::span<double> out);
+
 /// 1D Catmull-Rom on four consecutive samples p0..p3, parameter t in [0,1]
 /// between p1 and p2. Exposed for tests.
 [[nodiscard]] double catmull_rom(double p0, double p1, double p2, double p3,

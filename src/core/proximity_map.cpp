@@ -5,45 +5,66 @@
 
 namespace vire::core {
 
-ProximityMap::ProximityMap(const VirtualGrid& grid, int reader,
-                           double tracking_rssi_dbm, double threshold_db)
-    : reader_(reader),
-      threshold_db_(threshold_db),
-      tracking_rssi_(tracking_rssi_dbm),
-      mask_(grid.node_count(), false) {
-  if (threshold_db < 0.0) {
-    throw std::invalid_argument("ProximityMap: threshold must be >= 0");
-  }
-  const auto& values = grid.reader_values(reader);
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    const double v = values[i];
-    if (std::isnan(v) || std::isnan(tracking_rssi_dbm)) continue;
-    if (std::abs(v - tracking_rssi_dbm) <= threshold_db) {
-      mask_[i] = true;
-      ++marked_count_;
+void fill_mask_from_distances(std::span<const double> distances, double threshold,
+                              BitMask& mask) {
+  mask.assign(distances.size(), false);
+  const std::span<BitMask::Word> words = mask.words();
+  const std::size_t n = distances.size();
+  std::size_t i = 0;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const std::size_t lanes = std::min<std::size_t>(BitMask::kWordBits, n - i);
+    BitMask::Word bits = 0;
+    // A NaN distance (NaN node value or NaN tracking RSSI) compares false,
+    // exactly like the explicit isnan-skip in the scalar loop this replaces.
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      bits |= static_cast<BitMask::Word>(distances[i + lane] <= threshold) << lane;
     }
+    words[w] = bits;
+    i += lanes;
   }
 }
 
-std::vector<bool> intersect_maps(const std::vector<ProximityMap>& maps) {
+ProximityMap::ProximityMap(int reader, double tracking_rssi_dbm, double threshold_db)
+    : reader_(reader), threshold_db_(threshold_db), tracking_rssi_(tracking_rssi_dbm) {
+  if (threshold_db < 0.0) {
+    throw std::invalid_argument("ProximityMap: threshold must be >= 0");
+  }
+}
+
+ProximityMap::ProximityMap(const VirtualGrid& grid, int reader,
+                           double tracking_rssi_dbm, double threshold_db)
+    : ProximityMap(reader, tracking_rssi_dbm, threshold_db) {
+  const std::span<const double> values = grid.reader_values(reader);
+  std::vector<double> distances(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    distances[i] = std::abs(values[i] - tracking_rssi_dbm);
+  }
+  fill_mask_from_distances(distances, threshold_db, mask_);
+  marked_count_ = mask_.count();
+}
+
+ProximityMap ProximityMap::from_distances(std::span<const double> distances,
+                                          int reader, double tracking_rssi_dbm,
+                                          double threshold_db) {
+  ProximityMap map(reader, tracking_rssi_dbm, threshold_db);
+  fill_mask_from_distances(distances, threshold_db, map.mask_);
+  map.marked_count_ = map.mask_.count();
+  return map;
+}
+
+BitMask intersect_maps(const std::vector<ProximityMap>& maps) {
   if (maps.empty()) return {};
-  std::vector<bool> out = maps.front().mask();
+  BitMask out = maps.front().mask();
   for (std::size_t m = 1; m < maps.size(); ++m) {
-    const auto& mask = maps[m].mask();
+    const BitMask& mask = maps[m].mask();
     if (mask.size() != out.size()) {
       throw std::invalid_argument("intersect_maps: mask size mismatch");
     }
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      out[i] = out[i] && mask[i];
-    }
+    out &= mask;
   }
   return out;
 }
 
-std::size_t count_marked(const std::vector<bool>& mask) noexcept {
-  std::size_t count = 0;
-  for (bool b : mask) count += b ? 1 : 0;
-  return count;
-}
+std::size_t count_marked(const BitMask& mask) noexcept { return mask.count(); }
 
 }  // namespace vire::core

@@ -6,10 +6,16 @@
 // marks region i iff |S_k(T_i) - s_k| <= threshold. The K per-reader maps
 // are then intersected ("elimination") to keep only positions plausible to
 // every reader.
+//
+// Masks are word-packed (see core/bitmask.h): intersect_maps() is a
+// word-wise AND and count_marked() a popcount, which is what makes the
+// elimination threshold walk O(node_count / 64) per combine step.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "core/bitmask.h"
 #include "core/virtual_grid.h"
 
 namespace vire::core {
@@ -23,27 +29,41 @@ class ProximityMap {
   ProximityMap(const VirtualGrid& grid, int reader, double tracking_rssi_dbm,
                double threshold_db);
 
+  /// Fast path for the elimination walk: builds the map from precomputed
+  /// per-node distances |S_k(T_i) - s_k| (NaN where either side was NaN —
+  /// a NaN distance never satisfies `<= threshold`, matching the public
+  /// constructor bit for bit).
+  static ProximityMap from_distances(std::span<const double> distances, int reader,
+                                     double tracking_rssi_dbm, double threshold_db);
+
   [[nodiscard]] int reader() const noexcept { return reader_; }
   [[nodiscard]] double threshold_db() const noexcept { return threshold_db_; }
   [[nodiscard]] double tracking_rssi_dbm() const noexcept { return tracking_rssi_; }
 
-  [[nodiscard]] const std::vector<bool>& mask() const noexcept { return mask_; }
+  [[nodiscard]] const BitMask& mask() const noexcept { return mask_; }
   [[nodiscard]] bool marked(std::size_t node) const { return mask_[node]; }
   [[nodiscard]] std::size_t marked_count() const noexcept { return marked_count_; }
   [[nodiscard]] std::size_t size() const noexcept { return mask_.size(); }
 
  private:
+  ProximityMap(int reader, double tracking_rssi_dbm, double threshold_db);
+
   int reader_;
   double threshold_db_;
   double tracking_rssi_;
-  std::vector<bool> mask_;
+  BitMask mask_;
   std::size_t marked_count_ = 0;
 };
 
+/// Packs `distances[i] <= threshold` into `mask` (word-wise; NaN compares
+/// false). The shared kernel behind both ProximityMap constructors.
+void fill_mask_from_distances(std::span<const double> distances, double threshold,
+                              BitMask& mask);
+
 /// Intersection of per-reader masks; the "most probable regions".
-[[nodiscard]] std::vector<bool> intersect_maps(const std::vector<ProximityMap>& maps);
+[[nodiscard]] BitMask intersect_maps(const std::vector<ProximityMap>& maps);
 
 /// Number of true cells in a mask.
-[[nodiscard]] std::size_t count_marked(const std::vector<bool>& mask) noexcept;
+[[nodiscard]] std::size_t count_marked(const BitMask& mask) noexcept;
 
 }  // namespace vire::core

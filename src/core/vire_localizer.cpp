@@ -26,6 +26,16 @@ void VireLocalizer::set_reference_rssi(
   virtual_grid_.emplace(real_grid_, reference_rssi, config_.virtual_grid, pool);
 }
 
+void VireLocalizer::update_reference_rssi(
+    const std::vector<sim::RssiVector>& reference_rssi,
+    const std::vector<int>& dirty_readers, support::ThreadPool* pool) {
+  if (!virtual_grid_) {
+    set_reference_rssi(reference_rssi, pool);
+    return;
+  }
+  virtual_grid_->reinterpolate_readers(reference_rssi, dirty_readers, pool);
+}
+
 std::optional<VireResult> VireLocalizer::locate(const sim::RssiVector& tracking,
                                                 const std::vector<bool>& reader_mask,
                                                 LocateStats* stats) const {

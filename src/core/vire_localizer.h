@@ -68,6 +68,16 @@ class VireLocalizer {
   void set_reference_rssi(const std::vector<sim::RssiVector>& reference_rssi,
                           support::ThreadPool* pool = nullptr);
 
+  /// Incremental variant: re-interpolates only `dirty_readers`' planes of
+  /// the existing virtual grid from the fresh readings. The caller must have
+  /// verified the other readers' reference readings are unchanged (NaN-aware
+  /// comparison); then the result is bit-identical to set_reference_rssi()
+  /// at a fraction of the cost. Falls back to a full build when no grid
+  /// exists yet.
+  void update_reference_rssi(const std::vector<sim::RssiVector>& reference_rssi,
+                             const std::vector<int>& dirty_readers,
+                             support::ThreadPool* pool = nullptr);
+
   /// Locates one tracking tag. nullopt if no virtual grid has been built or
   /// no region survives with comparable readings. `stats`, when non-null,
   /// receives per-stage wall times (a pure observability side channel).

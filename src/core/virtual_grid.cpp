@@ -12,8 +12,10 @@ namespace {
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 
 /// Bilinear with *unclamped* fractional offsets relative to the nearest
-/// valid cell — linear extrapolation for the boundary-extension ring.
-double extrapolate_bilinear(const std::vector<double>& values, int cols, int rows,
+/// valid cell — linear extrapolation for the boundary-extension ring. Used
+/// by the non-linear interpolation methods; the kLinear sweep folds this
+/// expression into interpolate_linear_plane().
+double extrapolate_bilinear(std::span<const double> values, int cols, int rows,
                             double gx, double gy) {
   const int c0 = std::clamp(static_cast<int>(std::floor(gx)), 0, cols - 2);
   const int r0 = std::clamp(static_cast<int>(std::floor(gy)), 0, rows - 2);
@@ -58,7 +60,9 @@ geom::RegularGrid make_virtual_lattice(const geom::RegularGrid& real_grid,
 VirtualGrid::VirtualGrid(const geom::RegularGrid& real_grid,
                          const std::vector<sim::RssiVector>& reference_rssi,
                          VirtualGridConfig config, support::ThreadPool* pool)
-    : config_(config), virtual_grid_(make_virtual_lattice(real_grid, config)) {
+    : config_(config),
+      real_grid_(real_grid),
+      virtual_grid_(make_virtual_lattice(real_grid, config)) {
   if (reference_rssi.size() != real_grid.node_count()) {
     throw std::invalid_argument(
         "VirtualGrid: reference RSSI count must match the real grid");
@@ -67,55 +71,97 @@ VirtualGrid::VirtualGrid(const geom::RegularGrid& real_grid,
     throw std::invalid_argument("VirtualGrid: empty reference set");
   }
   reader_count_ = static_cast<int>(reference_rssi.front().size());
+  validate_references(reference_rssi);
+
+  node_count_ = virtual_grid_.node_count();
+  values_.assign(static_cast<std::size_t>(reader_count_) * node_count_, kNan);
+
+  // Per-reader scalar field over the real lattice. Readers are independent
+  // (each writes only its own plane) and the interpolation is pure
+  // arithmetic, so fanning readers over the pool is bit-identical to the
+  // serial loop.
+  if (pool != nullptr && pool->size() > 1 && reader_count_ > 1) {
+    support::parallel_for(
+        0, static_cast<std::size_t>(reader_count_),
+        [&](std::size_t k) {
+          interpolate_reader(static_cast<int>(k), reference_rssi);
+        },
+        pool);
+  } else {
+    for (int k = 0; k < reader_count_; ++k) interpolate_reader(k, reference_rssi);
+  }
+}
+
+void VirtualGrid::validate_references(
+    const std::vector<sim::RssiVector>& reference_rssi) const {
   for (const auto& v : reference_rssi) {
     if (static_cast<int>(v.size()) != reader_count_) {
       throw std::invalid_argument("VirtualGrid: inconsistent reader counts");
     }
   }
+}
 
-  const int real_cols = real_grid.cols();
-  const int real_rows = real_grid.rows();
+void VirtualGrid::reinterpolate_readers(
+    const std::vector<sim::RssiVector>& reference_rssi,
+    const std::vector<int>& readers, support::ThreadPool* pool) {
+  if (reference_rssi.size() != real_grid_.node_count()) {
+    throw std::invalid_argument(
+        "VirtualGrid: reference RSSI count must match the real grid");
+  }
+  validate_references(reference_rssi);
+  for (const int k : readers) {
+    if (k < 0 || k >= reader_count_) {
+      throw std::invalid_argument("VirtualGrid: reader index out of range");
+    }
+  }
+  if (pool != nullptr && pool->size() > 1 && readers.size() > 1) {
+    support::parallel_for(
+        0, readers.size(),
+        [&](std::size_t i) { interpolate_reader(readers[i], reference_rssi); },
+        pool);
+  } else {
+    for (const int k : readers) interpolate_reader(k, reference_rssi);
+  }
+}
+
+void VirtualGrid::interpolate_reader(
+    int k, const std::vector<sim::RssiVector>& reference_rssi) {
+  const int real_cols = real_grid_.cols();
+  const int real_rows = real_grid_.rows();
   const int n = config_.subdivision;
   const int e = config_.boundary_extension_cells;
 
-  values_.assign(static_cast<std::size_t>(reader_count_),
-                 std::vector<double>(virtual_grid_.node_count(), kNan));
-
-  // Per-reader scalar field over the real lattice. Readers are independent
-  // (each writes only values_[k]) and the interpolation is pure arithmetic,
-  // so fanning readers over the pool is bit-identical to the serial loop.
-  auto interpolate_reader = [&](int k) {
-    std::vector<double> real_values(real_grid.node_count());
-    for (std::size_t j = 0; j < reference_rssi.size(); ++j) {
-      real_values[j] = reference_rssi[j][static_cast<std::size_t>(k)];
+  std::vector<double> real_values(real_grid_.node_count());
+  for (std::size_t j = 0; j < reference_rssi.size(); ++j) {
+    real_values[j] = reference_rssi[j][static_cast<std::size_t>(k)];
+  }
+  const std::span<double> out{values_.data() + static_cast<std::size_t>(k) * node_count_,
+                              node_count_};
+  if (config_.method == InterpolationMethod::kLinear) {
+    interpolate_linear_plane(real_values, real_cols, real_rows, n, e,
+                             virtual_grid_.cols(), virtual_grid_.rows(), out);
+    return;
+  }
+  for (int vr = 0; vr < virtual_grid_.rows(); ++vr) {
+    for (int vc = 0; vc < virtual_grid_.cols(); ++vc) {
+      const double gx = static_cast<double>(vc - e) / n;
+      const double gy = static_cast<double>(vr - e) / n;
+      const std::size_t node = virtual_grid_.to_linear({vc, vr});
+      const bool inside = gx >= 0.0 && gx <= real_cols - 1 && gy >= 0.0 &&
+                          gy <= real_rows - 1;
+      out[node] = inside ? interpolate_at(real_values, real_cols, real_rows, gx,
+                                          gy, config_.method)
+                         : extrapolate_bilinear(real_values, real_cols, real_rows,
+                                                gx, gy);
     }
-    auto& out = values_[static_cast<std::size_t>(k)];
-    for (int vr = 0; vr < virtual_grid_.rows(); ++vr) {
-      for (int vc = 0; vc < virtual_grid_.cols(); ++vc) {
-        const double gx = static_cast<double>(vc - e) / n;
-        const double gy = static_cast<double>(vr - e) / n;
-        const std::size_t node = virtual_grid_.to_linear({vc, vr});
-        const bool inside = gx >= 0.0 && gx <= real_cols - 1 && gy >= 0.0 &&
-                            gy <= real_rows - 1;
-        out[node] = inside ? interpolate_at(real_values, real_cols, real_rows, gx,
-                                            gy, config_.method)
-                           : extrapolate_bilinear(real_values, real_cols, real_rows,
-                                                  gx, gy);
-      }
-    }
-  };
-  if (pool != nullptr && pool->size() > 1 && reader_count_ > 1) {
-    support::parallel_for(
-        0, static_cast<std::size_t>(reader_count_),
-        [&](std::size_t k) { interpolate_reader(static_cast<int>(k)); }, pool);
-  } else {
-    for (int k = 0; k < reader_count_; ++k) interpolate_reader(k);
   }
 }
 
 bool VirtualGrid::node_valid(std::size_t node) const {
   for (int k = 0; k < reader_count_; ++k) {
-    if (std::isnan(values_[static_cast<std::size_t>(k)][node])) return false;
+    if (std::isnan(values_[static_cast<std::size_t>(k) * node_count_ + node])) {
+      return false;
+    }
   }
   return true;
 }

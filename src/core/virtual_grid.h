@@ -7,7 +7,13 @@
 // the real tags' readings. For an R x C real grid the virtual lattice has
 // ((C-1)n + 1) x ((R-1)n + 1) nodes; the paper's N^2 ≈ 900 corresponds to
 // n = 10 on the 4x4 testbed (31^2 = 961 nodes).
+//
+// Storage is one flat row-major array, values_[k * node_count + node]: the
+// proximity-map sweep walks a whole reader plane linearly, so keeping each
+// plane contiguous (and planes adjacent) is what lets that loop vectorize.
+// See docs/algorithm.md, "Data layout & SIMD".
 
+#include <span>
 #include <vector>
 
 #include "core/interpolation.h"
@@ -29,7 +35,9 @@ struct VirtualGridConfig {
   int boundary_extension_cells = 0;
 };
 
-/// Immutable once built: per-reader RSSI values at every virtual node.
+/// Per-reader RSSI values at every virtual node. Immutable through the
+/// accessors; reinterpolate_readers() refreshes a subset of reader planes in
+/// place when only those readers' reference readings changed.
 class VirtualGrid {
  public:
   /// @param real_grid   geometry of the real reference-tag lattice
@@ -38,26 +46,36 @@ class VirtualGrid {
   /// @param config      subdivision / interpolation / boundary extension
   /// @param pool        optional thread pool; the per-reader scalar fields
   ///                    are interpolated concurrently (one task per reader,
-  ///                    disjoint output rows — bit-identical to serial)
+  ///                    disjoint output planes — bit-identical to serial)
   VirtualGrid(const geom::RegularGrid& real_grid,
               const std::vector<sim::RssiVector>& reference_rssi,
               VirtualGridConfig config = {}, support::ThreadPool* pool = nullptr);
 
+  /// Re-interpolates only the listed readers' planes from fresh reference
+  /// readings (same shape as the constructor's). Untouched planes keep their
+  /// exact values, so the result is bit-identical to a full rebuild whenever
+  /// the other readers' readings are unchanged — the engine's incremental
+  /// refresh relies on exactly that. Planes are disjoint, so a pool fan-out
+  /// over the dirty readers is bit-identical to the serial loop.
+  void reinterpolate_readers(const std::vector<sim::RssiVector>& reference_rssi,
+                             const std::vector<int>& readers,
+                             support::ThreadPool* pool = nullptr);
+
   [[nodiscard]] const geom::RegularGrid& grid() const noexcept { return virtual_grid_; }
   [[nodiscard]] const VirtualGridConfig& config() const noexcept { return config_; }
   [[nodiscard]] int reader_count() const noexcept { return reader_count_; }
-  [[nodiscard]] std::size_t node_count() const noexcept {
-    return virtual_grid_.node_count();
-  }
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
 
   /// RSSI of virtual node `node` as seen by reader `k` (NaN if the
   /// interpolation stencil had missing reference readings).
   [[nodiscard]] double rssi(int k, std::size_t node) const {
-    return values_[static_cast<std::size_t>(k)][node];
+    return values_[static_cast<std::size_t>(k) * node_count_ + node];
   }
-  /// All node values for one reader (row-major over grid()).
-  [[nodiscard]] const std::vector<double>& reader_values(int k) const {
-    return values_[static_cast<std::size_t>(k)];
+  /// All node values for one reader (row-major over grid()), a contiguous
+  /// plane of the flat array.
+  [[nodiscard]] std::span<const double> reader_values(int k) const {
+    return {values_.data() + static_cast<std::size_t>(k) * node_count_,
+            node_count_};
   }
 
   /// True if the node has a valid (non-NaN) RSSI for every reader.
@@ -74,11 +92,16 @@ class VirtualGrid {
   }
 
  private:
+  void interpolate_reader(int k, const std::vector<sim::RssiVector>& reference_rssi);
+  void validate_references(const std::vector<sim::RssiVector>& reference_rssi) const;
+
   VirtualGridConfig config_;
+  geom::RegularGrid real_grid_;
   geom::RegularGrid virtual_grid_;
   int reader_count_ = 0;
-  /// values_[k][node]: RSSI of node for reader k.
-  std::vector<std::vector<double>> values_;
+  std::size_t node_count_ = 0;
+  /// Flat SoA: values_[k * node_count_ + node] = RSSI of node for reader k.
+  std::vector<double> values_;
 };
 
 }  // namespace vire::core

@@ -18,6 +18,11 @@ std::string_view to_string(WeightingMode m) noexcept {
 
 std::vector<int> label_components(const std::vector<bool>& mask, int cols, int rows,
                                   std::vector<std::size_t>& component_sizes) {
+  return label_components(BitMask(mask), cols, rows, component_sizes);
+}
+
+std::vector<int> label_components(const BitMask& mask, int cols, int rows,
+                                  std::vector<std::size_t>& component_sizes) {
   if (mask.size() != static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows)) {
     throw std::invalid_argument("label_components: mask/lattice size mismatch");
   }
@@ -57,6 +62,13 @@ std::vector<int> label_components(const std::vector<bool>& mask, int cols, int r
 
 WeightedEstimate compute_estimate(const VirtualGrid& grid,
                                   const std::vector<bool>& survivors,
+                                  const sim::RssiVector& tracking,
+                                  WeightingMode mode, double w1_exponent) {
+  return compute_estimate(grid, BitMask(survivors), tracking, mode, w1_exponent);
+}
+
+WeightedEstimate compute_estimate(const VirtualGrid& grid,
+                                  const BitMask& survivors,
                                   const sim::RssiVector& tracking,
                                   WeightingMode mode, double w1_exponent) {
   WeightedEstimate est;

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "core/bitmask.h"
 #include "core/virtual_grid.h"
 #include "geom/vec2.h"
 #include "sim/types.h"
@@ -28,7 +29,11 @@ enum class WeightingMode { kCombined, kW1Only, kW2Only, kUniform };
 
 /// 4-connected component labelling of a mask laid out row-major on a
 /// cols x rows lattice. Returns a label per cell (-1 for false cells) and
-/// fills `component_sizes[label]`.
+/// fills `component_sizes[label]`. The vector<bool> overload converts and
+/// delegates (kept for callers/tests that still hold unpacked masks).
+[[nodiscard]] std::vector<int> label_components(const BitMask& mask,
+                                                int cols, int rows,
+                                                std::vector<std::size_t>& component_sizes);
 [[nodiscard]] std::vector<int> label_components(const std::vector<bool>& mask,
                                                 int cols, int rows,
                                                 std::vector<std::size_t>& component_sizes);
@@ -53,6 +58,11 @@ struct WeightedEstimate {
 /// paper's formula corresponds to p = 1; p = 2 (the library default set in
 /// VireConfig) mirrors LANDMARC's own 1/E^2 convention and measurably
 /// tightens the centroid (see bench_ablation_weights).
+[[nodiscard]] WeightedEstimate compute_estimate(const VirtualGrid& grid,
+                                                const BitMask& survivors,
+                                                const sim::RssiVector& tracking,
+                                                WeightingMode mode = WeightingMode::kCombined,
+                                                double w1_exponent = 1.0);
 [[nodiscard]] WeightedEstimate compute_estimate(const VirtualGrid& grid,
                                                 const std::vector<bool>& survivors,
                                                 const sim::RssiVector& tracking,

@@ -97,12 +97,20 @@ LocalizationEngine::LocalizationEngine(const env::Deployment& deployment,
   inst_.grid_rebuilds = &metrics_.counter(
       "vire_engine_grid_rebuilds_total", {},
       "Virtual-grid rebuilds from fresh reference readings");
+  inst_.grid_partial_rebuilds = &metrics_.counter(
+      "vire_engine_grid_partial_rebuilds_total", {},
+      "Grid refreshes that re-interpolated only the dirty reader planes "
+      "(subset of vire_engine_grid_rebuilds_total)");
   inst_.grid_skips_rate_limited = &metrics_.counter(
       "vire_engine_grid_rebuild_skips_total", "reason=\"rate_limited\"",
       "Rebuilds skipped, by reason");
   inst_.grid_skips_unchanged = &metrics_.counter(
       "vire_engine_grid_rebuild_skips_total", "reason=\"unchanged\"",
       "Rebuilds skipped, by reason");
+  inst_.grid_rebuild_planes = &metrics_.histogram(
+      "vire_engine_grid_rebuild_planes", obs::linear_buckets(0.0, 1.0, 17), {},
+      "Reader planes re-interpolated per grid rebuild (the rebuild scope: "
+      "full rebuilds observe the reader count, partial ones the dirty subset)");
   inst_.update_seconds = &metrics_.histogram("vire_engine_update_seconds", latency,
                                              {}, "End-to-end update() latency");
   inst_.degraded_update_seconds = &metrics_.histogram(
@@ -275,6 +283,37 @@ void LocalizationEngine::refresh_references(
     inst_.grid_skips_unchanged->inc();
     return;  // unchanged references: the current grid is still exact
   }
+
+  // Dirty-reader diff: when a comparable previous reference field exists,
+  // find which reader columns actually changed (NaN-aware, like the
+  // unchanged-skip above). Clean readers' planes were interpolated from
+  // identical inputs, so re-interpolating only the dirty planes is
+  // bit-identical to a full rebuild — see docs/algorithm.md.
+  std::vector<int> dirty_readers;
+  std::size_t reader_columns = 0;
+  bool comparable = grid_rebuilds_ > 0 && !reference_rssi.empty() &&
+                    reference_rssi.size() == last_reference_rssi_.size();
+  if (comparable) {
+    reader_columns = reference_rssi.front().size();
+    for (std::size_t j = 0; j < reference_rssi.size(); ++j) {
+      if (reference_rssi[j].size() != reader_columns ||
+          last_reference_rssi_[j].size() != reader_columns) {
+        comparable = false;
+        break;
+      }
+    }
+  }
+  if (comparable) {
+    for (std::size_t k = 0; k < reader_columns; ++k) {
+      for (std::size_t j = 0; j < reference_rssi.size(); ++j) {
+        if (!same_reading(reference_rssi[j][k], last_reference_rssi_[j][k])) {
+          dirty_readers.push_back(static_cast<int>(k));
+          break;
+        }
+      }
+    }
+  }
+  const bool partial = comparable && dirty_readers.size() < reader_columns;
   {
     const obs::ScopedTimer timer(inst_.stage_interpolation);
     // Args are only materialised when tracing is on (the ternary keeps the
@@ -282,13 +321,30 @@ void LocalizationEngine::refresh_references(
     const obs::TraceSpan span(
         &tracer_, "engine.interpolation",
         tracer_.enabled() ? "{\"references\":" +
-                                std::to_string(reference_rssi.size()) + "}"
+                                std::to_string(reference_rssi.size()) +
+                                ",\"dirty_readers\":" +
+                                (partial ? std::to_string(dirty_readers.size())
+                                         : std::string("-1")) +
+                                "}"
                           : std::string{});
-    localizer_.set_reference_rssi(reference_rssi, pool_.get());
+    if (partial) {
+      localizer_.update_reference_rssi(reference_rssi, dirty_readers, pool_.get());
+    } else {
+      localizer_.set_reference_rssi(reference_rssi, pool_.get());
+    }
   }
   last_reference_rssi_ = reference_rssi;
   ++grid_rebuilds_;
   inst_.grid_rebuilds->inc();
+  if (partial) {
+    inst_.grid_partial_rebuilds->inc();
+    inst_.grid_rebuild_planes->observe(static_cast<double>(dirty_readers.size()));
+  } else {
+    inst_.grid_rebuild_planes->observe(
+        reference_rssi.empty()
+            ? 0.0
+            : static_cast<double>(reference_rssi.front().size()));
+  }
 }
 
 std::vector<Fix> LocalizationEngine::update(const sim::Middleware& middleware,

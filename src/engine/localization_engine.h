@@ -281,8 +281,10 @@ class LocalizationEngine {
     obs::Counter* fixes_quality[4] = {nullptr, nullptr, nullptr, nullptr};
     obs::Counter* fallback_locates = nullptr;
     obs::Counter* grid_rebuilds = nullptr;
+    obs::Counter* grid_partial_rebuilds = nullptr;
     obs::Counter* grid_skips_rate_limited = nullptr;
     obs::Counter* grid_skips_unchanged = nullptr;
+    obs::Histogram* grid_rebuild_planes = nullptr;
     obs::Histogram* update_seconds = nullptr;
     obs::Histogram* degraded_update_seconds = nullptr;
     obs::Histogram* stage_interpolation = nullptr;
