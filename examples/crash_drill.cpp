@@ -350,6 +350,15 @@ std::filesystem::path newest_file(const std::filesystem::path& dir) {
 }  // namespace
 
 int main() {
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::printf(
+        "crash drill: SKIPPED — single hardware thread. The drill relies on\n"
+        "the parent racing the child (watch the WAL, SIGKILL mid-run); with\n"
+        "one core that race cannot be scheduled reliably and the drill\n"
+        "flakes instead of proving anything. See docs/robustness.md,\n"
+        "'Single-core machines'. Exit 0: skipped, not passed.\n");
+    return 0;
+  }
   std::printf("crash drill: %d polls, checkpoint every %d, kill after %llu "
               "update markers\n",
               kPolls, kCheckpointEveryPolls,

@@ -22,6 +22,9 @@
 #   VIRE_RECOVERY_POLLS/VIRE_RECOVERY_READINGS/VIRE_RECOVERY_CHECKPOINTS
 #                      workload of bench_recovery (journaled polls, synthetic
 #                      WAL appends, checkpoint-write repetitions)
+#   VIRE_SERVICE_TAGS/VIRE_SERVICE_ROUNDS/VIRE_SERVICE_QUERIES
+#                      workload of bench_service_scale (tags, poll rounds,
+#                      latest_fix queries per round)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -54,6 +57,11 @@ VIRE_RECOVERY_READINGS="${VIRE_RECOVERY_READINGS:-100000}" \
 VIRE_RECOVERY_CHECKPOINTS="${VIRE_RECOVERY_CHECKPOINTS:-10}" \
   ./bench/bench_recovery
 
+echo "== bench_service_scale =="
+VIRE_TAGS="${VIRE_SERVICE_TAGS:-16}" VIRE_ROUNDS="${VIRE_SERVICE_ROUNDS:-4}" \
+VIRE_QUERIES="${VIRE_SERVICE_QUERIES:-50}" \
+  ./bench/bench_service_scale
+
 echo "== bench_perf_localize =="
 ./bench/bench_perf_localize --benchmark_filter="$FILTER"
 
@@ -77,11 +85,12 @@ echo "collect_bench: copied $count report(s) to $DEST_DIR"
 # checked-in floor. Advisory by default (machines differ); CI's metrics job
 # sets VIRE_ENFORCE_PERF_FLOOR=1 to make a >tolerance drop fail the build.
 SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
-if [ -f bench_out/BENCH_perf_engine_batch.json ]; then
+for guarded in BENCH_perf_engine_batch.json BENCH_service_scale.json; do
+  [ -f "bench_out/$guarded" ] || continue
   if [ "${VIRE_ENFORCE_PERF_FLOOR:-0}" = "1" ]; then
-    python3 "$SCRIPT_DIR/check_perf_floor.py" bench_out/BENCH_perf_engine_batch.json
+    python3 "$SCRIPT_DIR/check_perf_floor.py" "bench_out/$guarded"
   else
-    python3 "$SCRIPT_DIR/check_perf_floor.py" bench_out/BENCH_perf_engine_batch.json \
+    python3 "$SCRIPT_DIR/check_perf_floor.py" "bench_out/$guarded" \
       || echo "collect_bench: perf floor check failed (advisory; set VIRE_ENFORCE_PERF_FLOOR=1 to enforce)" >&2
   fi
-fi
+done

@@ -173,6 +173,51 @@ void LocalizationEngine::untrack(sim::TagId id) {
   last_quality_.erase(id);
 }
 
+std::optional<TagStateSnapshot> LocalizationEngine::export_tag(sim::TagId id) const {
+  const auto tracked = tracked_.find(id);
+  if (tracked == tracked_.end()) return std::nullopt;
+  TagStateSnapshot state;
+  state.name = tracked->second;
+  if (const auto it = trackers_.find(id); it != trackers_.end()) {
+    state.has_tracker = true;
+    state.tracker = it->second.state();
+  }
+  if (const auto it = last_good_.find(id); it != last_good_.end()) {
+    state.has_last_good = true;
+    state.last_good_time = it->second.time;
+    state.last_good_position = it->second.position;
+    state.last_good_smoothed = it->second.smoothed;
+  }
+  if (const auto it = last_quality_.find(id); it != last_quality_.end()) {
+    state.has_last_quality = true;
+    state.last_quality = it->second;
+  }
+  return state;
+}
+
+void LocalizationEngine::import_tag(sim::TagId id, const TagStateSnapshot& state) {
+  track(id, state.name);
+  if (state.has_tracker) {
+    auto [it, inserted] =
+        trackers_.try_emplace(id, core::TrackingFilter(config_.tracking));
+    (void)inserted;
+    it->second.restore(state.tracker);
+  } else {
+    trackers_.erase(id);
+  }
+  if (state.has_last_good) {
+    last_good_[id] = {state.last_good_time, state.last_good_position,
+                      state.last_good_smoothed};
+  } else {
+    last_good_.erase(id);
+  }
+  if (state.has_last_quality) {
+    last_quality_[id] = state.last_quality;
+  } else {
+    last_quality_.erase(id);
+  }
+}
+
 std::pair<std::filesystem::path, std::filesystem::path>
 LocalizationEngine::dump_provenance(const std::filesystem::path& dir,
                                     const std::string& stem) const {

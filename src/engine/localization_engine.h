@@ -165,6 +165,24 @@ struct EngineStateSnapshot {
   std::vector<Quality> last_quality;
 };
 
+/// One tracked tag's complete per-tag state, for migrating a tag between
+/// engines (the sharded service's rebalancing, src/service/). Everything
+/// update() keeps per tag is here; exporting from one engine and importing
+/// into another — together with replaying the tag's reading window through
+/// the destination middleware — reproduces the tag's subsequent fixes bit
+/// for bit, exactly as if it had always lived on the destination.
+struct TagStateSnapshot {
+  std::string name;
+  bool has_tracker = false;
+  core::TrackingFilterState tracker;
+  bool has_last_good = false;
+  sim::SimTime last_good_time = 0.0;
+  geom::Vec2 last_good_position;
+  geom::Vec2 last_good_smoothed;
+  bool has_last_quality = false;
+  FixQuality last_quality = FixQuality::kInvalid;
+};
+
 /// One localization result for one tracked tag.
 struct Fix {
   sim::TagId tag = 0;
@@ -195,6 +213,13 @@ class LocalizationEngine {
   /// Registers a tag to be localized on every update.
   void track(sim::TagId id, std::string name = {});
   void untrack(sim::TagId id);
+
+  /// Migration support (see TagStateSnapshot): the complete per-tag state of
+  /// one tracked tag, or nullopt when the tag is not tracked here.
+  [[nodiscard]] std::optional<TagStateSnapshot> export_tag(sim::TagId id) const;
+  /// Registers `id` (as by track()) and reinstates its exported state. An
+  /// existing tag's state is replaced.
+  void import_tag(sim::TagId id, const TagStateSnapshot& state);
   [[nodiscard]] std::size_t tracked_count() const noexcept { return tracked_.size(); }
 
   /// Pulls reference + tracking readings from the middleware at time `now`,

@@ -82,7 +82,10 @@ std::string format_double(double v) {
 }
 
 std::string to_prometheus(const MetricsRegistry& registry) {
-  const auto snaps = registry.snapshot();
+  return to_prometheus(registry.snapshot());
+}
+
+std::string to_prometheus(const std::vector<MetricSnapshot>& snaps) {
   std::ostringstream out;
   // Prometheus requires all series of one family to be contiguous; emit in
   // first-registration order of each family name.
@@ -127,7 +130,10 @@ std::string to_prometheus(const MetricsRegistry& registry) {
 }
 
 std::string to_json(const MetricsRegistry& registry) {
-  const auto snaps = registry.snapshot();
+  return to_json(registry.snapshot());
+}
+
+std::string to_json(const std::vector<MetricSnapshot>& snaps) {
   std::ostringstream counters, gauges, histograms;
   bool first_counter = true, first_gauge = true, first_histogram = true;
   for (const MetricSnapshot& m : snaps) {

@@ -11,6 +11,7 @@
 
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -22,6 +23,14 @@ namespace vire::obs {
 /// Renders the whole registry as a JSON document:
 /// {"counters":[...],"gauges":[...],"histograms":[...]}.
 [[nodiscard]] std::string to_json(const MetricsRegistry& registry);
+
+/// Same renderings over an explicit snapshot vector, for callers that merge
+/// several registries into one export (e.g. the sharded service appending a
+/// shard label to every per-shard series before concatenating). Families
+/// with the same name need not be contiguous in `snaps`; the Prometheus
+/// renderer groups them by first appearance.
+[[nodiscard]] std::string to_prometheus(const std::vector<MetricSnapshot>& snaps);
+[[nodiscard]] std::string to_json(const std::vector<MetricSnapshot>& snaps);
 
 /// Writes to_json() to `path`, creating parent directories. Throws
 /// std::runtime_error on I/O failure.

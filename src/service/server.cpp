@@ -1,0 +1,358 @@
+#include "service/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <list>
+#include <stdexcept>
+
+#include "obs/flight_recorder.h"
+
+namespace vire::service {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+int make_listen_socket(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string p = path.string();
+  if (p.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("ServiceServer: socket path too long: " + p);
+  }
+  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("ServiceServer: socket() failed");
+  ::unlink(p.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("ServiceServer: bind failed on " + p);
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    ::unlink(p.c_str());
+    throw std::runtime_error("ServiceServer: listen failed on " + p);
+  }
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// send() that tolerates EINTR/EAGAIN; returns false on a dead peer.
+bool send_some(int fd, std::string& pending) {
+  while (!pending.empty()) {
+    const ssize_t n = ::send(fd, pending.data(), pending.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      pending.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(ShardedService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+void ServiceServer::start() {
+  if (running_) return;
+  listen_fd_ = make_listen_socket(config_.socket_path);
+  if (::pipe(wake_fds_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.string().c_str());
+    throw std::runtime_error("ServiceServer: pipe() failed");
+  }
+  set_nonblocking(listen_fd_);
+  set_nonblocking(wake_fds_[0]);
+  running_ = true;
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+void ServiceServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  // Wake the poll() so the loop observes running_ == false promptly.
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  loop_thread_.join();
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(config_.socket_path.string().c_str());
+}
+
+void ServiceServer::send_frame(Connection& conn, MsgType type,
+                               std::string_view payload) {
+  conn.outbox += encode_frame(type, payload);
+}
+
+void ServiceServer::flush_outbox(Connection& conn) {
+  if (!send_some(conn.fd, conn.outbox)) {
+    // Peer is gone; drop the rest — the loop reaps the fd on its next read.
+    conn.outbox.clear();
+  }
+}
+
+void ServiceServer::handle(Connection& conn, const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kIngest: {
+      auto readings = decode_ingest(frame.payload);
+      if (!readings.has_value()) {
+        conn.decoder.note_malformed();
+        send_frame(conn, MsgType::kError, "malformed ingest payload");
+        return;
+      }
+      service_.ingest(*readings);
+      return;  // fire-and-forget
+    }
+    case MsgType::kPoll: {
+      const auto now = decode_time(frame.payload);
+      if (!now.has_value()) {
+        conn.decoder.note_malformed();
+        send_frame(conn, MsgType::kError, "malformed poll payload");
+        return;
+      }
+      send_frame(conn, MsgType::kFixBatch, encode_fixes(service_.poll(*now)));
+      return;
+    }
+    case MsgType::kLatestFix: {
+      const auto tag = decode_tag(frame.payload);
+      if (!tag.has_value()) {
+        conn.decoder.note_malformed();
+        send_frame(conn, MsgType::kError, "malformed latest_fix payload");
+        return;
+      }
+      send_frame(conn, MsgType::kFixReply,
+                 encode_fix_reply(service_.latest_fix(*tag)));
+      return;
+    }
+    case MsgType::kExplain: {
+      const auto tag = decode_tag(frame.payload);
+      if (!tag.has_value()) {
+        conn.decoder.note_malformed();
+        send_frame(conn, MsgType::kError, "malformed explain payload");
+        return;
+      }
+      const auto record = service_.explain(*tag);
+      if (!record.has_value()) {
+        send_frame(conn, MsgType::kError, "no flight record for tag");
+        return;
+      }
+      send_frame(conn, MsgType::kText, obs::to_json(*record));
+      return;
+    }
+    case MsgType::kSnapshot: {
+      const auto format = decode_snapshot_request(frame.payload);
+      if (!format.has_value()) {
+        conn.decoder.note_malformed();
+        send_frame(conn, MsgType::kError, "malformed snapshot payload");
+        return;
+      }
+      send_frame(conn, MsgType::kText,
+                 *format == kSnapshotJson ? service_.merged_json()
+                                          : service_.merged_prometheus());
+      return;
+    }
+    default:
+      // Response types arriving as requests: structurally valid, semantically
+      // nonsense.
+      conn.decoder.note_malformed();
+      send_frame(conn, MsgType::kError, "unexpected message type");
+      return;
+  }
+}
+
+void ServiceServer::loop() {
+  std::list<Connection> connections;
+  std::vector<pollfd> fds;
+  while (running_) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (auto& conn : connections) {
+      short events = POLLIN;
+      if (!conn.outbox.empty()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+    }
+    if (::poll(fds.data(), fds.size(), 250) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        auto& conn = connections.emplace_back(config_.max_payload);
+        conn.fd = fd;
+        conn.decoder.attach_metrics(service_.metrics());
+        ++accepted_;
+      }
+    }
+    // Walk only the connections that were polled this round; ones accepted
+    // above have no pollfd entry yet and wait for the next iteration.
+    std::size_t idx = 2;
+    for (auto it = connections.begin();
+         it != connections.end() && idx < fds.size(); ++idx) {
+      Connection& conn = *it;
+      const short revents = fds[idx].revents;
+      bool closed = false;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char buf[kReadChunk];
+        for (;;) {
+          const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+          if (n > 0) {
+            conn.decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          closed = true;  // EOF or hard error
+          break;
+        }
+        while (auto frame = conn.decoder.next()) handle(conn, *frame);
+        if (conn.decoder.failed()) closed = true;  // framing destroyed
+      }
+      if ((revents & POLLOUT) != 0 || !conn.outbox.empty()) flush_outbox(conn);
+      if (closed) {
+        conn.decoder.finish();  // counts a buffered partial frame as truncated
+        flush_outbox(conn);
+        ::close(conn.fd);
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : connections) {
+    flush_outbox(conn);
+    ::close(conn.fd);
+  }
+}
+
+ServiceClient::ServiceClient(const std::filesystem::path& socket_path,
+                             std::size_t max_payload)
+    : decoder_(max_payload) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string p = socket_path.string();
+  if (p.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("ServiceClient: socket path too long: " + p);
+  }
+  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("ServiceClient: socket() failed");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("ServiceClient: connect failed on " + p);
+  }
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServiceClient::send_all(std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error("ServiceClient: send failed");
+  }
+}
+
+Frame ServiceClient::read_frame() {
+  for (;;) {
+    if (auto frame = decoder_.next()) return *frame;
+    if (decoder_.failed()) {
+      throw std::runtime_error("ServiceClient: response stream corrupt");
+    }
+    char buf[kReadChunk];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error("ServiceClient: connection closed by server");
+  }
+}
+
+void ServiceClient::stream(const std::vector<sim::RssiReading>& readings) {
+  send_all(encode_frame(MsgType::kIngest, encode_ingest(readings)));
+}
+
+std::vector<engine::Fix> ServiceClient::poll(sim::SimTime now) {
+  send_all(encode_frame(MsgType::kPoll, encode_time(now)));
+  const Frame reply = read_frame();
+  if (reply.type == MsgType::kError) {
+    throw std::runtime_error("ServiceClient: " + reply.payload);
+  }
+  auto fixes = decode_fixes(reply.payload);
+  if (reply.type != MsgType::kFixBatch || !fixes.has_value()) {
+    throw std::runtime_error("ServiceClient: bad poll response");
+  }
+  return std::move(*fixes);
+}
+
+std::optional<engine::Fix> ServiceClient::latest_fix(sim::TagId tag) {
+  send_all(encode_frame(MsgType::kLatestFix, encode_tag(tag)));
+  const Frame reply = read_frame();
+  if (reply.type == MsgType::kError) {
+    throw std::runtime_error("ServiceClient: " + reply.payload);
+  }
+  auto fix = decode_fix_reply(reply.payload);
+  if (reply.type != MsgType::kFixReply || !fix.has_value()) {
+    throw std::runtime_error("ServiceClient: bad latest_fix response");
+  }
+  return std::move(*fix);
+}
+
+std::optional<std::string> ServiceClient::explain(sim::TagId tag) {
+  send_all(encode_frame(MsgType::kExplain, encode_tag(tag)));
+  const Frame reply = read_frame();
+  if (reply.type == MsgType::kText) return reply.payload;
+  if (reply.type == MsgType::kError) return std::nullopt;
+  throw std::runtime_error("ServiceClient: bad explain response");
+}
+
+std::string ServiceClient::snapshot(std::uint8_t format) {
+  send_all(encode_frame(MsgType::kSnapshot, encode_snapshot_request(format)));
+  const Frame reply = read_frame();
+  if (reply.type != MsgType::kText) {
+    throw std::runtime_error("ServiceClient: bad snapshot response");
+  }
+  return reply.payload;
+}
+
+std::string ServiceClient::snapshot_prometheus() {
+  return snapshot(kSnapshotPrometheus);
+}
+
+std::string ServiceClient::snapshot_json() { return snapshot(kSnapshotJson); }
+
+}  // namespace vire::service

@@ -1,0 +1,119 @@
+#pragma once
+// Unix-domain-socket front end of the ShardedService (docs/service.md).
+//
+// ServiceServer accepts stream connections on a UDS path and speaks the
+// wire protocol (service/wire.h): clients stream kIngest batches in
+// (fire-and-forget) and issue kPoll / kLatestFix / kExplain / kSnapshot
+// requests that each get exactly one response frame. The server runs its
+// own event-loop thread, which doubles as the service's single driver
+// thread — while the server is running, do not call the service's mutating
+// API from elsewhere (merged metrics exports stay safe from any thread).
+//
+// Robustness: each connection owns a FrameDecoder registered with the
+// service metrics registry, so every rejected frame lands in
+// vire_service_rejected_frames_total{reason=...}. A frame that resyncs
+// (bad CRC / unknown type) is skipped; a payload that fails typed decode
+// draws a kError response; a poisoned stream (garbage length prefix) drops
+// the connection. Hostile bytes never crash the server or desync other
+// connections (tests/service/service_server_test.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/sharded_service.h"
+#include "service/wire.h"
+
+namespace vire::service {
+
+struct ServerConfig {
+  std::filesystem::path socket_path;
+  /// Frame payload cap handed to each connection's decoder.
+  std::size_t max_payload = kMaxFramePayload;
+};
+
+class ServiceServer {
+ public:
+  /// The service must outlive the server. The socket path is (re)created on
+  /// start() and unlinked on stop().
+  ServiceServer(ShardedService& service, ServerConfig config);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds + listens + spawns the event loop. Throws std::runtime_error on
+  /// socket errors (path too long, bind failure).
+  void start();
+  /// Stops the loop, closes every connection, unlinks the socket. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  /// Connections accepted over the server's lifetime.
+  [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
+    return accepted_;
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::string outbox;  ///< bytes queued for send
+
+    explicit Connection(std::size_t max_payload) : decoder(max_payload) {}
+  };
+
+  void loop();
+  /// Handles one decoded frame; appends any response to the outbox.
+  void handle(Connection& conn, const Frame& frame);
+  void send_frame(Connection& conn, MsgType type, std::string_view payload);
+  static void flush_outbox(Connection& conn);
+
+  ShardedService& service_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe to interrupt poll() on stop
+  std::thread loop_thread_;
+  bool running_ = false;
+  std::uint64_t accepted_ = 0;
+};
+
+/// Minimal blocking client for tests and examples: one connection, one
+/// outstanding request at a time.
+class ServiceClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  explicit ServiceClient(const std::filesystem::path& socket_path,
+                         std::size_t max_payload = kMaxFramePayload);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Fire-and-forget reading batch.
+  void stream(const std::vector<sim::RssiReading>& readings);
+
+  /// Round trips. Each throws std::runtime_error on a transport error or a
+  /// kError response (message = the server's error text).
+  std::vector<engine::Fix> poll(sim::SimTime now);
+  std::optional<engine::Fix> latest_fix(sim::TagId tag);
+  /// Flight-recorder JSON for the tag, or nullopt when the server has none.
+  std::optional<std::string> explain(sim::TagId tag);
+  std::string snapshot_prometheus();
+  std::string snapshot_json();
+
+ private:
+  void send_all(std::string_view bytes);
+  /// Blocks until one complete frame arrives.
+  Frame read_frame();
+  std::string snapshot(std::uint8_t format);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace vire::service

@@ -1,0 +1,297 @@
+#include "service/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "persist/binary_io.h"
+
+namespace vire::service {
+
+namespace {
+
+/// Bytes after the length prefix that are not payload: type byte + CRC.
+constexpr std::uint32_t kFrameOverhead = 5;
+
+bool known_type(std::uint8_t t) noexcept {
+  switch (static_cast<MsgType>(t)) {
+    case MsgType::kIngest:
+    case MsgType::kPoll:
+    case MsgType::kLatestFix:
+    case MsgType::kExplain:
+    case MsgType::kSnapshot:
+    case MsgType::kFixBatch:
+    case MsgType::kFixReply:
+    case MsgType::kText:
+    case MsgType::kError:
+      return true;
+  }
+  return false;
+}
+
+std::uint32_t read_u32le(const char* p) noexcept {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap32(v);
+  }
+  return v;
+}
+
+void encode_fix(persist::ByteWriter& w, const engine::Fix& fix) {
+  w.u32(fix.tag);
+  w.str(fix.name);
+  w.f64(fix.time);
+  w.u8(fix.valid ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(fix.quality));
+  w.f64(fix.position.x);
+  w.f64(fix.position.y);
+  w.f64(fix.smoothed_position.x);
+  w.f64(fix.smoothed_position.y);
+  w.u64(fix.survivor_count);
+  w.u8(fix.used_fallback ? 1 : 0);
+  w.f64(fix.age_s);
+}
+
+std::optional<engine::Fix> decode_fix(persist::ByteReader& r) {
+  engine::Fix fix;
+  const auto tag = r.u32();
+  auto name = r.str();
+  const auto time = r.f64();
+  const auto valid = r.u8();
+  const auto quality = r.u8();
+  const auto px = r.f64();
+  const auto py = r.f64();
+  const auto sx = r.f64();
+  const auto sy = r.f64();
+  const auto survivors = r.u64();
+  const auto fallback = r.u8();
+  const auto age = r.f64();
+  if (!r.ok()) return std::nullopt;
+  if (*valid > 1 || *fallback > 1 || *quality > 3) return std::nullopt;
+  fix.tag = *tag;
+  fix.name = std::move(*name);
+  fix.time = *time;
+  fix.valid = *valid != 0;
+  fix.quality = static_cast<engine::FixQuality>(*quality);
+  fix.position = {*px, *py};
+  fix.smoothed_position = {*sx, *sy};
+  fix.survivor_count = static_cast<std::size_t>(*survivors);
+  fix.used_fallback = *fallback != 0;
+  fix.age_s = *age;
+  return fix;
+}
+
+}  // namespace
+
+std::string_view to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kOversized: return "oversized";
+    case RejectReason::kBadCrc: return "bad_crc";
+    case RejectReason::kBadType: return "bad_type";
+    case RejectReason::kTruncated: return "truncated";
+    case RejectReason::kMalformed: return "malformed";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(MsgType type, std::string_view payload) {
+  persist::ByteWriter body;
+  body.u8(static_cast<std::uint8_t>(type));
+  body.raw(payload);
+  const std::uint32_t crc = persist::crc32(body.bytes());
+  persist::ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()) + kFrameOverhead);
+  frame.raw(body.bytes());
+  frame.u32(crc);
+  return frame.take();
+}
+
+std::uint64_t FrameDecoder::rejected_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto v : rejected_) total += v;
+  return total;
+}
+
+void FrameDecoder::attach_metrics(obs::MetricsRegistry& registry) {
+  for (std::size_t i = 0; i < kRejectReasonCount; ++i) {
+    counters_[i] = &registry.counter(
+        "vire_service_rejected_frames_total",
+        "reason=\"" + std::string(to_string(static_cast<RejectReason>(i))) + "\"",
+        "Wire frames rejected by the service, by reason");
+  }
+}
+
+void FrameDecoder::count(RejectReason reason) {
+  const auto i = static_cast<std::size_t>(reason);
+  ++rejected_[i];
+  if (counters_[i] != nullptr) counters_[i]->inc();
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  while (!failed_) {
+    // Drop the consumed prefix once it dominates the buffer, so a long-lived
+    // connection does not grow the buffer without bound.
+    if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+    const std::size_t available = buffer_.size() - pos_;
+    if (available < 4) return std::nullopt;
+    const std::uint32_t frame_len = read_u32le(buffer_.data() + pos_);
+    if (frame_len < kFrameOverhead ||
+        frame_len > max_payload_ + kFrameOverhead) {
+      // The length prefix itself is garbage: there is no trustworthy frame
+      // boundary to resync at, so the stream is dead.
+      count(RejectReason::kOversized);
+      failed_ = true;
+      return std::nullopt;
+    }
+    if (available < 4 + static_cast<std::size_t>(frame_len)) return std::nullopt;
+    const char* body = buffer_.data() + pos_ + 4;
+    const std::size_t payload_len = frame_len - kFrameOverhead;
+    const std::uint32_t stored_crc = read_u32le(body + 1 + payload_len);
+    pos_ += 4 + frame_len;  // consume whole frame whatever happens next
+    if (persist::crc32(std::string_view(body, 1 + payload_len)) != stored_crc) {
+      count(RejectReason::kBadCrc);
+      continue;
+    }
+    const auto type_byte = static_cast<std::uint8_t>(body[0]);
+    if (!known_type(type_byte)) {
+      count(RejectReason::kBadType);
+      continue;
+    }
+    Frame frame;
+    frame.type = static_cast<MsgType>(type_byte);
+    frame.payload.assign(body + 1, payload_len);
+    return frame;
+  }
+  return std::nullopt;
+}
+
+void FrameDecoder::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!failed_ && pos_ < buffer_.size()) count(RejectReason::kTruncated);
+}
+
+std::string encode_ingest(const std::vector<sim::RssiReading>& readings) {
+  persist::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(readings.size()));
+  for (const auto& r : readings) {
+    w.f64(r.time);
+    w.u32(r.tag);
+    w.u16(r.reader);
+    w.f64(r.rssi_dbm);
+  }
+  return w.take();
+}
+
+std::optional<std::vector<sim::RssiReading>> decode_ingest(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto count = r.u32();
+  if (!r.ok()) return std::nullopt;
+  // 22 bytes per reading; an honest count can never overrun the payload.
+  if (static_cast<std::size_t>(*count) * 22 != r.remaining()) return std::nullopt;
+  std::vector<sim::RssiReading> readings;
+  readings.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    sim::RssiReading reading;
+    const auto time = r.f64();
+    const auto tag = r.u32();
+    const auto reader = r.u16();
+    const auto rssi = r.f64();
+    if (!r.ok()) return std::nullopt;
+    reading.time = *time;
+    reading.tag = *tag;
+    reading.reader = *reader;
+    reading.rssi_dbm = *rssi;
+    readings.push_back(reading);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return readings;
+}
+
+std::string encode_time(sim::SimTime now) {
+  persist::ByteWriter w;
+  w.f64(now);
+  return w.take();
+}
+
+std::optional<sim::SimTime> decode_time(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto now = r.f64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return *now;
+}
+
+std::string encode_tag(sim::TagId tag) {
+  persist::ByteWriter w;
+  w.u32(tag);
+  return w.take();
+}
+
+std::optional<sim::TagId> decode_tag(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto tag = r.u32();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return *tag;
+}
+
+std::string encode_snapshot_request(std::uint8_t format) {
+  persist::ByteWriter w;
+  w.u8(format);
+  return w.take();
+}
+
+std::optional<std::uint8_t> decode_snapshot_request(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto format = r.u8();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  if (*format != kSnapshotPrometheus && *format != kSnapshotJson) return std::nullopt;
+  return *format;
+}
+
+std::string encode_fixes(const std::vector<engine::Fix>& fixes) {
+  persist::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(fixes.size()));
+  for (const auto& fix : fixes) encode_fix(w, fix);
+  return w.take();
+}
+
+std::optional<std::vector<engine::Fix>> decode_fixes(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto count = r.u32();
+  if (!r.ok()) return std::nullopt;
+  if (static_cast<std::size_t>(*count) > payload.size()) return std::nullopt;
+  std::vector<engine::Fix> fixes;
+  fixes.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto fix = decode_fix(r);
+    if (!fix.has_value()) return std::nullopt;
+    fixes.push_back(std::move(*fix));
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return fixes;
+}
+
+std::string encode_fix_reply(const std::optional<engine::Fix>& fix) {
+  persist::ByteWriter w;
+  w.u8(fix.has_value() ? 1 : 0);
+  if (fix.has_value()) encode_fix(w, *fix);
+  return w.take();
+}
+
+std::optional<std::optional<engine::Fix>> decode_fix_reply(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto found = r.u8();
+  if (!r.ok() || *found > 1) return std::nullopt;
+  if (*found == 0) {
+    if (!r.exhausted()) return std::nullopt;
+    return std::optional<engine::Fix>(std::nullopt);
+  }
+  auto fix = decode_fix(r);
+  if (!fix.has_value() || !r.exhausted()) return std::nullopt;
+  return std::optional<engine::Fix>(std::move(*fix));
+}
+
+}  // namespace vire::service

@@ -1,0 +1,150 @@
+#pragma once
+// Wire protocol of the sharded localization service (docs/service.md):
+// length-prefixed CRC-framed messages over a byte stream (Unix domain
+// socket in practice), reusing the persistence layer's little-endian byte
+// IO and CRC-32 so doubles cross the process boundary by bit pattern —
+// a fix queried over the wire is the *identical* IEEE-754 value the engine
+// produced.
+//
+// Frame layout (all integers little-endian):
+//   u32 frame_len | u8 type | payload | u32 crc32(type byte + payload)
+// where frame_len = 1 + payload_len + 4 (everything after the prefix).
+//
+// The decoder is incremental and hostile-input safe (fuzzed in
+// tests/service/wire_test.cpp): a bad CRC or unknown type drops that frame
+// and resyncs at the next length prefix; an oversized or undersized length
+// prefix poisons the stream (framing can no longer be trusted) and the
+// connection must be closed; a partial frame at connection close counts as
+// truncated. Every rejection is counted per reason, exported as
+// vire_service_rejected_frames_total{reason=...}.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/localization_engine.h"
+#include "obs/metrics.h"
+#include "sim/types.h"
+
+namespace vire::service {
+
+/// Frames larger than this are rejected as hostile/corrupt (the largest
+/// legitimate message, a big fix batch, stays far below it).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+enum class MsgType : std::uint8_t {
+  // requests
+  kIngest = 1,    ///< reading batch in; fire-and-forget (no response)
+  kPoll = 2,      ///< evict + update every shard at `now`; responds kFixBatch
+  kLatestFix = 3, ///< latest cached fix of one tag; responds kFixReply
+  kExplain = 4,   ///< flight-recorder provenance of one tag; kText or kError
+  kSnapshot = 5,  ///< merged metrics snapshot; responds kText
+  // responses
+  kFixBatch = 16,
+  kFixReply = 17,
+  kText = 18,
+  kError = 19,
+};
+
+/// Payload format selector for kSnapshot.
+inline constexpr std::uint8_t kSnapshotPrometheus = 0;
+inline constexpr std::uint8_t kSnapshotJson = 1;
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+enum class RejectReason : std::uint8_t {
+  kOversized = 0, ///< length prefix beyond max_payload (or below the minimum)
+  kBadCrc = 1,
+  kBadType = 2,
+  kTruncated = 3, ///< connection closed mid-frame
+  kMalformed = 4, ///< frame ok, typed payload did not decode
+};
+inline constexpr std::size_t kRejectReasonCount = 5;
+
+[[nodiscard]] std::string_view to_string(RejectReason reason) noexcept;
+
+/// Serializes one frame, ready to write to the stream.
+[[nodiscard]] std::string encode_frame(MsgType type, std::string_view payload);
+
+/// Incremental frame decoder over an arbitrary chunking of the byte stream
+/// (interleaved partial reads are the normal case). One instance per
+/// connection; not thread-safe.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kMaxFramePayload) noexcept
+      : max_payload_(max_payload) {}
+
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Next complete, CRC-valid frame of a known type; nullopt when more bytes
+  /// are needed or the stream is failed. Invalid frames are skipped and
+  /// counted, never returned.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// True once an oversized/undersized length prefix destroyed framing; the
+  /// caller should drop the connection.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// Call when the peer closes the stream: a buffered partial frame counts
+  /// as kTruncated.
+  void finish();
+
+  /// Counts a kMalformed rejection — for the layer above, when a structurally
+  /// valid frame's typed payload fails to decode.
+  void note_malformed() { count(RejectReason::kMalformed); }
+
+  [[nodiscard]] std::uint64_t rejected(RejectReason reason) const noexcept {
+    return rejected_[static_cast<std::size_t>(reason)];
+  }
+  [[nodiscard]] std::uint64_t rejected_total() const noexcept;
+
+  /// Registers vire_service_rejected_frames_total{reason=...} (one series
+  /// per reason) and mirrors every future rejection into it. Idempotent
+  /// registration; the registry must outlive this decoder.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
+ private:
+  void count(RejectReason reason);
+
+  std::size_t max_payload_;
+  std::string buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buffer_
+  bool failed_ = false;
+  bool finished_ = false;
+  std::array<std::uint64_t, kRejectReasonCount> rejected_{};
+  std::array<obs::Counter*, kRejectReasonCount> counters_{};
+};
+
+// Typed payload codecs. Every decode returns nullopt on malformed input
+// (wrong length, overrunning string prefix, unknown enum value) — never
+// throws, never reads out of bounds.
+[[nodiscard]] std::string encode_ingest(const std::vector<sim::RssiReading>& readings);
+[[nodiscard]] std::optional<std::vector<sim::RssiReading>> decode_ingest(
+    std::string_view payload);
+
+[[nodiscard]] std::string encode_time(sim::SimTime now);
+[[nodiscard]] std::optional<sim::SimTime> decode_time(std::string_view payload);
+
+[[nodiscard]] std::string encode_tag(sim::TagId tag);
+[[nodiscard]] std::optional<sim::TagId> decode_tag(std::string_view payload);
+
+[[nodiscard]] std::string encode_snapshot_request(std::uint8_t format);
+[[nodiscard]] std::optional<std::uint8_t> decode_snapshot_request(
+    std::string_view payload);
+
+[[nodiscard]] std::string encode_fixes(const std::vector<engine::Fix>& fixes);
+[[nodiscard]] std::optional<std::vector<engine::Fix>> decode_fixes(
+    std::string_view payload);
+
+[[nodiscard]] std::string encode_fix_reply(const std::optional<engine::Fix>& fix);
+/// Outer nullopt: malformed. Inner nullopt: "no fix for this tag".
+[[nodiscard]] std::optional<std::optional<engine::Fix>> decode_fix_reply(
+    std::string_view payload);
+
+}  // namespace vire::service

@@ -3,6 +3,7 @@
 // These mirror what the paper's middleware exposes: "the tag ID, the reader
 // ID, and RSSI values".
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -57,6 +58,47 @@ class ReadingJournal {
   virtual ~ReadingJournal() = default;
   virtual void on_accepted(const RssiReading& reading) = 0;
   virtual void on_evict(SimTime now) = 0;
+};
+
+/// Pass-through interceptor that records every delivered reading, optionally
+/// wrapping an inner interceptor (e.g. a fault::FaultInjector) so the
+/// recorded stream is the post-fault stream the middleware actually sees.
+/// Lets a driver capture one simulator run and replay the identical stream
+/// into several consumers — the sharded service's equivalence harness feeds
+/// the same capture to a single engine and to an N-shard service and diffs
+/// the fixes bit for bit (see src/service/ and tests/service/).
+class ReadingRecorder final : public ReadingInterceptor {
+ public:
+  explicit ReadingRecorder(ReadingInterceptor* inner = nullptr) noexcept
+      : inner_(inner) {}
+
+  void process(const RssiReading& reading, std::vector<RssiReading>& out) override {
+    const std::size_t before = out.size();
+    if (inner_ != nullptr) {
+      inner_->process(reading, out);
+    } else {
+      out.push_back(reading);
+    }
+    recorded_.insert(recorded_.end(), out.begin() + static_cast<std::ptrdiff_t>(before),
+                     out.end());
+  }
+
+  void drain(SimTime now, std::vector<RssiReading>& out) override {
+    const std::size_t before = out.size();
+    if (inner_ != nullptr) inner_->drain(now, out);
+    recorded_.insert(recorded_.end(), out.begin() + static_cast<std::ptrdiff_t>(before),
+                     out.end());
+  }
+
+  [[nodiscard]] const std::vector<RssiReading>& recorded() const noexcept {
+    return recorded_;
+  }
+  std::vector<RssiReading> take() noexcept { return std::move(recorded_); }
+  void clear() noexcept { recorded_.clear(); }
+
+ private:
+  ReadingInterceptor* inner_;
+  std::vector<RssiReading> recorded_;
 };
 
 }  // namespace vire::sim

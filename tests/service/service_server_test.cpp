@@ -1,0 +1,182 @@
+// UDS server/client round trip over the sharded service, plus hostile-bytes
+// behavior: malformed payloads draw kError and land in the rejection
+// metrics; a poisoned stream drops only that connection.
+
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "env/environment.h"
+#include "sim/simulator.h"
+
+namespace vire::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Rig {
+  std::unique_ptr<ShardedService> service;
+  std::unique_ptr<ServiceServer> server;
+  fs::path socket_path;
+  std::vector<sim::RssiReading> readings;
+  std::vector<sim::TagId> reference_ids;
+  sim::TagId pallet = 0;
+  sim::SimTime end_time = 0.0;
+};
+
+Rig make_rig(const std::string& name) {
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv1SemiOpen);
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  sim::SimulatorConfig sim_config;
+  sim_config.seed = 7;
+  sim_config.middleware.window_s = 10.0;
+  sim::RfidSimulator simulator(environment, deployment, sim_config);
+  sim::ReadingRecorder recorder;
+  simulator.set_interceptor(&recorder);
+
+  Rig rig;
+  rig.reference_ids = simulator.add_reference_tags();
+  rig.pallet = simulator.add_tag({1.4, 1.8});
+  simulator.run_for(30.0);
+  rig.readings = recorder.take();
+  rig.end_time = simulator.now();
+
+  ServiceConfig config;
+  config.shards = 2;
+  config.engine.min_refresh_interval_s = 10.0;
+  config.middleware.window_s = 10.0;
+  rig.service = std::make_unique<ShardedService>(deployment, config);
+  rig.service->set_reference_ids(rig.reference_ids);
+  rig.service->track(rig.pallet, "pallet");
+
+  rig.socket_path = fs::temp_directory_path() / (name + ".sock");
+  ServerConfig server_config;
+  server_config.socket_path = rig.socket_path;
+  rig.server = std::make_unique<ServiceServer>(*rig.service, server_config);
+  rig.server->start();
+  return rig;
+}
+
+TEST(ServiceServerTest, StreamPollQueryRoundTrip) {
+  Rig rig = make_rig("vire_server_roundtrip");
+  ServiceClient client(rig.socket_path);
+
+  client.stream(rig.readings);
+  const auto fixes = client.poll(rig.end_time);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_EQ(fixes[0].tag, rig.pallet);
+  EXPECT_EQ(fixes[0].name, "pallet");
+
+  const auto latest = client.latest_fix(rig.pallet);
+  ASSERT_TRUE(latest.has_value());
+  // Bit pattern must survive the socket round trip.
+  EXPECT_EQ(std::memcmp(&latest->position.x, &fixes[0].position.x,
+                        sizeof(double)),
+            0);
+
+  const auto unknown = client.latest_fix(999999);
+  EXPECT_FALSE(unknown.has_value());
+
+  const auto explained = client.explain(rig.pallet);
+  ASSERT_TRUE(explained.has_value());
+  EXPECT_NE(explained->find("\"tag\""), std::string::npos);
+  EXPECT_FALSE(client.explain(999999).has_value()) << "unknown tag -> kError";
+
+  const std::string prom = client.snapshot_prometheus();
+  EXPECT_NE(prom.find("vire_service_polls_total"), std::string::npos);
+  EXPECT_NE(prom.find("shard=\"0\""), std::string::npos);
+  EXPECT_NE(prom.find("shard=\"1\""), std::string::npos);
+  const std::string json = client.snapshot_json();
+  EXPECT_NE(json.find("vire_service_readings_total"), std::string::npos);
+
+  rig.server->stop();
+}
+
+TEST(ServiceServerTest, MalformedPayloadDrawsErrorAndCounts) {
+  Rig rig = make_rig("vire_server_malformed");
+  ServiceClient good(rig.socket_path);
+
+  // Hand-roll a connection that sends a structurally valid frame whose typed
+  // payload is garbage.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string p = rig.socket_path.string();
+  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string evil = encode_frame(MsgType::kPoll, "not-a-double");
+  ASSERT_EQ(::send(fd, evil.data(), evil.size(), 0),
+            static_cast<ssize_t>(evil.size()));
+  // Read the kError response.
+  FrameDecoder decoder;
+  char buf[4096];
+  std::optional<Frame> reply;
+  while (!reply.has_value()) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0) << "server closed instead of answering kError";
+    decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    reply = decoder.next();
+  }
+  EXPECT_EQ(reply->type, MsgType::kError);
+  ::close(fd);
+
+  // The well-behaved client on the other connection is unaffected.
+  good.stream(rig.readings);
+  EXPECT_EQ(good.poll(rig.end_time).size(), 1u);
+
+  const std::string prom = rig.service->merged_prometheus();
+  EXPECT_NE(
+      prom.find("vire_service_rejected_frames_total{reason=\"malformed\"} 1"),
+      std::string::npos)
+      << prom;
+  rig.server->stop();
+}
+
+TEST(ServiceServerTest, PoisonedStreamDropsOnlyThatConnection) {
+  Rig rig = make_rig("vire_server_poison");
+  ServiceClient good(rig.socket_path);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string p = rig.socket_path.string();
+  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char evil[4] = {'\xff', '\xff', '\xff', '\x7f'};  // absurd length prefix
+  ASSERT_EQ(::send(fd, evil, sizeof(evil), 0), 4);
+  // Server must close this connection (read returns EOF eventually).
+  char buf[64];
+  ssize_t n = 0;
+  do {
+    n = ::read(fd, buf, sizeof(buf));
+  } while (n > 0);
+  EXPECT_EQ(n, 0) << "connection should be closed, not errored";
+  ::close(fd);
+
+  good.stream(rig.readings);
+  EXPECT_EQ(good.poll(rig.end_time).size(), 1u) << "other connections keep working";
+  const std::string prom = rig.service->merged_prometheus();
+  EXPECT_NE(
+      prom.find("vire_service_rejected_frames_total{reason=\"oversized\"} 1"),
+      std::string::npos)
+      << prom;
+  rig.server->stop();
+}
+
+}  // namespace
+}  // namespace vire::service

@@ -1,0 +1,293 @@
+// Wire-protocol tests (ISSUE 7 satellite): round-trips of every message
+// type, hostile-input negative cases (truncated frame, bad CRC, oversized
+// length, interleaved partial reads), and a deterministic mutation fuzz —
+// the decoder must reject cleanly (counted per reason) and never crash or
+// desync the stream.
+
+#include "service/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "support/rng.h"
+
+namespace vire::service {
+namespace {
+
+sim::RssiReading reading(double t, sim::TagId tag, sim::ReaderId reader,
+                         double rssi) {
+  sim::RssiReading r;
+  r.time = t;
+  r.tag = tag;
+  r.reader = reader;
+  r.rssi_dbm = rssi;
+  return r;
+}
+
+engine::Fix sample_fix() {
+  engine::Fix fix;
+  fix.tag = 42;
+  fix.name = "forklift-7";
+  fix.time = 123.456;
+  fix.valid = true;
+  fix.quality = engine::FixQuality::kDegraded;
+  fix.position = {1.25, -3.75};
+  fix.smoothed_position = {1.5, -3.5};
+  fix.survivor_count = 9;
+  fix.used_fallback = false;
+  fix.age_s = 0.25;
+  return fix;
+}
+
+TEST(WireTest, FrameRoundTrip) {
+  const std::string encoded = encode_frame(MsgType::kText, "hello");
+  FrameDecoder decoder;
+  decoder.feed(encoded);
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MsgType::kText);
+  EXPECT_EQ(frame->payload, "hello");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.failed());
+  EXPECT_EQ(decoder.rejected_total(), 0u);
+}
+
+TEST(WireTest, IngestRoundTripBitIdentical) {
+  const std::vector<sim::RssiReading> readings = {
+      reading(1.5, 7, 2, -61.25), reading(1.5, 8, 0, -70.0),
+      reading(2.0, 7, 3, -55.5)};
+  const auto decoded = decode_ingest(encode_ingest(readings));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), readings.size());
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].tag, readings[i].tag);
+    EXPECT_EQ((*decoded)[i].reader, readings[i].reader);
+    // memcmp-level double equality: the wire moves bit patterns.
+    EXPECT_EQ((*decoded)[i].time, readings[i].time);
+    EXPECT_EQ((*decoded)[i].rssi_dbm, readings[i].rssi_dbm);
+  }
+}
+
+TEST(WireTest, FixBatchRoundTrip) {
+  auto fix = sample_fix();
+  const auto decoded = decode_fixes(encode_fixes({fix}));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 1u);
+  const auto& d = (*decoded)[0];
+  EXPECT_EQ(d.tag, fix.tag);
+  EXPECT_EQ(d.name, fix.name);
+  EXPECT_EQ(d.time, fix.time);
+  EXPECT_EQ(d.valid, fix.valid);
+  EXPECT_EQ(d.quality, fix.quality);
+  EXPECT_EQ(d.position.x, fix.position.x);
+  EXPECT_EQ(d.position.y, fix.position.y);
+  EXPECT_EQ(d.smoothed_position.x, fix.smoothed_position.x);
+  EXPECT_EQ(d.smoothed_position.y, fix.smoothed_position.y);
+  EXPECT_EQ(d.survivor_count, fix.survivor_count);
+  EXPECT_EQ(d.used_fallback, fix.used_fallback);
+  EXPECT_EQ(d.age_s, fix.age_s);
+}
+
+TEST(WireTest, FixReplyRoundTrip) {
+  const auto some = decode_fix_reply(encode_fix_reply(sample_fix()));
+  ASSERT_TRUE(some.has_value());
+  ASSERT_TRUE(some->has_value());
+  EXPECT_EQ((*some)->tag, 42u);
+  const auto none = decode_fix_reply(encode_fix_reply(std::nullopt));
+  ASSERT_TRUE(none.has_value());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST(WireTest, ScalarRoundTrips) {
+  EXPECT_EQ(decode_time(encode_time(98.5)), 98.5);
+  EXPECT_EQ(decode_tag(encode_tag(123456)), 123456u);
+  EXPECT_EQ(decode_snapshot_request(encode_snapshot_request(kSnapshotJson)),
+            kSnapshotJson);
+}
+
+TEST(WireTest, InterleavedPartialReads) {
+  // Feed three frames one byte at a time — frames must come out whole and in
+  // order regardless of chunking.
+  std::string stream = encode_frame(MsgType::kText, "a") +
+                       encode_frame(MsgType::kError, "bb") +
+                       encode_frame(MsgType::kText, "ccc");
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const char c : stream) {
+    decoder.feed(std::string_view(&c, 1));
+    while (auto f = decoder.next()) frames.push_back(*f);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].payload, "a");
+  EXPECT_EQ(frames[1].type, MsgType::kError);
+  EXPECT_EQ(frames[2].payload, "ccc");
+  EXPECT_EQ(decoder.rejected_total(), 0u);
+}
+
+TEST(WireTest, BadCrcSkipsFrameAndResyncs) {
+  std::string corrupt = encode_frame(MsgType::kText, "doomed");
+  corrupt[6] ^= 0x01;  // flip a payload bit; CRC no longer matches
+  FrameDecoder decoder;
+  decoder.feed(corrupt);
+  decoder.feed(encode_frame(MsgType::kText, "survivor"));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "survivor") << "decoder failed to resync";
+  EXPECT_EQ(decoder.rejected(RejectReason::kBadCrc), 1u);
+  EXPECT_FALSE(decoder.failed());
+}
+
+TEST(WireTest, UnknownTypeSkipsFrameAndResyncs) {
+  // Hand-build a CRC-valid frame with an unused type byte.
+  std::string bogus = encode_frame(MsgType::kText, "x");
+  // Easier: craft via encode on a known type then patch type+crc is fiddly;
+  // instead use a type value outside the enum through the public encoder.
+  bogus = encode_frame(static_cast<MsgType>(99), "x");
+  FrameDecoder decoder;
+  decoder.feed(bogus);
+  decoder.feed(encode_frame(MsgType::kText, "ok"));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "ok");
+  EXPECT_EQ(decoder.rejected(RejectReason::kBadType), 1u);
+}
+
+TEST(WireTest, OversizedLengthPoisonsStream) {
+  std::string evil(4, '\0');
+  evil[0] = '\xff';
+  evil[1] = '\xff';
+  evil[2] = '\xff';
+  evil[3] = '\x7f';
+  FrameDecoder decoder;
+  decoder.feed(evil);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.rejected(RejectReason::kOversized), 1u);
+  // A poisoned stream stays dead even when valid bytes follow.
+  decoder.feed(encode_frame(MsgType::kText, "too late"));
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(WireTest, UndersizedLengthPoisonsStream) {
+  std::string evil(4, '\0');
+  evil[0] = '\x02';  // frame_len 2 < type+crc minimum of 5
+  FrameDecoder decoder;
+  decoder.feed(evil);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.rejected(RejectReason::kOversized), 1u);
+}
+
+TEST(WireTest, TruncatedFrameCountedOnFinish) {
+  const std::string whole = encode_frame(MsgType::kText, "partial");
+  FrameDecoder decoder;
+  decoder.feed(std::string_view(whole).substr(0, whole.size() - 3));
+  EXPECT_FALSE(decoder.next().has_value());
+  decoder.finish();
+  EXPECT_EQ(decoder.rejected(RejectReason::kTruncated), 1u);
+  decoder.finish();  // idempotent
+  EXPECT_EQ(decoder.rejected(RejectReason::kTruncated), 1u);
+}
+
+TEST(WireTest, MalformedTypedPayloadsReject) {
+  EXPECT_FALSE(decode_time("123").has_value());
+  EXPECT_FALSE(decode_tag("").has_value());
+  EXPECT_FALSE(decode_snapshot_request("\x07").has_value());
+  // Ingest whose count disagrees with the byte length.
+  std::string lying = encode_ingest({reading(1, 2, 3, -50)});
+  lying[0] = 5;
+  EXPECT_FALSE(decode_ingest(lying).has_value());
+  // Fix with an out-of-range quality enum.
+  std::string fixes = encode_fixes({sample_fix()});
+  // quality byte sits after u32 count, u32 tag, u32 strlen + name, f64, u8.
+  const std::size_t quality_off = 4 + 4 + 4 + std::string("forklift-7").size() + 8 + 1;
+  fixes[quality_off] = '\x09';
+  EXPECT_FALSE(decode_fixes(fixes).has_value());
+}
+
+TEST(WireTest, MutationFuzzNeverCrashesOrDesyncs) {
+  // Deterministic fuzz: mutate every byte position of a multi-frame stream
+  // and decode byte-by-byte. Any outcome is acceptable except a crash.
+  // Stronger resync guarantee — a sentinel appended after the mutated
+  // stream must still decode — holds only when the mutation missed every
+  // u32 length prefix: the length field is outside the CRC (it cannot be
+  // inside: the decoder needs it to find the CRC), so a corrupted-but-
+  // plausible length mis-frames the stream until it poisons or ends.
+  // That is exactly why the server closes a connection on a poisoned
+  // stream instead of trying to carry on.
+  const std::vector<std::string> frames = {
+      encode_frame(MsgType::kIngest, encode_ingest({reading(1, 2, 3, -50),
+                                                    reading(2, 3, 4, -60)})),
+      encode_frame(MsgType::kPoll, encode_time(5.0)),
+      encode_frame(MsgType::kLatestFix, encode_tag(7))};
+  std::string base;
+  std::vector<std::size_t> prefix_starts;
+  for (const auto& f : frames) {
+    prefix_starts.push_back(base.size());
+    base += f;
+  }
+  const auto in_length_prefix = [&](std::size_t pos) {
+    for (const std::size_t start : prefix_starts) {
+      if (pos >= start && pos < start + 4) return true;
+    }
+    return false;
+  };
+  support::Rng rng(1234);
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    std::string mutated = base;
+    mutated[pos] = static_cast<char>(rng.uniform_index(256));
+    FrameDecoder decoder;
+    for (const char c : mutated) {
+      decoder.feed(std::string_view(&c, 1));
+      while (auto f = decoder.next()) {
+        // Typed decoding of hostile payloads must also be crash-free.
+        (void)decode_ingest(f->payload);
+        (void)decode_time(f->payload);
+        (void)decode_tag(f->payload);
+        (void)decode_fixes(f->payload);
+      }
+    }
+    decoder.finish();
+    if (!decoder.failed() && !in_length_prefix(pos)) {
+      FrameDecoder fresh;
+      fresh.feed(mutated);
+      while (fresh.next().has_value()) {
+      }
+      fresh.feed(encode_frame(MsgType::kText, "sentinel"));
+      bool saw_sentinel = false;
+      while (auto f = fresh.next()) {
+        if (f->type == MsgType::kText && f->payload == "sentinel") {
+          saw_sentinel = true;
+        }
+      }
+      EXPECT_TRUE(saw_sentinel) << "decoder desynced after mutation at " << pos;
+    }
+  }
+}
+
+TEST(WireTest, RejectionsExportPerReasonMetricSeries) {
+  obs::MetricsRegistry registry;
+  FrameDecoder decoder;
+  decoder.attach_metrics(registry);
+  std::string corrupt = encode_frame(MsgType::kText, "x");
+  corrupt[5] ^= 0x40;
+  decoder.feed(corrupt);
+  EXPECT_FALSE(decoder.next().has_value());
+  decoder.note_malformed();
+  const std::string prom = obs::to_prometheus(registry);
+  EXPECT_NE(prom.find("vire_service_rejected_frames_total{reason=\"bad_crc\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(
+      prom.find("vire_service_rejected_frames_total{reason=\"malformed\"} 1"),
+      std::string::npos)
+      << prom;
+}
+
+}  // namespace
+}  // namespace vire::service
