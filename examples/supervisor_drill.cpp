@@ -1,0 +1,242 @@
+// Supervisor chaos drill: run the paper-testbed scenario through a
+// self-healing multi-process fleet (vire_supervisord's library form) while
+// SIGKILLing shard processes mid-stream, and prove the merged poll stream
+// is BIT-IDENTICAL to an uninterrupted single-engine run (docs/service.md,
+// "Multi-process deployment").
+//
+//   ./build/examples/supervisor_drill [path/to/vire_shardd]
+//
+// The drill:
+//   1. golden run — single engine, no processes, no persistence;
+//   2. supervised fleet — two vire_shardd processes behind a Supervisor,
+//      same capture; every second poll a seeded-random shard takes SIGKILL
+//      between ingest and poll (the batch may be delivered but not yet
+//      durably acked) — the supervisor restarts it, replays the un-acked
+//      suffix, and every poll must match golden bit for bit;
+//   3. metrics — the merged scrape (supervisor series + per-process shard
+//      series) lands in bench_out/supervisor_drill_metrics.prom for the CI
+//      metric-presence check.
+//
+// Exit code 0 iff every poll is bit-identical and every kill was healed.
+
+#include <signal.h>
+#include <sys/types.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/localization_engine.h"
+#include "env/environment.h"
+#include "service/supervisor.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace vire;
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kSeed = 11;
+constexpr double kWarmupS = 40.0;
+constexpr double kPollS = 5.0;
+constexpr int kPolls = 10;
+
+std::uint64_t bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+struct Capture {
+  std::vector<std::vector<sim::RssiReading>> segments;
+  std::vector<sim::SimTime> poll_times;
+  std::vector<std::vector<engine::Fix>> golden;
+  std::vector<sim::TagId> reference_ids;
+  std::vector<std::pair<sim::TagId, std::string>> tracked;
+};
+
+/// One recorded scenario feeds both the golden engine and the fleet, so any
+/// divergence is the supervisor's fault.
+Capture capture_scenario() {
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv1SemiOpen);
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  sim::SimulatorConfig sim_config;
+  sim_config.seed = kSeed;
+  sim_config.middleware.window_s = 10.0;
+
+  sim::RfidSimulator simulator(environment, deployment, sim_config);
+  sim::ReadingRecorder recorder;
+  simulator.set_interceptor(&recorder);
+
+  Capture capture;
+  capture.reference_ids = simulator.add_reference_tags();
+  const sim::TagId pallet = simulator.add_tag({1.4, 1.8});
+  const sim::TagId forklift = simulator.add_tag({2.3, 1.1});
+  const sim::TagId cart = simulator.add_tag({0.9, 2.6});
+  capture.tracked = {{pallet, "pallet"}, {forklift, "forklift"}, {cart, "cart"}};
+
+  engine::EngineConfig engine_config;
+  engine_config.min_refresh_interval_s = 10.0;
+  engine::LocalizationEngine engine(deployment, engine_config);
+  simulator.middleware().attach_metrics(engine.metrics());
+  engine.set_reference_ids(capture.reference_ids);
+  for (const auto& [tag, name] : capture.tracked) engine.track(tag, name);
+
+  simulator.run_for(kWarmupS);
+  capture.segments.push_back(recorder.take());
+  for (int poll = 0; poll < kPolls; ++poll) {
+    simulator.run_for(kPollS);
+    capture.segments.push_back(recorder.take());
+    const sim::SimTime now = simulator.now();
+    capture.poll_times.push_back(now);
+    simulator.middleware().evict_stale(now);
+    capture.golden.push_back(engine.update(simulator.middleware(), now));
+  }
+  return capture;
+}
+
+bool same_poll(const std::vector<engine::Fix>& a,
+               const std::vector<engine::Fix>& b, int poll) {
+  if (a.size() != b.size()) {
+    std::printf("  MISMATCH poll %d: %zu vs %zu fixes\n", poll, a.size(),
+                b.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const engine::Fix& x = a[i];
+    const engine::Fix& y = b[i];
+    const bool same =
+        x.tag == y.tag && x.name == y.name && bits(x.time) == bits(y.time) &&
+        x.valid == y.valid && x.quality == y.quality &&
+        bits(x.position.x) == bits(y.position.x) &&
+        bits(x.position.y) == bits(y.position.y) &&
+        bits(x.smoothed_position.x) == bits(y.smoothed_position.x) &&
+        bits(x.smoothed_position.y) == bits(y.smoothed_position.y) &&
+        x.survivor_count == y.survivor_count &&
+        x.used_fallback == y.used_fallback && bits(x.age_s) == bits(y.age_s);
+    if (!same) {
+      std::printf("  MISMATCH poll %d fix %zu (tag %u): (%.17g, %.17g) vs "
+                  "(%.17g, %.17g)\n",
+                  poll, i, x.tag, x.position.x, x.position.y, y.position.x,
+                  y.position.y);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* force = std::getenv("VIRE_FORCE_DRILLS");
+  const bool forced = force != nullptr && std::strcmp(force, "1") == 0;
+  if (std::thread::hardware_concurrency() <= 1 && !forced) {
+    std::printf(
+        "supervisor drill: SKIPPED — single hardware thread. Every restart\n"
+        "spawns a whole engine process; on one core the child starves\n"
+        "behind the drill and spawn deadlines flake instead of proving\n"
+        "anything about the supervisor. See docs/robustness.md,\n"
+        "'Single-core machines'. VIRE_FORCE_DRILLS=1 overrides.\n"
+        "Exit 0: skipped, not passed.\n");
+    return 0;
+  }
+
+  const fs::path shardd = argc > 1 ? fs::path(argv[1]) : fs::path(VIRE_SHARDD_DEFAULT);
+  if (!fs::exists(shardd)) {
+    std::printf("supervisor drill: shard binary not found at %s\n"
+                "usage: %s [path/to/vire_shardd]\n",
+                shardd.string().c_str(), argv[0]);
+    return 2;
+  }
+
+  std::printf("supervisor drill: 2 shard processes, %d polls, SIGKILL every "
+              "second poll\n", kPolls);
+  std::printf("\n[1/3] golden single-engine run\n");
+  const Capture capture = capture_scenario();
+  std::printf("  %d polls captured\n", kPolls);
+
+  std::printf("\n[2/3] supervised fleet under seeded SIGKILLs\n");
+  const fs::path root = "supervisor_drill_out";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  service::SupervisorConfig config;
+  config.shards = 2;
+  config.root_dir = root;
+  config.shardd_binary = shardd;
+  config.checkpoint_every_updates = 2;
+  config.restart_backoff_initial_s = 0.01;
+  config.restart_backoff_max_s = 0.05;
+  config.request_retries = 3;
+  config.spawn_wait_s = 60.0;  // restarts recover a whole engine
+  config.seed = 7;
+
+  service::Supervisor supervisor(env::Deployment::paper_testbed(), config);
+  supervisor.start();
+  supervisor.set_reference_ids(capture.reference_ids);
+  for (const auto& [tag, name] : capture.tracked) {
+    supervisor.track(tag, name, std::nullopt);
+  }
+
+  std::uint64_t rng = 0xC0FFEE ^ kSeed;
+  int kills = 0;
+  supervisor.ingest(capture.segments[0]);
+  for (int poll = 0; poll < kPolls; ++poll) {
+    supervisor.ingest(capture.segments[static_cast<std::size_t>(poll) + 1]);
+    if (poll % 2 == 1) {
+      const auto victim =
+          static_cast<std::uint32_t>(support::splitmix64(rng) % 2);
+      const pid_t pid = supervisor.shard_pid(victim);
+      if (pid <= 0) {
+        std::printf("  FAIL: shard %u has no pid at poll %d\n", victim, poll);
+        return 1;
+      }
+      ::kill(pid, SIGKILL);
+      ++kills;
+      std::printf("  poll %d: SIGKILL shard %u (pid %d)\n", poll, victim,
+                  static_cast<int>(pid));
+    }
+    const auto fixes = supervisor.poll(capture.poll_times[poll]);
+    if (!same_poll(fixes, capture.golden[static_cast<std::size_t>(poll)],
+                   poll)) {
+      return 1;
+    }
+  }
+  std::printf("  bit-identical: %d polls across %d kills, %llu restarts\n",
+              kPolls, kills,
+              static_cast<unsigned long long>(supervisor.restarts()));
+  if (supervisor.restarts() < static_cast<std::uint64_t>(kills)) {
+    std::printf("  FAIL: %d kills but only %llu restarts\n", kills,
+                static_cast<unsigned long long>(supervisor.restarts()));
+    return 1;
+  }
+
+  std::printf("\n[3/3] merged metrics snapshot\n");
+  const std::string prom = supervisor.snapshot_prometheus();
+  fs::create_directories("bench_out");
+  std::ofstream("bench_out/supervisor_drill_metrics.prom") << prom;
+  for (const char* needle :
+       {"vire_supervisor_restarts_total", "vire_supervisor_deaths_total",
+        "vire_supervisor_shard_state", "process=\"shard-0\"",
+        "process=\"shard-1\""}) {
+    if (prom.find(needle) == std::string::npos) {
+      std::printf("  FAIL: merged scrape is missing %s\n", needle);
+      return 1;
+    }
+  }
+  std::printf("  bench_out/supervisor_drill_metrics.prom written\n");
+
+  supervisor.stop();
+  fs::remove_all(root);
+  std::printf("\nsupervisor drill: BIT-IDENTICAL UNDER CHAOS\n");
+  return 0;
+}

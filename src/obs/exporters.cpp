@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_set>
 
 namespace vire::obs {
@@ -199,6 +200,41 @@ void write_json_snapshot(const MetricsRegistry& registry,
 void write_prometheus_snapshot(const MetricsRegistry& registry,
                                const std::filesystem::path& path) {
   write_text(to_prometheus(registry), path, "write_prometheus_snapshot");
+}
+
+std::string relabel_prometheus(const std::string& text,
+                               const std::string& label) {
+  std::string out;
+  out.reserve(text.size() + 64 * (text.size() / 64 + 1));
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    const bool had_newline = eol != std::string::npos;
+    if (!had_newline) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    const std::size_t space = line.find(' ');
+    if (line.empty() || line.front() == '#' || space == std::string_view::npos) {
+      out.append(line);  // comment/blank/unparseable: pass through untouched
+    } else {
+      const std::size_t brace = line.find('{');
+      if (brace != std::string_view::npos && brace < space) {
+        out.append(line.substr(0, brace + 1));
+        out.append(label);
+        if (brace + 1 < line.size() && line[brace + 1] != '}') out.push_back(',');
+        out.append(line.substr(brace + 1));
+      } else {
+        out.append(line.substr(0, space));
+        out.push_back('{');
+        out.append(label);
+        out.push_back('}');
+        out.append(line.substr(space));
+      }
+    }
+    if (had_newline) out.push_back('\n');
+    pos = eol + 1;
+    if (!had_newline) break;
+  }
+  return out;
 }
 
 }  // namespace vire::obs

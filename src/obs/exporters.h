@@ -56,4 +56,13 @@ void write_prometheus_snapshot(const MetricsRegistry& registry,
 [[nodiscard]] std::string label_pair(const std::string& name,
                                      const std::string& value);
 
+/// Injects `label` (a label_pair(), e.g. `process="shard-0"`) into every
+/// series line of a Prometheus text exposition document: `m 1` becomes
+/// `m{process="shard-0"} 1`, `m{a="b"} 1` becomes `m{process="shard-0",a="b"} 1`.
+/// Comment (#) and blank lines pass through untouched. Used by the
+/// supervisor to disambiguate scrapes merged from several shard processes
+/// that each export identical series names.
+[[nodiscard]] std::string relabel_prometheus(const std::string& text,
+                                             const std::string& label);
+
 }  // namespace vire::obs

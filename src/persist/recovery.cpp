@@ -85,6 +85,13 @@ RecoveryReport RecoveryManager::recover(engine::LocalizationEngine& engine,
           report.recovered_time = frame.time;
           ++report.updates_replayed;
           break;
+        case FrameType::kAck:
+          // Pure bookkeeping for the sender-side resend window; never touches
+          // the middleware or engine.
+          if (frame.ack_sequence > report.last_ack_sequence) {
+            report.last_ack_sequence = frame.ack_sequence;
+          }
+          break;
       }
       ++report.frames_replayed;
       replayed_metric.inc();

@@ -44,6 +44,9 @@ struct RecoveryReport {
   std::uint64_t readings_replayed = 0;
   std::uint64_t evicts_replayed = 0;
   std::uint64_t updates_replayed = 0;
+  /// Highest ingest-batch ack marker replayed (0 when none) — the sender
+  /// resends only batches past this sequence after a restart.
+  std::uint64_t last_ack_sequence = 0;
   /// Torn/corrupt frames dropped at the WAL tail.
   std::uint64_t corrupt_frames = 0;
   /// Sequence the next WAL frame will get (a fresh WalWriter agrees).

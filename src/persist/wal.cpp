@@ -81,6 +81,12 @@ std::string encode_payload(FrameType type, const sim::RssiReading& reading,
   return w.take();
 }
 
+std::string encode_ack_payload(std::uint64_t ack_sequence) {
+  ByteWriter w;
+  w.u64(ack_sequence);
+  return w.take();
+}
+
 bool decode_payload(FrameType type, std::string_view payload, WalFrame& frame) {
   ByteReader r(payload);
   switch (type) {
@@ -98,6 +104,12 @@ bool decode_payload(FrameType type, std::string_view payload, WalFrame& frame) {
       const auto now = r.f64();
       if (!r.exhausted() || !now) return false;
       frame.time = *now;
+      return true;
+    }
+    case FrameType::kAck: {
+      const auto ack = r.u64();
+      if (!r.exhausted() || !ack) return false;
+      frame.ack_sequence = *ack;
       return true;
     }
   }
@@ -410,6 +422,10 @@ void WalWriter::on_evict(sim::SimTime now) {
 
 void WalWriter::append_update_marker(sim::SimTime now) {
   append_frame(FrameType::kUpdate, encode_payload(FrameType::kUpdate, {}, now));
+}
+
+void WalWriter::append_ack_marker(std::uint64_t ack_sequence) {
+  append_frame(FrameType::kAck, encode_ack_payload(ack_sequence));
 }
 
 std::size_t WalWriter::prune(std::uint64_t up_to_sequence) {

@@ -19,6 +19,7 @@
 //     kReading: f64 time | u32 tag | u16 reader | f64 rssi_dbm
 //     kEvict:   f64 now
 //     kUpdate:  f64 now
+//     kAck:     u64 ingest-batch sequence
 //
 // A crash can tear at most the tail of the newest segment. Both the reader
 // and the writer treat the first CRC/decode failure as end-of-log: the
@@ -45,13 +46,17 @@ enum class FrameType : std::uint8_t {
   kEvict = 2,    ///< Middleware::evict_stale(now)
   kUpdate = 3,   ///< engine update(now) boundary — written BEFORE the update
                  ///< runs, so a crash mid-update replays it after recovery
+  kAck = 4,      ///< supervisor ingest-batch ack boundary — written AFTER the
+                 ///< batch's readings, so a recovered shard reports exactly
+                 ///< the batches whose readings are durably journaled
 };
 
 struct WalFrame {
   FrameType type = FrameType::kReading;
   std::uint64_t sequence = 0;
-  sim::RssiReading reading;  ///< valid for kReading
-  sim::SimTime time = 0.0;   ///< valid for kEvict / kUpdate
+  sim::RssiReading reading;         ///< valid for kReading
+  sim::SimTime time = 0.0;          ///< valid for kEvict / kUpdate
+  std::uint64_t ack_sequence = 0;   ///< valid for kAck
 };
 
 enum class FsyncPolicy {
@@ -105,6 +110,11 @@ class WalWriter final : public sim::ReadingJournal {
   /// engine.update(middleware, now): recovery then replays an update the
   /// crash interrupted, instead of losing it.
   void append_update_marker(sim::SimTime now);
+  /// Journal an ingest-batch ack boundary. Call AFTER every reading of the
+  /// batch has been journaled: recovery then reports the highest ack marker
+  /// it replayed, and the sender resends only batches past it (resends are
+  /// idempotent under the middleware's last-write-wins duplicate policy).
+  void append_ack_marker(std::uint64_t ack_sequence);
 
   /// Force an fsync of the current segment now, regardless of policy.
   void sync();

@@ -1,0 +1,72 @@
+#pragma once
+// Frontend: the request-handling surface the wire server drives
+// (docs/service.md). Two implementations exist — ShardedService (shards as
+// threads inside this process) and Supervisor (shards as child processes) —
+// and ServiceServer speaks to either one, so vire_shardd and vire_supervisord
+// share a single server/event-loop implementation.
+//
+// Threading: like ShardedService, every mutating call comes from ONE driver
+// thread (the server's event loop); snapshot_* must additionally be safe
+// from any thread (metrics registries are internally synchronized).
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/localization_engine.h"
+#include "obs/metrics.h"
+#include "sim/types.h"
+
+namespace vire::service {
+
+/// Durability cursor reported by kHeartbeatAck: how far the implementation's
+/// journal has advanced, and the highest ingest-batch sequence whose readings
+/// are durably journaled (see persist::FrameType::kAck).
+struct HeartbeatInfo {
+  std::uint64_t wal_next_sequence = 0;
+  std::uint64_t last_ack_sequence = 0;
+};
+
+class Frontend {
+ public:
+  virtual ~Frontend() = default;
+
+  virtual void ingest(const std::vector<sim::RssiReading>& readings) = 0;
+  /// Sequenced ingest (kIngestSeq): `sequence` keys the sender's resend
+  /// window. Implementations without ack plumbing treat it as plain ingest.
+  virtual void ingest_sequenced(const std::vector<sim::RssiReading>& readings,
+                                std::uint64_t sequence) {
+    (void)sequence;
+    ingest(readings);
+  }
+
+  virtual std::vector<engine::Fix> poll(sim::SimTime now) = 0;
+  [[nodiscard]] virtual std::optional<engine::Fix> latest_fix(
+      sim::TagId tag) const = 0;
+  /// Flight-recorder provenance as JSON; nullopt when there is none.
+  virtual std::optional<std::string> explain_json(sim::TagId tag) = 0;
+
+  virtual std::string snapshot_prometheus() const = 0;
+  virtual std::string snapshot_json() const = 0;
+
+  virtual void set_reference_ids(std::vector<sim::TagId> ids) = 0;
+  virtual void track(sim::TagId tag, std::string name,
+                     std::optional<std::uint32_t> zone) = 0;
+
+  /// kRecover: run checkpoint+WAL recovery now; returns the recovered
+  /// last-ack sequence. Only meaningful for implementations that journal.
+  virtual std::uint64_t recover_now() {
+    throw std::runtime_error("recovery not supported by this frontend");
+  }
+
+  /// kHeartbeat: liveness + durability cursor. The default (all zeros) is a
+  /// valid "alive, nothing journaled" answer.
+  virtual HeartbeatInfo heartbeat() { return {}; }
+
+  /// Registry the server parks connection decoder counters in.
+  [[nodiscard]] virtual obs::MetricsRegistry& metrics() = 0;
+};
+
+}  // namespace vire::service

@@ -8,10 +8,9 @@
 
 #include <cerrno>
 #include <cstring>
+#include <exception>
 #include <list>
 #include <stdexcept>
-
-#include "obs/flight_recorder.h"
 
 namespace vire::service {
 
@@ -64,8 +63,8 @@ bool send_some(int fd, std::string& pending) {
 
 }  // namespace
 
-ServiceServer::ServiceServer(ShardedService& service, ServerConfig config)
-    : service_(service), config_(std::move(config)) {}
+ServiceServer::ServiceServer(Frontend& frontend, ServerConfig config)
+    : frontend_(frontend), config_(std::move(config)) {}
 
 ServiceServer::~ServiceServer() { stop(); }
 
@@ -112,71 +111,156 @@ void ServiceServer::flush_outbox(Connection& conn) {
 }
 
 void ServiceServer::handle(Connection& conn, const Frame& frame) {
-  switch (frame.type) {
-    case MsgType::kIngest: {
-      auto readings = decode_ingest(frame.payload);
-      if (!readings.has_value()) {
+  try {
+    switch (frame.type) {
+      case MsgType::kIngest: {
+        auto readings = decode_ingest(frame.payload);
+        if (!readings.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed ingest payload");
+          return;
+        }
+        frontend_.ingest(*readings);
+        return;  // fire-and-forget
+      }
+      case MsgType::kIngestSeq: {
+        auto batch = decode_ingest_seq(frame.payload);
+        if (!batch.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed sequenced ingest payload");
+          return;
+        }
+        frontend_.ingest_sequenced(batch->readings, batch->sequence);
+        return;  // fire-and-forget; durability observable via kHeartbeat
+      }
+      case MsgType::kPoll: {
+        const auto now = decode_time(frame.payload);
+        if (!now.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed poll payload");
+          return;
+        }
+        send_frame(conn, MsgType::kFixBatch, encode_fixes(frontend_.poll(*now)));
+        return;
+      }
+      case MsgType::kLatestFix: {
+        const auto tag = decode_tag(frame.payload);
+        if (!tag.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed latest_fix payload");
+          return;
+        }
+        send_frame(conn, MsgType::kFixReply,
+                   encode_fix_reply(frontend_.latest_fix(*tag)));
+        return;
+      }
+      case MsgType::kExplain: {
+        const auto tag = decode_tag(frame.payload);
+        if (!tag.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed explain payload");
+          return;
+        }
+        const auto json = frontend_.explain_json(*tag);
+        if (!json.has_value()) {
+          send_frame(conn, MsgType::kError, "no flight record for tag");
+          return;
+        }
+        send_frame(conn, MsgType::kText, *json);
+        return;
+      }
+      case MsgType::kSnapshot: {
+        const auto format = decode_snapshot_request(frame.payload);
+        if (!format.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed snapshot payload");
+          return;
+        }
+        send_frame(conn, MsgType::kText,
+                   *format == kSnapshotJson ? frontend_.snapshot_json()
+                                            : frontend_.snapshot_prometheus());
+        return;
+      }
+      case MsgType::kHello: {
+        const auto hello = decode_hello(frame.payload);
+        if (!hello.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed hello payload");
+          return;
+        }
+        if (hello->version != kWireVersion) {
+          conn.decoder.note_version_mismatch();
+          send_frame(conn, MsgType::kError,
+                     "wire version mismatch: peer v" +
+                         std::to_string(hello->version) + ", server v" +
+                         std::to_string(kWireVersion));
+          conn.close_after_reply = true;
+          return;
+        }
+        Hello ack;
+        ack.version = kWireVersion;
+        ack.peer_name = config_.server_name;
+        send_frame(conn, MsgType::kHelloAck, encode_hello(ack));
+        return;
+      }
+      case MsgType::kHeartbeat: {
+        const auto seq = decode_u64(frame.payload);
+        if (!seq.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed heartbeat payload");
+          return;
+        }
+        const HeartbeatInfo info = frontend_.heartbeat();
+        HeartbeatAck ack;
+        ack.seq = *seq;
+        ack.wal_next_sequence = info.wal_next_sequence;
+        ack.last_ack_sequence = info.last_ack_sequence;
+        send_frame(conn, MsgType::kHeartbeatAck, encode_heartbeat_ack(ack));
+        return;
+      }
+      case MsgType::kTrack: {
+        auto request = decode_track(frame.payload);
+        if (!request.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed track payload");
+          return;
+        }
+        frontend_.track(request->tag, std::move(request->name), request->zone);
+        send_frame(conn, MsgType::kOk, encode_u64(0));
+        return;
+      }
+      case MsgType::kSetReference: {
+        auto ids = decode_reference_ids(frame.payload);
+        if (!ids.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed set_reference payload");
+          return;
+        }
+        const auto count = static_cast<std::uint64_t>(ids->size());
+        frontend_.set_reference_ids(std::move(*ids));
+        send_frame(conn, MsgType::kOk, encode_u64(count));
+        return;
+      }
+      case MsgType::kRecover: {
+        if (!frame.payload.empty()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed recover payload");
+          return;
+        }
+        send_frame(conn, MsgType::kOk, encode_u64(frontend_.recover_now()));
+        return;
+      }
+      default:
+        // Response types arriving as requests: structurally valid,
+        // semantically nonsense.
         conn.decoder.note_malformed();
-        send_frame(conn, MsgType::kError, "malformed ingest payload");
+        send_frame(conn, MsgType::kError, "unexpected message type");
         return;
-      }
-      service_.ingest(*readings);
-      return;  // fire-and-forget
     }
-    case MsgType::kPoll: {
-      const auto now = decode_time(frame.payload);
-      if (!now.has_value()) {
-        conn.decoder.note_malformed();
-        send_frame(conn, MsgType::kError, "malformed poll payload");
-        return;
-      }
-      send_frame(conn, MsgType::kFixBatch, encode_fixes(service_.poll(*now)));
-      return;
-    }
-    case MsgType::kLatestFix: {
-      const auto tag = decode_tag(frame.payload);
-      if (!tag.has_value()) {
-        conn.decoder.note_malformed();
-        send_frame(conn, MsgType::kError, "malformed latest_fix payload");
-        return;
-      }
-      send_frame(conn, MsgType::kFixReply,
-                 encode_fix_reply(service_.latest_fix(*tag)));
-      return;
-    }
-    case MsgType::kExplain: {
-      const auto tag = decode_tag(frame.payload);
-      if (!tag.has_value()) {
-        conn.decoder.note_malformed();
-        send_frame(conn, MsgType::kError, "malformed explain payload");
-        return;
-      }
-      const auto record = service_.explain(*tag);
-      if (!record.has_value()) {
-        send_frame(conn, MsgType::kError, "no flight record for tag");
-        return;
-      }
-      send_frame(conn, MsgType::kText, obs::to_json(*record));
-      return;
-    }
-    case MsgType::kSnapshot: {
-      const auto format = decode_snapshot_request(frame.payload);
-      if (!format.has_value()) {
-        conn.decoder.note_malformed();
-        send_frame(conn, MsgType::kError, "malformed snapshot payload");
-        return;
-      }
-      send_frame(conn, MsgType::kText,
-                 *format == kSnapshotJson ? service_.merged_json()
-                                          : service_.merged_prometheus());
-      return;
-    }
-    default:
-      // Response types arriving as requests: structurally valid, semantically
-      // nonsense.
-      conn.decoder.note_malformed();
-      send_frame(conn, MsgType::kError, "unexpected message type");
-      return;
+  } catch (const std::exception& e) {
+    // A throwing frontend (recover() precondition, shard orchestration
+    // failure) is the requester's problem, never the server's.
+    send_frame(conn, MsgType::kError, e.what());
   }
 }
 
@@ -203,7 +287,7 @@ void ServiceServer::loop() {
         set_nonblocking(fd);
         auto& conn = connections.emplace_back(config_.max_payload);
         conn.fd = fd;
-        conn.decoder.attach_metrics(service_.metrics());
+        conn.decoder.attach_metrics(frontend_.metrics());
         ++accepted_;
       }
     }
@@ -228,8 +312,12 @@ void ServiceServer::loop() {
           closed = true;  // EOF or hard error
           break;
         }
-        while (auto frame = conn.decoder.next()) handle(conn, *frame);
+        while (auto frame = conn.decoder.next()) {
+          handle(conn, *frame);
+          if (conn.close_after_reply) break;
+        }
         if (conn.decoder.failed()) closed = true;  // framing destroyed
+        if (conn.close_after_reply) closed = true;
       }
       if ((revents & POLLOUT) != 0 || !conn.outbox.empty()) flush_outbox(conn);
       if (closed) {
@@ -247,112 +335,5 @@ void ServiceServer::loop() {
     ::close(conn.fd);
   }
 }
-
-ServiceClient::ServiceClient(const std::filesystem::path& socket_path,
-                             std::size_t max_payload)
-    : decoder_(max_payload) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  const std::string p = socket_path.string();
-  if (p.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("ServiceClient: socket path too long: " + p);
-  }
-  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("ServiceClient: socket() failed");
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("ServiceClient: connect failed on " + p);
-  }
-}
-
-ServiceClient::~ServiceClient() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-void ServiceClient::send_all(std::string_view bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n =
-        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n > 0) {
-      off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    throw std::runtime_error("ServiceClient: send failed");
-  }
-}
-
-Frame ServiceClient::read_frame() {
-  for (;;) {
-    if (auto frame = decoder_.next()) return *frame;
-    if (decoder_.failed()) {
-      throw std::runtime_error("ServiceClient: response stream corrupt");
-    }
-    char buf[kReadChunk];
-    const ssize_t n = ::read(fd_, buf, sizeof(buf));
-    if (n > 0) {
-      decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    throw std::runtime_error("ServiceClient: connection closed by server");
-  }
-}
-
-void ServiceClient::stream(const std::vector<sim::RssiReading>& readings) {
-  send_all(encode_frame(MsgType::kIngest, encode_ingest(readings)));
-}
-
-std::vector<engine::Fix> ServiceClient::poll(sim::SimTime now) {
-  send_all(encode_frame(MsgType::kPoll, encode_time(now)));
-  const Frame reply = read_frame();
-  if (reply.type == MsgType::kError) {
-    throw std::runtime_error("ServiceClient: " + reply.payload);
-  }
-  auto fixes = decode_fixes(reply.payload);
-  if (reply.type != MsgType::kFixBatch || !fixes.has_value()) {
-    throw std::runtime_error("ServiceClient: bad poll response");
-  }
-  return std::move(*fixes);
-}
-
-std::optional<engine::Fix> ServiceClient::latest_fix(sim::TagId tag) {
-  send_all(encode_frame(MsgType::kLatestFix, encode_tag(tag)));
-  const Frame reply = read_frame();
-  if (reply.type == MsgType::kError) {
-    throw std::runtime_error("ServiceClient: " + reply.payload);
-  }
-  auto fix = decode_fix_reply(reply.payload);
-  if (reply.type != MsgType::kFixReply || !fix.has_value()) {
-    throw std::runtime_error("ServiceClient: bad latest_fix response");
-  }
-  return std::move(*fix);
-}
-
-std::optional<std::string> ServiceClient::explain(sim::TagId tag) {
-  send_all(encode_frame(MsgType::kExplain, encode_tag(tag)));
-  const Frame reply = read_frame();
-  if (reply.type == MsgType::kText) return reply.payload;
-  if (reply.type == MsgType::kError) return std::nullopt;
-  throw std::runtime_error("ServiceClient: bad explain response");
-}
-
-std::string ServiceClient::snapshot(std::uint8_t format) {
-  send_all(encode_frame(MsgType::kSnapshot, encode_snapshot_request(format)));
-  const Frame reply = read_frame();
-  if (reply.type != MsgType::kText) {
-    throw std::runtime_error("ServiceClient: bad snapshot response");
-  }
-  return reply.payload;
-}
-
-std::string ServiceClient::snapshot_prometheus() {
-  return snapshot(kSnapshotPrometheus);
-}
-
-std::string ServiceClient::snapshot_json() { return snapshot(kSnapshotJson); }
 
 }  // namespace vire::service

@@ -1,31 +1,38 @@
 #pragma once
-// Unix-domain-socket front end of the ShardedService (docs/service.md).
+// Unix-domain-socket front end of a service Frontend (docs/service.md).
 //
 // ServiceServer accepts stream connections on a UDS path and speaks the
-// wire protocol (service/wire.h): clients stream kIngest batches in
-// (fire-and-forget) and issue kPoll / kLatestFix / kExplain / kSnapshot
-// requests that each get exactly one response frame. The server runs its
-// own event-loop thread, which doubles as the service's single driver
-// thread — while the server is running, do not call the service's mutating
-// API from elsewhere (merged metrics exports stay safe from any thread).
+// wire protocol (service/wire.h): clients stream kIngest/kIngestSeq batches
+// in (fire-and-forget) and issue kPoll / kLatestFix / kExplain / kSnapshot /
+// kHeartbeat / kTrack / kSetReference / kRecover requests that each get
+// exactly one response frame. The server runs its own event-loop thread,
+// which doubles as the frontend's single driver thread — while the server
+// is running, do not call the frontend's mutating API from elsewhere
+// (snapshot exports stay safe from any thread).
+//
+// The same server fronts either Frontend implementation: ShardedService in
+// a monolithic process, one-engine shards in vire_shardd, and the
+// Supervisor in vire_supervisord.
 //
 // Robustness: each connection owns a FrameDecoder registered with the
-// service metrics registry, so every rejected frame lands in
+// frontend's metrics registry, so every rejected frame lands in
 // vire_service_rejected_frames_total{reason=...}. A frame that resyncs
 // (bad CRC / unknown type) is skipped; a payload that fails typed decode
 // draws a kError response; a poisoned stream (garbage length prefix) drops
-// the connection. Hostile bytes never crash the server or desync other
-// connections (tests/service/service_server_test.cpp).
+// the connection; a kHello with a different kWireVersion draws a
+// reason-labelled kError and the connection is closed after the reply.
+// A frontend method that throws is answered with kError — a handler
+// exception never kills the server. Hostile bytes never crash the server
+// or desync other connections (tests/service/service_server_test.cpp).
 
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
-#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "service/sharded_service.h"
+#include "service/frontend.h"
 #include "service/wire.h"
 
 namespace vire::service {
@@ -34,13 +41,15 @@ struct ServerConfig {
   std::filesystem::path socket_path;
   /// Frame payload cap handed to each connection's decoder.
   std::size_t max_payload = kMaxFramePayload;
+  /// Name returned in kHelloAck (diagnostics only).
+  std::string server_name = "vire-service";
 };
 
 class ServiceServer {
  public:
-  /// The service must outlive the server. The socket path is (re)created on
+  /// The frontend must outlive the server. The socket path is (re)created on
   /// start() and unlinked on stop().
-  ServiceServer(ShardedService& service, ServerConfig config);
+  ServiceServer(Frontend& frontend, ServerConfig config);
   ~ServiceServer();
 
   ServiceServer(const ServiceServer&) = delete;
@@ -63,6 +72,8 @@ class ServiceServer {
     int fd = -1;
     FrameDecoder decoder;
     std::string outbox;  ///< bytes queued for send
+    /// Flush the outbox, then drop the connection (hello version skew).
+    bool close_after_reply = false;
 
     explicit Connection(std::size_t max_payload) : decoder(max_payload) {}
   };
@@ -73,7 +84,7 @@ class ServiceServer {
   void send_frame(Connection& conn, MsgType type, std::string_view payload);
   static void flush_outbox(Connection& conn);
 
-  ShardedService& service_;
+  Frontend& frontend_;
   ServerConfig config_;
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  ///< self-pipe to interrupt poll() on stop
@@ -82,38 +93,8 @@ class ServiceServer {
   std::uint64_t accepted_ = 0;
 };
 
-/// Minimal blocking client for tests and examples: one connection, one
-/// outstanding request at a time.
-class ServiceClient {
- public:
-  /// Connects immediately; throws std::runtime_error on failure.
-  explicit ServiceClient(const std::filesystem::path& socket_path,
-                         std::size_t max_payload = kMaxFramePayload);
-  ~ServiceClient();
-
-  ServiceClient(const ServiceClient&) = delete;
-  ServiceClient& operator=(const ServiceClient&) = delete;
-
-  /// Fire-and-forget reading batch.
-  void stream(const std::vector<sim::RssiReading>& readings);
-
-  /// Round trips. Each throws std::runtime_error on a transport error or a
-  /// kError response (message = the server's error text).
-  std::vector<engine::Fix> poll(sim::SimTime now);
-  std::optional<engine::Fix> latest_fix(sim::TagId tag);
-  /// Flight-recorder JSON for the tag, or nullopt when the server has none.
-  std::optional<std::string> explain(sim::TagId tag);
-  std::string snapshot_prometheus();
-  std::string snapshot_json();
-
- private:
-  void send_all(std::string_view bytes);
-  /// Blocks until one complete frame arrives.
-  Frame read_frame();
-  std::string snapshot(std::uint8_t format);
-
-  int fd_ = -1;
-  FrameDecoder decoder_;
-};
-
 }  // namespace vire::service
+
+// Historical location of ServiceClient; kept so existing includes of
+// service/server.h keep compiling after the client split.
+#include "service/client.h"  // IWYU pragma: keep

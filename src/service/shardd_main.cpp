@@ -1,0 +1,125 @@
+// vire_shardd: one shard process of the multi-process deployment
+// (docs/service.md, "Multi-process deployment").
+//
+// A thin main over ShardedService with a single engine: serves the wire
+// protocol on --socket, journals to --data-dir/{wal,checkpoints}. Always
+// constructed in recover mode — the supervisor re-registers reference ids
+// and tracked tags first, then sends kRecover to replay the WAL through the
+// normal pipeline (registration is not journaled). Runs until SIGTERM or
+// SIGINT.
+//
+//   vire_shardd --socket PATH --data-dir DIR [--shard-id N] [--workers N]
+//               [--window SECONDS] [--checkpoint-every N] [--abort-on-start]
+//
+// --abort-on-start is the crash-loop test seam: the process aborts before
+// binding its socket, exactly like a shard with a corrupt install.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "env/deployment.h"
+#include "service/server.h"
+#include "service/sharded_service.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH --data-dir DIR [--shard-id N]\n"
+               "          [--workers N] [--window SECONDS]\n"
+               "          [--checkpoint-every N] [--abort-on-start]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vire;
+
+  std::filesystem::path socket_path;
+  std::filesystem::path data_dir;
+  int shard_id = 0;
+  int workers = 1;
+  double window_s = 10.0;
+  int checkpoint_every = 8;
+  bool abort_on_start = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      socket_path = v;
+    } else if (arg == "--data-dir") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      data_dir = v;
+    } else if (arg == "--shard-id") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      shard_id = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      workers = std::atoi(v);
+    } else if (arg == "--window") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      window_s = std::atof(v);
+    } else if (arg == "--checkpoint-every") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      checkpoint_every = std::atoi(v);
+    } else if (arg == "--abort-on-start") {
+      abort_on_start = true;
+    } else {
+      std::fprintf(stderr, "vire_shardd: unknown argument '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty() || data_dir.empty()) return usage(argv[0]);
+  if (abort_on_start) std::abort();
+
+  service::ignore_sigpipe();
+
+  // Block shutdown signals before any thread spawns so every thread
+  // inherits the mask and sigwait() below is the only consumer.
+  sigset_t shutdown_set;
+  sigemptyset(&shutdown_set);
+  sigaddset(&shutdown_set, SIGINT);
+  sigaddset(&shutdown_set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &shutdown_set, nullptr);
+
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  service::ServiceConfig config;
+  config.shards = 1;
+  config.engine.parallel_workers = workers;
+  config.middleware.window_s = window_s;
+  config.data_dir = data_dir;
+  config.checkpoint_every_updates = checkpoint_every;
+  config.recover = true;
+  service::ShardedService service(deployment, config);
+
+  service::ServerConfig server_config;
+  server_config.socket_path = socket_path;
+  server_config.server_name = "vire-shardd-" + std::to_string(shard_id);
+  service::ServiceServer server(service, server_config);
+  server.start();
+  std::fprintf(stderr, "vire_shardd: shard %d serving %s (data %s)\n",
+               shard_id, socket_path.c_str(), data_dir.c_str());
+
+  int signal_number = 0;
+  sigwait(&shutdown_set, &signal_number);
+  std::fprintf(stderr, "vire_shardd: shard %d stopping (signal %d)\n",
+               shard_id, signal_number);
+  server.stop();
+  return 0;
+}

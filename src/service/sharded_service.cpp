@@ -319,6 +319,54 @@ void ShardedService::ingest(const std::vector<sim::RssiReading>& readings) {
   for (const auto& reading : readings) ingest(reading);
 }
 
+void ShardedService::ingest_sequenced(const std::vector<sim::RssiReading>& readings,
+                                      std::uint64_t sequence) {
+  ensure_ready();
+  // Redelivery of a batch every live shard already journaled an ack for:
+  // drop it whole. (A batch past the cursor re-ingests; the middleware's
+  // last-write-wins duplicate policy and the resume gates absorb overlap.)
+  if (sequence != 0 && sequence <= last_ack_sequence()) return;
+  ingest(readings);
+  for (auto& [id, shard] : shards_) {
+    if (shard->awaiting_recovery) continue;
+    // Ack marker strictly AFTER the batch's readings: flush them into the
+    // FIFO queue first, then append the marker behind them on the worker.
+    flush_pending(*shard);
+    Shard* s = shard.get();
+    shard->queue->push_control([s, sequence] {
+      if (s->wal != nullptr) s->wal->append_ack_marker(sequence);
+      s->acked.store(sequence, std::memory_order_release);
+    });
+  }
+}
+
+std::uint64_t ShardedService::last_ack_sequence() const {
+  std::uint64_t min_ack = std::numeric_limits<std::uint64_t>::max();
+  bool any = false;
+  for (const auto& [id, shard] : shards_) {
+    if (shard->awaiting_recovery) continue;
+    any = true;
+    min_ack = std::min(min_ack, shard->acked.load(std::memory_order_acquire));
+  }
+  return any ? min_ack : 0;
+}
+
+HeartbeatInfo ShardedService::heartbeat() {
+  HeartbeatInfo info;
+  info.last_ack_sequence = last_ack_sequence();
+  for (auto& [id, shard] : shards_) {
+    if (shard->awaiting_recovery || shard->wal == nullptr) continue;
+    flush_pending(*shard);
+    const std::uint64_t next =
+        run_on(*shard->queue, [&s = *shard] { return s.wal->next_sequence(); });
+    info.wal_next_sequence = std::max(info.wal_next_sequence, next);
+  }
+  // The drain above also executed any queued ack markers; re-read so the
+  // cursor covers every batch enqueued before this probe.
+  info.last_ack_sequence = last_ack_sequence();
+  return info;
+}
+
 std::vector<engine::Fix> ShardedService::poll(sim::SimTime now) {
   ensure_ready();
   const obs::ScopedTimer timer(poll_seconds_);
@@ -391,6 +439,12 @@ std::optional<obs::FixRecord> ShardedService::explain(sim::TagId tag) {
   });
 }
 
+std::optional<std::string> ShardedService::explain_json(sim::TagId tag) {
+  const auto record = explain(tag);
+  if (!record.has_value()) return std::nullopt;
+  return obs::to_json(*record);
+}
+
 void ShardedService::barrier() {
   for (auto& [id, shard] : shards_) {
     flush_pending(*shard);
@@ -422,6 +476,7 @@ ServiceRecoveryReport::ShardRecovery ShardedService::recover_one(Shard& shard) {
 
   shard.resume_time = report.recovered_time;
   shard.gated = report.checkpoint_loaded || report.frames_replayed > 0;
+  shard.acked.store(report.last_ack_sequence, std::memory_order_release);
   shard.replayed.clear();
   for (auto& fixes : report.replayed_fixes) {
     if (!fixes.empty()) shard.replayed.emplace(time_key(fixes[0].time), fixes);
@@ -448,6 +503,11 @@ ServiceRecoveryReport ShardedService::recover() {
   for (auto& [id, shard] : shards_) report.shards.push_back(recover_one(*shard));
   recovered_ = true;
   return report;
+}
+
+std::uint64_t ShardedService::recover_now() {
+  if (config_.recover && !recovered_) recover();
+  return last_ack_sequence();
 }
 
 void ShardedService::crash_shard(std::uint32_t shard_id) {

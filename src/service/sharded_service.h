@@ -40,6 +40,7 @@
 // registration is not journaled — register tags before streaming; the
 // service re-applies its registry to recovered shards before replay.
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <limits>
@@ -59,6 +60,7 @@
 #include "persist/checkpoint.h"
 #include "persist/recovery.h"
 #include "persist/wal.h"
+#include "service/frontend.h"
 #include "service/shard_queue.h"
 #include "service/shard_router.h"
 #include "sim/middleware.h"
@@ -115,22 +117,22 @@ struct ServiceRecoveryReport {
   std::vector<ShardRecovery> shards;
 };
 
-class ShardedService {
+class ShardedService : public Frontend {
  public:
   ShardedService(const env::Deployment& deployment, ServiceConfig config);
-  ~ShardedService();
+  ~ShardedService() override;
 
   ShardedService(const ShardedService&) = delete;
   ShardedService& operator=(const ShardedService&) = delete;
 
   /// Reference tag ids (broadcast set), forwarded to every shard engine.
-  void set_reference_ids(std::vector<sim::TagId> ids);
+  void set_reference_ids(std::vector<sim::TagId> ids) override;
 
   /// Registers a tag for localization. `zone` (see zone_for_position) makes
   /// the tag eligible for zone-affinity pins. Register tags and pins before
   /// streaming readings — registration is not journaled.
   void track(sim::TagId tag, std::string name = {},
-             std::optional<std::uint32_t> zone = std::nullopt);
+             std::optional<std::uint32_t> zone = std::nullopt) override;
   void untrack(sim::TagId tag);
 
   /// Affinity pins (ShardRouter precedence: tag pin > zone pin > ring).
@@ -142,24 +144,45 @@ class ShardedService {
   /// counted as lost; readings at or before a recovered shard's resume time
   /// are dropped by the resume gate (the shard already holds them).
   void ingest(const sim::RssiReading& reading);
-  void ingest(const std::vector<sim::RssiReading>& readings);
+  void ingest(const std::vector<sim::RssiReading>& readings) override;
+  /// Sequenced ingest (kIngestSeq): ingests the batch, then journals a
+  /// FrameType::kAck marker behind its readings on every live shard's WAL —
+  /// so heartbeat()'s last_ack_sequence reports exactly the batches whose
+  /// readings are durably journaled. A batch at or below the current ack
+  /// cursor is dropped whole (idempotent redelivery after a sender retry).
+  void ingest_sequenced(const std::vector<sim::RssiReading>& readings,
+                        std::uint64_t sequence) override;
 
   /// Flushes pending batches, runs evict_stale + update on every shard at
   /// `now`, and returns the merged fixes in tag order — bit-identical to a
   /// single engine polled at the same times over the same stream. Blocks
   /// until every shard finished (poll is the service's barrier).
-  std::vector<engine::Fix> poll(sim::SimTime now);
+  std::vector<engine::Fix> poll(sim::SimTime now) override;
 
   /// Latest fix of a tag from the most recent poll that produced one.
-  [[nodiscard]] std::optional<engine::Fix> latest_fix(sim::TagId tag) const;
+  [[nodiscard]] std::optional<engine::Fix> latest_fix(
+      sim::TagId tag) const override;
 
   /// Flight-recorder provenance of the tag's most recent fix, fetched from
   /// the owning shard (nullopt when unknown/disabled/crashed).
   [[nodiscard]] std::optional<obs::FixRecord> explain(sim::TagId tag);
+  std::optional<std::string> explain_json(sim::TagId tag) override;
 
   /// Recovers every shard after a crash (ServiceConfig::recover must be
   /// set). Call once, before any ingest/poll.
   ServiceRecoveryReport recover();
+  /// Idempotent wire-facing recovery (kRecover): runs recover() when this
+  /// service was constructed for recovery and has not recovered yet, then
+  /// returns last_ack_sequence(). Safe to call on an already-live service.
+  std::uint64_t recover_now() override;
+
+  /// Durability cursor: highest kAck marker durably journaled by EVERY live
+  /// shard (0 when none). Batches at or below it survive any crash.
+  [[nodiscard]] std::uint64_t last_ack_sequence() const;
+  /// Liveness + durability cursor served to kHeartbeat. Drains each shard
+  /// queue to read the WAL frontier, so the answer reflects every op
+  /// enqueued before the probe.
+  HeartbeatInfo heartbeat() override;
 
   /// Simulates a hard shard failure: queued work and in-memory state are
   /// discarded (exactly what a SIGKILL loses); the shard's WAL/checkpoints
@@ -188,9 +211,13 @@ class ShardedService {
   /// Service-level metrics (routing, queues, polls, rebalances). Per-shard
   /// engine metrics live in each shard's own registry; merged_* exports
   /// concatenate them with a shard="<id>" label appended to every series.
-  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept override {
+    return metrics_;
+  }
   [[nodiscard]] std::string merged_prometheus() const;
   [[nodiscard]] std::string merged_json() const;
+  std::string snapshot_prometheus() const override { return merged_prometheus(); }
+  std::string snapshot_json() const override { return merged_json(); }
 
   /// Aggregated queue-pressure counters across shards.
   [[nodiscard]] std::uint64_t dropped_batches() const;
@@ -224,6 +251,9 @@ class ShardedService {
     /// Resume gate (see file comment); -inf when the shard never recovered.
     sim::SimTime resume_time = -std::numeric_limits<double>::infinity();
     bool gated = false;
+    /// Highest kAck marker durably journaled (written by the worker thread,
+    /// read by heartbeat() on the driver thread — hence atomic).
+    std::atomic<std::uint64_t> acked{0};
     /// Replayed update fixes keyed by the update time's bit pattern.
     std::map<std::uint64_t, std::vector<engine::Fix>> replayed;
   };

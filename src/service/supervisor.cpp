@@ -1,0 +1,707 @@
+#include "service/supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/exporters.h"
+#include "support/rng.h"
+
+namespace vire::service {
+
+double SteadyClock::now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SteadyClock::sleep_for(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+std::string_view to_string(ShardState state) noexcept {
+  switch (state) {
+    case ShardState::kStarting: return "starting";
+    case ShardState::kUp: return "up";
+    case ShardState::kBackoff: return "backoff";
+    case ShardState::kDown: return "down";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(DeathCause cause) noexcept {
+  switch (cause) {
+    case DeathCause::kHeartbeatTimeout: return "heartbeat_timeout";
+    case DeathCause::kSocket: return "socket";
+    case DeathCause::kWaitpid: return "waitpid";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr ShardState kAllStates[] = {ShardState::kStarting, ShardState::kUp,
+                                     ShardState::kBackoff, ShardState::kDown};
+constexpr DeathCause kAllCauses[] = {DeathCause::kHeartbeatTimeout,
+                                     DeathCause::kSocket, DeathCause::kWaitpid};
+
+std::string shard_json(std::uint32_t id) {
+  return "{\"shard\":" + std::to_string(id) + "}";
+}
+
+}  // namespace
+
+Supervisor::Supervisor(const env::Deployment& deployment,
+                       SupervisorConfig config, Clock* clock)
+    : deployment_(deployment),
+      config_(std::move(config)),
+      clock_(clock != nullptr ? clock : &steady_clock_),
+      router_(config_.router) {
+  if (config_.shards < 1) {
+    throw std::invalid_argument("Supervisor: shards must be >= 1");
+  }
+  if (config_.shardd_binary.empty()) {
+    throw std::invalid_argument("Supervisor: shardd_binary is required");
+  }
+  for (int i = 0; i < config_.shards; ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
+    router_.add_shard(id);
+    ManagedShard shard;
+    shard.id = id;
+    shard.socket = config_.root_dir / ("shard-" + std::to_string(id) + ".sock");
+    shard.data_dir = config_.root_dir / ("shard-" + std::to_string(id));
+    shards_.emplace(id, std::move(shard));
+  }
+
+  restarts_total_ = &metrics_.counter("vire_supervisor_restarts_total", {},
+                                      "Successful shard process restarts");
+  for (DeathCause cause : kAllCauses) {
+    deaths_total_[static_cast<std::size_t>(cause)] = &metrics_.counter(
+        "vire_supervisor_deaths_total",
+        obs::label_pair("cause", std::string(to_string(cause))),
+        "Shard deaths by detection cause");
+  }
+  breaker_open_total_ =
+      &metrics_.counter("vire_supervisor_breaker_open_total", {},
+                        "Crash-loop circuit breaker openings");
+  replayed_batches_ =
+      &metrics_.counter("vire_supervisor_replayed_batches_total", {},
+                        "Un-acked ingest batches re-sent after a restart");
+  replayed_readings_ =
+      &metrics_.counter("vire_supervisor_replayed_readings_total", {},
+                        "Readings re-sent inside replayed batches");
+  replayed_polls_ =
+      &metrics_.counter("vire_supervisor_replayed_polls_total", {},
+                        "Polls missed while a shard was dead, replayed on revival");
+  held_fixes_ = &metrics_.counter(
+      "vire_supervisor_held_fixes_total", {},
+      "Degraded kHold fixes served for tags of unreachable shards");
+  heartbeats_total_ = &metrics_.counter("vire_supervisor_heartbeats_total", {},
+                                        "Successful shard heartbeat acks");
+  oplog_dropped_ = &metrics_.counter(
+      "vire_supervisor_oplog_dropped_total", {},
+      "Op-log entries evicted by the capacity bound (no longer replayable)");
+  polls_total_ =
+      &metrics_.counter("vire_supervisor_polls_total", {}, "Fleet-wide polls");
+  for (ShardState state : kAllStates) {
+    state_gauges_[static_cast<std::size_t>(state)] = &metrics_.gauge(
+        "vire_supervisor_shard_state",
+        obs::label_pair("state", std::string(to_string(state))),
+        "Shards currently in each supervision state");
+  }
+  poll_seconds_ =
+      &metrics_.histogram("vire_supervisor_poll_seconds",
+                          obs::default_latency_buckets_s(), {},
+                          "Fleet poll latency (includes inline revivals)");
+  refresh_state_metrics();
+}
+
+Supervisor::~Supervisor() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructor must not throw; children get reaped by init if we lose them.
+  }
+}
+
+void Supervisor::start() {
+  std::lock_guard lock(mutex_);
+  if (started_) return;
+  std::filesystem::create_directories(config_.root_dir);
+  for (auto& [id, shard] : shards_) {
+    if (bring_up(shard)) {
+      mark_up(shard);
+    } else {
+      handle_death(shard, DeathCause::kWaitpid);
+    }
+  }
+  started_ = true;
+  refresh_state_metrics();
+}
+
+void Supervisor::stop() {
+  std::lock_guard lock(mutex_);
+  for (auto& [id, shard] : shards_) {
+    shard.client.reset();
+    if (shard.pid > 0) ::kill(shard.pid, SIGTERM);
+  }
+  for (auto& [id, shard] : shards_) {
+    if (shard.pid > 0) {
+      const double deadline = clock_->now() + 2.0;
+      for (;;) {
+        int status = 0;
+        const pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
+        if (reaped == shard.pid || (reaped == -1 && errno == ECHILD)) {
+          shard.pid = -1;
+          break;
+        }
+        if (clock_->now() >= deadline) {
+          kill_child(shard, SIGKILL);
+          break;
+        }
+        clock_->sleep_for(0.01);
+      }
+    }
+    shard.state = ShardState::kDown;
+    // Keep the breaker open forever so a stray poll() after stop() degrades
+    // instead of respawning.
+    shard.breaker_open_until = std::numeric_limits<double>::infinity();
+  }
+  started_ = false;
+  refresh_state_metrics();
+}
+
+void Supervisor::tick() {
+  std::lock_guard lock(mutex_);
+  const double now = clock_->now();
+  for (auto& [id, shard] : shards_) {
+    switch (shard.state) {
+      case ShardState::kUp: {
+        if (shard.pid > 0) {
+          int status = 0;
+          const pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
+          if (reaped == shard.pid || (reaped == -1 && errno == ECHILD)) {
+            shard.pid = -1;
+            handle_death(shard, DeathCause::kWaitpid);
+            break;
+          }
+        }
+        if (now - shard.last_heartbeat_ok >= config_.heartbeat_interval_s) {
+          heartbeat_shard(shard);
+        }
+        if (shard.state == ShardState::kUp &&
+            clock_->now() - shard.last_heartbeat_ok >
+                config_.heartbeat_timeout_s) {
+          handle_death(shard, DeathCause::kHeartbeatTimeout);
+        }
+        break;
+      }
+      case ShardState::kStarting:
+      case ShardState::kBackoff:
+        if (now >= shard.next_restart_time) {
+          if (bring_up(shard)) {
+            mark_up(shard);
+          } else {
+            handle_death(shard, DeathCause::kWaitpid);
+          }
+        }
+        break;
+      case ShardState::kDown:
+        if (now >= shard.breaker_open_until) {
+          // Half-open probe: one restart attempt; success fully closes the
+          // breaker, failure re-opens it for another cooldown.
+          if (bring_up(shard)) {
+            shard.death_times.clear();
+            shard.restart_count = 0;
+            mark_up(shard);
+          } else {
+            shard.breaker_open_until =
+                clock_->now() + config_.breaker_cooldown_s;
+          }
+        }
+        break;
+    }
+  }
+  refresh_state_metrics();
+}
+
+// ---------------------------------------------------------------------------
+// Frontend
+
+void Supervisor::ingest(const std::vector<sim::RssiReading>& readings) {
+  std::lock_guard lock(mutex_);
+  if (readings.empty()) return;
+  const std::uint64_t sequence = ++ingest_seq_;
+  std::map<std::uint32_t, std::vector<sim::RssiReading>> parts;
+  for (const sim::RssiReading& reading : readings) {
+    if (is_reference(reading.tag)) {
+      for (const auto& [id, shard] : shards_) parts[id].push_back(reading);
+    } else {
+      parts[owner_of(reading.tag)].push_back(reading);
+    }
+  }
+  for (auto& [id, sub] : parts) {
+    ManagedShard& shard = shards_.at(id);
+    OpEntry entry;
+    entry.kind = OpEntry::Kind::kBatch;
+    entry.sequence = sequence;
+    entry.readings = sub;
+    push_oplog(shard, std::move(entry));
+    if (shard.state != ShardState::kUp || shard.client == nullptr) {
+      continue;  // journaled; delivered by replay() at the next revival
+    }
+    try {
+      shard.client->stream_sequenced(sequence, sub);
+    } catch (const TransportError&) {
+      // No inline restart on the ingest path: the op-log covers the batch,
+      // and the next poll/tick revives the shard.
+      handle_death(shard, DeathCause::kSocket);
+    }
+  }
+}
+
+std::vector<engine::Fix> Supervisor::poll(sim::SimTime now) {
+  std::lock_guard lock(mutex_);
+  const obs::ScopedTimer timer(poll_seconds_);
+  polls_total_->inc();
+  std::vector<engine::Fix> merged;
+  for (auto& [id, shard] : shards_) {
+    auto fixes =
+        with_shard(shard, [now](ServiceClient& c) { return c.poll(now); });
+    if (fixes.has_value()) {
+      for (const engine::Fix& fix : *fixes) latest_[fix.tag] = fix;
+      merged.insert(merged.end(), fixes->begin(), fixes->end());
+      continue;
+    }
+    // Shard unreachable (breaker open / revival failed): journal the missed
+    // poll so revival replays it, and answer its tags from last-known fixes.
+    OpEntry entry;
+    entry.kind = OpEntry::Kind::kPoll;
+    entry.time = now;
+    push_oplog(shard, std::move(entry));
+    for (const auto& [tag, info] : tags_) {
+      if (owner_of(tag) != id) continue;
+      const auto it = latest_.find(tag);
+      if (it == latest_.end()) continue;  // never fixed: nothing to hold
+      engine::Fix held = it->second;
+      held.age_s += now - held.time;
+      held.time = now;
+      held.valid = false;
+      held.quality = engine::FixQuality::kHold;
+      latest_[tag] = held;
+      merged.push_back(held);
+      held_fixes_->inc();
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const engine::Fix& a, const engine::Fix& b) {
+              return a.tag < b.tag;
+            });
+  return merged;
+}
+
+std::optional<engine::Fix> Supervisor::latest_fix(sim::TagId tag) const {
+  std::lock_guard lock(mutex_);
+  const auto it = latest_.find(tag);
+  if (it == latest_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Supervisor::explain_json(sim::TagId tag) {
+  std::lock_guard lock(mutex_);
+  const auto it = shards_.find(owner_of(tag));
+  if (it == shards_.end()) return std::nullopt;
+  auto result = with_shard(
+      it->second, [tag](ServiceClient& c) { return c.explain(tag); });
+  if (!result.has_value()) return std::nullopt;
+  return *result;
+}
+
+std::string Supervisor::snapshot_prometheus() const {
+  // Scraping mutates connection/supervision state; serialized by mutex_.
+  auto* self = const_cast<Supervisor*>(this);
+  std::lock_guard lock(self->mutex_);
+  std::string out = obs::to_prometheus(metrics_);
+  for (auto& [id, shard] : self->shards_) {
+    if (shard.state != ShardState::kUp || shard.client == nullptr) continue;
+    try {
+      out += obs::relabel_prometheus(
+          shard.client->snapshot_prometheus(),
+          obs::label_pair("process", "shard-" + std::to_string(id)));
+    } catch (const TransportError&) {
+      self->handle_death(shard, DeathCause::kSocket);
+    } catch (const std::exception&) {
+      // kError response: skip this shard's scrape, keep the rest.
+    }
+  }
+  return out;
+}
+
+std::string Supervisor::snapshot_json() const {
+  // Supervisor-level registry only; per-shard JSON is reachable through the
+  // shard sockets directly (the Prometheus merge is the cross-fleet view).
+  std::lock_guard lock(mutex_);
+  return obs::to_json(metrics_);
+}
+
+void Supervisor::set_reference_ids(std::vector<sim::TagId> ids) {
+  std::lock_guard lock(mutex_);
+  reference_ids_ = std::move(ids);
+  for (auto& [id, shard] : shards_) {
+    if (shard.state != ShardState::kUp || shard.client == nullptr) {
+      continue;  // re-applied during bring_up()
+    }
+    try {
+      shard.client->set_reference_ids(reference_ids_);
+    } catch (const TransportError&) {
+      handle_death(shard, DeathCause::kSocket);
+    }
+  }
+}
+
+void Supervisor::track(sim::TagId tag, std::string name,
+                       std::optional<std::uint32_t> zone) {
+  std::lock_guard lock(mutex_);
+  TrackedTag& info = tags_[tag];
+  info.name = std::move(name);
+  info.zone = zone;
+  ManagedShard& shard = shards_.at(owner_of(tag));
+  if (shard.state != ShardState::kUp || shard.client == nullptr) return;
+  try {
+    shard.client->track(TrackRequest{tag, info.name, info.zone});
+  } catch (const TransportError&) {
+    handle_death(shard, DeathCause::kSocket);
+  }
+}
+
+HeartbeatInfo Supervisor::heartbeat() {
+  std::lock_guard lock(mutex_);
+  HeartbeatInfo info;
+  info.wal_next_sequence = ingest_seq_ + 1;
+  std::uint64_t min_ack = std::numeric_limits<std::uint64_t>::max();
+  bool any = false;
+  for (const auto& [id, shard] : shards_) {
+    any = true;
+    min_ack = std::min(min_ack, shard.last_ack);
+  }
+  info.last_ack_sequence = any ? min_ack : 0;
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+ShardState Supervisor::shard_state(std::uint32_t shard) const {
+  std::lock_guard lock(mutex_);
+  return shards_.at(shard).state;
+}
+
+pid_t Supervisor::shard_pid(std::uint32_t shard) const {
+  std::lock_guard lock(mutex_);
+  return shards_.at(shard).pid;
+}
+
+std::uint64_t Supervisor::restarts() const noexcept {
+  return restarts_total_->value();
+}
+
+std::size_t Supervisor::shard_count() const {
+  std::lock_guard lock(mutex_);
+  return shards_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+std::uint32_t Supervisor::owner_of(sim::TagId tag) const {
+  const auto it = tags_.find(tag);
+  return router_.route(tag,
+                       it != tags_.end() ? it->second.zone : std::nullopt);
+}
+
+bool Supervisor::is_reference(sim::TagId tag) const {
+  return std::find(reference_ids_.begin(), reference_ids_.end(), tag) !=
+         reference_ids_.end();
+}
+
+// ---------------------------------------------------------------------------
+// Process lifecycle
+
+void Supervisor::spawn(ManagedShard& shard) {
+  std::error_code ec;
+  std::filesystem::create_directories(shard.data_dir, ec);
+  std::vector<std::string> args = {
+      config_.shardd_binary.string(),
+      "--socket", shard.socket.string(),
+      "--data-dir", shard.data_dir.string(),
+      "--shard-id", std::to_string(shard.id),
+      "--workers", std::to_string(config_.engine_workers),
+      "--window", obs::format_double(config_.middleware_window_s),
+      "--checkpoint-every", std::to_string(config_.checkpoint_every_updates),
+  };
+  args.insert(args.end(), config_.shardd_extra_args.begin(),
+              config_.shardd_extra_args.end());
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    shard.pid = -1;
+    return;
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec.
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  shard.pid = pid;
+  tracer_.instant("supervisor.spawn", "{\"shard\":" + std::to_string(shard.id) +
+                                          ",\"pid\":" + std::to_string(pid) +
+                                          "}");
+}
+
+void Supervisor::kill_child(ManagedShard& shard, int signal) noexcept {
+  if (shard.pid <= 0) return;
+  ::kill(shard.pid, signal);
+  int status = 0;
+  ::waitpid(shard.pid, &status, 0);
+  shard.pid = -1;
+}
+
+bool Supervisor::bring_up(ManagedShard& shard) {
+  const obs::TraceSpan span(&tracer_, "supervisor.bring_up",
+                            shard_json(shard.id));
+  shard.client.reset();
+  kill_child(shard, SIGKILL);  // no-op when already reaped
+  spawn(shard);
+  if (shard.pid < 0) return false;
+
+  const double deadline = clock_->now() + config_.spawn_wait_s;
+  for (;;) {
+    int status = 0;
+    const pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
+    if (reaped == shard.pid || (reaped == -1 && errno == ECHILD)) {
+      shard.pid = -1;  // died before serving (e.g. --abort-on-start)
+      return false;
+    }
+    try {
+      ClientConfig cc;
+      cc.read_timeout_s = config_.request_timeout_s;
+      cc.peer_name = "supervisor";
+      shard.client = std::make_unique<ServiceClient>(shard.socket, cc);
+      break;
+    } catch (const TransportError&) {
+      if (clock_->now() >= deadline) {
+        kill_child(shard, SIGKILL);
+        return false;
+      }
+      clock_->sleep_for(config_.connect_retry_s);
+    }
+  }
+
+  try {
+    // Registration before recovery: the shard needs its reference grid and
+    // tracked tags in place before the WAL replays through normal ingest.
+    if (!reference_ids_.empty()) {
+      shard.client->set_reference_ids(reference_ids_);
+    }
+    for (const auto& [tag, info] : tags_) {
+      if (owner_of(tag) != shard.id) continue;
+      shard.client->track(TrackRequest{tag, info.name, info.zone});
+    }
+    shard.last_ack = shard.client->recover_now();
+    replay(shard);
+  } catch (const std::exception&) {
+    shard.client.reset();
+    kill_child(shard, SIGKILL);
+    return false;
+  }
+  return true;
+}
+
+void Supervisor::replay(ManagedShard& shard) {
+  const obs::TraceSpan span(&tracer_, "supervisor.replay",
+                            shard_json(shard.id));
+  for (auto it = shard.oplog.begin(); it != shard.oplog.end();) {
+    if (it->kind == OpEntry::Kind::kBatch) {
+      if (it->sequence > shard.last_ack) {
+        shard.client->stream_sequenced(it->sequence, it->readings);
+        replayed_batches_->inc();
+        replayed_readings_->inc(it->readings.size());
+      }
+      ++it;  // trimmed below once the shard acks it durably
+    } else {
+      // A poll the shard never saw: execute it now so the shard's engine
+      // state advances through the same update sequence as the original
+      // timeline (its WAL gate substitutes any updates it already journaled).
+      const std::vector<engine::Fix> fixes = shard.client->poll(it->time);
+      for (const engine::Fix& fix : fixes) latest_[fix.tag] = fix;
+      replayed_polls_->inc();
+      it = shard.oplog.erase(it);
+    }
+  }
+  // Heartbeat forces the shard to drain its queue and journal the replayed
+  // suffix before we declare it up; the ack lets us trim the op-log.
+  const HeartbeatAck ack = shard.client->heartbeat(++shard.heartbeat_seq);
+  shard.last_ack = ack.last_ack_sequence;
+  trim_oplog(shard);
+}
+
+void Supervisor::push_oplog(ManagedShard& shard, OpEntry entry) {
+  if (shard.oplog.size() >= config_.oplog_capacity) {
+    shard.oplog.pop_front();
+    oplog_dropped_->inc();
+  }
+  shard.oplog.push_back(std::move(entry));
+}
+
+void Supervisor::trim_oplog(ManagedShard& shard) {
+  const std::uint64_t ack = shard.last_ack;
+  shard.oplog.erase(
+      std::remove_if(shard.oplog.begin(), shard.oplog.end(),
+                     [ack](const OpEntry& e) {
+                       return e.kind == OpEntry::Kind::kBatch &&
+                              e.sequence <= ack;
+                     }),
+      shard.oplog.end());
+}
+
+void Supervisor::handle_death(ManagedShard& shard, DeathCause cause) {
+  deaths_total_[static_cast<std::size_t>(cause)]->inc();
+  tracer_.instant("supervisor.shard_death",
+                  "{\"shard\":" + std::to_string(shard.id) + ",\"cause\":\"" +
+                      std::string(to_string(cause)) + "\"}",
+                  'g');
+  shard.client.reset();
+  kill_child(shard, SIGKILL);  // a wedged-but-alive child must not linger
+  const double now = clock_->now();
+  shard.death_times.push_back(now);
+  while (!shard.death_times.empty() &&
+         shard.death_times.front() + config_.breaker_window_s < now) {
+    shard.death_times.pop_front();
+  }
+  if (static_cast<int>(shard.death_times.size()) >=
+      config_.breaker_max_deaths) {
+    shard.state = ShardState::kDown;
+    shard.breaker_open_until = now + config_.breaker_cooldown_s;
+    breaker_open_total_->inc();
+    tracer_.instant("supervisor.breaker_open", shard_json(shard.id), 'g');
+  } else {
+    shard.state = ShardState::kBackoff;
+    shard.next_restart_time = now + backoff_delay(shard);
+    ++shard.restart_count;
+  }
+  refresh_state_metrics();
+}
+
+bool Supervisor::try_revive(ManagedShard& shard) {
+  if (shard.state == ShardState::kUp) return true;
+  if (shard.state == ShardState::kDown) {
+    if (clock_->now() < shard.breaker_open_until) return false;
+    if (bring_up(shard)) {
+      shard.death_times.clear();
+      shard.restart_count = 0;
+      mark_up(shard);
+      return true;
+    }
+    shard.breaker_open_until = clock_->now() + config_.breaker_cooldown_s;
+    refresh_state_metrics();
+    return false;
+  }
+  // kStarting / kBackoff: wait out the scheduled backoff, then restart.
+  const double wait = shard.next_restart_time - clock_->now();
+  if (wait > 0.0) clock_->sleep_for(wait);
+  if (bring_up(shard)) {
+    mark_up(shard);
+    return true;
+  }
+  handle_death(shard, DeathCause::kWaitpid);
+  return false;
+}
+
+void Supervisor::mark_up(ManagedShard& shard) {
+  shard.state = ShardState::kUp;
+  const double now = clock_->now();
+  shard.up_since = now;
+  shard.last_heartbeat_ok = now;
+  if (started_) restarts_total_->inc();
+  tracer_.instant("supervisor.shard_up", shard_json(shard.id), 'g');
+  refresh_state_metrics();
+}
+
+double Supervisor::backoff_delay(const ManagedShard& shard) const {
+  double delay = config_.restart_backoff_initial_s;
+  for (int i = 0; i < shard.restart_count; ++i) {
+    delay = std::min(delay * config_.restart_backoff_multiplier,
+                     config_.restart_backoff_max_s);
+  }
+  // Deterministic jitter: same (seed, shard, restart#) -> same delay, so
+  // drills and the restart-storm test are reproducible.
+  std::uint64_t state = config_.seed ^
+                        (static_cast<std::uint64_t>(shard.id) << 32) ^
+                        (static_cast<std::uint64_t>(shard.restart_count) +
+                         0x9e3779b97f4a7c15ULL);
+  const double unit =
+      static_cast<double>(support::splitmix64(state) >> 11) * 0x1.0p-53;
+  return delay * (1.0 + config_.restart_jitter_frac * (2.0 * unit - 1.0));
+}
+
+void Supervisor::heartbeat_shard(ManagedShard& shard) {
+  try {
+    const HeartbeatAck ack = shard.client->heartbeat(++shard.heartbeat_seq);
+    heartbeats_total_->inc();
+    shard.last_ack = ack.last_ack_sequence;
+    trim_oplog(shard);
+    shard.last_heartbeat_ok = clock_->now();
+    if (clock_->now() - shard.up_since >= config_.backoff_reset_after_s) {
+      shard.restart_count = 0;  // stable for a while: forgive old crashes
+    }
+  } catch (const TimeoutError&) {
+    handle_death(shard, DeathCause::kHeartbeatTimeout);
+  } catch (const TransportError&) {
+    handle_death(shard, DeathCause::kSocket);
+  } catch (const std::exception&) {
+    // kError response: the shard is alive but refused the probe; the
+    // staleness detector in tick() escalates if this persists.
+  }
+}
+
+void Supervisor::refresh_state_metrics() {
+  std::size_t counts[4] = {};
+  for (const auto& [id, shard] : shards_) {
+    counts[static_cast<std::size_t>(shard.state)]++;
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    state_gauges_[i]->set(static_cast<double>(counts[i]));
+  }
+}
+
+template <typename Fn>
+auto Supervisor::with_shard(ManagedShard& shard, Fn fn)
+    -> std::optional<decltype(fn(std::declval<ServiceClient&>()))> {
+  for (int attempt = 0; attempt <= config_.request_retries; ++attempt) {
+    if (!try_revive(shard)) return std::nullopt;
+    try {
+      return fn(*shard.client);
+    } catch (const TransportError&) {
+      handle_death(shard, DeathCause::kSocket);
+    }
+    // Non-transport errors (kError responses) propagate to the caller:
+    // retrying a request the shard rejected would not change the answer.
+  }
+  return std::nullopt;
+}
+
+}  // namespace vire::service

@@ -1,0 +1,288 @@
+#pragma once
+// Supervisor: self-healing multi-process deployment of the sharded
+// localization service (docs/service.md, "Multi-process deployment").
+//
+// The supervisor owns the ShardRouter and spawns one shard *process* per
+// shard (vire_shardd — a thin main over a single-engine ShardedService),
+// each serving the wire protocol on its own Unix socket and journaling to
+// its own WAL/checkpoint directory. The supervisor itself implements
+// Frontend, so vire_supervisord fronts the whole fleet through the same
+// ServiceServer that fronts a single shard.
+//
+// Failure detection — three independent ways:
+//   * heartbeat: kHeartbeat probes on an interval; a probe that times out
+//     or a shard with no successful ack within heartbeat_timeout_s is dead;
+//   * socket: any request hitting EOF/ECONNRESET/EPIPE (TransportError);
+//   * waitpid: the child is reaped (exit or signal) before it was asked to.
+//
+// Restart policy: exponential backoff with deterministic jitter between
+// restarts; a crash-loop circuit breaker marks the shard DOWN after
+// breaker_max_deaths deaths inside breaker_window_s, re-probing it
+// (half-open) every breaker_cooldown_s. While a shard is unreachable its
+// tags are answered from last-known fixes with FixQuality::kHold — graceful
+// degradation, never a stall.
+//
+// Durability + bit-identity: every ingest batch gets a sequence and is held
+// in a per-shard op-log until the shard's heartbeat reports the batch
+// durably journaled (WAL kAck marker, persist/wal.h). On restart the shard
+// runs its normal checkpoint+WAL recovery, reports the last acked batch,
+// and the supervisor replays exactly the un-acked suffix — plus any polls
+// that could not be delivered while the shard was dead — in original order.
+// Combined with the shard's own resume gate this keeps the merged poll
+// stream fix-for-fix bit-identical to an uninterrupted single-engine run
+// (tests/service/supervisor_chaos_test.cpp).
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/localization_engine.h"
+#include "env/deployment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/client.h"
+#include "service/frontend.h"
+#include "service/shard_router.h"
+#include "sim/types.h"
+
+namespace vire::service {
+
+/// Time source seam. Production uses SteadyClock; the restart-storm test
+/// injects a fake clock so backoff/breaker windows elapse instantly.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic seconds.
+  virtual double now() = 0;
+  virtual void sleep_for(double seconds) = 0;
+};
+
+class SteadyClock final : public Clock {
+ public:
+  double now() override;
+  void sleep_for(double seconds) override;
+};
+
+enum class ShardState : std::uint8_t {
+  kStarting = 0, ///< spawned, not yet connected/caught up
+  kUp = 1,       ///< serving
+  kBackoff = 2,  ///< dead, restart scheduled
+  kDown = 3,     ///< circuit breaker open; degraded answers only
+};
+[[nodiscard]] std::string_view to_string(ShardState state) noexcept;
+
+enum class DeathCause : std::uint8_t {
+  kHeartbeatTimeout = 0,
+  kSocket = 1,
+  kWaitpid = 2,
+};
+inline constexpr std::size_t kDeathCauseCount = 3;
+[[nodiscard]] std::string_view to_string(DeathCause cause) noexcept;
+
+struct SupervisorConfig {
+  int shards = 2;
+  /// Root for per-shard sockets (shard-<id>.sock) and data dirs (shard-<id>).
+  std::filesystem::path root_dir;
+  /// Path to the vire_shardd binary.
+  std::filesystem::path shardd_binary;
+  /// Extra argv appended to every shard spawn (test seam: --abort-on-start).
+  std::vector<std::string> shardd_extra_args;
+
+  // Forwarded to each shard process.
+  int engine_workers = 1;
+  double middleware_window_s = 10.0;
+  int checkpoint_every_updates = 8;
+
+  ShardRouterConfig router;
+
+  /// Per-request read deadline on the supervisor->shard connection.
+  double request_timeout_s = 10.0;
+  /// Extra attempts a forwarded request gets after a transport failure
+  /// (each attempt revives the shard first when possible).
+  int request_retries = 2;
+
+  double heartbeat_interval_s = 0.5;
+  /// A shard with no successful heartbeat ack for this long is declared
+  /// dead even if no request has failed yet.
+  double heartbeat_timeout_s = 5.0;
+
+  double restart_backoff_initial_s = 0.05;
+  double restart_backoff_max_s = 2.0;
+  double restart_backoff_multiplier = 2.0;
+  /// Jitter fraction applied to each backoff delay (deterministic, derived
+  /// from `seed`, shard id and restart count via splitmix64).
+  double restart_jitter_frac = 0.1;
+  /// A shard continuously up this long gets its backoff counter reset.
+  double backoff_reset_after_s = 10.0;
+
+  /// Breaker: this many deaths inside breaker_window_s opens the circuit.
+  int breaker_max_deaths = 5;
+  double breaker_window_s = 10.0;
+  /// How long the breaker stays open before a half-open restart probe.
+  double breaker_cooldown_s = 5.0;
+
+  /// Budget for a spawned shard to bind its socket and accept the first
+  /// connection.
+  double spawn_wait_s = 10.0;
+  /// Delay between connect attempts while waiting for a spawn.
+  double connect_retry_s = 0.02;
+
+  std::uint64_t seed = 0;
+  /// Per-shard op-log bound (entries). Overflow drops the oldest entry and
+  /// counts vire_supervisor_oplog_dropped_total — a dropped entry can no
+  /// longer be replayed, so size this above the worst-case un-acked window.
+  std::size_t oplog_capacity = 4096;
+};
+
+class Supervisor : public Frontend {
+ public:
+  /// `clock` may be null (a built-in SteadyClock is used); when provided it
+  /// must outlive the supervisor.
+  Supervisor(const env::Deployment& deployment, SupervisorConfig config,
+             Clock* clock = nullptr);
+  ~Supervisor() override;
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawns every shard process and brings it up. A shard that fails to
+  /// come up is left in backoff (or breaker-open) — start() itself never
+  /// throws for a crashing shard; tick() keeps retrying it.
+  void start();
+  /// SIGTERMs every child (SIGKILL after a grace period) and reaps it.
+  /// Idempotent.
+  void stop();
+
+  /// Drives supervision: reaps dead children, sends due heartbeats, trims
+  /// acked op-log entries, executes scheduled restarts and breaker probes.
+  /// Call periodically (vire_supervisord ticks every heartbeat_interval_s/2);
+  /// safe to call concurrently with the server thread's Frontend calls.
+  void tick();
+
+  // Frontend. ingest() assigns each batch an internal sequence and journals
+  // it in the owning shards' op-logs until durably acked. poll() forwards to
+  // every shard (reviving dead ones inline when the breaker allows) and
+  // degrades a DOWN shard's tags to FixQuality::kHold answers.
+  void ingest(const std::vector<sim::RssiReading>& readings) override;
+  std::vector<engine::Fix> poll(sim::SimTime now) override;
+  [[nodiscard]] std::optional<engine::Fix> latest_fix(
+      sim::TagId tag) const override;
+  std::optional<std::string> explain_json(sim::TagId tag) override;
+  std::string snapshot_prometheus() const override;
+  std::string snapshot_json() const override;
+  void set_reference_ids(std::vector<sim::TagId> ids) override;
+  void track(sim::TagId tag, std::string name,
+             std::optional<std::uint32_t> zone) override;
+  /// Fleet durability cursor: next batch sequence + the lowest batch
+  /// sequence every shard has durably journaled.
+  HeartbeatInfo heartbeat() override;
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept override {
+    return metrics_;
+  }
+
+  // Introspection (tests, drills).
+  [[nodiscard]] ShardState shard_state(std::uint32_t shard) const;
+  [[nodiscard]] pid_t shard_pid(std::uint32_t shard) const;
+  [[nodiscard]] std::uint64_t restarts() const noexcept;
+  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] const ShardRouter& router() const noexcept { return router_; }
+  [[nodiscard]] const SupervisorConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+
+ private:
+  struct OpEntry {
+    enum class Kind : std::uint8_t { kBatch, kPoll };
+    Kind kind = Kind::kBatch;
+    std::uint64_t sequence = 0;               ///< kBatch
+    std::vector<sim::RssiReading> readings;   ///< kBatch
+    sim::SimTime time = 0.0;                  ///< kPoll (missed while dead)
+  };
+
+  struct ManagedShard {
+    std::uint32_t id = 0;
+    std::filesystem::path socket;
+    std::filesystem::path data_dir;
+    pid_t pid = -1;
+    std::unique_ptr<ServiceClient> client;
+    ShardState state = ShardState::kStarting;
+    int restart_count = 0;        ///< consecutive failed/backed-off restarts
+    double next_restart_time = 0.0;
+    double last_heartbeat_ok = 0.0;
+    double up_since = 0.0;
+    std::uint64_t heartbeat_seq = 0;
+    std::uint64_t last_ack = 0;   ///< durably journaled batch cursor
+    std::deque<double> death_times;
+    double breaker_open_until = 0.0;
+    /// Un-acked batches + undelivered polls, in original order.
+    std::deque<OpEntry> oplog;
+  };
+
+  [[nodiscard]] std::uint32_t owner_of(sim::TagId tag) const;
+  [[nodiscard]] bool is_reference(sim::TagId tag) const;
+
+  void spawn(ManagedShard& shard);
+  void kill_child(ManagedShard& shard, int signal) noexcept;
+  /// Spawn + connect + handshake + re-register + recover + replay. Returns
+  /// false (child killed/reaped) on any failure.
+  bool bring_up(ManagedShard& shard);
+  void replay(ManagedShard& shard);
+  void push_oplog(ManagedShard& shard, OpEntry entry);
+  void trim_oplog(ManagedShard& shard);
+  void handle_death(ManagedShard& shard, DeathCause cause);
+  /// Restart a non-UP shard if policy allows (waits out a pending backoff;
+  /// respects an open breaker). Returns true when the shard is UP again.
+  bool try_revive(ManagedShard& shard);
+  void mark_up(ManagedShard& shard);
+  [[nodiscard]] double backoff_delay(const ManagedShard& shard) const;
+  void heartbeat_shard(ManagedShard& shard);
+  void refresh_state_metrics();
+
+  template <typename Fn>
+  auto with_shard(ManagedShard& shard, Fn fn)
+      -> std::optional<decltype(fn(std::declval<ServiceClient&>()))>;
+
+  env::Deployment deployment_;
+  SupervisorConfig config_;
+  SteadyClock steady_clock_;
+  Clock* clock_;
+  ShardRouter router_;
+  mutable std::mutex mutex_;  ///< serializes server thread vs tick loop
+  std::map<std::uint32_t, ManagedShard> shards_;  ///< id order
+  std::vector<sim::TagId> reference_ids_;
+  struct TrackedTag {
+    std::string name;
+    std::optional<std::uint32_t> zone;
+  };
+  std::map<sim::TagId, TrackedTag> tags_;
+  std::map<sim::TagId, engine::Fix> latest_;
+  std::uint64_t ingest_seq_ = 0;
+  bool started_ = false;
+
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+  obs::Counter* restarts_total_ = nullptr;
+  obs::Counter* deaths_total_[kDeathCauseCount] = {};
+  obs::Counter* breaker_open_total_ = nullptr;
+  obs::Counter* replayed_batches_ = nullptr;
+  obs::Counter* replayed_readings_ = nullptr;
+  obs::Counter* replayed_polls_ = nullptr;
+  obs::Counter* held_fixes_ = nullptr;
+  obs::Counter* heartbeats_total_ = nullptr;
+  obs::Counter* oplog_dropped_ = nullptr;
+  obs::Counter* polls_total_ = nullptr;
+  obs::Gauge* state_gauges_[4] = {};
+  obs::Histogram* poll_seconds_ = nullptr;
+};
+
+}  // namespace vire::service

@@ -19,10 +19,19 @@ bool known_type(std::uint8_t t) noexcept {
     case MsgType::kLatestFix:
     case MsgType::kExplain:
     case MsgType::kSnapshot:
+    case MsgType::kHello:
+    case MsgType::kHeartbeat:
+    case MsgType::kIngestSeq:
+    case MsgType::kTrack:
+    case MsgType::kSetReference:
+    case MsgType::kRecover:
     case MsgType::kFixBatch:
     case MsgType::kFixReply:
     case MsgType::kText:
     case MsgType::kError:
+    case MsgType::kHelloAck:
+    case MsgType::kHeartbeatAck:
+    case MsgType::kOk:
       return true;
   }
   return false;
@@ -90,6 +99,7 @@ std::string_view to_string(RejectReason reason) noexcept {
     case RejectReason::kBadType: return "bad_type";
     case RejectReason::kTruncated: return "truncated";
     case RejectReason::kMalformed: return "malformed";
+    case RejectReason::kVersionMismatch: return "version_mismatch";
   }
   return "unknown";
 }
@@ -292,6 +302,128 @@ std::optional<std::optional<engine::Fix>> decode_fix_reply(std::string_view payl
   auto fix = decode_fix(r);
   if (!fix.has_value() || !r.exhausted()) return std::nullopt;
   return std::optional<engine::Fix>(std::move(*fix));
+}
+
+std::string encode_hello(const Hello& hello) {
+  persist::ByteWriter w;
+  w.u32(hello.version);
+  w.str(hello.peer_name);
+  return w.take();
+}
+
+std::optional<Hello> decode_hello(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto version = r.u32();
+  auto name = r.str();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  Hello hello;
+  hello.version = *version;
+  hello.peer_name = std::move(*name);
+  return hello;
+}
+
+std::string encode_heartbeat_ack(const HeartbeatAck& ack) {
+  persist::ByteWriter w;
+  w.u64(ack.seq);
+  w.u64(ack.wal_next_sequence);
+  w.u64(ack.last_ack_sequence);
+  return w.take();
+}
+
+std::optional<HeartbeatAck> decode_heartbeat_ack(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto seq = r.u64();
+  const auto wal = r.u64();
+  const auto ack_seq = r.u64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  HeartbeatAck ack;
+  ack.seq = *seq;
+  ack.wal_next_sequence = *wal;
+  ack.last_ack_sequence = *ack_seq;
+  return ack;
+}
+
+std::string encode_ingest_seq(std::uint64_t sequence,
+                              const std::vector<sim::RssiReading>& readings) {
+  persist::ByteWriter w;
+  w.u64(sequence);
+  w.raw(encode_ingest(readings));
+  return w.take();
+}
+
+std::optional<SequencedBatch> decode_ingest_seq(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto sequence = r.u64();
+  if (!r.ok()) return std::nullopt;
+  auto readings = decode_ingest(payload.substr(sizeof(std::uint64_t)));
+  if (!readings.has_value()) return std::nullopt;
+  SequencedBatch batch;
+  batch.sequence = *sequence;
+  batch.readings = std::move(*readings);
+  return batch;
+}
+
+std::string encode_track(const TrackRequest& request) {
+  persist::ByteWriter w;
+  w.u32(request.tag);
+  w.str(request.name);
+  w.u8(request.zone.has_value() ? 1 : 0);
+  if (request.zone.has_value()) w.u32(*request.zone);
+  return w.take();
+}
+
+std::optional<TrackRequest> decode_track(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto tag = r.u32();
+  auto name = r.str();
+  const auto has_zone = r.u8();
+  if (!r.ok() || *has_zone > 1) return std::nullopt;
+  TrackRequest request;
+  request.tag = *tag;
+  request.name = std::move(*name);
+  if (*has_zone != 0) {
+    const auto zone = r.u32();
+    if (!r.ok()) return std::nullopt;
+    request.zone = *zone;
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return request;
+}
+
+std::string encode_reference_ids(const std::vector<sim::TagId>& ids) {
+  persist::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const auto id : ids) w.u32(id);
+  return w.take();
+}
+
+std::optional<std::vector<sim::TagId>> decode_reference_ids(
+    std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto count = r.u32();
+  if (!r.ok()) return std::nullopt;
+  if (static_cast<std::size_t>(*count) * 4 != r.remaining()) return std::nullopt;
+  std::vector<sim::TagId> ids;
+  ids.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto id = r.u32();
+    if (!r.ok()) return std::nullopt;
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+std::string encode_u64(std::uint64_t value) {
+  persist::ByteWriter w;
+  w.u64(value);
+  return w.take();
+}
+
+std::optional<std::uint64_t> decode_u64(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto value = r.u64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return *value;
 }
 
 }  // namespace vire::service

@@ -35,6 +35,12 @@ namespace vire::service {
 /// legitimate message, a big fix batch, stays far below it).
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
 
+/// Protocol version carried by the kHello handshake. Bump whenever a frame's
+/// payload layout changes incompatibly; peers with a different version are
+/// rejected fast with kVersionMismatch instead of limping through CRC
+/// resyncs. v2 added hello/heartbeat/sequenced-ingest/control frames.
+inline constexpr std::uint32_t kWireVersion = 2;
+
 enum class MsgType : std::uint8_t {
   // requests
   kIngest = 1,    ///< reading batch in; fire-and-forget (no response)
@@ -42,11 +48,20 @@ enum class MsgType : std::uint8_t {
   kLatestFix = 3, ///< latest cached fix of one tag; responds kFixReply
   kExplain = 4,   ///< flight-recorder provenance of one tag; kText or kError
   kSnapshot = 5,  ///< merged metrics snapshot; responds kText
+  kHello = 6,     ///< version handshake; kHelloAck, or kError + close on skew
+  kHeartbeat = 7, ///< liveness probe; responds kHeartbeatAck
+  kIngestSeq = 8, ///< sequenced reading batch; fire-and-forget, acked via WAL
+  kTrack = 9,     ///< register one tag (name + optional zone pin); kOk
+  kSetReference = 10, ///< declare the reference-tag id set; responds kOk
+  kRecover = 11,  ///< run checkpoint+WAL recovery now; kOk(u64 last_ack)
   // responses
   kFixBatch = 16,
   kFixReply = 17,
   kText = 18,
   kError = 19,
+  kHelloAck = 20,
+  kHeartbeatAck = 21,
+  kOk = 22,       ///< generic success, u64 detail payload
 };
 
 /// Payload format selector for kSnapshot.
@@ -64,8 +79,9 @@ enum class RejectReason : std::uint8_t {
   kBadType = 2,
   kTruncated = 3, ///< connection closed mid-frame
   kMalformed = 4, ///< frame ok, typed payload did not decode
+  kVersionMismatch = 5, ///< kHello carried a different kWireVersion
 };
-inline constexpr std::size_t kRejectReasonCount = 5;
+inline constexpr std::size_t kRejectReasonCount = 6;
 
 [[nodiscard]] std::string_view to_string(RejectReason reason) noexcept;
 
@@ -98,6 +114,10 @@ class FrameDecoder {
   /// Counts a kMalformed rejection — for the layer above, when a structurally
   /// valid frame's typed payload fails to decode.
   void note_malformed() { count(RejectReason::kMalformed); }
+
+  /// Counts a kVersionMismatch rejection — for the layer above, when a
+  /// kHello carried a different kWireVersion.
+  void note_version_mismatch() { count(RejectReason::kVersionMismatch); }
 
   [[nodiscard]] std::uint64_t rejected(RejectReason reason) const noexcept {
     return rejected_[static_cast<std::size_t>(reason)];
@@ -146,5 +166,54 @@ class FrameDecoder {
 /// Outer nullopt: malformed. Inner nullopt: "no fix for this tag".
 [[nodiscard]] std::optional<std::optional<engine::Fix>> decode_fix_reply(
     std::string_view payload);
+
+/// kHello / kHelloAck: u32 version | str peer_name.
+struct Hello {
+  std::uint32_t version = kWireVersion;
+  std::string peer_name;
+};
+[[nodiscard]] std::string encode_hello(const Hello& hello);
+[[nodiscard]] std::optional<Hello> decode_hello(std::string_view payload);
+
+/// kHeartbeat carries a u64 probe sequence (encode_u64); the ack echoes it
+/// plus the shard's durability cursor, so the supervisor learns which ingest
+/// batches survived a crash without replaying blind.
+struct HeartbeatAck {
+  std::uint64_t seq = 0;               ///< echoed probe sequence
+  std::uint64_t wal_next_sequence = 0; ///< shard WAL frontier
+  std::uint64_t last_ack_sequence = 0; ///< highest durably journaled batch
+};
+[[nodiscard]] std::string encode_heartbeat_ack(const HeartbeatAck& ack);
+[[nodiscard]] std::optional<HeartbeatAck> decode_heartbeat_ack(
+    std::string_view payload);
+
+/// kIngestSeq: u64 batch sequence | ingest payload. The sequence keys the
+/// sender's resend window; redelivery is idempotent downstream.
+struct SequencedBatch {
+  std::uint64_t sequence = 0;
+  std::vector<sim::RssiReading> readings;
+};
+[[nodiscard]] std::string encode_ingest_seq(
+    std::uint64_t sequence, const std::vector<sim::RssiReading>& readings);
+[[nodiscard]] std::optional<SequencedBatch> decode_ingest_seq(
+    std::string_view payload);
+
+/// kTrack: u32 tag | str name | u8 has_zone | [u32 zone].
+struct TrackRequest {
+  sim::TagId tag = 0;
+  std::string name;
+  std::optional<std::uint32_t> zone;
+};
+[[nodiscard]] std::string encode_track(const TrackRequest& request);
+[[nodiscard]] std::optional<TrackRequest> decode_track(std::string_view payload);
+
+/// kSetReference: u32 count | u32 tag*.
+[[nodiscard]] std::string encode_reference_ids(const std::vector<sim::TagId>& ids);
+[[nodiscard]] std::optional<std::vector<sim::TagId>> decode_reference_ids(
+    std::string_view payload);
+
+/// Bare u64 payload: kHeartbeat probe sequence and the kOk detail value.
+[[nodiscard]] std::string encode_u64(std::uint64_t value);
+[[nodiscard]] std::optional<std::uint64_t> decode_u64(std::string_view payload);
 
 }  // namespace vire::service

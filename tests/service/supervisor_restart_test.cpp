@@ -1,0 +1,202 @@
+// Restart-storm / circuit-breaker test (ISSUE 8 satellite): a shard binary
+// that aborts on startup must trip the crash-loop breaker within a bounded
+// number of supervision ticks — backoff delays growing, never a hot spin —
+// and once the fault clears, the half-open probe closes the breaker and the
+// shard serves again. Time is driven by a fake clock so backoff and cooldown
+// windows elapse instantly; a small real sleep inside sleep_for() lets the
+// real child processes make progress.
+//
+// Skipped on single-hardware-thread boxes (docs/robustness.md single-core
+// policy): the drill spawns real processes that starve behind the test.
+// VIRE_FORCE_DRILLS=1 overrides.
+
+#include <signal.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "env/deployment.h"
+#include "service/supervisor.h"
+
+namespace vire::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool drills_enabled() {
+  if (std::thread::hardware_concurrency() > 1) return true;
+  const char* force = std::getenv("VIRE_FORCE_DRILLS");
+  return force != nullptr && std::strcmp(force, "1") == 0;
+}
+
+#define SKIP_ON_SINGLE_CORE()                                                \
+  if (!drills_enabled()) {                                                   \
+    GTEST_SKIP() << "single hardware thread: spawned shard processes starve " \
+                    "behind the test (VIRE_FORCE_DRILLS=1 overrides)";       \
+  }
+
+/// Fake time for the supervisor; sleep_for advances the fake clock AND
+/// yields ~2ms of real time so spawned children get scheduled.
+class FakeClock final : public Clock {
+ public:
+  double now() override { return now_; }
+  void sleep_for(double seconds) override {
+    if (seconds > 0.0) now_ += seconds;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  void advance(double seconds) { now_ += seconds; }
+
+ private:
+  double now_ = 1000.0;
+};
+
+fs::path write_flaky_shardd(const fs::path& dir, const fs::path& fault_file) {
+  const fs::path script = dir / "flaky_shardd.sh";
+  {
+    std::ofstream out(script);
+    out << "#!/bin/sh\n"
+        << "if [ -e '" << fault_file.string() << "' ]; then\n"
+        << "  exec '" << VIRE_SHARDD_PATH << "' \"$@\" --abort-on-start\n"
+        << "fi\n"
+        << "exec '" << VIRE_SHARDD_PATH << "' \"$@\"\n";
+  }
+  fs::permissions(script, fs::perms::owner_all | fs::perms::group_read |
+                              fs::perms::others_read);
+  return script;
+}
+
+TEST(SupervisorRestartTest, CrashLoopTripsBreakerThenRecovers) {
+  SKIP_ON_SINGLE_CORE();
+  const fs::path root = fs::temp_directory_path() / "vire_supervisor_storm";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const fs::path fault_file = root / "fault";
+  { std::ofstream out(fault_file); }  // faulted from the very first spawn
+
+  SupervisorConfig config;
+  config.shards = 1;
+  config.root_dir = root;
+  config.shardd_binary = write_flaky_shardd(root, fault_file);
+  config.restart_backoff_initial_s = 0.05;
+  config.restart_backoff_multiplier = 2.0;
+  config.restart_backoff_max_s = 1.0;
+  config.breaker_max_deaths = 3;
+  config.breaker_window_s = 60.0;
+  config.breaker_cooldown_s = 5.0;
+  config.spawn_wait_s = 30.0;
+  config.seed = 3;
+
+  FakeClock clock;
+  Supervisor supervisor(env::Deployment::paper_testbed(), config, &clock);
+  supervisor.start();  // first spawn aborts: death 1, never throws
+  EXPECT_EQ(supervisor.shard_state(0), ShardState::kBackoff);
+
+  // Budget: each tick advances 0.3s fake time; with backoff 0.05 -> 0.1 the
+  // three deaths land within a handful of ticks. 20 is generous headroom.
+  int ticks = 0;
+  while (supervisor.shard_state(0) != ShardState::kDown && ticks < 20) {
+    clock.advance(0.3);
+    supervisor.tick();
+    ++ticks;
+  }
+  ASSERT_EQ(supervisor.shard_state(0), ShardState::kDown)
+      << "breaker must trip within the tick budget";
+  EXPECT_LE(ticks, 20);
+
+  const auto* deaths = supervisor.metrics().find_counter(
+      "vire_supervisor_deaths_total", "cause=\"waitpid\"");
+  ASSERT_NE(deaths, nullptr);
+  EXPECT_EQ(deaths->value(), 3u) << "breaker_max_deaths deaths, then DOWN";
+  const auto* breaker = supervisor.metrics().find_counter(
+      "vire_supervisor_breaker_open_total");
+  ASSERT_NE(breaker, nullptr);
+  EXPECT_EQ(breaker->value(), 1u);
+  EXPECT_EQ(supervisor.restarts(), 0u);
+
+  // While the breaker is open, ticks must NOT spawn: deaths stay frozen.
+  clock.advance(1.0);
+  supervisor.tick();
+  EXPECT_EQ(deaths->value(), 3u) << "open breaker must not respawn";
+  EXPECT_EQ(supervisor.shard_state(0), ShardState::kDown);
+
+  // Cooldown elapses with the fault still present: the half-open probe
+  // fails and re-opens the breaker without counting toward a new trip.
+  clock.advance(config.breaker_cooldown_s + 0.1);
+  supervisor.tick();
+  EXPECT_EQ(supervisor.shard_state(0), ShardState::kDown);
+  EXPECT_EQ(breaker->value(), 1u);
+
+  // Fault cleared: the next probe closes the breaker and the shard serves.
+  fs::remove(fault_file);
+  clock.advance(config.breaker_cooldown_s + 0.1);
+  supervisor.tick();
+  ASSERT_EQ(supervisor.shard_state(0), ShardState::kUp);
+  EXPECT_EQ(supervisor.restarts(), 1u);
+  EXPECT_GT(supervisor.shard_pid(0), 0);
+
+  // State gauges track the transition.
+  const auto* up_gauge = supervisor.metrics().find_gauge(
+      "vire_supervisor_shard_state", "state=\"up\"");
+  ASSERT_NE(up_gauge, nullptr);
+  EXPECT_EQ(up_gauge->value(), 1.0);
+
+  supervisor.stop();
+  fs::remove_all(root);
+}
+
+TEST(SupervisorRestartTest, WaitpidDetectsSilentDeathOnTick) {
+  SKIP_ON_SINGLE_CORE();
+  const fs::path root = fs::temp_directory_path() / "vire_supervisor_waitpid";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  SupervisorConfig config;
+  config.shards = 1;
+  config.root_dir = root;
+  config.shardd_binary = VIRE_SHARDD_PATH;
+  config.restart_backoff_initial_s = 0.01;
+  config.spawn_wait_s = 60.0;
+  // Disable the heartbeat detectors: this test pins down that waitpid alone
+  // notices a silent death (heartbeats racing the reap would relabel it).
+  config.heartbeat_interval_s = 1e6;
+  config.heartbeat_timeout_s = 1e9;
+  FakeClock clock;
+  Supervisor supervisor(env::Deployment::paper_testbed(), config, &clock);
+  supervisor.start();
+  ASSERT_EQ(supervisor.shard_state(0), ShardState::kUp);
+  const pid_t first = supervisor.shard_pid(0);
+  ASSERT_GT(first, 0);
+
+  // Kill the child without touching its socket from our side: the reap in
+  // tick() must notice before any request does.
+  ASSERT_EQ(::kill(first, SIGKILL), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (supervisor.shard_state(0) != ShardState::kUp ||
+         supervisor.shard_pid(0) == first) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    clock.advance(0.3);
+    supervisor.tick();
+  }
+  EXPECT_NE(supervisor.shard_pid(0), first);
+  const auto* deaths = supervisor.metrics().find_counter(
+      "vire_supervisor_deaths_total", "cause=\"waitpid\"");
+  ASSERT_NE(deaths, nullptr);
+  EXPECT_GE(deaths->value(), 1u);
+  EXPECT_GE(supervisor.restarts(), 1u);
+
+  supervisor.stop();
+  EXPECT_LE(supervisor.shard_pid(0), 0) << "stop() reaps the child";
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace vire::service

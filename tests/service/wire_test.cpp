@@ -289,5 +289,128 @@ TEST(WireTest, RejectionsExportPerReasonMetricSeries) {
       << prom;
 }
 
+// ---- wire v2 frames (ISSUE 8): handshake, heartbeat, sequenced ingest,
+// ---- control-plane codecs.
+
+TEST(WireTest, HelloRoundTripCarriesVersionAndPeerName) {
+  Hello hello;
+  hello.version = kWireVersion;
+  hello.peer_name = "supervisor";
+  const auto decoded = decode_hello(encode_hello(hello));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->version, kWireVersion);
+  EXPECT_EQ(decoded->peer_name, "supervisor");
+
+  // A peer from the future round-trips too — rejection is the server's
+  // policy decision, not a codec failure.
+  Hello future;
+  future.version = kWireVersion + 7;
+  future.peer_name = "time-traveller";
+  const auto ahead = decode_hello(encode_hello(future));
+  ASSERT_TRUE(ahead.has_value());
+  EXPECT_EQ(ahead->version, kWireVersion + 7);
+  EXPECT_NE(ahead->version, kWireVersion) << "mismatch must be detectable";
+}
+
+TEST(WireTest, HeartbeatAckRoundTrip) {
+  HeartbeatAck ack;
+  ack.seq = 41;
+  ack.wal_next_sequence = 1234;
+  ack.last_ack_sequence = 1200;
+  const auto decoded = decode_heartbeat_ack(encode_heartbeat_ack(ack));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 41u);
+  EXPECT_EQ(decoded->wal_next_sequence, 1234u);
+  EXPECT_EQ(decoded->last_ack_sequence, 1200u);
+}
+
+TEST(WireTest, SequencedIngestRoundTripBitIdentical) {
+  const std::vector<sim::RssiReading> readings = {
+      reading(3.25, 11, 1, -64.125), reading(3.25, 12, 2, -71.5)};
+  const auto decoded = decode_ingest_seq(encode_ingest_seq(987, readings));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sequence, 987u);
+  ASSERT_EQ(decoded->readings.size(), readings.size());
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    EXPECT_EQ(decoded->readings[i].tag, readings[i].tag);
+    EXPECT_EQ(decoded->readings[i].reader, readings[i].reader);
+    EXPECT_EQ(decoded->readings[i].time, readings[i].time);
+    EXPECT_EQ(decoded->readings[i].rssi_dbm, readings[i].rssi_dbm);
+  }
+}
+
+TEST(WireTest, TrackRoundTripWithAndWithoutZone) {
+  TrackRequest pinned;
+  pinned.tag = 77;
+  pinned.name = "forklift";
+  pinned.zone = 3;
+  const auto with_zone = decode_track(encode_track(pinned));
+  ASSERT_TRUE(with_zone.has_value());
+  EXPECT_EQ(with_zone->tag, 77u);
+  EXPECT_EQ(with_zone->name, "forklift");
+  ASSERT_TRUE(with_zone->zone.has_value());
+  EXPECT_EQ(*with_zone->zone, 3u);
+
+  TrackRequest unpinned;
+  unpinned.tag = 78;
+  unpinned.name = "cart";
+  const auto without = decode_track(encode_track(unpinned));
+  ASSERT_TRUE(without.has_value());
+  EXPECT_EQ(without->tag, 78u);
+  EXPECT_FALSE(without->zone.has_value());
+}
+
+TEST(WireTest, ReferenceIdsAndU64RoundTrips) {
+  const std::vector<sim::TagId> ids = {1, 5, 9, 13};
+  const auto decoded = decode_reference_ids(encode_reference_ids(ids));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, ids);
+  EXPECT_EQ(decode_reference_ids(encode_reference_ids({})),
+            std::vector<sim::TagId>{});
+  EXPECT_EQ(decode_u64(encode_u64(0)), 0u);
+  EXPECT_EQ(decode_u64(encode_u64(0xDEADBEEFCAFEF00DULL)),
+            0xDEADBEEFCAFEF00DULL);
+}
+
+TEST(WireTest, V2TruncatedPayloadsDecodeToNullopt) {
+  Hello hello;
+  hello.peer_name = "client";
+  const std::string h = encode_hello(hello);
+  EXPECT_FALSE(decode_hello(h.substr(0, h.size() - 1)).has_value());
+  EXPECT_FALSE(decode_hello("").has_value());
+
+  HeartbeatAck ack;
+  const std::string a = encode_heartbeat_ack(ack);
+  EXPECT_FALSE(decode_heartbeat_ack(a.substr(0, a.size() - 1)).has_value());
+
+  const std::string s = encode_ingest_seq(5, {reading(1.0, 1, 0, -50.0)});
+  EXPECT_FALSE(decode_ingest_seq(s.substr(0, s.size() - 1)).has_value());
+  EXPECT_FALSE(decode_ingest_seq(s.substr(0, 4)).has_value());
+
+  TrackRequest track;
+  track.name = "x";
+  const std::string t = encode_track(track);
+  EXPECT_FALSE(decode_track(t.substr(0, t.size() - 1)).has_value());
+
+  // A count prefix promising more ids than the payload holds must not read
+  // out of bounds.
+  const std::string r = encode_reference_ids({1, 2, 3});
+  EXPECT_FALSE(decode_reference_ids(r.substr(0, r.size() - 2)).has_value());
+  EXPECT_FALSE(decode_u64("abc").has_value());
+}
+
+TEST(WireTest, VersionMismatchCountsItsOwnRejectionReason) {
+  obs::MetricsRegistry registry;
+  FrameDecoder decoder;
+  decoder.attach_metrics(registry);
+  decoder.note_version_mismatch();
+  EXPECT_EQ(decoder.rejected(RejectReason::kVersionMismatch), 1u);
+  const std::string prom = obs::to_prometheus(registry);
+  EXPECT_NE(prom.find("vire_service_rejected_frames_total"
+                      "{reason=\"version_mismatch\"} 1"),
+            std::string::npos)
+      << prom;
+}
+
 }  // namespace
 }  // namespace vire::service
