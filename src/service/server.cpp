@@ -100,6 +100,18 @@ void ServiceServer::stop() {
 
 void ServiceServer::send_frame(Connection& conn, MsgType type,
                                std::string_view payload) {
+  if (payload.size() > config_.max_payload ||
+      payload.size() > kMaxFramePayload) {
+    // Never hand the peer's decoder a frame it will reject: an oversized
+    // response (a merged snapshot, a huge fix batch) would poison the stream
+    // and a supervising client would read that as a shard death. Substitute
+    // a request-level error the peer can report instead.
+    conn.outbox += encode_frame(
+        MsgType::kError, "response too large: " +
+                             std::to_string(payload.size()) +
+                             " bytes exceeds the frame payload cap");
+    return;
+  }
   conn.outbox += encode_frame(type, payload);
 }
 
@@ -272,7 +284,7 @@ void ServiceServer::loop() {
     fds.push_back({listen_fd_, POLLIN, 0});
     fds.push_back({wake_fds_[0], POLLIN, 0});
     for (auto& conn : connections) {
-      short events = POLLIN;
+      short events = conn.draining ? 0 : POLLIN;
       if (!conn.outbox.empty()) events |= POLLOUT;
       fds.push_back({conn.fd, events, 0});
     }
@@ -298,6 +310,20 @@ void ServiceServer::loop() {
          it != connections.end() && idx < fds.size(); ++idx) {
       Connection& conn = *it;
       const short revents = fds[idx].revents;
+      if (conn.draining) {
+        // Write-only epilogue: the peer is owed queued reply bytes (version
+        // verdict, a response it requested before EOF). Close once drained,
+        // the deadline passes, or the send side dies.
+        flush_outbox(conn);
+        if (conn.outbox.empty() ||
+            std::chrono::steady_clock::now() >= conn.drain_deadline) {
+          ::close(conn.fd);
+          it = connections.erase(it);
+        } else {
+          ++it;
+        }
+        continue;
+      }
       bool closed = false;
       if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
         char buf[kReadChunk];
@@ -323,6 +349,18 @@ void ServiceServer::loop() {
       if (closed) {
         conn.decoder.finish();  // counts a buffered partial frame as truncated
         flush_outbox(conn);
+        if (!conn.outbox.empty()) {
+          // The reply did not fit the socket buffer (EAGAIN): keep the fd in
+          // the poll set under a short deadline instead of dropping the bytes
+          // the peer is still entitled to read.
+          conn.draining = true;
+          conn.drain_deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(config_.close_drain_timeout_s));
+          ++it;
+          continue;
+        }
         ::close(conn.fd);
         it = connections.erase(it);
       } else {

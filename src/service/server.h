@@ -22,9 +22,16 @@
 // the connection; a kHello with a different kWireVersion draws a
 // reason-labelled kError and the connection is closed after the reply.
 // A frontend method that throws is answered with kError — a handler
-// exception never kills the server. Hostile bytes never crash the server
-// or desync other connections (tests/service/service_server_test.cpp).
+// exception never kills the server. A response too large for one frame is
+// answered with kError instead of a frame the peer's decoder would reject
+// as hostile (and a supervising client would misread as a shard death).
+// A closing connection (version skew, peer EOF) keeps its fd in the poll
+// set until queued reply bytes drain or close_drain_timeout_s passes, so
+// the final kError/response is not dropped on EAGAIN. Hostile bytes never
+// crash the server or desync other connections
+// (tests/service/service_server_test.cpp).
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
@@ -43,6 +50,10 @@ struct ServerConfig {
   std::size_t max_payload = kMaxFramePayload;
   /// Name returned in kHelloAck (diagnostics only).
   std::string server_name = "vire-service";
+  /// How long a closing connection may keep its fd around to finish sending
+  /// queued reply bytes (the version-mismatch kError, a response the peer
+  /// requested before EOF) once the socket stops accepting writes.
+  double close_drain_timeout_s = 1.0;
 };
 
 class ServiceServer {
@@ -74,6 +85,10 @@ class ServiceServer {
     std::string outbox;  ///< bytes queued for send
     /// Flush the outbox, then drop the connection (hello version skew).
     bool close_after_reply = false;
+    /// Closing, but the outbox still has bytes the peer is owed: poll only
+    /// POLLOUT until it drains or drain_deadline passes, then close.
+    bool draining = false;
+    std::chrono::steady_clock::time_point drain_deadline{};
 
     explicit Connection(std::size_t max_payload) : decoder(max_payload) {}
   };

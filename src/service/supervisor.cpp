@@ -241,7 +241,6 @@ void Supervisor::tick() {
 void Supervisor::ingest(const std::vector<sim::RssiReading>& readings) {
   std::lock_guard lock(mutex_);
   if (readings.empty()) return;
-  const std::uint64_t sequence = ++ingest_seq_;
   std::map<std::uint32_t, std::vector<sim::RssiReading>> parts;
   for (const sim::RssiReading& reading : readings) {
     if (is_reference(reading.tag)) {
@@ -250,22 +249,41 @@ void Supervisor::ingest(const std::vector<sim::RssiReading>& readings) {
       parts[owner_of(reading.tag)].push_back(reading);
     }
   }
+  // A shard's sub-batch must fit one kIngestSeq frame — encode_frame refuses
+  // anything bigger, and an oversized entry in the op-log would make every
+  // future replay (hence every bring_up) fail. Chunk the largest part's way,
+  // one sequence per chunk index so acks stay a plain cursor.
+  std::size_t chunks = 1;
+  for (const auto& [id, sub] : parts) {
+    chunks = std::max(
+        chunks, (sub.size() + kMaxReadingsPerBatch - 1) / kMaxReadingsPerBatch);
+  }
+  const std::uint64_t base = ingest_seq_;
+  ingest_seq_ += chunks;
   for (auto& [id, sub] : parts) {
     ManagedShard& shard = shards_.at(id);
-    OpEntry entry;
-    entry.kind = OpEntry::Kind::kBatch;
-    entry.sequence = sequence;
-    entry.readings = sub;
-    push_oplog(shard, std::move(entry));
-    if (shard.state != ShardState::kUp || shard.client == nullptr) {
-      continue;  // journaled; delivered by replay() at the next revival
-    }
-    try {
-      shard.client->stream_sequenced(sequence, sub);
-    } catch (const TransportError&) {
-      // No inline restart on the ingest path: the op-log covers the batch,
-      // and the next poll/tick revives the shard.
-      handle_death(shard, DeathCause::kSocket);
+    for (std::size_t off = 0; off < sub.size(); off += kMaxReadingsPerBatch) {
+      const std::size_t len = std::min(kMaxReadingsPerBatch, sub.size() - off);
+      OpEntry entry;
+      entry.kind = OpEntry::Kind::kBatch;
+      entry.sequence = base + 1 + off / kMaxReadingsPerBatch;
+      entry.readings.assign(sub.begin() + static_cast<std::ptrdiff_t>(off),
+                            sub.begin() + static_cast<std::ptrdiff_t>(off + len));
+      const std::uint64_t sequence = entry.sequence;
+      const std::vector<sim::RssiReading>& chunk = entry.readings;
+      if (shard.state != ShardState::kUp || shard.client == nullptr) {
+        push_oplog(shard, std::move(entry));
+        continue;  // journaled; delivered by replay() at the next revival
+      }
+      try {
+        shard.client->stream_sequenced(sequence, chunk);
+        push_oplog(shard, std::move(entry));
+      } catch (const TransportError&) {
+        // No inline restart on the ingest path: the op-log covers the batch,
+        // and the next poll/tick revives the shard.
+        push_oplog(shard, std::move(entry));
+        handle_death(shard, DeathCause::kSocket);
+      }
     }
   }
 }
@@ -521,7 +539,7 @@ bool Supervisor::bring_up(ManagedShard& shard) {
       if (owner_of(tag) != shard.id) continue;
       shard.client->track(TrackRequest{tag, info.name, info.zone});
     }
-    shard.last_ack = shard.client->recover_now();
+    observe_ack(shard, shard.client->recover_now());
     replay(shard);
   } catch (const std::exception&) {
     shard.client.reset();
@@ -546,17 +564,31 @@ void Supervisor::replay(ManagedShard& shard) {
       // A poll the shard never saw: execute it now so the shard's engine
       // state advances through the same update sequence as the original
       // timeline (its WAL gate substitutes any updates it already journaled).
-      const std::vector<engine::Fix> fixes = shard.client->poll(it->time);
-      for (const engine::Fix& fix : fixes) latest_[fix.tag] = fix;
-      replayed_polls_->inc();
+      try {
+        const std::vector<engine::Fix> fixes = shard.client->poll(it->time);
+        for (const engine::Fix& fix : fixes) latest_[fix.tag] = fix;
+        replayed_polls_->inc();
+      } catch (const TransportError&) {
+        throw;  // shard died mid-replay: bring_up fails and reschedules
+      } catch (const std::exception&) {
+        // kError: the shard is alive but REFUSED this poll (e.g. polled
+        // before set_reference_ids). A healthy engine would have refused
+        // the original identically, so dropping it cannot diverge the
+        // timeline — keeping it would crash-loop bring_up forever.
+      }
       it = shard.oplog.erase(it);
     }
   }
   // Heartbeat forces the shard to drain its queue and journal the replayed
   // suffix before we declare it up; the ack lets us trim the op-log.
   const HeartbeatAck ack = shard.client->heartbeat(++shard.heartbeat_seq);
-  shard.last_ack = ack.last_ack_sequence;
+  observe_ack(shard, ack.last_ack_sequence);
   trim_oplog(shard);
+}
+
+void Supervisor::observe_ack(ManagedShard& shard, std::uint64_t ack) {
+  shard.last_ack = ack;
+  if (ack > ingest_seq_) ingest_seq_ = ack;
 }
 
 void Supervisor::push_oplog(ManagedShard& shard, OpEntry entry) {
@@ -620,8 +652,11 @@ bool Supervisor::try_revive(ManagedShard& shard) {
     refresh_state_metrics();
     return false;
   }
-  // kStarting / kBackoff: wait out the scheduled backoff, then restart.
+  // kStarting / kBackoff: wait out a *short* scheduled backoff, then restart.
+  // A longer backoff is left to tick() — sleeping it out here would block the
+  // event-loop thread (mutex_ held) for every other connection.
   const double wait = shard.next_restart_time - clock_->now();
+  if (wait > config_.inline_revival_max_wait_s) return false;
   if (wait > 0.0) clock_->sleep_for(wait);
   if (bring_up(shard)) {
     mark_up(shard);
@@ -662,7 +697,7 @@ void Supervisor::heartbeat_shard(ManagedShard& shard) {
   try {
     const HeartbeatAck ack = shard.client->heartbeat(++shard.heartbeat_seq);
     heartbeats_total_->inc();
-    shard.last_ack = ack.last_ack_sequence;
+    observe_ack(shard, ack.last_ack_sequence);
     trim_oplog(shard);
     shard.last_heartbeat_ok = clock_->now();
     if (clock_->now() - shard.up_since >= config_.backoff_reset_after_s) {

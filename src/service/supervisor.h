@@ -110,6 +110,13 @@ struct SupervisorConfig {
   /// (each attempt revives the shard first when possible).
   int request_retries = 2;
 
+  /// Longest pending backoff a poll-path revival will wait out inline.
+  /// try_revive() runs on the server's event-loop thread with mutex_ held, so
+  /// waiting out a full restart_backoff_max_s would stall every connection;
+  /// beyond this bound the request degrades (held fixes / journaled op-log)
+  /// and tick() performs the restart on schedule instead.
+  double inline_revival_max_wait_s = 0.25;
+
   double heartbeat_interval_s = 0.5;
   /// A shard with no successful heartbeat ack for this long is declared
   /// dead even if no request has failed yet.
@@ -238,10 +245,17 @@ class Supervisor : public Frontend {
   bool bring_up(ManagedShard& shard);
   void replay(ManagedShard& shard);
   void push_oplog(ManagedShard& shard, OpEntry entry);
+  /// Records a durable-ack cursor learned from the shard (recovery or
+  /// heartbeat) and keeps ingest_seq_ strictly above every cursor: a WAL can
+  /// carry acks from a previous supervisor incarnation, and a fresh batch
+  /// numbered at or below such a cursor would be dropped as a duplicate by
+  /// the shard and trimmed as acked here — silent data loss.
+  void observe_ack(ManagedShard& shard, std::uint64_t ack);
   void trim_oplog(ManagedShard& shard);
   void handle_death(ManagedShard& shard, DeathCause cause);
-  /// Restart a non-UP shard if policy allows (waits out a pending backoff;
-  /// respects an open breaker). Returns true when the shard is UP again.
+  /// Restart a non-UP shard if policy allows (waits out a pending backoff up
+  /// to inline_revival_max_wait_s, else defers to tick(); respects an open
+  /// breaker). Returns true when the shard is UP again.
   bool try_revive(ManagedShard& shard);
   void mark_up(ManagedShard& shard);
   [[nodiscard]] double backoff_delay(const ManagedShard& shard) const;

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <stdexcept>
 
 #include "persist/binary_io.h"
 
@@ -11,6 +12,11 @@ namespace {
 
 /// Bytes after the length prefix that are not payload: type byte + CRC.
 constexpr std::uint32_t kFrameOverhead = 5;
+
+/// Smallest possible encoded Fix (empty name): u32 tag + u32 name length +
+/// f64 time + u8 valid + u8 quality + 4x f64 positions + u64 survivors +
+/// u8 fallback + f64 age. Bounds the fix-count a payload can honestly claim.
+constexpr std::size_t kMinFixEncoding = 67;
 
 bool known_type(std::uint8_t t) noexcept {
   switch (static_cast<MsgType>(t)) {
@@ -105,6 +111,13 @@ std::string_view to_string(RejectReason reason) noexcept {
 }
 
 std::string encode_frame(MsgType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::length_error("encode_frame: payload of " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds the " +
+                            std::to_string(kMaxFramePayload) +
+                            "-byte frame cap");
+  }
   persist::ByteWriter body;
   body.u8(static_cast<std::uint8_t>(type));
   body.raw(payload);
@@ -200,8 +213,10 @@ std::optional<std::vector<sim::RssiReading>> decode_ingest(std::string_view payl
   persist::ByteReader r(payload);
   const auto count = r.u32();
   if (!r.ok()) return std::nullopt;
-  // 22 bytes per reading; an honest count can never overrun the payload.
-  if (static_cast<std::size_t>(*count) * 22 != r.remaining()) return std::nullopt;
+  // Fixed-size readings; an honest count can never overrun the payload.
+  if (static_cast<std::size_t>(*count) * kReadingEncoding != r.remaining()) {
+    return std::nullopt;
+  }
   std::vector<sim::RssiReading> readings;
   readings.reserve(*count);
   for (std::uint32_t i = 0; i < *count; ++i) {
@@ -272,7 +287,12 @@ std::optional<std::vector<engine::Fix>> decode_fixes(std::string_view payload) {
   persist::ByteReader r(payload);
   const auto count = r.u32();
   if (!r.ok()) return std::nullopt;
-  if (static_cast<std::size_t>(*count) > payload.size()) return std::nullopt;
+  // Bound the claimed count by what the payload could possibly hold BEFORE
+  // reserving: each Fix decodes to ~100+ bytes in memory, so trusting a
+  // hostile u32 here would let a 1 MiB payload force a ~100 MB reservation.
+  if (static_cast<std::uint64_t>(*count) * kMinFixEncoding > r.remaining()) {
+    return std::nullopt;
+  }
   std::vector<engine::Fix> fixes;
   fixes.reserve(*count);
   for (std::uint32_t i = 0; i < *count; ++i) {

@@ -32,8 +32,21 @@
 namespace vire::service {
 
 /// Frames larger than this are rejected as hostile/corrupt (the largest
-/// legitimate message, a big fix batch, stays far below it).
+/// legitimate message, a big fix batch, stays far below it). Enforced on
+/// BOTH sides: encode_frame refuses to build a frame the peer's decoder
+/// would reject (see its doc), so an oversized payload is a local, typed
+/// error instead of a remotely poisoned stream.
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+/// Encoded size of one RssiReading inside kIngest payloads
+/// (f64 time + u32 tag + u16 reader + f64 rssi).
+inline constexpr std::size_t kReadingEncoding = 22;
+
+/// Most readings one kIngestSeq frame can carry under kMaxFramePayload
+/// (u64 sequence + u32 count precede the readings). Senders must chunk
+/// larger batches (Supervisor::ingest does).
+inline constexpr std::size_t kMaxReadingsPerBatch =
+    (kMaxFramePayload - 12) / kReadingEncoding;
 
 /// Protocol version carried by the kHello handshake. Bump whenever a frame's
 /// payload layout changes incompatibly; peers with a different version are
@@ -85,7 +98,11 @@ inline constexpr std::size_t kRejectReasonCount = 6;
 
 [[nodiscard]] std::string_view to_string(RejectReason reason) noexcept;
 
-/// Serializes one frame, ready to write to the stream.
+/// Serializes one frame, ready to write to the stream. Throws
+/// std::length_error when the payload exceeds kMaxFramePayload — the peer's
+/// decoder would mark the stream poisoned and drop the connection, which on
+/// a supervised link reads as a shard death; failing locally keeps an
+/// oversized response a request-level error.
 [[nodiscard]] std::string encode_frame(MsgType type, std::string_view payload);
 
 /// Incremental frame decoder over an arbitrary chunking of the byte stream

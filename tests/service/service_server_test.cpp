@@ -10,10 +10,14 @@
 
 #include "service/sharded_service.h"
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -252,6 +256,105 @@ TEST(ServiceServerTest, VersionMismatchDrawsReasonedRejectAndCloses) {
   good.stream(rig.readings);
   EXPECT_EQ(good.poll(rig.end_time).size(), 1u);
   rig.server->stop();
+}
+
+/// Minimal frontend whose snapshots are an arbitrary canned string — lets
+/// the tests below size a response precisely against the frame cap and the
+/// socket buffer.
+class CannedSnapshotFrontend final : public Frontend {
+ public:
+  explicit CannedSnapshotFrontend(std::string snapshot)
+      : snapshot_(std::move(snapshot)) {}
+  void ingest(const std::vector<sim::RssiReading>&) override {}
+  std::vector<engine::Fix> poll(sim::SimTime) override { return {}; }
+  [[nodiscard]] std::optional<engine::Fix> latest_fix(
+      sim::TagId) const override {
+    return std::nullopt;
+  }
+  std::optional<std::string> explain_json(sim::TagId) override {
+    return std::nullopt;
+  }
+  std::string snapshot_prometheus() const override { return snapshot_; }
+  std::string snapshot_json() const override { return snapshot_; }
+  void set_reference_ids(std::vector<sim::TagId>) override {}
+  void track(sim::TagId, std::string, std::optional<std::uint32_t>) override {}
+  [[nodiscard]] obs::MetricsRegistry& metrics() override { return metrics_; }
+
+ private:
+  std::string snapshot_;
+  obs::MetricsRegistry metrics_;
+};
+
+TEST(ServiceServerTest, OversizedResponseDrawsErrorNotPoisonedStream) {
+  CannedSnapshotFrontend frontend(std::string(kMaxFramePayload + 1, 's'));
+  ServerConfig config;
+  config.socket_path =
+      fs::temp_directory_path() / "vire_server_oversize.sock";
+  ServiceServer server(frontend, config);
+  server.start();
+
+  ServiceClient client(config.socket_path);
+  try {
+    (void)client.snapshot_json();
+    FAIL() << "oversized response must draw kError";
+  } catch (const TransportError& e) {
+    FAIL() << "oversized response must stay a request-level error, not a "
+              "poisoned stream / dead connection: "
+           << e.what();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("response too large"),
+              std::string::npos)
+        << e.what();
+  }
+  // The connection survives the refusal: same client, next request works.
+  EXPECT_EQ(client.heartbeat(1).seq, 1u);
+  server.stop();
+}
+
+TEST(ServiceServerTest, ReplyStillDeliveredAfterPeerShutsDownWrites) {
+  // Bigger than a default UDS send buffer: the server's first non-blocking
+  // flush hits EAGAIN while the peer is not reading yet, and the peer's EOF
+  // (SHUT_WR) arrives in the same poll round — the reply must survive via
+  // the drain path instead of being dropped at close.
+  const std::string big(768 * 1024, 'p');
+  CannedSnapshotFrontend frontend(big);
+  ServerConfig config;
+  config.socket_path = fs::temp_directory_path() / "vire_server_drain.sock";
+  ServiceServer server(frontend, config);
+  server.start();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string p = config.socket_path.string();
+  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  const std::string request = encode_frame(
+      MsgType::kSnapshot, encode_snapshot_request(kSnapshotJson));
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  // Give the server time to see the EOF and take its one eager flush.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  FrameDecoder decoder;
+  char buf[64 * 1024];
+  std::optional<Frame> reply;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    if (!reply.has_value()) reply = decoder.next();
+  }
+  ::close(fd);
+  ASSERT_TRUE(reply.has_value())
+      << "reply dropped: close must drain the outbox first";
+  EXPECT_EQ(reply->type, MsgType::kText);
+  EXPECT_EQ(reply->payload, big);
+  server.stop();
 }
 
 TEST(ServiceServerTest, HeartbeatEchoesSequenceAndDurabilityCursor) {

@@ -151,6 +151,123 @@ TEST(SupervisorRestartTest, CrashLoopTripsBreakerThenRecovers) {
   fs::remove_all(root);
 }
 
+// A supervisor restarted over an existing root dir recovers each shard's
+// durable ack cursor from its WAL; fresh ingest sequences must resume ABOVE
+// that cursor or the shard drops every new batch as an already-acked
+// duplicate and trim_oplog discards it — silent, unbounded data loss.
+TEST(SupervisorRestartTest, IngestSequencesResumeAboveRecoveredAcks) {
+  SKIP_ON_SINGLE_CORE();
+  const fs::path root = fs::temp_directory_path() / "vire_supervisor_reseed";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  SupervisorConfig config;
+  config.shards = 1;
+  config.root_dir = root;
+  config.shardd_binary = VIRE_SHARDD_PATH;
+  config.restart_backoff_initial_s = 0.01;
+  config.spawn_wait_s = 60.0;
+  config.heartbeat_interval_s = 0.05;
+
+  sim::RssiReading reading;
+  reading.time = 1.0;
+  reading.tag = 7;
+  reading.reader = 0;
+  reading.rssi_dbm = -50.0;
+
+  std::uint64_t acked = 0;
+  {
+    Supervisor first(env::Deployment::paper_testbed(), config);
+    first.start();
+    ASSERT_EQ(first.shard_state(0), ShardState::kUp);
+    first.ingest({reading});
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (first.heartbeat().last_ack_sequence < 1) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "batch never durably acked";
+      first.tick();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    acked = first.heartbeat().last_ack_sequence;
+    first.stop();
+  }
+
+  Supervisor second(env::Deployment::paper_testbed(), config);
+  second.start();
+  ASSERT_EQ(second.shard_state(0), ShardState::kUp);
+  const HeartbeatInfo recovered = second.heartbeat();
+  EXPECT_GE(recovered.last_ack_sequence, acked) << "WAL cursor must survive";
+  EXPECT_GT(recovered.wal_next_sequence, recovered.last_ack_sequence)
+      << "fresh sequences must sort above the recovered ack cursor";
+
+  // And a new batch must actually land: its ack advances past the cursor.
+  reading.time = 2.0;
+  second.ingest({reading});
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (second.heartbeat().last_ack_sequence <= recovered.last_ack_sequence) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "post-restart batch was dropped as an already-acked duplicate";
+    second.tick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  second.stop();
+  fs::remove_all(root);
+}
+
+// A poll hitting a shard whose scheduled restart is further away than
+// inline_revival_max_wait_s must degrade immediately instead of sleeping the
+// backoff out on the event-loop thread; tick() performs the restart later.
+TEST(SupervisorRestartTest, PollSkipsInlineRevivalWhenBackoffIsLong) {
+  SKIP_ON_SINGLE_CORE();
+  const fs::path root = fs::temp_directory_path() / "vire_supervisor_inline";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  SupervisorConfig config;
+  config.shards = 1;
+  config.root_dir = root;
+  config.shardd_binary = VIRE_SHARDD_PATH;
+  config.restart_backoff_initial_s = 30.0;  // far beyond the inline bound
+  config.inline_revival_max_wait_s = 0.25;
+  config.spawn_wait_s = 60.0;
+  config.heartbeat_interval_s = 1e6;
+  config.heartbeat_timeout_s = 1e9;
+  FakeClock clock;
+  Supervisor supervisor(env::Deployment::paper_testbed(), config, &clock);
+  supervisor.start();
+  ASSERT_EQ(supervisor.shard_state(0), ShardState::kUp);
+
+  ASSERT_EQ(::kill(supervisor.shard_pid(0), SIGKILL), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  supervisor.tick();  // waitpid reaps: kBackoff, restart ~30s of fake time out
+  ASSERT_EQ(supervisor.shard_state(0), ShardState::kBackoff);
+
+  // Had poll slept the backoff out, sleep_for would advance the fake clock
+  // and bring_up would respawn: restarts() would tick over and the state
+  // would flip to kUp. Degrading leaves both untouched.
+  const auto fixes = supervisor.poll(1.0);
+  EXPECT_TRUE(fixes.empty()) << "no prior fixes: nothing to hold";
+  EXPECT_EQ(supervisor.shard_state(0), ShardState::kBackoff)
+      << "poll must not revive through a long backoff inline";
+  EXPECT_EQ(supervisor.restarts(), 0u);
+
+  // The scheduled restart still happens where it belongs: in tick().
+  clock.advance(35.0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (supervisor.shard_state(0) != ShardState::kUp) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    supervisor.tick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(supervisor.restarts(), 1u);
+
+  supervisor.stop();
+  fs::remove_all(root);
+}
+
 TEST(SupervisorRestartTest, WaitpidDetectsSilentDeathOnTick) {
   SKIP_ON_SINGLE_CORE();
   const fs::path root = fs::temp_directory_path() / "vire_supervisor_waitpid";

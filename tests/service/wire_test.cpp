@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -208,6 +209,31 @@ TEST(WireTest, MalformedTypedPayloadsReject) {
   const std::size_t quality_off = 4 + 4 + 4 + std::string("forklift-7").size() + 8 + 1;
   fixes[quality_off] = '\x09';
   EXPECT_FALSE(decode_fixes(fixes).has_value());
+}
+
+TEST(WireTest, EncodeFrameRefusesOversizedPayload) {
+  // At the cap: encodes fine and the peer's decoder accepts it.
+  const std::string at_cap(kMaxFramePayload, 'x');
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(MsgType::kText, at_cap));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload.size(), at_cap.size());
+  // One byte over: a local typed error, never a frame the peer would treat
+  // as a poisoned stream (which a supervisor reads as a shard death).
+  const std::string over(kMaxFramePayload + 1, 'x');
+  EXPECT_THROW((void)encode_frame(MsgType::kText, over), std::length_error);
+}
+
+TEST(WireTest, DecodeFixesBoundsClaimedCountBeforeReserving) {
+  // A payload whose u32 count passes the naive `count <= payload.size()`
+  // check but claims far more fixes than its bytes could hold: each fix
+  // encodes to >= 67 bytes, so this must be rejected before reserving
+  // (~100 MB for a hostile 1 MiB payload otherwise).
+  std::string evil(2048, '\0');
+  evil[0] = '\xd0';  // count = 2000 little-endian
+  evil[1] = '\x07';
+  EXPECT_FALSE(decode_fixes(evil).has_value());
 }
 
 TEST(WireTest, MutationFuzzNeverCrashesOrDesyncs) {
