@@ -1,0 +1,230 @@
+// Performance: observability overhead. Fleet tracing is capture-only by
+// design; this bench puts a number on "capture-only" at two layers:
+//
+//   engine     — engine.update() throughput with the span tracer off vs on
+//                (same captured scenario, timing only the update calls);
+//   supervisor — fleet poll throughput (2 vire_shardd processes) with fleet
+//                tracing off vs on, covering trace-context stamping, the
+//                pending-batch ledger and batch_e2e span emission.
+//
+// Honesty rules (docs/benchmarks.md): hardware_threads is reported raw; on
+// a single-hardware-thread machine the supervisor stage is REFUSED — two
+// shard processes plus the driver would time-slice one core and measure
+// scheduler pressure, not tracing overhead. The engine stage is in-process
+// and single-threaded, so it is measured everywhere and carries the
+// perf-floor guard.
+//
+// Env knobs: VIRE_OBS_POLLS (engine polls per mode, default 24),
+// VIRE_OBS_FLEET_POLLS (supervisor polls per mode, default 8).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/localization_engine.h"
+#include "env/environment.h"
+#include "obs/bench_report.h"
+#include "service/supervisor.h"
+#include "sim/simulator.h"
+#include "support/csv.h"
+
+namespace {
+
+using namespace vire;
+namespace fs = std::filesystem;
+
+int env_int(const char* name, int fallback) {
+  if (const char* s = std::getenv(name)) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// engine.update()/sec over the paper-testbed scenario; only the update
+/// calls are timed, so simulator cost does not dilute the comparison.
+double engine_updates_per_sec(bool tracing, int polls) {
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv1SemiOpen);
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  sim::SimulatorConfig sim_config;
+  sim_config.seed = 11;
+  sim_config.middleware.window_s = 10.0;
+  sim::RfidSimulator simulator(environment, deployment, sim_config);
+  const auto reference_ids = simulator.add_reference_tags();
+  const sim::TagId pallet = simulator.add_tag({1.4, 1.8});
+  const sim::TagId forklift = simulator.add_tag({2.3, 1.1});
+  const sim::TagId cart = simulator.add_tag({0.9, 2.6});
+
+  engine::EngineConfig config;
+  config.min_refresh_interval_s = 10.0;
+  config.observability.enable_tracing = tracing;
+  engine::LocalizationEngine engine(deployment, config);
+  engine.set_reference_ids(reference_ids);
+  engine.track(pallet, "pallet");
+  engine.track(forklift, "forklift");
+  engine.track(cart, "cart");
+
+  simulator.run_for(40.0);
+  double update_seconds = 0.0;
+  for (int poll = 0; poll < polls; ++poll) {
+    simulator.run_for(5.0);
+    const sim::SimTime now = simulator.now();
+    simulator.middleware().evict_stale(now);
+    const double t0 = now_s();
+    (void)engine.update(simulator.middleware(), now);
+    update_seconds += now_s() - t0;
+  }
+  return static_cast<double>(polls) / std::max(1e-12, update_seconds);
+}
+
+/// Fleet ingest+poll rounds/sec through a 2-shard supervised deployment.
+double supervisor_polls_per_sec(bool tracing, int polls,
+                                const fs::path& shardd) {
+  const env::Environment environment =
+      env::make_paper_environment(env::PaperEnvironment::kEnv1SemiOpen);
+  const env::Deployment deployment = env::Deployment::paper_testbed();
+  sim::SimulatorConfig sim_config;
+  sim_config.seed = 11;
+  sim_config.middleware.window_s = 10.0;
+  sim::RfidSimulator simulator(environment, deployment, sim_config);
+  sim::ReadingRecorder recorder;
+  simulator.set_interceptor(&recorder);
+  const auto reference_ids = simulator.add_reference_tags();
+  std::vector<std::pair<sim::TagId, std::string>> tracked = {
+      {simulator.add_tag({1.4, 1.8}), "pallet"},
+      {simulator.add_tag({2.3, 1.1}), "forklift"},
+      {simulator.add_tag({0.9, 2.6}), "cart"}};
+
+  simulator.run_for(40.0);
+  const std::vector<sim::RssiReading> warmup = recorder.take();
+  std::vector<std::vector<sim::RssiReading>> segments;
+  std::vector<sim::SimTime> poll_times;
+  for (int r = 0; r < polls; ++r) {
+    simulator.run_for(5.0);
+    segments.push_back(recorder.take());
+    poll_times.push_back(simulator.now());
+  }
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      (tracing ? "vire_bench_obs_on" : "vire_bench_obs_off");
+  fs::remove_all(root);
+  fs::create_directories(root);
+  service::SupervisorConfig config;
+  config.shards = 2;
+  config.root_dir = root;
+  config.shardd_binary = shardd;
+  config.spawn_wait_s = 60.0;
+  config.seed = 7;
+  config.fleet_tracing = tracing;
+  service::Supervisor supervisor(deployment, config);
+  supervisor.start();
+  supervisor.set_reference_ids(reference_ids);
+  for (const auto& [tag, name] : tracked) {
+    supervisor.track(tag, name, std::nullopt);
+  }
+
+  supervisor.ingest(warmup);
+  const double t0 = now_s();
+  for (int r = 0; r < polls; ++r) {
+    supervisor.ingest(segments[static_cast<std::size_t>(r)]);
+    (void)supervisor.poll(poll_times[static_cast<std::size_t>(r)]);
+  }
+  const double seconds = now_s() - t0;
+  supervisor.stop();
+  fs::remove_all(root);
+  return static_cast<double>(polls) / std::max(1e-12, seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int polls = env_int("VIRE_OBS_POLLS", 24);
+  const int fleet_polls = env_int("VIRE_OBS_FLEET_POLLS", 8);
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const bool can_fleet = hw_raw > 1;
+
+  std::printf("=== Observability overhead: tracing off vs on ===\n");
+  std::printf("engine polls/mode: %d, fleet polls/mode: %d, hardware threads: %u\n\n",
+              polls, fleet_polls, hw_raw);
+
+  obs::BenchReport report;
+  report.name = "obs_overhead";
+  report.git_rev = VIRE_GIT_REV;
+  report.config = {{"engine_polls", std::to_string(polls)},
+                   {"fleet_polls", std::to_string(fleet_polls)},
+                   {"hardware_threads", std::to_string(hw_raw)},
+                   {"supervisor_stage",
+                    can_fleet ? "measured" : "refused: single hardware thread"}};
+  report.throughput_unit = "engine_updates_per_sec";
+
+  support::CsvWriter csv("bench_out/obs_overhead.csv");
+  csv.header({"stage", "tracing", "per_sec"});
+
+  const auto bench_start = std::chrono::steady_clock::now();
+
+  const double engine_off = engine_updates_per_sec(false, polls);
+  const double engine_on = engine_updates_per_sec(true, polls);
+  const double engine_overhead_pct =
+      100.0 * (engine_off / std::max(1e-12, engine_on) - 1.0);
+  std::printf("engine.update: %10.1f/s off, %10.1f/s on  (%+.2f%% overhead)\n",
+              engine_off, engine_on, engine_overhead_pct);
+  csv.row({"engine", "off", std::to_string(engine_off)});
+  csv.row({"engine", "on", std::to_string(engine_on)});
+  report.results.emplace_back("engine_updates_per_sec_tracing_off", engine_off);
+  report.results.emplace_back("engine_updates_per_sec_tracing_on", engine_on);
+  report.results.emplace_back("engine_overhead_pct", engine_overhead_pct);
+  report.throughput = engine_on;
+
+  if (can_fleet) {
+    const fs::path shardd =
+        argc > 1 ? fs::path(argv[1]) : fs::path(VIRE_SHARDD_DEFAULT);
+    if (!fs::exists(shardd)) {
+      std::printf("supervisor stage: shard binary not found at %s — skipped\n",
+                  shardd.string().c_str());
+    } else {
+      const double fleet_off =
+          supervisor_polls_per_sec(false, fleet_polls, shardd);
+      const double fleet_on =
+          supervisor_polls_per_sec(true, fleet_polls, shardd);
+      const double fleet_overhead_pct =
+          100.0 * (fleet_off / std::max(1e-12, fleet_on) - 1.0);
+      std::printf(
+          "fleet poll:    %10.2f/s off, %10.2f/s on  (%+.2f%% overhead)\n",
+          fleet_off, fleet_on, fleet_overhead_pct);
+      csv.row({"supervisor", "off", std::to_string(fleet_off)});
+      csv.row({"supervisor", "on", std::to_string(fleet_on)});
+      report.results.emplace_back("supervisor_polls_per_sec_tracing_off",
+                                  fleet_off);
+      report.results.emplace_back("supervisor_polls_per_sec_tracing_on",
+                                  fleet_on);
+      report.results.emplace_back("supervisor_overhead_pct",
+                                  fleet_overhead_pct);
+    }
+  } else {
+    std::printf(
+        "supervisor stage: REFUSED — single hardware thread; two shard\n"
+        "processes would time-slice one core and measure scheduler pressure,\n"
+        "not tracing overhead.\n");
+  }
+
+  report.wall_ms = 1e3 * std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - bench_start)
+                             .count();
+  const auto json_path = obs::write_bench_report(report);
+  std::printf("\nCSV written to bench_out/obs_overhead.csv\n");
+  std::printf("JSON report written to %s\n", json_path.string().c_str());
+  return 0;
+}

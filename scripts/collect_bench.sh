@@ -25,6 +25,8 @@
 #   VIRE_SERVICE_TAGS/VIRE_SERVICE_ROUNDS/VIRE_SERVICE_QUERIES
 #                      workload of bench_service_scale (tags, poll rounds,
 #                      latest_fix queries per round)
+#   VIRE_OBS_POLLS/VIRE_OBS_FLEET_POLLS   workload of bench_obs_overhead
+#                      (engine polls per tracing mode, fleet polls per mode)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -62,6 +64,11 @@ VIRE_TAGS="${VIRE_SERVICE_TAGS:-16}" VIRE_ROUNDS="${VIRE_SERVICE_ROUNDS:-4}" \
 VIRE_QUERIES="${VIRE_SERVICE_QUERIES:-50}" \
   ./bench/bench_service_scale
 
+echo "== bench_obs_overhead =="
+VIRE_OBS_POLLS="${VIRE_OBS_POLLS:-24}" \
+VIRE_OBS_FLEET_POLLS="${VIRE_OBS_FLEET_POLLS:-8}" \
+  ./bench/bench_obs_overhead
+
 echo "== bench_perf_localize =="
 ./bench/bench_perf_localize --benchmark_filter="$FILTER"
 
@@ -85,7 +92,8 @@ echo "collect_bench: copied $count report(s) to $DEST_DIR"
 # checked-in floor. Advisory by default (machines differ); CI's metrics job
 # sets VIRE_ENFORCE_PERF_FLOOR=1 to make a >tolerance drop fail the build.
 SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
-for guarded in BENCH_perf_engine_batch.json BENCH_service_scale.json; do
+for guarded in BENCH_perf_engine_batch.json BENCH_service_scale.json \
+               BENCH_obs_overhead.json; do
   [ -f "bench_out/$guarded" ] || continue
   if [ "${VIRE_ENFORCE_PERF_FLOOR:-0}" = "1" ]; then
     python3 "$SCRIPT_DIR/check_perf_floor.py" "bench_out/$guarded"

@@ -85,6 +85,10 @@ struct ObservabilityConfig {
   /// anomaly dump. 0 disables the latency trigger.
   double update_latency_slo_s = 0.0;
   /// Where anomaly-triggered dumps land (trace + flight JSON per anomaly).
+  /// The default is cwd-relative, so deployments running several engines
+  /// from one working directory (e.g. supervised vire_shardd fleets) must
+  /// point each process somewhere unique — vire_shardd defaults this to
+  /// `<data-dir>/obs`.
   std::filesystem::path anomaly_dump_dir = "obs_out";
   /// Anomaly dumps are capped per engine lifetime so a flapping reader
   /// cannot fill the disk; 0 disables auto-dumping entirely.

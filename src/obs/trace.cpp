@@ -102,6 +102,23 @@ std::vector<TraceEvent> Tracer::snapshot() const {
   return out;
 }
 
+TraceDump Tracer::dump(std::size_t max_events) const {
+  TraceDump out;
+  out.events = snapshot();
+  if (max_events != 0 && out.events.size() > max_events) {
+    out.events.erase(out.events.begin(),
+                     out.events.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  {
+    std::lock_guard lock(mutex_);
+    out.thread_names = thread_names_;
+  }
+  // Stamp the clock last so now_us covers the snapshot work itself: every
+  // exported timestamp is <= now_us, which rebasing consumers rely on.
+  out.now_us = now_us();
+  return out;
+}
+
 std::uint64_t Tracer::recorded() const noexcept {
   std::lock_guard lock(mutex_);
   return head_;
@@ -152,6 +169,49 @@ std::string Tracer::to_chrome_json() const {
     if (e.ph == 'i') out << ",\"s\":\"" << e.scope << "\"";
     if (!e.args.empty()) out << ",\"args\":" << e.args;
     out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void rebase(TraceDump& dump, double offset_us) {
+  for (TraceEvent& e : dump.events) e.ts_us -= offset_us;
+  dump.now_us -= offset_us;
+}
+
+std::string fleet_chrome_json(const std::vector<FleetProcess>& processes) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit_prefix = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+
+  for (const FleetProcess& proc : processes) {
+    emit_prefix();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << proc.pid
+        << ",\"tid\":0,\"ts\":0,\"args\":{\"name\":\"" << json_escape(proc.name)
+        << "\"}}";
+    for (const auto& [tid, name] : proc.dump.thread_names) {
+      emit_prefix();
+      out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << proc.pid
+          << ",\"tid\":" << tid << ",\"ts\":0,\"args\":{\"name\":\""
+          << json_escape(name) << "\"}}";
+    }
+  }
+
+  for (const FleetProcess& proc : processes) {
+    for (const TraceEvent& e : proc.dump.events) {
+      emit_prefix();
+      out << "{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"" << e.ph
+          << "\",\"pid\":" << proc.pid << ",\"tid\":" << e.tid
+          << ",\"ts\":" << fixed_number(e.ts_us);
+      if (e.ph == 'X') out << ",\"dur\":" << fixed_number(e.dur_us);
+      if (e.ph == 'i') out << ",\"s\":\"" << e.scope << "\"";
+      if (!e.args.empty()) out << ",\"args\":" << e.args;
+      out << "}";
+    }
   }
   out << "]}";
   return out.str();

@@ -30,6 +30,14 @@
 
 namespace vire::obs {
 
+/// Cross-process trace identity stamped on wire frames (service/wire.h): a
+/// shard that adopts the context records its spans under the supervisor's
+/// batch span. All-zero means "no context" and is always safe to pass.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
 /// One recorded event, already reduced to Chrome trace-event fields.
 struct TraceEvent {
   std::string name;
@@ -58,11 +66,22 @@ class Tracer {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  /// Microseconds since tracer construction (steady clock).
+  /// Microseconds since tracer construction (steady clock), plus any
+  /// configured skew. Works whether or not tracing is enabled.
   [[nodiscard]] double now_us() const noexcept {
     return std::chrono::duration<double, std::micro>(
                std::chrono::steady_clock::now() - epoch_)
-        .count();
+        .count() +
+           skew_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Test seam for fleet clock alignment: shifts this tracer's clock by a
+  /// constant, as if the process were started on a machine whose monotonic
+  /// clock reads `skew_us` ahead. Span timestamps and the clock reported in
+  /// dump()/heartbeats shift together, so NTP-style offset estimation
+  /// against a skewed tracer must cancel the skew exactly.
+  void set_clock_skew_us(double skew_us) noexcept {
+    skew_us_.store(skew_us, std::memory_order_relaxed);
   }
 
   /// Records a complete ('X') event spanning [start_us, end_us].
@@ -80,6 +99,10 @@ class Tracer {
 
   /// Events currently retained, oldest first.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  /// Portable export of the ring for cross-process aggregation: the most
+  /// recent `max_events` events (0 = all retained), the thread-name table,
+  /// and this clock's current reading (so the receiver can rebase).
+  [[nodiscard]] struct TraceDump dump(std::size_t max_events = 0) const;
   [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
   /// Events recorded since construction (including overwritten ones).
   [[nodiscard]] std::uint64_t recorded() const noexcept;
@@ -100,10 +123,77 @@ class Tracer {
 
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{false};
+  std::atomic<double> skew_us_{0.0};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> ring_;       ///< fixed capacity, never reallocated
   std::uint64_t head_ = 0;             ///< total events pushed (next slot = head_ % capacity)
   std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
+};
+
+/// Portable snapshot of a tracer's ring, suitable for shipping across the
+/// wire (service/wire.h owns the binary codec — obs stays persist-free).
+struct TraceDump {
+  /// The source clock's now_us() at dump time; lets the receiver rebase
+  /// event timestamps onto its own timeline via a clock-offset estimate.
+  double now_us = 0.0;
+  std::vector<TraceEvent> events;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+};
+
+/// Shifts every event timestamp (and the dump clock) by -offset_us, mapping
+/// a remote dump onto the local timeline given offset_us = remote - local.
+void rebase(TraceDump& dump, double offset_us);
+
+/// One process's contribution to a merged fleet trace.
+struct FleetProcess {
+  std::uint32_t pid = 1;  ///< Perfetto process id (unique per fleet member)
+  std::string name;       ///< process_name metadata, e.g. "vire-shardd-0"
+  TraceDump dump;         ///< already rebased onto the merged timeline
+};
+
+/// Renders the processes as one Chrome trace-event JSON document: per-process
+/// process_name metadata, per-(pid,tid) thread_name metadata, then every
+/// event under its owning pid. Same schema as Tracer::to_chrome_json().
+[[nodiscard]] std::string fleet_chrome_json(
+    const std::vector<FleetProcess>& processes);
+
+/// NTP-style clock-offset estimator for one remote peer. Each observation is
+/// a request/response round trip: local send time t0, local receive time t1,
+/// and the peer clock read between them. The midpoint estimate
+/// peer - (t0 + t1) / 2 is exact for symmetric network delay and off by at
+/// most half the round trip otherwise; samples are EWMA-smoothed so a single
+/// delayed heartbeat cannot yank the fleet timeline around.
+class ClockOffsetEstimator {
+ public:
+  /// @param alpha smoothing weight of the newest sample in (0, 1].
+  explicit ClockOffsetEstimator(double alpha = 0.25) : alpha_(alpha) {}
+
+  void observe(double t0_us, double t1_us, double peer_now_us) {
+    const double sample = peer_now_us - (t0_us + t1_us) / 2.0;
+    offset_us_ = samples_ == 0 ? sample
+                               : (1.0 - alpha_) * offset_us_ + alpha_ * sample;
+    last_rtt_us_ = t1_us - t0_us;
+    ++samples_;
+  }
+
+  /// Forget everything (the peer restarted, so its clock epoch moved).
+  void reset() noexcept {
+    offset_us_ = 0.0;
+    last_rtt_us_ = 0.0;
+    samples_ = 0;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return samples_ > 0; }
+  /// Estimated peer_clock - local_clock in microseconds (0 until valid()).
+  [[nodiscard]] double offset_us() const noexcept { return offset_us_; }
+  [[nodiscard]] double last_rtt_us() const noexcept { return last_rtt_us_; }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  double alpha_;
+  double offset_us_ = 0.0;
+  double last_rtt_us_ = 0.0;
+  std::uint64_t samples_ = 0;
 };
 
 /// RAII span: records one complete event from construction to destruction.

@@ -168,9 +168,21 @@ void ServiceClient::stream_sequenced(
                         encode_ingest_seq(sequence, readings)));
 }
 
+void ServiceClient::stream_sequenced(
+    std::uint64_t sequence, const obs::TraceContext& ctx,
+    const std::vector<sim::RssiReading>& readings) {
+  send_all(encode_frame(MsgType::kIngestSeq,
+                        encode_ingest_seq(sequence, ctx, readings)));
+}
+
 std::vector<engine::Fix> ServiceClient::poll(sim::SimTime now) {
-  const Frame reply =
-      request(MsgType::kPoll, encode_time(now), MsgType::kFixBatch, "poll");
+  return poll(now, obs::TraceContext{});
+}
+
+std::vector<engine::Fix> ServiceClient::poll(sim::SimTime now,
+                                             const obs::TraceContext& ctx) {
+  const Frame reply = request(MsgType::kPoll, encode_poll({now, ctx}),
+                              MsgType::kFixBatch, "poll");
   auto fixes = decode_fixes(reply.payload);
   if (!fixes.has_value()) {
     throw std::runtime_error("ServiceClient: bad poll response");
@@ -235,6 +247,24 @@ std::uint64_t ServiceClient::recover_now() {
     throw std::runtime_error("ServiceClient: bad recover response");
   }
   return *last_ack;
+}
+
+obs::TraceDump ServiceClient::trace_dump(std::uint32_t max_events) {
+  const Frame reply = request(MsgType::kTraceDump, encode_u32(max_events),
+                              MsgType::kTraceDumpReply, "trace_dump");
+  auto dump = decode_trace_dump(reply.payload);
+  if (!dump.has_value()) {
+    throw std::runtime_error("ServiceClient: bad trace_dump response");
+  }
+  return std::move(*dump);
+}
+
+std::optional<std::string> ServiceClient::provenance() {
+  send_all(encode_frame(MsgType::kProvenanceDump, {}));
+  const Frame reply = read_frame();
+  if (reply.type == MsgType::kText) return reply.payload;
+  if (reply.type == MsgType::kError) return std::nullopt;
+  throw std::runtime_error("ServiceClient: bad provenance response");
 }
 
 RetryingClient::RetryingClient(std::filesystem::path socket_path,
@@ -313,6 +343,14 @@ void RetryingClient::set_reference_ids(const std::vector<sim::TagId>& ids) {
 
 std::uint64_t RetryingClient::recover_now() {
   return with_retry([&](ServiceClient& c) { return c.recover_now(); });
+}
+
+obs::TraceDump RetryingClient::trace_dump(std::uint32_t max_events) {
+  return with_retry([&](ServiceClient& c) { return c.trace_dump(max_events); });
+}
+
+std::optional<std::string> RetryingClient::provenance() {
+  return with_retry([&](ServiceClient& c) { return c.provenance(); });
 }
 
 }  // namespace vire::service

@@ -83,14 +83,18 @@ class ServiceClient {
   /// Fire-and-forget reading batch.
   void stream(const std::vector<sim::RssiReading>& readings);
   /// Fire-and-forget sequenced batch (kIngestSeq); the server acks it
-  /// durably via its WAL, observable through heartbeat().
+  /// durably via its WAL, observable through heartbeat(). The ctx overload
+  /// propagates a trace context the server records capture-only.
   void stream_sequenced(std::uint64_t sequence,
+                        const std::vector<sim::RssiReading>& readings);
+  void stream_sequenced(std::uint64_t sequence, const obs::TraceContext& ctx,
                         const std::vector<sim::RssiReading>& readings);
 
   /// Round trips. Each throws TransportError (TimeoutError on deadline) on
   /// a transport failure, std::runtime_error on a kError response (message
   /// = the server's error text).
   std::vector<engine::Fix> poll(sim::SimTime now);
+  std::vector<engine::Fix> poll(sim::SimTime now, const obs::TraceContext& ctx);
   std::optional<engine::Fix> latest_fix(sim::TagId tag);
   /// Flight-recorder JSON for the tag, or nullopt when the server has none.
   std::optional<std::string> explain(sim::TagId tag);
@@ -105,6 +109,12 @@ class ServiceClient {
   /// Asks the server to run checkpoint+WAL recovery; returns the recovered
   /// last-ack batch sequence.
   std::uint64_t recover_now();
+  /// Pulls the server's span ring (kTraceDump) for fleet-trace aggregation;
+  /// `max_events` bounds the reply (0 = everything retained).
+  obs::TraceDump trace_dump(std::uint32_t max_events);
+  /// Pulls flight-recorder provenance JSON (kProvenanceDump), or nullopt
+  /// when the server records none.
+  std::optional<std::string> provenance();
 
   [[nodiscard]] const std::string& server_name() const noexcept {
     return server_name_;
@@ -156,6 +166,8 @@ class RetryingClient {
   void track(const TrackRequest& request);
   void set_reference_ids(const std::vector<sim::TagId>& ids);
   std::uint64_t recover_now();
+  obs::TraceDump trace_dump(std::uint32_t max_events);
+  std::optional<std::string> provenance();
 
   /// Connections (re)established over this client's lifetime.
   [[nodiscard]] std::uint64_t reconnects() const noexcept { return reconnects_; }

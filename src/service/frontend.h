@@ -9,6 +9,7 @@
 // thread (the server's event loop); snapshot_* must additionally be safe
 // from any thread (metrics registries are internally synchronized).
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
@@ -17,16 +18,24 @@
 
 #include "engine/localization_engine.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/types.h"
 
 namespace vire::service {
 
 /// Durability cursor reported by kHeartbeatAck: how far the implementation's
 /// journal has advanced, and the highest ingest-batch sequence whose readings
-/// are durably journaled (see persist::FrameType::kAck).
+/// are durably journaled (see persist::FrameType::kAck). The observability
+/// fields ride along so every heartbeat doubles as a clock-alignment and
+/// anomaly-surfacing probe (docs/observability.md, "Fleet observability").
 struct HeartbeatInfo {
   std::uint64_t wal_next_sequence = 0;
   std::uint64_t last_ack_sequence = 0;
+  /// Implementation's monotonic trace clock (obs::Tracer::now_us) at answer
+  /// time; 0 when the implementation has no tracer.
+  double mono_now_us = 0.0;
+  /// Cumulative engine anomaly auto-dumps since process start.
+  std::uint64_t anomaly_dumps = 0;
 };
 
 class Frontend {
@@ -41,8 +50,23 @@ class Frontend {
     (void)sequence;
     ingest(readings);
   }
+  /// Sequenced ingest with a propagated trace context (wire v3). The context
+  /// is capture-only — implementations may record it for trace correlation
+  /// but must never let it affect localization. Default: drop it.
+  virtual void ingest_sequenced(const std::vector<sim::RssiReading>& readings,
+                                std::uint64_t sequence,
+                                const obs::TraceContext& ctx) {
+    (void)ctx;
+    ingest_sequenced(readings, sequence);
+  }
 
   virtual std::vector<engine::Fix> poll(sim::SimTime now) = 0;
+  /// Poll with a propagated trace context (capture-only, like ingest).
+  virtual std::vector<engine::Fix> poll(sim::SimTime now,
+                                        const obs::TraceContext& ctx) {
+    (void)ctx;
+    return poll(now);
+  }
   [[nodiscard]] virtual std::optional<engine::Fix> latest_fix(
       sim::TagId tag) const = 0;
   /// Flight-recorder provenance as JSON; nullopt when there is none.
@@ -64,6 +88,18 @@ class Frontend {
   /// kHeartbeat: liveness + durability cursor. The default (all zeros) is a
   /// valid "alive, nothing journaled" answer.
   virtual HeartbeatInfo heartbeat() { return {}; }
+
+  /// kTraceDump: export the implementation's span ring (most recent
+  /// `max_events`, 0 = all retained) for fleet-trace aggregation. The
+  /// default empty dump is valid for implementations without a tracer.
+  virtual obs::TraceDump trace_dump(std::size_t max_events) {
+    (void)max_events;
+    return {};
+  }
+
+  /// kProvenanceDump: flight-recorder provenance of every tracked tag as
+  /// JSON; nullopt when the implementation records none.
+  virtual std::optional<std::string> provenance_json() { return std::nullopt; }
 
   /// Registry the server parks connection decoder counters in.
   [[nodiscard]] virtual obs::MetricsRegistry& metrics() = 0;

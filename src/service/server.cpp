@@ -142,17 +142,19 @@ void ServiceServer::handle(Connection& conn, const Frame& frame) {
           send_frame(conn, MsgType::kError, "malformed sequenced ingest payload");
           return;
         }
-        frontend_.ingest_sequenced(batch->readings, batch->sequence);
+        frontend_.ingest_sequenced(batch->readings, batch->sequence,
+                                   batch->ctx);
         return;  // fire-and-forget; durability observable via kHeartbeat
       }
       case MsgType::kPoll: {
-        const auto now = decode_time(frame.payload);
-        if (!now.has_value()) {
+        const auto request = decode_poll(frame.payload);
+        if (!request.has_value()) {
           conn.decoder.note_malformed();
           send_frame(conn, MsgType::kError, "malformed poll payload");
           return;
         }
-        send_frame(conn, MsgType::kFixBatch, encode_fixes(frontend_.poll(*now)));
+        send_frame(conn, MsgType::kFixBatch,
+                   encode_fixes(frontend_.poll(request->now, request->ctx)));
         return;
       }
       case MsgType::kLatestFix: {
@@ -227,7 +229,34 @@ void ServiceServer::handle(Connection& conn, const Frame& frame) {
         ack.seq = *seq;
         ack.wal_next_sequence = info.wal_next_sequence;
         ack.last_ack_sequence = info.last_ack_sequence;
+        ack.mono_now_us = info.mono_now_us;
+        ack.anomaly_dumps = info.anomaly_dumps;
         send_frame(conn, MsgType::kHeartbeatAck, encode_heartbeat_ack(ack));
+        return;
+      }
+      case MsgType::kTraceDump: {
+        const auto max_events = decode_u32(frame.payload);
+        if (!max_events.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed trace_dump payload");
+          return;
+        }
+        send_frame(conn, MsgType::kTraceDumpReply,
+                   encode_trace_dump(frontend_.trace_dump(*max_events)));
+        return;
+      }
+      case MsgType::kProvenanceDump: {
+        if (!frame.payload.empty()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed provenance payload");
+          return;
+        }
+        const auto json = frontend_.provenance_json();
+        if (!json.has_value()) {
+          send_frame(conn, MsgType::kError, "no provenance recorded");
+          return;
+        }
+        send_frame(conn, MsgType::kText, *json);
         return;
       }
       case MsgType::kTrack: {

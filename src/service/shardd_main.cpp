@@ -9,10 +9,14 @@
 // SIGINT.
 //
 //   vire_shardd --socket PATH --data-dir DIR [--shard-id N] [--workers N]
-//               [--window SECONDS] [--checkpoint-every N] [--abort-on-start]
+//               [--window SECONDS] [--checkpoint-every N] [--obs-dir DIR]
+//               [--trace] [--trace-capacity N] [--clock-skew-us X]
+//               [--abort-on-start]
 //
 // --abort-on-start is the crash-loop test seam: the process aborts before
 // binding its socket, exactly like a shard with a corrupt install.
+// --clock-skew-us is the clock-alignment test seam: shifts this process's
+// trace clock so supervisor-side offset estimation has something to cancel.
 
 #include <signal.h>
 
@@ -31,7 +35,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH --data-dir DIR [--shard-id N]\n"
                "          [--workers N] [--window SECONDS]\n"
-               "          [--checkpoint-every N] [--abort-on-start]\n",
+               "          [--checkpoint-every N] [--obs-dir DIR] [--trace]\n"
+               "          [--trace-capacity N] [--clock-skew-us X]\n"
+               "          [--abort-on-start]\n",
                argv0);
   return 2;
 }
@@ -47,6 +53,10 @@ int main(int argc, char** argv) {
   int workers = 1;
   double window_s = 10.0;
   int checkpoint_every = 8;
+  std::filesystem::path obs_dir;
+  bool trace = false;
+  long trace_capacity = 0;
+  double clock_skew_us = 0.0;
   bool abort_on_start = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -78,6 +88,20 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
       checkpoint_every = std::atoi(v);
+    } else if (arg == "--obs-dir") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      obs_dir = v;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--trace-capacity") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      trace_capacity = std::atol(v);
+    } else if (arg == "--clock-skew-us") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      clock_skew_us = std::atof(v);
     } else if (arg == "--abort-on-start") {
       abort_on_start = true;
     } else {
@@ -106,6 +130,17 @@ int main(int argc, char** argv) {
   config.data_dir = data_dir;
   config.checkpoint_every_updates = checkpoint_every;
   config.recover = true;
+  // Anomaly dumps default under the shard's own data dir, not the process
+  // cwd: multiple shardd processes share a cwd under the supervisor, and a
+  // shared "obs_out" would interleave their dumps.
+  config.engine.observability.anomaly_dump_dir =
+      obs_dir.empty() ? data_dir / "obs" : obs_dir;
+  if (trace) config.engine.observability.enable_tracing = true;
+  if (trace_capacity > 0) {
+    config.engine.observability.trace_capacity =
+        static_cast<std::size_t>(trace_capacity);
+  }
+  config.obs_clock_skew_us = clock_skew_us;
   service::ShardedService service(deployment, config);
 
   service::ServerConfig server_config;

@@ -144,6 +144,9 @@ void ShardedService::ensure_ready() const {
 void ShardedService::init_shard_core(Shard& shard) {
   shard.engine = std::make_unique<engine::LocalizationEngine>(deployment_,
                                                               config_.engine);
+  if (config_.obs_clock_skew_us != 0.0) {
+    shard.engine->tracer().set_clock_skew_us(config_.obs_clock_skew_us);
+  }
   shard.middleware = std::make_unique<sim::Middleware>(deployment_.reader_count(),
                                                        config_.middleware);
   shard.middleware->attach_metrics(shard.engine->metrics());
@@ -340,6 +343,26 @@ void ShardedService::ingest_sequenced(const std::vector<sim::RssiReading>& readi
   }
 }
 
+void ShardedService::ingest_sequenced(const std::vector<sim::RssiReading>& readings,
+                                      std::uint64_t sequence,
+                                      const obs::TraceContext& ctx) {
+  // Capture-only adoption: note the propagated context on each receiving
+  // shard's timeline (no-op while tracing is disabled), then ingest exactly
+  // as an uncontexted batch would.
+  if (ctx.trace_id != 0) {
+    for (auto& [id, shard] : shards_) {
+      if (shard->awaiting_recovery) continue;
+      if (!shard->engine->tracer().enabled()) continue;
+      shard->engine->tracer().instant(
+          "wire.ingest_batch",
+          "{\"trace_id\":" + std::to_string(ctx.trace_id) +
+              ",\"parent_span\":" + std::to_string(ctx.parent_span_id) +
+              ",\"sequence\":" + std::to_string(sequence) + "}");
+    }
+  }
+  ingest_sequenced(readings, sequence);
+}
+
 std::uint64_t ShardedService::last_ack_sequence() const {
   std::uint64_t min_ack = std::numeric_limits<std::uint64_t>::max();
   bool any = false;
@@ -364,7 +387,42 @@ HeartbeatInfo ShardedService::heartbeat() {
   // The drain above also executed any queued ack markers; re-read so the
   // cursor covers every batch enqueued before this probe.
   info.last_ack_sequence = last_ack_sequence();
+  for (auto& [id, shard] : shards_) {
+    if (shard->awaiting_recovery) continue;
+    if (info.mono_now_us == 0.0) {
+      info.mono_now_us = shard->engine->tracer().now_us();
+    }
+    // auto_dump_count is written on the worker thread; read it there.
+    const int dumps =
+        run_on(*shard->queue,
+               [&s = *shard] { return s.engine->auto_dump_count(); });
+    info.anomaly_dumps += static_cast<std::uint64_t>(std::max(0, dumps));
+  }
   return info;
+}
+
+obs::TraceDump ShardedService::trace_dump(std::size_t max_events) {
+  for (auto& [id, shard] : shards_) {
+    if (shard->awaiting_recovery) continue;
+    return shard->engine->tracer().dump(max_events);
+  }
+  return {};
+}
+
+std::optional<std::string> ShardedService::provenance_json() {
+  std::string out = "{\"shards\":[";
+  bool first = true;
+  for (auto& [id, shard] : shards_) {
+    if (shard->awaiting_recovery) continue;
+    const std::string records = run_on(*shard->queue, [&s = *shard] {
+      return obs::to_json(s.engine->flight_recorder());
+    });
+    if (!first) out += ",";
+    first = false;
+    out += "{\"shard\":" + std::to_string(id) + ",\"provenance\":" + records + "}";
+  }
+  out += "]}";
+  return out;
 }
 
 std::vector<engine::Fix> ShardedService::poll(sim::SimTime now) {

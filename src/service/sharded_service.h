@@ -95,6 +95,10 @@ struct ServiceConfig {
   /// Construct for crash recovery: WAL writers stay detached until
   /// recover() has replayed each shard (requires a non-empty data_dir).
   bool recover = false;
+  /// Test seam for fleet clock alignment: shifts every shard engine's trace
+  /// clock by this constant (obs::Tracer::set_clock_skew_us), simulating a
+  /// host whose monotonic clock disagrees with the supervisor's.
+  double obs_clock_skew_us = 0.0;
 };
 
 struct RebalanceReport {
@@ -152,6 +156,13 @@ class ShardedService : public Frontend {
   /// cursor is dropped whole (idempotent redelivery after a sender retry).
   void ingest_sequenced(const std::vector<sim::RssiReading>& readings,
                         std::uint64_t sequence) override;
+  /// Sequenced ingest with an adopted trace context (wire v3): records a
+  /// capture-only "wire.ingest_batch" instant carrying the sender's trace id
+  /// on each receiving shard's tracer, then ingests normally. Localization
+  /// output is bit-identical with or without a context.
+  void ingest_sequenced(const std::vector<sim::RssiReading>& readings,
+                        std::uint64_t sequence,
+                        const obs::TraceContext& ctx) override;
 
   /// Flushes pending batches, runs evict_stale + update on every shard at
   /// `now`, and returns the merged fixes in tag order — bit-identical to a
@@ -181,8 +192,21 @@ class ShardedService : public Frontend {
   [[nodiscard]] std::uint64_t last_ack_sequence() const;
   /// Liveness + durability cursor served to kHeartbeat. Drains each shard
   /// queue to read the WAL frontier, so the answer reflects every op
-  /// enqueued before the probe.
+  /// enqueued before the probe. Also reports the first shard engine's trace
+  /// clock (for supervisor clock alignment) and the fleet-visible anomaly
+  /// auto-dump count.
   HeartbeatInfo heartbeat() override;
+
+  /// Span ring of the first live shard's engine tracer (kTraceDump). In a
+  /// vire_shardd process there is exactly one shard, so this is the whole
+  /// process's timeline; multi-shard in-process services export their first
+  /// shard only (each engine tracer has its own epoch — mixing them would
+  /// interleave unrelated clocks).
+  obs::TraceDump trace_dump(std::size_t max_events) override;
+
+  /// Flight-recorder provenance of every shard, merged as
+  /// {"shards":[{"shard":N,"provenance":{...}},...]} (kProvenanceDump).
+  std::optional<std::string> provenance_json() override;
 
   /// Simulates a hard shard failure: queued work and in-memory state are
   /// discarded (exactly what a SIGKILL loses); the shard's WAL/checkpoints

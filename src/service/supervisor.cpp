@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <fstream>
 #include <limits>
 #include <stdexcept>
 #include <thread>
@@ -73,6 +74,10 @@ Supervisor::Supervisor(const env::Deployment& deployment,
   if (config_.shardd_binary.empty()) {
     throw std::invalid_argument("Supervisor: shardd_binary is required");
   }
+  if (config_.fleet_tracing) {
+    tracer_.set_enabled(true);
+    config_.shardd_extra_args.emplace_back("--trace");
+  }
   for (int i = 0; i < config_.shards; ++i) {
     const auto id = static_cast<std::uint32_t>(i);
     router_.add_shard(id);
@@ -123,6 +128,25 @@ Supervisor::Supervisor(const env::Deployment& deployment,
       &metrics_.histogram("vire_supervisor_poll_seconds",
                           obs::default_latency_buckets_s(), {},
                           "Fleet poll latency (includes inline revivals)");
+  ingest_to_fix_seconds_ = &metrics_.histogram(
+      "vire_fleet_ingest_to_fix_seconds", obs::default_latency_buckets_s(), {},
+      "End-to-end latency from ingest stamping to the poll merge that "
+      "materialized the fix");
+  slo_burn_ = &metrics_.counter(
+      "vire_fleet_slo_burn_total", {},
+      "Polled fixes whose ingest-to-fix latency exceeded the SLO");
+  for (const auto& [id, shard] : shards_) {
+    const auto label = obs::label_pair("shard", std::to_string(id));
+    rtt_seconds_[id] = &metrics_.histogram(
+        "vire_fleet_shard_rtt_seconds", obs::default_latency_buckets_s(),
+        label, "Supervisor->shard heartbeat wire round-trip time");
+    anomaly_dumps_total_[id] = &metrics_.counter(
+        "vire_supervisor_shard_anomaly_dumps_total", label,
+        "Anomaly auto-dumps reported by shards in heartbeat acks");
+    clock_offset_gauges_[id] = &metrics_.gauge(
+        "vire_fleet_shard_clock_offset_us", label,
+        "Estimated shard trace-clock offset vs the supervisor (µs)");
+  }
   refresh_state_metrics();
 }
 
@@ -271,12 +295,21 @@ void Supervisor::ingest(const std::vector<sim::RssiReading>& readings) {
                             sub.begin() + static_cast<std::ptrdiff_t>(off + len));
       const std::uint64_t sequence = entry.sequence;
       const std::vector<sim::RssiReading>& chunk = entry.readings;
+      // Trace context is stamped UNCONDITIONALLY (same wire bytes whether
+      // fleet tracing is on or off), so enabling tracing cannot perturb the
+      // stream the shards see. The ingest stamp feeds the e2e histogram at
+      // the poll that materializes this batch's fixes.
+      const obs::TraceContext ctx{trace_id_for(sequence), sequence};
+      if (shard.pending_batches.size() >= config_.oplog_capacity) {
+        shard.pending_batches.erase(shard.pending_batches.begin());
+      }
+      shard.pending_batches.emplace(sequence, tracer_.now_us());
       if (shard.state != ShardState::kUp || shard.client == nullptr) {
         push_oplog(shard, std::move(entry));
         continue;  // journaled; delivered by replay() at the next revival
       }
       try {
-        shard.client->stream_sequenced(sequence, chunk);
+        shard.client->stream_sequenced(sequence, ctx, chunk);
         push_oplog(shard, std::move(entry));
       } catch (const TransportError&) {
         // No inline restart on the ingest path: the op-log covers the batch,
@@ -292,13 +325,40 @@ std::vector<engine::Fix> Supervisor::poll(sim::SimTime now) {
   std::lock_guard lock(mutex_);
   const obs::ScopedTimer timer(poll_seconds_);
   polls_total_->inc();
+  const double poll_start_us = tracer_.now_us();
+  const std::uint64_t poll_no = polls_total_->value();
+  // Stamped on every shard poll like the ingest context: identical bytes
+  // with tracing on or off.
+  const obs::TraceContext poll_ctx{trace_id_for(~poll_no), poll_no};
   std::vector<engine::Fix> merged;
   for (auto& [id, shard] : shards_) {
-    auto fixes =
-        with_shard(shard, [now](ServiceClient& c) { return c.poll(now); });
+    auto fixes = with_shard(
+        shard, [now, &poll_ctx](ServiceClient& c) { return c.poll(now, poll_ctx); });
+    const double shard_end_us = tracer_.now_us();
+    // E2E matching: a fix materialized by this poll covers every batch still
+    // in flight for its shard, so its ingest-to-fix latency is measured from
+    // the OLDEST pending stamp (worst case). A poll with nothing in flight
+    // (no ingest since the last poll) degenerates to the poll duration.
+    const double oldest_stamp_us = shard.pending_batches.empty()
+                                       ? poll_start_us
+                                       : shard.pending_batches.begin()->second;
     if (fixes.has_value()) {
-      for (const engine::Fix& fix : *fixes) latest_[fix.tag] = fix;
+      for (const engine::Fix& fix : *fixes) {
+        latest_[fix.tag] = fix;
+        observe_ingest_to_fix((shard_end_us - oldest_stamp_us) / 1e6);
+      }
       merged.insert(merged.end(), fixes->begin(), fixes->end());
+      if (tracer_.enabled()) {
+        for (const auto& [sequence, stamp_us] : shard.pending_batches) {
+          tracer_.complete(
+              "supervisor.batch_e2e", stamp_us, shard_end_us,
+              "{\"shard\":" + std::to_string(id) +
+                  ",\"sequence\":" + std::to_string(sequence) +
+                  ",\"trace_id\":" + std::to_string(trace_id_for(sequence)) +
+                  "}");
+        }
+      }
+      shard.pending_batches.clear();
       continue;
     }
     // Shard unreachable (breaker open / revival failed): journal the missed
@@ -319,6 +379,9 @@ std::vector<engine::Fix> Supervisor::poll(sim::SimTime now) {
       latest_[tag] = held;
       merged.push_back(held);
       held_fixes_->inc();
+      // Held fixes are polled fixes too: the SLO histogram must record the
+      // (still-growing) latency of batches stranded behind the dead shard.
+      observe_ingest_to_fix((shard_end_us - oldest_stamp_us) / 1e6);
     }
   }
   std::sort(merged.begin(), merged.end(),
@@ -366,10 +429,42 @@ std::string Supervisor::snapshot_prometheus() const {
 }
 
 std::string Supervisor::snapshot_json() const {
-  // Supervisor-level registry only; per-shard JSON is reachable through the
-  // shard sockets directly (the Prometheus merge is the cross-fleet view).
+  // Fleet-health view: one document a dashboard can poll from the supervisor
+  // socket alone — per-shard supervision state plus the supervisor registry.
   std::lock_guard lock(mutex_);
-  return obs::to_json(metrics_);
+  const double now = clock_->now();
+  std::string out = "{\"fleet\":{\"shards\":[";
+  bool first = true;
+  for (const auto& [id, shard] : shards_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"shard\":" + std::to_string(id);
+    out += ",\"state\":\"" + std::string(to_string(shard.state)) + "\"";
+    out += ",\"pid\":" + std::to_string(shard.pid);
+    out += ",\"restart_count\":" + std::to_string(shard.restart_count);
+    out += ",\"heartbeat_age_s\":" +
+           obs::format_double(shard.last_heartbeat_ok > 0.0
+                                  ? now - shard.last_heartbeat_ok
+                                  : -1.0);
+    out += ",\"last_ack\":" + std::to_string(shard.last_ack);
+    out += ",\"oplog\":" + std::to_string(shard.oplog.size());
+    out += ",\"pending_batches\":" + std::to_string(shard.pending_batches.size());
+    out += ",\"breaker_open\":";
+    out += (shard.state == ShardState::kDown &&
+            clock_->now() < shard.breaker_open_until)
+               ? "true"
+               : "false";
+    out += ",\"clock_offset_us\":" +
+           (shard.offset.valid() ? obs::format_double(shard.offset.offset_us())
+                                 : std::string("null"));
+    out += ",\"clock_rtt_us\":" +
+           (shard.offset.valid() ? obs::format_double(shard.offset.last_rtt_us())
+                                 : std::string("null"));
+    out += ",\"anomaly_dumps\":" + std::to_string(shard.anomaly_dumps);
+    out += '}';
+  }
+  out += "]},\"metrics\":" + obs::to_json(metrics_) + "}";
+  return out;
 }
 
 void Supervisor::set_reference_ids(std::vector<sim::TagId> ids) {
@@ -406,14 +501,100 @@ HeartbeatInfo Supervisor::heartbeat() {
   std::lock_guard lock(mutex_);
   HeartbeatInfo info;
   info.wal_next_sequence = ingest_seq_ + 1;
+  info.mono_now_us = tracer_.now_us();
   std::uint64_t min_ack = std::numeric_limits<std::uint64_t>::max();
   bool any = false;
   for (const auto& [id, shard] : shards_) {
     any = true;
     min_ack = std::min(min_ack, shard.last_ack);
+    info.anomaly_dumps += shard.anomaly_dumps;
   }
   info.last_ack_sequence = any ? min_ack : 0;
   return info;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet tracing / provenance
+
+std::uint64_t Supervisor::trace_id_for(std::uint64_t sequence) const {
+  // Deterministic per (seed, sequence) so retries and the tracing-off path
+  // stamp identical wire bytes; |1 keeps the id nonzero (zero = "no trace").
+  std::uint64_t state = config_.seed ^ (sequence * 0x9e3779b97f4a7c15ULL) ^
+                        0x5649524551ULL;  // "VIREQ"
+  return support::splitmix64(state) | 1;
+}
+
+void Supervisor::observe_ingest_to_fix(double latency_s) {
+  ingest_to_fix_seconds_->observe(latency_s);
+  if (config_.ingest_to_fix_slo_s > 0.0 &&
+      latency_s > config_.ingest_to_fix_slo_s) {
+    slo_burn_->inc();
+  }
+}
+
+obs::TraceDump Supervisor::trace_dump(std::size_t max_events) {
+  std::lock_guard lock(mutex_);
+  return tracer_.dump(max_events);
+}
+
+std::optional<std::string> Supervisor::provenance_json() {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\"fleet\":[";
+  bool first = true;
+  for (auto& [id, shard] : shards_) {
+    if (shard.state != ShardState::kUp || shard.client == nullptr) continue;
+    try {
+      auto prov = shard.client->provenance();
+      if (!prov.has_value()) continue;  // shard has no recorded fixes yet
+      if (!first) out += ',';
+      first = false;
+      out += "{\"shard\":" + std::to_string(id) + ",\"provenance\":" + *prov +
+             "}";
+    } catch (const TransportError&) {
+      handle_death(shard, DeathCause::kSocket);
+    } catch (const std::exception&) {
+      // kError response: skip this shard, keep the rest of the fleet.
+    }
+  }
+  out += "]}";
+  if (first) return std::nullopt;  // no shard had anything to report
+  return out;
+}
+
+std::string Supervisor::fleet_trace_json() {
+  std::lock_guard lock(mutex_);
+  std::vector<obs::FleetProcess> processes;
+  processes.push_back(
+      obs::FleetProcess{1, "vire-supervisord", tracer_.dump(0)});
+  for (auto& [id, shard] : shards_) {
+    if (shard.state != ShardState::kUp || shard.client == nullptr) continue;
+    try {
+      obs::TraceDump dump = shard.client->trace_dump(
+          static_cast<std::uint32_t>(config_.trace_pull_events));
+      // Rebase the shard's monotonic clock onto the supervisor's so spans
+      // from different processes nest on one timeline.
+      if (shard.offset.valid()) obs::rebase(dump, shard.offset.offset_us());
+      processes.push_back(obs::FleetProcess{
+          id + 2, "vire-shardd-" + std::to_string(id), std::move(dump)});
+    } catch (const TransportError&) {
+      handle_death(shard, DeathCause::kSocket);
+    } catch (const std::exception&) {
+      // kError response (e.g. tracing disabled shard-side): skip it.
+    }
+  }
+  return obs::fleet_chrome_json(processes);
+}
+
+void Supervisor::write_fleet_trace(const std::filesystem::path& path) {
+  const std::string json = fleet_trace_json();
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("vire: cannot open trace file " + path.string());
+  }
+  out << json;
 }
 
 // ---------------------------------------------------------------------------
@@ -671,6 +852,10 @@ void Supervisor::mark_up(ManagedShard& shard) {
   const double now = clock_->now();
   shard.up_since = now;
   shard.last_heartbeat_ok = now;
+  // A restarted process is a fresh clock epoch and a fresh dump counter:
+  // mixing pre-restart offset samples would corrupt the rebase.
+  shard.offset.reset();
+  shard.anomaly_dumps = 0;
   if (started_) restarts_total_->inc();
   tracer_.instant("supervisor.shard_up", shard_json(shard.id), 'g');
   refresh_state_metrics();
@@ -695,8 +880,22 @@ double Supervisor::backoff_delay(const ManagedShard& shard) const {
 
 void Supervisor::heartbeat_shard(ManagedShard& shard) {
   try {
+    const double t0_us = tracer_.now_us();
     const HeartbeatAck ack = shard.client->heartbeat(++shard.heartbeat_seq);
+    const double t1_us = tracer_.now_us();
     heartbeats_total_->inc();
+    rtt_seconds_[shard.id]->observe((t1_us - t0_us) / 1e6);
+    if (ack.mono_now_us > 0.0) {
+      // NTP-style midpoint: the shard stamped its clock roughly halfway
+      // through the round trip.  EWMA smoothing lives in the estimator.
+      shard.offset.observe(t0_us, t1_us, ack.mono_now_us);
+      clock_offset_gauges_[shard.id]->set(shard.offset.offset_us());
+    }
+    if (ack.anomaly_dumps > shard.anomaly_dumps) {
+      anomaly_dumps_total_[shard.id]->inc(ack.anomaly_dumps -
+                                          shard.anomaly_dumps);
+    }
+    shard.anomaly_dumps = ack.anomaly_dumps;
     observe_ack(shard, ack.last_ack_sequence);
     trim_oplog(shard);
     shard.last_heartbeat_ok = clock_->now();

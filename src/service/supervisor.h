@@ -148,6 +148,18 @@ struct SupervisorConfig {
   /// counts vire_supervisor_oplog_dropped_total — a dropped entry can no
   /// longer be replayed, so size this above the worst-case un-acked window.
   std::size_t oplog_capacity = 4096;
+
+  /// Fleet-wide tracing (docs/observability.md, "Fleet observability"):
+  /// enables the supervisor's own tracer and passes --trace to every spawned
+  /// shard, so fleet_trace_json() can merge the whole fleet's spans. Trace
+  /// contexts are stamped on the wire regardless of this flag (the bytes are
+  /// identical on or off), so merged polls stay bit-identical either way.
+  bool fleet_tracing = false;
+  /// Events pulled per shard by one kTraceDump (bounds the reply frame).
+  std::size_t trace_pull_events = 4096;
+  /// End-to-end ingest-to-fix SLO; a polled fix older than this bumps
+  /// vire_fleet_slo_burn_total. <= 0 disables burn counting.
+  double ingest_to_fix_slo_s = 1.0;
 };
 
 class Supervisor : public Frontend {
@@ -192,9 +204,23 @@ class Supervisor : public Frontend {
   /// Fleet durability cursor: next batch sequence + the lowest batch
   /// sequence every shard has durably journaled.
   HeartbeatInfo heartbeat() override;
+  /// The supervisor's own span ring (kTraceDump against vire_supervisord).
+  obs::TraceDump trace_dump(std::size_t max_events) override;
+  /// Flight-recorder provenance pulled from every UP shard, merged as
+  /// {"fleet":[{"shard":N,"provenance":{...}},...]} — explain_fix-style
+  /// introspection against a live fleet through one connection.
+  std::optional<std::string> provenance_json() override;
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept override {
     return metrics_;
   }
+
+  /// One merged Chrome trace for the whole fleet: pulls each UP shard's span
+  /// ring (kTraceDump), rebases its timestamps onto the supervisor timeline
+  /// using the heartbeat-estimated clock offset, and tags every process with
+  /// Perfetto process_name/pid metadata (supervisor pid 1, shard N pid N+2).
+  [[nodiscard]] std::string fleet_trace_json();
+  /// Writes fleet_trace_json() to `path`, creating parent directories.
+  void write_fleet_trace(const std::filesystem::path& path);
 
   // Introspection (tests, drills).
   [[nodiscard]] ShardState shard_state(std::uint32_t shard) const;
@@ -233,6 +259,16 @@ class Supervisor : public Frontend {
     double breaker_open_until = 0.0;
     /// Un-acked batches + undelivered polls, in original order.
     std::deque<OpEntry> oplog;
+    /// Clock offset of this shard's trace clock vs the supervisor's,
+    /// estimated from heartbeat round trips; reset when the process restarts
+    /// (a new process has a new clock epoch).
+    obs::ClockOffsetEstimator offset;
+    /// Cumulative anomaly auto-dumps last reported by this shard's ack.
+    std::uint64_t anomaly_dumps = 0;
+    /// Ingest stamp (supervisor tracer clock, µs) per in-flight batch
+    /// sequence; matched and cleared at the next successful poll merge to
+    /// feed vire_fleet_ingest_to_fix_seconds and the batch_e2e spans.
+    std::map<std::uint64_t, double> pending_batches;
   };
 
   [[nodiscard]] std::uint32_t owner_of(sim::TagId tag) const;
@@ -261,6 +297,9 @@ class Supervisor : public Frontend {
   [[nodiscard]] double backoff_delay(const ManagedShard& shard) const;
   void heartbeat_shard(ManagedShard& shard);
   void refresh_state_metrics();
+  /// Deterministic nonzero trace id for a batch/poll sequence (seeded).
+  [[nodiscard]] std::uint64_t trace_id_for(std::uint64_t sequence) const;
+  void observe_ingest_to_fix(double latency_s);
 
   template <typename Fn>
   auto with_shard(ManagedShard& shard, Fn fn)
@@ -297,6 +336,11 @@ class Supervisor : public Frontend {
   obs::Counter* polls_total_ = nullptr;
   obs::Gauge* state_gauges_[4] = {};
   obs::Histogram* poll_seconds_ = nullptr;
+  obs::Histogram* ingest_to_fix_seconds_ = nullptr;
+  obs::Counter* slo_burn_ = nullptr;
+  std::map<std::uint32_t, obs::Histogram*> rtt_seconds_;
+  std::map<std::uint32_t, obs::Counter*> anomaly_dumps_total_;
+  std::map<std::uint32_t, obs::Gauge*> clock_offset_gauges_;
 };
 
 }  // namespace vire::service

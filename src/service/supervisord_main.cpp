@@ -9,9 +9,12 @@
 //
 //   vire_supervisord --socket PATH --root DIR --shardd PATH [--shards N]
 //                    [--workers N] [--window SECONDS] [--checkpoint-every N]
-//                    [--seed N]
+//                    [--seed N] [--trace] [--fleet-trace-out PATH]
 //
 // Runs until SIGTERM or SIGINT; ticks supervision between signals.
+// --trace turns on fleet tracing (supervisor spans + every shardd spawned
+// with --trace); --fleet-trace-out writes the merged clock-aligned Chrome
+// trace there on shutdown.
 
 #include <signal.h>
 #include <time.h>
@@ -32,7 +35,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH --root DIR --shardd PATH\n"
                "          [--shards N] [--workers N] [--window SECONDS]\n"
-               "          [--checkpoint-every N] [--seed N]\n",
+               "          [--checkpoint-every N] [--seed N] [--trace]\n"
+               "          [--fleet-trace-out PATH]\n",
                argv0);
   return 2;
 }
@@ -43,6 +47,7 @@ int main(int argc, char** argv) {
   using namespace vire;
 
   std::filesystem::path socket_path;
+  std::filesystem::path fleet_trace_out;
   service::SupervisorConfig config;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +72,10 @@ int main(int argc, char** argv) {
       config.checkpoint_every_updates = std::atoi(v);
     } else if (arg == "--seed" && (v = value()) != nullptr) {
       config.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--trace") {
+      config.fleet_tracing = true;
+    } else if (arg == "--fleet-trace-out" && (v = value()) != nullptr) {
+      fleet_trace_out = v;
     } else {
       std::fprintf(stderr, "vire_supervisord: bad argument '%s'\n",
                    arg.c_str());
@@ -113,6 +122,16 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "vire_supervisord: stopping\n");
   server.stop();
+  if (!fleet_trace_out.empty()) {
+    try {
+      supervisor.write_fleet_trace(fleet_trace_out);
+      std::fprintf(stderr, "vire_supervisord: fleet trace -> %s\n",
+                   fleet_trace_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "vire_supervisord: fleet trace failed: %s\n",
+                   e.what());
+    }
+  }
   supervisor.stop();
   return 0;
 }

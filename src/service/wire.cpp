@@ -31,6 +31,8 @@ bool known_type(std::uint8_t t) noexcept {
     case MsgType::kTrack:
     case MsgType::kSetReference:
     case MsgType::kRecover:
+    case MsgType::kTraceDump:
+    case MsgType::kProvenanceDump:
     case MsgType::kFixBatch:
     case MsgType::kFixReply:
     case MsgType::kText:
@@ -38,6 +40,7 @@ bool known_type(std::uint8_t t) noexcept {
     case MsgType::kHelloAck:
     case MsgType::kHeartbeatAck:
     case MsgType::kOk:
+    case MsgType::kTraceDumpReply:
       return true;
   }
   return false;
@@ -347,6 +350,8 @@ std::string encode_heartbeat_ack(const HeartbeatAck& ack) {
   w.u64(ack.seq);
   w.u64(ack.wal_next_sequence);
   w.u64(ack.last_ack_sequence);
+  w.f64(ack.mono_now_us);
+  w.u64(ack.anomaly_dumps);
   return w.take();
 }
 
@@ -355,32 +360,143 @@ std::optional<HeartbeatAck> decode_heartbeat_ack(std::string_view payload) {
   const auto seq = r.u64();
   const auto wal = r.u64();
   const auto ack_seq = r.u64();
-  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  if (!r.ok()) return std::nullopt;
   HeartbeatAck ack;
   ack.seq = *seq;
   ack.wal_next_sequence = *wal;
   ack.last_ack_sequence = *ack_seq;
+  if (r.exhausted()) return ack;  // 24-byte v2 ack: clock fields stay zero
+  const auto mono = r.f64();
+  const auto dumps = r.u64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  ack.mono_now_us = *mono;
+  ack.anomaly_dumps = *dumps;
   return ack;
 }
 
 std::string encode_ingest_seq(std::uint64_t sequence,
+                              const obs::TraceContext& ctx,
                               const std::vector<sim::RssiReading>& readings) {
   persist::ByteWriter w;
   w.u64(sequence);
+  w.u64(ctx.trace_id);
+  w.u64(ctx.parent_span_id);
   w.raw(encode_ingest(readings));
   return w.take();
+}
+
+std::string encode_ingest_seq(std::uint64_t sequence,
+                              const std::vector<sim::RssiReading>& readings) {
+  return encode_ingest_seq(sequence, obs::TraceContext{}, readings);
 }
 
 std::optional<SequencedBatch> decode_ingest_seq(std::string_view payload) {
   persist::ByteReader r(payload);
   const auto sequence = r.u64();
+  const auto trace_id = r.u64();
+  const auto parent_span = r.u64();
   if (!r.ok()) return std::nullopt;
-  auto readings = decode_ingest(payload.substr(sizeof(std::uint64_t)));
+  auto readings = decode_ingest(payload.substr(3 * sizeof(std::uint64_t)));
   if (!readings.has_value()) return std::nullopt;
   SequencedBatch batch;
   batch.sequence = *sequence;
+  batch.ctx = {*trace_id, *parent_span};
   batch.readings = std::move(*readings);
   return batch;
+}
+
+std::string encode_poll(const PollRequest& request) {
+  persist::ByteWriter w;
+  w.f64(request.now);
+  w.u64(request.ctx.trace_id);
+  w.u64(request.ctx.parent_span_id);
+  return w.take();
+}
+
+std::optional<PollRequest> decode_poll(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto now = r.f64();
+  if (!r.ok()) return std::nullopt;
+  PollRequest request;
+  request.now = *now;
+  if (r.exhausted()) return request;  // bare v2 `now`: zero context
+  const auto trace_id = r.u64();
+  const auto span = r.u64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  request.ctx = {*trace_id, *span};
+  return request;
+}
+
+std::string encode_trace_dump(const obs::TraceDump& dump) {
+  persist::ByteWriter w;
+  w.f64(dump.now_us);
+  w.u32(static_cast<std::uint32_t>(dump.thread_names.size()));
+  for (const auto& [tid, name] : dump.thread_names) {
+    w.u32(tid);
+    w.str(name);
+  }
+  w.u32(static_cast<std::uint32_t>(dump.events.size()));
+  for (const obs::TraceEvent& e : dump.events) {
+    w.str(e.name);
+    w.u8(static_cast<std::uint8_t>(e.ph));
+    w.u8(static_cast<std::uint8_t>(e.scope));
+    w.f64(e.ts_us);
+    w.f64(e.dur_us);
+    w.u32(e.tid);
+    w.str(e.args);
+  }
+  return w.take();
+}
+
+std::optional<obs::TraceDump> decode_trace_dump(std::string_view payload) {
+  persist::ByteReader r(payload);
+  obs::TraceDump dump;
+  const auto now_us = r.f64();
+  const auto name_count = r.u32();
+  if (!r.ok()) return std::nullopt;
+  // Each thread-name entry is at least u32 tid + u32 string length; bound the
+  // claimed count before reserving so a hostile u32 cannot force a huge
+  // allocation out of a small payload.
+  if (static_cast<std::uint64_t>(*name_count) * 8 > r.remaining()) {
+    return std::nullopt;
+  }
+  dump.now_us = *now_us;
+  dump.thread_names.reserve(*name_count);
+  for (std::uint32_t i = 0; i < *name_count; ++i) {
+    const auto tid = r.u32();
+    auto name = r.str();
+    if (!r.ok()) return std::nullopt;
+    dump.thread_names.emplace_back(*tid, std::move(*name));
+  }
+  const auto event_count = r.u32();
+  if (!r.ok()) return std::nullopt;
+  // Minimum encoded event: two length-prefixed empty strings + ph + scope +
+  // two f64 + u32 tid = 30 bytes.
+  if (static_cast<std::uint64_t>(*event_count) * 30 > r.remaining()) {
+    return std::nullopt;
+  }
+  dump.events.reserve(*event_count);
+  for (std::uint32_t i = 0; i < *event_count; ++i) {
+    obs::TraceEvent e;
+    auto name = r.str();
+    const auto ph = r.u8();
+    const auto scope = r.u8();
+    const auto ts = r.f64();
+    const auto dur = r.f64();
+    const auto tid = r.u32();
+    auto args = r.str();
+    if (!r.ok()) return std::nullopt;
+    e.name = std::move(*name);
+    e.ph = static_cast<char>(*ph);
+    e.scope = static_cast<char>(*scope);
+    e.ts_us = *ts;
+    e.dur_us = *dur;
+    e.tid = *tid;
+    e.args = std::move(*args);
+    dump.events.push_back(std::move(e));
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return dump;
 }
 
 std::string encode_track(const TrackRequest& request) {
@@ -442,6 +558,19 @@ std::string encode_u64(std::uint64_t value) {
 std::optional<std::uint64_t> decode_u64(std::string_view payload) {
   persist::ByteReader r(payload);
   const auto value = r.u64();
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return *value;
+}
+
+std::string encode_u32(std::uint32_t value) {
+  persist::ByteWriter w;
+  w.u32(value);
+  return w.take();
+}
+
+std::optional<std::uint32_t> decode_u32(std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto value = r.u32();
   if (!r.ok() || !r.exhausted()) return std::nullopt;
   return *value;
 }

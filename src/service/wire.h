@@ -27,6 +27,7 @@
 
 #include "engine/localization_engine.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/types.h"
 
 namespace vire::service {
@@ -43,16 +44,18 @@ inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
 inline constexpr std::size_t kReadingEncoding = 22;
 
 /// Most readings one kIngestSeq frame can carry under kMaxFramePayload
-/// (u64 sequence + u32 count precede the readings). Senders must chunk
-/// larger batches (Supervisor::ingest does).
+/// (u64 sequence + u64 trace id + u64 parent span + u32 count precede the
+/// readings). Senders must chunk larger batches (Supervisor::ingest does).
 inline constexpr std::size_t kMaxReadingsPerBatch =
-    (kMaxFramePayload - 12) / kReadingEncoding;
+    (kMaxFramePayload - 28) / kReadingEncoding;
 
 /// Protocol version carried by the kHello handshake. Bump whenever a frame's
 /// payload layout changes incompatibly; peers with a different version are
 /// rejected fast with kVersionMismatch instead of limping through CRC
-/// resyncs. v2 added hello/heartbeat/sequenced-ingest/control frames.
-inline constexpr std::uint32_t kWireVersion = 2;
+/// resyncs. v2 added hello/heartbeat/sequenced-ingest/control frames; v3
+/// added trace-context propagation on kIngestSeq/kPoll, the kTraceDump /
+/// kProvenanceDump pull frames, and the extended heartbeat ack.
+inline constexpr std::uint32_t kWireVersion = 3;
 
 enum class MsgType : std::uint8_t {
   // requests
@@ -67,6 +70,8 @@ enum class MsgType : std::uint8_t {
   kTrack = 9,     ///< register one tag (name + optional zone pin); kOk
   kSetReference = 10, ///< declare the reference-tag id set; responds kOk
   kRecover = 11,  ///< run checkpoint+WAL recovery now; kOk(u64 last_ack)
+  kTraceDump = 12,      ///< pull the span ring (u32 max events); kTraceDumpReply
+  kProvenanceDump = 13, ///< pull flight-recorder provenance JSON; kText or kError
   // responses
   kFixBatch = 16,
   kFixReply = 17,
@@ -75,6 +80,7 @@ enum class MsgType : std::uint8_t {
   kHelloAck = 20,
   kHeartbeatAck = 21,
   kOk = 22,       ///< generic success, u64 detail payload
+  kTraceDumpReply = 23, ///< encode_trace_dump payload
 };
 
 /// Payload format selector for kSnapshot.
@@ -194,25 +200,55 @@ struct Hello {
 
 /// kHeartbeat carries a u64 probe sequence (encode_u64); the ack echoes it
 /// plus the shard's durability cursor, so the supervisor learns which ingest
-/// batches survived a crash without replaying blind.
+/// batches survived a crash without replaying blind. v3 appends the shard's
+/// monotonic trace-clock reading (for NTP-style offset estimation) and its
+/// cumulative anomaly auto-dump count; a 24-byte v2 ack still decodes with
+/// those fields zero.
 struct HeartbeatAck {
   std::uint64_t seq = 0;               ///< echoed probe sequence
   std::uint64_t wal_next_sequence = 0; ///< shard WAL frontier
   std::uint64_t last_ack_sequence = 0; ///< highest durably journaled batch
+  double mono_now_us = 0.0;            ///< shard trace clock at ack time
+  std::uint64_t anomaly_dumps = 0;     ///< cumulative anomaly auto-dumps
 };
 [[nodiscard]] std::string encode_heartbeat_ack(const HeartbeatAck& ack);
 [[nodiscard]] std::optional<HeartbeatAck> decode_heartbeat_ack(
     std::string_view payload);
 
-/// kIngestSeq: u64 batch sequence | ingest payload. The sequence keys the
-/// sender's resend window; redelivery is idempotent downstream.
+/// kIngestSeq: u64 batch sequence | u64 trace id | u64 parent span id |
+/// ingest payload. The sequence keys the sender's resend window; redelivery
+/// is idempotent downstream. The trace context is capture-only: an all-zero
+/// context is always valid and never alters localization.
 struct SequencedBatch {
   std::uint64_t sequence = 0;
+  obs::TraceContext ctx;
   std::vector<sim::RssiReading> readings;
 };
 [[nodiscard]] std::string encode_ingest_seq(
+    std::uint64_t sequence, const obs::TraceContext& ctx,
+    const std::vector<sim::RssiReading>& readings);
+[[nodiscard]] std::string encode_ingest_seq(
     std::uint64_t sequence, const std::vector<sim::RssiReading>& readings);
 [[nodiscard]] std::optional<SequencedBatch> decode_ingest_seq(
+    std::string_view payload);
+
+/// kPoll: f64 now | u64 trace id | u64 span id. A bare 8-byte `now` (the v2
+/// layout) still decodes with a zero context, so hand-rolled pollers keep
+/// working within a v3 session.
+struct PollRequest {
+  sim::SimTime now = 0.0;
+  obs::TraceContext ctx;
+};
+[[nodiscard]] std::string encode_poll(const PollRequest& request);
+[[nodiscard]] std::optional<PollRequest> decode_poll(std::string_view payload);
+
+/// kTraceDumpReply: f64 clock | u32 thread-name count | (u32 tid, str name)*
+/// | u32 event count | (str name, u8 ph, u8 scope, f64 ts, f64 dur, u32 tid,
+/// str args)*. The codec lives here rather than in obs because obs carries
+/// no persistence dependency; the payload must fit one frame, so pullers
+/// bound the event count (kTraceDump's u32 max-events request).
+[[nodiscard]] std::string encode_trace_dump(const obs::TraceDump& dump);
+[[nodiscard]] std::optional<obs::TraceDump> decode_trace_dump(
     std::string_view payload);
 
 /// kTrack: u32 tag | str name | u8 has_zone | [u32 zone].
@@ -232,5 +268,9 @@ struct TrackRequest {
 /// Bare u64 payload: kHeartbeat probe sequence and the kOk detail value.
 [[nodiscard]] std::string encode_u64(std::uint64_t value);
 [[nodiscard]] std::optional<std::uint64_t> decode_u64(std::string_view payload);
+
+/// Bare u32 payload: the kTraceDump max-events bound (0 = all retained).
+[[nodiscard]] std::string encode_u32(std::uint32_t value);
+[[nodiscard]] std::optional<std::uint32_t> decode_u32(std::string_view payload);
 
 }  // namespace vire::service

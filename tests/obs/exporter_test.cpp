@@ -243,6 +243,56 @@ TEST(PrometheusExporter, RelabelInjectsLabelIntoEverySeries) {
       << merged;
 }
 
+TEST(PrometheusExporter, RelabelPreservesEscapedLabelValues) {
+  // Existing label values may contain escaped quotes and backslashes (the
+  // exporter's own escaping); injection must splice BEFORE them without
+  // re-escaping or truncating at the inner quote.
+  const std::string text =
+      "demo_path_total{path=\"say \\\"hi\\\"\"} 1\n"
+      "demo_dir_total{dir=\"C:\\\\tmp\\\\\"} 2\n";
+  const std::string out = relabel_prometheus(text, label_pair("process", "s0"));
+  EXPECT_NE(out.find("demo_path_total{process=\"s0\",path=\"say \\\"hi\\\"\"} 1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("demo_dir_total{process=\"s0\",dir=\"C:\\\\tmp\\\\\"} 2"),
+            std::string::npos)
+      << out;
+}
+
+TEST(PrometheusExporter, RelabelEscapesInjectedValueViaLabelPair) {
+  // label_pair escapes the injected value, so a hostile process name cannot
+  // break the series syntax.
+  const std::string out = relabel_prometheus(
+      "demo_total 1\n", label_pair("process", "sh\"ard\\0"));
+  EXPECT_NE(out.find("demo_total{process=\"sh\\\"ard\\\\0\"} 1"),
+            std::string::npos)
+      << out;
+}
+
+TEST(PrometheusExporter, RelabelPrependsToExistingProcessLabel) {
+  // A series that already carries a process label (e.g. a shard scraped
+  // through two supervisors) gains the outer pair FIRST — last-writer-wins
+  // dedup is the scraper's problem; relabel must not drop either.
+  const std::string out = relabel_prometheus(
+      "demo_total{process=\"inner\"} 4\n", label_pair("process", "outer"));
+  EXPECT_NE(
+      out.find("demo_total{process=\"outer\",process=\"inner\"} 4"),
+      std::string::npos)
+      << out;
+}
+
+TEST(PrometheusExporter, RelabelPassthroughAndFinalLineWithoutNewline) {
+  // HELP/TYPE/blank lines pass through byte-identical; empty input stays
+  // empty; a final line without a trailing newline is still relabelled and
+  // gains no newline.
+  EXPECT_EQ(relabel_prometheus("", label_pair("p", "x")), "");
+  EXPECT_EQ(relabel_prometheus("# HELP a b\n# TYPE a counter\n\n",
+                               label_pair("p", "x")),
+            "# HELP a b\n# TYPE a counter\n\n");
+  EXPECT_EQ(relabel_prometheus("demo_total 9", label_pair("p", "x")),
+            "demo_total{p=\"x\"} 9");
+}
+
 TEST(RenderMetrics, TabulatesAllKinds) {
   MetricsRegistry registry;
   populate(registry);

@@ -218,6 +218,141 @@ TEST(TraceSpan, DisableMidSpanDropsTheEvent) {
   EXPECT_EQ(tracer.recorded(), 1u);
 }
 
+TEST(Tracer, DumpTrimsToNewestAndStampsNowLast) {
+  Tracer tracer(16);
+  tracer.set_enabled(true);
+  tracer.set_thread_name("worker");
+  for (int i = 0; i < 6; ++i) tracer.instant("e" + std::to_string(i));
+
+  const TraceDump all = tracer.dump();
+  EXPECT_EQ(all.events.size(), 6u);
+  ASSERT_EQ(all.thread_names.size(), 1u);
+  EXPECT_EQ(all.thread_names[0].second, "worker");
+
+  const TraceDump trimmed = tracer.dump(2);
+  ASSERT_EQ(trimmed.events.size(), 2u);
+  EXPECT_EQ(trimmed.events[0].name, "e4");
+  EXPECT_EQ(trimmed.events[1].name, "e5");
+  // now_us is stamped after the snapshot: every exported timestamp is <= it,
+  // which offset-rebasing consumers rely on.
+  for (const TraceEvent& e : trimmed.events) EXPECT_LE(e.ts_us, trimmed.now_us);
+}
+
+TEST(Tracer, ClockSkewShiftsSpansAndReportedClockTogether) {
+  Tracer tracer(8);
+  tracer.set_enabled(true);
+  const double before = tracer.now_us();
+  tracer.set_clock_skew_us(5e6);
+  const double skewed = tracer.now_us();
+  EXPECT_GE(skewed - before, 5e6 - 1e3);
+  tracer.instant("after_skew");
+  const TraceDump dump = tracer.dump();
+  ASSERT_EQ(dump.events.size(), 1u);
+  // The skew lands on recorded timestamps AND on dump.now_us, so a rebase
+  // that cancels the reported clock also cancels the event timestamps.
+  EXPECT_GE(dump.events[0].ts_us, 5e6 - 1e3);
+  EXPECT_LE(dump.events[0].ts_us, dump.now_us);
+}
+
+TEST(Rebase, SubtractsOffsetFromEventsAndClock) {
+  TraceDump dump;
+  dump.now_us = 1000.0;
+  TraceEvent e;
+  e.name = "x";
+  e.ts_us = 400.0;
+  dump.events.push_back(e);
+  rebase(dump, 150.0);
+  EXPECT_DOUBLE_EQ(dump.events[0].ts_us, 250.0);
+  EXPECT_DOUBLE_EQ(dump.now_us, 850.0);
+}
+
+TEST(ClockOffsetEstimator, FirstSampleInitializesThenEwmaSmooths) {
+  ClockOffsetEstimator est(0.25);
+  EXPECT_FALSE(est.valid());
+  EXPECT_DOUBLE_EQ(est.offset_us(), 0.0);
+
+  // Midpoint rule: peer read its clock halfway through [t0, t1].
+  est.observe(100.0, 120.0, 5000.0);
+  EXPECT_TRUE(est.valid());
+  EXPECT_EQ(est.samples(), 1u);
+  EXPECT_DOUBLE_EQ(est.offset_us(), 5000.0 - 110.0);
+  EXPECT_DOUBLE_EQ(est.last_rtt_us(), 20.0);
+
+  est.observe(200.0, 220.0, 5310.0);  // sample = 5100
+  EXPECT_DOUBLE_EQ(est.offset_us(), 0.75 * 4890.0 + 0.25 * 5100.0);
+  EXPECT_EQ(est.samples(), 2u);
+
+  est.reset();
+  EXPECT_FALSE(est.valid());
+  EXPECT_DOUBLE_EQ(est.offset_us(), 0.0);
+  EXPECT_EQ(est.samples(), 0u);
+}
+
+TEST(ClockOffsetEstimator, CancelsInjectedSkewWithinHalfRtt) {
+  // A local "supervisor" tracer and a "shard" tracer skewed by seconds: the
+  // estimator's offset must land rebased shard spans inside the supervisor's
+  // observation envelope, the fleet-merge invariant the chaos drill asserts
+  // across real processes.
+  Tracer supervisor(16);
+  Tracer shard(16);
+  supervisor.set_enabled(true);
+  shard.set_enabled(true);
+  shard.set_clock_skew_us(-7e6);  // negative skew: shard clock runs behind
+
+  ClockOffsetEstimator est;
+  for (int i = 0; i < 3; ++i) {
+    const double t0 = supervisor.now_us();
+    const double peer = shard.now_us();
+    const double t1 = supervisor.now_us();
+    est.observe(t0, t1, peer);
+  }
+  ASSERT_TRUE(est.valid());
+
+  const double envelope_start = supervisor.now_us();
+  const double span_start = shard.now_us();
+  shard.complete("shard.work", span_start, shard.now_us());
+  const double envelope_end = supervisor.now_us();
+
+  TraceDump dump = shard.dump();
+  rebase(dump, est.offset_us());
+  ASSERT_EQ(dump.events.size(), 1u);
+  const double rtt = est.last_rtt_us();
+  EXPECT_GE(dump.events[0].ts_us, envelope_start - rtt);
+  EXPECT_LE(dump.events[0].ts_us + dump.events[0].dur_us, envelope_end + rtt);
+}
+
+TEST(FleetChromeJson, TagsEventsWithOwningProcessMetadata) {
+  Tracer a(8);
+  Tracer b(8);
+  a.set_enabled(true);
+  b.set_enabled(true);
+  a.set_thread_name("supervisor-loop");
+  a.complete("supervisor.batch_e2e", 10.0, 20.0, R"({"shard":0})");
+  b.instant("engine.update_marker");
+
+  std::vector<FleetProcess> processes;
+  processes.push_back(FleetProcess{1, "vire-supervisord", a.dump()});
+  processes.push_back(FleetProcess{2, "vire-shardd-0", b.dump()});
+  const std::string json = fleet_chrome_json(processes);
+
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":0,\"ts\":0,\"args\":{\"name\":\"vire-"
+                      "supervisord\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2"),
+            std::string::npos);
+  // Thread names keep their owning pid, and events carry their process's pid.
+  EXPECT_NE(json.find("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"supervisor.batch_e2e\",\"ph\":\"X\","
+                      "\"pid\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"engine.update_marker\",\"ph\":\"i\","
+                      "\"pid\":2"),
+            std::string::npos);
+}
+
 class TraceFileTest : public ::testing::Test {
  protected:
   void SetUp() override {

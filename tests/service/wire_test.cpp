@@ -438,5 +438,151 @@ TEST(WireTest, VersionMismatchCountsItsOwnRejectionReason) {
       << prom;
 }
 
+// ---- wire v3 frames (ISSUE 9): trace-context propagation, clock-bearing
+// ---- heartbeat acks, trace/provenance pull.
+
+TEST(WireTest, VersionIsThreeAndNewTypesDecodeAsKnownFrames) {
+  EXPECT_EQ(kWireVersion, 3u);
+  // The decoder drops unknown type bytes (kBadType); the v3 additions must
+  // survive a framed round trip instead.
+  for (const MsgType type : {MsgType::kTraceDump, MsgType::kProvenanceDump,
+                             MsgType::kTraceDumpReply}) {
+    FrameDecoder decoder;
+    decoder.feed(encode_frame(type, "payload"));
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value())
+        << "type " << static_cast<int>(type) << " rejected";
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, "payload");
+    EXPECT_EQ(decoder.rejected(RejectReason::kBadType), 0u);
+  }
+}
+
+TEST(WireTest, SequencedIngestCarriesTraceContext) {
+  const std::vector<sim::RssiReading> readings = {reading(1.0, 5, 1, -58.0)};
+  const obs::TraceContext ctx{0xABCDEF0123456789ULL, 42};
+  const auto decoded = decode_ingest_seq(encode_ingest_seq(7, ctx, readings));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sequence, 7u);
+  EXPECT_EQ(decoded->ctx.trace_id, ctx.trace_id);
+  EXPECT_EQ(decoded->ctx.parent_span_id, ctx.parent_span_id);
+  ASSERT_EQ(decoded->readings.size(), 1u);
+  EXPECT_EQ(decoded->readings[0].tag, 5u);
+
+  // The 2-arg encoder stamps a zero context — same frame size, same layout.
+  const auto plain = decode_ingest_seq(encode_ingest_seq(7, readings));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->ctx.trace_id, 0u);
+  EXPECT_EQ(plain->ctx.parent_span_id, 0u);
+}
+
+TEST(WireTest, PollRequestRoundTripAndLegacyEightByteAccepted) {
+  PollRequest req;
+  req.now = 64.25;
+  req.ctx = {0x1122334455667788ULL, 9};
+  const auto decoded = decode_poll(encode_poll(req));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->now, 64.25);
+  EXPECT_EQ(decoded->ctx.trace_id, req.ctx.trace_id);
+  EXPECT_EQ(decoded->ctx.parent_span_id, 9u);
+
+  // A v2 peer sends a bare f64: accepted, zero context.
+  const auto legacy = decode_poll(encode_time(12.5));
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->now, 12.5);
+  EXPECT_EQ(legacy->ctx.trace_id, 0u);
+
+  EXPECT_FALSE(decode_poll("short").has_value());
+}
+
+TEST(WireTest, HeartbeatAckV3CarriesClockAndDumps_Legacy24ByteAccepted) {
+  HeartbeatAck ack;
+  ack.seq = 3;
+  ack.wal_next_sequence = 100;
+  ack.last_ack_sequence = 99;
+  ack.mono_now_us = 123456.789;
+  ack.anomaly_dumps = 4;
+  const std::string encoded = encode_heartbeat_ack(ack);
+  EXPECT_EQ(encoded.size(), 40u);
+  const auto decoded = decode_heartbeat_ack(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->mono_now_us, 123456.789);
+  EXPECT_EQ(decoded->anomaly_dumps, 4u);
+
+  // A v2 ack is exactly the first 24 bytes: clock/dump fields default.
+  const auto legacy = decode_heartbeat_ack(encoded.substr(0, 24));
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->seq, 3u);
+  EXPECT_EQ(legacy->mono_now_us, 0.0);
+  EXPECT_EQ(legacy->anomaly_dumps, 0u);
+}
+
+TEST(WireTest, TraceDumpRoundTrip) {
+  obs::TraceDump dump;
+  dump.now_us = 9876.5;
+  dump.thread_names = {{0, "engine"}, {3, "pool-1"}};
+  obs::TraceEvent span;
+  span.name = "engine.update";
+  span.ph = 'X';
+  span.ts_us = 100.25;
+  span.dur_us = 50.5;
+  span.tid = 3;
+  span.args = R"({"tags":2})";
+  obs::TraceEvent marker;
+  marker.name = "wire.ingest_batch";
+  marker.ph = 'i';
+  marker.scope = 'g';
+  marker.ts_us = 80.0;
+  dump.events = {span, marker};
+
+  const auto decoded = decode_trace_dump(encode_trace_dump(dump));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->now_us, 9876.5);
+  ASSERT_EQ(decoded->thread_names.size(), 2u);
+  EXPECT_EQ(decoded->thread_names[1].first, 3u);
+  EXPECT_EQ(decoded->thread_names[1].second, "pool-1");
+  ASSERT_EQ(decoded->events.size(), 2u);
+  EXPECT_EQ(decoded->events[0].name, "engine.update");
+  EXPECT_EQ(decoded->events[0].ph, 'X');
+  EXPECT_EQ(decoded->events[0].ts_us, 100.25);
+  EXPECT_EQ(decoded->events[0].dur_us, 50.5);
+  EXPECT_EQ(decoded->events[0].tid, 3u);
+  EXPECT_EQ(decoded->events[0].args, R"({"tags":2})");
+  EXPECT_EQ(decoded->events[1].ph, 'i');
+  EXPECT_EQ(decoded->events[1].scope, 'g');
+}
+
+TEST(WireTest, TraceDumpHostileInputsReject) {
+  obs::TraceDump dump;
+  obs::TraceEvent e;
+  e.name = "x";
+  dump.events = {e};
+  const std::string good = encode_trace_dump(dump);
+  // Truncations at every boundary decode to nullopt, never crash.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(decode_trace_dump(good.substr(0, len)).has_value())
+        << "len " << len;
+  }
+  // Hostile counts: claims of millions of names/events in a small payload
+  // must be rejected before any reserve.
+  std::string evil_names(16, '\0');
+  evil_names[8] = '\xff';  // name_count low byte after the f64 clock
+  evil_names[9] = '\xff';
+  evil_names[10] = '\xff';
+  evil_names[11] = '\x7f';
+  EXPECT_FALSE(decode_trace_dump(evil_names).has_value());
+
+  std::string evil_events = good.substr(0, 12);  // f64 + name_count(0)
+  evil_events += std::string(4, '\0');
+  evil_events[12] = '\xff';  // event_count = 0x7fffffff
+  evil_events[13] = '\xff';
+  evil_events[14] = '\xff';
+  evil_events[15] = '\x7f';
+  EXPECT_FALSE(decode_trace_dump(evil_events).has_value());
+
+  EXPECT_EQ(decode_u32(encode_u32(0xDEADBEEF)), 0xDEADBEEFu);
+  EXPECT_FALSE(decode_u32("abc").has_value());
+}
+
 }  // namespace
 }  // namespace vire::service
