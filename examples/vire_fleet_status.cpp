@@ -1,21 +1,25 @@
 // Fleet status board: one supervisor connection answers "is the fleet
-// healthy?" — per-shard supervision state, heartbeat clock offsets,
-// end-to-end ingest-to-fix SLO burn, and a merged clock-aligned Chrome
-// trace of every process (docs/observability.md, "Fleet observability").
+// healthy?" — per-shard supervision state, membership phase (joining /
+// active / draining), heartbeat clock offsets, end-to-end ingest-to-fix SLO
+// burn, control-journal position, and a merged clock-aligned Chrome trace
+// of every process (docs/observability.md, "Fleet observability").
 //
 //   ./build/examples/vire_fleet_status [path/to/vire_shardd]
 //   ./build/examples/vire_fleet_status --socket /run/vire.sock   # live mode
 //
 // Default mode spins up an in-process fleet (2 vire_shardd processes,
-// fleet tracing on), runs the paper-testbed scenario through it, then
-// renders the health board and writes:
+// fleet tracing on), runs the paper-testbed scenario through it — scaling
+// OUT to a third shard mid-stream and back IN again (wire kAddShard /
+// kRemoveShard, docs/service.md "Supervisor failover & elastic
+// membership") — then renders the health board and writes:
 //   bench_out/fleet_status_metrics.prom  — merged scrape incl. vire_fleet_*
 //   bench_out/fleet_status_trace.json    — merged fleet Chrome trace
 // Live mode connects to an existing vire_supervisord socket and prints its
 // fleet-health JSON and scrape instead.
 //
-// Exit code 0 iff the fleet came up, every vire_fleet_* series is present,
-// and the merged trace carries all three processes.
+// Exit code 0 iff the fleet came up, both membership changes landed, every
+// vire_fleet_* / journal / membership series is present, and the merged
+// trace carries all three original processes.
 
 #include <chrono>
 #include <cstdint>
@@ -25,6 +29,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -144,18 +149,47 @@ int main(int argc, char** argv) {
     supervisor.track(tag, name, std::nullopt);
   }
 
-  supervisor.ingest(capture.segments[0]);
-  for (int poll = 0; poll < kPolls; ++poll) {
-    supervisor.ingest(capture.segments[static_cast<std::size_t>(poll) + 1]);
-    const auto fixes = supervisor.poll(capture.poll_times[poll]);
-    std::printf("  poll %d: %zu fixes\n", poll, fixes.size());
-    // Heartbeats between polls feed the clock-offset estimators.
-    supervisor.tick();
-    std::this_thread::sleep_for(std::chrono::milliseconds(60));
-    supervisor.tick();
-  }
+  const auto run_polls = [&](int first, int last) {
+    for (int poll = first; poll < last; ++poll) {
+      supervisor.ingest(capture.segments[static_cast<std::size_t>(poll) + 1]);
+      const auto fixes = supervisor.poll(capture.poll_times[poll]);
+      std::printf("  poll %d: %zu fixes across %zu shards\n", poll,
+                  fixes.size(), supervisor.shard_count());
+      // Heartbeats between polls feed the clock-offset estimators.
+      supervisor.tick();
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+      supervisor.tick();
+    }
+  };
 
-  std::printf("\n== fleet health ==\n%s\n", supervisor.snapshot_json().c_str());
+  supervisor.ingest(capture.segments[0]);
+  run_polls(0, kPolls / 2);
+
+  // Elastic membership, live: scale out to a third shard (seeded from a
+  // donor, moved tags re-fed through its WAL), then retire it again. The
+  // phase machine (joining -> active -> draining) is journaled, so an
+  // interrupted change would resume after a supervisor restart.
+  const std::uint64_t joined = supervisor.admin_add_shard();
+  const std::string_view phase = service::to_string(
+      supervisor.member_phase(static_cast<std::uint32_t>(joined)));
+  std::printf("  + shard %llu joined (phase %.*s)\n",
+              static_cast<unsigned long long>(joined),
+              static_cast<int>(phase.size()), phase.data());
+  run_polls(kPolls / 2, kPolls);
+  const std::uint64_t moved =
+      supervisor.admin_remove_shard(static_cast<std::uint32_t>(joined));
+  std::printf("  - shard %llu drained and retired (%llu tags moved back)\n",
+              static_cast<unsigned long long>(joined),
+              static_cast<unsigned long long>(moved));
+
+  const std::string health = supervisor.snapshot_json();
+  std::printf("\n== fleet health ==\n%s\n", health.c_str());
+  for (const char* needle : {"\"phase\":\"active\"", "\"journal\":{"}) {
+    if (health.find(needle) == std::string::npos) {
+      std::printf("FAIL: fleet health JSON is missing %s\n", needle);
+      return 1;
+    }
+  }
 
   fs::create_directories("bench_out");
   const std::string prom = supervisor.snapshot_prometheus();
@@ -164,7 +198,12 @@ int main(int argc, char** argv) {
        {"vire_fleet_ingest_to_fix_seconds_bucket",
         "vire_fleet_shard_rtt_seconds_bucket", "vire_fleet_slo_burn_total",
         "vire_fleet_shard_clock_offset_us",
-        "vire_supervisor_shard_anomaly_dumps_total", "process=\"shard-0\"",
+        "vire_supervisor_shard_anomaly_dumps_total",
+        "vire_supervisor_journal_appends_total",
+        "vire_supervisor_journal_checkpoints_total",
+        "vire_supervisor_membership_changes_total",
+        "vire_supervisor_membership_moved_tags_total",
+        "vire_supervisor_adoptions_total", "process=\"shard-0\"",
         "process=\"shard-1\""}) {
     if (prom.find(needle) == std::string::npos) {
       std::printf("FAIL: merged scrape is missing %s\n", needle);

@@ -25,6 +25,9 @@
 #   VIRE_SERVICE_TAGS/VIRE_SERVICE_ROUNDS/VIRE_SERVICE_QUERIES
 #                      workload of bench_service_scale (tags, poll rounds,
 #                      latest_fix queries per round)
+#   VIRE_JOURNAL_OPS/VIRE_JOURNAL_BATCH/VIRE_JOURNAL_RECOVERS
+#                      workload of bench_supervisor_journal (journaled
+#                      batches, readings per batch, recover repetitions)
 #   VIRE_OBS_POLLS/VIRE_OBS_FLEET_POLLS   workload of bench_obs_overhead
 #                      (engine polls per tracing mode, fleet polls per mode)
 set -euo pipefail
@@ -64,6 +67,12 @@ VIRE_TAGS="${VIRE_SERVICE_TAGS:-16}" VIRE_ROUNDS="${VIRE_SERVICE_ROUNDS:-4}" \
 VIRE_QUERIES="${VIRE_SERVICE_QUERIES:-50}" \
   ./bench/bench_service_scale
 
+echo "== bench_supervisor_journal =="
+VIRE_JOURNAL_OPS="${VIRE_JOURNAL_OPS:-20000}" \
+VIRE_JOURNAL_BATCH="${VIRE_JOURNAL_BATCH:-8}" \
+VIRE_JOURNAL_RECOVERS="${VIRE_JOURNAL_RECOVERS:-5}" \
+  ./bench/bench_supervisor_journal
+
 echo "== bench_obs_overhead =="
 VIRE_OBS_POLLS="${VIRE_OBS_POLLS:-24}" \
 VIRE_OBS_FLEET_POLLS="${VIRE_OBS_FLEET_POLLS:-8}" \
@@ -93,7 +102,7 @@ echo "collect_bench: copied $count report(s) to $DEST_DIR"
 # sets VIRE_ENFORCE_PERF_FLOOR=1 to make a >tolerance drop fail the build.
 SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
 for guarded in BENCH_perf_engine_batch.json BENCH_service_scale.json \
-               BENCH_obs_overhead.json; do
+               BENCH_obs_overhead.json BENCH_supervisor_journal.json; do
   [ -f "bench_out/$guarded" ] || continue
   if [ "${VIRE_ENFORCE_PERF_FLOOR:-0}" = "1" ]; then
     python3 "$SCRIPT_DIR/check_perf_floor.py" "bench_out/$guarded"

@@ -157,6 +157,7 @@ void LocalizationEngine::set_reference_ids(std::vector<sim::TagId> ids) {
     throw std::invalid_argument(
         "LocalizationEngine: reference id count must match the deployment");
   }
+  if (ids == reference_ids_) return;  // re-registration must keep warm history
   reference_ids_ = std::move(ids);
   last_refresh_.reset();         // force a rebuild on the next update
   last_reference_rssi_.clear();  // readings of old ids are not comparable

@@ -71,6 +71,13 @@ bool read_rssi_rows(ByteReader& r, std::vector<sim::RssiVector>& rows) {
   return true;
 }
 
+}  // namespace
+
+// ---- reusable state codecs ---------------------------------------------
+// Exposed in the header: the wire layer reuses them for cross-process tag
+// migration (kExportTag/kImportTag) and reference seeding (kSeedExport), so
+// a shard's exported state is byte-compatible with its checkpoints.
+
 void write_engine_state(ByteWriter& w, const engine::EngineStateSnapshot& s) {
   w.u32(static_cast<std::uint32_t>(s.reference_ids.size()));
   for (const sim::TagId id : s.reference_ids) w.u32(id);
@@ -251,7 +258,7 @@ bool read_engine_state(ByteReader& r, engine::EngineStateSnapshot& s) {
   return true;
 }
 
-void write_middleware(ByteWriter& w, const sim::Middleware::Snapshot& s) {
+void write_middleware_snapshot(ByteWriter& w, const sim::Middleware::Snapshot& s) {
   w.u32(static_cast<std::uint32_t>(s.links.size()));
   for (const auto& link : s.links) {
     w.u32(link.tag);
@@ -264,7 +271,7 @@ void write_middleware(ByteWriter& w, const sim::Middleware::Snapshot& s) {
   }
 }
 
-bool read_middleware(ByteReader& r, sim::Middleware::Snapshot& s) {
+bool read_middleware_snapshot(ByteReader& r, sim::Middleware::Snapshot& s) {
   const auto n_links = r.u32();
   if (!n_links) return false;
   s.links.clear();
@@ -288,6 +295,66 @@ bool read_middleware(ByteReader& r, sim::Middleware::Snapshot& s) {
   }
   return true;
 }
+
+void write_tag_state(ByteWriter& w, const engine::TagStateSnapshot& s) {
+  w.str(s.name);
+  w.u8(s.has_tracker ? 1 : 0);
+  w.u8(s.tracker.initialized ? 1 : 0);
+  write_vec2(w, s.tracker.position);
+  write_vec2(w, s.tracker.velocity);
+  w.f64(s.tracker.last_time);
+  write_vec2(w, s.tracker.last_measurement);
+  w.f64(s.tracker.last_measurement_time);
+  w.u32(static_cast<std::uint32_t>(s.tracker.consecutive_outliers));
+  w.u8(s.has_last_good ? 1 : 0);
+  w.f64(s.last_good_time);
+  write_vec2(w, s.last_good_position);
+  write_vec2(w, s.last_good_smoothed);
+  w.u8(s.has_last_quality ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(s.last_quality));
+}
+
+bool read_tag_state(ByteReader& r, engine::TagStateSnapshot& s) {
+  auto name = r.str();
+  const auto has_tracker = r.u8();
+  const auto initialized = r.u8();
+  const auto position = read_vec2(r);
+  const auto velocity = read_vec2(r);
+  const auto last_time = r.f64();
+  const auto last_measurement = read_vec2(r);
+  const auto last_measurement_time = r.f64();
+  const auto outliers = r.u32();
+  const auto has_last_good = r.u8();
+  const auto last_good_time = r.f64();
+  const auto last_good_position = read_vec2(r);
+  const auto last_good_smoothed = read_vec2(r);
+  const auto has_last_quality = r.u8();
+  const auto last_quality = r.u8();
+  if (!name || !has_tracker || !initialized || !position || !velocity ||
+      !last_time || !last_measurement || !last_measurement_time || !outliers ||
+      !has_last_good || !last_good_time || !last_good_position ||
+      !last_good_smoothed || !has_last_quality || !last_quality) {
+    return false;
+  }
+  s.name = std::move(*name);
+  s.has_tracker = *has_tracker != 0;
+  s.tracker.initialized = *initialized != 0;
+  s.tracker.position = *position;
+  s.tracker.velocity = *velocity;
+  s.tracker.last_time = *last_time;
+  s.tracker.last_measurement = *last_measurement;
+  s.tracker.last_measurement_time = *last_measurement_time;
+  s.tracker.consecutive_outliers = static_cast<int>(*outliers);
+  s.has_last_good = *has_last_good != 0;
+  s.last_good_time = *last_good_time;
+  s.last_good_position = *last_good_position;
+  s.last_good_smoothed = *last_good_smoothed;
+  s.has_last_quality = *has_last_quality != 0;
+  s.last_quality = static_cast<engine::FixQuality>(*last_quality);
+  return true;
+}
+
+namespace {
 
 std::filesystem::path checkpoint_path(const std::filesystem::path& dir,
                                       std::uint64_t wal_sequence) {
@@ -366,7 +433,7 @@ std::string serialize(const Checkpoint& checkpoint) {
   body.u64(checkpoint.wal_sequence);
   body.f64(checkpoint.sim_time);
   write_engine_state(body, checkpoint.engine);
-  write_middleware(body, checkpoint.middleware);
+  write_middleware_snapshot(body, checkpoint.middleware);
   body.u32(static_cast<std::uint32_t>(checkpoint.counters.size()));
   for (const auto& sample : checkpoint.counters) {
     body.str(sample.name);
@@ -402,7 +469,7 @@ std::optional<Checkpoint> deserialize(std::string_view data) {
   ckpt.wal_sequence = *wal_sequence;
   ckpt.sim_time = *sim_time;
   if (!read_engine_state(r, ckpt.engine)) return std::nullopt;
-  if (!read_middleware(r, ckpt.middleware)) return std::nullopt;
+  if (!read_middleware_snapshot(r, ckpt.middleware)) return std::nullopt;
   const auto n_counters = r.u32();
   if (!n_counters) return std::nullopt;
   for (std::uint32_t i = 0; i < *n_counters; ++i) {

@@ -23,12 +23,26 @@
 
 #include "engine/localization_engine.h"
 #include "obs/metrics.h"
+#include "persist/binary_io.h"
 #include "sim/middleware.h"
 #include "support/atomic_file.h"
 
 namespace vire::persist {
 
 inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Reusable binary codecs for the pipeline's state snapshots. The checkpoint
+/// file format is built on these; the wire layer reuses them verbatim for
+/// cross-process tag migration (kExportTag/kImportTag) and reference seeding
+/// (kSeedExport/kSeedImport), so exported state is byte-compatible with
+/// checkpointed state. The read_* functions return false (leaving the output
+/// partially written) on any structural error.
+void write_engine_state(ByteWriter& w, const engine::EngineStateSnapshot& s);
+bool read_engine_state(ByteReader& r, engine::EngineStateSnapshot& s);
+void write_middleware_snapshot(ByteWriter& w, const sim::Middleware::Snapshot& s);
+bool read_middleware_snapshot(ByteReader& r, sim::Middleware::Snapshot& s);
+void write_tag_state(ByteWriter& w, const engine::TagStateSnapshot& s);
+bool read_tag_state(ByteReader& r, engine::TagStateSnapshot& s);
 
 /// Fingerprint of every EngineConfig field that affects fix values — the
 /// algorithm, degradation and tracking knobs. parallel_workers and the

@@ -267,6 +267,58 @@ std::optional<std::string> ServiceClient::provenance() {
   throw std::runtime_error("ServiceClient: bad provenance response");
 }
 
+std::optional<engine::TagStateSnapshot> ServiceClient::export_tag_state(
+    sim::TagId tag) {
+  const Frame reply = request(MsgType::kExportTag, encode_u32(tag),
+                              MsgType::kTagState, "export_tag");
+  auto state = decode_tag_state(reply.payload);
+  if (!state.has_value()) {
+    throw std::runtime_error("ServiceClient: bad export_tag response");
+  }
+  return std::move(*state);
+}
+
+void ServiceClient::import_tag_state(sim::TagId tag,
+                                     std::optional<std::uint32_t> zone,
+                                     const engine::TagStateSnapshot& state) {
+  request(MsgType::kImportTag, encode_import_tag({tag, zone, state}),
+          MsgType::kOk, "import_tag");
+}
+
+SeedState ServiceClient::seed_export() {
+  const Frame reply =
+      request(MsgType::kSeedExport, {}, MsgType::kSeedState, "seed_export");
+  auto seed = decode_seed_state(reply.payload);
+  if (!seed.has_value()) {
+    throw std::runtime_error("ServiceClient: bad seed_export response");
+  }
+  return std::move(*seed);
+}
+
+void ServiceClient::seed_import(const SeedState& seed) {
+  request(MsgType::kSeedImport, encode_seed_state(seed), MsgType::kOk,
+          "seed_import");
+}
+
+std::uint64_t ServiceClient::add_shard() {
+  const Frame reply = request(MsgType::kAddShard, {}, MsgType::kOk, "add_shard");
+  const auto id = decode_u64(reply.payload);
+  if (!id.has_value()) {
+    throw std::runtime_error("ServiceClient: bad add_shard response");
+  }
+  return *id;
+}
+
+std::uint64_t ServiceClient::remove_shard(std::uint32_t id) {
+  const Frame reply = request(MsgType::kRemoveShard, encode_u32(id),
+                              MsgType::kOk, "remove_shard");
+  const auto moved = decode_u64(reply.payload);
+  if (!moved.has_value()) {
+    throw std::runtime_error("ServiceClient: bad remove_shard response");
+  }
+  return *moved;
+}
+
 RetryingClient::RetryingClient(std::filesystem::path socket_path,
                                ClientConfig client, RetryConfig retry)
     : socket_path_(std::move(socket_path)),

@@ -116,6 +116,22 @@ class ServiceClient {
   /// when the server records none.
   std::optional<std::string> provenance();
 
+  // Elastic-membership round trips (wire v4). Each surfaces a refusing
+  // frontend (kError) as std::runtime_error, like the calls above.
+  /// Export + untrack one tag's state; nullopt = tag held no state.
+  std::optional<engine::TagStateSnapshot> export_tag_state(sim::TagId tag);
+  /// Register `tag` on the server and adopt its exported state.
+  void import_tag_state(sim::TagId tag, std::optional<std::uint32_t> zone,
+                        const engine::TagStateSnapshot& state);
+  /// Pull the server's reference-only seed (kSeedExport).
+  SeedState seed_export();
+  /// Restore a reference-only seed (kSeedImport).
+  void seed_import(const SeedState& seed);
+  /// Supervisor admin: join one shard; returns the new shard id.
+  std::uint64_t add_shard();
+  /// Supervisor admin: drain + retire shard `id`; returns tags moved.
+  std::uint64_t remove_shard(std::uint32_t id);
+
   [[nodiscard]] const std::string& server_name() const noexcept {
     return server_name_;
   }

@@ -291,6 +291,71 @@ void ServiceServer::handle(Connection& conn, const Frame& frame) {
         send_frame(conn, MsgType::kOk, encode_u64(frontend_.recover_now()));
         return;
       }
+      case MsgType::kExportTag: {
+        const auto tag = decode_u32(frame.payload);
+        if (!tag.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed export_tag payload");
+          return;
+        }
+        send_frame(conn, MsgType::kTagState,
+                   encode_tag_state(frontend_.export_tag_state(*tag)));
+        return;
+      }
+      case MsgType::kImportTag: {
+        auto request = decode_import_tag(frame.payload);
+        if (!request.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed import_tag payload");
+          return;
+        }
+        frontend_.import_tag_state(request->tag, request->zone, request->state);
+        send_frame(conn, MsgType::kOk, encode_u64(0));
+        return;
+      }
+      case MsgType::kSeedExport: {
+        if (!frame.payload.empty()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed seed_export payload");
+          return;
+        }
+        auto [engine_seed, middleware_seed] = frontend_.seed_export();
+        send_frame(conn, MsgType::kSeedState,
+                   encode_seed_state({std::move(engine_seed),
+                                      std::move(middleware_seed)}));
+        return;
+      }
+      case MsgType::kSeedImport: {
+        auto seed = decode_seed_state(frame.payload);
+        if (!seed.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed seed_import payload");
+          return;
+        }
+        frontend_.seed_import(seed->engine, seed->middleware);
+        send_frame(conn, MsgType::kOk, encode_u64(0));
+        return;
+      }
+      case MsgType::kAddShard: {
+        if (!frame.payload.empty()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed add_shard payload");
+          return;
+        }
+        send_frame(conn, MsgType::kOk, encode_u64(frontend_.admin_add_shard()));
+        return;
+      }
+      case MsgType::kRemoveShard: {
+        const auto id = decode_u32(frame.payload);
+        if (!id.has_value()) {
+          conn.decoder.note_malformed();
+          send_frame(conn, MsgType::kError, "malformed remove_shard payload");
+          return;
+        }
+        send_frame(conn, MsgType::kOk,
+                   encode_u64(frontend_.admin_remove_shard(*id)));
+        return;
+      }
       default:
         // Response types arriving as requests: structurally valid,
         // semantically nonsense.

@@ -663,10 +663,8 @@ void ShardedService::migrate_tag(sim::TagId tag, const TrackedTag& info,
   rebalance_replayed_->inc(readings.size());
 }
 
-void ShardedService::seed_reference_state(Shard& destination) {
-  if (shards_.empty()) return;
-  Shard& donor = *shards_.begin()->second;
-  if (donor.id == destination.id) return;
+std::pair<engine::EngineStateSnapshot, sim::Middleware::Snapshot>
+ShardedService::reference_seed(Shard& donor) {
   auto seed = run_on(*donor.queue, [&] {
     return std::make_pair(donor.engine->snapshot(), donor.middleware->snapshot());
   });
@@ -684,6 +682,14 @@ void ShardedService::seed_reference_state(Shard& destination) {
       middleware_seed.links.push_back(std::move(link));
     }
   }
+  return {std::move(engine_seed), std::move(middleware_seed)};
+}
+
+void ShardedService::seed_reference_state(Shard& destination) {
+  if (shards_.empty()) return;
+  Shard& donor = *shards_.begin()->second;
+  if (donor.id == destination.id) return;
+  auto [engine_seed, middleware_seed] = reference_seed(donor);
   run_on(*destination.queue, [&] {
     destination.engine->restore(engine_seed);
     destination.middleware->restore(middleware_seed);
@@ -758,6 +764,63 @@ RebalanceReport ShardedService::remove_shard(std::uint32_t shard_id) {
   shards_.erase(shard_id);  // Shard dtor stops the worker; disk state remains
   shards_gauge_->set(static_cast<double>(shards_.size()));
   return report;
+}
+
+std::optional<engine::TagStateSnapshot> ShardedService::export_tag_state(
+    sim::TagId tag) {
+  ensure_ready();
+  const auto it = tags_.find(tag);
+  if (it == tags_.end()) {
+    throw std::invalid_argument("ShardedService::export_tag_state: unknown tag");
+  }
+  barrier();  // queued ingest must land before the state leaves
+  Shard& source = *shards_.at(router_.route(tag, it->second.zone));
+  auto state = run_on(*source.queue,
+                      [&]() -> std::optional<engine::TagStateSnapshot> {
+                        auto exported = source.engine->export_tag(tag);
+                        source.engine->untrack(tag);
+                        return exported;
+                      });
+  tags_.erase(it);
+  return state;
+}
+
+void ShardedService::import_tag_state(sim::TagId tag,
+                                      std::optional<std::uint32_t> zone,
+                                      const engine::TagStateSnapshot& state) {
+  ensure_ready();
+  track(tag, state.name, zone);
+  Shard& owner = *shards_.at(router_.route(tag, zone));
+  run_on(*owner.queue, [&] { owner.engine->import_tag(tag, state); });
+}
+
+std::pair<engine::EngineStateSnapshot, sim::Middleware::Snapshot>
+ShardedService::seed_export() {
+  ensure_ready();
+  barrier();
+  return reference_seed(*shards_.begin()->second);
+}
+
+void ShardedService::seed_import(const engine::EngineStateSnapshot& engine_seed,
+                                 const sim::Middleware::Snapshot& middleware_seed) {
+  ensure_ready();
+  barrier();
+  // Reference state is identical on every shard by the broadcast invariant,
+  // so the seed restores into each one (a vire_shardd process has exactly
+  // one).
+  for (auto& [id, shard] : shards_) {
+    Shard& destination = *shard;
+    run_on(*destination.queue, [&] {
+      destination.engine->restore(engine_seed);
+      destination.middleware->restore(middleware_seed);
+    });
+  }
+}
+
+std::uint64_t ShardedService::admin_add_shard() { return add_shard().first; }
+
+std::uint64_t ShardedService::admin_remove_shard(std::uint32_t id) {
+  return remove_shard(id).moved_tags;
 }
 
 std::vector<std::uint32_t> ShardedService::shard_ids() const {

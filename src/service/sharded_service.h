@@ -224,6 +224,24 @@ class ShardedService : public Frontend {
   std::pair<std::uint32_t, RebalanceReport> add_shard();
   RebalanceReport remove_shard(std::uint32_t shard);
 
+  /// Elastic membership over the wire (wire v4 Frontend overrides). The
+  /// supervisor drives these against vire_shardd processes to move tag state
+  /// across process boundaries: export_tag_state atomically exports and
+  /// untracks one tag on its owner's thread; import_tag_state registers the
+  /// tag and adopts the state; seed_export/seed_import carry the same
+  /// reference-only seed seed_reference_state uses in-process. The admin_*
+  /// calls expose the in-process add_shard()/remove_shard() rebalancers.
+  std::optional<engine::TagStateSnapshot> export_tag_state(
+      sim::TagId tag) override;
+  void import_tag_state(sim::TagId tag, std::optional<std::uint32_t> zone,
+                        const engine::TagStateSnapshot& state) override;
+  std::pair<engine::EngineStateSnapshot, sim::Middleware::Snapshot> seed_export()
+      override;
+  void seed_import(const engine::EngineStateSnapshot& engine_seed,
+                   const sim::Middleware::Snapshot& middleware_seed) override;
+  std::uint64_t admin_add_shard() override;
+  std::uint64_t admin_remove_shard(std::uint32_t id) override;
+
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
   [[nodiscard]] std::vector<std::uint32_t> shard_ids() const;
   /// Current owner of a tag (tracked tags use their registered zone).
@@ -307,6 +325,10 @@ class ShardedService : public Frontend {
   [[nodiscard]] std::vector<sim::RssiReading> migration_readings(Shard& source,
                                                                  sim::TagId tag);
   void seed_reference_state(Shard& destination);
+  /// Donor's engine+middleware snapshot stripped to reference-only state
+  /// (shared by seed_reference_state and seed_export).
+  [[nodiscard]] std::pair<engine::EngineStateSnapshot, sim::Middleware::Snapshot>
+  reference_seed(Shard& donor);
   void checkpoint_on_thread(Shard& shard);
 
   env::Deployment deployment_;

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "obs/exporters.h"
+#include "persist/wal.h"
 #include "support/rng.h"
 
 namespace vire::service {
@@ -78,15 +79,6 @@ Supervisor::Supervisor(const env::Deployment& deployment,
     tracer_.set_enabled(true);
     config_.shardd_extra_args.emplace_back("--trace");
   }
-  for (int i = 0; i < config_.shards; ++i) {
-    const auto id = static_cast<std::uint32_t>(i);
-    router_.add_shard(id);
-    ManagedShard shard;
-    shard.id = id;
-    shard.socket = config_.root_dir / ("shard-" + std::to_string(id) + ".sock");
-    shard.data_dir = config_.root_dir / ("shard-" + std::to_string(id));
-    shards_.emplace(id, std::move(shard));
-  }
 
   restarts_total_ = &metrics_.counter("vire_supervisor_restarts_total", {},
                                       "Successful shard process restarts");
@@ -116,6 +108,25 @@ Supervisor::Supervisor(const env::Deployment& deployment,
   oplog_dropped_ = &metrics_.counter(
       "vire_supervisor_oplog_dropped_total", {},
       "Op-log entries evicted by the capacity bound (no longer replayable)");
+  oplog_overflow_ = &metrics_.counter(
+      "vire_supervisor_oplog_overflow_total", {},
+      "Op-log capacity overflows recovered via a journal-backed rebuild");
+  adoptions_total_ = &metrics_.counter(
+      "vire_supervisor_adoptions_total", {},
+      "Orphaned shard processes re-adopted after a supervisor restart");
+  membership_changes_add_ = &metrics_.counter(
+      "vire_supervisor_membership_changes_total", obs::label_pair("op", "add"),
+      "Live membership changes applied");
+  membership_changes_remove_ = &metrics_.counter(
+      "vire_supervisor_membership_changes_total",
+      obs::label_pair("op", "remove"), "Live membership changes applied");
+  membership_moved_tags_ = &metrics_.counter(
+      "vire_supervisor_membership_moved_tags_total", {},
+      "Tags migrated across shard processes by membership changes");
+  membership_replayed_readings_ = &metrics_.counter(
+      "vire_supervisor_membership_replayed_readings_total", {},
+      "WAL-suffix readings re-fed through ingest during cross-process "
+      "migration");
   polls_total_ =
       &metrics_.counter("vire_supervisor_polls_total", {}, "Fleet-wide polls");
   for (ShardState state : kAllStates) {
@@ -135,19 +146,81 @@ Supervisor::Supervisor(const env::Deployment& deployment,
   slo_burn_ = &metrics_.counter(
       "vire_fleet_slo_burn_total", {},
       "Polled fixes whose ingest-to-fix latency exceeded the SLO");
-  for (const auto& [id, shard] : shards_) {
-    const auto label = obs::label_pair("shard", std::to_string(id));
-    rtt_seconds_[id] = &metrics_.histogram(
-        "vire_fleet_shard_rtt_seconds", obs::default_latency_buckets_s(),
-        label, "Supervisor->shard heartbeat wire round-trip time");
-    anomaly_dumps_total_[id] = &metrics_.counter(
-        "vire_supervisor_shard_anomaly_dumps_total", label,
-        "Anomaly auto-dumps reported by shards in heartbeat acks");
-    clock_offset_gauges_[id] = &metrics_.gauge(
-        "vire_fleet_shard_clock_offset_us", label,
-        "Estimated shard trace-clock offset vs the supervisor (µs)");
+  // Control journal first, membership second: a journal over an existing
+  // root replaces the config_.shards bootstrap with the journaled truth.
+  if (config_.control_journal && !config_.root_dir.empty()) {
+    ControlJournalConfig jc;
+    jc.dir = config_.root_dir / "journal";
+    journal_ = std::make_unique<ControlJournal>(std::move(jc));
+    journal_->attach_metrics(metrics_);
+    if (config_.fleet_tracing) journal_->attach_tracer(&tracer_);
+  }
+  RecoveredControlState recovered;
+  if (journal_ != nullptr) recovered = journal_->recover();
+  if (recovered.recovered) {
+    restore_from_journal(std::move(recovered));
+  } else {
+    for (int i = 0; i < config_.shards; ++i) {
+      const auto id = static_cast<std::uint32_t>(i);
+      router_.add_shard(id);
+      shards_.emplace(id, make_shard(id));
+      if (journal_ != nullptr) {
+        journal_->record_add_shard(id);
+        journal_->record_shard_active(id);
+      }
+    }
+    next_shard_id_ = static_cast<std::uint32_t>(config_.shards);
   }
   refresh_state_metrics();
+}
+
+void Supervisor::restore_from_journal(RecoveredControlState recovered) {
+  recovered_from_journal_ = true;
+  ingest_seq_ = recovered.state.ingest_sequence;
+  next_shard_id_ = recovered.state.next_shard_id;
+  last_poll_time_ = recovered.state.last_poll_time;
+  reference_ids_ = std::move(recovered.state.reference_ids);
+  for (auto& tag : recovered.state.tags) {
+    tags_[tag.tag] = TrackedTag{std::move(tag.name), tag.zone};
+  }
+  for (auto& fix : recovered.state.latest) {
+    latest_[fix.tag] = std::move(fix);
+  }
+  for (const auto& member : recovered.state.members) {
+    ManagedShard shard = make_shard(member.id);
+    shard.phase = member.phase;
+    shard.last_ack = member.last_ack;
+    shard.polls_done = member.polls_done;
+    // The un-acked suffix: freshest batch sequences must stay above every
+    // journaled one, which restore already guarantees via ingest_sequence.
+    auto ops = recovered.oplogs.find(member.id);
+    if (ops != recovered.oplogs.end()) {
+      for (auto& op : ops->second) {
+        OpEntry entry;
+        entry.journal_seq = op.journal_sequence;
+        if (op.kind == JournaledOp::Kind::kBatch) {
+          entry.kind = OpEntry::Kind::kBatch;
+          entry.sequence = op.batch_sequence;
+          entry.readings = std::move(op.readings);
+        } else {
+          entry.kind = OpEntry::Kind::kPoll;
+          entry.time = op.time;
+        }
+        shard.oplog.push_back(std::move(entry));
+      }
+    }
+    if (member.breaker_open) {
+      // Re-open the breaker where it stood: the shard was crash-looping
+      // when the previous supervisor died, so restart with a cooled probe
+      // instead of an immediate respawn.
+      shard.state = ShardState::kDown;
+      shard.breaker_open_until = clock_->now() + config_.breaker_cooldown_s;
+    }
+    // Only active members sit in the router; joining members never finished
+    // their insert, draining members already left it.
+    if (member.phase == MemberPhase::kActive) router_.add_shard(member.id);
+    shards_.emplace(member.id, std::move(shard));
+  }
 }
 
 Supervisor::~Supervisor() {
@@ -163,6 +236,9 @@ void Supervisor::start() {
   if (started_) return;
   std::filesystem::create_directories(config_.root_dir);
   for (auto& [id, shard] : shards_) {
+    if (shard.state == ShardState::kDown) {
+      continue;  // recovered breaker-open: tick() probes after the cooldown
+    }
     if (bring_up(shard)) {
       mark_up(shard);
     } else {
@@ -170,32 +246,25 @@ void Supervisor::start() {
     }
   }
   started_ = true;
+  // Finish any join/drain a previous incarnation left mid-flight, then
+  // collapse the replayed journal suffix into a fresh checkpoint.
+  resume_membership();
+  if (journal_ != nullptr) write_control_checkpoint();
   refresh_state_metrics();
 }
 
 void Supervisor::stop() {
   std::lock_guard lock(mutex_);
+  // Clean shutdown contract: every UP shard's WAL catches up and the control
+  // journal checkpoints BEFORE teardown, so a SIGTERM restart replays zero
+  // ops (only a SIGKILL leaves an un-acked suffix behind).
+  if (started_) drain_and_checkpoint();
   for (auto& [id, shard] : shards_) {
     shard.client.reset();
     if (shard.pid > 0) ::kill(shard.pid, SIGTERM);
   }
   for (auto& [id, shard] : shards_) {
-    if (shard.pid > 0) {
-      const double deadline = clock_->now() + 2.0;
-      for (;;) {
-        int status = 0;
-        const pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
-        if (reaped == shard.pid || (reaped == -1 && errno == ECHILD)) {
-          shard.pid = -1;
-          break;
-        }
-        if (clock_->now() >= deadline) {
-          kill_child(shard, SIGKILL);
-          break;
-        }
-        clock_->sleep_for(0.01);
-      }
-    }
+    shutdown_child(shard, 2.0);
     shard.state = ShardState::kDown;
     // Keep the breaker open forever so a stray poll() after stop() degrades
     // instead of respawning.
@@ -211,14 +280,9 @@ void Supervisor::tick() {
   for (auto& [id, shard] : shards_) {
     switch (shard.state) {
       case ShardState::kUp: {
-        if (shard.pid > 0) {
-          int status = 0;
-          const pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
-          if (reaped == shard.pid || (reaped == -1 && errno == ECHILD)) {
-            shard.pid = -1;
-            handle_death(shard, DeathCause::kWaitpid);
-            break;
-          }
+        if (shard.pid > 0 && process_dead(shard)) {
+          handle_death(shard, DeathCause::kWaitpid);
+          break;
         }
         if (now - shard.last_heartbeat_ok >= config_.heartbeat_interval_s) {
           heartbeat_shard(shard);
@@ -245,9 +309,7 @@ void Supervisor::tick() {
           // Half-open probe: one restart attempt; success fully closes the
           // breaker, failure re-opens it for another cooldown.
           if (bring_up(shard)) {
-            shard.death_times.clear();
-            shard.restart_count = 0;
-            mark_up(shard);
+            close_breaker(shard);
           } else {
             shard.breaker_open_until =
                 clock_->now() + config_.breaker_cooldown_s;
@@ -256,6 +318,8 @@ void Supervisor::tick() {
         break;
     }
   }
+  resume_membership();
+  maybe_checkpoint();
   refresh_state_metrics();
 }
 
@@ -268,7 +332,11 @@ void Supervisor::ingest(const std::vector<sim::RssiReading>& readings) {
   std::map<std::uint32_t, std::vector<sim::RssiReading>> parts;
   for (const sim::RssiReading& reading : readings) {
     if (is_reference(reading.tag)) {
-      for (const auto& [id, shard] : shards_) parts[id].push_back(reading);
+      // Broadcast to active members only: a joining shard gets the reference
+      // history with its seed, a draining one is already leaving the fleet.
+      for (const auto& [id, shard] : shards_) {
+        if (shard.phase == MemberPhase::kActive) parts[id].push_back(reading);
+      }
     } else {
       parts[owner_of(reading.tag)].push_back(reading);
     }
@@ -293,6 +361,12 @@ void Supervisor::ingest(const std::vector<sim::RssiReading>& readings) {
       entry.sequence = base + 1 + off / kMaxReadingsPerBatch;
       entry.readings.assign(sub.begin() + static_cast<std::ptrdiff_t>(off),
                             sub.begin() + static_cast<std::ptrdiff_t>(off + len));
+      if (journal_ != nullptr) {
+        // Write-ahead: the batch is journaled before any delivery attempt,
+        // so a supervisor killed mid-ingest still replays it on restart.
+        entry.journal_seq =
+            journal_->record_batch(id, entry.sequence, entry.readings);
+      }
       const std::uint64_t sequence = entry.sequence;
       const std::vector<sim::RssiReading>& chunk = entry.readings;
       // Trace context is stamped UNCONDITIONALLY (same wire bytes whether
@@ -319,6 +393,7 @@ void Supervisor::ingest(const std::vector<sim::RssiReading>& readings) {
       }
     }
   }
+  maybe_checkpoint();
 }
 
 std::vector<engine::Fix> Supervisor::poll(sim::SimTime now) {
@@ -330,8 +405,10 @@ std::vector<engine::Fix> Supervisor::poll(sim::SimTime now) {
   // Stamped on every shard poll like the ingest context: identical bytes
   // with tracing on or off.
   const obs::TraceContext poll_ctx{trace_id_for(~poll_no), poll_no};
+  if (now > last_poll_time_) last_poll_time_ = now;  // migration horizon
   std::vector<engine::Fix> merged;
   for (auto& [id, shard] : shards_) {
+    if (shard.phase != MemberPhase::kActive) continue;  // owns no tags
     auto fixes = with_shard(
         shard, [now, &poll_ctx](ServiceClient& c) { return c.poll(now, poll_ctx); });
     const double shard_end_us = tracer_.now_us();
@@ -366,6 +443,7 @@ std::vector<engine::Fix> Supervisor::poll(sim::SimTime now) {
     OpEntry entry;
     entry.kind = OpEntry::Kind::kPoll;
     entry.time = now;
+    if (journal_ != nullptr) entry.journal_seq = journal_->record_poll(id, now);
     push_oplog(shard, std::move(entry));
     for (const auto& [tag, info] : tags_) {
       if (owner_of(tag) != id) continue;
@@ -388,6 +466,7 @@ std::vector<engine::Fix> Supervisor::poll(sim::SimTime now) {
             [](const engine::Fix& a, const engine::Fix& b) {
               return a.tag < b.tag;
             });
+  maybe_checkpoint();
   return merged;
 }
 
@@ -440,6 +519,9 @@ std::string Supervisor::snapshot_json() const {
     first = false;
     out += "{\"shard\":" + std::to_string(id);
     out += ",\"state\":\"" + std::string(to_string(shard.state)) + "\"";
+    out += ",\"phase\":\"" + std::string(to_string(shard.phase)) + "\"";
+    out += ",\"adopted\":";
+    out += shard.adopted ? "true" : "false";
     out += ",\"pid\":" + std::to_string(shard.pid);
     out += ",\"restart_count\":" + std::to_string(shard.restart_count);
     out += ",\"heartbeat_age_s\":" +
@@ -463,13 +545,23 @@ std::string Supervisor::snapshot_json() const {
     out += ",\"anomaly_dumps\":" + std::to_string(shard.anomaly_dumps);
     out += '}';
   }
-  out += "]},\"metrics\":" + obs::to_json(metrics_) + "}";
+  out += "],\"journal\":{\"enabled\":";
+  out += journal_ != nullptr ? "true" : "false";
+  if (journal_ != nullptr) {
+    out += ",\"next_sequence\":" + std::to_string(journal_->next_sequence());
+    out += ",\"since_checkpoint\":" +
+           std::to_string(journal_->appends_since_checkpoint());
+  }
+  out += "},\"recovered\":";
+  out += recovered_from_journal_ ? "true" : "false";
+  out += "},\"metrics\":" + obs::to_json(metrics_) + "}";
   return out;
 }
 
 void Supervisor::set_reference_ids(std::vector<sim::TagId> ids) {
   std::lock_guard lock(mutex_);
   reference_ids_ = std::move(ids);
+  if (journal_ != nullptr) journal_->record_set_reference(reference_ids_);
   for (auto& [id, shard] : shards_) {
     if (shard.state != ShardState::kUp || shard.client == nullptr) {
       continue;  // re-applied during bring_up()
@@ -488,6 +580,7 @@ void Supervisor::track(sim::TagId tag, std::string name,
   TrackedTag& info = tags_[tag];
   info.name = std::move(name);
   info.zone = zone;
+  if (journal_ != nullptr) journal_->record_track(tag, info.name, info.zone);
   ManagedShard& shard = shards_.at(owner_of(tag));
   if (shard.state != ShardState::kUp || shard.client == nullptr) return;
   try {
@@ -505,6 +598,9 @@ HeartbeatInfo Supervisor::heartbeat() {
   std::uint64_t min_ack = std::numeric_limits<std::uint64_t>::max();
   bool any = false;
   for (const auto& [id, shard] : shards_) {
+    // Joining members have acked nothing yet and draining members are on
+    // their way out: neither may drag the fleet durability cursor to zero.
+    if (shard.phase != MemberPhase::kActive) continue;
     any = true;
     min_ack = std::min(min_ack, shard.last_ack);
     info.anomaly_dumps += shard.anomaly_dumps;
@@ -619,6 +715,21 @@ std::size_t Supervisor::shard_count() const {
   return shards_.size();
 }
 
+MemberPhase Supervisor::member_phase(std::uint32_t shard) const {
+  std::lock_guard lock(mutex_);
+  return shards_.at(shard).phase;
+}
+
+bool Supervisor::shard_adopted(std::uint32_t shard) const {
+  std::lock_guard lock(mutex_);
+  return shards_.at(shard).adopted;
+}
+
+void Supervisor::checkpoint_now() {
+  std::lock_guard lock(mutex_);
+  write_control_checkpoint();
+}
+
 // ---------------------------------------------------------------------------
 // Routing
 
@@ -635,6 +746,31 @@ bool Supervisor::is_reference(sim::TagId tag) const {
 
 // ---------------------------------------------------------------------------
 // Process lifecycle
+
+Supervisor::ManagedShard Supervisor::make_shard(std::uint32_t id) {
+  ManagedShard shard;
+  shard.id = id;
+  shard.socket = config_.root_dir / ("shard-" + std::to_string(id) + ".sock");
+  shard.data_dir = config_.root_dir / ("shard-" + std::to_string(id));
+  ensure_shard_metrics(id);
+  return shard;
+}
+
+void Supervisor::ensure_shard_metrics(std::uint32_t id) {
+  // Lazy: shards can now join at runtime, so per-shard families are created
+  // on first sight of an id instead of once in the constructor.
+  if (rtt_seconds_.count(id) != 0) return;
+  const auto label = obs::label_pair("shard", std::to_string(id));
+  rtt_seconds_[id] = &metrics_.histogram(
+      "vire_fleet_shard_rtt_seconds", obs::default_latency_buckets_s(), label,
+      "Supervisor->shard heartbeat wire round-trip time");
+  anomaly_dumps_total_[id] = &metrics_.counter(
+      "vire_supervisor_shard_anomaly_dumps_total", label,
+      "Anomaly auto-dumps reported by shards in heartbeat acks");
+  clock_offset_gauges_[id] = &metrics_.gauge(
+      "vire_fleet_shard_clock_offset_us", label,
+      "Estimated shard trace-clock offset vs the supervisor (µs)");
+}
 
 void Supervisor::spawn(ManagedShard& shard) {
   std::error_code ec;
@@ -666,47 +802,128 @@ void Supervisor::spawn(ManagedShard& shard) {
     ::_exit(127);
   }
   shard.pid = pid;
+  shard.adopted = false;
+  // Pidfile for the adoption handshake: a future supervisor incarnation
+  // finds the (by then orphaned) process through it. Plain ofstream is fine
+  // — a torn pidfile just fails adoption and falls back to respawn.
+  std::ofstream pidfile(shard.data_dir / "shardd.pid", std::ios::trunc);
+  pidfile << pid << '\n';
   tracer_.instant("supervisor.spawn", "{\"shard\":" + std::to_string(shard.id) +
                                           ",\"pid\":" + std::to_string(pid) +
                                           "}");
 }
 
+bool Supervisor::try_adopt(ManagedShard& shard) {
+  // A SIGKILLed supervisor's shardd children were reparented to init and
+  // kept serving. We cannot waitpid a non-child, so liveness is kill(pid,0)
+  // (ESRCH = gone) and the socket handshake proves it is actually serving.
+  long pid = -1;
+  {
+    std::ifstream pidfile(shard.data_dir / "shardd.pid");
+    if (!(pidfile >> pid) || pid <= 0) return false;
+  }
+  if (pid == static_cast<long>(::getpid())) return false;  // corrupt pidfile
+  if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH) return false;
+  try {
+    ClientConfig cc;
+    cc.read_timeout_s = config_.request_timeout_s;
+    cc.peer_name = "supervisor";
+    shard.client = std::make_unique<ServiceClient>(shard.socket, cc);
+  } catch (const TransportError&) {
+    // Alive but not serving (wedged orphan): clear it so spawn() owns the
+    // socket path again.
+    ::kill(static_cast<pid_t>(pid), SIGKILL);
+    return false;
+  }
+  shard.pid = static_cast<pid_t>(pid);
+  shard.adopted = true;
+  adoptions_total_->inc();
+  tracer_.instant("supervisor.adopt", "{\"shard\":" + std::to_string(shard.id) +
+                                          ",\"pid\":" + std::to_string(pid) +
+                                          "}");
+  return true;
+}
+
 void Supervisor::kill_child(ManagedShard& shard, int signal) noexcept {
   if (shard.pid <= 0) return;
   ::kill(shard.pid, signal);
-  int status = 0;
-  ::waitpid(shard.pid, &status, 0);
+  if (shard.adopted) {
+    // Not our child: init reaps it; poll for ESRCH instead of waitpid.
+    const double deadline = clock_->now() + 2.0;
+    while (::kill(shard.pid, 0) == 0 && clock_->now() < deadline) {
+      clock_->sleep_for(0.005);
+    }
+  } else {
+    int status = 0;
+    ::waitpid(shard.pid, &status, 0);
+  }
   shard.pid = -1;
+  shard.adopted = false;
+}
+
+void Supervisor::shutdown_child(ManagedShard& shard, double grace_s) noexcept {
+  if (shard.pid <= 0) return;
+  const double deadline = clock_->now() + grace_s;
+  for (;;) {
+    if (process_dead(shard)) {
+      shard.pid = -1;
+      shard.adopted = false;
+      return;
+    }
+    if (clock_->now() >= deadline) {
+      kill_child(shard, SIGKILL);
+      return;
+    }
+    clock_->sleep_for(0.01);
+  }
+}
+
+bool Supervisor::process_dead(ManagedShard& shard) noexcept {
+  if (shard.pid <= 0) return true;
+  if (shard.adopted) {
+    return ::kill(shard.pid, 0) != 0 && errno == ESRCH;
+  }
+  int status = 0;
+  const pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
+  return reaped == shard.pid || (reaped == -1 && errno == ECHILD);
 }
 
 bool Supervisor::bring_up(ManagedShard& shard) {
   const obs::TraceSpan span(&tracer_, "supervisor.bring_up",
                             shard_json(shard.id));
   shard.client.reset();
-  kill_child(shard, SIGKILL);  // no-op when already reaped
-  spawn(shard);
-  if (shard.pid < 0) return false;
+  // Adoption first: when we hold no process (typically the first bring-up
+  // after a supervisor restart) a previous incarnation's shardd may still be
+  // running over this shard's data. Re-attaching keeps its warm engine state
+  // AND its WAL exactly where the old supervisor left them.
+  if (shard.pid <= 0 && try_adopt(shard)) {
+    // Connected to a live orphan; registration + replay below.
+  } else {
+    kill_child(shard, SIGKILL);  // no-op when already reaped
+    spawn(shard);
+    if (shard.pid < 0) return false;
 
-  const double deadline = clock_->now() + config_.spawn_wait_s;
-  for (;;) {
-    int status = 0;
-    const pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
-    if (reaped == shard.pid || (reaped == -1 && errno == ECHILD)) {
-      shard.pid = -1;  // died before serving (e.g. --abort-on-start)
-      return false;
-    }
-    try {
-      ClientConfig cc;
-      cc.read_timeout_s = config_.request_timeout_s;
-      cc.peer_name = "supervisor";
-      shard.client = std::make_unique<ServiceClient>(shard.socket, cc);
-      break;
-    } catch (const TransportError&) {
-      if (clock_->now() >= deadline) {
-        kill_child(shard, SIGKILL);
+    const double deadline = clock_->now() + config_.spawn_wait_s;
+    for (;;) {
+      int status = 0;
+      const pid_t reaped = ::waitpid(shard.pid, &status, WNOHANG);
+      if (reaped == shard.pid || (reaped == -1 && errno == ECHILD)) {
+        shard.pid = -1;  // died before serving (e.g. --abort-on-start)
         return false;
       }
-      clock_->sleep_for(config_.connect_retry_s);
+      try {
+        ClientConfig cc;
+        cc.read_timeout_s = config_.request_timeout_s;
+        cc.peer_name = "supervisor";
+        shard.client = std::make_unique<ServiceClient>(shard.socket, cc);
+        break;
+      } catch (const TransportError&) {
+        if (clock_->now() >= deadline) {
+          kill_child(shard, SIGKILL);
+          return false;
+        }
+        clock_->sleep_for(config_.connect_retry_s);
+      }
     }
   }
 
@@ -733,6 +950,30 @@ bool Supervisor::bring_up(ManagedShard& shard) {
 void Supervisor::replay(ManagedShard& shard) {
   const obs::TraceSpan span(&tracer_, "supervisor.replay",
                             shard_json(shard.id));
+  if (shard.oplog_overflow && journal_ != nullptr) {
+    // Capacity overflow evicted journal-backed entries (push_oplog): rebuild
+    // the full un-acked suffix from the journal instead of replaying a
+    // truncated one. overflow_floor kept the needed records from pruning.
+    std::deque<OpEntry> rebuilt;
+    for (auto& op : journal_->collect_oplog(shard.id, shard.last_ack,
+                                            shard.polls_done)) {
+      OpEntry entry;
+      entry.journal_seq = op.journal_sequence;
+      if (op.kind == JournaledOp::Kind::kBatch) {
+        entry.kind = OpEntry::Kind::kBatch;
+        entry.sequence = op.batch_sequence;
+        entry.readings = std::move(op.readings);
+      } else {
+        entry.kind = OpEntry::Kind::kPoll;
+        entry.time = op.time;
+      }
+      rebuilt.push_back(std::move(entry));
+    }
+    shard.oplog = std::move(rebuilt);
+    shard.oplog_overflow = false;
+    shard.overflow_floor = 0;
+  }
+  std::uint64_t polls_done = shard.polls_done;
   for (auto it = shard.oplog.begin(); it != shard.oplog.end();) {
     if (it->kind == OpEntry::Kind::kBatch) {
       if (it->sequence > shard.last_ack) {
@@ -757,7 +998,17 @@ void Supervisor::replay(ManagedShard& shard) {
         // the original identically, so dropping it cannot diverge the
         // timeline — keeping it would crash-loop bring_up forever.
       }
+      if (it->journal_seq > polls_done) polls_done = it->journal_seq;
       it = shard.oplog.erase(it);
+    }
+  }
+  if (polls_done > shard.polls_done) {
+    // Journaled polls are NOT idempotent the way batches are (no shard-side
+    // sequence gate): mark them executed so a later recovery replays only
+    // polls this incarnation never delivered.
+    shard.polls_done = polls_done;
+    if (journal_ != nullptr) {
+      journal_->record_polls_done(shard.id, polls_done);
     }
   }
   // Heartbeat forces the shard to drain its queue and journal the replayed
@@ -774,8 +1025,27 @@ void Supervisor::observe_ack(ManagedShard& shard, std::uint64_t ack) {
 
 void Supervisor::push_oplog(ManagedShard& shard, OpEntry entry) {
   if (shard.oplog.size() >= config_.oplog_capacity) {
+    OpEntry& victim = shard.oplog.front();
+    if (journal_ != nullptr && victim.journal_seq != 0) {
+      // The evicted entry survives in the control journal: mark the shard
+      // for a journal-backed op-log rebuild at its next bring-up (replay())
+      // instead of silently losing replayable history. overflow_floor pins
+      // the checkpoint floor so the suffix is not pruned meanwhile.
+      if (shard.overflow_floor == 0 ||
+          victim.journal_seq < shard.overflow_floor) {
+        shard.overflow_floor = victim.journal_seq;
+      }
+      if (!shard.oplog_overflow) {
+        shard.oplog_overflow = true;
+        oplog_overflow_->inc();
+        tracer_.instant("supervisor.oplog_overflow", shard_json(shard.id),
+                        'g');
+      }
+    } else {
+      // No journal to rebuild from: this entry really is gone.
+      oplog_dropped_->inc();
+    }
     shard.oplog.pop_front();
-    oplog_dropped_->inc();
   }
   shard.oplog.push_back(std::move(entry));
 }
@@ -810,6 +1080,7 @@ void Supervisor::handle_death(ManagedShard& shard, DeathCause cause) {
     shard.state = ShardState::kDown;
     shard.breaker_open_until = now + config_.breaker_cooldown_s;
     breaker_open_total_->inc();
+    if (journal_ != nullptr) journal_->record_breaker(shard.id, true);
     tracer_.instant("supervisor.breaker_open", shard_json(shard.id), 'g');
   } else {
     shard.state = ShardState::kBackoff;
@@ -824,9 +1095,7 @@ bool Supervisor::try_revive(ManagedShard& shard) {
   if (shard.state == ShardState::kDown) {
     if (clock_->now() < shard.breaker_open_until) return false;
     if (bring_up(shard)) {
-      shard.death_times.clear();
-      shard.restart_count = 0;
-      mark_up(shard);
+      close_breaker(shard);
       return true;
     }
     shard.breaker_open_until = clock_->now() + config_.breaker_cooldown_s;
@@ -847,6 +1116,13 @@ bool Supervisor::try_revive(ManagedShard& shard) {
   return false;
 }
 
+void Supervisor::close_breaker(ManagedShard& shard) {
+  shard.death_times.clear();
+  shard.restart_count = 0;
+  if (journal_ != nullptr) journal_->record_breaker(shard.id, false);
+  mark_up(shard);
+}
+
 void Supervisor::mark_up(ManagedShard& shard) {
   shard.state = ShardState::kUp;
   const double now = clock_->now();
@@ -856,7 +1132,8 @@ void Supervisor::mark_up(ManagedShard& shard) {
   // mixing pre-restart offset samples would corrupt the rebase.
   shard.offset.reset();
   shard.anomaly_dumps = 0;
-  if (started_) restarts_total_->inc();
+  // A joining shard's first bring-up is an arrival, not a restart.
+  if (started_ && shard.phase != MemberPhase::kJoining) restarts_total_->inc();
   tracer_.instant("supervisor.shard_up", shard_json(shard.id), 'g');
   refresh_state_metrics();
 }
@@ -910,6 +1187,318 @@ void Supervisor::heartbeat_shard(ManagedShard& shard) {
     // kError response: the shard is alive but refused the probe; the
     // staleness detector in tick() escalates if this persists.
   }
+}
+
+// ---------------------------------------------------------------------------
+// Durable control plane
+
+ControlCheckpoint Supervisor::build_checkpoint() const {
+  ControlCheckpoint state;
+  std::uint64_t floor = journal_->next_sequence();
+  for (const auto& [id, shard] : shards_) {
+    for (const auto& entry : shard.oplog) {
+      if (entry.journal_seq != 0) floor = std::min(floor, entry.journal_seq);
+    }
+    if (shard.oplog_overflow && shard.overflow_floor != 0) {
+      floor = std::min(floor, shard.overflow_floor);
+    }
+  }
+  state.journal_floor = floor;
+  state.ingest_sequence = ingest_seq_;
+  state.next_shard_id = next_shard_id_;
+  state.last_poll_time = last_poll_time_;
+  for (const auto& [id, shard] : shards_) {
+    ControlCheckpoint::Member member;
+    member.id = id;
+    member.phase = shard.phase;
+    member.last_ack = shard.last_ack;
+    member.breaker_open = shard.state == ShardState::kDown;
+    member.polls_done = shard.polls_done;
+    state.members.push_back(member);
+  }
+  state.reference_ids = reference_ids_;
+  for (const auto& [tag, info] : tags_) {
+    state.tags.push_back(ControlCheckpoint::Tag{tag, info.name, info.zone});
+  }
+  for (const auto& [tag, fix] : latest_) state.latest.push_back(fix);
+  return state;
+}
+
+void Supervisor::write_control_checkpoint() {
+  if (journal_ == nullptr) return;
+  const obs::TraceSpan span(&tracer_, "supervisor.journal_checkpoint");
+  journal_->checkpoint(build_checkpoint());
+}
+
+void Supervisor::maybe_checkpoint() {
+  if (journal_ == nullptr) return;
+  if (journal_->appends_since_checkpoint() <
+      config_.journal_checkpoint_every_ops) {
+    return;
+  }
+  write_control_checkpoint();
+}
+
+void Supervisor::drain_and_checkpoint() {
+  if (journal_ == nullptr) return;
+  for (auto& [id, shard] : shards_) {
+    if (shard.state != ShardState::kUp || shard.client == nullptr) continue;
+    try {
+      const HeartbeatAck ack = shard.client->heartbeat(++shard.heartbeat_seq);
+      observe_ack(shard, ack.last_ack_sequence);
+      trim_oplog(shard);
+    } catch (const std::exception&) {
+      // Dead mid-shutdown: its un-acked suffix stays journaled for replay.
+    }
+  }
+  write_control_checkpoint();
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership
+
+std::uint64_t Supervisor::admin_add_shard() {
+  std::lock_guard lock(mutex_);
+  if (!started_) {
+    throw std::runtime_error("add_shard: supervisor is not started");
+  }
+  const std::uint32_t id = next_shard_id_++;
+  // Journal the intent first: a supervisor killed mid-join resumes it.
+  if (journal_ != nullptr) journal_->record_add_shard(id);
+  ManagedShard fresh = make_shard(id);
+  fresh.phase = MemberPhase::kJoining;
+  auto [it, inserted] = shards_.emplace(id, std::move(fresh));
+  ManagedShard& shard = it->second;
+  if (!bring_up(shard)) {
+    // Roll the membership record back — an id is cheap, a permanently
+    // joining ghost member is not.
+    if (journal_ != nullptr) journal_->record_remove_shard(id);
+    shards_.erase(it);
+    refresh_state_metrics();
+    throw std::runtime_error("add_shard: new shard process failed to start");
+  }
+  mark_up(shard);
+  complete_join(shard);
+  maybe_checkpoint();
+  refresh_state_metrics();
+  return id;
+}
+
+std::uint64_t Supervisor::admin_remove_shard(std::uint32_t id) {
+  std::lock_guard lock(mutex_);
+  const auto it = shards_.find(id);
+  if (it == shards_.end()) {
+    throw std::invalid_argument("remove_shard: unknown shard " +
+                                std::to_string(id));
+  }
+  ManagedShard& shard = it->second;
+  if (shard.phase == MemberPhase::kJoining) {
+    throw std::runtime_error("remove_shard: shard is still joining");
+  }
+  bool was_active = shard.phase == MemberPhase::kActive;
+  if (was_active) {
+    std::size_t active = 0;
+    for (const auto& [sid, s] : shards_) {
+      if (s.phase == MemberPhase::kActive) ++active;
+    }
+    if (active <= 1) {
+      throw std::runtime_error("remove_shard: cannot remove the last active "
+                               "shard");
+    }
+    // The drain needs the source's WAL complete: revive it (replaying any
+    // un-acked suffix) before committing to the removal.
+    if (!try_revive(shard)) {
+      throw std::runtime_error("remove_shard: shard " + std::to_string(id) +
+                               " is unreachable; retry once it revives");
+    }
+    if (journal_ != nullptr) journal_->record_shard_draining(id);
+    shard.phase = MemberPhase::kDraining;
+  }
+  const std::uint64_t moved = drain_shard(shard, /*in_router=*/was_active);
+  ::kill(shard.pid, SIGTERM);
+  shutdown_child(shard, 2.0);
+  if (journal_ != nullptr) journal_->record_remove_shard(id);
+  shards_.erase(it);
+  membership_changes_remove_->inc();
+  membership_moved_tags_->inc(moved);
+  tracer_.instant("supervisor.shard_removed", shard_json(id), 'g');
+  maybe_checkpoint();
+  refresh_state_metrics();
+  return moved;
+}
+
+void Supervisor::complete_join(ManagedShard& fresh) {
+  const obs::TraceSpan span(&tracer_, "supervisor.join", shard_json(fresh.id));
+  // Pre-insert owners: only tags whose route changes get migrated.
+  std::map<sim::TagId, std::uint32_t> old_owner;
+  for (const auto& [tag, info] : tags_) {
+    if (is_reference(tag)) continue;
+    old_owner[tag] = owner_of(tag);
+  }
+  // Seed the newcomer with the fleet's broadcast state (reference tags,
+  // reader health, grids) from any reachable active donor, so its engine
+  // computes from the same history as everyone else's.
+  for (auto& [donor_id, donor] : shards_) {
+    if (donor_id == fresh.id || donor.phase != MemberPhase::kActive) continue;
+    if (!try_revive(donor)) continue;
+    const SeedState seed = donor.client->seed_export();
+    fresh.client->seed_import(seed);
+    break;
+  }
+  router_.add_shard(fresh.id);
+  std::uint64_t moved = 0;
+  for (const auto& [tag, owner] : old_owner) {
+    const std::uint32_t now_owner = owner_of(tag);
+    if (now_owner == owner) continue;
+    migrate_tag_cross(tag, owner, now_owner);
+    ++moved;
+  }
+  if (journal_ != nullptr) journal_->record_shard_active(fresh.id);
+  fresh.phase = MemberPhase::kActive;
+  membership_changes_add_->inc();
+  membership_moved_tags_->inc(moved);
+  tracer_.instant("supervisor.shard_joined", shard_json(fresh.id), 'g');
+}
+
+std::uint64_t Supervisor::drain_shard(ManagedShard& shard, bool in_router) {
+  const obs::TraceSpan span(&tracer_, "supervisor.drain", shard_json(shard.id));
+  // Owners as routed WITH the draining shard present, vs without: a resumed
+  // drain (supervisor restarted mid-removal) rebuilt the router without it,
+  // so re-insert temporarily to recompute what it used to own.
+  if (!in_router) router_.add_shard(shard.id);
+  std::map<sim::TagId, std::uint32_t> old_owner;
+  for (const auto& [tag, info] : tags_) {
+    if (is_reference(tag)) continue;
+    old_owner[tag] = owner_of(tag);
+  }
+  router_.remove_shard(shard.id);
+  std::uint64_t moved = 0;
+  for (const auto& [tag, owner] : old_owner) {
+    const std::uint32_t now_owner = owner_of(tag);
+    if (now_owner == owner) continue;
+    migrate_tag_cross(tag, owner, now_owner);
+    ++moved;
+  }
+  return moved;
+}
+
+void Supervisor::resume_membership() {
+  std::vector<std::uint32_t> pending;
+  for (const auto& [id, shard] : shards_) {
+    if (shard.phase != MemberPhase::kActive &&
+        shard.state == ShardState::kUp) {
+      pending.push_back(id);
+    }
+  }
+  for (const std::uint32_t id : pending) {
+    const auto it = shards_.find(id);
+    if (it == shards_.end()) continue;
+    ManagedShard& shard = it->second;
+    try {
+      if (shard.phase == MemberPhase::kJoining) {
+        complete_join(shard);
+      } else if (shard.phase == MemberPhase::kDraining) {
+        const std::uint64_t moved = drain_shard(shard, /*in_router=*/false);
+        ::kill(shard.pid, SIGTERM);
+        shutdown_child(shard, 2.0);
+        if (journal_ != nullptr) journal_->record_remove_shard(id);
+        shards_.erase(it);
+        membership_changes_remove_->inc();
+        membership_moved_tags_->inc(moved);
+        tracer_.instant("supervisor.shard_removed", shard_json(id), 'g');
+      }
+    } catch (const std::exception&) {
+      // A peer this change depends on is unreachable right now; the phase is
+      // journaled, so the next tick retries the completion.
+    }
+  }
+}
+
+void Supervisor::migrate_tag_cross(sim::TagId tag, std::uint32_t from_id,
+                                   std::uint32_t to_id) {
+  const obs::TraceSpan span(
+      &tracer_, "supervisor.migrate_tag",
+      "{\"tag\":" + std::to_string(tag) + ",\"from\":" +
+          std::to_string(from_id) + ",\"to\":" + std::to_string(to_id) + "}");
+  const TrackedTag& info = tags_.at(tag);
+  ManagedShard& dest = shards_.at(to_id);
+  std::optional<engine::TagStateSnapshot> state;
+  std::vector<sim::RssiReading> readings;
+  const auto from_it = shards_.find(from_id);
+  if (from_it != shards_.end()) {
+    ManagedShard& source = from_it->second;
+    if (source.state == ShardState::kUp && source.client != nullptr) {
+      try {
+        // Flush the source first so its WAL covers everything delivered,
+        // then export (+untrack) the per-tag tracker state.
+        const HeartbeatAck ack =
+            source.client->heartbeat(++source.heartbeat_seq);
+        observe_ack(source, ack.last_ack_sequence);
+        trim_oplog(source);
+        state = source.client->export_tag_state(tag);
+      } catch (const TransportError&) {
+        handle_death(source, DeathCause::kSocket);
+      } catch (const std::exception&) {
+        // kError: the source no longer tracks the tag (e.g. a migration
+        // interrupted by a supervisor crash already exported it).
+      }
+    }
+    readings = migration_readings_cross(source, tag);
+  }
+  if (!state.has_value()) {
+    // Source dead or already exported: the tag restarts from a fresh tracker
+    // at the destination; its RSSI window still re-feeds from the WAL below.
+    engine::TagStateSnapshot fallback;
+    fallback.name = info.name;
+    state = fallback;
+  }
+  if (!try_revive(dest)) {
+    throw std::runtime_error("migrate: destination shard " +
+                             std::to_string(to_id) + " is unreachable");
+  }
+  // Re-feed the moved tag's WAL suffix through the destination's NORMAL
+  // ingest path (journaled into its WAL like any live reading), then land
+  // the exported state on top — same order as the in-process rebalance.
+  for (std::size_t off = 0; off < readings.size();
+       off += kMaxReadingsPerBatch) {
+    const std::size_t len =
+        std::min(kMaxReadingsPerBatch, readings.size() - off);
+    dest.client->stream(std::vector<sim::RssiReading>(
+        readings.begin() + static_cast<std::ptrdiff_t>(off),
+        readings.begin() + static_cast<std::ptrdiff_t>(off + len)));
+  }
+  dest.client->import_tag_state(tag, info.zone, *state);
+  membership_replayed_readings_->inc(readings.size());
+}
+
+std::vector<sim::RssiReading> Supervisor::migration_readings_cross(
+    const ManagedShard& source, sim::TagId tag) const {
+  // The tag's journaled suffix still inside the middleware window — the same
+  // strict half-open filter ShardedService::migration_readings uses, so the
+  // re-fed set is exactly the source's buffer. shardd hosts a single-shard
+  // ShardedService, so its WAL lives under <data_dir>/shard-0/wal.
+  const double horizon = last_poll_time_ - config_.middleware_window_s;
+  std::vector<sim::RssiReading> readings;
+  const auto wal = persist::read_wal(source.data_dir / "shard-0" / "wal");
+  for (const auto& frame : wal.frames) {
+    if (frame.type != persist::FrameType::kReading) continue;
+    if (frame.reading.tag != tag) continue;
+    if (frame.reading.time <= horizon) continue;
+    readings.push_back(frame.reading);
+  }
+  // Un-acked batches never reached the source's WAL; their readings live
+  // only in our op-log. Append them after the WAL suffix (they are newer
+  // than every acked reading by construction).
+  for (const auto& entry : source.oplog) {
+    if (entry.kind != OpEntry::Kind::kBatch) continue;
+    if (entry.sequence <= source.last_ack) continue;
+    for (const auto& reading : entry.readings) {
+      if (reading.tag == tag && reading.time > horizon) {
+        readings.push_back(reading);
+      }
+    }
+  }
+  return readings;
 }
 
 void Supervisor::refresh_state_metrics() {

@@ -31,6 +31,21 @@
 // Combined with the shard's own resume gate this keeps the merged poll
 // stream fix-for-fix bit-identical to an uninterrupted single-engine run
 // (tests/service/supervisor_chaos_test.cpp).
+//
+// Durable control plane (docs/service.md, "Supervisor failover & elastic
+// membership"): the control-plane state that used to live only in this
+// process — op-logs, the ingest cursor, router membership, breaker states —
+// is journaled write-ahead to <root>/journal/ (service/control_journal.h)
+// and checkpointed periodically. A supervisor restarted over an existing
+// root rebuilds all of it, re-adopts still-running orphaned shard processes
+// (pidfile + socket handshake; it cannot waitpid them, so liveness is
+// kill(pid,0)/ESRCH) or respawns dead ones, and replays only the un-acked
+// suffix — merged polls stay bit-identical through a SIGKILL of the
+// *supervisor* itself. Membership is elastic at runtime: admin_add_shard /
+// admin_remove_shard (wire kAddShard/kRemoveShard) walk a journaled
+// joining->active->draining state machine, seed newcomers with a
+// reference-only snapshot and re-feed moved tags from the source shard's
+// WAL suffix through normal ingest.
 
 #include <sys/types.h>
 
@@ -50,6 +65,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/client.h"
+#include "service/control_journal.h"
 #include "service/frontend.h"
 #include "service/shard_router.h"
 #include "sim/types.h"
@@ -144,10 +160,22 @@ struct SupervisorConfig {
   double connect_retry_s = 0.02;
 
   std::uint64_t seed = 0;
-  /// Per-shard op-log bound (entries). Overflow drops the oldest entry and
-  /// counts vire_supervisor_oplog_dropped_total — a dropped entry can no
-  /// longer be replayed, so size this above the worst-case un-acked window.
+  /// Per-shard op-log bound (entries). Overflow evicts the oldest entry; with
+  /// the control journal on, the evicted history stays recoverable (the shard
+  /// is marked for a journal-backed op-log rebuild at its next bring-up and
+  /// vire_supervisor_oplog_overflow_total counts the episode). Only with the
+  /// journal off is an evicted entry truly unreplayable
+  /// (vire_supervisor_oplog_dropped_total).
   std::size_t oplog_capacity = 4096;
+
+  /// Durable control plane: journal every control-plane op (ingest batches,
+  /// sequence allocations, membership and breaker transitions) to
+  /// <root_dir>/journal/ so a restarted supervisor rebuilds its op-log,
+  /// reseeds sequences, re-adopts orphaned shard processes and replays only
+  /// the un-acked suffix.
+  bool control_journal = true;
+  /// Journal appends between automatic control checkpoints.
+  std::uint64_t journal_checkpoint_every_ops = 1024;
 
   /// Fleet-wide tracing (docs/observability.md, "Fleet observability"):
   /// enables the supervisor's own tracer and passes --trace to every spawned
@@ -210,6 +238,14 @@ class Supervisor : public Frontend {
   /// {"fleet":[{"shard":N,"provenance":{...}},...]} — explain_fix-style
   /// introspection against a live fleet through one connection.
   std::optional<std::string> provenance_json() override;
+  /// Live membership (wire kAddShard/kRemoveShard): spawn + seed + migrate a
+  /// new shard process into the fleet, returning its id; or drain shard `id`
+  /// (WAL-suffix migration of every tag it owns) and retire its process,
+  /// returning the number of tags moved. Both journal the state machine
+  /// (joining -> active -> draining) so an interrupted change resumes after
+  /// a supervisor restart.
+  std::uint64_t admin_add_shard() override;
+  std::uint64_t admin_remove_shard(std::uint32_t id) override;
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept override {
     return metrics_;
   }
@@ -227,6 +263,14 @@ class Supervisor : public Frontend {
   [[nodiscard]] pid_t shard_pid(std::uint32_t shard) const;
   [[nodiscard]] std::uint64_t restarts() const noexcept;
   [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] MemberPhase member_phase(std::uint32_t shard) const;
+  [[nodiscard]] bool shard_adopted(std::uint32_t shard) const;
+  /// True when the constructor rebuilt state from an existing journal.
+  [[nodiscard]] bool recovered_from_journal() const noexcept {
+    return recovered_from_journal_;
+  }
+  /// Forces a control checkpoint now (drills; stop() does this implicitly).
+  void checkpoint_now();
   [[nodiscard]] const ShardRouter& router() const noexcept { return router_; }
   [[nodiscard]] const SupervisorConfig& config() const noexcept {
     return config_;
@@ -240,6 +284,8 @@ class Supervisor : public Frontend {
     std::uint64_t sequence = 0;               ///< kBatch
     std::vector<sim::RssiReading> readings;   ///< kBatch
     sim::SimTime time = 0.0;                  ///< kPoll (missed while dead)
+    /// Control-journal sequence of this entry (0 = journal disabled).
+    std::uint64_t journal_seq = 0;
   };
 
   struct ManagedShard {
@@ -247,6 +293,12 @@ class Supervisor : public Frontend {
     std::filesystem::path socket;
     std::filesystem::path data_dir;
     pid_t pid = -1;
+    /// True when `pid` is an orphan from a previous supervisor incarnation
+    /// re-adopted via its pidfile: not our child, so liveness checks use
+    /// kill(pid, 0)/ESRCH instead of waitpid.
+    bool adopted = false;
+    /// Membership state machine position (journaled; control_journal.h).
+    MemberPhase phase = MemberPhase::kActive;
     std::unique_ptr<ServiceClient> client;
     ShardState state = ShardState::kStarting;
     int restart_count = 0;        ///< consecutive failed/backed-off restarts
@@ -259,6 +311,14 @@ class Supervisor : public Frontend {
     double breaker_open_until = 0.0;
     /// Un-acked batches + undelivered polls, in original order.
     std::deque<OpEntry> oplog;
+    /// Capacity overflow evicted journal-backed entries: rebuild the op-log
+    /// from the control journal at the next bring-up (replay()).
+    bool oplog_overflow = false;
+    /// Journal sequence of the oldest evicted entry — holds the checkpoint
+    /// floor down so the needed suffix is never pruned before the rebuild.
+    std::uint64_t overflow_floor = 0;
+    /// Journal sequence through which journaled polls have been executed.
+    std::uint64_t polls_done = 0;
     /// Clock offset of this shard's trace clock vs the supervisor's,
     /// estimated from heartbeat round trips; reset when the process restarts
     /// (a new process has a new clock epoch).
@@ -274,8 +334,22 @@ class Supervisor : public Frontend {
   [[nodiscard]] std::uint32_t owner_of(sim::TagId tag) const;
   [[nodiscard]] bool is_reference(sim::TagId tag) const;
 
+  /// Builds a ManagedShard record (paths + lazily-registered per-shard
+  /// metrics) for `id`; does not insert it into shards_.
+  [[nodiscard]] ManagedShard make_shard(std::uint32_t id);
+  void ensure_shard_metrics(std::uint32_t id);
+
   void spawn(ManagedShard& shard);
+  /// Re-attach to a still-running orphan from a previous supervisor
+  /// incarnation: pidfile -> kill(pid,0) liveness -> socket handshake.
+  bool try_adopt(ManagedShard& shard);
   void kill_child(ManagedShard& shard, int signal) noexcept;
+  /// Waits `grace_s` for the child to exit (the caller sends SIGTERM first),
+  /// then SIGKILLs; reaps children, ESRCH-polls adoptees.
+  void shutdown_child(ManagedShard& shard, double grace_s) noexcept;
+  /// True when the shard's process is gone (waitpid for children, ESRCH for
+  /// adoptees). Reaps a dead child as a side effect.
+  [[nodiscard]] bool process_dead(ManagedShard& shard) noexcept;
   /// Spawn + connect + handshake + re-register + recover + replay. Returns
   /// false (child killed/reaped) on any failure.
   bool bring_up(ManagedShard& shard);
@@ -297,6 +371,34 @@ class Supervisor : public Frontend {
   [[nodiscard]] double backoff_delay(const ManagedShard& shard) const;
   void heartbeat_shard(ManagedShard& shard);
   void refresh_state_metrics();
+  void close_breaker(ManagedShard& shard);
+
+  // Control journal (tentpole). All called with mutex_ held.
+  void restore_from_journal(RecoveredControlState recovered);
+  [[nodiscard]] ControlCheckpoint build_checkpoint() const;
+  void write_control_checkpoint();
+  void maybe_checkpoint();
+  /// Heartbeat-drains every UP shard (forcing its WAL to catch up) and
+  /// checkpoints, so a clean shutdown leaves nothing to replay.
+  void drain_and_checkpoint();
+
+  // Elastic membership (tentpole). All called with mutex_ held.
+  /// Finishes a join: reference seed from an active donor, router insert,
+  /// migration of every tag whose owner changed, kShardActive journal mark.
+  void complete_join(ManagedShard& fresh);
+  /// Moves every tag off `shard` (router removal + per-tag migration).
+  /// `in_router` distinguishes a live drain from one resumed after restart
+  /// (recovery rebuilds the router without draining members).
+  std::uint64_t drain_shard(ManagedShard& shard, bool in_router);
+  /// Resumes interrupted joins/drains left behind by a crashed supervisor.
+  void resume_membership();
+  /// Moves one tag across processes: export (+untrack) at the source,
+  /// WAL-suffix readings re-fed through normal ingest at the destination,
+  /// then the exported per-tag state imported on top.
+  void migrate_tag_cross(sim::TagId tag, std::uint32_t from_id,
+                         std::uint32_t to_id);
+  [[nodiscard]] std::vector<sim::RssiReading> migration_readings_cross(
+      const ManagedShard& source, sim::TagId tag) const;
   /// Deterministic nonzero trace id for a batch/poll sequence (seeded).
   [[nodiscard]] std::uint64_t trace_id_for(std::uint64_t sequence) const;
   void observe_ingest_to_fix(double latency_s);
@@ -322,6 +424,12 @@ class Supervisor : public Frontend {
   std::uint64_t ingest_seq_ = 0;
   bool started_ = false;
 
+  std::unique_ptr<ControlJournal> journal_;
+  std::uint32_t next_shard_id_ = 0;
+  /// Latest poll time seen — the migration horizon cursor (checkpointed).
+  double last_poll_time_ = 0.0;
+  bool recovered_from_journal_ = false;
+
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
   obs::Counter* restarts_total_ = nullptr;
@@ -333,6 +441,12 @@ class Supervisor : public Frontend {
   obs::Counter* held_fixes_ = nullptr;
   obs::Counter* heartbeats_total_ = nullptr;
   obs::Counter* oplog_dropped_ = nullptr;
+  obs::Counter* oplog_overflow_ = nullptr;
+  obs::Counter* adoptions_total_ = nullptr;
+  obs::Counter* membership_changes_add_ = nullptr;
+  obs::Counter* membership_changes_remove_ = nullptr;
+  obs::Counter* membership_moved_tags_ = nullptr;
+  obs::Counter* membership_replayed_readings_ = nullptr;
   obs::Counter* polls_total_ = nullptr;
   obs::Gauge* state_gauges_[4] = {};
   obs::Histogram* poll_seconds_ = nullptr;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "persist/binary_io.h"
+#include "persist/checkpoint.h"
 
 namespace vire::service {
 
@@ -41,6 +42,14 @@ bool known_type(std::uint8_t t) noexcept {
     case MsgType::kHeartbeatAck:
     case MsgType::kOk:
     case MsgType::kTraceDumpReply:
+    case MsgType::kExportTag:
+    case MsgType::kImportTag:
+    case MsgType::kSeedExport:
+    case MsgType::kSeedImport:
+    case MsgType::kAddShard:
+    case MsgType::kRemoveShard:
+    case MsgType::kTagState:
+    case MsgType::kSeedState:
       return true;
   }
   return false;
@@ -573,6 +582,71 @@ std::optional<std::uint32_t> decode_u32(std::string_view payload) {
   const auto value = r.u32();
   if (!r.ok() || !r.exhausted()) return std::nullopt;
   return *value;
+}
+
+std::string encode_tag_state(
+    const std::optional<engine::TagStateSnapshot>& state) {
+  persist::ByteWriter w;
+  w.u8(state.has_value() ? 1 : 0);
+  if (state.has_value()) persist::write_tag_state(w, *state);
+  return w.take();
+}
+
+std::optional<std::optional<engine::TagStateSnapshot>> decode_tag_state(
+    std::string_view payload) {
+  persist::ByteReader r(payload);
+  const auto has = r.u8();
+  if (!has) return std::nullopt;
+  if (*has == 0) {
+    if (!r.exhausted()) return std::nullopt;
+    return std::optional<engine::TagStateSnapshot>{};
+  }
+  engine::TagStateSnapshot state;
+  if (!persist::read_tag_state(r, state) || !r.exhausted()) return std::nullopt;
+  return std::optional<engine::TagStateSnapshot>{std::move(state)};
+}
+
+std::string encode_import_tag(const ImportTagRequest& request) {
+  persist::ByteWriter w;
+  w.u32(request.tag);
+  w.u8(request.zone.has_value() ? 1 : 0);
+  if (request.zone.has_value()) w.u32(*request.zone);
+  persist::write_tag_state(w, request.state);
+  return w.take();
+}
+
+std::optional<ImportTagRequest> decode_import_tag(std::string_view payload) {
+  persist::ByteReader r(payload);
+  ImportTagRequest request;
+  const auto tag = r.u32();
+  const auto has_zone = r.u8();
+  if (!tag || !has_zone) return std::nullopt;
+  request.tag = *tag;
+  if (*has_zone != 0) {
+    const auto zone = r.u32();
+    if (!zone) return std::nullopt;
+    request.zone = *zone;
+  }
+  if (!persist::read_tag_state(r, request.state) || !r.exhausted()) {
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::string encode_seed_state(const SeedState& seed) {
+  persist::ByteWriter w;
+  persist::write_engine_state(w, seed.engine);
+  persist::write_middleware_snapshot(w, seed.middleware);
+  return w.take();
+}
+
+std::optional<SeedState> decode_seed_state(std::string_view payload) {
+  persist::ByteReader r(payload);
+  SeedState seed;
+  if (!persist::read_engine_state(r, seed.engine)) return std::nullopt;
+  if (!persist::read_middleware_snapshot(r, seed.middleware)) return std::nullopt;
+  if (!r.exhausted()) return std::nullopt;
+  return seed;
 }
 
 }  // namespace vire::service

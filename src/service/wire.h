@@ -28,6 +28,7 @@
 #include "engine/localization_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/middleware.h"
 #include "sim/types.h"
 
 namespace vire::service {
@@ -54,8 +55,10 @@ inline constexpr std::size_t kMaxReadingsPerBatch =
 /// rejected fast with kVersionMismatch instead of limping through CRC
 /// resyncs. v2 added hello/heartbeat/sequenced-ingest/control frames; v3
 /// added trace-context propagation on kIngestSeq/kPoll, the kTraceDump /
-/// kProvenanceDump pull frames, and the extended heartbeat ack.
-inline constexpr std::uint32_t kWireVersion = 3;
+/// kProvenanceDump pull frames, and the extended heartbeat ack; v4 added the
+/// elastic-membership frames (kExportTag/kImportTag, kSeedExport/kSeedImport,
+/// kAddShard/kRemoveShard) carrying checkpoint-codec state snapshots.
+inline constexpr std::uint32_t kWireVersion = 4;
 
 enum class MsgType : std::uint8_t {
   // requests
@@ -72,6 +75,8 @@ enum class MsgType : std::uint8_t {
   kRecover = 11,  ///< run checkpoint+WAL recovery now; kOk(u64 last_ack)
   kTraceDump = 12,      ///< pull the span ring (u32 max events); kTraceDumpReply
   kProvenanceDump = 13, ///< pull flight-recorder provenance JSON; kText or kError
+  kExportTag = 14, ///< export + untrack one tag's state; kTagState or kError
+  kImportTag = 15, ///< adopt one tag's exported state; kOk
   // responses
   kFixBatch = 16,
   kFixReply = 17,
@@ -81,6 +86,14 @@ enum class MsgType : std::uint8_t {
   kHeartbeatAck = 21,
   kOk = 22,       ///< generic success, u64 detail payload
   kTraceDumpReply = 23, ///< encode_trace_dump payload
+  // v4 requests (the 1..15 request block is full; responses stay 16..23 + 28+)
+  kSeedExport = 24, ///< export reference-only seed state; kSeedState or kError
+  kSeedImport = 25, ///< restore reference-only seed state; kOk
+  kAddShard = 26,   ///< supervisor only: join one shard; kOk(u64 new shard id)
+  kRemoveShard = 27,///< supervisor only: drain + retire one shard; kOk(u64 moved)
+  // v4 responses
+  kTagState = 28,   ///< encode_tag_state payload (kExportTag reply)
+  kSeedState = 29,  ///< encode_seed_state payload (kSeedExport reply)
 };
 
 /// Payload format selector for kSnapshot.
@@ -269,8 +282,38 @@ struct TrackRequest {
 [[nodiscard]] std::string encode_u64(std::uint64_t value);
 [[nodiscard]] std::optional<std::uint64_t> decode_u64(std::string_view payload);
 
-/// Bare u32 payload: the kTraceDump max-events bound (0 = all retained).
+/// Bare u32 payload: the kTraceDump max-events bound (0 = all retained),
+/// the kExportTag tag id, and the kRemoveShard shard id.
 [[nodiscard]] std::string encode_u32(std::uint32_t value);
 [[nodiscard]] std::optional<std::uint32_t> decode_u32(std::string_view payload);
+
+/// kTagState: u8 has | [persist tag-state codec]. The inner nullopt means
+/// "source shard held no state for this tag" (the mover imports a fresh
+/// snapshot instead). Outer nullopt: malformed.
+[[nodiscard]] std::string encode_tag_state(
+    const std::optional<engine::TagStateSnapshot>& state);
+[[nodiscard]] std::optional<std::optional<engine::TagStateSnapshot>>
+decode_tag_state(std::string_view payload);
+
+/// kImportTag: u32 tag | u8 has_zone | [u32 zone] | persist tag-state codec.
+struct ImportTagRequest {
+  sim::TagId tag = 0;
+  std::optional<std::uint32_t> zone;
+  engine::TagStateSnapshot state;
+};
+[[nodiscard]] std::string encode_import_tag(const ImportTagRequest& request);
+[[nodiscard]] std::optional<ImportTagRequest> decode_import_tag(
+    std::string_view payload);
+
+/// kSeedState / kSeedImport: persist engine-state codec | persist middleware
+/// codec — the reference-only seed a joining shard restores before it takes
+/// ownership of any tag (see ShardedService::seed_export).
+struct SeedState {
+  engine::EngineStateSnapshot engine;
+  sim::Middleware::Snapshot middleware;
+};
+[[nodiscard]] std::string encode_seed_state(const SeedState& seed);
+[[nodiscard]] std::optional<SeedState> decode_seed_state(
+    std::string_view payload);
 
 }  // namespace vire::service

@@ -16,6 +16,8 @@
 
 #include <signal.h>
 #include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -33,6 +35,7 @@
 #include "engine/localization_engine.h"
 #include "env/environment.h"
 #include "service/supervisor.h"
+#include "service/wire.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
 
@@ -329,6 +332,230 @@ TEST(SupervisorChaosTest, BreakerDegradesToHeldFixesAndRecovers) {
       "vire_supervisor_breaker_open_total");
   ASSERT_NE(breaker, nullptr);
   EXPECT_GE(breaker->value(), 1u);
+
+  supervisor.stop();
+  fs::remove_all(root);
+}
+
+// --------------------------------------------------------------------------
+// Durable control plane drills (ISSUE 10 acceptance bar).
+
+// THE tentpole drill: the SUPERVISOR itself takes a SIGKILL mid-stream, and
+// its two shard processes meet different fates. Shard 1's process is killed
+// FIRST, so poll 3's batch is journaled but never reaches its WAL — that
+// slice survives nowhere but the control journal. Shard 0 stays up,
+// orphaned to init and still serving. A second incarnation over the same
+// root must rebuild its control plane from the journal, ADOPT the living
+// orphan (same pid, warm engine, nothing to replay — its own WAL cursor
+// already covers the "un-acked" suffix), RESPAWN the dead shard and replay
+// exactly the journal suffix its WAL recovery cannot supply, and keep the
+// merged poll stream fix-for-fix bit-identical to the uninterrupted
+// single-engine run.
+TEST(SupervisorChaosTest, SupervisorSigkillMidStreamKeepsBitIdentity) {
+  SKIP_ON_SINGLE_CORE();
+  const Capture& capture = shared_capture();
+  const fs::path root = fs::temp_directory_path() / "vire_supervisor_failover";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const fs::path polls_file = root / "child_polls.bin";
+  const fs::path ready_file = root / "child_ready";
+  constexpr int kCrashPoll = 3;  // child answers polls 0..2, dies before 3
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Crashing incarnation. No gtest in here: the parent detects failure as
+    // a missing ready file or broken bit-identity.
+    Supervisor first(env::Deployment::paper_testbed(), drill_config(root));
+    first.start();
+    register_capture(first, capture);
+    std::ofstream out(polls_file, std::ios::binary);
+    first.ingest(capture.segments[0]);
+    for (int poll = 0; poll < kCrashPoll; ++poll) {
+      first.ingest(capture.segments[static_cast<std::size_t>(poll) + 1]);
+      const std::string bytes =
+          encode_fixes(first.poll(capture.poll_times[poll]));
+      const auto len = static_cast<std::uint32_t>(bytes.size());
+      out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    out.flush();
+    // Shard 1's process dies BEFORE poll 3's ingest: its slice of that batch
+    // is journaled (write-ahead) but never delivered, so after the
+    // supervisor's own SIGKILL it exists only in the control journal.
+    pid_t victim = -1;
+    {
+      std::ifstream in(root / "shard-1" / "shardd.pid");
+      in >> victim;
+    }
+    if (victim <= 0) ::_exit(3);
+    ::kill(victim, SIGKILL);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    first.ingest(capture.segments[kCrashPoll + 1]);
+    { std::ofstream ready(ready_file); }
+    for (;;) ::pause();  // SIGKILL only: the Supervisor dtor must never run
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(300);
+  while (!fs::exists(ready_file)) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, WNOHANG), 0)
+        << "crashing incarnation exited early";
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+  // The child's pre-crash polls must already have been golden — a divergence
+  // here would taint the engines the second incarnation adopts.
+  {
+    std::ifstream in(polls_file, std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    for (int poll = 0; poll < kCrashPoll; ++poll) {
+      std::uint32_t len = 0;
+      ASSERT_TRUE(in.read(reinterpret_cast<char*>(&len), sizeof(len)));
+      std::string bytes(len, '\0');
+      ASSERT_TRUE(in.read(bytes.data(), static_cast<std::streamsize>(len)));
+      const auto fixes = decode_fixes(bytes);
+      ASSERT_TRUE(fixes.has_value());
+      expect_poll_identical(*fixes, capture.golden[poll], poll);
+    }
+  }
+
+  Supervisor second(env::Deployment::paper_testbed(), drill_config(root));
+  EXPECT_TRUE(second.recovered_from_journal());
+  second.start();
+  ASSERT_EQ(second.shard_state(0), ShardState::kUp);
+  EXPECT_TRUE(second.shard_adopted(0)) << "orphan 0 must be adopted, not killed";
+  EXPECT_FALSE(second.shard_adopted(1))
+      << "shard 1's process died pre-crash: it must be respawned";
+  // If the child's ingest observed shard 1's death, the checkpointless
+  // journal restores it cooled-down instead of up — tick until the probe
+  // respawns it (covers both orderings of death detection vs SIGKILL).
+  const auto up_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (second.shard_state(1) != ShardState::kUp) {
+    ASSERT_LT(std::chrono::steady_clock::now(), up_deadline)
+        << "dead shard never respawned after supervisor recovery";
+    second.tick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const auto* adoptions =
+      second.metrics().find_counter("vire_supervisor_adoptions_total");
+  ASSERT_NE(adoptions, nullptr);
+  EXPECT_EQ(adoptions->value(), 1u);
+  const auto* replayed = second.metrics().find_counter(
+      "vire_supervisor_replayed_batches_total");
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_GT(replayed->value(), 0u)
+      << "SIGKILL contract: the suffix the dead shard's WAL never saw must "
+         "replay from the control journal (SIGTERM would leave zero)";
+
+  // Poll 3's ingest died with the first incarnation — the journal already
+  // carries it, so do NOT re-ingest; the remaining polls proceed normally.
+  for (int poll = kCrashPoll; poll < kPolls; ++poll) {
+    if (poll > kCrashPoll) {
+      second.ingest(capture.segments[static_cast<std::size_t>(poll) + 1]);
+    }
+    expect_poll_identical(second.poll(capture.poll_times[poll]),
+                          capture.golden[poll], poll);
+  }
+
+  second.stop();
+  fs::remove_all(root);
+}
+
+// Live elastic membership: a third shard process joins mid-stream (seeded
+// from a donor, moved tags re-fed through its WAL), then an ORIGINAL member
+// is drained and retired — and every poll before, between and after stays
+// bit-identical to the single-engine run. Exercises the cross-process
+// migration path end to end: heartbeat drain, export_tag_state, WAL-suffix
+// re-feed through normal ingest, import_tag_state.
+TEST(SupervisorChaosTest, LiveShardAddRemoveKeepsBitIdentity) {
+  SKIP_ON_SINGLE_CORE();
+  const Capture& capture = shared_capture();
+  const fs::path root = fs::temp_directory_path() / "vire_supervisor_members";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  Supervisor supervisor(env::Deployment::paper_testbed(), drill_config(root));
+  supervisor.start();
+  register_capture(supervisor, capture);
+
+  supervisor.ingest(capture.segments[0]);
+  int poll = 0;
+  for (; poll < 3; ++poll) {
+    supervisor.ingest(capture.segments[static_cast<std::size_t>(poll) + 1]);
+    expect_poll_identical(supervisor.poll(capture.poll_times[poll]),
+                          capture.golden[poll], poll);
+  }
+
+  // Join: owners that change route must move; count them for the metric.
+  std::vector<std::uint32_t> owners_before;
+  for (const auto& [tag, name] : capture.tracked) {
+    owners_before.push_back(supervisor.router().route(tag));
+  }
+  const std::uint64_t new_id = supervisor.admin_add_shard();
+  EXPECT_EQ(new_id, 2u);
+  EXPECT_EQ(supervisor.shard_count(), 3u);
+  EXPECT_EQ(supervisor.member_phase(static_cast<std::uint32_t>(new_id)),
+            MemberPhase::kActive);
+  ASSERT_EQ(supervisor.shard_state(static_cast<std::uint32_t>(new_id)),
+            ShardState::kUp);
+  std::uint64_t expected_moves = 0;
+  for (std::size_t i = 0; i < capture.tracked.size(); ++i) {
+    if (supervisor.router().route(capture.tracked[i].first) !=
+        owners_before[i]) {
+      ++expected_moves;
+    }
+  }
+  const auto* moved_total = supervisor.metrics().find_counter(
+      "vire_supervisor_membership_moved_tags_total");
+  ASSERT_NE(moved_total, nullptr);
+  EXPECT_EQ(moved_total->value(), expected_moves);
+
+  for (; poll < 6; ++poll) {
+    supervisor.ingest(capture.segments[static_cast<std::size_t>(poll) + 1]);
+    expect_poll_identical(supervisor.poll(capture.poll_times[poll]),
+                          capture.golden[poll], poll);
+  }
+
+  // Retire an ORIGINAL member: everything it owns must drain to survivors.
+  std::uint64_t owned_by_0 = 0;
+  for (const auto& [tag, name] : capture.tracked) {
+    if (supervisor.router().route(tag) == 0) ++owned_by_0;
+  }
+  const std::uint64_t drained = supervisor.admin_remove_shard(0);
+  EXPECT_EQ(drained, owned_by_0);
+  EXPECT_EQ(supervisor.shard_count(), 2u);
+  EXPECT_THROW((void)supervisor.shard_state(0), std::out_of_range);
+
+  for (; poll < kPolls; ++poll) {
+    supervisor.ingest(capture.segments[static_cast<std::size_t>(poll) + 1]);
+    expect_poll_identical(supervisor.poll(capture.poll_times[poll]),
+                          capture.golden[poll], poll);
+  }
+
+  const auto* adds = supervisor.metrics().find_counter(
+      "vire_supervisor_membership_changes_total", "op=\"add\"");
+  ASSERT_NE(adds, nullptr);
+  EXPECT_EQ(adds->value(), 1u);
+  const auto* removes = supervisor.metrics().find_counter(
+      "vire_supervisor_membership_changes_total", "op=\"remove\"");
+  ASSERT_NE(removes, nullptr);
+  EXPECT_EQ(removes->value(), 1u);
+
+  // The state machine is fleet_status-visible.
+  const std::string json = supervisor.snapshot_json();
+  EXPECT_NE(json.find("\"phase\":\"active\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"journal\":{"), std::string::npos) << json;
+
+  // The last active pair cannot be reduced to one.
+  ASSERT_NO_THROW((void)supervisor.admin_remove_shard(1));
+  EXPECT_THROW(supervisor.admin_remove_shard(2), std::runtime_error);
 
   supervisor.stop();
   fs::remove_all(root);

@@ -11,6 +11,8 @@
 // VIRE_FORCE_DRILLS=1 overrides.
 
 #include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdlib>
@@ -312,6 +314,269 @@ TEST(SupervisorRestartTest, WaitpidDetectsSilentDeathOnTick) {
 
   supervisor.stop();
   EXPECT_LE(supervisor.shard_pid(0), 0) << "stop() reaps the child";
+  fs::remove_all(root);
+}
+
+// --------------------------------------------------------------------------
+// Durable control plane (ISSUE 10): journal recovery, orphan adoption,
+// mixed shard fates and the op-log overflow rebuild.
+
+/// Double-forks a vire_shardd so it is reparented to init — the exact
+/// topology a SIGKILLed supervisor leaves behind — and writes the pidfile
+/// the adoption handshake reads. Returns the orphan's pid.
+pid_t spawn_orphan_shardd(const fs::path& socket, const fs::path& data_dir) {
+  fs::create_directories(data_dir);
+  const fs::path pidfile = data_dir / "shardd.pid";
+  fs::remove(pidfile);
+  const pid_t mid = ::fork();
+  if (mid == 0) {
+    const pid_t grand = ::fork();
+    if (grand == 0) {
+      ::execl(VIRE_SHARDD_PATH, VIRE_SHARDD_PATH, "--socket",
+              socket.c_str(), "--data-dir", data_dir.c_str(), "--shard-id",
+              "0", "--workers", "1", (char*)nullptr);
+      ::_exit(127);
+    }
+    {
+      // _exit skips stream destructors, so flush+close explicitly or the
+      // buffered pid never reaches the file and the parent polls forever.
+      std::ofstream out(pidfile);
+      out << grand << '\n';
+      out.close();
+    }
+    ::_exit(grand > 0 ? 0 : 1);
+  }
+  int status = 0;
+  ::waitpid(mid, &status, 0);
+  EXPECT_EQ(status, 0);
+  long pid = -1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  for (;;) {
+    std::ifstream in(pidfile);
+    if (in >> pid && pid > 0 && fs::exists(socket)) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ADD_FAILURE() << "orphan shardd never came up";
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // Give the listener a beat past socket creation before the handshake.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  return static_cast<pid_t>(pid);
+}
+
+sim::RssiReading make_reading(double time, sim::TagId tag) {
+  sim::RssiReading r;
+  r.time = time;
+  r.tag = tag;
+  r.reader = 0;
+  r.rssi_dbm = -50.0;
+  return r;
+}
+
+// One restart, three fates (the tentpole's recovery matrix): shard 0's
+// process survived the supervisor (orphaned, still serving) and must be
+// ADOPTED, not respawned; shard 1 is dead and must be restarted with its
+// un-acked journal suffix replayed; shard 2 died breaker-open and must stay
+// DOWN until the cooldown, then probe back up. Journaled membership (3
+// shards) must override config.shards (1). The control state is staged
+// through a handcrafted ControlJournal — byte-for-byte what a supervisor
+// SIGKILLed mid-stream leaves on disk.
+TEST(SupervisorRestartTest, JournalRestartHandlesMixedShardFates) {
+  SKIP_ON_SINGLE_CORE();
+  const fs::path root = fs::temp_directory_path() / "vire_supervisor_fates";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  {
+    ControlJournalConfig jc;
+    jc.dir = root / "journal";
+    ControlJournal journal(jc);
+    (void)journal.recover();
+    for (std::uint32_t id = 0; id < 3; ++id) {
+      journal.record_add_shard(id);
+      journal.record_shard_active(id);
+    }
+    journal.record_track(7, "asset-7", std::nullopt);
+    journal.record_track(8, "asset-8", std::nullopt);
+    journal.record_batch(0, 1, {make_reading(1.0, 7)});
+    journal.record_batch(1, 2, {make_reading(1.0, 8)});
+    journal.record_batch(2, 3, {make_reading(1.5, 7)});
+    journal.record_breaker(2, true);
+  }
+  const pid_t orphan =
+      spawn_orphan_shardd(root / "shard-0.sock", root / "shard-0");
+
+  SupervisorConfig config;
+  config.shards = 1;  // journaled membership must win over this
+  config.root_dir = root;
+  config.shardd_binary = VIRE_SHARDD_PATH;
+  config.restart_backoff_initial_s = 0.01;
+  config.breaker_cooldown_s = 5.0;
+  config.spawn_wait_s = 120.0;
+  config.heartbeat_interval_s = 1e6;
+  config.heartbeat_timeout_s = 1e9;
+  FakeClock clock;
+  Supervisor supervisor(env::Deployment::paper_testbed(), config, &clock);
+  EXPECT_TRUE(supervisor.recovered_from_journal());
+  EXPECT_EQ(supervisor.shard_count(), 3u);
+  supervisor.start();
+
+  // Fate 1: alive orphan, adopted (same pid, no respawn).
+  ASSERT_EQ(supervisor.shard_state(0), ShardState::kUp);
+  EXPECT_TRUE(supervisor.shard_adopted(0));
+  EXPECT_EQ(supervisor.shard_pid(0), orphan);
+
+  // Fate 2: dead shard, restarted fresh (not adopted: no process to adopt).
+  ASSERT_EQ(supervisor.shard_state(1), ShardState::kUp);
+  EXPECT_FALSE(supervisor.shard_adopted(1));
+  EXPECT_GT(supervisor.shard_pid(1), 0);
+
+  // Fate 3: breaker-open member stays DOWN through the cooldown...
+  EXPECT_EQ(supervisor.shard_state(2), ShardState::kDown);
+  EXPECT_EQ(supervisor.member_phase(2), MemberPhase::kActive);
+  const auto* replayed = supervisor.metrics().find_counter(
+      "vire_supervisor_replayed_batches_total");
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_EQ(replayed->value(), 2u) << "shards 0 and 1 replay their suffix";
+  const auto* adoptions =
+      supervisor.metrics().find_counter("vire_supervisor_adoptions_total");
+  ASSERT_NE(adoptions, nullptr);
+  EXPECT_EQ(adoptions->value(), 1u);
+
+  // ...and probes back up once it elapses, replaying its own suffix.
+  clock.advance(config.breaker_cooldown_s + 1.0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (supervisor.shard_state(2) != ShardState::kUp) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    supervisor.tick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(replayed->value(), 3u);
+
+  supervisor.stop();
+  // stop() signals the orphan but cannot waitpid it (not our child): give
+  // delivery + init's reap a real-time beat, and count a zombie as dead.
+  const auto gone_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool orphan_gone = false;
+  while (std::chrono::steady_clock::now() < gone_deadline) {
+    if (::kill(orphan, 0) != 0 && errno == ESRCH) {
+      orphan_gone = true;
+      break;
+    }
+    std::ifstream stat("/proc/" + std::to_string(orphan) + "/stat");
+    std::string line;
+    if (std::getline(stat, line)) {
+      const auto paren = line.rfind(')');
+      if (paren != std::string::npos && paren + 2 < line.size() &&
+          line[paren + 2] == 'Z') {
+        orphan_gone = true;  // dead, just not yet reaped by init
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(orphan_gone) << "stop() must tear the adopted orphan down too";
+  fs::remove_all(root);
+}
+
+// Op-log overflow regression (ISSUE 10 satellite): with the journal on,
+// overflowing oplog_capacity while a shard is down must NOT lose batches —
+// the shard is marked for a journal-backed rebuild and every batch replays
+// at the next bring-up. vire_supervisor_oplog_dropped_total stays zero.
+TEST(SupervisorRestartTest, OplogOverflowRebuildsFromJournalWithoutLoss) {
+  SKIP_ON_SINGLE_CORE();
+  const fs::path root = fs::temp_directory_path() / "vire_supervisor_overflow";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  SupervisorConfig config;
+  config.shards = 1;
+  config.root_dir = root;
+  config.shardd_binary = VIRE_SHARDD_PATH;
+  config.oplog_capacity = 4;
+  config.restart_backoff_initial_s = 30.0;  // hold the shard down
+  config.spawn_wait_s = 120.0;
+  config.heartbeat_interval_s = 1e6;
+  config.heartbeat_timeout_s = 1e9;
+  FakeClock clock;
+  Supervisor supervisor(env::Deployment::paper_testbed(), config, &clock);
+  supervisor.start();
+  ASSERT_EQ(supervisor.shard_state(0), ShardState::kUp);
+
+  ASSERT_EQ(::kill(supervisor.shard_pid(0), SIGKILL), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  supervisor.tick();
+  ASSERT_EQ(supervisor.shard_state(0), ShardState::kBackoff);
+
+  // 8 batches into a 4-entry op-log: 4 evictions, all journal-backed.
+  for (int i = 0; i < 8; ++i) {
+    supervisor.ingest({make_reading(1.0 + 0.1 * i, 7)});
+  }
+  const auto* overflow =
+      supervisor.metrics().find_counter("vire_supervisor_oplog_overflow_total");
+  ASSERT_NE(overflow, nullptr);
+  EXPECT_EQ(overflow->value(), 1u) << "one overflow episode";
+  const auto* dropped =
+      supervisor.metrics().find_counter("vire_supervisor_oplog_dropped_total");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->value(), 0u) << "journal-backed eviction is not a drop";
+
+  clock.advance(35.0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (supervisor.shard_state(0) != ShardState::kUp) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    supervisor.tick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // The rebuild re-read ALL 8 batches from the journal: the shard's durable
+  // ack reaches the newest sequence, including the 4 evicted entries.
+  EXPECT_GE(supervisor.heartbeat().last_ack_sequence, 8u)
+      << "evicted batches must replay from the journal";
+  const auto* replayed = supervisor.metrics().find_counter(
+      "vire_supervisor_replayed_batches_total");
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_EQ(replayed->value(), 8u);
+
+  supervisor.stop();
+  fs::remove_all(root);
+}
+
+// A clean stop() checkpoints the folded control state, so the next
+// incarnation starts with an empty journal suffix: zero replayed batches.
+TEST(SupervisorRestartTest, CleanStopCheckpointsSoRestartReplaysNothing) {
+  SKIP_ON_SINGLE_CORE();
+  const fs::path root = fs::temp_directory_path() / "vire_supervisor_clean";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  SupervisorConfig config;
+  config.shards = 1;
+  config.root_dir = root;
+  config.shardd_binary = VIRE_SHARDD_PATH;
+  config.spawn_wait_s = 120.0;
+  config.heartbeat_interval_s = 0.05;
+  {
+    Supervisor first(env::Deployment::paper_testbed(), config);
+    first.start();
+    ASSERT_EQ(first.shard_state(0), ShardState::kUp);
+    first.ingest({make_reading(1.0, 7)});
+    first.stop();  // drains the ack, checkpoints, prunes
+  }
+  Supervisor second(env::Deployment::paper_testbed(), config);
+  EXPECT_TRUE(second.recovered_from_journal());
+  second.start();
+  ASSERT_EQ(second.shard_state(0), ShardState::kUp);
+  const auto* replayed = second.metrics().find_counter(
+      "vire_supervisor_replayed_batches_total");
+  ASSERT_NE(replayed, nullptr);
+  EXPECT_EQ(replayed->value(), 0u)
+      << "SIGTERM contract: clean shutdown leaves no un-acked suffix";
+  second.stop();
   fs::remove_all(root);
 }
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -19,6 +20,13 @@
 
 namespace vire::service {
 namespace {
+
+std::uint64_t bits(double v) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(v));
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
 
 sim::RssiReading reading(double t, sim::TagId tag, sim::ReaderId reader,
                          double rssi) {
@@ -441,12 +449,15 @@ TEST(WireTest, VersionMismatchCountsItsOwnRejectionReason) {
 // ---- wire v3 frames (ISSUE 9): trace-context propagation, clock-bearing
 // ---- heartbeat acks, trace/provenance pull.
 
-TEST(WireTest, VersionIsThreeAndNewTypesDecodeAsKnownFrames) {
-  EXPECT_EQ(kWireVersion, 3u);
-  // The decoder drops unknown type bytes (kBadType); the v3 additions must
-  // survive a framed round trip instead.
-  for (const MsgType type : {MsgType::kTraceDump, MsgType::kProvenanceDump,
-                             MsgType::kTraceDumpReply}) {
+TEST(WireTest, VersionIsFourAndNewTypesDecodeAsKnownFrames) {
+  EXPECT_EQ(kWireVersion, 4u);
+  // The decoder drops unknown type bytes (kBadType); the v3/v4 additions
+  // must survive a framed round trip instead.
+  for (const MsgType type :
+       {MsgType::kTraceDump, MsgType::kProvenanceDump, MsgType::kTraceDumpReply,
+        MsgType::kExportTag, MsgType::kImportTag, MsgType::kSeedExport,
+        MsgType::kSeedImport, MsgType::kAddShard, MsgType::kRemoveShard,
+        MsgType::kTagState, MsgType::kSeedState}) {
     FrameDecoder decoder;
     decoder.feed(encode_frame(type, "payload"));
     const auto frame = decoder.next();
@@ -515,6 +526,98 @@ TEST(WireTest, HeartbeatAckV3CarriesClockAndDumps_Legacy24ByteAccepted) {
   EXPECT_EQ(legacy->seq, 3u);
   EXPECT_EQ(legacy->mono_now_us, 0.0);
   EXPECT_EQ(legacy->anomaly_dumps, 0u);
+}
+
+// v4 elastic-membership payloads: tag-state export/import and the seed
+// snapshot a joining shard is bootstrapped with. Doubles must round-trip by
+// bit pattern — migration rides the bit-identity contract.
+TEST(WireTest, TagStateRoundTripWithAndWithoutState) {
+  engine::TagStateSnapshot state;
+  state.name = "pallet-3";
+  state.has_tracker = true;
+  state.tracker.initialized = true;
+  state.tracker.position = {1.5, -0.25};
+  state.tracker.velocity = {0.125, 0.5};
+  state.tracker.last_time = 41.5;
+  state.tracker.last_measurement = {1.375, -0.5};
+  state.tracker.last_measurement_time = 41.0;
+  state.tracker.consecutive_outliers = 2;
+  state.has_last_good = true;
+  state.last_good_time = 40.5;
+  state.last_good_position = {1.25, -0.75};
+  state.last_good_smoothed = {1.3125, -0.625};
+  state.has_last_quality = true;
+  state.last_quality = engine::FixQuality::kDegraded;
+
+  const auto decoded = decode_tag_state(encode_tag_state(state));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->has_value());
+  const engine::TagStateSnapshot& out = **decoded;
+  EXPECT_EQ(out.name, "pallet-3");
+  ASSERT_TRUE(out.has_tracker);
+  EXPECT_EQ(bits(out.tracker.position.x), bits(1.5));
+  EXPECT_EQ(bits(out.tracker.velocity.y), bits(0.5));
+  EXPECT_EQ(out.tracker.consecutive_outliers, 2);
+  ASSERT_TRUE(out.has_last_good);
+  EXPECT_EQ(bits(out.last_good_time), bits(40.5));
+  EXPECT_EQ(bits(out.last_good_smoothed.x), bits(1.3125));
+  EXPECT_EQ(out.last_quality, engine::FixQuality::kDegraded);
+
+  // "Tag not tracked here" is a first-class reply, not an error.
+  const auto empty = decode_tag_state(encode_tag_state(std::nullopt));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_FALSE(empty->has_value());
+
+  EXPECT_FALSE(decode_tag_state("").has_value());
+  const std::string bytes = encode_tag_state(state);
+  EXPECT_FALSE(decode_tag_state(bytes.substr(0, bytes.size() / 2)).has_value())
+      << "truncated tag state must reject, not half-decode";
+}
+
+TEST(WireTest, ImportTagRoundTripWithAndWithoutZone) {
+  ImportTagRequest request;
+  request.tag = 99;
+  request.zone = 3;
+  request.state.name = "cart";
+  request.state.has_last_quality = true;
+  request.state.last_quality = engine::FixQuality::kHold;
+  const auto decoded = decode_import_tag(encode_import_tag(request));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tag, 99u);
+  ASSERT_TRUE(decoded->zone.has_value());
+  EXPECT_EQ(*decoded->zone, 3u);
+  EXPECT_EQ(decoded->state.name, "cart");
+  EXPECT_EQ(decoded->state.last_quality, engine::FixQuality::kHold);
+
+  request.zone.reset();
+  const auto no_zone = decode_import_tag(encode_import_tag(request));
+  ASSERT_TRUE(no_zone.has_value());
+  EXPECT_FALSE(no_zone->zone.has_value());
+
+  EXPECT_FALSE(decode_import_tag("\x01").has_value());
+}
+
+TEST(WireTest, SeedStateRoundTripCarriesEngineAndMiddleware) {
+  SeedState seed;
+  seed.engine.reference_ids = {1, 2, 3};
+  seed.engine.tracked = {{7, "pallet"}};
+  seed.engine.fix_sequence = 12;
+  sim::Middleware::Snapshot::Link link;
+  link.tag = 7;
+  link.reader = 2;
+  seed.middleware.links.push_back(link);
+
+  const auto decoded = decode_seed_state(encode_seed_state(seed));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->engine.reference_ids, seed.engine.reference_ids);
+  ASSERT_EQ(decoded->engine.tracked.size(), 1u);
+  EXPECT_EQ(decoded->engine.tracked[0].second, "pallet");
+  EXPECT_EQ(decoded->engine.fix_sequence, 12u);
+  ASSERT_EQ(decoded->middleware.links.size(), 1u);
+  EXPECT_EQ(decoded->middleware.links[0].tag, 7u);
+  EXPECT_EQ(decoded->middleware.links[0].reader, 2u);
+
+  EXPECT_FALSE(decode_seed_state("junk").has_value());
 }
 
 TEST(WireTest, TraceDumpRoundTrip) {
